@@ -1,0 +1,61 @@
+"""E-blocked — Section I.D future work: blocked local memory.
+
+The paper assumes O(1) words per PE and names larger local memories as
+future work.  The blocked scan puts B consecutive elements on one PE: local
+prefix (free compute), spatial scan over the n/B block totals, local fix-up.
+Claim to verify: communication energy scales as Θ(n/B) and distance as
+Θ(sqrt(n/B)) — block size is a pure communication win, quantifying what a
+"fatter" PE buys (relevant to systems with fewer, larger PEs).
+"""
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.core.blocked import blocked_scan
+from repro.machine import SpatialMachine
+
+N = 4**7  # 16384 elements
+BLOCKS = [1, 4, 16, 64, 256]
+
+
+def _sweep(rng):
+    x = rng.standard_normal(N)
+    want = np.cumsum(x)
+    rows = []
+    for b in BLOCKS:
+        m = SpatialMachine()
+        res = blocked_scan(m, x, block=b)
+        assert np.allclose(res.prefix, want)
+        rows.append(
+            {
+                "B": b,
+                "PEs": N // b,
+                "energy": m.stats.energy,
+                "E·B/n": m.stats.energy * b / N,
+                "depth": res.max_depth(),
+                "distance": res.max_dist(),
+                "dist·sqrt(B/n)": res.max_dist() * np.sqrt(b / N),
+            }
+        )
+    return rows
+
+
+def test_ablation_blocked_scan(benchmark, report, rng):
+    rows = benchmark.pedantic(lambda: _sweep(rng), rounds=1, iterations=1)
+    report(
+        render_table(
+            list(rows[0].keys()),
+            [list(r.values()) for r in rows],
+            title="Section I.D extension — blocked scan: energy Θ(n/B), distance Θ(√(n/B))",
+        )
+    )
+    # the normalized energy E*B/n stays flat: energy is Θ(n/B)
+    norms = [r["E·B/n"] for r in rows]
+    assert max(norms) / min(norms) < 2.5
+    # distance shrinks with the grid: dist * sqrt(B/n) flat
+    dnorms = [r["dist·sqrt(B/n)"] for r in rows]
+    assert max(dnorms) / min(dnorms) < 2.5
+    # depth falls as the grid shrinks
+    depths = [r["depth"] for r in rows]
+    assert depths == sorted(depths, reverse=True)
+    report("every factor-4 block growth saves ~4x energy and ~2x distance.")

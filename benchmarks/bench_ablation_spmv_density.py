@@ -1,0 +1,65 @@
+"""E-density — Section IX open question: SpMV energy vs matrix density.
+
+The paper proves SpMV energy-optimality for m = O(n) and leaves "the optimal
+energy for denser matrices" open.  This ablation fixes n and sweeps the
+density m/n, measuring how the sort-dominated energy grows and where the
+permutation-style lower-bound intuition (each of the m entries moving across
+a sqrt(m) grid) tracks the measurement.
+"""
+
+import numpy as np
+
+from repro.analysis import fit_power_law, render_table
+from repro.machine import SpatialMachine
+from repro.spmv import random_coo, spmv_spatial
+
+N = 64
+DENSITIES = [1, 2, 4, 8, 16]
+
+
+def _sweep(rng):
+    rows = []
+    x = rng.standard_normal(N)
+    for d in DENSITIES:
+        A = random_coo(N, d * N, rng)
+        m = SpatialMachine()
+        y = spmv_spatial(m, A, x)
+        assert np.allclose(y.payload, A.multiply_dense(x))
+        side = 1
+        while side * side < A.nnz:
+            side *= 2
+        padded = side * side  # entries are padded onto a power-of-4 square
+        rows.append(
+            {
+                "m/n": d,
+                "nnz": A.nnz,
+                "grid": padded,
+                "energy": m.stats.energy,
+                "E/grid^1.5": m.stats.energy / padded**1.5,
+                "depth": m.stats.max_depth,
+                "distance": m.stats.max_distance,
+            }
+        )
+    return rows
+
+
+def test_ablation_spmv_density(benchmark, report, rng):
+    rows = benchmark.pedantic(lambda: _sweep(rng), rounds=1, iterations=1)
+    report(
+        render_table(
+            list(rows[0].keys()),
+            [list(r.values()) for r in rows],
+            title="Section IX open question — SpMV energy vs density (fixed n=64)",
+        )
+    )
+    ms = np.array([r["grid"] for r in rows], dtype=float)
+    fit = fit_power_law(ms, np.array([r["energy"] for r in rows]))
+    report(f"energy-vs-grid exponent at fixed n: {fit}")
+    # energy keeps following the m^{3/2} sorting cost of the (padded) entry
+    # grid even past m >> n — the m = O(n) optimality proof's regime
+    # boundary is not visible in the upper bound, consistent with the
+    # Section IX open question
+    assert 1.1 < fit.exponent < 1.9
+    # depth stays polylog in m across the density sweep
+    for r in rows:
+        assert r["depth"] <= 2 * np.log2(r["nnz"]) ** 3

@@ -1,0 +1,53 @@
+"""E-allpairs — Lemma V.5: All-Pairs Sort costs O(n^{5/2}) energy at O(log n)
+depth and O(n) distance — cheap for sqrt-sized samples, hopeless in general."""
+
+import numpy as np
+
+from repro.analysis import fit_power_law, render_table
+from repro.core.sorting.allpairs import allpairs_sort
+from repro.core.sorting.sortutil import as_sort_payload
+from repro.machine import Region, SpatialMachine
+
+SIZES = [4, 16, 64, 256]
+
+
+def _sweep(rng):
+    rows = []
+    for n in SIZES:
+        side = 1
+        while side * side < n:
+            side *= 2
+        region = Region(0, 0, side, side)
+        x = rng.random(n)
+        m = SpatialMachine()
+        out = allpairs_sort(m, m.place_rowmajor(as_sort_payload(x), region), region)
+        assert np.allclose(out.payload[:, 0], np.sort(x))
+        rows.append(
+            {
+                "n": n,
+                "energy": m.stats.energy,
+                "E/n^2.5": m.stats.energy / n**2.5,
+                "depth": out.max_depth(),
+                "4log2(n)+8": 4 * int(np.log2(n)) + 8,
+                "distance": out.max_dist(),
+                "dist/n": out.max_dist() / n,
+            }
+        )
+    return rows
+
+
+def test_allpairs(benchmark, report, rng):
+    rows = benchmark.pedantic(lambda: _sweep(rng), rounds=1, iterations=1)
+    report(
+        render_table(
+            list(rows[0].keys()),
+            [list(r.values()) for r in rows],
+            title="Lemma V.5 — All-Pairs Sort: O(n^2.5) energy, O(log n) depth, O(n) distance",
+        )
+    )
+    ns = np.array([r["n"] for r in rows], dtype=float)
+    fit = fit_power_law(ns, np.array([r["energy"] for r in rows]))
+    report(f"energy exponent: {fit} (paper: 2.5)")
+    assert 2.2 < fit.exponent < 2.8
+    for r in rows:
+        assert r["depth"] <= r["4log2(n)+8"]

@@ -1,0 +1,99 @@
+"""E-bcast — Lemma IV.1 / Corollary IV.2: multicast-free broadcast & reduce.
+
+Claims: O(hw + h log h) energy, O(log n) depth, O(w + h) distance; on square
+grids this beats the prior O(log n)-depth binary-tree reduce's Ω(n log n)
+energy by Θ(log n).  The binary-tree rival is the 1D Blelloch machinery
+(`tree_scan_1d`-style pairing), represented here by the 1D broadcast run on
+the row-major flattening of the square.
+"""
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.core.collectives import broadcast, broadcast_1d, reduce
+from repro.core.ops import ADD
+from repro.machine import Region, SpatialMachine
+
+SIDES = [8, 16, 32, 64, 128]
+
+
+def _square_sweep(rng):
+    rows = []
+    for side in SIDES:
+        n = side * side
+        region = Region(0, 0, side, side)
+        mb = SpatialMachine()
+        out = broadcast(mb, mb.place(np.array([1.0]), [0], [0]), region)
+        mr = SpatialMachine()
+        total = reduce(mr, mr.place_rowmajor(rng.random(n), region), region, ADD)
+        # the 1D binary-tree alternative: broadcast over the n cells flattened
+        m1 = SpatialMachine()
+        line = Region(0, 0, 1, n)
+        broadcast_1d(m1, m1.place(np.array([1.0]), [0], [0]), line)
+        rows.append(
+            {
+                "n": n,
+                "bcast E/n": mb.stats.energy / n,
+                "reduce E/n": mr.stats.energy / n,
+                "1D-tree E/n": m1.stats.energy / n,
+                "bcast depth": out.max_depth(),
+                "reduce depth": int(total.depth[0]),
+                "log2(n)": int(np.log2(n)),
+            }
+        )
+    return rows
+
+
+def _rect_sweep(rng):
+    rows = []
+    for h, w in ((64, 64), (256, 16), (1024, 4), (4096, 1)):
+        region = Region(0, 0, h, w)
+        m = SpatialMachine()
+        if w == 1:
+            out = broadcast_1d(m, m.place(np.array([1.0]), [0], [0]), region)
+        else:
+            out = broadcast(m, m.place(np.array([1.0]), [0], [0]), region)
+        pred = h * w + h * max(np.log2(h), 1)
+        rows.append(
+            {
+                "h": h,
+                "w": w,
+                "energy": m.stats.energy,
+                "hw+h·log h": round(pred),
+                "ratio": m.stats.energy / pred,
+                "depth": out.max_depth(),
+                "distance": out.max_dist(),
+            }
+        )
+    return rows
+
+
+def test_collectives_square(benchmark, report, rng):
+    rows = benchmark.pedantic(lambda: _square_sweep(rng), rounds=1, iterations=1)
+    report(
+        render_table(
+            list(rows[0].keys()),
+            [list(r.values()) for r in rows],
+            title="Lemma IV.1 / Cor. IV.2 — broadcast & reduce vs 1D binary tree",
+        )
+    )
+    # 2D collectives stay linear-energy; the 1D tree's energy/n grows with n
+    assert max(r["bcast E/n"] for r in rows) < 4
+    assert max(r["reduce E/n"] for r in rows) < 4
+    tree = [r["1D-tree E/n"] for r in rows]
+    assert tree[-1] > tree[0] * 1.5
+    for r in rows:
+        assert r["bcast depth"] <= r["log2(n)"] + 2
+    report("2D collectives: Θ(n) energy at log depth — the Θ(log n) win of §IV.B.")
+
+
+def test_collectives_rectangles(benchmark, report, rng):
+    rows = benchmark.pedantic(lambda: _rect_sweep(rng), rounds=1, iterations=1)
+    report(
+        render_table(
+            list(rows[0].keys()),
+            [list(r.values()) for r in rows],
+            title="Lemma IV.1 — general h x w broadcast vs O(hw + h log h)",
+        )
+    )
+    assert max(r["ratio"] for r in rows) < 4

@@ -1,0 +1,64 @@
+"""F1 — Figure 1: structure of the energy-optimal scan's summation tree.
+
+Fig. 1a: the up-sweep's height-i subtree roots sit at the i-th Z-order
+position of their quadrant.  Fig. 1b: the down-sweep forwards prefixes from
+each node to its children's hosts.  The bench replays a traced 8x8 scan,
+verifies the message pattern against the figure's rule, and prints the
+per-level message/energy breakdown (the geometric series behind Lemma IV.3).
+"""
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.core.scan import scan
+from repro.machine import Region, SpatialMachine
+from repro.machine.zorder import zorder_coords
+
+
+def _trace_levels(side):
+    n = side * side
+    m = SpatialMachine(trace=True)
+    region = Region(0, 0, side, side)
+    scan(m, m.place_zorder(np.arange(float(n)), region), region)
+    batches = m.tracer.batches
+    rows = []
+    for i, b in enumerate(batches):
+        rows.append(
+            {
+                "batch": i,
+                "phase": "up-sweep" if i < len(batches) // 2 else "down-sweep",
+                "messages": len(b),
+                "energy": int(b.distances().sum()),
+                "max wire": int(b.distances().max()),
+            }
+        )
+    return m, region, rows
+
+
+def test_fig1_scan_tree(benchmark, report):
+    m, region, rows = benchmark.pedantic(lambda: _trace_levels(8), rounds=1, iterations=1)
+    report(
+        render_table(
+            list(rows[0].keys()),
+            [list(r.values()) for r in rows],
+            title="Figure 1 — scan up/down-sweep message batches on an 8x8 grid",
+        )
+    )
+    # Fig. 1a rule: the root of the height-i subtree of block b is hosted at
+    # Z-position b + i; every up-sweep message must land on such a host.
+    n = region.size
+    zr, zc = zorder_coords(region)
+    nlevels = int(np.log2(n) / 2)
+    hosts = set()
+    for lvl in range(1, nlevels + 1):
+        for b in range(n // 4**lvl):
+            z = b * 4**lvl + lvl
+            hosts.add((int(zr[z]), int(zc[z])))
+    n_up = len(m.tracer.batches) // 2
+    for batch in m.tracer.batches[:n_up]:
+        dsts = set(zip(batch.dst_rows.tolist(), batch.dst_cols.tolist()))
+        assert dsts <= hosts, "up-sweep receiver off the Fig. 1a host set"
+    # per-level energy forms a (roughly) geometric series: total is linear
+    up_energy = sum(r["energy"] for r in rows if r["phase"] == "up-sweep")
+    assert up_energy <= 4 * n
+    report(f"up-sweep energy {up_energy} <= 4n = {4 * n} (Lemma IV.3 envelope)")

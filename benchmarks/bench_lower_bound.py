@@ -1,0 +1,72 @@
+"""E-lower — Lemma V.1 / Corollary V.2: the permutation energy lower bound.
+
+The row-reversal permutation needs >= max(w,h)²·min(w,h)/9 energy; sorting
+realizes it, so sorting is Ω(n^{3/2}).  The bench prints the exact
+displacement floor, the paper's closed form, the optimal direct routing
+(which meets the floor exactly), and the measured 2D Mergesort energy on the
+reversal input — certifying the mergesort's optimality up to constants.
+"""
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.core.sorting.lower_bounds import (
+    displacement_lower_bound,
+    paper_lower_bound,
+    reversal_permutation,
+    route_permutation,
+)
+from repro.core.sorting.mergesort2d import sort_values
+from repro.core.sorting.sortutil import as_sort_payload
+from repro.machine import Region, SpatialMachine
+
+SIDES = [8, 16, 32, 64]
+
+
+def _sweep():
+    rows = []
+    for side in SIDES:
+        n = side * side
+        region = Region(0, 0, side, side)
+        perm = reversal_permutation(n)
+        floor = displacement_lower_bound(region, perm)
+        m_route = SpatialMachine()
+        ta = m_route.place_rowmajor(as_sort_payload(np.arange(float(n))), region)
+        route_permutation(m_route, ta, region, perm)
+        m_sort = SpatialMachine()
+        sort_values(m_sort, np.arange(n, 0, -1, dtype=float), region)
+        rows.append(
+            {
+                "n": n,
+                "paper h²w/9": round(paper_lower_bound(side, side)),
+                "exact floor": floor,
+                "floor/n^1.5": floor / n**1.5,
+                "routed": m_route.stats.energy,
+                "mergesort": m_sort.stats.energy,
+                "sort/floor": m_sort.stats.energy / floor,
+            }
+        )
+    return rows
+
+
+def test_lower_bound(benchmark, report):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    report(
+        render_table(
+            list(rows[0].keys()),
+            [list(r.values()) for r in rows],
+            title="Lemma V.1 / Cor. V.2 — permutation lower bound vs measured sort",
+        )
+    )
+    for r in rows:
+        assert r["routed"] == r["exact floor"]  # direct routing is optimal
+        assert r["exact floor"] >= r["paper h²w/9"]
+        assert r["mergesort"] >= r["exact floor"]
+    # sort/floor overhead plateaus as n grows (same Θ(n^{3/2}) class); the
+    # lower-order O(n^{5/4}) selection terms still bias small n upward
+    overheads = [r["sort/floor"] for r in rows]
+    assert overheads[-1] <= overheads[-2] * 1.15
+    report(
+        "mergesort energy / lower bound plateaus: both sides are "
+        "Θ(n^{3/2}) — the sort is energy-optimal (Theorem V.8)."
+    )

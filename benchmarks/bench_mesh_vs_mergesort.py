@@ -1,0 +1,73 @@
+"""E-mesh — Section II.B: mesh-model sorting vs the 2D Mergesort.
+
+Any K-round mesh algorithm costs depth K; mesh sorting needs Θ(sqrt(n))
+rounds, so its depth is a *power* of n, while the 2D Mergesort's is polylog.
+The bench sweeps n with the Shearsort baseline and prints the depth
+crossover trend (and the opposite energy ordering — mesh hops are unit
+distance, the regime trade-off the paper discusses).
+"""
+
+import numpy as np
+
+from repro.analysis import fit_power_law, render_table
+from repro.core.sorting.mergesort2d import sort_values
+from repro.core.sorting.mesh_sort import shearsort
+from repro.core.sorting.sortutil import as_sort_payload
+from repro.machine import Region, SpatialMachine
+
+SIDES = [8, 16, 32, 64]
+
+
+def _sweep(rng):
+    rows = []
+    for side in SIDES:
+        n = side * side
+        region = Region(0, 0, side, side)
+        x = rng.random(n)
+        m_mesh = SpatialMachine()
+        out_mesh = shearsort(
+            m_mesh, m_mesh.place_rowmajor(as_sort_payload(x), region), region
+        )
+        m_ms = SpatialMachine()
+        out_ms = sort_values(m_ms, x, region)
+        assert np.allclose(out_mesh.payload[:, 0], out_ms.payload[:, 0])
+        rows.append(
+            {
+                "n": n,
+                "mesh depth": out_mesh.max_depth(),
+                "mergesort depth": out_ms.max_depth(),
+                "mesh/mergesort depth": out_mesh.max_depth() / out_ms.max_depth(),
+                "mesh E": m_mesh.stats.energy,
+                "mergesort E": m_ms.stats.energy,
+            }
+        )
+    return rows
+
+
+def test_mesh_vs_mergesort(benchmark, report, rng):
+    rows = benchmark.pedantic(lambda: _sweep(rng), rounds=1, iterations=1)
+    report(
+        render_table(
+            list(rows[0].keys()),
+            [list(r.values()) for r in rows],
+            title="Section II.B — Θ(√n)-depth mesh sort vs polylog-depth 2D Mergesort",
+        )
+    )
+    ns = np.array([r["n"] for r in rows], dtype=float)
+    mesh_fit = fit_power_law(ns, np.array([r["mesh depth"] for r in rows]))
+    report(f"mesh depth exponent: {mesh_fit} (theory: 0.5 + log factor)")
+    assert mesh_fit.exponent > 0.4  # a genuine power
+    # growth-ratio signature: the mesh's 4x-n depth ratio stays near
+    # 2 (a power law) while the mergesort's declines towards 1 (polylog)
+    mesh_d = [r["mesh depth"] for r in rows]
+    ms_d = [r["mergesort depth"] for r in rows]
+    mesh_ratios = [mesh_d[i + 1] / mesh_d[i] for i in range(len(mesh_d) - 1)]
+    ms_ratios = [ms_d[i + 1] / ms_d[i] for i in range(len(ms_d) - 1)]
+    assert mesh_ratios[-1] > 2.0
+    assert ms_ratios[-1] < mesh_ratios[-1]
+    assert ms_ratios[-1] < ms_ratios[0]  # mergesort ratio declining
+    report(
+        "mesh depth keeps quadrupling-rate ~2 per 4x n (a power) while the "
+        "mergesort's growth ratio falls towards 1 (polylog): at scale the "
+        "mergesort dominates — the §II.B motivation."
+    )

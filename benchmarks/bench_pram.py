@@ -1,0 +1,92 @@
+"""E-pram — Lemmas VII.1-VII.2: spatial simulation of PRAM programs.
+
+EREW: O(p(sqrt(p)+sqrt(m)) T) energy, O(T) depth.  CRCW: same energy order
+but O(T log³ p) depth, paid to the sorting-based concurrency resolution.
+The bench runs the tree-sum program under both simulators and prints the
+depth gap, plus the p-sweep of the EREW energy envelope.
+"""
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.machine import SpatialMachine
+from repro.pram import FanInMaxCRCW, TreeSumEREW, simulate_crcw, simulate_erew
+
+PS = [16, 64, 256, 1024]
+
+
+def _erew_sweep(rng):
+    rows = []
+    for p in PS:
+        x = rng.standard_normal(p)
+        prog = TreeSumEREW(x)
+        m = SpatialMachine()
+        mem, _ = simulate_erew(m, prog)
+        assert mem.payload[0] == np.float64(x.sum()) or abs(mem.payload[0] - x.sum()) < 1e-9
+        envelope = p * 2 * np.sqrt(p) * prog.steps
+        rows.append(
+            {
+                "p": p,
+                "steps": prog.steps,
+                "energy": m.stats.energy,
+                "p·√p·T": round(envelope),
+                "ratio": m.stats.energy / envelope,
+                "depth": m.stats.max_depth,
+                "3T+2": 3 * prog.steps + 2,
+            }
+        )
+    return rows
+
+
+def _crcw_vs_erew(rng):
+    rows = []
+    for p in (16, 64):
+        x = rng.standard_normal(p)
+        m_e = SpatialMachine()
+        simulate_erew(m_e, TreeSumEREW(x))
+        m_c = SpatialMachine()
+        simulate_crcw(m_c, TreeSumEREW(x))
+        m_f = SpatialMachine()
+        simulate_crcw(m_f, FanInMaxCRCW(rng.standard_normal(p), rounds=2))
+        rows.append(
+            {
+                "p": p,
+                "EREW depth": m_e.stats.max_depth,
+                "CRCW depth": m_c.stats.max_depth,
+                "depth gap": m_c.stats.max_depth / m_e.stats.max_depth,
+                "CRCW fan-in depth": m_f.stats.max_depth,
+                "EREW energy": m_e.stats.energy,
+                "CRCW energy": m_c.stats.energy,
+            }
+        )
+    return rows
+
+
+def test_pram_erew(benchmark, report, rng):
+    rows = benchmark.pedantic(lambda: _erew_sweep(rng), rounds=1, iterations=1)
+    report(
+        render_table(
+            list(rows[0].keys()),
+            [list(r.values()) for r in rows],
+            title="Lemma VII.1 — EREW simulation: O(p√p·T) energy, O(T) depth",
+        )
+    )
+    for r in rows:
+        assert r["ratio"] < 8
+        assert r["depth"] <= r["3T+2"]
+
+
+def test_pram_crcw_gap(benchmark, report, rng):
+    rows = benchmark.pedantic(lambda: _crcw_vs_erew(rng), rounds=1, iterations=1)
+    report(
+        render_table(
+            list(rows[0].keys()),
+            [list(r.values()) for r in rows],
+            title="Lemma VII.2 — CRCW pays a polylog depth factor over EREW",
+        )
+    )
+    # the sort-based concurrency resolution costs a clearly superconstant
+    # depth factor that grows with p
+    gaps = [r["depth gap"] for r in rows]
+    assert gaps[0] > 3
+    assert gaps[-1] > gaps[0]

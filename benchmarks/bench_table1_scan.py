@@ -1,0 +1,55 @@
+"""T1-scan — Table I row 1 / Lemma IV.3.
+
+Claim: the parallel scan costs Θ(n) energy, O(log n) depth, Θ(sqrt(n))
+distance on a sqrt(n) x sqrt(n) grid.  The bench sweeps n, prints the
+measured row per size, and fits the energy/distance exponents.
+"""
+
+import numpy as np
+
+from repro.analysis import fit_power_law, render_table
+from repro.core.scan import scan
+from repro.machine import Region, SpatialMachine
+
+SIZES = [4**k for k in range(3, 10)]  # 64 .. 262144
+
+
+def _sweep(rng):
+    rows = []
+    for n in SIZES:
+        side = int(np.sqrt(n))
+        m = SpatialMachine()
+        region = Region(0, 0, side, side)
+        res = scan(m, m.place_zorder(rng.random(n), region), region)
+        rows.append(
+            {
+                "n": n,
+                "energy": m.stats.energy,
+                "energy/n": m.stats.energy / n,
+                "depth": res.inclusive.max_depth(),
+                "2log4(n)": 2 * int(np.log2(n) / 2),
+                "distance": res.inclusive.max_dist(),
+                "dist/sqrt(n)": res.inclusive.max_dist() / np.sqrt(n),
+            }
+        )
+    return rows
+
+
+def test_table1_scan(benchmark, report, rng):
+    rows = benchmark.pedantic(lambda: _sweep(rng), rounds=1, iterations=1)
+    report(
+        render_table(
+            list(rows[0].keys()),
+            [list(r.values()) for r in rows],
+            title="Table I row 1 — Parallel Scan: Θ(n) energy, O(log n) depth, Θ(√n) distance",
+        )
+    )
+    ns = np.array([r["n"] for r in rows], dtype=float)
+    e_fit = fit_power_law(ns, np.array([r["energy"] for r in rows]))
+    d_fit = fit_power_law(ns, np.array([r["distance"] for r in rows]))
+    report(f"energy exponent: {e_fit}   (paper: 1.0)")
+    report(f"distance exponent: {d_fit} (paper: 0.5)")
+    assert abs(e_fit.exponent - 1.0) < 0.1
+    assert abs(d_fit.exponent - 0.5) < 0.1
+    # depth exactly 2 log4 n
+    assert all(r["depth"] == r["2log4(n)"] for r in rows)

@@ -1,0 +1,58 @@
+"""E-trees — Section II.A: path treefix in Θ(n) energy.
+
+Prior spatial treefix sums pay Θ(n log n) energy; the paper's scan improves
+the path case by Θ(log n).  The bench runs the Euler-tour rootfix on a path
+(scan layout) against the 1D binary-tree prefix (the prior-work energy
+regime represented by `tree_scan_1d`) and prints both series.
+"""
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.core.scan_baselines import tree_scan_1d
+from repro.machine import Region, SpatialMachine
+from repro.trees import SpatialTree
+
+NODES = [128, 512, 2048, 8192]
+
+
+def _sweep(rng):
+    rows = []
+    for n in NODES:
+        parents = np.concatenate([[0], np.arange(n - 1)])
+        m = SpatialMachine()
+        tree = SpatialTree(m, parents)
+        tree.rootfix_sum(rng.random(n))
+        slots = 2 * n
+        m_tree = SpatialMachine()
+        side = 1
+        while side * side < slots:
+            side *= 2
+        region = Region(0, 0, side, side)
+        tree_scan_1d(m_tree, m_tree.place_rowmajor(rng.random(side * side), region), region)
+        rows.append(
+            {
+                "path nodes": n,
+                "tour slots": slots,
+                "scan-treefix E/slot": m.stats.energy / slots,
+                "1D-tree E/slot": m_tree.stats.energy / (side * side),
+                "scan depth": m.stats.max_depth,
+            }
+        )
+    return rows
+
+
+def test_treefix_path(benchmark, report, rng):
+    rows = benchmark.pedantic(lambda: _sweep(rng), rounds=1, iterations=1)
+    report(
+        render_table(
+            list(rows[0].keys()),
+            [list(r.values()) for r in rows],
+            title="Section II.A — path treefix: Θ(n) via the scan vs Θ(n log n) via 1D trees",
+        )
+    )
+    scan_series = [r["scan-treefix E/slot"] for r in rows]
+    tree_series = [r["1D-tree E/slot"] for r in rows]
+    assert max(scan_series) < 8  # linear energy, flat per slot
+    assert tree_series[-1] > tree_series[0] * 1.4  # the log factor grows
+    report("the scan layout removes the Θ(log n) treefix energy factor on paths.")

@@ -1,0 +1,74 @@
+"""E-2select — Lemma V.6: rank selection in two sorted arrays costs
+O(n^{5/4}) energy, O(log n) depth, O(sqrt(n)) distance, and multiselection
+(the merge's three ranks) shares the sample sort."""
+
+import numpy as np
+
+from repro.analysis import fit_power_law, render_table
+from repro.core.sorting.sortutil import as_sort_payload
+from repro.core.sorting.two_sorted_select import (
+    select_rank_two_sorted,
+    select_ranks_two_sorted,
+)
+from repro.machine import Region, SpatialMachine
+
+HALVES = [64, 256, 1024, 4096]
+
+
+def _sweep(rng):
+    rows = []
+    for half in HALVES:
+        n = 2 * half
+        a = np.sort(rng.standard_normal(half))
+        b = np.sort(rng.standard_normal(half))
+        m = SpatialMachine()
+        A = m.place_rowmajor(as_sort_payload(a), Region(0, 0, 64, 64))
+        B = m.place_rowmajor(as_sort_payload(b), Region(0, 64, 64, 64))
+        s = select_rank_two_sorted(m, A, B, half)
+        merged = np.sort(np.concatenate([a, b]))
+        assert np.allclose(
+            np.sort(np.concatenate([a[: s.cut_a], b[: s.cut_b]])), merged[:half]
+        )
+        ks = [n // 4, n // 2, 3 * n // 4]
+        # shared-sample multiselect of the merge's three ranks ...
+        m3 = SpatialMachine()
+        A3 = m3.place_rowmajor(as_sort_payload(a), Region(0, 0, 64, 64))
+        B3 = m3.place_rowmajor(as_sort_payload(b), Region(0, 64, 64, 64))
+        select_ranks_two_sorted(m3, A3, B3, ks)
+        # ... versus three independent single-rank calls for the same ranks
+        msep = SpatialMachine()
+        As = msep.place_rowmajor(as_sort_payload(a), Region(0, 0, 64, 64))
+        Bs = msep.place_rowmajor(as_sort_payload(b), Region(0, 64, 64, 64))
+        for k in ks:
+            select_rank_two_sorted(msep, As, Bs, k)
+        rows.append(
+            {
+                "n": n,
+                "energy(1 rank)": m.stats.energy,
+                "E/n^1.25": m.stats.energy / n**1.25,
+                "multi(3 ranks)": m3.stats.energy,
+                "3 separate": msep.stats.energy,
+                "multi/separate": m3.stats.energy / msep.stats.energy,
+                "depth": s.depth,
+                "dist/sqrt(n)": s.dist / np.sqrt(n),
+            }
+        )
+    return rows
+
+
+def test_two_sorted_select(benchmark, report, rng):
+    rows = benchmark.pedantic(lambda: _sweep(rng), rounds=1, iterations=1)
+    report(
+        render_table(
+            list(rows[0].keys()),
+            [list(r.values()) for r in rows],
+            title="Lemma V.6 — two-sorted-array rank selection: O(n^1.25) energy",
+        )
+    )
+    ns = np.array([r["n"] for r in rows], dtype=float)
+    fit = fit_power_law(ns[-3:], np.array([r["energy(1 rank)"] for r in rows])[-3:])
+    report(f"energy tail exponent: {fit} (paper: 1.25)")
+    assert 0.9 < fit.exponent < 1.5
+    # sharing the sample sort makes the multiselect strictly cheaper than
+    # three independent selections of the same ranks
+    assert all(r["multi/separate"] < 1.0 for r in rows)

@@ -1,0 +1,42 @@
+"""Shared fixtures for the reproduction benchmark harness.
+
+Every bench regenerates one paper artifact (a Table I row, a figure's
+comparison, or a lemma's cost claim), prints the measured rows live (so they
+land in ``bench_output.txt``) and appends them to ``benchmark_report.txt`` at
+the repo root.  Wall-clock timing via pytest-benchmark is secondary — the
+measured quantities are the model's energy / depth / distance counters.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+import pytest
+
+REPORT_PATH = pathlib.Path(__file__).resolve().parent.parent / "benchmark_report.txt"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _fresh_report():
+    if REPORT_PATH.exists():
+        REPORT_PATH.unlink()
+    yield
+
+
+@pytest.fixture
+def report(capsys):
+    """Print a block of text live (despite capture) and persist it."""
+
+    def emit(text: str) -> None:
+        with capsys.disabled():
+            print(text)
+        with open(REPORT_PATH, "a") as fh:
+            fh.write(text + "\n")
+
+    return emit
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(20250705)

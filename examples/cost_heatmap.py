@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""ASCII heatmaps of per-processor network load: spatial locality made visible.
+
+Traces the energy-optimal 2D scan and the naive 1D binary-tree scan on the
+same 16x16 grid, attributes each message's wire length to its source cell,
+and renders both load profiles.  The 2D scan's load is low and flat (its
+messages stay inside quadrants); the 1D tree concentrates long wires and an
+order of magnitude more total load.
+
+    python examples/cost_heatmap.py
+"""
+
+import numpy as np
+
+from repro import Region, SpatialMachine, scan
+from repro.core.scan_baselines import tree_scan_1d
+
+SIDE = 16
+SHADES = " .:-=+*#%@"
+
+
+def render_heatmap(profile: dict, region: Region, scale_max: int) -> str:
+    lines = []
+    for r in range(region.row, region.row_end):
+        cells = []
+        for c in range(region.col, region.col_end):
+            v = profile.get((r, c), 0)
+            level = min(len(SHADES) - 1, int(v / max(scale_max, 1) * (len(SHADES) - 1)))
+            cells.append(SHADES[level])
+        lines.append(" ".join(cells))
+    return "\n".join(lines)
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    n = SIDE * SIDE
+    region = Region(0, 0, SIDE, SIDE)
+    x = rng.random(n)
+
+    m2d = SpatialMachine(trace=True)
+    res = scan(m2d, m2d.place_zorder(x, region), region)
+    assert np.allclose(res.inclusive.payload, np.cumsum(x))
+    prof2d = m2d.tracer.energy_by_cell("source")
+
+    m1d = SpatialMachine(trace=True)
+    out = tree_scan_1d(m1d, m1d.place_rowmajor(x, region), region)
+    assert np.allclose(out.payload, np.cumsum(x))
+    prof1d = m1d.tracer.energy_by_cell("source")
+
+    scale = max(max(prof2d.values()), max(prof1d.values()))
+    print(f"per-cell energy, shared scale (darkest = {scale} wire units)\n")
+    print(f"2D scan — total energy {m2d.stats.energy}, max cell {max(prof2d.values())}:")
+    print(render_heatmap(prof2d, region, scale))
+    print(f"\n1D binary-tree scan — total energy {m1d.stats.energy}, "
+          f"max cell {max(prof1d.values())}:")
+    print(render_heatmap(prof1d, region, scale))
+    print(
+        f"\nenergy ratio 1D/2D: {m1d.stats.energy / m2d.stats.energy:.2f}x — "
+        "the Θ(log n) factor of Section IV.C, spatially resolved."
+    )
+
+
+if __name__ == "__main__":
+    main()

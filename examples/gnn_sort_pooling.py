@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""A GNN sort-pooling layer on the spatial machine.
+
+The introduction motivates sorting with graph neural networks whose
+SortPooling layer [Zhang et al., AAAI'18] orders node embeddings by a score
+channel and keeps the top-k rows as a fixed-size readout.  This example runs
+one message-passing round (an SpMV per feature channel) followed by a
+SortPooling readout implemented with the energy-optimal 2D Mergesort, with
+feature columns riding along as satellite data.
+
+    python examples/gnn_sort_pooling.py
+"""
+
+import numpy as np
+
+from repro import Region, SpatialMachine, mergesort_2d, spmv_spatial
+from repro.spmv import graph_adjacency_coo
+
+N_NODES = 64
+N_FEATURES = 3
+TOP_K = 10
+
+
+def main() -> None:
+    rng = np.random.default_rng(5)
+    adj = graph_adjacency_coo(N_NODES, rng, kind="ba")
+    feats = rng.standard_normal((N_NODES, N_FEATURES))
+    machine = SpatialMachine()
+
+    # ---- message passing: h' = tanh(A h), one SpMV per channel
+    before = machine.snapshot()
+    hidden = np.empty_like(feats)
+    for c in range(N_FEATURES):
+        y = spmv_spatial(machine, adj, feats[:, c])
+        hidden[:, c] = np.tanh(y.payload)
+    mp_cost = machine.report(before)
+    print(
+        f"message passing ({N_FEATURES} channels): energy={mp_cost.energy}, "
+        f"messages={mp_cost.messages}"
+    )
+
+    # ---- SortPooling: order nodes by the last channel, keep top-k
+    before = machine.snapshot()
+    side = 8
+    region = Region(0, 0, side, side)
+    score = hidden[:, -1]
+    payload = np.concatenate([-score[:, None], hidden], axis=1)  # descending
+    ta = machine.place_rowmajor(payload, region)
+    out = mergesort_2d(machine, ta, region, key_cols=1)
+    pooled = out.payload[:TOP_K, 1:]
+    pool_cost = machine.report(before)
+    print(f"sort pooling: energy={pool_cost.energy}, messages={pool_cost.messages}")
+
+    # ---- verify against NumPy
+    want_order = np.argsort(-score, kind="stable")
+    want = hidden[want_order[:TOP_K]]
+    assert np.allclose(pooled, want)
+
+    print(f"\ntop-{TOP_K} pooled node embeddings (by channel {N_FEATURES - 1} score):")
+    for i, row in enumerate(pooled):
+        print(f"  #{i}: " + "  ".join(f"{v:+.3f}" for v in row))
+    print(
+        f"\ntotal: energy={machine.stats.energy}, depth={machine.stats.max_depth} "
+        f"(polylog in n — the readout never serializes the graph)"
+    )
+
+
+if __name__ == "__main__":
+    main()

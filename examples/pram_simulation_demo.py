@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""PRAM programs on the spatial machine (Section VII).
+
+Runs the tree-sum and prefix-sum EREW programs and the fan-in CRCW program
+through both the reference PRAM VM and the spatial simulations, printing the
+Lemma VII.1 vs VII.2 cost split: EREW steps cost O(1) depth each, CRCW steps
+pay a polylog factor for sort-based concurrency resolution.
+
+    python examples/pram_simulation_demo.py
+"""
+
+import numpy as np
+
+from repro import SpatialMachine
+from repro.pram import (
+    FanInMaxCRCW,
+    PrefixDoublingScanEREW,
+    TreeSumEREW,
+    run_reference,
+    simulate_crcw,
+    simulate_erew,
+)
+
+
+def main() -> None:
+    rng = np.random.default_rng(2)
+    p = 64
+    x = rng.standard_normal(p)
+
+    print(f"p = {p} PRAM processors, {p} memory cells\n")
+
+    # ---- EREW tree sum
+    prog = TreeSumEREW(x)
+    ref, _ = run_reference(prog, "EREW")
+    m = SpatialMachine()
+    mem, _ = simulate_erew(m, TreeSumEREW(x))
+    assert np.allclose(mem.payload, ref)
+    print(
+        f"TreeSumEREW      ({prog.steps} steps): energy={m.stats.energy:>8}  "
+        f"depth={m.stats.max_depth:>4}  (Lemma VII.1: O(T) depth)"
+    )
+
+    # ---- EREW prefix sum
+    prog = PrefixDoublingScanEREW(x)
+    m = SpatialMachine()
+    mem, _ = simulate_erew(m, PrefixDoublingScanEREW(x))
+    assert np.allclose(mem.payload, np.cumsum(x))
+    print(
+        f"PrefixScanEREW   ({prog.steps} steps): energy={m.stats.energy:>8}  "
+        f"depth={m.stats.max_depth:>4}"
+    )
+
+    # ---- CRCW fan-in max (concurrent reads + concurrent writes)
+    v = rng.standard_normal(p)
+    rounds = FanInMaxCRCW.records_needed(v)
+    prog = FanInMaxCRCW(v, rounds=rounds)
+    ref, _ = run_reference(FanInMaxCRCW(v, rounds=rounds), "CRCW")
+    m = SpatialMachine()
+    mem, _ = simulate_crcw(m, prog)
+    assert np.allclose(mem.payload, ref)
+    assert mem.payload[0] == v.max()
+    print(
+        f"FanInMaxCRCW     ({prog.steps} steps): energy={m.stats.energy:>8}  "
+        f"depth={m.stats.max_depth:>4}  (Lemma VII.2: O(T log³ p) depth)"
+    )
+
+    # ---- the same EREW program forced through the CRCW machinery
+    m = SpatialMachine()
+    simulate_crcw(m, TreeSumEREW(x))
+    print(
+        f"TreeSum via CRCW ({TreeSumEREW(x).steps} steps): energy={m.stats.energy:>8}  "
+        f"depth={m.stats.max_depth:>4}  (sorting overhead visible)"
+    )
+
+    print(
+        "\ntakeaway: simulation transfers PRAM algorithms wholesale, but the"
+        "\nsort-based CRCW concurrency resolution costs a polylog depth factor —"
+        "\nwhy Section VIII's direct SpMV beats its own PRAM-simulated variant."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""PageRank on the spatial machine — the graph-algorithms motivation.
+
+The paper's introduction motivates the primitives with sparse workloads on
+graphs.  This example builds a random directed graph, normalizes its
+adjacency into the PageRank transition matrix, and runs power iterations
+where every matrix-vector product is the paper's Section VIII SpMV on the
+Spatial Computer Model.  Because the SpMV's two mergesorts do not depend on
+the vector, the iterations use an :class:`~repro.spmv.planned.SpMVPlan`:
+the sorts are paid once and every subsequent multiply is three orders of
+magnitude cheaper — the iterative-solver regime.
+
+    python examples/spmv_pagerank.py
+"""
+
+import numpy as np
+
+from repro import SpatialMachine, spmv_spatial
+from repro.spmv import plan_spmv
+from repro.spmv.coo import COOMatrix
+
+N_NODES = 64
+DAMPING = 0.85
+ITERATIONS = 8
+
+
+def build_transition(rng) -> COOMatrix:
+    """Random directed graph -> column-stochastic transition matrix."""
+    import networkx as nx
+
+    g = nx.gnp_random_graph(N_NODES, 6.0 / N_NODES, seed=11, directed=True)
+    # every node needs an out-edge for column stochasticity
+    for v in range(N_NODES):
+        if g.out_degree(v) == 0:
+            g.add_edge(v, int(rng.integers(0, N_NODES)))
+    edges = np.asarray(g.edges(), dtype=np.int64)
+    src, dst = edges[:, 0], edges[:, 1]
+    outdeg = np.bincount(src, minlength=N_NODES).astype(np.float64)
+    vals = 1.0 / outdeg[src]
+    # transition matrix T[dst, src] = 1/outdeg(src)
+    return COOMatrix(dst, src, vals, N_NODES)
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+    T = build_transition(rng)
+    print(f"graph: {N_NODES} nodes, {T.nnz} edges")
+
+    rank = np.full(N_NODES, 1.0 / N_NODES)
+    reference = rank.copy()
+    machine = SpatialMachine()
+
+    # plan once: the two Section VIII mergesorts are independent of the
+    # vector, so iterative methods pay them a single time
+    before = machine.snapshot()
+    plan = plan_spmv(machine, T)
+    print(f"plan (2 mergesorts): energy={machine.report(before).energy}")
+
+    for it in range(ITERATIONS):
+        before = machine.snapshot()
+        y = plan.apply(rank)
+        rank = DAMPING * y.payload + (1 - DAMPING) / N_NODES
+        reference = DAMPING * T.multiply_dense(reference) + (1 - DAMPING) / N_NODES
+        assert np.allclose(rank, reference)
+        delta = machine.report(before)
+        print(
+            f"iter {it}: energy={delta.energy:>9}  messages={delta.messages:>7}  "
+            f"|Δrank|={np.abs(rank - reference).max():.2e}"
+        )
+
+    # one unplanned multiply for comparison
+    before = machine.snapshot()
+    spmv_spatial(machine, T, rank)
+    print(f"(unplanned single SpMV for comparison: {machine.report(before).energy})")
+
+    top = np.argsort(rank)[::-1][:5]
+    print("\ntop-5 nodes by PageRank:")
+    for v in top:
+        print(f"  node {v:>3}: {rank[v]:.5f}")
+    print(
+        f"\ntotal spatial cost: energy={machine.stats.energy}, "
+        f"max depth={machine.stats.max_depth}, max distance={machine.stats.max_distance}"
+    )
+    print("every iteration verified against the dense NumPy PageRank update")
+
+
+if __name__ == "__main__":
+    main()

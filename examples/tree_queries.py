@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Treefix queries from one scan each (the Section II.A connection).
+
+Stores a random tree along its Euler tour (the spatially-optimized layout)
+and answers classic treefix queries — depths, root-path sums, subtree sums
+and sizes — each with a single energy-optimal scan.  On a path this is the
+Θ(log n) energy improvement over prior spatial treefix sums that the paper
+claims in Section II.A.
+
+    python examples/tree_queries.py
+"""
+
+import numpy as np
+
+from repro import SpatialMachine
+from repro.trees import SpatialTree
+
+N = 200
+
+
+def main() -> None:
+    rng = np.random.default_rng(13)
+    parents = np.zeros(N, dtype=np.int64)
+    for v in range(1, N):
+        parents[v] = rng.integers(0, v)
+    weights = rng.random(N)
+
+    machine = SpatialMachine()
+    tree = SpatialTree(machine, parents)
+    print(f"tree: {N} nodes, Euler tour of {2 * N} slots on a "
+          f"{tree.region.height}x{tree.region.width} subgrid\n")
+
+    for name, query in (
+        ("depths", lambda: tree.depths()),
+        ("root-path weight", lambda: tree.rootfix_sum(weights)),
+        ("subtree weight", lambda: tree.subtree_sum(weights)),
+        ("subtree size", lambda: tree.subtree_size()),
+    ):
+        before = machine.snapshot()
+        out = query()
+        cost = machine.report(before)
+        print(f"{name:<18} energy={cost.energy:>6}  messages={cost.messages:>6}  "
+              f"sample: {np.round(out[:5], 3).tolist()}")
+
+    # verify a couple of facts
+    depths = tree.depths()
+    sizes = tree.subtree_size()
+    assert depths[0] == 0 and sizes[0] == N
+    assert int(sizes.sum()) == sum(int(d) + 1 for d in depths)  # double count
+    print("\nroot depth 0, root subtree covers all nodes — verified.")
+    print(f"each query = one Θ(n)-energy scan (total energy {machine.stats.energy}).")
+
+
+if __name__ == "__main__":
+    main()

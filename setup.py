@@ -1,0 +1,18 @@
+"""Setup shim.
+
+This environment lacks the ``wheel`` package, so PEP 660 editable installs
+(``pip install -e .`` via the pyproject backend) cannot build. This shim lets
+``pip install -e . --no-use-pep517`` (and plain ``python setup.py develop``)
+work offline; all real metadata lives in pyproject.toml.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24", "scipy>=1.10", "networkx>=3.0"],
+)

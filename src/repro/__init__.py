@@ -1,0 +1,120 @@
+"""repro — Energy-Optimal and Low-Depth Algorithmic Primitives for Spatial
+Dataflow Architectures (Gianinazzi et al., IPDPS/IPPS 2025), reproduced on an
+executable Spatial Computer Model simulator.
+
+Quickstart::
+
+    import numpy as np
+    from repro import SpatialMachine, Region, scan
+
+    machine = SpatialMachine()
+    region = Region(0, 0, 16, 16)
+    data = machine.place_zorder(np.arange(256.0), region)
+    result = scan(machine, data, region)          # energy-optimal prefix sum
+    print(machine.stats.energy)                   # Θ(n)
+    print(result.inclusive.max_depth())           # O(log n)
+
+Package map:
+
+* :mod:`repro.machine` — the Spatial Computer Model substrate (grid, Z-order,
+  cost metering, tracing, layouts);
+* :mod:`repro.core` — the paper's primitives: collectives, scans, sorting,
+  selection;
+* :mod:`repro.pram` — a PRAM virtual machine plus its EREW/CRCW spatial
+  simulations (Section VII);
+* :mod:`repro.spmv` — sparse matrix-vector multiplication, direct and via
+  PRAM simulation (Section VIII);
+* :mod:`repro.trees` — Euler-tour treefix sums from the scan (Section II.A);
+* :mod:`repro.apps` — order statistics and graph kernels built on the
+  public primitives;
+* :mod:`repro.analysis` — exponent fitting, tables, and workload generators
+  for the reproduction harness.
+"""
+
+from .analysis import fit_power_law, make_workload
+from .core import (
+    ADD,
+    MAX,
+    MIN,
+    Monoid,
+    ScanResult,
+    SelectionResult,
+    all_reduce,
+    broadcast,
+    rank_select,
+    reduce,
+    scan,
+    segmented_broadcast,
+    segmented_scan,
+)
+from .core.sorting import (
+    allpairs_sort,
+    bitonic_merge,
+    bitonic_sort,
+    merge_sorted_2d,
+    mergesort_2d,
+    select_rank_two_sorted,
+    select_ranks_two_sorted,
+    sort_values,
+)
+from .machine import (
+    CostReport,
+    MachineStats,
+    Region,
+    SpatialMachine,
+    TrackedArray,
+    zorder_coords,
+    zorder_decode,
+    zorder_encode,
+)
+from .pram import PRAMProgram, run_reference, simulate, simulate_crcw, simulate_erew
+from .spmv import COOMatrix, plan_spmv, random_coo, spmv_pram_simulated, spmv_spatial
+from .trees import SpatialTree
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ADD",
+    "MAX",
+    "MIN",
+    "Monoid",
+    "ScanResult",
+    "SelectionResult",
+    "all_reduce",
+    "broadcast",
+    "rank_select",
+    "reduce",
+    "scan",
+    "segmented_broadcast",
+    "segmented_scan",
+    "allpairs_sort",
+    "bitonic_merge",
+    "bitonic_sort",
+    "merge_sorted_2d",
+    "mergesort_2d",
+    "select_rank_two_sorted",
+    "select_ranks_two_sorted",
+    "sort_values",
+    "CostReport",
+    "MachineStats",
+    "Region",
+    "SpatialMachine",
+    "TrackedArray",
+    "zorder_coords",
+    "zorder_decode",
+    "zorder_encode",
+    "PRAMProgram",
+    "run_reference",
+    "simulate",
+    "simulate_crcw",
+    "simulate_erew",
+    "COOMatrix",
+    "random_coo",
+    "spmv_pram_simulated",
+    "spmv_spatial",
+    "plan_spmv",
+    "SpatialTree",
+    "fit_power_law",
+    "make_workload",
+    "__version__",
+]

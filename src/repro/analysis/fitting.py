@@ -1,0 +1,78 @@
+"""Empirical scaling analysis for the benchmark harness.
+
+The paper's evaluation is its bound table (Table I); since our substrate is a
+simulator rather than the authors' testbed, the reproduction criterion is the
+*shape* of the costs: fitted log-log slopes close to the claimed exponents,
+polylog quantities growing strictly slower than any power, and the
+who-wins ordering between algorithms preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["PowerFit", "fit_power_law", "doubling_ratios", "polylog_consistent"]
+
+
+@dataclass(frozen=True)
+class PowerFit:
+    """Least-squares fit of ``cost ~ constant * n^exponent``."""
+
+    exponent: float
+    constant: float
+    r_squared: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"n^{self.exponent:.3f} (c={self.constant:.3g}, R²={self.r_squared:.4f})"
+
+
+def fit_power_law(ns: np.ndarray, costs: np.ndarray) -> PowerFit:
+    """Fit ``log(cost) = exponent * log(n) + log(constant)``."""
+    ns = np.asarray(ns, dtype=np.float64)
+    costs = np.asarray(costs, dtype=np.float64)
+    if len(ns) < 2:
+        raise ValueError("need at least two points to fit")
+    if (costs <= 0).any() or (ns <= 0).any():
+        raise ValueError("power-law fit needs positive data")
+    lx, ly = np.log(ns), np.log(costs)
+    slope, intercept = np.polyfit(lx, ly, 1)
+    pred = slope * lx + intercept
+    ss_res = float(np.sum((ly - pred) ** 2))
+    ss_tot = float(np.sum((ly - ly.mean()) ** 2))
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return PowerFit(exponent=float(slope), constant=float(np.exp(intercept)), r_squared=r2)
+
+
+def tail_exponent(ns: np.ndarray, costs: np.ndarray, points: int = 3) -> float:
+    """Slope over only the largest ``points`` sizes (sheds small-n noise)."""
+    ns = np.asarray(ns, dtype=np.float64)
+    costs = np.asarray(costs, dtype=np.float64)
+    order = np.argsort(ns)
+    return fit_power_law(ns[order][-points:], costs[order][-points:]).exponent
+
+
+def doubling_ratios(ns: np.ndarray, costs: np.ndarray) -> list[tuple[float, float]]:
+    """``(n_{i+1}/n_i, cost_{i+1}/cost_i)`` pairs, for ratio tables."""
+    ns = np.asarray(ns, dtype=np.float64)
+    costs = np.asarray(costs, dtype=np.float64)
+    return [
+        (float(ns[i + 1] / ns[i]), float(costs[i + 1] / costs[i]))
+        for i in range(len(ns) - 1)
+    ]
+
+
+def polylog_consistent(ns: np.ndarray, costs: np.ndarray, max_power: float = 0.35) -> bool:
+    """Heuristic check that ``costs`` grows like a polylog, not a power.
+
+    A polylog's log-log slope tends to 0; we accept when the slope over the
+    larger half of the sweep is below ``max_power`` (log^3 over practical
+    ranges shows slopes around 0.2-0.3).
+    """
+    ns = np.asarray(ns, dtype=np.float64)
+    costs = np.asarray(costs, dtype=np.float64)
+    order = np.argsort(ns)
+    half = max(2, len(ns) // 2)
+    fit = fit_power_law(ns[order][-half:], costs[order][-half:])
+    return fit.exponent < max_power

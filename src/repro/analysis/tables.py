@@ -1,0 +1,45 @@
+"""Plain-text table rendering for the benchmark harness output.
+
+Every bench prints the rows/series of the paper artifact it regenerates;
+these helpers keep that output uniform and diff-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["render_table", "banner"]
+
+
+def banner(title: str) -> str:
+    bar = "=" * max(len(title), 8)
+    return f"\n{bar}\n{title}\n{bar}"
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str | None = None
+) -> str:
+    """Render an aligned monospace table."""
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in cells)) if cells else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(banner(title))
+    lines.append("  ".join(h.rjust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in cells:
+        lines.append("  ".join(r[i].rjust(widths[i]) for i in range(len(headers))))
+    return "\n".join(lines)
+
+
+def _fmt(c: object) -> str:
+    if isinstance(c, float):
+        if c == 0:
+            return "0"
+        if abs(c) >= 1e5 or abs(c) < 1e-3:
+            return f"{c:.3g}"
+        return f"{c:.3f}".rstrip("0").rstrip(".")
+    return str(c)

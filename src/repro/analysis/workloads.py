@@ -1,0 +1,30 @@
+"""Shared input generators for tests and benchmarks.
+
+The paper's algorithms are comparison-based and data-oblivious in costs
+except for the randomized selection, but constants and tie behaviour depend
+on the value distribution; the sweeps therefore cover uniform, adversarial
+(reversed), already-sorted, few-distinct (tie-heavy), and Zipf-skewed inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["make_workload", "WORKLOADS"]
+
+WORKLOADS = ("uniform", "reversed", "sorted", "few_distinct", "zipf")
+
+
+def make_workload(kind: str, n: int, rng: np.random.Generator) -> np.ndarray:
+    """Generate ``n`` float64 values of the given workload ``kind``."""
+    if kind == "uniform":
+        return rng.random(n)
+    if kind == "reversed":
+        return np.arange(n, 0, -1, dtype=np.float64)
+    if kind == "sorted":
+        return np.arange(n, dtype=np.float64)
+    if kind == "few_distinct":
+        return rng.integers(0, max(2, n // 64), n).astype(np.float64)
+    if kind == "zipf":
+        return rng.zipf(1.5, n).astype(np.float64)
+    raise ValueError(f"unknown workload kind {kind!r}")

@@ -1,0 +1,24 @@
+"""Applications composed from the public primitives: order statistics
+(Section VI motivation) and graph kernels (introduction's motivation)."""
+
+from .graph import bfs_distances, connected_components, degree_table
+from .statistics import (
+    interquartile_range,
+    median,
+    median_absolute_deviation,
+    quantile,
+    top_k,
+    trimmed_mean,
+)
+
+__all__ = [
+    "bfs_distances",
+    "connected_components",
+    "degree_table",
+    "interquartile_range",
+    "median",
+    "median_absolute_deviation",
+    "quantile",
+    "top_k",
+    "trimmed_mean",
+]

@@ -1,0 +1,215 @@
+"""Command-line interface: quick cost measurements without writing code.
+
+    python -m repro scan --n 4096
+    python -m repro sort --n 1024 --workload reversed
+    python -m repro select --n 4096 --k 100 --seed 3
+    python -m repro spmv --n 64 --density 4
+    python -m repro table1 --quick
+
+Each subcommand runs the primitive on the Spatial Computer simulator and
+prints the measured energy / depth / distance next to the paper's bound.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from .analysis import make_workload, render_table
+from .core.scan import scan
+from .core.selection import rank_select
+from .core.sorting.mergesort2d import sort_values
+from .machine import Region, SpatialMachine
+from .spmv import random_coo, spmv_spatial
+
+__all__ = ["main"]
+
+
+def _square_for(n: int) -> Region:
+    side = 1
+    while side * side < n:
+        side *= 2
+    if side * side != n:
+        raise SystemExit(f"--n must be a power of 4, got {n}")
+    return Region(0, 0, side, side)
+
+
+def _cmd_scan(args) -> int:
+    region = _square_for(args.n)
+    rng = np.random.default_rng(args.seed)
+    x = make_workload(args.workload, args.n, rng)
+    m = SpatialMachine()
+    res = scan(m, m.place_zorder(x, region), region)
+    assert np.allclose(res.inclusive.payload, np.cumsum(x))
+    _print_costs("parallel scan", "Θ(n) E, O(log n) D", m,
+                 res.inclusive.max_depth(), res.inclusive.max_dist())
+    return 0
+
+
+def _cmd_sort(args) -> int:
+    region = _square_for(args.n)
+    rng = np.random.default_rng(args.seed)
+    x = make_workload(args.workload, args.n, rng)
+    m = SpatialMachine()
+    if args.algorithm == "merge":
+        out = sort_values(m, x, region)
+        name, bound = "2D mergesort", "Θ(n^1.5) E, O(log³ n) D"
+        got = out.payload[:, 0]
+    elif args.algorithm == "quick":
+        from .core.sorting.quicksort2d import quicksort_2d
+
+        out = quicksort_2d(m, x, region, rng)
+        name, bound = "2D quicksort", "Θ(n^1.5) E w.h.p., polylog D"
+        got = out.payload
+    elif args.algorithm == "bitonic":
+        from .core.sorting.bitonic import bitonic_sort
+        from .core.sorting.sortutil import as_sort_payload
+
+        out = bitonic_sort(m, m.place_rowmajor(as_sort_payload(x), region), region)
+        name, bound = "bitonic network", "Θ(n^1.5 log n) E, Θ(log² n) D"
+        got = out.payload[:, 0]
+    elif args.algorithm == "oddeven":
+        from .core.sorting.odd_even import odd_even_mergesort
+        from .core.sorting.sortutil import as_sort_payload
+
+        out = odd_even_mergesort(m, m.place_rowmajor(as_sort_payload(x), region), region)
+        name, bound = "odd-even network", "Θ(n^1.5 log n) E, Θ(log² n) D"
+        got = out.payload[:, 0]
+    else:  # shear
+        from .core.sorting.mesh_sort import shearsort
+        from .core.sorting.sortutil import as_sort_payload
+
+        out = shearsort(m, m.place_rowmajor(as_sort_payload(x), region), region)
+        name, bound = "shearsort (mesh)", "Θ(n^1.5 log n) E, Θ(√n log n) D"
+        got = out.payload[:, 0]
+    assert np.allclose(got, np.sort(x))
+    _print_costs(name, bound, m, out.max_depth(), out.max_dist())
+    return 0
+
+
+def _cmd_select(args) -> int:
+    region = _square_for(args.n)
+    rng = np.random.default_rng(args.seed)
+    x = make_workload(args.workload, args.n, rng)
+    k = args.k if args.k else args.n // 2
+    m = SpatialMachine()
+    res = rank_select(m, m.place_zorder(x, region), region, k, rng)
+    assert res.value == np.sort(x)[k - 1]
+    _print_costs(f"rank select (k={k})", "Θ(n) E, O(log² n) D w.h.p.", m,
+                 m.stats.max_depth, m.stats.max_distance)
+    print(f"  iterations={res.iterations} fallback={res.fell_back} value={res.value:.6g}")
+    return 0
+
+
+def _cmd_spmv(args) -> int:
+    rng = np.random.default_rng(args.seed)
+    A = random_coo(args.n, args.density * args.n, rng)
+    x = rng.standard_normal(args.n)
+    m = SpatialMachine()
+    y = spmv_spatial(m, A, x)
+    assert np.allclose(y.payload, A.multiply_dense(x))
+    _print_costs(f"SpMV (n={args.n}, m={A.nnz})", "Θ(m^1.5) E, O(log³ n) D", m,
+                 m.stats.max_depth, m.stats.max_distance)
+    return 0
+
+
+def _cmd_table1(args) -> int:
+    rng = np.random.default_rng(args.seed)
+    sizes = (64, 256, 1024) if args.quick else (64, 256, 1024, 4096)
+    rows = []
+    for n in sizes:
+        region = _square_for(n)
+        x = rng.standard_normal(n)
+
+        m1 = SpatialMachine()
+        r = scan(m1, m1.place_zorder(x, region), region)
+        m2 = SpatialMachine()
+        s = sort_values(m2, x, region)
+        m3 = SpatialMachine()
+        rank_select(m3, m3.place_zorder(x, region), region, n // 2, rng)
+        A = random_coo(int(np.sqrt(n)) * 2, n // 2, rng)
+        m4 = SpatialMachine()
+        spmv_spatial(m4, A, rng.standard_normal(A.n))
+        rows.append(
+            [
+                n,
+                m1.stats.energy,
+                r.inclusive.max_depth(),
+                m2.stats.energy,
+                s.max_depth(),
+                m3.stats.energy,
+                m3.stats.max_depth,
+                m4.stats.energy,
+                m4.stats.max_depth,
+            ]
+        )
+    print(
+        render_table(
+            ["n", "scan E", "scan D", "sort E", "sort D", "sel E", "sel D",
+             "spmv E", "spmv D"],
+            rows,
+            title="Table I measured (E = energy, D = depth)",
+        )
+    )
+    return 0
+
+
+def _print_costs(name: str, bound: str, m: SpatialMachine, depth: int, dist: int) -> None:
+    print(f"{name}: energy={m.stats.energy} messages={m.stats.messages} "
+          f"depth={depth} distance={dist}")
+    print(f"  paper bound: {bound}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(prog="repro", description=__doc__,
+                                formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = p.add_subparsers(dest="command", required=True)
+
+    def common(sp, default_n=1024):
+        sp.add_argument("--n", type=int, default=default_n, help="input size (power of 4)")
+        sp.add_argument("--seed", type=int, default=0)
+        sp.add_argument("--workload", default="uniform",
+                        choices=("uniform", "reversed", "sorted", "few_distinct", "zipf"))
+
+    sp = sub.add_parser("scan", help="energy-optimal parallel scan (§IV.C)")
+    common(sp, 4096)
+    sp.set_defaults(func=_cmd_scan)
+
+    sp = sub.add_parser("sort", help="sorting algorithms (§V and extensions)")
+    common(sp, 1024)
+    sp.add_argument(
+        "--algorithm",
+        default="merge",
+        choices=("merge", "quick", "bitonic", "oddeven", "shear"),
+        help="2D mergesort (default), selection quicksort, the two Batcher "
+        "networks, or the mesh shearsort baseline",
+    )
+    sp.set_defaults(func=_cmd_sort)
+
+    sp = sub.add_parser("select", help="randomized rank selection (§VI)")
+    common(sp, 4096)
+    sp.add_argument("--k", type=int, default=0, help="1-based rank (default: median)")
+    sp.set_defaults(func=_cmd_select)
+
+    sp = sub.add_parser("spmv", help="sparse matrix-vector product (§VIII)")
+    sp.add_argument("--n", type=int, default=64, help="matrix dimension")
+    sp.add_argument("--density", type=int, default=4, help="nonzeros per row (approx)")
+    sp.add_argument("--seed", type=int, default=0)
+    sp.set_defaults(func=_cmd_spmv)
+
+    sp = sub.add_parser("table1", help="the whole Table I sweep")
+    sp.add_argument("--quick", action="store_true", help="smaller sizes")
+    sp.add_argument("--seed", type=int, default=0)
+    sp.set_defaults(func=_cmd_table1)
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

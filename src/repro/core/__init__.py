@@ -1,0 +1,38 @@
+"""The paper's algorithmic contributions (Sections IV-VI).
+
+* :mod:`collectives` — multicast-free broadcast / reduce / all-reduce;
+* :mod:`scan` — the energy-optimal parallel (and segmented) scan;
+* :mod:`scan_baselines` — sequential and 1D binary-tree scans;
+* :mod:`sorting` — bitonic, all-pairs, 2D merge(sort), mesh baseline, bounds;
+* :mod:`selection` — randomized linear-energy rank selection;
+* :mod:`ops` — monoids and segmented operators.
+"""
+
+from .collectives import all_reduce, broadcast, broadcast_1d, broadcast_2d, reduce, reduce_2d
+from .ops import ADD, MAX, MIN, Monoid, segmented
+from .scan import ScanResult, scan, scan_any, segmented_broadcast, segmented_scan
+from .scan_baselines import sequential_scan, tree_scan_1d
+from .selection import SelectionResult, rank_select
+
+__all__ = [
+    "all_reduce",
+    "broadcast",
+    "broadcast_1d",
+    "broadcast_2d",
+    "reduce",
+    "reduce_2d",
+    "ADD",
+    "MAX",
+    "MIN",
+    "Monoid",
+    "segmented",
+    "ScanResult",
+    "scan",
+    "scan_any",
+    "segmented_broadcast",
+    "segmented_scan",
+    "sequential_scan",
+    "tree_scan_1d",
+    "SelectionResult",
+    "rank_select",
+]

@@ -1,0 +1,114 @@
+"""Blocked-memory extension (paper, Section I.D future work).
+
+The paper assumes O(1) words per processing element and names the
+generalization to larger local memories as future work: "A promising
+direction ... is to generalize our algorithms for cases where local memory
+constitutes a significant fraction of total memory, which would be
+beneficial for systems with fewer processing elements."
+
+This module implements that generalization for the scan: ``n`` elements are
+distributed in blocks of ``B`` onto ``n/B`` processors (a
+``sqrt(n/B) x sqrt(n/B)`` subgrid in Z-order).  A blocked scan then runs
+
+1. a free local prefix sum inside every block (local compute costs nothing
+   in the model),
+2. the Section IV.C energy-optimal scan over the ``n/B`` block totals,
+3. a free local fix-up adding each block's exclusive prefix.
+
+Costs: the grid shrinks by ``B``, so energy drops to ``Θ(n/B)`` and distance
+to ``Θ(sqrt(n/B))`` while depth stays ``O(log(n/B))`` — the block size is a
+pure win for communication at the price of processor count (and of the O(B)
+sequential local work the model does not charge).  The ablation bench
+``bench_ablation_blocked_scan.py`` sweeps ``B`` and verifies the 1/B energy
+law, quantifying how much communication a "fatter" PE buys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..machine.geometry import Region
+from ..machine.machine import SpatialMachine, TrackedArray
+from .ops import ADD, Monoid
+from .scan import ScanResult, scan
+
+__all__ = ["blocked_scan", "BlockedScanResult", "blocks_region"]
+
+
+@dataclass
+class BlockedScanResult:
+    """Result of a blocked scan.
+
+    ``prefix`` is the full inclusive prefix over all ``n`` logical elements
+    (NumPy array in input order); ``block_scan`` is the underlying spatial
+    scan over block totals, whose TrackedArrays carry the measured metadata.
+    """
+
+    prefix: np.ndarray
+    block_scan: ScanResult
+
+    def max_depth(self) -> int:
+        return self.block_scan.inclusive.max_depth()
+
+    def max_dist(self) -> int:
+        return self.block_scan.inclusive.max_dist()
+
+
+def blocks_region(n: int, block: int, row: int = 0, col: int = 0) -> Region:
+    """The square subgrid hosting ``n/block`` blocks (must be a power of 4)."""
+    if n % block:
+        raise ValueError(f"block size {block} does not divide n={n}")
+    nblocks = n // block
+    side = 1
+    while side * side < nblocks:
+        side *= 2
+    if side * side != nblocks:
+        raise ValueError(f"n/block = {nblocks} must be a power of 4")
+    return Region(row, col, side, side)
+
+
+def blocked_scan(
+    machine: SpatialMachine,
+    values: np.ndarray,
+    block: int,
+    monoid: Monoid = ADD,
+    region: Region | None = None,
+) -> BlockedScanResult:
+    """Inclusive prefix-``monoid`` of ``values`` with ``block`` words per PE.
+
+    ``values`` is a 1-D array whose length is ``block * 4^k``; consecutive
+    runs of ``block`` elements live on one processor.  With ``block == 1``
+    this degenerates to the plain Section IV.C scan.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    n = len(values)
+    if region is None:
+        region = blocks_region(n, block)
+    nblocks = n // block
+    chunks = values.reshape(nblocks, block)
+
+    if monoid.op is np.add:
+        local = np.cumsum(chunks, axis=1)
+    elif monoid.op is np.maximum:
+        local = np.maximum.accumulate(chunks, axis=1)
+    elif monoid.op is np.minimum:
+        local = np.minimum.accumulate(chunks, axis=1)
+    else:
+        local = np.empty_like(chunks)
+        local[:, 0] = chunks[:, 0]
+        for j in range(1, block):
+            local[:, j] = monoid(local[:, j - 1], chunks[:, j])
+
+    totals = machine.place_zorder(local[:, -1].copy(), region)
+    block_scan = scan(machine, totals, region, monoid)
+
+    carry = block_scan.exclusive.payload.reshape(nblocks, 1)
+    if monoid.op in (np.add, np.maximum, np.minimum):
+        prefix = monoid(np.broadcast_to(carry, local.shape), local)
+    else:
+        prefix = np.empty_like(local)
+        for j in range(block):
+            prefix[:, j] = monoid(carry[:, 0], local[:, j])
+    return BlockedScanResult(prefix=prefix.reshape(n), block_scan=block_scan)

@@ -1,0 +1,326 @@
+"""Communication collectives without multicasting (paper, Section IV.A-B).
+
+* ``broadcast`` — value at the top-left corner reaches every processor of an
+  ``h x w`` subgrid in ``O(hw + h log h)`` energy, ``O(log n)`` depth and
+  ``O(w + h)`` distance (Lemma IV.1).  Square grids use the recursive
+  quadrant-corner scheme; tall grids first run a binary-tree broadcast down
+  the first column and then a square broadcast inside each ``w x w`` block.
+* ``reduce`` — the exact reverse communication pattern (Corollary IV.2).
+* ``all_reduce`` — reduce followed by broadcast; used by the randomized
+  selection of Section VI.
+
+On a square subgrid this is a ``Θ(log n)``-factor energy improvement over the
+``O(log n)``-depth binary-tree reduce of prior work, which we implement in
+:mod:`repro.core.scan_baselines` for the head-to-head bench.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..machine.geometry import Region
+from ..machine.machine import SpatialMachine, TrackedArray, concat_tracked
+from ..machine.zorder import is_power_of_two, zorder_encode
+from .ops import Monoid
+
+__all__ = [
+    "broadcast",
+    "broadcast_1d",
+    "broadcast_2d",
+    "reduce",
+    "reduce_2d",
+    "all_reduce",
+]
+
+
+# ----------------------------------------------------------------------
+# broadcast
+# ----------------------------------------------------------------------
+def broadcast_2d(machine: SpatialMachine, value: TrackedArray, region: Region) -> TrackedArray:
+    """Recursive quadrant broadcast on a square power-of-two region.
+
+    ``value`` must be a batch of corner values: one value per ``region``-sized
+    block, each located at its block's top-left corner.  (Passing a single
+    length-1 value at ``region.corner()`` is the common case; the batched form
+    lets the general ``h x w`` broadcast run all blocks in lockstep.)
+    Returns one value per covered cell.
+    """
+    side = region.width
+    if region.height != side or not is_power_of_two(side):
+        raise ValueError(f"broadcast_2d needs a square power-of-two region, got {region}")
+    cur = value
+    s = side
+    while s > 1:
+        half = s // 2
+        parts = [cur]
+        for dr, dc in ((0, half), (half, 0), (half, half)):
+            parts.append(machine.send(cur, cur.rows + dr, cur.cols + dc))
+        cur = concat_tracked(parts)
+        s = half
+    return cur
+
+
+def broadcast_1d(machine: SpatialMachine, value: TrackedArray, region: Region) -> TrackedArray:
+    """Binary-tree broadcast along a 1-wide (or 1-tall) region.
+
+    The root keeps the value, hands it to the neighbour at offset 1 (which
+    roots the first half of the remainder) and to the node after that half
+    (which roots the second half); both subtrees recurse (paper, Section IV.A).
+    Output values are returned in linear-index order.
+    """
+    if region.width != 1 and region.height != 1:
+        raise ValueError(f"broadcast_1d needs a 1-wide or 1-tall region, got {region}")
+    n = region.size
+    vertical = region.width == 1
+
+    def coords(idx: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        if vertical:
+            return region.row + idx, np.full_like(idx, region.col)
+        return np.full_like(idx, region.row), region.col + idx
+
+    received: list[TrackedArray] = [value]
+    indices: list[np.ndarray] = [np.zeros(1, dtype=np.int64)]
+    lo = np.zeros(1, dtype=np.int64)
+    hi = np.full(1, n - 1, dtype=np.int64)
+    frontier = value
+    while True:
+        rem = hi - lo
+        active = rem > 0
+        if not active.any():
+            break
+        lo_a, hi_a, f_a = lo[active], hi[active], frontier[active]
+        s1 = (rem[active] + 1) // 2  # first subtree size (ceil)
+
+        child_a = lo_a + 1
+        a_vals = machine.send(f_a, *coords(child_a))
+        new_lo = [child_a]
+        new_hi = [lo_a + s1]
+        new_frontier = [a_vals]
+        received.append(a_vals)
+        indices.append(child_a)
+
+        has_b = lo_a + s1 + 1 <= hi_a
+        if has_b.any():
+            child_b = (lo_a + s1 + 1)[has_b]
+            b_vals = machine.send(f_a[has_b], *coords(child_b))
+            new_lo.append(child_b)
+            new_hi.append(hi_a[has_b])
+            new_frontier.append(b_vals)
+            received.append(b_vals)
+            indices.append(child_b)
+
+        lo = np.concatenate(new_lo)
+        hi = np.concatenate(new_hi)
+        frontier = concat_tracked(new_frontier)
+
+    out = concat_tracked(received)
+    order = np.argsort(np.concatenate(indices), kind="stable")
+    return out[order]
+
+
+def broadcast(machine: SpatialMachine, value: TrackedArray, region: Region) -> TrackedArray:
+    """General ``h x w`` broadcast from the region's top-left corner.
+
+    Sides must be powers of two.  Returns one value per cell in row-major
+    order of the region.
+    """
+    h, w = region.height, region.width
+    if not (is_power_of_two(h) and is_power_of_two(w)):
+        raise ValueError(f"broadcast needs power-of-two sides, got {region}")
+    if len(value) != 1:
+        raise ValueError("broadcast expects a single root value")
+    if h == w:
+        out = broadcast_2d(machine, value, region)
+        return _order_rowmajor(out, region)
+    if h > w:
+        col0 = Region(region.row, region.col, h, 1)
+        colvals = broadcast_1d(machine, value, col0)
+        corner_idx = np.arange(0, h, w, dtype=np.int64)
+        corners = colvals[corner_idx]
+        out = broadcast_2d(machine, corners, Region(region.row, region.col, w, w))
+        return _order_rowmajor(out, region)
+    # wide case: mirror along the first row
+    row0 = Region(region.row, region.col, 1, w)
+    rowvals = broadcast_1d(machine, value, row0)
+    corner_idx = np.arange(0, w, h, dtype=np.int64)
+    corners = rowvals[corner_idx]
+    out = broadcast_2d(machine, corners, Region(region.row, region.col, h, h))
+    return _order_rowmajor(out, region)
+
+
+def _order_rowmajor(ta: TrackedArray, region: Region) -> TrackedArray:
+    """Reorder bookkeeping so entry i sits at the i-th row-major cell (free)."""
+    idx = region.rowmajor_index(ta.rows, ta.cols)
+    order = np.argsort(idx, kind="stable")
+    return ta[order]
+
+
+# ----------------------------------------------------------------------
+# reduce
+# ----------------------------------------------------------------------
+def reduce_2d(
+    machine: SpatialMachine, ta: TrackedArray, region: Region, monoid: Monoid
+) -> TrackedArray:
+    """Quadrant-tree reduce on one or more square blocks (reverse broadcast).
+
+    ``ta`` holds one value per cell.  If it covers several equal square blocks
+    they are reduced in lockstep; entries must then be grouped block-by-block.
+    Combination order inside each block follows the Z-order, so any
+    associative (not necessarily commutative) monoid is supported.
+    Returns one value per block, located at the block corner.
+    """
+    side = region.width
+    if region.height != side or not is_power_of_two(side):
+        raise ValueError(f"reduce_2d needs square power-of-two blocks, got {region}")
+    block = side * side
+    if len(ta) % block:
+        raise ValueError(f"{len(ta)} values is not a multiple of block size {block}")
+
+    # order each block's entries along its Z-curve (local bookkeeping)
+    nblocks = len(ta) // block
+    block_ids = np.repeat(np.arange(nblocks, dtype=np.int64), block)
+    # block-local Z index from modular coordinates
+    z_local = zorder_encode((ta.rows - region.row) % side, (ta.cols - region.col) % side)
+    order = np.lexsort((z_local, block_ids))
+    cur = ta[order]
+
+    remaining = block
+    while remaining > 1:
+        c0, c1, c2, c3 = cur[0::4], cur[1::4], cur[2::4], cur[3::4]
+        r1 = machine.send(c1, c0.rows, c0.cols)
+        r2 = machine.send(c2, c0.rows, c0.cols)
+        r3 = machine.send(c3, c0.rows, c0.cols)
+        payload = monoid(monoid(monoid(c0.payload, r1.payload), r2.payload), r3.payload)
+        cur = c0.combined_with(r1, r2, r3, payload=payload)
+        remaining //= 4
+    return cur
+
+
+def reduce(
+    machine: SpatialMachine,
+    ta: TrackedArray,
+    region: Region,
+    monoid: Monoid,
+) -> TrackedArray:
+    """General ``h x w`` reduce to the top-left corner (Corollary IV.2).
+
+    ``ta`` must hold exactly one value per cell of ``region`` (any entry
+    order).  Non-commutative monoids are combined in row-major block order /
+    Z-order within blocks, i.e. a fixed deterministic order.
+    """
+    h, w = region.height, region.width
+    if not (is_power_of_two(h) and is_power_of_two(w)):
+        raise ValueError(f"reduce needs power-of-two sides, got {region}")
+    if len(ta) != region.size:
+        raise ValueError(f"reduce expects one value per cell ({region.size}), got {len(ta)}")
+    if h == w:
+        return reduce_2d(machine, _order_block_rowmajor(ta, region, w), region, monoid)
+
+    if h > w:
+        # square-block reduce within each w x w block, then a column tree
+        ta = _order_block_rowmajor(ta, region, w)
+        blocks = reduce_2d(machine, ta, Region(region.row, region.col, w, w), monoid)
+        col0 = Region(region.row, region.col, h, 1)
+        return _tree_reduce_1d(machine, blocks, col0, stride=w, monoid=monoid)
+    # wide case: blocks along the first row
+    ta = _order_block_rowmajor(ta, region, h)
+    blocks = reduce_2d(machine, ta, Region(region.row, region.col, h, h), monoid)
+    row0 = Region(region.row, region.col, 1, w)
+    return _tree_reduce_1d(machine, blocks, row0, stride=h, monoid=monoid)
+
+
+def _order_block_rowmajor(ta: TrackedArray, region: Region, side: int) -> TrackedArray:
+    """Group entries by their square block (blocks tile along the long axis)."""
+    if region.height >= region.width:
+        block_ids = (ta.rows - region.row) // side
+    else:
+        block_ids = (ta.cols - region.col) // side
+    order = np.argsort(block_ids, kind="stable")
+    return ta[order]
+
+
+def _tree_reduce_1d(
+    machine: SpatialMachine,
+    blocks: TrackedArray,
+    line: Region,
+    stride: int,
+    monoid: Monoid,
+) -> TrackedArray:
+    """Reverse of :func:`broadcast_1d` over block corners spaced ``stride`` apart.
+
+    Only every ``stride``-th cell of ``line`` holds a block sum; the remaining
+    tree nodes act as relays contributing the identity, exactly mirroring the
+    broadcast tree's edges (and hence its energy/depth/distance).
+    """
+    n = line.size
+    vertical = line.width == 1
+
+    def coords(idx: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        if vertical:
+            return line.row + idx, np.full_like(idx, line.col)
+        return np.full_like(idx, line.row), line.col + idx
+
+    # plan the broadcast tree levels (pure index arithmetic, no messages)
+    levels: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+    lo = np.zeros(1, dtype=np.int64)
+    hi = np.full(1, n - 1, dtype=np.int64)
+    while True:
+        rem = hi - lo
+        active = rem > 0
+        if not active.any():
+            break
+        lo_a, hi_a = lo[active], hi[active]
+        s1 = (rem[active] + 1) // 2
+        child_a = lo_a + 1
+        child_b_full = lo_a + s1 + 1
+        has_b = child_b_full <= hi_a
+        child_b = np.where(has_b, child_b_full, -1)
+        levels.append((lo_a, child_a, child_b))
+        lo = np.concatenate([child_a, child_b_full[has_b]])
+        hi = np.concatenate([lo_a + s1, hi_a[has_b]])
+
+    # accumulator over all n line cells: block sums or identity
+    acc_payload = monoid.identity(n, like=blocks.payload)
+    acc_rows, acc_cols = coords(np.arange(n, dtype=np.int64))
+    acc_depth = np.zeros(n, dtype=np.int64)
+    acc_dist = np.zeros(n, dtype=np.int64)
+    block_idx = np.arange(0, n, stride, dtype=np.int64)
+    acc_payload[block_idx] = blocks.payload
+    acc_depth[block_idx] = blocks.depth
+    acc_dist[block_idx] = blocks.dist
+    acc = TrackedArray(machine, acc_payload, acc_rows, acc_cols, acc_depth, acc_dist)
+
+    def scatter(idx: np.ndarray, sub: TrackedArray) -> None:
+        acc.payload[idx] = sub.payload
+        acc.depth[idx] = sub.depth
+        acc.dist[idx] = sub.dist
+
+    for parents, child_a, child_b in reversed(levels):
+        a = machine.send(acc[child_a], *coords(parents))
+        p = acc[parents]
+        payload = monoid(p.payload, a.payload)
+        combined = p.combined_with(a, payload=payload)
+        has_b = child_b >= 0
+        if has_b.any():
+            pb = parents[has_b]
+            b = machine.send(acc[child_b[has_b]], *coords(pb))
+            cb = combined[has_b]
+            payload_b = monoid(cb.payload, b.payload)
+            merged_b = cb.combined_with(b, payload=payload_b)
+            scatter(pb, merged_b)
+            scatter(parents[~has_b], combined[~has_b])
+        else:
+            scatter(parents, combined)
+    return acc[np.zeros(1, dtype=np.int64)]
+
+
+def all_reduce(
+    machine: SpatialMachine, ta: TrackedArray, region: Region, monoid: Monoid
+) -> TrackedArray:
+    """Reduce to the corner then broadcast back: every cell learns the total.
+
+    Returns one value per cell in row-major order (Section VI uses this to
+    count active elements).
+    """
+    total = reduce(machine, ta, region, monoid)
+    return broadcast(machine, total, region)

@@ -1,0 +1,106 @@
+"""Associative operators for scans and reductions.
+
+A :class:`Monoid` bundles a vectorized associative binary operation with its
+identity element.  Scans additionally exploit *segmented* monoids (paper,
+Section IV.C): for any associative ``op`` there is an associative operator on
+``(flag, value)`` pairs whose scan restarts at every flagged position, which
+lets the very same up-sweep/down-sweep algorithm compute segmented scans.
+
+Segmented payloads are ``(n, 2)`` float64 arrays with column 0 the segment
+flag (0.0 / 1.0) and column 1 the value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+__all__ = [
+    "Monoid",
+    "ADD",
+    "MAX",
+    "MIN",
+    "segmented",
+    "pack_segmented",
+    "unpack_segmented",
+]
+
+
+@dataclass(frozen=True)
+class Monoid:
+    """A vectorized associative operation with identity.
+
+    ``op(a, b)`` must accept equal-shape NumPy arrays and be elementwise
+    associative.  ``commutative`` is informational (reductions may reorder
+    operands only when it is set).
+    """
+
+    name: str
+    op: Callable[[np.ndarray, np.ndarray], np.ndarray]
+    identity_scalar: object
+    commutative: bool = True
+
+    def identity(self, n: int, like: np.ndarray | None = None) -> np.ndarray:
+        """``n`` copies of the identity, shaped like ``like`` rows if given."""
+        if like is not None and like.ndim > 1:
+            out = np.empty((n,) + like.shape[1:], dtype=like.dtype)
+            out[:] = self.identity_scalar
+            return out
+        dtype = like.dtype if like is not None else np.float64
+        return np.full(n, self.identity_scalar, dtype=dtype)
+
+    def __call__(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return self.op(a, b)
+
+
+ADD = Monoid("add", np.add, 0.0, commutative=True)
+MAX = Monoid("max", np.maximum, -np.inf, commutative=True)
+MIN = Monoid("min", np.minimum, np.inf, commutative=True)
+
+
+def pack_segmented(flags: np.ndarray, values: np.ndarray) -> np.ndarray:
+    """Pack ``(flags, values)`` into the (n, 2) segmented payload format."""
+    out = np.empty((len(values), 2), dtype=np.float64)
+    out[:, 0] = np.asarray(flags, dtype=np.float64)
+    out[:, 1] = np.asarray(values, dtype=np.float64)
+    return out
+
+
+def unpack_segmented(payload: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Inverse of :func:`pack_segmented`: returns ``(flags, values)``."""
+    return payload[:, 0] != 0.0, payload[:, 1]
+
+
+def segmented(base: Monoid) -> Monoid:
+    """The segmented operator for ``base`` (Blelloch's construction).
+
+    ``(fa, a) * (fb, b) = (fa | fb,  b if fb else a op b)`` — associative but
+    **not** commutative, so scans must combine strictly left-to-right (our
+    scan does; see :mod:`repro.core.scan`).
+    """
+
+    def op(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        fa, a = x[..., 0], x[..., 1]
+        fb, b = y[..., 0], y[..., 1]
+        out = np.empty(np.broadcast(x, y).shape, dtype=np.float64)
+        out[..., 0] = np.maximum(fa, fb)
+        out[..., 1] = np.where(fb != 0.0, b, base.op(a, b))
+        return out
+
+    # identity = (no flag, base identity)
+    ident = np.array([0.0, base.identity_scalar], dtype=np.float64)
+
+    class _SegMonoid(Monoid):
+        def identity(self, n: int, like: np.ndarray | None = None) -> np.ndarray:
+            out = np.empty((n, 2), dtype=np.float64)
+            out[:] = ident
+            return out
+
+    return _SegMonoid(
+        name=f"segmented({base.name})",
+        op=op,
+        identity_scalar=None,
+        commutative=False,
+    )

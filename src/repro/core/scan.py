@@ -1,0 +1,219 @@
+"""Energy-optimal parallel scan (paper, Section IV.C and Fig. 1).
+
+The input array lives along the Z-order curve of a square subgrid.  A 4-ary
+summation tree is laid over the grid: the node of a height-``i`` subtree is
+hosted by the ``i``-th processor *in Z-order* of that subtree's quadrant, so
+tree edges stay inside quadrants and the total wire length telescopes like the
+Z-order curve itself.
+
+* **up-sweep** — each node receives its four children's subtree sums (in
+  Z-order) and stores both them and their running prefixes;
+* **down-sweep** — each node receives the prefix ``x`` of everything before
+  its subtree and forwards ``x``, ``x+s0``, ``x+s0+s1``, ``x+s0+s1+s2`` to its
+  children's host processors; a leaf finally adds its own element.
+
+Costs (Lemma IV.3): ``Θ(n)`` energy, ``O(log n)`` depth, ``O(sqrt(n))``
+distance.  Works for any associative monoid; in particular the *segmented*
+monoid (:func:`repro.core.ops.segmented`) turns it into a segmented scan with
+identical costs, which Section VIII's SpMV uses for its row sums and
+segmented broadcasts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..machine.geometry import Region
+from ..machine.machine import SpatialMachine, TrackedArray, concat_tracked
+from ..machine.zorder import zorder_coords
+from .ops import ADD, Monoid, pack_segmented, segmented, unpack_segmented
+
+__all__ = ["scan", "scan_any", "segmented_scan", "ScanResult", "segmented_broadcast"]
+
+
+@dataclass
+class ScanResult:
+    """Outputs of one scan run.
+
+    ``inclusive[i]`` / ``exclusive[i]`` live at the i-th Z-order cell, i.e.
+    exactly where input ``i`` was stored.  ``total`` is the overall sum, at
+    the summation-tree root's host processor.
+    """
+
+    inclusive: TrackedArray
+    exclusive: TrackedArray
+    total: TrackedArray
+
+
+def _levels(n: int) -> int:
+    """log4(n) for n a power of 4."""
+    lvl = 0
+    m = n
+    while m > 1:
+        if m % 4:
+            raise ValueError(f"scan input size must be a power of 4, got {n}")
+        m //= 4
+        lvl += 1
+    return lvl
+
+
+def scan(
+    machine: SpatialMachine,
+    ta: TrackedArray,
+    region: Region,
+    monoid: Monoid = ADD,
+) -> ScanResult:
+    """Prefix-``monoid`` over ``ta`` stored in Z-order on square ``region``.
+
+    ``ta`` entry ``i`` must be located at the ``i``-th Z-order cell of
+    ``region`` (use :meth:`SpatialMachine.place_zorder`).  The operator is
+    combined strictly left-to-right, so non-commutative monoids (segmented
+    operators) are safe.
+    """
+    n = len(ta)
+    if n == 0:
+        raise ValueError("scan of empty input")
+    if n != region.size:
+        raise ValueError(f"scan expects one value per cell ({region.size}), got {n}")
+    nlevels = _levels(n)
+    zrows, zcols = zorder_coords(region)
+
+    if n == 1:
+        return ScanResult(inclusive=ta, exclusive=ta.with_payload(
+            monoid.identity(1, like=ta.payload)), total=ta)
+
+    # ---------------- up-sweep ----------------
+    # cur: one value per node of the current level, in Z-order of blocks.
+    cur = ta
+    child_store: list[tuple[TrackedArray, ...]] = []
+    for lvl in range(1, nlevels + 1):
+        nblocks = n // 4**lvl
+        parents_z = np.arange(nblocks, dtype=np.int64) * 4**lvl + lvl
+        prow, pcol = zrows[parents_z], zcols[parents_z]
+        received = tuple(
+            machine.send(cur[q::4], prow, pcol) for q in range(4)
+        )
+        payload = received[0].payload
+        for q in range(1, 4):
+            payload = monoid(payload, received[q].payload)
+        cur = received[0].combined_with(*received[1:], payload=payload)
+        child_store.append(received)
+    total = cur  # single value at the root's host processor
+
+    # ---------------- down-sweep ----------------
+    ident = monoid.identity(1, like=ta.payload)
+    x = TrackedArray(
+        machine,
+        ident,
+        total.rows.copy(),
+        total.cols.copy(),
+        np.zeros(1, dtype=np.int64),
+        np.zeros(1, dtype=np.int64),
+    )
+    for lvl in range(nlevels, 0, -1):
+        nblocks = n // 4**lvl
+        received = child_store[lvl - 1]
+        # running prefixes t_q = x ∘ s_0 ∘ ... ∘ s_{q-1}, all local at the node
+        prefixes = [x]
+        for q in range(1, 4):
+            prev = prefixes[-1]
+            payload = monoid(prev.payload, received[q - 1].payload)
+            prefixes.append(prev.combined_with(received[q - 1], payload=payload))
+        # forward prefix q to child q's host processor
+        block_starts = np.arange(nblocks, dtype=np.int64) * 4**lvl
+        sent = []
+        for q in range(4):
+            child_z = block_starts + q * 4 ** (lvl - 1) + (lvl - 1)
+            sent.append(machine.send(prefixes[q], zrows[child_z], zcols[child_z]))
+        merged = concat_tracked(sent)
+        # restore Z-order: entry for child q of block p belongs at index 4p+q
+        target = np.concatenate(
+            [np.arange(q, 4 * nblocks, 4, dtype=np.int64) for q in range(4)]
+        )
+        x = merged[np.argsort(target, kind="stable")]
+
+    exclusive = x
+    inclusive = exclusive.combined_with(
+        ta, payload=monoid(exclusive.payload, ta.payload)
+    )
+    return ScanResult(inclusive=inclusive, exclusive=exclusive, total=total)
+
+
+def scan_any(
+    machine: SpatialMachine,
+    values: np.ndarray,
+    monoid: Monoid = ADD,
+    region: Region | None = None,
+) -> np.ndarray:
+    """Inclusive prefix-``monoid`` of a plain array of *any* length.
+
+    Pads with identity elements up to the next power-of-4 square (a
+    placement-time decision, costing nothing extra beyond the slightly
+    larger grid), runs :func:`scan`, and returns the first ``len(values)``
+    inclusive results as a NumPy array.  The convenience entry point for
+    callers that do not manage placements themselves.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    n = len(values)
+    if n == 0:
+        return values.copy()
+    side = 1
+    while side * side < n:
+        side *= 2
+    region = region or Region(0, 0, side, side)
+    padded = monoid.identity(region.size, like=values)
+    padded[:n] = values
+    ta = machine.place_zorder(padded, region)
+    res = scan(machine, ta, region, monoid)
+    return res.inclusive.payload[:n].copy()
+
+
+def segmented_scan(
+    machine: SpatialMachine,
+    flags: np.ndarray,
+    ta: TrackedArray,
+    region: Region,
+    monoid: Monoid = ADD,
+) -> ScanResult:
+    """Segmented scan: restart the prefix at every ``flags[i] != 0`` position.
+
+    Runs the plain scan with the segmented operator (Section IV.C); costs are
+    identical to :func:`scan`.  The returned payloads are unpacked back to
+    plain values.
+    """
+    packed = ta.with_payload(pack_segmented(flags, ta.payload))
+    res = scan(machine, packed, region, segmented(monoid))
+
+    def unpack(t: TrackedArray) -> TrackedArray:
+        _, vals = unpack_segmented(t.payload)
+        return t.with_payload(vals)
+
+    return ScanResult(
+        inclusive=unpack(res.inclusive),
+        exclusive=unpack(res.exclusive),
+        total=unpack(res.total),
+    )
+
+
+def segmented_broadcast(
+    machine: SpatialMachine,
+    flags: np.ndarray,
+    ta: TrackedArray,
+    region: Region,
+) -> TrackedArray:
+    """Deliver each segment head's value to every member of its segment.
+
+    Implemented as a segmented *copy* scan (the paper's Section VIII step 3:
+    "a segmented broadcast implemented via a parallel scan").  Entry ``i`` of
+    the result holds the value of the most recent flagged position ``<= i``.
+    """
+
+    def copy_op(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        # "first" semigroup: segments carry their head's value rightward
+        return a
+
+    first = Monoid("first", copy_op, np.nan, commutative=False)
+    res = segmented_scan(machine, flags, ta, region, first)
+    return res.inclusive

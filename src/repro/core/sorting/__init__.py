@@ -1,0 +1,39 @@
+"""Sorting on the Spatial Computer Model (paper, Section V).
+
+* :mod:`bitonic` — the sorting-network baseline (Lemmas V.3-V.4, Fig. 2);
+* :mod:`allpairs` — the O(log n)-depth brute-force auxiliary sorter (Lemma V.5);
+* :mod:`two_sorted_select` — multiselection in two sorted arrays (Lemma V.6);
+* :mod:`merge2d` — rank-splitting 2D merge (Lemma V.7, Fig. 3);
+* :mod:`mergesort2d` — the energy-optimal sorter (Theorem V.8);
+* :mod:`quicksort2d` — the simplified selection-based sorter (Section IX direction);
+* :mod:`mesh_sort` — the Θ(sqrt(n))-depth mesh-model baseline (Section II.B);
+* :mod:`lower_bounds` — permutation energy lower bound (Lemma V.1).
+"""
+
+from .allpairs import allpairs_rank, allpairs_sort
+from .bitonic import bitonic_merge, bitonic_sort
+from .merge2d import merge_sorted_2d, merge_subregions
+from .mergesort2d import mergesort_2d, sort_any, sort_values
+from .odd_even import odd_even_mergesort
+from .quicksort2d import quicksort_2d
+from .sortutil import as_sort_payload, lex_less
+from .two_sorted_select import TwoArraySplit, select_rank_two_sorted, select_ranks_two_sorted
+
+__all__ = [
+    "allpairs_rank",
+    "allpairs_sort",
+    "bitonic_merge",
+    "bitonic_sort",
+    "merge_sorted_2d",
+    "merge_subregions",
+    "mergesort_2d",
+    "sort_values",
+    "sort_any",
+    "quicksort_2d",
+    "odd_even_mergesort",
+    "as_sort_payload",
+    "lex_less",
+    "TwoArraySplit",
+    "select_rank_two_sorted",
+    "select_ranks_two_sorted",
+]

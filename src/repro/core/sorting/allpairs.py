@@ -1,0 +1,173 @@
+"""All-Pairs Sort (paper, Section V.C(a), Lemma V.5).
+
+A brute-force ``O(log n)``-depth sorter used on *small* inputs (the samples
+of the rank-selection subroutines): the computation "explodes" onto an
+``n x n`` processor grid divided into ``n`` subgrids ``Γ_i`` of ``√n x √n``
+processors each.
+
+1. scatter element ``A_i`` to the first processor of ``Γ_i``;
+2. broadcast ``A_i`` inside ``Γ_i``;
+3. replicate the whole array ``A`` into every ``Γ_i`` with the recursive
+   quadrant pattern of the 2D broadcast, treating subgrids as units;
+4. every processor compares its two elements (free, local);
+5. reduce the comparison bits inside each ``Γ_i`` — the result is the rank of
+   ``A_i`` — and route each element straight to its ranked output cell.
+
+Costs: ``O(n^{5/2})`` energy, ``O(log n)`` depth, ``O(n)`` distance — cheap
+when ``n`` is a square-root-sized sample, hopeless as a general sorter (which
+is exactly how Sections V-VI use it).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ...machine.geometry import Region
+from ...machine.machine import SpatialMachine, TrackedArray, concat_tracked
+from ...machine.zorder import is_power_of_two
+from ..collectives import broadcast_2d, reduce_2d
+from ..ops import ADD
+from .sortutil import lex_less, strip_tiebreak, with_tiebreak
+
+__all__ = ["allpairs_sort", "allpairs_rank"]
+
+
+def _subgrid_side(n: int) -> int:
+    """Power-of-two side of each Γ_i (and of the subgrid lattice)."""
+    side = 1
+    while side * side < n:
+        side *= 2
+    return side
+
+
+def allpairs_rank(
+    machine: SpatialMachine,
+    ta: TrackedArray,
+    key_cols: int,
+    workspace: Region | None = None,
+) -> tuple[TrackedArray, np.ndarray]:
+    """Rank every element against every other on the exploded grid.
+
+    Returns the elements (one per subgrid corner, input order preserved) with
+    the comparison reduction folded into their metadata, plus the integer
+    ranks.  Keys must already be strict (use :func:`with_tiebreak`).
+    """
+    n = len(ta)
+    s = _subgrid_side(n)
+    if workspace is None:
+        workspace = Region(int(ta.rows.min()), int(ta.cols.min()), s * s, s * s)
+    R, C = workspace.row, workspace.col
+
+    # -- 1. scatter A_i to the corner of Γ_i (subgrids in row-major order)
+    i = np.arange(n, dtype=np.int64)
+    corner_rows = R + (i // s) * s
+    corner_cols = C + (i % s) * s
+    pivots = machine.send(ta, corner_rows, corner_cols)
+
+    # -- 2. broadcast A_i within Γ_i (all subgrids in lockstep); trim to the
+    #       first n cells of each subgrid, which is all the copies will fill.
+    blanket = broadcast_2d(machine, pivots, Region(R, C, s, s))
+    # blanket entries: for each expansion they stay grouped by subgrid only
+    # implicitly; regroup by (subgrid, local row-major cell) for the compare.
+    local_r = (blanket.rows - R) % s
+    local_c = (blanket.cols - C) % s
+    sub_id = ((blanket.rows - R) // s) * s + (blanket.cols - C) // s
+    cell_id = local_r * s + local_c
+    order = np.lexsort((cell_id, sub_id))
+    blanket = blanket[order]
+    keep = (cell_id[order] < n) & (sub_id[order] < n)
+    blanket = blanket[keep]  # (n used subgrids) x (n used cells)
+
+    # -- 3. replicate the array into every subgrid: copy j of A sits at the
+    #       j-th row-major cell of each Γ_i, spread by recursive quadrupling.
+    home_rows = R + i // s
+    home_cols = C + i % s
+    copies = machine.send(ta, home_rows, home_cols)  # A compacted into Γ_0
+    lat = s
+    while lat > 1:
+        half = lat // 2
+        parts = [copies]
+        for dr, dc in ((0, half), (half, 0), (half, half)):
+            parts.append(
+                machine.send(copies, copies.rows + dr * s, copies.cols + dc * s)
+            )
+        copies = concat_tracked(parts)
+        lat = half
+    c_sub = ((copies.rows - R) // s) * s + (copies.cols - C) // s
+    c_cell = ((copies.rows - R) % s) * s + (copies.cols - C) % s
+    c_order = np.lexsort((c_cell, c_sub))
+    copies = copies[c_order]
+    copies = copies[c_sub[c_order] < n]  # drop replicas in unused subgrids
+
+    if len(copies) != len(blanket):
+        raise AssertionError("replication/broadcast cell mismatch")
+
+    # -- 4. local comparison: bit = [A_j < A_i] at cell j of subgrid i
+    bits = blanket.combined_with(
+        copies,
+        payload=lex_less(copies.payload, blanket.payload, key_cols).astype(np.float64),
+    )
+
+    # -- 5. per-subgrid reduce of the bits = rank of A_i; subgrids not full
+    #       square (n < s*s cells used) are padded with zero-contribution
+    #       bits at the unused cells (free placement, identity values).
+    full = _pad_subgrids(machine, bits, R, C, s, n)
+    ranks_ta = reduce_2d(machine, full, Region(R, C, s, s), ADD)
+    ranks = np.rint(ranks_ta.payload[:, 0] if ranks_ta.payload.ndim > 1 else ranks_ta.payload).astype(np.int64)
+
+    # fold the reduction's metadata into the element sitting at the corner
+    ranked = pivots.combined_with(ranks_ta.with_payload(pivots.payload), payload=pivots.payload)
+    return ranked, ranks
+
+
+def _pad_subgrids(
+    machine: SpatialMachine, bits: TrackedArray, R: int, C: int, s: int, n: int
+) -> TrackedArray:
+    """Fill unused cells of each used subgrid with zero bits (local, free)."""
+    per = s * s
+    if per == n:
+        return bits
+    pads: list[TrackedArray] = [bits]
+    pad_cell = np.arange(n, per, dtype=np.int64)
+    for sub in range(n):
+        rows = R + (sub // s) * s + pad_cell // s
+        cols = C + (sub % s) * s + pad_cell % s
+        payload = np.zeros((len(pad_cell),) + bits.payload.shape[1:])
+        pads.append(machine.place(payload, rows, cols))
+    out = concat_tracked(pads)
+    sub_id = ((out.rows - R) // s) * s + (out.cols - C) // s
+    cell_id = ((out.rows - R) % s) * s + (out.cols - C) % s
+    order = np.lexsort((cell_id, sub_id))
+    return out[order]
+
+
+def allpairs_sort(
+    machine: SpatialMachine,
+    ta: TrackedArray,
+    out_region: Region | None = None,
+    key_cols: int = 1,
+    workspace: Region | None = None,
+) -> TrackedArray:
+    """Sort ``ta`` (any placement) into row-major order on ``out_region``.
+
+    ``out_region`` defaults to the smallest square at the input's corner.
+    Returns entries ordered by rank, entry ``r`` at the r-th row-major cell.
+    """
+    n = len(ta)
+    if ta.payload.ndim != 2:
+        raise ValueError("sort payloads are (n, k) arrays")
+    keyed, kc = with_tiebreak(ta, key_cols)
+    if out_region is None:
+        side = _subgrid_side(n)
+        out_region = Region(int(ta.rows.min()), int(ta.cols.min()), side, side)
+    if n == 1:
+        out = machine.send(keyed, *out_region.rowmajor_coords(1))
+        return strip_tiebreak(out, kc)
+    ranked, ranks = allpairs_rank(machine, keyed, kc, workspace)
+    out_rows, out_cols = out_region.rowmajor_coords(n)
+    # element with rank r goes to output cell r
+    placed = machine.send(ranked, out_rows[ranks], out_cols[ranks])
+    order = np.argsort(ranks, kind="stable")
+    return strip_tiebreak(placed[order], kc)

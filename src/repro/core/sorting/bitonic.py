@@ -1,0 +1,143 @@
+"""Bitonic sorting network on the processor grid (paper, Section V.B).
+
+Wires of Batcher's bitonic network are assigned to processors in **row-major**
+order; each compare-exchange step is a pair of messages between the two
+wires' processors.  Being data-oblivious, the communication pattern depends
+only on the input size — the property that makes sorting networks attractive
+on dataflow hardware — but the network "eventually turns into a 1D algorithm",
+which costs energy:
+
+* Bitonic Merge (Lemma V.3): ``Θ(h²w + w²h)`` energy, ``Θ(log n)`` depth.
+* Bitonic Sort (Lemma V.4): ``Θ(h²w + w²h log h)`` energy, ``Θ(log² n)``
+  depth, ``Θ(h + w log h)`` distance — a ``Θ(log n)`` energy factor worse
+  than the optimal 2D Mergesort on square grids (``Θ(n³ᐟ² log n)`` total).
+
+``benchmarks/bench_fig2_bitonic_vs_mergesort.py`` regenerates the Fig. 2
+comparison.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...machine.geometry import Region
+from ...machine.machine import SpatialMachine, TrackedArray
+from ...machine.zorder import is_power_of_two
+from .sortutil import lex_less, strip_tiebreak, with_tiebreak
+
+__all__ = ["bitonic_sort", "bitonic_merge", "compare_exchange_stage"]
+
+
+def compare_exchange_stage(
+    machine: SpatialMachine,
+    cur: TrackedArray,
+    partner: np.ndarray,
+    take_min: np.ndarray,
+    key_cols: int,
+    descending: bool = False,
+) -> TrackedArray:
+    """One network stage: every wire exchanges with ``partner[i]`` and keeps
+    the lexicographic min (where ``take_min``) or max of the pair.
+
+    ``cur`` is ordered by wire index; each wire sends its value to its
+    partner's processor (two messages per pair, matching the Θ(wh) messages
+    per stage of Lemma V.3's analysis).
+    """
+    recv = machine.send(cur[partner], cur.rows, cur.cols)
+    own_less = lex_less(cur.payload, recv.payload, key_cols)
+    recv_less = lex_less(recv.payload, cur.payload, key_cols)
+    if descending:
+        own_less, recv_less = recv_less, own_less
+    # equal keys never swap (both sides keep their own value), so padded
+    # sentinels and duplicate keys stay consistent across the pair
+    keep_own = np.where(take_min, ~recv_less, ~own_less)
+    payload = np.where(keep_own[:, None], cur.payload, recv.payload)
+    return cur.combined_with(recv, payload=payload)
+
+
+def _merge_stages(
+    machine: SpatialMachine,
+    cur: TrackedArray,
+    k: int,
+    key_cols: int,
+    descending: bool,
+    alternate: bool,
+) -> TrackedArray:
+    """The ``j = k/2 .. 1`` halving stages of a bitonic merge of blocks of
+    size ``k``.  With ``alternate`` set, blocks alternate direction according
+    to bit ``k`` of the wire index (the full sort's schedule); otherwise all
+    blocks merge in the same direction (a standalone merge)."""
+    n = len(cur)
+    idx = np.arange(n, dtype=np.int64)
+    j = k // 2
+    while j >= 1:
+        partner = idx ^ j
+        lower = (idx & j) == 0
+        if alternate:
+            ascending_block = (idx & k) == 0
+        else:
+            ascending_block = np.ones(n, dtype=bool)
+        take_min = lower == ascending_block
+        cur = compare_exchange_stage(
+            machine, cur, partner, take_min, key_cols, descending=descending
+        )
+        j //= 2
+    return cur
+
+
+def bitonic_merge(
+    machine: SpatialMachine,
+    ta: TrackedArray,
+    region: Region,
+    key_cols: int = 1,
+    descending: bool = False,
+) -> TrackedArray:
+    """Merge a bitonic sequence (e.g. sorted-ascending ++ sorted-descending)
+    laid out row-major on ``region`` into sorted row-major order."""
+    n = len(ta)
+    _check(ta, region)
+    cur = _merge_stages(machine, ta, n, key_cols, descending, alternate=False)
+    return cur
+
+
+def bitonic_sort(
+    machine: SpatialMachine,
+    ta: TrackedArray,
+    region: Region,
+    key_cols: int = 1,
+    descending: bool = False,
+    tiebreak: bool = True,
+) -> TrackedArray:
+    """Batcher's bitonic sort of ``ta`` laid out row-major on ``region``.
+
+    Entry ``i`` must sit at the i-th row-major cell; the sorted output is
+    returned in the same layout.  ``key_cols`` leading payload columns form
+    the lexicographic key; with ``tiebreak`` (default) a unique input-position
+    column is appended so duplicate keys still yield a deterministic
+    permutation.
+    """
+    n = len(ta)
+    _check(ta, region)
+    if n == 1:
+        return ta
+    if tiebreak:
+        cur, kc = with_tiebreak(ta, key_cols)
+    else:
+        cur, kc = ta, key_cols
+    k = 2
+    while k <= n:
+        cur = _merge_stages(machine, cur, k, kc, descending, alternate=(k < n))
+        k *= 2
+    if tiebreak:
+        cur = strip_tiebreak(cur, kc)
+    return cur
+
+
+def _check(ta: TrackedArray, region: Region) -> None:
+    n = len(ta)
+    if n != region.size:
+        raise ValueError(f"need one wire per cell: {n} values, region {region}")
+    if not is_power_of_two(n):
+        raise ValueError(f"bitonic network needs power-of-two size, got {n}")
+    if ta.payload.ndim != 2:
+        raise ValueError("sort payloads are (n, k) arrays; see sortutil.as_sort_payload")

@@ -1,0 +1,63 @@
+"""Permutation energy lower bound (paper, Section V.A, Lemma V.1).
+
+The witness is the *reversal* permutation of the row-major layout: every
+element in the first ``h/3`` rows must reach one of the last ``h/3`` rows,
+which costs at least ``h/3`` energy each, for at least
+``(h w / 3) * (h / 3) = h^2 w / 9`` energy overall (w.l.o.g. ``h >= w``).
+Since sorting realizes arbitrary permutations (sort by target position),
+``Ω(n^{3/2})`` energy is a lower bound for sorting (Corollary V.2) — making
+the 2D Mergesort energy-optimal.
+
+This module computes the exact displacement sum of the reversal (a sharper
+per-instance bound: no routing can beat the sum of Manhattan displacements),
+the paper's closed-form bound, and executes the optimal direct routing so the
+benches can show measured-sort-energy / lower-bound staying bounded.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...machine.geometry import Region, manhattan_arrays
+from ...machine.machine import SpatialMachine, TrackedArray
+
+__all__ = [
+    "reversal_permutation",
+    "displacement_lower_bound",
+    "paper_lower_bound",
+    "route_permutation",
+]
+
+
+def reversal_permutation(n: int) -> np.ndarray:
+    """The permutation sending row-major position ``i`` to ``n - 1 - i``."""
+    return np.arange(n - 1, -1, -1, dtype=np.int64)
+
+
+def displacement_lower_bound(region: Region, perm: np.ndarray) -> int:
+    """Exact energy floor for realizing ``perm`` on ``region``.
+
+    Any routing must move element ``i`` from row-major cell ``i`` to cell
+    ``perm[i]``; the Manhattan displacement sum is therefore unbeatable.
+    """
+    n = len(perm)
+    rows, cols = region.rowmajor_coords(n)
+    return int(manhattan_arrays(rows, cols, rows[perm], cols[perm]).sum())
+
+
+def paper_lower_bound(h: int, w: int) -> float:
+    """Lemma V.1's closed form ``max(w,h)^2 * min(w,h) / 9``."""
+    return max(w, h) ** 2 * min(w, h) / 9
+
+
+def route_permutation(
+    machine: SpatialMachine, ta: TrackedArray, region: Region, perm: np.ndarray
+) -> TrackedArray:
+    """Apply ``perm`` by direct point-to-point routing (energy-optimal).
+
+    Entry ``i`` (at row-major cell ``i``) moves to cell ``perm[i]``; the
+    measured energy equals :func:`displacement_lower_bound` exactly, which
+    tests use to pin the simulator's accounting.
+    """
+    rows, cols = region.rowmajor_coords(len(ta))
+    return machine.send(ta, rows[perm], cols[perm])

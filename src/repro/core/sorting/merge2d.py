@@ -1,0 +1,165 @@
+"""2D merge of two sorted arrays (paper, Section V.C(b), Fig. 3, Lemma V.7).
+
+Classical merges recurse on *unbalanced* halves and need binary searches with
+suboptimal distance; the spatial merge instead splits **by rank**: the rank
+``n/4``, ``n/2`` and ``3n/4`` elements of ``A || B`` (found with the
+two-sorted-array selection of Lemma V.6) split both arrays into four chunk
+pairs of exactly ``n/4`` elements, which move into the region's four
+sub-quadrants and merge recursively.  After the recursion the array is sorted
+along the recursion's space-filling traversal; a final permutation delivers
+row-major order (Fig. 3d).
+
+Region shapes stay in the family {square, 2:1 rectangle}: a square splits
+into its four quadrants (Z-order), a wide rectangle into four tall strips
+(left to right), a tall rectangle into four wide strips (top to bottom) — so
+every level's sub-regions are congruent and the per-level permutation cost is
+``#elements x O(level diameter)``, a geometric series summing to
+``O(n^{3/2})`` energy (Lemma V.7).  Depth is ``O(log^2 n)`` (a Lemma V.6
+selection per level), distance ``O(sqrt(n))``.
+
+The split decision is *broadcast* over the region and threaded into every
+element's metadata before it moves, so measured depth reflects the control
+dependency "no routing before the splitters are known".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...machine.geometry import Region
+from ...machine.machine import SpatialMachine, TrackedArray, concat_tracked
+from ..collectives import broadcast
+from .two_sorted_select import select_ranks_two_sorted
+
+__all__ = ["merge_sorted_2d", "merge_subregions"]
+
+
+def merge_subregions(region: Region) -> tuple[Region, Region, Region, Region]:
+    """Split a square / 2:1 region into four congruent ordered sub-regions."""
+    h, w = region.height, region.width
+    if h == w:
+        return region.quadrants()
+    if w == 2 * h:
+        q = w // 4
+        return tuple(Region(region.row, region.col + i * q, h, q) for i in range(4))
+    if h == 2 * w:
+        q = h // 4
+        return tuple(Region(region.row + i * q, region.col, q, w) for i in range(4))
+    raise ValueError(f"merge regions must be square or 2:1, got {region}")
+
+
+def merge_sorted_2d(
+    machine: SpatialMachine,
+    A: TrackedArray,
+    B: TrackedArray,
+    out_region: Region,
+    key_cols: int = 1,
+    base_case: int = 16,
+) -> TrackedArray:
+    """Merge sorted ``A`` and ``B`` into row-major order on ``out_region``.
+
+    Both inputs must lie inside ``out_region`` (typically on its two halves)
+    and satisfy ``len(A) + len(B) == out_region.size``.  Ties order ``A``
+    before ``B`` (and by position within each array), consistent with the
+    selection subroutine, so the output is a deterministic permutation.
+    ``base_case`` (>= 4) stops the recursion once a chunk fits a tiny region.
+    """
+    n = len(A) + len(B)
+    if n != out_region.size:
+        raise ValueError(f"{n} elements vs region size {out_region.size}")
+    if base_case < 4:
+        raise ValueError("base_case must be at least 4")
+    placed_parts: list[TrackedArray] = []
+    rank_parts: list[np.ndarray] = []
+    _merge_rec(machine, A, B, out_region, key_cols, base_case, 0, placed_parts, rank_parts)
+    placed = concat_tracked(placed_parts)
+    ranks = np.concatenate(rank_parts)
+    # Fig. 3d: permute from the recursion's traversal order into row-major.
+    rows, cols = out_region.rowmajor_coords(n)
+    out = machine.send(placed, rows[ranks], cols[ranks])
+    return out[np.argsort(ranks, kind="stable")]
+
+
+def _merged_order(A: TrackedArray, B: TrackedArray, key_cols: int) -> np.ndarray:
+    """Indices into A||B in merged order, ties A-first then by position."""
+    na, nb = len(A), len(B)
+    keys = np.concatenate([A.payload[:, :key_cols], B.payload[:, :key_cols]])
+    arr = np.concatenate([np.zeros(na), np.ones(nb)])
+    pos = np.concatenate([np.arange(na), np.arange(nb)])
+    return np.lexsort((pos, arr, *reversed([keys[:, c] for c in range(key_cols)])))
+
+
+def _merge_rec(
+    machine: SpatialMachine,
+    A: TrackedArray,
+    B: TrackedArray,
+    region: Region,
+    key_cols: int,
+    base_case: int,
+    offset: int,
+    placed_parts: list[TrackedArray],
+    rank_parts: list[np.ndarray],
+) -> None:
+    n = len(A) + len(B)
+    if n == 0:
+        return
+    if n <= base_case or region.height == 1 or region.width == 1 or n < 4:
+        # park the merged chunk in row-major order of its (tiny) region
+        union = concat_tracked([p for p in (A, B) if len(p)])
+        order = _merged_order(A, B, key_cols)
+        rows, cols = region.rowmajor_coords(n)
+        inv = np.empty(n, dtype=np.int64)
+        inv[order] = np.arange(n, dtype=np.int64)
+        parked = machine.send(union, rows[inv], cols[inv])
+        placed_parts.append(parked)
+        rank_parts.append(offset + inv)
+        return
+
+    # ---- find the three rank splitters with one shared sample (Lemma V.6)
+    quarter = n // 4
+    splits = select_ranks_two_sorted(
+        machine,
+        A,
+        B,
+        [quarter, 2 * quarter, 3 * quarter],
+        key_cols=key_cols,
+        staging=Region(region.row, region.col, 1, 1),
+    )
+    cuts_a = [0, *(s.cut_a for s in splits), len(A)]
+    cuts_b = [0, *(s.cut_b for s in splits), len(B)]
+    split_depth = max(s.depth for s in splits)
+    split_dist = max(s.dist for s in splits)
+    split_where = splits[-1].where
+
+    # ---- broadcast the routing decision over the region, then move chunks
+    decision = machine.place(np.array([1.0]), [split_where[0]], [split_where[1]])
+    decision = decision.depending_on_meta(split_depth, split_dist)
+    corner_val = machine.send(
+        decision, np.array([region.row]), np.array([region.col])
+    )
+    blanket = broadcast(machine, corner_val, region)
+
+    subregions = merge_subregions(region)
+    for q in range(4):
+        aq = A[cuts_a[q] : cuts_a[q + 1]]
+        bq = B[cuts_b[q] : cuts_b[q + 1]]
+        sub = subregions[q]
+        rows, cols = sub.rowmajor_coords(len(aq) + len(bq))
+        moved: list[TrackedArray] = []
+        if len(aq):
+            aq = aq.depending_on(blanket[region.rowmajor_index(aq.rows, aq.cols)])
+            moved.append(machine.send(aq, rows[: len(aq)], cols[: len(aq)]))
+        if len(bq):
+            bq = bq.depending_on(blanket[region.rowmajor_index(bq.rows, bq.cols)])
+            moved.append(machine.send(bq, rows[len(aq) :], cols[len(aq) :]))
+        _merge_rec(
+            machine,
+            moved[0] if len(aq) else moved[0][0:0],
+            moved[1] if len(aq) and len(bq) else (moved[0][0:0] if len(aq) else moved[0]),
+            sub,
+            key_cols,
+            base_case,
+            offset + q * quarter,
+            placed_parts,
+            rank_parts,
+        )

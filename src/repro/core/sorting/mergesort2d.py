@@ -1,0 +1,135 @@
+"""Energy-optimal 2D Mergesort (paper, Section V.C, Theorem V.8).
+
+Recursively sort the four quadrants of the square subgrid, merge the two top
+quadrants (into the wide top half), merge the two bottom quadrants, then
+merge the two halves — every merge being the rank-splitting 2D merge of
+Lemma V.7.  Costs on a ``sqrt(n) x sqrt(n)`` grid:
+
+* energy ``O(n^{3/2})`` — optimal by the permutation lower bound
+  (Corollary V.2);
+* depth ``O(log^3 n)``;
+* distance ``O(sqrt(n))``.
+
+Tiny blocks are finished with the ``O(log n)``-depth All-Pairs Sort — the
+auxiliary sorter the paper pairs with the mergesort — whose
+``O(base^{5/2})`` energy is a constant per block.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...machine.geometry import Region
+from ...machine.machine import SpatialMachine, TrackedArray
+from ...machine.zorder import is_power_of_two
+from .allpairs import allpairs_sort
+from .merge2d import merge_sorted_2d
+
+__all__ = ["mergesort_2d", "sort_values", "sort_any"]
+
+
+def mergesort_2d(
+    machine: SpatialMachine,
+    ta: TrackedArray,
+    region: Region,
+    key_cols: int = 1,
+    base_case: int = 16,
+) -> TrackedArray:
+    """Sort ``ta`` (one value per cell of square ``region``, row-major entry
+    order) into row-major order on the same region.
+
+    ``region`` must be a power-of-two square.  The payload is ``(n, k)`` with
+    ``key_cols`` leading key columns compared lexicographically; ties keep a
+    deterministic order via the merge's A-before-B rule and the base sorter's
+    position tie-break.
+    """
+    if not region.is_square or not is_power_of_two(region.width):
+        raise ValueError(f"mergesort_2d needs a power-of-two square region, got {region}")
+    n = len(ta)
+    if n != region.size:
+        raise ValueError(f"expected one value per cell ({region.size}), got {n}")
+    if ta.payload.ndim != 2:
+        raise ValueError("sort payloads are (n, k) arrays; see sortutil.as_sort_payload")
+    return _sort_rec(machine, ta, region, key_cols, max(4, base_case))
+
+
+def _sort_rec(
+    machine: SpatialMachine,
+    ta: TrackedArray,
+    region: Region,
+    key_cols: int,
+    base_case: int,
+) -> TrackedArray:
+    n = len(ta)
+    if n <= base_case or region.width <= 2:
+        return allpairs_sort(
+            machine,
+            ta,
+            out_region=region,
+            key_cols=key_cols,
+            workspace=Region(region.row, region.col, 1, 1),
+        )
+
+    tl, tr, bl, br = region.quadrants()
+    # entries are row-major over the full region; pick out each quadrant
+    idx = np.arange(n, dtype=np.int64)
+    r, c = idx // region.width, idx % region.width
+    h2, w2 = region.height // 2, region.width // 2
+    quads = {
+        "tl": (r < h2) & (c < w2),
+        "tr": (r < h2) & (c >= w2),
+        "bl": (r >= h2) & (c < w2),
+        "br": (r >= h2) & (c >= w2),
+    }
+    sorted_q = {
+        name: _sort_rec(machine, ta[mask], reg, key_cols, base_case)
+        for (name, mask), reg in zip(quads.items(), (tl, tr, bl, br))
+    }
+
+    top_half = Region(region.row, region.col, h2, region.width)
+    bottom_half = Region(region.row + h2, region.col, h2, region.width)
+    top = merge_sorted_2d(
+        machine, sorted_q["tl"], sorted_q["tr"], top_half, key_cols, base_case
+    )
+    bottom = merge_sorted_2d(
+        machine, sorted_q["bl"], sorted_q["br"], bottom_half, key_cols, base_case
+    )
+    return merge_sorted_2d(machine, top, bottom, region, key_cols, base_case)
+
+
+def sort_values(
+    machine: SpatialMachine,
+    values: np.ndarray,
+    region: Region,
+    base_case: int = 16,
+) -> TrackedArray:
+    """Convenience wrapper: place a 1-D value array row-major on ``region``
+    and 2D-mergesort it.  Returns the sorted tracked array (payload (n, 1))."""
+    values = np.asarray(values, dtype=np.float64)
+    ta = machine.place_rowmajor(values[:, None], region)
+    return mergesort_2d(machine, ta, region, key_cols=1, base_case=base_case)
+
+
+def sort_any(
+    machine: SpatialMachine,
+    values: np.ndarray,
+    base_case: int = 16,
+) -> np.ndarray:
+    """Sort a plain array of *any* length; returns a NumPy array.
+
+    Pads with +inf sentinels up to the next power-of-4 square at placement
+    time, runs :func:`mergesort_2d`, and strips the padding — the
+    convenience entry point for callers that do not manage placements.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    n = len(values)
+    if n == 0:
+        return values.copy()
+    side = 1
+    while side * side < n:
+        side *= 2
+    region = Region(0, 0, side, side)
+    padded = np.full(region.size, np.inf)
+    padded[:n] = values
+    out = sort_values(machine, padded, region, base_case=base_case)
+    return out.payload[:n, 0].copy()

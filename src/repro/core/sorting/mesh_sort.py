@@ -1,0 +1,98 @@
+"""Mesh-model sorting baseline: Shearsort (paper, Section II.B discussion).
+
+Fixed-connection mesh algorithms translate directly into the Spatial Computer
+Model: ``K`` rounds of neighbour communication on a ``sqrt(n) x sqrt(n)``
+mesh cost ``O(K n)`` energy, depth ``K`` and distance ``O(K)``.  Mesh sorting
+needs ``Θ(sqrt(n))`` rounds (Thompson-Kung / Schnorr-Shamir), so *any* mesh
+sorter is stuck at ``Θ(sqrt(n))`` depth — the gap the paper's polylog-depth
+2D Mergesort closes while keeping ``Θ(n^{3/2})`` energy.
+
+We implement Shearsort — ``(log h + 1)`` alternating phases of snake-order
+row sorts and column sorts, each an odd-even transposition — because it is
+simple, provably correct, and within a log factor of the optimal round count:
+``Θ(sqrt(n) log n)`` depth, ``Θ(n^{3/2} log n)`` energy.  The crossover bench
+``bench_mesh_vs_mergesort.py`` uses it as the low-constant/high-depth rival.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ...machine.geometry import Region
+from ...machine.machine import SpatialMachine, TrackedArray
+from .bitonic import compare_exchange_stage
+from .sortutil import strip_tiebreak, with_tiebreak
+
+__all__ = ["shearsort"]
+
+
+def _transposition_round(
+    machine: SpatialMachine,
+    cur: TrackedArray,
+    pair_lo: np.ndarray,
+    stride: int,
+    ascending: np.ndarray,
+    key_cols: int,
+    n: int,
+) -> TrackedArray:
+    """One odd-even transposition round over disjoint (lo, lo+stride) pairs.
+
+    Unpaired wires partner with themselves (a free no-op in the machine).
+    """
+    partner = np.arange(n, dtype=np.int64)
+    partner[pair_lo] = pair_lo + stride
+    partner[pair_lo + stride] = pair_lo
+    is_lo = np.zeros(n, dtype=bool)
+    is_lo[pair_lo] = True
+    take_min = is_lo == ascending
+    return compare_exchange_stage(machine, cur, partner, take_min, key_cols)
+
+
+def shearsort(
+    machine: SpatialMachine,
+    ta: TrackedArray,
+    region: Region,
+    key_cols: int = 1,
+) -> TrackedArray:
+    """Shearsort ``ta`` (row-major entries on ``region``) into row-major order.
+
+    Rounds use only unit-distance neighbour messages, so the measured depth
+    and distance both grow as ``Θ(sqrt(n) log n)`` — the mesh regime.
+    """
+    n = len(ta)
+    h, w = region.height, region.width
+    if n != region.size:
+        raise ValueError("shearsort expects one value per cell")
+    if ta.payload.ndim != 2:
+        raise ValueError("sort payloads are (n, k) arrays")
+    cur, kc = with_tiebreak(ta, key_cols)
+    idx = np.arange(n, dtype=np.int64)
+    row = idx // w
+    col = idx % w
+    snake_asc = row % 2 == 0  # even rows ascend, odd rows descend
+
+    phases = max(1, math.ceil(math.log2(max(h, 2)))) + 1
+    for _ in range(phases):
+        # --- row phase: odd-even transposition within rows, snake directions
+        for r in range(w):
+            lo = idx[(col % 2 == r % 2) & (col + 1 < w)]
+            cur = _transposition_round(machine, cur, lo, 1, snake_asc, kc, n)
+        # --- column phase: odd-even transposition within columns, ascending
+        for r in range(h):
+            lo = idx[(row % 2 == r % 2) & (row + 1 < h)]
+            cur = _transposition_round(
+                machine, cur, lo, w, np.ones(n, dtype=bool), kc, n
+            )
+    # final row phase leaves the array snake-sorted
+    for r in range(w):
+        lo = idx[(col % 2 == r % 2) & (col + 1 < w)]
+        cur = _transposition_round(machine, cur, lo, 1, snake_asc, kc, n)
+
+    # convert snake order to row-major: reverse the odd rows
+    target = np.where(row % 2 == 0, idx, row * w + (w - 1 - col))
+    rows_rm, cols_rm = region.rowmajor_coords(n)
+    moved = machine.send(cur, rows_rm[target], cols_rm[target])
+    out = moved[np.argsort(target, kind="stable")]
+    return strip_tiebreak(out, kc)

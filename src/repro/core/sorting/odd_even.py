@@ -1,0 +1,92 @@
+"""Batcher's odd-even mergesort on the grid — the second classic network.
+
+Section V.B analyzes Bitonic Sort as the representative sorting network; the
+paper cites sorting networks in the plural [28-31].  Odd-even mergesort is
+Batcher's other O(log² n)-depth network; mapped row-major onto the grid it
+shows the *same* structural pathology (the recursion eventually pairs wires
+one row apart, then within rows), hence the same Θ(n^{3/2} log n) energy —
+evidence that the Fig. 2 suboptimality is about 1D networks per se, not
+about the bitonic schedule specifically (`bench_fig2` extension).
+
+Network schedule (iterative Batcher odd-even merge): for ``p = 1, 2, 4, ...``
+and ``k = p, p/2, ..., 1``, wire ``i`` compares with ``i + k`` when
+``(i & p) == (k & p) ... `` — we use the standard loop formulated by Knuth
+(TAOCP vol. 3, Alg. M generalization): comparisons ``(i, i+k)`` for those
+``i`` with ``i & k == r`` where ``r`` cycles; all pairs are disjoint per
+stage, all directions ascending.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...machine.geometry import Region
+from ...machine.machine import SpatialMachine, TrackedArray
+from ...machine.zorder import is_power_of_two
+from .bitonic import compare_exchange_stage
+from .sortutil import strip_tiebreak, with_tiebreak
+
+__all__ = ["odd_even_mergesort", "odd_even_stages"]
+
+
+def odd_even_stages(n: int) -> list[list[tuple[int, int]]]:
+    """The comparison pairs of Batcher's odd-even mergesort for ``n`` wires.
+
+    Returns one list of disjoint (lo, hi) pairs per stage, in schedule order
+    (Knuth's iterative formulation).
+    """
+    stages: list[list[tuple[int, int]]] = []
+    p = 1
+    while p < n:
+        k = p
+        while k >= 1:
+            pairs = []
+            for j in range(k % p, n - k, 2 * k):
+                for i in range(min(k, n - j - k)):
+                    lo = i + j
+                    hi = i + j + k
+                    if lo // (2 * p) == hi // (2 * p):
+                        pairs.append((lo, hi))
+            if pairs:
+                stages.append(pairs)
+            k //= 2
+        p *= 2
+    return stages
+
+
+def odd_even_mergesort(
+    machine: SpatialMachine,
+    ta: TrackedArray,
+    region: Region,
+    key_cols: int = 1,
+    tiebreak: bool = True,
+) -> TrackedArray:
+    """Sort ``ta`` (row-major wires on ``region``) with the odd-even network."""
+    n = len(ta)
+    if n != region.size:
+        raise ValueError(f"need one wire per cell: {n} values, region {region}")
+    if not is_power_of_two(n):
+        raise ValueError(f"odd-even network needs power-of-two size, got {n}")
+    if ta.payload.ndim != 2:
+        raise ValueError("sort payloads are (n, k) arrays")
+    if n == 1:
+        return ta
+    if tiebreak:
+        cur, kc = with_tiebreak(ta, key_cols)
+    else:
+        cur, kc = ta, key_cols
+
+    idx = np.arange(n, dtype=np.int64)
+    for pairs in odd_even_stages(n):
+        partner = idx.copy()
+        take_min = np.ones(n, dtype=bool)
+        arr = np.asarray(pairs, dtype=np.int64)
+        lo, hi = arr[:, 0], arr[:, 1]
+        partner[lo] = hi
+        partner[hi] = lo
+        take_min[hi] = False
+        cur = compare_exchange_stage(machine, cur, partner, take_min, kc)
+
+    if tiebreak:
+        cur = strip_tiebreak(cur, kc)
+    return cur

@@ -1,0 +1,256 @@
+"""Rank (multi)selection in two sorted arrays (paper, Section V.C(c), Lemma V.6).
+
+Given sorted arrays ``A`` and ``B``, find the rank-``k`` element(s) of their
+union — the multiselection problem [Deo et al.], the splitter-finding engine
+of the 2D merge.  The trick: rank a sqrt-sized *deterministic* sample with
+the All-Pairs Sort, search the chosen sample element back into both arrays,
+and finish inside two ``O(sqrt(n))``-sized windows:
+
+1. gather every ``⌊√n⌋``-th element of ``A`` and ``B`` into a sample ``S``;
+2. All-Pairs-Sort ``S`` (shared by all requested ranks — the 2D merge asks
+   for ranks ``n/4``, ``n/2`` and ``3n/4`` of the same pair at once);
+3. ``l = ⌊(k-1)/⌊√n⌋⌋``;
+4. locate the ``l``-th ranked sample in ``A`` and in ``B`` with a *two-level*
+   binary search whose probes are relayed messages with geometrically
+   shrinking hops (a flat binary search from a fixed source would cost
+   ``Θ(sqrt(n) log n)`` distance — the suboptimality the paper warns about);
+5. narrow to windows of ``k - a - b`` elements past the located positions
+   (the prefix-exclusion bound gives ``k - a - b <= 3⌊√n⌋ + 1``);
+6. All-Pairs-Sort the windows and read off the rank-``(k - a - b)`` element.
+
+Costs: ``O(n^{5/4})`` energy, ``O(log n)`` depth, ``O(sqrt(n))`` distance —
+dominated by the All-Pairs Sorts of ``O(sqrt(n))`` elements (Lemma V.5).
+
+Ties are resolved by the strict total order ``(keys, which-array, index)``,
+so every rank is unique and the split sizes are exact.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...machine.geometry import Region
+from ...machine.machine import SpatialMachine, TrackedArray, concat_tracked
+from .allpairs import allpairs_sort
+from .sortutil import lex_less
+
+__all__ = ["select_rank_two_sorted", "select_ranks_two_sorted", "TwoArraySplit"]
+
+
+@dataclass(frozen=True)
+class TwoArraySplit:
+    """Result of a two-sorted-array rank selection.
+
+    ``cut_a + cut_b == k``: the ``k`` smallest elements of ``A || B`` are
+    exactly ``A[:cut_a]`` and ``B[:cut_b]``.  ``depth``/``dist`` is the cost
+    metadata of the decision (available at ``where``), which callers must
+    thread into everything that depends on the split.
+    """
+
+    cut_a: int
+    cut_b: int
+    depth: int
+    dist: int
+    where: tuple[int, int]
+    used_fallback: bool = False
+
+
+def _augment(ta: TrackedArray, key_cols: int, arr_id: float) -> TrackedArray:
+    """Append (which-array, index) columns — tie-break and identity at once."""
+    n = len(ta)
+    p = ta.payload
+    out = np.empty((n, key_cols + 2), dtype=np.float64)
+    out[:, :key_cols] = p[:, :key_cols]
+    out[:, key_cols] = arr_id
+    out[:, key_cols + 1] = np.arange(n, dtype=np.float64)
+    return ta.with_payload(out)
+
+
+def _two_level_search(
+    machine: SpatialMachine,
+    arr: TrackedArray,
+    target_row: np.ndarray,
+    kc: int,
+    src: tuple[int, int],
+    depth0: int,
+    dist0: int,
+) -> tuple[int, int, int]:
+    """#elements of ``arr`` strictly below ``target_row``, charging a relayed
+    two-level (block anchors, then within-block) binary search."""
+    n = len(arr)
+    if n == 0:
+        return 0, depth0, dist0
+    below = lex_less(
+        arr.payload, np.broadcast_to(target_row, arr.payload.shape), kc
+    )
+    count = int(below.sum())
+
+    stride = max(1, math.isqrt(n))
+    probes: list[int] = []
+
+    def bisect(lo: int, hi: int, step: int) -> int:
+        """Probe indices lo, lo+step, ... to find the first not-below."""
+        nonlocal probes
+        lo_i, hi_i = 0, (hi - lo + step - 1) // step  # block count
+        while lo_i < hi_i:
+            mid = (lo_i + hi_i) // 2
+            idx = min(lo + mid * step, n - 1)
+            probes.append(idx)
+            if below[idx]:
+                lo_i = mid + 1
+            else:
+                hi_i = mid
+        return lo + lo_i * step
+
+    first_block = bisect(0, n, stride)  # anchor level
+    block_lo = max(0, first_block - stride)
+    bisect(block_lo, min(n, block_lo + 2 * stride), 1)  # within-block level
+    if probes:
+        p = np.asarray(probes, dtype=np.int64)
+        depth0, dist0 = machine.relay(src, arr.rows[p], arr.cols[p], depth0, dist0)
+    return count, depth0, dist0
+
+
+def select_ranks_two_sorted(
+    machine: SpatialMachine,
+    A: TrackedArray,
+    B: TrackedArray,
+    ks: list[int],
+    key_cols: int = 1,
+    staging: Region | None = None,
+) -> list[TwoArraySplit]:
+    """Split sorted ``A`` and ``B`` at several ranks, sharing one sample sort.
+
+    Ranks are 1-based.  Returns one :class:`TwoArraySplit` per requested rank,
+    in order.
+    """
+    na, nb = len(A), len(B)
+    n = na + nb
+    for k in ks:
+        if not 1 <= k <= n:
+            raise ValueError(f"rank k={k} out of range 1..{n}")
+    if na == 0 or nb == 0:
+        full = A if nb == 0 else B
+        where = (int(full.rows[0]), int(full.cols[0]))
+        meta = (int(full.depth.max()), int(full.dist.max()))
+        return [
+            TwoArraySplit(k if nb == 0 else 0, 0 if nb == 0 else k, *meta, where)
+            for k in ks
+        ]
+
+    Aa = _augment(A, key_cols, 0.0)
+    Bb = _augment(B, key_cols, 1.0)
+    kc = key_cols + 2  # strict keys: (user keys, which-array, index)
+
+    if staging is None:
+        r0 = int(min(Aa.rows.min(), Bb.rows.min()))
+        c0 = int(min(Aa.cols.min(), Bb.cols.min()))
+        staging = Region(r0, c0, 1, 1)
+
+    step = max(1, math.isqrt(n))
+    if n <= 16 or step <= 1:
+        return [
+            _window_select(machine, Aa, Bb, k, 0, 0, kc, key_cols, staging, 0, 0, None)
+            for k in ks
+        ]
+
+    # -- 1-2: gather and All-Pairs-Sort the deterministic sample (shared)
+    sa = Aa[np.arange(0, na, step, dtype=np.int64)]
+    sb = Bb[np.arange(0, nb, step, dtype=np.int64)]
+    sample = concat_tracked([sa, sb])
+    sorted_s = allpairs_sort(
+        machine,
+        sample,
+        out_region=None,
+        key_cols=kc,
+        workspace=Region(staging.row, staging.col, 1, 1),
+    )
+
+    out: list[TwoArraySplit] = []
+    for k in ks:
+        # -- 3-4: pick the l-th ranked sample, search it into A and B
+        l = min((k - 1) // step, len(sorted_s))
+        if l == 0:
+            a = b = 0
+            depth = int(sorted_s.depth.max())
+            dist = int(sorted_s.dist.max())
+        else:
+            sl = sorted_s[l - 1 : l]
+            src = (int(sl.rows[0]), int(sl.cols[0]))
+            depth, dist = int(sl.depth[0]), int(sl.dist[0])
+            target = sl.payload[0]
+            a, depth, dist = _two_level_search(machine, Aa, target, kc, src, depth, dist)
+            b, depth, dist = _two_level_search(machine, Bb, target, kc, src, depth, dist)
+        # -- 5-6: solve inside the windows
+        out.append(
+            _window_select(
+                machine, Aa, Bb, k, a, b, kc, key_cols, staging, depth, dist, step
+            )
+        )
+    return out
+
+
+def select_rank_two_sorted(
+    machine: SpatialMachine,
+    A: TrackedArray,
+    B: TrackedArray,
+    k: int,
+    key_cols: int = 1,
+    staging: Region | None = None,
+) -> TwoArraySplit:
+    """Single-rank convenience wrapper around :func:`select_ranks_two_sorted`."""
+    return select_ranks_two_sorted(machine, A, B, [k], key_cols, staging)[0]
+
+
+def _window_select(
+    machine: SpatialMachine,
+    Aa: TrackedArray,
+    Bb: TrackedArray,
+    k: int,
+    a: int,
+    b: int,
+    kc: int,
+    key_cols: int,
+    staging: Region,
+    depth: int,
+    dist: int,
+    step: int | None,
+) -> TwoArraySplit:
+    na, nb = len(Aa), len(Bb)
+    kp = k - a - b
+    fallback = False
+    if step is not None and not 1 <= kp <= 3 * step + 2:
+        # sampling guarantee violated (cannot happen under the strict total
+        # order; kept as a correctness net): sort the full arrays.
+        a = b = 0
+        kp = k
+        fallback = True
+    # the kp-th smallest of A[a:] || B[b:] needs only kp elements of each
+    awin = Aa[a : min(na, a + kp)]
+    bwin = Bb[b : min(nb, b + kp)]
+    union = concat_tracked([p for p in (awin, bwin) if len(p)])
+    sorted_u = allpairs_sort(
+        machine,
+        union,
+        out_region=None,
+        key_cols=kc,
+        workspace=Region(staging.row, staging.col, 1, 1),
+    )
+    e = sorted_u[kp - 1 : kp]
+    depth = max(depth, int(e.depth[0]))
+    dist = max(dist, int(e.dist[0]))
+    arr_id = e.payload[0, key_cols]
+    idx = int(round(e.payload[0, key_cols + 1]))
+    cut_a = idx + 1 if arr_id == 0.0 else k - (idx + 1)
+    cut_b = k - cut_a
+    return TwoArraySplit(
+        cut_a,
+        cut_b,
+        depth,
+        dist,
+        (int(e.rows[0]), int(e.cols[0])),
+        used_fallback=fallback,
+    )

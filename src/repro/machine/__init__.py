@@ -1,0 +1,32 @@
+"""Spatial Computer Model substrate: grid geometry, Z-order curves, the
+cost-metering machine simulator, message tracing, and data layouts."""
+
+from .geometry import Region, manhattan, manhattan_arrays
+from .machine import SpatialMachine, TrackedArray, combine
+from .metrics import CostReport, MachineStats
+from .tracer import MessageBatch, Tracer
+from .zorder import (
+    is_power_of_two,
+    zorder_coords,
+    zorder_curve_energy,
+    zorder_decode,
+    zorder_encode,
+)
+
+__all__ = [
+    "Region",
+    "manhattan",
+    "manhattan_arrays",
+    "SpatialMachine",
+    "TrackedArray",
+    "combine",
+    "CostReport",
+    "MachineStats",
+    "Tracer",
+    "MessageBatch",
+    "zorder_encode",
+    "zorder_decode",
+    "zorder_coords",
+    "zorder_curve_energy",
+    "is_power_of_two",
+]

@@ -1,0 +1,177 @@
+"""Grid geometry for the Spatial Computer Model.
+
+The Spatial Computer Model places processors on an unbounded Cartesian 2D grid.
+A processor is addressed by integer coordinates ``(row, col)``.  Sending a
+message from ``(i, j)`` to ``(x, y)`` costs Manhattan distance
+``|x - i| + |y - j|`` (paper, Section I.A).
+
+This module provides the :class:`Region` rectangle abstraction used by every
+algorithm to describe the subgrid it operates on, together with vectorized
+Manhattan-distance helpers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "Region",
+    "manhattan",
+    "manhattan_arrays",
+]
+
+
+def manhattan(r0: int, c0: int, r1: int, c1: int) -> int:
+    """Manhattan distance between two processors (scalar form)."""
+    return abs(int(r1) - int(r0)) + abs(int(c1) - int(c0))
+
+
+def manhattan_arrays(
+    rows0: np.ndarray, cols0: np.ndarray, rows1: np.ndarray, cols1: np.ndarray
+) -> np.ndarray:
+    """Elementwise Manhattan distances between two batches of coordinates.
+
+    All four inputs broadcast against each other; the result is an ``int64``
+    array of per-message wire distances.
+    """
+    return np.abs(
+        np.asarray(rows1, dtype=np.int64) - np.asarray(rows0, dtype=np.int64)
+    ) + np.abs(np.asarray(cols1, dtype=np.int64) - np.asarray(cols0, dtype=np.int64))
+
+
+@dataclass(frozen=True)
+class Region:
+    """An axis-aligned rectangle of processors.
+
+    ``Region(row, col, height, width)`` covers rows ``row .. row+height-1`` and
+    columns ``col .. col+width-1``.  Regions are value objects; all algorithms
+    take the region they run on explicitly so that recursive calls can hand
+    quadrants down without copying any state.
+    """
+
+    row: int
+    col: int
+    height: int
+    width: int
+
+    def __post_init__(self) -> None:
+        if self.height < 0 or self.width < 0:
+            raise ValueError(f"Region dimensions must be non-negative: {self}")
+
+    # ------------------------------------------------------------------
+    # basic properties
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of processors in the region."""
+        return self.height * self.width
+
+    @property
+    def is_square(self) -> bool:
+        return self.height == self.width
+
+    @property
+    def row_end(self) -> int:
+        """One past the last row."""
+        return self.row + self.height
+
+    @property
+    def col_end(self) -> int:
+        """One past the last column."""
+        return self.col + self.width
+
+    def diameter(self) -> int:
+        """Largest Manhattan distance between two processors in the region."""
+        if self.size == 0:
+            return 0
+        return (self.height - 1) + (self.width - 1)
+
+    def contains(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        """Vectorized membership test."""
+        rows = np.asarray(rows)
+        cols = np.asarray(cols)
+        return (
+            (rows >= self.row)
+            & (rows < self.row_end)
+            & (cols >= self.col)
+            & (cols < self.col_end)
+        )
+
+    # ------------------------------------------------------------------
+    # subdivision
+    # ------------------------------------------------------------------
+    def quadrants(self) -> tuple["Region", "Region", "Region", "Region"]:
+        """Split into four quadrants in Z-order: TL, TR, BL, BR.
+
+        Requires even height and width so the split is exact; the paper
+        assumes n is a power of 4 (Section III), which we inherit.
+        """
+        if self.height % 2 or self.width % 2:
+            raise ValueError(f"cannot quarter region with odd side: {self}")
+        h2, w2 = self.height // 2, self.width // 2
+        return (
+            Region(self.row, self.col, h2, w2),
+            Region(self.row, self.col + w2, h2, w2),
+            Region(self.row + h2, self.col, h2, w2),
+            Region(self.row + h2, self.col + w2, h2, w2),
+        )
+
+    def halves(self, axis: int) -> tuple["Region", "Region"]:
+        """Split in two along ``axis`` (0 = split rows, 1 = split columns)."""
+        if axis == 0:
+            if self.height % 2:
+                raise ValueError(f"cannot halve odd height: {self}")
+            h2 = self.height // 2
+            return (
+                Region(self.row, self.col, h2, self.width),
+                Region(self.row + h2, self.col, h2, self.width),
+            )
+        if self.width % 2:
+            raise ValueError(f"cannot halve odd width: {self}")
+        w2 = self.width // 2
+        return (
+            Region(self.row, self.col, self.height, w2),
+            Region(self.row, self.col + w2, self.height, w2),
+        )
+
+    # ------------------------------------------------------------------
+    # coordinate enumeration
+    # ------------------------------------------------------------------
+    def rowmajor_coords(self, n: int | None = None) -> tuple[np.ndarray, np.ndarray]:
+        """Coordinates of the first ``n`` cells in row-major order.
+
+        ``n`` defaults to the full region size.
+        """
+        if n is None:
+            n = self.size
+        if n > self.size:
+            raise ValueError(f"requested {n} cells from region of size {self.size}")
+        idx = np.arange(n, dtype=np.int64)
+        return self.row + idx // self.width, self.col + idx % self.width
+
+    def rowmajor_index(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        """Inverse of :meth:`rowmajor_coords` for coordinates inside the region."""
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        return (rows - self.row) * self.width + (cols - self.col)
+
+    def corner(self) -> tuple[int, int]:
+        """Top-left processor of the region."""
+        return self.row, self.col
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Region(r={self.row}, c={self.col}, {self.height}x{self.width})"
+
+
+def square_region_for(n: int, row: int = 0, col: int = 0) -> Region:
+    """Smallest square power-of-two region with at least ``n`` cells.
+
+    Convenience for staging areas (sample sorts, gathers) where the paper
+    says "gather the elements in a square subgrid".
+    """
+    side = 1
+    while side * side < n:
+        side *= 2
+    return Region(row, col, side, side)

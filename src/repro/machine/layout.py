@@ -1,0 +1,97 @@
+"""Data layouts on the processor grid.
+
+Algorithms in the paper rely on three layouts:
+
+* **row-major** — the conventional layout; sorted outputs are delivered in
+  row-major order (Section V).
+* **Z-order** — inputs to the energy-optimal scan, and the intermediate order
+  of the 2D merge recursion (Sections III-V).
+* **square + mirrored-L** (Fig. 3) — inside the 2D merge, the larger of the
+  two sorted arrays occupies a square subgrid at the region's corner and the
+  other fills the remaining cells in row-major order, forming a mirrored "L".
+
+All functions return coordinate arrays; placing or moving values to them is
+the caller's job (so the message costs are charged where they belong).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .geometry import Region
+from .zorder import zorder_coords
+
+__all__ = [
+    "rowmajor_layout",
+    "zorder_layout",
+    "square_plus_l_layout",
+    "permutation_to_rowmajor",
+]
+
+
+def rowmajor_layout(region: Region, n: int) -> tuple[np.ndarray, np.ndarray]:
+    """First ``n`` cells of ``region`` in row-major order."""
+    return region.rowmajor_coords(n)
+
+
+def zorder_layout(region: Region, n: int) -> tuple[np.ndarray, np.ndarray]:
+    """First ``n`` cells of ``region`` along the (generalized) Z-order curve."""
+    return zorder_coords(region, n)
+
+
+def square_plus_l_layout(
+    region: Region, n_square: int, n_rest: int
+) -> tuple[tuple[np.ndarray, np.ndarray], tuple[np.ndarray, np.ndarray]]:
+    """Fig. 3 layout: a square block at the corner plus a mirrored-L fill.
+
+    The first ``n_square`` elements go into the smallest square subgrid at the
+    region's top-left corner that holds them (row-major inside the square);
+    the next ``n_rest`` elements fill the remaining cells of the region in
+    row-major order, skipping the square.  Returns the two coordinate sets.
+    """
+    if n_square + n_rest > region.size:
+        raise ValueError(
+            f"{n_square}+{n_rest} elements do not fit region of size {region.size}"
+        )
+    side = math.isqrt(max(n_square - 1, 0)) + 1 if n_square else 0
+    side = min(side, region.height, region.width)
+    while side * side < n_square:  # region too narrow for a square: widen rows
+        raise ValueError(f"square of {n_square} elements does not fit {region}")
+    sq = Region(region.row, region.col, side, side)
+    sq_rows, sq_cols = sq.rowmajor_coords(n_square)
+
+    rest_rows_list = []
+    rest_cols_list = []
+    remaining = n_rest
+    # Row-major over the region, skipping cells covered by the square.
+    for r in range(region.row, region.row_end):
+        if remaining <= 0:
+            break
+        start_col = region.col + (side if r < region.row + side else 0)
+        width = region.col_end - start_col
+        if width <= 0:
+            continue
+        take = min(remaining, width)
+        rest_rows_list.append(np.full(take, r, dtype=np.int64))
+        rest_cols_list.append(start_col + np.arange(take, dtype=np.int64))
+        remaining -= take
+    if remaining > 0:
+        raise ValueError("mirrored-L fill ran out of cells")
+    rest_rows = (
+        np.concatenate(rest_rows_list) if rest_rows_list else np.empty(0, dtype=np.int64)
+    )
+    rest_cols = (
+        np.concatenate(rest_cols_list) if rest_cols_list else np.empty(0, dtype=np.int64)
+    )
+    return (sq_rows, sq_cols), (rest_rows, rest_cols)
+
+
+def permutation_to_rowmajor(region: Region, n: int) -> tuple[np.ndarray, np.ndarray]:
+    """Destination coordinates for the Z-order -> row-major permutation.
+
+    Element at Z-position ``i`` must move to row-major position ``i``
+    (final step of the 2D merge, Fig. 3d).
+    """
+    return region.rowmajor_coords(n)

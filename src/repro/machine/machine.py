@@ -1,0 +1,347 @@
+"""The Spatial Computer Model simulator.
+
+:class:`SpatialMachine` executes algorithms on a conceptually unbounded 2D grid
+of processors and *measures* energy, depth, and distance exactly as defined by
+the model (see :mod:`repro.machine.metrics`).
+
+Algorithms manipulate :class:`TrackedArray` objects: batches of values living
+at explicit grid coordinates, carrying per-value ``(depth, distance)``
+metadata as NumPy arrays.  Every bulk operation (a level of a recursion, a
+stage of a sorting network) is a single vectorized call, following the
+HPC-Python guidance of batching inner loops.
+
+The two primitive operations are:
+
+* :meth:`SpatialMachine.send` — move a batch of values to new coordinates.
+  Each moved value is one message: energy increases by its Manhattan distance,
+  its depth by one, its chain distance by the wire length.  Zero-length moves
+  are free (a processor "sending" to itself performs no communication).
+* :meth:`TrackedArray.combined_with` / :func:`combine` — compute a new value
+  locally from co-located inputs; metadata is the elementwise maximum.
+
+Control dependencies (e.g. "iteration t+1 may only start once the broadcast
+decision of iteration t arrived") are threaded with
+:meth:`TrackedArray.depending_on`, so the measured depth reflects the true
+dependency structure of iterative algorithms.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .geometry import Region, manhattan_arrays
+from .metrics import META_DTYPE, CostReport, MachineStats, combine_meta
+from .tracer import Tracer
+from . import zorder as zo
+
+__all__ = ["SpatialMachine", "TrackedArray", "combine", "concat_tracked"]
+
+
+class TrackedArray:
+    """A batch of values on the grid with per-value cost metadata.
+
+    Attributes
+    ----------
+    payload:
+        ``(n, ...)`` array of values; the first axis is the element axis.
+    rows, cols:
+        ``(n,)`` int64 coordinates of each value's processor.
+    depth, dist:
+        ``(n,)`` int64 per-value message-chain depth and chain distance.
+    """
+
+    __slots__ = ("machine", "payload", "rows", "cols", "depth", "dist")
+
+    def __init__(
+        self,
+        machine: "SpatialMachine",
+        payload: np.ndarray,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        depth: np.ndarray,
+        dist: np.ndarray,
+    ) -> None:
+        n = len(payload)
+        if not (len(rows) == len(cols) == len(depth) == len(dist) == n):
+            raise ValueError("TrackedArray fields must have equal length")
+        self.machine = machine
+        self.payload = payload
+        self.rows = rows
+        self.cols = cols
+        self.depth = depth
+        self.dist = dist
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.payload)
+
+    def __getitem__(self, idx) -> "TrackedArray":
+        """Subset by mask / fancy index / slice (no communication)."""
+        return TrackedArray(
+            self.machine,
+            self.payload[idx],
+            self.rows[idx],
+            self.cols[idx],
+            self.depth[idx],
+            self.dist[idx],
+        )
+
+    def copy(self) -> "TrackedArray":
+        return TrackedArray(
+            self.machine,
+            self.payload.copy(),
+            self.rows.copy(),
+            self.cols.copy(),
+            self.depth.copy(),
+            self.dist.copy(),
+        )
+
+    # ------------------------------------------------------------------
+    # local (free) operations
+    # ------------------------------------------------------------------
+    def with_payload(self, payload: np.ndarray) -> "TrackedArray":
+        """Locally recompute the payload (free; metadata unchanged)."""
+        if len(payload) != len(self):
+            raise ValueError("payload length mismatch")
+        return TrackedArray(self.machine, payload, self.rows, self.cols, self.depth, self.dist)
+
+    def combined_with(
+        self, *others: "TrackedArray", payload: np.ndarray
+    ) -> "TrackedArray":
+        """New value computed at this value's cell from co-located inputs."""
+        for o in others:
+            if len(o) != len(self):
+                raise ValueError("combined_with requires equal-length operands")
+        depth, dist = combine_meta(
+            [self.depth, *(o.depth for o in others)],
+            [self.dist, *(o.dist for o in others)],
+        )
+        out = TrackedArray(self.machine, payload, self.rows, self.cols, depth, dist)
+        self.machine.stats.observe(out.depth, out.dist)
+        return out
+
+    def depending_on(self, control: "TrackedArray") -> "TrackedArray":
+        """Add a control dependency on a co-located value (or scalar value).
+
+        The controlling value must already be present at this cell (it was
+        broadcast or sent here), so no message is charged; depth/distance are
+        the elementwise max of data and control metadata.
+        """
+        cd = control.depth if len(control) != 1 else control.depth[0]
+        cs = control.dist if len(control) != 1 else control.dist[0]
+        return TrackedArray(
+            self.machine,
+            self.payload,
+            self.rows,
+            self.cols,
+            np.maximum(self.depth, cd),
+            np.maximum(self.dist, cs),
+        )
+
+    def depending_on_meta(self, depth: int, dist: int) -> "TrackedArray":
+        """Like :meth:`depending_on` with raw scalar metadata."""
+        return TrackedArray(
+            self.machine,
+            self.payload,
+            self.rows,
+            self.cols,
+            np.maximum(self.depth, META_DTYPE(depth)),
+            np.maximum(self.dist, META_DTYPE(dist)),
+        )
+
+    # ------------------------------------------------------------------
+    # communication
+    # ------------------------------------------------------------------
+    def sent_to(self, rows: np.ndarray, cols: np.ndarray) -> "TrackedArray":
+        """Send each value to new coordinates (one message per moved value)."""
+        return self.machine.send(self, rows, cols)
+
+    # ------------------------------------------------------------------
+    def max_depth(self) -> int:
+        return int(self.depth.max()) if len(self) else 0
+
+    def max_dist(self) -> int:
+        return int(self.dist.max()) if len(self) else 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TrackedArray(n={len(self)}, depth<= {self.max_depth()}, "
+            f"dist<= {self.max_dist()})"
+        )
+
+
+def combine(
+    arrays: Sequence[TrackedArray], func: Callable[..., np.ndarray]
+) -> TrackedArray:
+    """Compute ``func(*payloads)`` locally across co-located equal-length arrays."""
+    if not arrays:
+        raise ValueError("combine needs at least one operand")
+    payload = func(*(a.payload for a in arrays))
+    return arrays[0].combined_with(*arrays[1:], payload=payload)
+
+
+def concat_tracked(parts: Sequence[TrackedArray]) -> TrackedArray:
+    """Concatenate co-owned tracked arrays (bookkeeping only, no messages)."""
+    parts = [p for p in parts if len(p)]
+    if not parts:
+        raise ValueError("concat_tracked needs at least one non-empty part")
+    machine = parts[0].machine
+    return TrackedArray(
+        machine,
+        np.concatenate([p.payload for p in parts]),
+        np.concatenate([p.rows for p in parts]),
+        np.concatenate([p.cols for p in parts]),
+        np.concatenate([p.depth for p in parts]),
+        np.concatenate([p.dist for p in parts]),
+    )
+
+
+class SpatialMachine:
+    """An unbounded 2D grid of constant-memory processors with cost metering.
+
+    Parameters
+    ----------
+    trace:
+        Record every message batch in :attr:`tracer` (for small-n tests,
+        memory audits and figure generation).  Off by default: tracing large
+        runs is memory-hungry.
+    """
+
+    def __init__(self, trace: bool = False) -> None:
+        self.stats = MachineStats()
+        self.tracer: Tracer | None = Tracer() if trace else None
+
+    # ------------------------------------------------------------------
+    # placing inputs
+    # ------------------------------------------------------------------
+    def place(
+        self, payload: np.ndarray, rows: np.ndarray, cols: np.ndarray
+    ) -> TrackedArray:
+        """Place input values on the grid (free: inputs start in memory)."""
+        payload = np.asarray(payload)
+        n = len(payload)
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        zeros = np.zeros(n, dtype=META_DTYPE)
+        return TrackedArray(self, payload, rows, cols, zeros, zeros.copy())
+
+    def place_rowmajor(self, payload: np.ndarray, region: Region) -> TrackedArray:
+        """Place ``payload`` into ``region`` in row-major order."""
+        rows, cols = region.rowmajor_coords(len(payload))
+        return self.place(payload, rows, cols)
+
+    def place_zorder(self, payload: np.ndarray, region: Region) -> TrackedArray:
+        """Place ``payload`` into ``region`` along the Z-order curve."""
+        rows, cols = zo.zorder_coords(region, len(payload))
+        return self.place(payload, rows, cols)
+
+    # ------------------------------------------------------------------
+    # communication
+    # ------------------------------------------------------------------
+    def send(self, ta: TrackedArray, rows: np.ndarray, cols: np.ndarray) -> TrackedArray:
+        """Deliver each value of ``ta`` to new coordinates.
+
+        Moving a value across Manhattan distance ``d > 0`` is one message:
+        ``energy += d``, value depth ``+= 1`` and chain distance ``+= d``.
+        Values whose destination equals their source do not communicate.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        if len(rows) != len(ta) or len(cols) != len(ta):
+            raise ValueError("destination arrays must match value count")
+        d = manhattan_arrays(ta.rows, ta.cols, rows, cols)
+        moved = d > 0
+        self.stats.energy += int(d.sum())
+        self.stats.messages += int(moved.sum())
+        self.stats.rounds += 1
+        if self.tracer is not None:
+            self.tracer.record(ta.rows, ta.cols, rows, cols, self.stats.rounds)
+        out = TrackedArray(
+            self,
+            ta.payload,
+            rows,
+            cols,
+            ta.depth + moved,
+            ta.dist + d,
+        )
+        self.stats.observe(out.depth, out.dist)
+        return out
+
+    def relay(
+        self,
+        src: tuple[int, int],
+        stop_rows: np.ndarray,
+        stop_cols: np.ndarray,
+        depth0: int = 0,
+        dist0: int = 0,
+    ) -> tuple[int, int]:
+        """Charge a *sequential* relayed message chain src -> stop_1 -> ... -> stop_t.
+
+        Models walk-style access patterns (binary searches whose successive
+        probes get geometrically closer): the query travels from stop to stop,
+        each hop one message, each hop depending on the previous one.  Returns
+        the ``(depth, dist)`` metadata of the value available at the final
+        stop.
+        """
+        stop_rows = np.asarray(stop_rows, dtype=np.int64)
+        stop_cols = np.asarray(stop_cols, dtype=np.int64)
+        chain_r = np.concatenate([[src[0]], stop_rows])
+        chain_c = np.concatenate([[src[1]], stop_cols])
+        d = manhattan_arrays(chain_r[:-1], chain_c[:-1], chain_r[1:], chain_c[1:])
+        nz = d > 0
+        self.stats.energy += int(d.sum())
+        self.stats.messages += int(nz.sum())
+        self.stats.rounds += 1
+        if self.tracer is not None:
+            self.tracer.record(
+                chain_r[:-1], chain_c[:-1], chain_r[1:], chain_c[1:], self.stats.rounds
+            )
+        depth = depth0 + int(nz.sum())
+        dist = dist0 + int(d.sum())
+        self.stats.max_depth = max(self.stats.max_depth, depth)
+        self.stats.max_distance = max(self.stats.max_distance, dist)
+        return depth, dist
+
+    # ------------------------------------------------------------------
+    # measurement helpers
+    # ------------------------------------------------------------------
+    def snapshot(self) -> MachineStats:
+        return self.stats.snapshot()
+
+    def report(self, before: MachineStats | None = None) -> CostReport:
+        if before is None:
+            before = MachineStats()
+        return self.stats.delta(before)
+
+    def measure(self) -> "_Measurement":
+        """Context manager capturing the cost delta of a code block::
+
+            with machine.measure() as cost:
+                scan(machine, data, region)
+            print(cost.energy, cost.messages)
+        """
+        return _Measurement(self)
+
+
+class _Measurement:
+    """Mutable cost record filled in when its ``with`` block exits."""
+
+    def __init__(self, machine: "SpatialMachine") -> None:
+        self._machine = machine
+        self.energy = 0
+        self.messages = 0
+        self.depth = 0
+        self.distance = 0
+
+    def __enter__(self) -> "_Measurement":
+        self._before = self._machine.snapshot()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        rep = self._machine.stats.delta(self._before)
+        self.energy = rep.energy
+        self.messages = rep.messages
+        self.depth = rep.depth
+        self.distance = rep.distance

@@ -1,0 +1,105 @@
+"""Cost accounting for the Spatial Computer Model.
+
+The model charges three quantities (paper, Section I.A):
+
+* **energy** — the sum over all messages of the Manhattan distance travelled;
+* **depth**  — the length (in messages) of the longest chain of messages that
+  consecutively depend on each other;
+* **distance** — the largest *total Manhattan distance* along any chain of
+  dependent messages.
+
+Energy is a global counter.  Depth and distance are per-*value* quantities: a
+value produced by combining inputs inherits the elementwise maximum of its
+inputs' depth/distance, and receiving a value over a wire of length ``d > 0``
+adds ``1`` to depth and ``d`` to distance.  Local computation is free and a
+"send" to the same processor is not a message.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["MachineStats", "combine_meta", "META_DTYPE"]
+
+META_DTYPE = np.int64
+
+
+@dataclass
+class MachineStats:
+    """Running totals for one :class:`~repro.machine.machine.SpatialMachine`."""
+
+    energy: int = 0
+    messages: int = 0
+    #: number of ``send`` batches issued (a proxy for synchronous rounds;
+    #: only used by the tracer's inbox audit, not by any cost metric).
+    rounds: int = 0
+    #: largest per-value depth ever observed on any value, including
+    #: intermediate ones that are later discarded.
+    max_depth: int = 0
+    #: largest per-value chain distance ever observed.
+    max_distance: int = 0
+
+    def observe(self, depth: np.ndarray, dist: np.ndarray) -> None:
+        if depth.size:
+            self.max_depth = max(self.max_depth, int(depth.max()))
+            self.max_distance = max(self.max_distance, int(dist.max()))
+
+    def snapshot(self) -> "MachineStats":
+        return MachineStats(
+            energy=self.energy,
+            messages=self.messages,
+            rounds=self.rounds,
+            max_depth=self.max_depth,
+            max_distance=self.max_distance,
+        )
+
+    def delta(self, before: "MachineStats") -> "CostReport":
+        """Costs incurred since ``before`` (a snapshot of this stats object)."""
+        return CostReport(
+            energy=self.energy - before.energy,
+            messages=self.messages - before.messages,
+            depth=self.max_depth,
+            distance=self.max_distance,
+        )
+
+
+@dataclass(frozen=True)
+class CostReport:
+    """Immutable record of the cost of one algorithm run.
+
+    ``depth``/``distance`` are the machine-wide maxima at the end of the run
+    (per-value depth of the *results* is available on the returned
+    :class:`~repro.machine.machine.TrackedArray` directly).
+    """
+
+    energy: int
+    messages: int
+    depth: int
+    distance: int
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "energy": self.energy,
+            "messages": self.messages,
+            "depth": self.depth,
+            "distance": self.distance,
+        }
+
+
+def combine_meta(
+    depths: list[np.ndarray], dists: list[np.ndarray]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Metadata of a value computed locally from several co-located inputs.
+
+    Depth and chain-distance are each the elementwise maximum over the inputs
+    (the new value depends on *all* of them; local combination itself is free).
+    """
+    depth = depths[0]
+    dist = dists[0]
+    for d in depths[1:]:
+        depth = np.maximum(depth, d)
+    for d in dists[1:]:
+        dist = np.maximum(dist, d)
+    return depth.astype(META_DTYPE, copy=True), dist.astype(META_DTYPE, copy=True)

@@ -1,0 +1,131 @@
+"""Optional per-message trace recording.
+
+For small inputs, a :class:`Tracer` keeps every message's endpoints.  Tests use
+it to audit model assumptions that the batched execution abstracts away:
+
+* the per-round *inbox* of a processor stays O(1) — in a constant-memory
+  machine a processor cannot buffer an unbounded number of simultaneous
+  messages (paper, Sections I.D and III);
+* message patterns match the figures (e.g. the Fig. 1 scan tree edges).
+
+Tracing is off by default; it materializes Python-level state per batch and is
+meant for ``n`` up to a few thousand.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Tracer", "MessageBatch"]
+
+
+@dataclass(frozen=True)
+class MessageBatch:
+    """One vectorized ``send``: parallel messages issued together."""
+
+    src_rows: np.ndarray
+    src_cols: np.ndarray
+    dst_rows: np.ndarray
+    dst_cols: np.ndarray
+    round: int
+
+    def __len__(self) -> int:
+        return len(self.src_rows)
+
+    def distances(self) -> np.ndarray:
+        return np.abs(self.dst_rows - self.src_rows) + np.abs(self.dst_cols - self.src_cols)
+
+
+@dataclass
+class Tracer:
+    batches: list[MessageBatch] = field(default_factory=list)
+
+    def record(
+        self,
+        src_rows: np.ndarray,
+        src_cols: np.ndarray,
+        dst_rows: np.ndarray,
+        dst_cols: np.ndarray,
+        round_idx: int,
+    ) -> None:
+        moved = (src_rows != dst_rows) | (src_cols != dst_cols)
+        if not moved.any():
+            return
+        self.batches.append(
+            MessageBatch(
+                src_rows[moved].copy(),
+                src_cols[moved].copy(),
+                dst_rows[moved].copy(),
+                dst_cols[moved].copy(),
+                round_idx,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def total_messages(self) -> int:
+        return sum(len(b) for b in self.batches)
+
+    def total_energy(self) -> int:
+        return int(sum(b.distances().sum() for b in self.batches))
+
+    def max_inbox_per_round(self) -> int:
+        """Largest number of messages received by one processor in one batch.
+
+        A batched ``send`` corresponds to one parallel communication round;
+        in a constant-memory machine each processor may receive only O(1)
+        messages per round.  Core algorithm tests assert a small constant.
+        """
+        worst = 0
+        for b in self.batches:
+            counts = Counter(zip(b.dst_rows.tolist(), b.dst_cols.tolist()))
+            if counts:
+                worst = max(worst, max(counts.values()))
+        return worst
+
+    def max_outbox_per_round(self) -> int:
+        """Largest number of messages sent by one processor in one batch."""
+        worst = 0
+        for b in self.batches:
+            counts = Counter(zip(b.src_rows.tolist(), b.src_cols.tolist()))
+            if counts:
+                worst = max(worst, max(counts.values()))
+        return worst
+
+    def energy_by_cell(self, attribute_to: str = "source") -> dict[tuple[int, int], int]:
+        """Attribute each message's energy to its source (or destination) cell.
+
+        The resulting map is the spatial *load profile* of an algorithm —
+        the Fig.-style picture of where wire length is spent.  Spatially
+        local algorithms (the 2D scan) show flat profiles; 1D-tree patterns
+        concentrate load along their pairing axis.
+        """
+        if attribute_to not in ("source", "destination"):
+            raise ValueError("attribute_to must be 'source' or 'destination'")
+        out: dict[tuple[int, int], int] = {}
+        for b in self.batches:
+            rows = b.src_rows if attribute_to == "source" else b.dst_rows
+            cols = b.src_cols if attribute_to == "source" else b.dst_cols
+            for r, c, d in zip(rows.tolist(), cols.tolist(), b.distances().tolist()):
+                key = (r, c)
+                out[key] = out.get(key, 0) + d
+        return out
+
+    def messages_by_round(self) -> dict[int, int]:
+        """Message count per ``send`` batch round (parallelism profile)."""
+        out: dict[int, int] = {}
+        for b in self.batches:
+            out[b.round] = out.get(b.round, 0) + len(b)
+        return out
+
+    def edges(self) -> list[tuple[tuple[int, int], tuple[int, int]]]:
+        """All (src, dst) pairs, for structural assertions and figures."""
+        out: list[tuple[tuple[int, int], tuple[int, int]]] = []
+        for b in self.batches:
+            out.extend(
+                ((int(sr), int(sc)), (int(dr), int(dc)))
+                for sr, sc, dr, dc in zip(b.src_rows, b.src_cols, b.dst_rows, b.dst_cols)
+            )
+        return out

@@ -1,0 +1,31 @@
+"""PRAM substrate and its Spatial Computer simulation (paper, Section VII)."""
+
+from .pram import NO_ACCESS, ConflictError, PRAMProgram, run_reference
+from .programs import (
+    FanInMaxCRCW,
+    ListRankingCRCW,
+    PrefixDoublingScanEREW,
+    RandomConcurrentProgram,
+    RandomExclusiveProgram,
+    SpMVCRCW,
+    TreeSumEREW,
+)
+from .simulate import SimulationLayout, simulate, simulate_crcw, simulate_erew
+
+__all__ = [
+    "NO_ACCESS",
+    "ConflictError",
+    "PRAMProgram",
+    "run_reference",
+    "FanInMaxCRCW",
+    "ListRankingCRCW",
+    "RandomConcurrentProgram",
+    "RandomExclusiveProgram",
+    "PrefixDoublingScanEREW",
+    "SpMVCRCW",
+    "TreeSumEREW",
+    "SimulationLayout",
+    "simulate",
+    "simulate_crcw",
+    "simulate_erew",
+]

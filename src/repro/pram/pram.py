@@ -1,0 +1,120 @@
+"""A synchronous PRAM virtual machine (substrate for Section VII).
+
+The paper simulates PRAM algorithms on the spatial model; to *measure* those
+simulations we first need runnable PRAM programs.  A
+:class:`PRAMProgram` describes one: ``p`` processors advance through ``T``
+synchronous steps, each step being a read phase (every processor may read one
+memory cell), a local compute phase, and a write phase (every processor may
+write one cell).
+
+The interface is vectorized — one NumPy call per phase over all processors —
+following the HPC-Python guidance; per-processor state lives in a dict of
+arrays managed by the program.
+
+:func:`run_reference` executes a program against plain NumPy memory with
+EREW/CRCW conflict policing.  It is the functional oracle the spatial
+simulations (:mod:`repro.pram.simulate`) are tested against.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["PRAMProgram", "StepAccess", "run_reference", "ConflictError"]
+
+NO_ACCESS = -1
+
+
+class ConflictError(RuntimeError):
+    """An EREW program issued a concurrent read or write."""
+
+
+@dataclass
+class StepAccess:
+    """One step's declared memory traffic (``NO_ACCESS`` = no access)."""
+
+    read_addrs: np.ndarray
+    write_addrs: np.ndarray
+    write_values: np.ndarray
+
+
+class PRAMProgram(ABC):
+    """A synchronous PRAM program over ``processors`` procs / ``memory_cells``
+    cells running for ``steps`` steps."""
+
+    #: number of processors
+    processors: int
+    #: number of shared memory cells
+    memory_cells: int
+    #: number of synchronous steps
+    steps: int
+
+    @abstractmethod
+    def initial_memory(self) -> np.ndarray:
+        """Initial contents of the shared memory (length ``memory_cells``)."""
+
+    @abstractmethod
+    def initial_state(self) -> dict[str, np.ndarray]:
+        """Per-processor private state (dict of length-``processors`` arrays)."""
+
+    @abstractmethod
+    def read_addrs(self, t: int, state: dict[str, np.ndarray]) -> np.ndarray:
+        """Cell each processor reads at step ``t`` (``NO_ACCESS`` = none)."""
+
+    @abstractmethod
+    def step(
+        self, t: int, state: dict[str, np.ndarray], read_values: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Local compute: mutate ``state``; return (write_addrs, write_values).
+
+        ``read_values[i]`` is NaN where processor ``i`` did not read.
+        """
+
+
+def _check_exclusive(addrs: np.ndarray, kind: str, t: int) -> None:
+    used = addrs[addrs != NO_ACCESS]
+    if len(np.unique(used)) != len(used):
+        raise ConflictError(f"concurrent {kind} at step {t} in EREW mode")
+
+
+def run_reference(
+    program: PRAMProgram, mode: str = "EREW"
+) -> tuple[np.ndarray, dict[str, np.ndarray]]:
+    """Run the program on plain NumPy memory (the functional oracle).
+
+    ``mode`` is ``"EREW"`` (conflicts raise :class:`ConflictError`) or
+    ``"CRCW"`` (concurrent reads allowed; on write conflicts the lowest
+    processor id wins — the *arbitrary* CRCW made deterministic).
+    Returns the final memory and processor state.
+    """
+    if mode not in ("EREW", "CRCW"):
+        raise ValueError(f"unknown PRAM mode {mode!r}")
+    memory = np.asarray(program.initial_memory(), dtype=np.float64).copy()
+    if len(memory) != program.memory_cells:
+        raise ValueError("initial_memory size mismatch")
+    state = program.initial_state()
+
+    for t in range(program.steps):
+        raddr = np.asarray(program.read_addrs(t, state), dtype=np.int64)
+        if mode == "EREW":
+            _check_exclusive(raddr, "read", t)
+        vals = np.full(program.processors, np.nan)
+        reading = raddr != NO_ACCESS
+        vals[reading] = memory[raddr[reading]]
+
+        waddr, wval = program.step(t, state, vals)
+        waddr = np.asarray(waddr, dtype=np.int64)
+        wval = np.asarray(wval, dtype=np.float64)
+        if mode == "EREW":
+            _check_exclusive(waddr, "write", t)
+            writing = waddr != NO_ACCESS
+            memory[waddr[writing]] = wval[writing]
+        else:
+            # arbitrary CRCW, lowest pid wins: apply writes from high pid to
+            # low pid so the lowest lands last
+            writing = np.nonzero(waddr != NO_ACCESS)[0][::-1]
+            memory[waddr[writing]] = wval[writing]
+    return memory, state

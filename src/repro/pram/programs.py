@@ -1,0 +1,359 @@
+"""Ready-made PRAM programs (substrate workloads for Section VII).
+
+* :class:`TreeSumEREW` — parallel reduction: ``log p`` rounds of pairwise
+  adds over the memory array; strictly exclusive accesses.
+* :class:`PrefixDoublingScanEREW` — Hillis-Steele prefix sum by pointer
+  doubling (work-inefficient but exclusive and ``log n`` steps).
+* :class:`FanInMaxCRCW` — every processor reads the *same* cell (stress for
+  the concurrent-read machinery) and the winners write back concurrently
+  (stress for arbitrary-write resolution).
+* :class:`SpMVCRCW` — the Section VIII baseline: one processor per non-zero
+  reads ``x[col]`` (concurrent reads on shared columns), forms the product,
+  then a segmented pointer-jumping sum per row; row leaders store the output.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .pram import NO_ACCESS, PRAMProgram
+
+__all__ = [
+    "TreeSumEREW",
+    "PrefixDoublingScanEREW",
+    "FanInMaxCRCW",
+    "SpMVCRCW",
+    "ListRankingCRCW",
+    "RandomExclusiveProgram",
+    "RandomConcurrentProgram",
+]
+
+
+class TreeSumEREW(PRAMProgram):
+    """Sum ``values`` with a binary reduction tree; result in cell 0.
+
+    Round ``t``: processor ``i < p / 2^{t+1}`` reads cell ``i + p/2^{t+1}``
+    and adds it into its accumulator, then writes the accumulator to cell
+    ``i``.  All reads and writes are exclusive.
+    """
+
+    def __init__(self, values: np.ndarray) -> None:
+        values = np.asarray(values, dtype=np.float64)
+        p = len(values)
+        if p & (p - 1):
+            raise ValueError("TreeSumEREW needs a power-of-two input")
+        self.values = values
+        self.processors = p
+        self.memory_cells = p
+        self.steps = int(np.log2(p)) if p > 1 else 0
+
+    def initial_memory(self) -> np.ndarray:
+        return self.values.copy()
+
+    def initial_state(self) -> dict[str, np.ndarray]:
+        return {"acc": self.values.copy()}
+
+    def read_addrs(self, t: int, state: dict[str, np.ndarray]) -> np.ndarray:
+        p = self.processors
+        half = p >> (t + 1)
+        addrs = np.full(p, NO_ACCESS, dtype=np.int64)
+        i = np.arange(half)
+        addrs[i] = i + half
+        return addrs
+
+    def step(self, t, state, read_values):
+        p = self.processors
+        half = p >> (t + 1)
+        state["acc"][:half] += read_values[:half]
+        waddr = np.full(p, NO_ACCESS, dtype=np.int64)
+        waddr[:half] = np.arange(half)
+        return waddr, state["acc"]
+
+
+class PrefixDoublingScanEREW(PRAMProgram):
+    """Hillis-Steele inclusive prefix sum: cell ``i`` ends as ``sum(x[:i+1])``.
+
+    Round ``t``: processor ``i >= 2^t`` reads cell ``i - 2^t`` (exclusive:
+    distinct sources) and adds it into its accumulator, writing back to cell
+    ``i``.
+    """
+
+    def __init__(self, values: np.ndarray) -> None:
+        values = np.asarray(values, dtype=np.float64)
+        p = len(values)
+        if p & (p - 1):
+            raise ValueError("PrefixDoublingScanEREW needs a power-of-two input")
+        self.values = values
+        self.processors = p
+        self.memory_cells = p
+        self.steps = int(np.log2(p)) if p > 1 else 0
+
+    def initial_memory(self) -> np.ndarray:
+        return self.values.copy()
+
+    def initial_state(self) -> dict[str, np.ndarray]:
+        return {"acc": self.values.copy()}
+
+    def read_addrs(self, t, state):
+        p = self.processors
+        off = 1 << t
+        addrs = np.full(p, NO_ACCESS, dtype=np.int64)
+        i = np.arange(off, p)
+        addrs[i] = i - off
+        return addrs
+
+    def step(self, t, state, read_values):
+        p = self.processors
+        off = 1 << t
+        state["acc"][off:] += read_values[off:]
+        waddr = np.full(p, NO_ACCESS, dtype=np.int64)
+        waddr[off:] = np.arange(off, p)
+        return waddr, state["acc"]
+
+
+class FanInMaxCRCW(PRAMProgram):
+    """All processors read cell 0, then every processor whose private value
+    beats it writes its value there (arbitrary CRCW, lowest pid wins).
+
+    After round ``r`` cell 0 holds the ``r``-th left-to-right record of the
+    value sequence, so ``rounds = #records`` reaches the maximum (``O(log p)``
+    in expectation for random inputs).  A single round already exercises
+    p-way concurrent reads and concurrent writes.
+    """
+
+    @staticmethod
+    def records_needed(values: np.ndarray) -> int:
+        """Number of rounds until cell 0 holds ``values.max()``."""
+        best = -np.inf
+        count = 0
+        for v in values:
+            if v > best:
+                best = v
+                count += 1
+        return count
+
+    def __init__(self, values: np.ndarray, rounds: int = 2) -> None:
+        self.values = np.asarray(values, dtype=np.float64)
+        self.processors = len(self.values)
+        self.memory_cells = 1
+        self.steps = rounds
+
+    def initial_memory(self) -> np.ndarray:
+        return np.array([-np.inf])
+
+    def initial_state(self) -> dict[str, np.ndarray]:
+        return {"v": self.values.copy()}
+
+    def read_addrs(self, t, state):
+        return np.zeros(self.processors, dtype=np.int64)
+
+    def step(self, t, state, read_values):
+        beats = state["v"] > read_values
+        waddr = np.where(beats, 0, NO_ACCESS).astype(np.int64)
+        return waddr, state["v"]
+
+
+class SpMVCRCW(PRAMProgram):
+    """The paper's Section VIII PRAM baseline for ``y = A x``.
+
+    One processor per non-zero (entries pre-sorted by row).  Memory layout:
+    ``x`` in cells ``[0, n)``, per-entry partial sums in ``[n, n+nnz)``,
+    outputs ``y`` in ``[n+nnz, 2n+nnz)``.
+
+    Step 0: processor ``e`` reads ``x[col_e]`` — *concurrent* reads whenever a
+    column has several non-zeros — and stores ``A_e * x[col_e]``.
+    Steps 1..log(nnz): segmented pointer jumping within each row's run, every
+    access exclusive.  Final step: the first entry of each row writes the row
+    sum to the output cell.
+    """
+
+    def __init__(
+        self,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        vals: np.ndarray,
+        n: int,
+        x: np.ndarray,
+    ) -> None:
+        order = np.lexsort((cols, rows))
+        self.rows = np.asarray(rows, dtype=np.int64)[order]
+        self.cols = np.asarray(cols, dtype=np.int64)[order]
+        self.vals = np.asarray(vals, dtype=np.float64)[order]
+        self.n = n
+        self.x = np.asarray(x, dtype=np.float64)
+        nnz = len(self.vals)
+        self.nnz = nnz
+        self.processors = nnz
+        self.memory_cells = 2 * n + nnz
+        self.jump_rounds = max(1, int(np.ceil(np.log2(max(nnz, 2)))))
+        self.steps = 1 + self.jump_rounds + 1
+        # row run boundaries, known statically to each processor
+        self.row_start = np.concatenate([[True], self.rows[1:] != self.rows[:-1]])
+
+    def initial_memory(self) -> np.ndarray:
+        mem = np.zeros(self.memory_cells)
+        mem[: self.n] = self.x
+        return mem
+
+    def initial_state(self) -> dict[str, np.ndarray]:
+        return {"acc": np.zeros(self.nnz)}
+
+    def read_addrs(self, t, state):
+        e = np.arange(self.nnz)
+        if t == 0:
+            return self.cols.copy()
+        if t <= self.jump_rounds:
+            off = 1 << (t - 1)
+            partner = e + off
+            addrs = np.full(self.nnz, NO_ACCESS, dtype=np.int64)
+            ok = partner < self.nnz
+            same_row = np.zeros(self.nnz, dtype=bool)
+            same_row[ok] = self.rows[partner[ok]] == self.rows[e[ok]]
+            addrs[same_row] = self.n + partner[same_row]
+            return addrs
+        return np.full(self.nnz, NO_ACCESS, dtype=np.int64)
+
+    def step(self, t, state, read_values):
+        e = np.arange(self.nnz)
+        if t == 0:
+            state["acc"] = self.vals * read_values
+            return (self.n + e).astype(np.int64), state["acc"]
+        if t <= self.jump_rounds:
+            got = ~np.isnan(read_values)
+            state["acc"][got] += read_values[got]
+            return (self.n + e).astype(np.int64), state["acc"]
+        # final step: row leaders publish
+        waddr = np.where(
+            self.row_start, self.n + self.nnz + self.rows, NO_ACCESS
+        ).astype(np.int64)
+        return waddr, state["acc"]
+
+
+class ListRankingCRCW(PRAMProgram):
+    """List ranking by pointer jumping — the canonical PRAM irregular kernel.
+
+    Input: a successor array describing a linked list (the tail points to
+    itself).  Memory layout: successor cells in ``[0, p)``, rank cells in
+    ``[p, 2p)``.  Each jumping round is two steps:
+
+    * even step: read ``rank[s_i]``, fold it into the private rank, write
+      ``rank[i]``;
+    * odd step: read ``succ[s_i]``, jump ``s_i``, write ``succ[i]``.
+
+    Once several pointers hit the tail they *concurrently read* the tail's
+    cells, so the program needs the CRCW machinery — a natural stress for
+    Lemma VII.2's sort-based reads.  After ``ceil(log2 p)`` rounds every
+    ``rank[i]`` holds the hop distance to the tail.
+    """
+
+    def __init__(self, successor: np.ndarray) -> None:
+        successor = np.asarray(successor, dtype=np.int64)
+        p = len(successor)
+        if ((successor < 0) | (successor >= p)).any():
+            raise ValueError("successor indices out of range")
+        self.successor = successor
+        self.processors = p
+        self.memory_cells = 2 * p
+        self.rounds = max(1, int(np.ceil(np.log2(max(p, 2)))))
+        self.steps = 2 * self.rounds
+
+    def initial_memory(self) -> np.ndarray:
+        mem = np.zeros(2 * self.processors)
+        mem[: self.processors] = self.successor.astype(np.float64)
+        mem[self.processors :] = (self.successor != np.arange(self.processors)).astype(
+            np.float64
+        )
+        return mem
+
+    def initial_state(self) -> dict[str, np.ndarray]:
+        is_tail = self.successor == np.arange(self.processors)
+        return {
+            "s": self.successor.copy(),
+            "r": (~is_tail).astype(np.float64),
+        }
+
+    def read_addrs(self, t, state):
+        p = self.processors
+        i = np.arange(p)
+        moving = state["s"] != i
+        if t % 2 == 0:  # read the successor's rank
+            return np.where(moving, p + state["s"], NO_ACCESS).astype(np.int64)
+        return np.where(moving, state["s"], NO_ACCESS).astype(np.int64)
+
+    def step(self, t, state, read_values):
+        p = self.processors
+        i = np.arange(p)
+        if t % 2 == 0:
+            got = ~np.isnan(read_values)
+            state["r"][got] += read_values[got]
+            return (p + i).astype(np.int64), state["r"]
+        got = ~np.isnan(read_values)
+        state["s"][got] = read_values[got].astype(np.int64)
+        return i.astype(np.int64), state["s"].astype(np.float64)
+
+
+class RandomExclusiveProgram(PRAMProgram):
+    """A randomized but conflict-free program for equivalence testing.
+
+    Every step reads through one random permutation and writes through
+    another, folding the read value into a private accumulator — exclusive
+    by construction, with dense irregular traffic.  Used by the tests to
+    check the spatial EREW simulation against the reference VM on arbitrary
+    access patterns.
+    """
+
+    def __init__(self, p: int, steps: int, seed: int) -> None:
+        rng = np.random.default_rng(seed)
+        self.processors = p
+        self.memory_cells = p
+        self.steps = steps
+        self.read_perms = [rng.permutation(p) for _ in range(steps)]
+        self.write_perms = [rng.permutation(p) for _ in range(steps)]
+        self.init = rng.standard_normal(p)
+
+    def initial_memory(self) -> np.ndarray:
+        return self.init.copy()
+
+    def initial_state(self) -> dict[str, np.ndarray]:
+        return {"acc": np.zeros(self.processors)}
+
+    def read_addrs(self, t, state):
+        return self.read_perms[t].astype(np.int64)
+
+    def step(self, t, state, read_values):
+        state["acc"] = 0.5 * state["acc"] + read_values
+        return self.write_perms[t].astype(np.int64), state["acc"].copy()
+
+
+class RandomConcurrentProgram(PRAMProgram):
+    """A randomized CRCW program with deliberate read/write collisions.
+
+    Each step reads from a random address vector drawn from a *small* cell
+    pool (forcing concurrent reads) and writes to another (forcing
+    concurrent writes, resolved to the lowest pid).  The accumulator update
+    is deterministic, so the spatial CRCW simulation can be property-tested
+    against the reference VM on arbitrarily conflicted traffic.
+    """
+
+    def __init__(self, p: int, steps: int, seed: int, pool: int | None = None) -> None:
+        rng = np.random.default_rng(seed)
+        self.processors = p
+        self.memory_cells = p
+        self.steps = steps
+        pool = pool or max(2, p // 4)
+        self.read_addrs_all = [rng.integers(0, pool, p) for _ in range(steps)]
+        self.write_addrs_all = [rng.integers(0, pool, p) for _ in range(steps)]
+        self.init = rng.standard_normal(p)
+
+    def initial_memory(self) -> np.ndarray:
+        return self.init.copy()
+
+    def initial_state(self) -> dict[str, np.ndarray]:
+        return {"acc": np.arange(self.processors, dtype=np.float64)}
+
+    def read_addrs(self, t, state):
+        return self.read_addrs_all[t].astype(np.int64)
+
+    def step(self, t, state, read_values):
+        state["acc"] = 0.25 * state["acc"] + read_values
+        return self.write_addrs_all[t].astype(np.int64), state["acc"].copy()

@@ -1,0 +1,339 @@
+"""Spatial Computer simulation of PRAM programs (paper, Section VII).
+
+PRAM processors live in a ``sqrt(p) x sqrt(p)`` subgrid (Z-order indexed);
+the shared memory cells in a ``sqrt(m) x sqrt(m)`` subgrid next to it
+(row-major indexed).
+
+* **EREW** (Lemma VII.1): every access is a direct request/reply message
+  pair, ``O(1)`` depth and ``O(sqrt(p) + sqrt(m))`` distance per step, so a
+  ``T``-step program costs ``O(p (sqrt(p)+sqrt(m)) T)`` energy, ``O(T)``
+  depth, ``O((sqrt(p)+sqrt(m)) T)`` distance.
+
+* **CRCW** (Lemma VII.2): concurrency is resolved by *sorting*.  Reads: sort
+  ``(cell, pid)`` tuples with the energy-optimal 2D Mergesort, let each run's
+  leader fetch the cell, spread the value with a segmented broadcast (a
+  parallel scan), sort back by pid and deliver.  Writes: sort ``(cell, pid)``
+  and let each run's leader (the lowest pid — the deterministic "arbitrary"
+  winner) perform the store.  Depth grows to ``O(T log^3 p)``; energy and
+  distance match the EREW bound.
+
+Both simulators thread every processor's dependency chain through a *token*
+tracked array, so measured depth reflects "step t+1 waits for step t".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.ops import ADD
+from ..core.scan import segmented_broadcast
+from ..core.sorting.mergesort2d import mergesort_2d
+from ..machine.geometry import Region
+from ..machine.machine import SpatialMachine, TrackedArray, concat_tracked
+from ..machine.zorder import zorder_coords
+from .pram import NO_ACCESS, PRAMProgram, _check_exclusive
+
+__all__ = [
+    "SimulationLayout",
+    "simulate_erew",
+    "simulate_crcw",
+    "simulate",
+    "pad_processors",
+]
+
+
+class _PaddedProgram(PRAMProgram):
+    """Wrap a program with idle processors so p fills a power-of-4 square.
+
+    Idle processors never read or write; the wrapped program's state arrays
+    are views into a prefix of the padded ones.
+    """
+
+    def __init__(self, inner: PRAMProgram, target: int) -> None:
+        if target < inner.processors:
+            raise ValueError("target below the program's processor count")
+        self.inner = inner
+        self.processors = target
+        self.memory_cells = inner.memory_cells
+        self.steps = inner.steps
+        self._p = inner.processors
+
+    def initial_memory(self) -> np.ndarray:
+        return self.inner.initial_memory()
+
+    def initial_state(self) -> dict[str, np.ndarray]:
+        return self.inner.initial_state()
+
+    def read_addrs(self, t, state):
+        addrs = np.full(self.processors, NO_ACCESS, dtype=np.int64)
+        addrs[: self._p] = self.inner.read_addrs(t, state)
+        return addrs
+
+    def step(self, t, state, read_values):
+        waddr_inner, wval_inner = self.inner.step(t, state, read_values[: self._p])
+        waddr = np.full(self.processors, NO_ACCESS, dtype=np.int64)
+        wval = np.zeros(self.processors)
+        waddr[: self._p] = waddr_inner
+        wval[: self._p] = wval_inner
+        return waddr, wval
+
+
+def pad_processors(program: PRAMProgram) -> PRAMProgram:
+    """Pad a program with idle processors up to the next power of 4
+    (what :func:`simulate_crcw` needs).  Returns the program unchanged if it
+    already fits."""
+    target = 1
+    while target < program.processors:
+        target *= 4
+    if target == program.processors:
+        return program
+    return _PaddedProgram(program, target)
+
+
+@dataclass(frozen=True)
+class SimulationLayout:
+    """Where the simulated processors and memory live on the grid."""
+
+    proc_region: Region
+    mem_region: Region
+
+    @classmethod
+    def default(cls, p: int, m: int) -> "SimulationLayout":
+        ps = 1
+        while ps * ps < p:
+            ps *= 2
+        ms = 1
+        while ms * ms < m:
+            ms *= 2
+        return cls(
+            proc_region=Region(0, 0, ps, ps),
+            mem_region=Region(0, ps, ms, ms),
+        )
+
+
+class _SimState:
+    """Shared bookkeeping for both simulation flavours."""
+
+    def __init__(
+        self, machine: SpatialMachine, program: PRAMProgram, layout: SimulationLayout | None
+    ) -> None:
+        p, m = program.processors, program.memory_cells
+        self.machine = machine
+        self.program = program
+        self.layout = layout or SimulationLayout.default(p, m)
+        pr, pc = zorder_coords(self.layout.proc_region)
+        self.proc_rows, self.proc_cols = pr[:p], pc[:p]
+        self.mem_rows, self.mem_cols = self.layout.mem_region.rowmajor_coords(m)
+        self.memory = machine.place(
+            np.asarray(program.initial_memory(), dtype=np.float64),
+            self.mem_rows,
+            self.mem_cols,
+        )
+        # token = each processor's dependency chain carrier
+        self.token = machine.place(
+            np.arange(p, dtype=np.float64), self.proc_rows, self.proc_cols
+        )
+        self.state = program.initial_state()
+
+    def update_token(self, idx: np.ndarray, arrived: TrackedArray) -> None:
+        self.token.depth[idx] = np.maximum(self.token.depth[idx], arrived.depth)
+        self.token.dist[idx] = np.maximum(self.token.dist[idx], arrived.dist)
+
+    def commit_writes(self, waddr: np.ndarray, messages: TrackedArray, widx: np.ndarray) -> None:
+        self.memory.payload[waddr] = messages.payload
+        self.memory.depth[waddr] = messages.depth
+        self.memory.dist[waddr] = messages.dist
+        del widx  # kept for symmetry with callers
+
+
+def simulate_erew(
+    machine: SpatialMachine,
+    program: PRAMProgram,
+    layout: SimulationLayout | None = None,
+) -> tuple[TrackedArray, dict[str, np.ndarray]]:
+    """Lemma VII.1: direct request/reply simulation of an EREW program.
+
+    Raises :class:`~repro.pram.pram.ConflictError` if the program is not
+    actually exclusive.  Returns the final memory (a tracked array at the
+    memory subgrid) and the processors' final private state.
+    """
+    sim = _SimState(machine, program, layout)
+    p = program.processors
+    for t in range(program.steps):
+        raddr = np.asarray(program.read_addrs(t, sim.state), dtype=np.int64)
+        _check_exclusive(raddr, "read", t)
+        vals = np.full(p, np.nan)
+        reading = np.nonzero(raddr != NO_ACCESS)[0]
+        if len(reading):
+            addr = raddr[reading]
+            # request: processor -> memory cell
+            req = machine.send(
+                sim.token[reading], sim.mem_rows[addr], sim.mem_cols[addr]
+            )
+            # reply: cell value (depends on its last write and the request)
+            reply = sim.memory[addr].combined_with(
+                req, payload=sim.memory.payload[addr]
+            )
+            back = machine.send(
+                reply, sim.proc_rows[reading], sim.proc_cols[reading]
+            )
+            vals[reading] = back.payload
+            sim.update_token(reading, back)
+
+        waddr, wval = program.step(t, sim.state, vals)
+        waddr = np.asarray(waddr, dtype=np.int64)
+        wval = np.asarray(wval, dtype=np.float64)
+        _check_exclusive(waddr, "write", t)
+        writing = np.nonzero(waddr != NO_ACCESS)[0]
+        if len(writing):
+            addr = waddr[writing]
+            msg = machine.send(
+                sim.token[writing].with_payload(wval[writing]),
+                sim.mem_rows[addr],
+                sim.mem_cols[addr],
+            )
+            sim.commit_writes(addr, msg, writing)
+    return sim.memory, sim.state
+
+
+def _sorted_tuples(
+    machine: SpatialMachine,
+    sim: _SimState,
+    addr: np.ndarray,
+    extra: np.ndarray | None,
+) -> TrackedArray:
+    """Sort (cell, pid[, value]) tuples over the processor subgrid.
+
+    Non-participating processors contribute ``(+inf, pid)`` sentinels so the
+    sorter has one wire per cell; sentinels sort to the back.
+    """
+    p = sim.program.processors
+    region = sim.layout.proc_region
+    k = np.where(addr != NO_ACCESS, addr.astype(np.float64), np.inf)
+    cols = [k, np.arange(p, dtype=np.float64)]
+    if extra is not None:
+        cols.append(extra)
+    payload = np.stack(cols, axis=1)
+    ta = sim.token.with_payload(payload)
+    # the sorter wants row-major entry order over the full square
+    full = region.size
+    if full > p:
+        pad_rows, pad_cols = region.rowmajor_coords(full)
+        # processors sit on the Z-order cells == all cells; p == full required
+        raise ValueError("processor count must fill its square region")
+    order = region.rowmajor_index(ta.rows, ta.cols)
+    ta = ta[np.argsort(order, kind="stable")]
+    return mergesort_2d(machine, ta, region, key_cols=2)
+
+
+def _leaders(machine: SpatialMachine, sorted_t: TrackedArray) -> tuple[np.ndarray, TrackedArray]:
+    """Flag the first tuple of each equal-cell run via a neighbour message."""
+    n = len(sorted_t)
+    shifted = machine.send(sorted_t[: n - 1], sorted_t.rows[1:], sorted_t.cols[1:])
+    flags = np.ones(n, dtype=bool)
+    flags[1:] = sorted_t.payload[1:, 0] != shifted.payload[:, 0]
+    informed = sorted_t.copy()
+    informed.depth[1:] = np.maximum(informed.depth[1:], shifted.depth)
+    informed.dist[1:] = np.maximum(informed.dist[1:], shifted.dist)
+    return flags, informed
+
+
+def simulate_crcw(
+    machine: SpatialMachine,
+    program: PRAMProgram,
+    layout: SimulationLayout | None = None,
+) -> tuple[TrackedArray, dict[str, np.ndarray]]:
+    """Lemma VII.2: sort-based simulation of a CRCW program.
+
+    Concurrent reads are served once per cell and spread by a segmented
+    broadcast; concurrent writes are resolved to the lowest pid.  Programs
+    whose processor count is not a power of 4 are padded with idle
+    processors (:func:`pad_processors`) so the sorters have one wire per
+    cell of the processor subgrid.
+    """
+    program = pad_processors(program)
+    sim = _SimState(machine, program, layout)
+    p = program.processors
+    region = sim.layout.proc_region
+    if region.size != p:
+        raise ValueError("layout's processor region does not fit the (padded) program")
+    zr, zc = zorder_coords(region)
+
+    for t in range(program.steps):
+        # ---------------- read substep ----------------
+        raddr = np.asarray(program.read_addrs(t, sim.state), dtype=np.int64)
+        vals = np.full(p, np.nan)
+        if (raddr != NO_ACCESS).any():
+            srt = _sorted_tuples(machine, sim, raddr, None)
+            flags, informed = _leaders(machine, srt)
+            real = informed.payload[:, 0] != np.inf
+            fetch = np.nonzero(flags & real)[0]
+            cells = informed.payload[fetch, 0].astype(np.int64)
+            req = machine.send(
+                informed[fetch], sim.mem_rows[cells], sim.mem_cols[cells]
+            )
+            reply = sim.memory[cells].combined_with(
+                req, payload=sim.memory.payload[cells]
+            )
+            back = machine.send(reply, informed.rows[fetch], informed.cols[fetch])
+            # value column: leaders hold the fetched value, others a hole
+            carried = np.full(p, np.nan)
+            carried[fetch] = back.payload
+            with_val = informed.with_payload(
+                np.concatenate([informed.payload, carried[:, None]], axis=1)
+            )
+            with_val.depth[fetch] = np.maximum(with_val.depth[fetch], back.depth)
+            with_val.dist[fetch] = np.maximum(with_val.dist[fetch], back.dist)
+            # segmented broadcast along the sorted order (permute to Z first)
+            zed = machine.send(with_val, zr, zc)
+            spread = segmented_broadcast(
+                machine, flags.astype(np.float64), zed.with_payload(zed.payload[:, 2]), region
+            )
+            tuples_iv = zed.combined_with(
+                spread,
+                payload=np.stack([zed.payload[:, 1], spread.payload], axis=1),
+            )
+            # sort by pid and deliver: pid i's tuple lands on Z-position i
+            order = region.rowmajor_index(tuples_iv.rows, tuples_iv.cols)
+            tuples_iv = tuples_iv[np.argsort(order, kind="stable")]
+            by_pid = mergesort_2d(machine, tuples_iv, region, key_cols=1)
+            delivered = machine.send(by_pid, zr, zc)
+            pid = np.rint(delivered.payload[:, 0]).astype(np.int64)
+            vals[pid] = delivered.payload[:, 1]
+            sim.update_token(pid, delivered)
+            reading = raddr != NO_ACCESS
+            vals[~reading] = np.nan
+
+        # ---------------- compute + write substep ----------------
+        waddr, wval = program.step(t, sim.state, vals)
+        waddr = np.asarray(waddr, dtype=np.int64)
+        wval = np.asarray(wval, dtype=np.float64)
+        if (waddr != NO_ACCESS).any():
+            srt = _sorted_tuples(machine, sim, waddr, wval.astype(np.float64))
+            flags, informed = _leaders(machine, srt)
+            real = informed.payload[:, 0] != np.inf
+            win = np.nonzero(flags & real)[0]
+            cells = informed.payload[win, 0].astype(np.int64)
+            msg = machine.send(
+                informed[win].with_payload(informed.payload[win, 2]),
+                sim.mem_rows[cells],
+                sim.mem_cols[cells],
+            )
+            sim.commit_writes(cells, msg, win)
+    return sim.memory, sim.state
+
+
+def simulate(
+    machine: SpatialMachine,
+    program: PRAMProgram,
+    mode: str = "EREW",
+    layout: SimulationLayout | None = None,
+) -> tuple[TrackedArray, dict[str, np.ndarray]]:
+    """Dispatch to :func:`simulate_erew` or :func:`simulate_crcw`."""
+    if mode == "EREW":
+        return simulate_erew(machine, program, layout)
+    if mode == "CRCW":
+        return simulate_crcw(machine, program, layout)
+    raise ValueError(f"unknown PRAM mode {mode!r}")

@@ -1,0 +1,19 @@
+"""Sparse matrix-vector multiplication on the spatial model (Section VIII)."""
+
+from .coo import COOMatrix, banded_coo, graph_adjacency_coo, permutation_coo, random_coo
+from .planned import SpMVPlan, plan_spmv
+from .spmv import SpMVLayout, spmv_spatial
+from .spmv_pram import spmv_pram_simulated
+
+__all__ = [
+    "COOMatrix",
+    "banded_coo",
+    "graph_adjacency_coo",
+    "permutation_coo",
+    "random_coo",
+    "SpMVPlan",
+    "plan_spmv",
+    "SpMVLayout",
+    "spmv_spatial",
+    "spmv_pram_simulated",
+]

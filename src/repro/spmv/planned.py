@@ -1,0 +1,198 @@
+"""Planned SpMV: sort once, multiply many times.
+
+Iterative methods (PageRank, CG, power iteration) multiply by the *same*
+matrix every round.  In the Section VIII algorithm the two 2D Mergesorts are
+data-independent of ``x`` — they permute the matrix entries by column and by
+row — so their (large-constant) cost can be paid **once**:
+
+* **plan** (once): sort the triples by column with the real 2D Mergesort;
+  record the column segments and their leaders; run the second mergesort on
+  the (row, position) keys to learn the row permutation; precompute the
+  output shipping lanes.  Everything is metered on the machine like any
+  other computation.
+* **apply** (per vector): leaders fetch ``x_j``; one segmented broadcast;
+  local products; one *direct routing* of the products along the
+  precomputed row permutation; one segmented scan; ship the row tails.
+
+Per-apply costs stay ``O(m^{3/2})`` energy (the permutation must still be
+executed — that is the Lemma V.1 floor) but with the *permutation's* constant
+instead of the full sort's, and the depth drops from ``O(log^3 n)`` to
+``O(log n)`` (two scans and a hop).  ``bench_ablation_planned_spmv.py``
+quantifies both.
+
+Entry values stay placed along the Z-order curve between applies so the
+segmented scans run with no extra re-layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..core.ops import ADD, Monoid
+from ..core.scan import segmented_broadcast, segmented_scan
+from ..core.sorting.mergesort2d import mergesort_2d
+from ..machine.geometry import Region
+from ..machine.machine import SpatialMachine, TrackedArray
+from ..machine.zorder import zorder_coords
+from .coo import COOMatrix
+from .spmv import SpMVLayout, _neighbour_leaders
+
+__all__ = ["SpMVPlan", "plan_spmv"]
+
+
+@dataclass
+class SpMVPlan:
+    """A reusable multiplication plan for one matrix (see module docstring)."""
+
+    machine: SpatialMachine
+    layout: SpMVLayout
+    n: int
+    #: A values at Z-order cells, ordered by (column, input order); +inf pads
+    entries: TrackedArray
+    cols: np.ndarray
+    col_flags: np.ndarray
+    leaders: np.ndarray
+    #: destination coordinates routing col-sorted slot -> row-sorted slot
+    route_rows: np.ndarray
+    route_cols: np.ndarray
+    #: row-sorted slot index each col-sorted slot routes to
+    dest_slot: np.ndarray
+    #: per row-sorted slot: the row index (inf for pads) and segment data
+    row_ids: np.ndarray
+    row_flags: np.ndarray
+    tails: np.ndarray
+    plan_cost_energy: int = 0
+    applies: int = field(default=0)
+
+    def apply(
+        self,
+        x: np.ndarray,
+        combine: Monoid = ADD,
+        multiply: Callable[[np.ndarray, np.ndarray], np.ndarray] = np.multiply,
+    ) -> TrackedArray:
+        """Compute ``y = A x`` along the precomputed lanes."""
+        machine = self.machine
+        n = self.n
+        ereg = self.layout.entry_region
+        x_ta = machine.place_rowmajor(np.asarray(x, dtype=np.float64), self.layout.x_region)
+        xr, xc = self.layout.x_region.rowmajor_coords(n)
+
+        # -- leaders fetch x_j (request/reply), segmented broadcast spreads it
+        j = self.cols[self.leaders]
+        req = machine.send(self.entries[self.leaders], xr[j], xc[j])
+        reply = x_ta[j].combined_with(req, payload=x_ta.payload[j])
+        back = machine.send(
+            reply, self.entries.rows[self.leaders], self.entries.cols[self.leaders]
+        )
+        carried = np.full(len(self.entries), np.nan)
+        carried[self.leaders] = back.payload
+        holder = self.entries.with_payload(carried)
+        holder.depth[self.leaders] = np.maximum(holder.depth[self.leaders], back.depth)
+        holder.dist[self.leaders] = np.maximum(holder.dist[self.leaders], back.dist)
+        spread = segmented_broadcast(
+            machine, self.col_flags.astype(np.float64), holder, ereg
+        )
+
+        # -- local products, one routed hop along the planned permutation
+        real = self.entries.payload != np.inf
+        products = np.full(len(self.entries), float(combine.identity_scalar))
+        products[real] = multiply(self.entries.payload[real], spread.payload[real])
+        prod = self.entries.combined_with(spread, payload=products)
+        routed = machine.send(prod, self.route_rows, self.route_cols)
+        # entry order follows the route: re-sort to row-sorted slot order
+        routed = routed[np.argsort(self.dest_slot, kind="stable")]
+
+        # -- segmented scan per row; tails ship the results
+        scanned = segmented_scan(
+            machine, self.row_flags.astype(np.float64), routed, ereg, combine
+        )
+        out_src = self.tails
+        i_idx = self.row_ids[out_src].astype(np.int64)
+        yr, yc = self.layout.y_region.rowmajor_coords(n)
+        shipped = machine.send(scanned.inclusive[out_src], yr[i_idx], yc[i_idx])
+
+        payload = np.full(n, float(combine.identity_scalar))
+        depth = np.zeros(n, dtype=np.int64)
+        dist = np.zeros(n, dtype=np.int64)
+        payload[i_idx] = shipped.payload
+        depth[i_idx] = shipped.depth
+        dist[i_idx] = shipped.dist
+        self.applies += 1
+        return TrackedArray(self.machine, payload, yr, yc, depth, dist)
+
+def plan_spmv(
+    machine: SpatialMachine,
+    matrix: COOMatrix,
+    layout: SpMVLayout | None = None,
+    base_case: int = 16,
+) -> SpMVPlan:
+    """Build (and meter) a reusable plan for ``matrix``."""
+    n, nnz = matrix.n, matrix.nnz
+    if nnz == 0:
+        raise ValueError("SpMV needs at least one non-zero")
+    layout = layout or SpMVLayout.default(n, nnz)
+    ereg = layout.entry_region
+    start = machine.snapshot()
+
+    # ---- sort triples by column (the real mergesort), land in Z-order
+    triples = np.stack(
+        [matrix.cols.astype(np.float64), matrix.rows.astype(np.float64), matrix.vals],
+        axis=1,
+    )
+    pad = ereg.size - nnz
+    if pad:
+        triples = np.concatenate([triples, np.full((pad, 3), np.inf)], axis=0)
+    placed = machine.place_rowmajor(triples, ereg)
+    by_col = mergesort_2d(machine, placed, ereg, key_cols=1, base_case=base_case)
+    col_flags, by_col = _neighbour_leaders(machine, by_col, col=0)
+    real = by_col.payload[:, 0] != np.inf
+    leaders = np.nonzero(col_flags & real)[0]
+
+    zr, zc = zorder_coords(ereg)
+    z_entries = machine.send(by_col, zr, zc)
+
+    # ---- learn the row permutation with the second (planning-time) sort
+    keys = np.stack(
+        [z_entries.payload[:, 1], np.arange(len(z_entries), dtype=np.float64)],
+        axis=1,
+    )
+    key_ta = z_entries.with_payload(keys)
+    order = ereg.rowmajor_index(key_ta.rows, key_ta.cols)
+    key_ta = key_ta[np.argsort(order, kind="stable")]
+    by_row = mergesort_2d(machine, key_ta, ereg, key_cols=1, base_case=base_case)
+    # row-sorted slot s holds the entry that was at col-slot src[s]
+    src = np.rint(by_row.payload[:, 1]).astype(np.int64)
+    dest_slot = np.empty(len(src), dtype=np.int64)
+    dest_slot[src] = np.arange(len(src), dtype=np.int64)
+
+    row_ids = by_row.payload[:, 0].copy()
+    row_flags = np.ones(len(by_row), dtype=bool)
+    row_flags[1:] = row_ids[1:] != row_ids[:-1]
+    tails = np.ones(len(by_row), dtype=bool)
+    tails[:-1] = row_flags[1:]
+    real_rows = row_ids != np.inf
+    tails = np.nonzero(tails & real_rows)[0]
+
+    entries = z_entries.with_payload(z_entries.payload[:, 2].copy())
+    cols_arr = z_entries.payload[:, 0].copy()
+    cols_arr[cols_arr == np.inf] = 0
+    plan = SpMVPlan(
+        machine=machine,
+        layout=layout,
+        n=n,
+        entries=entries,
+        cols=cols_arr.astype(np.int64),
+        col_flags=col_flags,
+        leaders=leaders,
+        route_rows=zr[dest_slot],
+        route_cols=zc[dest_slot],
+        dest_slot=dest_slot,
+        row_ids=row_ids,
+        row_flags=row_flags,
+        tails=tails,
+        plan_cost_energy=machine.stats.energy - start.energy,
+    )
+    return plan

@@ -1,0 +1,57 @@
+"""SpMV via CRCW PRAM simulation — the Section VIII baseline upper bound.
+
+The paper first derives ``O(m^{3/2})`` energy / ``O(log^4 n)`` depth /
+``O(sqrt(m) log n)`` distance for SpMV by running the textbook
+``O(log n)``-step CRCW PRAM algorithm (:class:`repro.pram.programs.SpMVCRCW`)
+through the sort-based simulation of Lemma VII.2, then beats its depth and
+distance by a logarithmic factor with the direct algorithm
+(:mod:`repro.spmv.spmv`).  This module packages the baseline so the benches
+can show that separation.
+
+The simulation needs the processor count (= non-zeros) to fill a power-of-4
+square, so the entry list is padded with zero-valued ``(0, 0, 0)`` entries —
+they join row 0's segment and add exact zeros.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..machine.machine import SpatialMachine, TrackedArray
+from ..pram.programs import SpMVCRCW
+from ..pram.simulate import simulate_crcw
+from .coo import COOMatrix
+
+__all__ = ["spmv_pram_simulated"]
+
+
+def _pad_to_pow4(matrix: COOMatrix) -> COOMatrix:
+    nnz = matrix.nnz
+    target = 1
+    while target < nnz:
+        target *= 4
+    pad = target - nnz
+    if pad == 0:
+        return matrix
+    return COOMatrix(
+        np.concatenate([matrix.rows, np.zeros(pad, dtype=np.int64)]),
+        np.concatenate([matrix.cols, np.zeros(pad, dtype=np.int64)]),
+        np.concatenate([matrix.vals, np.zeros(pad)]),
+        matrix.n,
+    )
+
+
+def spmv_pram_simulated(
+    machine: SpatialMachine, matrix: COOMatrix, x: np.ndarray
+) -> np.ndarray:
+    """Run ``y = A x`` through the full CRCW PRAM spatial simulation.
+
+    Returns ``y`` as a plain array (the simulated shared memory's output
+    cells); all costs are metered on ``machine``.
+    """
+    padded = _pad_to_pow4(matrix)
+    prog = SpMVCRCW(padded.rows, padded.cols, padded.vals, padded.n, np.asarray(x))
+    memory, _ = simulate_crcw(machine, prog)
+    return np.asarray(
+        memory.payload[padded.n + padded.nnz : 2 * padded.n + padded.nnz]
+    )

@@ -1,0 +1,6 @@
+"""Tree computations via Euler tours and the energy-optimal scan
+(the Section II.A connection to prior spatial tree algorithms)."""
+
+from .euler import SpatialTree, euler_tour
+
+__all__ = ["SpatialTree", "euler_tour"]

@@ -1,0 +1,32 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.machine import Region, SpatialMachine
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0xC0FFEE)
+
+
+@pytest.fixture
+def machine() -> SpatialMachine:
+    return SpatialMachine()
+
+
+@pytest.fixture
+def traced_machine() -> SpatialMachine:
+    return SpatialMachine(trace=True)
+
+
+def square(n: int, row: int = 0, col: int = 0) -> Region:
+    """Square region holding exactly n cells (n a perfect power-of-two square)."""
+    side = 1
+    while side * side < n:
+        side *= 2
+    assert side * side == n, f"{n} is not a power-of-4 cell count"
+    return Region(row, col, side, side)

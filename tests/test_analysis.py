@@ -1,0 +1,94 @@
+"""Tests for the analysis helpers (fitting, tables, workloads)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    WORKLOADS,
+    banner,
+    doubling_ratios,
+    fit_power_law,
+    make_workload,
+    polylog_consistent,
+    render_table,
+    tail_exponent,
+)
+
+
+class TestPowerFit:
+    def test_exact_power_law(self):
+        ns = np.array([16, 64, 256, 1024])
+        fit = fit_power_law(ns, 3.0 * ns**1.5)
+        assert fit.exponent == pytest.approx(1.5)
+        assert fit.constant == pytest.approx(3.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_linear(self):
+        ns = np.array([10, 100, 1000])
+        fit = fit_power_law(ns, 7.0 * ns)
+        assert fit.exponent == pytest.approx(1.0)
+
+    def test_noise_tolerated(self, rng):
+        ns = np.array([16, 64, 256, 1024, 4096])
+        costs = ns**2.0 * (1 + 0.05 * rng.standard_normal(5))
+        fit = fit_power_law(ns, costs)
+        assert 1.9 < fit.exponent < 2.1
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ValueError):
+            fit_power_law(np.array([4]), np.array([8]))
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            fit_power_law(np.array([1, 2]), np.array([0, 4]))
+
+    def test_tail_exponent_sheds_small_n(self):
+        ns = np.array([4, 16, 64, 256, 1024])
+        costs = 100 + ns**1.5  # constant dominates small n
+        full = fit_power_law(ns, costs).exponent
+        tail = tail_exponent(ns, costs, points=3)
+        assert abs(tail - 1.5) < abs(full - 1.5)
+
+    def test_doubling_ratios(self):
+        r = doubling_ratios(np.array([2, 4, 8]), np.array([10, 40, 160]))
+        assert r == [(2.0, 4.0), (2.0, 4.0)]
+
+    def test_polylog_consistent(self):
+        ns = np.array([64, 256, 1024, 4096, 16384], dtype=float)
+        assert polylog_consistent(ns, np.log2(ns) ** 3)
+        assert not polylog_consistent(ns, ns**0.5)
+
+
+class TestTables:
+    def test_render_aligned(self):
+        out = render_table(["n", "energy"], [[16, 100], [64, 12345]])
+        lines = out.strip().splitlines()
+        assert "energy" in lines[0]
+        assert len(lines) == 4
+
+    def test_float_formatting(self):
+        out = render_table(["x"], [[1.23456], [1e7], [0.0]])
+        assert "1.235" in out and "1e+07" in out
+
+    def test_banner(self):
+        assert "Table I" in banner("Table I")
+
+
+class TestWorkloads:
+    @pytest.mark.parametrize("kind", WORKLOADS)
+    def test_all_kinds(self, kind, rng):
+        x = make_workload(kind, 128, rng)
+        assert len(x) == 128
+        assert x.dtype == np.float64
+
+    def test_reversed_is_descending(self, rng):
+        x = make_workload("reversed", 16, rng)
+        assert (np.diff(x) < 0).all()
+
+    def test_few_distinct(self, rng):
+        x = make_workload("few_distinct", 256, rng)
+        assert len(np.unique(x)) <= 8
+
+    def test_unknown_rejected(self, rng):
+        with pytest.raises(ValueError):
+            make_workload("gaussian-mixture", 16, rng)

@@ -1,0 +1,100 @@
+"""Tests for the blocked-memory scan extension (Section I.D future work)."""
+
+import numpy as np
+import pytest
+
+from repro.core.blocked import blocked_scan, blocks_region
+from repro.core.ops import MAX
+from repro.machine import Region, SpatialMachine
+
+
+class TestBlockedScanCorrectness:
+    @pytest.mark.parametrize("block", (1, 4, 16, 64))
+    def test_cumsum(self, block, rng):
+        n = 1024
+        x = rng.standard_normal(n)
+        m = SpatialMachine()
+        res = blocked_scan(m, x, block=block)
+        assert np.allclose(res.prefix, np.cumsum(x))
+
+    def test_max_monoid(self, rng):
+        x = rng.standard_normal(256)
+        m = SpatialMachine()
+        res = blocked_scan(m, x, block=4, monoid=MAX)
+        assert np.allclose(res.prefix, np.maximum.accumulate(x))
+
+    def test_block_one_equals_plain_scan(self, rng):
+        from repro.core.scan import scan
+
+        n = 256
+        x = rng.standard_normal(n)
+        m1 = SpatialMachine()
+        res = blocked_scan(m1, x, block=1)
+        m2 = SpatialMachine()
+        region = Region(0, 0, 16, 16)
+        plain = scan(m2, m2.place_zorder(x, region), region)
+        assert np.allclose(res.prefix, plain.inclusive.payload)
+        assert m1.stats.energy == m2.stats.energy
+
+    def test_whole_array_one_block(self, rng):
+        x = rng.standard_normal(64)
+        m = SpatialMachine()
+        res = blocked_scan(m, x, block=64)
+        assert np.allclose(res.prefix, np.cumsum(x))
+        assert m.stats.energy == 0  # single PE: all local
+
+    def test_bad_block_rejected(self, rng):
+        with pytest.raises(ValueError):
+            blocked_scan(SpatialMachine(), rng.random(64), block=3)
+
+    def test_non_pow4_blocks_rejected(self, rng):
+        with pytest.raises(ValueError):
+            blocked_scan(SpatialMachine(), rng.random(96), block=3)
+
+    def test_custom_region(self, rng):
+        x = rng.standard_normal(64)
+        region = Region(10, 10, 4, 4)
+        m = SpatialMachine()
+        res = blocked_scan(m, x, block=4, region=region)
+        assert np.allclose(res.prefix, np.cumsum(x))
+
+
+class TestBlockedScanCosts:
+    def test_energy_inverse_in_block(self, rng):
+        """Θ(n/B): quadrupling B divides energy by ~4."""
+        n = 4096
+        x = rng.standard_normal(n)
+        energies = []
+        for b in (1, 4, 16):
+            m = SpatialMachine()
+            blocked_scan(m, x, block=b)
+            energies.append(m.stats.energy)
+        assert 3 < energies[0] / energies[1] < 5
+        assert 3 < energies[1] / energies[2] < 5
+
+    def test_depth_shrinks(self, rng):
+        n = 4096
+        x = rng.standard_normal(n)
+        depths = []
+        for b in (1, 16, 256):
+            m = SpatialMachine()
+            res = blocked_scan(m, x, block=b)
+            depths.append(res.max_depth())
+        assert depths == sorted(depths, reverse=True)
+
+    def test_distance_halves_per_block_quadrupling(self, rng):
+        n = 4096
+        x = rng.standard_normal(n)
+        d1 = blocked_scan(SpatialMachine(), x, block=1).max_dist()
+        d4 = blocked_scan(SpatialMachine(), x, block=4).max_dist()
+        assert 1.5 < d1 / d4 < 2.8
+
+
+class TestBlocksRegion:
+    def test_sizes(self):
+        assert blocks_region(64, 4) == Region(0, 0, 4, 4)
+        assert blocks_region(64, 64) == Region(0, 0, 1, 1)
+
+    def test_rejects_non_pow4(self):
+        with pytest.raises(ValueError):
+            blocks_region(64, 2)  # 32 blocks is not a power of 4

@@ -1,0 +1,53 @@
+"""Tests for the command-line interface (python -m repro ...)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["scan"])
+        assert args.n == 4096 and args.workload == "uniform"
+
+    def test_bad_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sort", "--workload", "bogus"])
+
+
+class TestCommands:
+    def test_scan(self, capsys):
+        assert main(["scan", "--n", "256"]) == 0
+        out = capsys.readouterr().out
+        assert "parallel scan" in out and "energy=" in out
+
+    def test_sort_workloads(self, capsys):
+        assert main(["sort", "--n", "64", "--workload", "reversed"]) == 0
+        assert "2D mergesort" in capsys.readouterr().out
+
+    def test_select(self, capsys):
+        assert main(["select", "--n", "256", "--k", "10", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "rank select (k=10)" in out and "iterations=" in out
+
+    def test_select_default_median(self, capsys):
+        assert main(["select", "--n", "64"]) == 0
+        assert "k=32" in capsys.readouterr().out
+
+    def test_spmv(self, capsys):
+        assert main(["spmv", "--n", "16", "--density", "3"]) == 0
+        assert "SpMV" in capsys.readouterr().out
+
+    def test_table1_quick(self, capsys):
+        assert main(["table1", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I measured" in out
+        assert "4096" not in out.split("sort E")[0]  # quick mode: small sizes
+
+    def test_non_pow4_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["scan", "--n", "100"])

@@ -1,0 +1,200 @@
+"""Tests for broadcast / reduce / all-reduce (paper Section IV.A-B).
+
+Covers functional correctness on square, tall, wide and 1D regions, plus the
+Lemma IV.1 / Corollary IV.2 cost envelopes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.collectives import (
+    all_reduce,
+    broadcast,
+    broadcast_1d,
+    broadcast_2d,
+    reduce,
+    reduce_2d,
+)
+from repro.core.ops import ADD, MAX, Monoid
+from repro.machine import Region, SpatialMachine
+
+
+def _bcast(m, region, value=7.0):
+    v = m.place(np.array([value]), [region.row], [region.col])
+    if region.height == 1 or region.width == 1:
+        return broadcast_1d(m, v, region)
+    return broadcast(m, v, region)
+
+
+class TestBroadcastCorrectness:
+    @pytest.mark.parametrize(
+        "h,w", [(1, 1), (2, 2), (8, 8), (16, 4), (4, 16), (64, 2), (32, 1), (1, 64)]
+    )
+    def test_reaches_every_cell_once(self, h, w):
+        m = SpatialMachine()
+        region = Region(0, 0, h, w)
+        out = _bcast(m, region)
+        assert len(out) == h * w
+        assert (out.payload == 7.0).all()
+        cells = set(zip(out.rows.tolist(), out.cols.tolist()))
+        assert len(cells) == h * w
+
+    def test_rowmajor_output_order(self):
+        m = SpatialMachine()
+        region = Region(0, 0, 4, 4)
+        out = _bcast(m, region)
+        assert out.rows.tolist() == np.repeat(np.arange(4), 4).tolist()
+
+    def test_offset_region(self):
+        m = SpatialMachine()
+        region = Region(10, 20, 4, 4)
+        out = _bcast(m, region)
+        assert out.rows.min() == 10 and out.cols.min() == 20
+
+    def test_non_pow2_rejected(self):
+        m = SpatialMachine()
+        v = m.place(np.array([1.0]), [0], [0])
+        with pytest.raises(ValueError):
+            broadcast(m, v, Region(0, 0, 3, 3))
+
+    def test_multiroot_rejected(self):
+        m = SpatialMachine()
+        v = m.place(np.array([1.0, 2.0]), [0, 0], [0, 1])
+        with pytest.raises(ValueError):
+            broadcast(m, v, Region(0, 0, 4, 4))
+
+
+class TestBroadcastCosts:
+    def test_square_linear_energy(self):
+        """Lemma IV.1 with h == w: O(hw) energy."""
+        energies = []
+        for side in (8, 16, 32, 64):
+            m = SpatialMachine()
+            _bcast(m, Region(0, 0, side, side))
+            energies.append(m.stats.energy / (side * side))
+        # energy per cell stays bounded
+        assert max(energies) < 4.0
+        assert energies[-1] == pytest.approx(energies[-2], rel=0.3)
+
+    def test_logarithmic_depth(self):
+        for side in (4, 16, 64):
+            m = SpatialMachine()
+            out = _bcast(m, Region(0, 0, side, side))
+            n = side * side
+            assert out.max_depth() <= int(np.log2(n)) + 2
+
+    def test_linear_distance(self):
+        for side in (8, 32):
+            m = SpatialMachine()
+            out = _bcast(m, Region(0, 0, side, side))
+            assert out.max_dist() <= 4 * side
+
+    def test_tall_grid_extra_log_term(self):
+        """O(hw + h log h): for h >> w the column tree costs h log h."""
+        m = SpatialMachine()
+        h, w = 256, 2
+        _bcast(m, Region(0, 0, h, w))
+        assert m.stats.energy <= 6 * (h * w + h * np.log2(h))
+
+    def test_1d_energy_n_log_n(self):
+        """The 1D broadcast tree costs Θ(h log h) energy."""
+        e = {}
+        for h in (64, 256, 1024):
+            m = SpatialMachine()
+            _bcast(m, Region(0, 0, h, 1))
+            e[h] = m.stats.energy
+        assert e[1024] / 1024 > e[64] / 64  # superlinear
+        assert e[1024] <= 3 * 1024 * np.log2(1024)  # but only by a log
+
+
+class TestReduceCorrectness:
+    @pytest.mark.parametrize("h,w", [(2, 2), (8, 8), (16, 4), (4, 16)])
+    def test_sum(self, h, w, rng):
+        m = SpatialMachine()
+        region = Region(0, 0, h, w)
+        x = rng.random(h * w)
+        total = reduce(m, m.place_rowmajor(x, region), region, ADD)
+        assert total.payload[0] == pytest.approx(x.sum())
+        assert (total.rows[0], total.cols[0]) == region.corner()
+
+    def test_max_monoid(self, rng):
+        m = SpatialMachine()
+        region = Region(0, 0, 8, 8)
+        x = rng.standard_normal(64)
+        from repro.core.ops import MAX
+
+        total = reduce(m, m.place_rowmajor(x, region), region, MAX)
+        assert total.payload[0] == x.max()
+
+    def test_noncommutative_monoid_order(self):
+        """Reduce combines in a fixed deterministic order, so a
+        non-commutative (but associative) operator gives the in-order fold."""
+        m = SpatialMachine()
+        region = Region(0, 0, 4, 4)
+
+        def first_op(a, b):
+            return a
+
+        first = Monoid("first", first_op, np.nan, commutative=False)
+        x = np.arange(16.0)
+        # entries in z-order of cells: the in-order fold returns the first
+        # element in Z-order = row-major cell (0, 0) = value 0
+        total = reduce(m, m.place_rowmajor(x, region), region, first)
+        assert total.payload[0] == 0.0
+
+    def test_entry_order_irrelevant_for_commutative(self, rng):
+        m = SpatialMachine()
+        region = Region(0, 0, 4, 4)
+        x = rng.random(16)
+        perm = rng.permutation(16)
+        rows, cols = region.rowmajor_coords()
+        ta = m.place(x[perm], rows[perm], cols[perm])
+        total = reduce(m, ta, region, ADD)
+        assert total.payload[0] == pytest.approx(x.sum())
+
+    def test_wrong_count_rejected(self, rng):
+        m = SpatialMachine()
+        region = Region(0, 0, 4, 4)
+        ta = m.place_rowmajor(rng.random(8), Region(0, 0, 2, 4))
+        with pytest.raises(ValueError):
+            reduce(m, ta, region, ADD)
+
+    def test_2d_payload(self, rng):
+        """Vector-valued reduction (used by selection's dual counts)."""
+        m = SpatialMachine()
+        region = Region(0, 0, 4, 4)
+        x = rng.random((16, 2))
+        total = reduce_2d(m, m.place_rowmajor(x, region), region, ADD)
+        assert np.allclose(total.payload[0], x.sum(axis=0))
+
+
+class TestReduceCosts:
+    def test_square_linear_energy_log_depth(self):
+        """Corollary IV.2: the log-depth reduce with O(n) energy — the
+        Θ(log n) improvement over binary-tree reduce at log depth."""
+        for side in (8, 32):
+            m = SpatialMachine()
+            region = Region(0, 0, side, side)
+            x = np.ones(side * side)
+            total = reduce(m, m.place_rowmajor(x, region), region, ADD)
+            n = side * side
+            assert m.stats.energy <= 4 * n
+            assert total.depth[0] <= int(np.log2(n)) + 2
+
+
+class TestAllReduce:
+    def test_every_cell_gets_total(self, rng):
+        m = SpatialMachine()
+        region = Region(0, 0, 8, 8)
+        x = rng.random(64)
+        out = all_reduce(m, m.place_rowmajor(x, region), region, ADD)
+        assert np.allclose(out.payload, x.sum())
+        assert len(out) == 64
+
+    def test_cost_linear(self):
+        for side in (8, 16, 32):
+            m = SpatialMachine()
+            region = Region(0, 0, side, side)
+            out = all_reduce(m, m.place_rowmajor(np.ones(side**2), region), region, ADD)
+            assert m.stats.energy <= 8 * side * side
+            assert out.max_depth() <= 2 * int(np.log2(side * side)) + 4

@@ -1,0 +1,123 @@
+"""Conformance tests: measured costs equal closed-form expectations.
+
+The deterministic algorithms' message patterns are data-independent, so
+their costs are exact functions of n.  Pinning the closed forms (derived
+from the recurrences in the paper's proofs) catches any accounting drift —
+a change that shifts these numbers is changing the model.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.collectives import broadcast_2d, reduce_2d
+from repro.core.ops import ADD
+from repro.core.scan import scan
+from repro.machine import Region, SpatialMachine
+from repro.machine.zorder import zorder_curve_energy
+
+
+class TestZOrderCurveClosedForm:
+    @pytest.mark.parametrize("side", (2, 4, 8, 16, 32, 64, 128))
+    def test_curve_energy_is_2s_s_minus_1(self, side):
+        """E(s) = 4E(s/2) + 2s (the three quadrant hops cost s/2 + s + s/2)
+        solves to exactly 2s(s-1)."""
+        assert zorder_curve_energy(side) == 2 * side * (side - 1)
+
+
+class TestBroadcastClosedForm:
+    @pytest.mark.parametrize("side", (2, 4, 8, 16, 32, 64))
+    def test_square_broadcast_energy(self, side):
+        """E(w) = 4E(w/2) + 2w (messages of w/2, w/2 and w per expansion)
+        solves to exactly 2w(w-1)."""
+        m = SpatialMachine()
+        region = Region(0, 0, side, side)
+        broadcast_2d(m, m.place(np.array([1.0]), [0], [0]), region)
+        assert m.stats.energy == 2 * side * (side - 1)
+
+    @pytest.mark.parametrize("side", (2, 8, 32))
+    def test_square_broadcast_messages(self, side):
+        """3 messages per internal node of the 4-ary expansion: n - 1 total."""
+        m = SpatialMachine()
+        region = Region(0, 0, side, side)
+        broadcast_2d(m, m.place(np.array([1.0]), [0], [0]), region)
+        assert m.stats.messages == side * side - 1
+
+    @pytest.mark.parametrize("side", (2, 8, 32))
+    def test_reduce_mirrors_broadcast_energy(self, side):
+        """Corollary IV.2: the reverse pattern has identical cost."""
+        region = Region(0, 0, side, side)
+        mb = SpatialMachine()
+        broadcast_2d(mb, mb.place(np.array([1.0]), [0], [0]), region)
+        mr = SpatialMachine()
+        reduce_2d(mr, mr.place_rowmajor(np.ones(side * side), region), region, ADD)
+        assert mr.stats.energy == mb.stats.energy
+        assert mr.stats.messages == mb.stats.messages
+
+
+class TestScanPinnedCosts:
+    """The scan's costs are deterministic functions of n; pin them."""
+
+    EXPECTED = {
+        # n: (energy, messages, depth, distance) — zero-length sends (the
+        # level-1 child whose host is the parent's host) are not messages
+        4: (8, 6, 2, 3),
+        16: (56, 32, 4, 12),
+        64: (256, 136, 6, 24),
+        256: (1096, 552, 8, 52),
+        1024: (4512, 2216, 10, 106),
+        4096: (18312, 8872, 12, 218),
+    }
+
+    @pytest.mark.parametrize("n", sorted(EXPECTED))
+    def test_exact_costs(self, n):
+        side = int(np.sqrt(n))
+        m = SpatialMachine()
+        region = Region(0, 0, side, side)
+        res = scan(m, m.place_zorder(np.ones(n), region), region)
+        energy, messages, depth, dist = self.EXPECTED[n]
+        assert m.stats.energy == energy
+        assert m.stats.messages == messages
+        assert res.inclusive.max_depth() == depth
+        assert res.inclusive.max_dist() == dist
+
+    def test_energy_recurrence_consistency(self):
+        """Scan energy satisfies E(n) ~ 4 E(n/4) + Θ(sqrt(n)) up-down trees:
+        check the increments against the geometric structure."""
+        es = {n: self.EXPECTED[n][0] for n in self.EXPECTED}
+        for n in (16, 64, 256, 1024):
+            # E(4n) - 4E(n) is the root-level wiring, growing like sqrt(n)
+            delta1 = es[4 * n] - 4 * es[n]
+            if 4 * n < 4096:
+                delta2 = es[16 * n] - 4 * es[4 * n]
+                assert 1.5 < delta2 / delta1 < 2.5  # ~doubles per 4x n
+
+    def test_costs_independent_of_monoid(self):
+        from repro.core.ops import MAX
+
+        n = 256
+        region = Region(0, 0, 16, 16)
+        m1 = SpatialMachine()
+        scan(m1, m1.place_zorder(np.ones(n), region), region, ADD)
+        m2 = SpatialMachine()
+        scan(m2, m2.place_zorder(np.ones(n), region), region, MAX)
+        assert m1.stats.energy == m2.stats.energy
+
+
+class TestBitonicPinnedCosts:
+    def test_messages_formula(self):
+        """Every stage exchanges every wire: n messages per stage,
+        log(n)(log(n)+1)/2 stages."""
+        from repro.core.sorting.bitonic import bitonic_sort
+        from repro.core.sorting.sortutil import as_sort_payload
+
+        for n in (16, 64, 256):
+            side = int(np.sqrt(n))
+            m = SpatialMachine()
+            region = Region(0, 0, side, side)
+            bitonic_sort(
+                m,
+                m.place_rowmajor(as_sort_payload(np.random.rand(n)), region),
+                region,
+            )
+            ln = int(np.log2(n))
+            assert m.stats.messages == n * ln * (ln + 1) // 2

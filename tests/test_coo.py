@@ -1,0 +1,92 @@
+"""Tests for COO matrices and workload generators (Section VIII setup)."""
+
+import numpy as np
+import pytest
+
+from repro.spmv.coo import (
+    COOMatrix,
+    banded_coo,
+    graph_adjacency_coo,
+    permutation_coo,
+    random_coo,
+)
+
+
+class TestCOOMatrix:
+    def test_multiply_dense_matches_scipy(self, rng):
+        A = random_coo(50, 200, rng)
+        x = rng.standard_normal(50)
+        assert np.allclose(A.multiply_dense(x), A.to_scipy() @ x)
+
+    def test_duplicates_summed(self):
+        A = COOMatrix(
+            np.array([0, 0, 1]), np.array([1, 1, 0]), np.array([2.0, 3.0, 4.0]), 2
+        ).deduplicated()
+        assert A.nnz == 2
+        dense = A.to_scipy().toarray()
+        assert dense[0, 1] == 5.0 and dense[1, 0] == 4.0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            COOMatrix(np.array([5]), np.array([0]), np.array([1.0]), 4)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            COOMatrix(np.array([0]), np.array([0, 1]), np.array([1.0]), 4)
+
+
+class TestGenerators:
+    def test_random_coo_dedup(self, rng):
+        A = random_coo(10, 500, rng)
+        keys = set(zip(A.rows.tolist(), A.cols.tolist()))
+        assert len(keys) == A.nnz  # no duplicate coordinates survive
+
+    def test_banded_structure(self, rng):
+        A = banded_coo(10, 1, rng)
+        assert (np.abs(A.rows - A.cols) <= 1).all()
+        assert A.nnz == 10 + 2 * 9  # main + two off-diagonals
+
+    def test_banded_spmv(self, rng):
+        A = banded_coo(16, 2, rng)
+        x = rng.standard_normal(16)
+        assert np.allclose(A.multiply_dense(x), A.to_scipy() @ x)
+
+    def test_permutation_matrix(self, rng):
+        perm = rng.permutation(12)
+        P = permutation_coo(perm)
+        x = rng.standard_normal(12)
+        assert np.allclose(P.multiply_dense(x), x[perm])
+
+    @pytest.mark.parametrize("kind", ("gnp", "ba"))
+    def test_graph_adjacency_symmetric(self, kind, rng):
+        A = graph_adjacency_coo(30, rng, kind=kind)
+        dense = A.to_scipy().toarray()
+        assert np.allclose(dense, dense.T)
+        assert A.nnz > 0
+
+    def test_unknown_graph_kind(self, rng):
+        with pytest.raises(ValueError):
+            graph_adjacency_coo(10, rng, kind="hypercube")
+
+
+class TestFromScipy:
+    def test_roundtrip(self, rng):
+        import scipy.sparse as sp
+
+        A = sp.random(12, 12, density=0.4, random_state=2)
+        C = COOMatrix.from_scipy(A)
+        x = rng.standard_normal(12)
+        assert np.allclose(C.multiply_dense(x), A @ x)
+
+    def test_csr_accepted(self, rng):
+        import scipy.sparse as sp
+
+        A = sp.random(8, 8, density=0.5, random_state=3).tocsr()
+        C = COOMatrix.from_scipy(A)
+        assert C.n == 8
+
+    def test_rectangular_rejected(self):
+        import scipy.sparse as sp
+
+        with pytest.raises(ValueError):
+            COOMatrix.from_scipy(sp.random(4, 6, density=0.5))

@@ -1,0 +1,157 @@
+"""Edge-case tests across modules: tiny inputs, offset regions, degenerate
+shapes, and boundary parameters."""
+
+import numpy as np
+import pytest
+
+from repro.core.collectives import all_reduce, broadcast, reduce
+from repro.core.ops import ADD, MAX
+from repro.core.scan import scan, segmented_scan
+from repro.core.sorting import allpairs_sort, mergesort_2d, sort_values
+from repro.core.sorting.sortutil import as_sort_payload
+from repro.machine import Region, SpatialMachine
+from repro.spmv import SpMVLayout, random_coo, spmv_spatial
+from repro.spmv.coo import COOMatrix
+
+
+class TestOneByOne:
+    def test_scan_single(self):
+        m = SpatialMachine()
+        region = Region(0, 0, 1, 1)
+        res = scan(m, m.place_zorder(np.array([5.0]), region), region)
+        assert res.inclusive.payload[0] == 5.0
+        assert m.stats.energy == 0
+
+    def test_reduce_single(self):
+        m = SpatialMachine()
+        region = Region(0, 0, 1, 1)
+        total = reduce(m, m.place_rowmajor(np.array([3.0]), region), region, ADD)
+        assert total.payload[0] == 3.0
+
+    def test_broadcast_single(self):
+        m = SpatialMachine()
+        region = Region(0, 0, 1, 1)
+        out = broadcast(m, m.place(np.array([2.0]), [0], [0]), region)
+        assert len(out) == 1 and m.stats.energy == 0
+
+    def test_sort_single(self):
+        m = SpatialMachine()
+        out = sort_values(m, np.array([1.0]), Region(0, 0, 1, 1))
+        assert out.payload[0, 0] == 1.0
+
+    def test_coo_one_by_one(self, rng):
+        A = COOMatrix(np.array([0]), np.array([0]), np.array([2.0]), 1)
+        m = SpatialMachine()
+        y = spmv_spatial(m, A, np.array([3.0]))
+        assert y.payload[0] == 6.0
+
+
+class TestOffsetRegions:
+    def test_scan_far_from_origin(self, rng):
+        m = SpatialMachine()
+        region = Region(1000, 2000, 8, 8)
+        x = rng.standard_normal(64)
+        res = scan(m, m.place_zorder(x, region), region)
+        assert np.allclose(res.inclusive.payload, np.cumsum(x))
+        # costs identical to the origin-anchored run (translation invariance)
+        m0 = SpatialMachine()
+        scan(m0, m0.place_zorder(x, Region(0, 0, 8, 8)), region=Region(0, 0, 8, 8))
+        assert m.stats.energy == m0.stats.energy
+
+    def test_sort_far_from_origin(self, rng):
+        m = SpatialMachine()
+        region = Region(500, 500, 8, 8)
+        x = rng.random(64)
+        out = sort_values(m, x, region)
+        assert np.allclose(out.payload[:, 0], np.sort(x))
+
+    def test_allreduce_translation_invariant(self, rng):
+        x = rng.random(16)
+        costs = []
+        for anchor in ((0, 0), (77, 33)):
+            m = SpatialMachine()
+            region = Region(anchor[0], anchor[1], 4, 4)
+            all_reduce(m, m.place_rowmajor(x, region), region, MAX)
+            costs.append(m.stats.energy)
+        assert costs[0] == costs[1]
+
+
+class TestDegenerateSegments:
+    def test_segmented_scan_alternating_flags(self, rng):
+        n = 64
+        x = rng.standard_normal(n)
+        flags = np.tile([1.0, 0.0], n // 2)
+        m = SpatialMachine()
+        region = Region(0, 0, 8, 8)
+        res = segmented_scan(m, flags, m.place_zorder(x, region), region)
+        want = x.copy()
+        want[1::2] = x[0::2] + x[1::2]
+        assert np.allclose(res.inclusive.payload, want)
+
+    def test_segment_of_length_n(self, rng):
+        n = 16
+        x = rng.standard_normal(n)
+        flags = np.zeros(n)
+        flags[0] = 1
+        m = SpatialMachine()
+        region = Region(0, 0, 4, 4)
+        res = segmented_scan(m, flags, m.place_zorder(x, region), region)
+        assert np.allclose(res.inclusive.payload, np.cumsum(x))
+
+
+class TestSortPayloadShapes:
+    def test_multiple_satellite_columns(self, rng):
+        n = 64
+        x = rng.random(n)
+        payload = np.column_stack([x, np.arange(n), np.arange(n) * 2.0])
+        m = SpatialMachine()
+        region = Region(0, 0, 8, 8)
+        out = mergesort_2d(m, m.place_rowmajor(payload, region), region, key_cols=1)
+        order = out.payload[:, 1].astype(int)
+        assert np.allclose(x[order], np.sort(x))
+        assert np.allclose(out.payload[:, 2], out.payload[:, 1] * 2)
+
+    def test_two_key_columns(self, rng):
+        n = 64
+        k1 = rng.integers(0, 3, n).astype(float)
+        k2 = rng.random(n)
+        payload = np.column_stack([k1, k2])
+        m = SpatialMachine()
+        region = Region(0, 0, 8, 8)
+        out = mergesort_2d(m, m.place_rowmajor(payload, region), region, key_cols=2)
+        got = [tuple(r) for r in out.payload]
+        assert got == sorted(zip(k1, k2))
+
+    def test_allpairs_1d_payload_rejected(self, rng):
+        m = SpatialMachine()
+        ta = m.place_rowmajor(rng.random(16), Region(0, 0, 4, 4))
+        with pytest.raises(ValueError):
+            allpairs_sort(m, ta)
+
+
+class TestSpMVLayouts:
+    def test_custom_layout(self, rng):
+        A = random_coo(16, 48, rng)
+        layout = SpMVLayout(
+            entry_region=Region(100, 100, 8, 8),
+            x_region=Region(100, 108, 4, 4),
+            y_region=Region(104, 108, 4, 4),
+        )
+        m = SpatialMachine()
+        x = rng.standard_normal(16)
+        y = spmv_spatial(m, A, x, layout=layout)
+        assert np.allclose(y.payload, A.multiply_dense(x))
+        assert y.rows.min() >= 104
+
+    def test_default_layout_regions_disjoint(self):
+        layout = SpMVLayout.default(64, 256)
+        e, xr, yr = layout.entry_region, layout.x_region, layout.y_region
+        # x and y sit beside/below the entry grid, not inside it
+        assert xr.col >= e.col_end
+        assert yr.row >= xr.row_end
+
+
+class TestAsSortPayloadDtype:
+    def test_int_input_coerced(self):
+        p = as_sort_payload(np.array([3, 1, 2]))
+        assert p.dtype == np.float64 and p.shape == (3, 1)

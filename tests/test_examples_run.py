@@ -1,0 +1,43 @@
+"""Smoke tests: the example scripts run end-to-end and self-verify.
+
+Each example asserts its own results against NumPy/networkx references, so a
+clean exit is a meaningful check.  Only the quick examples run here; the
+heavyweight ones (quickstart's 4096-sort, PageRank's planning pass) are
+exercised via their underlying APIs in the other test modules.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "scan_visualizer.py",
+    "cost_heatmap.py",
+    "pram_simulation_demo.py",
+    "gnn_sort_pooling.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs_clean(script):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), "example produced no output"
+
+
+def test_all_examples_exist_and_have_docstrings():
+    scripts = sorted(EXAMPLES.glob("*.py"))
+    assert len(scripts) >= 8
+    for s in scripts:
+        head = s.read_text().split("\n", 3)
+        assert head[0].startswith("#!"), s
+        assert '"""' in head[1], f"{s} missing a docstring"

@@ -1,0 +1,137 @@
+"""Failure-injection tests: degenerate randomness, adversarial inputs, and
+resource-edge behaviour.  The algorithms must stay *correct* (possibly at
+higher cost) when their probabilistic assumptions are sabotaged."""
+
+import numpy as np
+import pytest
+
+from repro.core.selection import rank_select
+from repro.core.sorting.quicksort2d import quicksort_2d
+from repro.machine import Region, SpatialMachine
+
+
+class _NeverSampleRng:
+    """rng.random always 1.0: the selection never samples anything."""
+
+    def random(self, n=None):
+        return np.ones(n) if n is not None else 1.0
+
+
+class _AlwaysSampleRng:
+    """rng.random always 0.0: every active element is sampled each round."""
+
+    def random(self, n=None):
+        return np.zeros(n) if n is not None else 0.0
+
+
+class TestSelectionDegenerateRandomness:
+    def test_never_sampling_still_correct(self, rng):
+        """With no samples ever, iterations burn out and the epilogue sorts
+        the entire active set — slow but exact."""
+        n = 256
+        region = Region(0, 0, 16, 16)
+        x = rng.standard_normal(n)
+        m = SpatialMachine()
+        res = rank_select(
+            m,
+            m.place_zorder(x, region),
+            region,
+            100,
+            _NeverSampleRng(),
+            max_iterations=5,
+        )
+        assert res.value == np.sort(x)[99]
+        assert res.iterations == 5  # all iterations wasted
+
+    def test_always_sampling_still_correct(self, rng):
+        """Sampling everything makes the 'sample' the whole input; pivots are
+        then exact and the loop converges immediately."""
+        n = 256
+        region = Region(0, 0, 16, 16)
+        x = rng.standard_normal(n)
+        m = SpatialMachine()
+        res = rank_select(
+            m, m.place_zorder(x, region), region, 77, _AlwaysSampleRng()
+        )
+        assert res.value == np.sort(x)[76]
+
+    def test_tiny_c_always_falls_back_eventually(self, rng):
+        """c below the theorem's c >= 3 still returns exact answers."""
+        n = 256
+        region = Region(0, 0, 16, 16)
+        x = rng.standard_normal(n)
+        for seed in range(10):
+            m = SpatialMachine()
+            res = rank_select(
+                m,
+                m.place_zorder(x, region),
+                region,
+                128,
+                np.random.default_rng(seed),
+                c=0.5,
+            )
+            assert res.value == np.sort(x)[127]
+
+    def test_never_sampling_cost_blowup_is_bounded(self, rng):
+        """Even the pathological run pays at most iterations x O(n) plus one
+        full sort — no runaway loop."""
+        n = 256
+        region = Region(0, 0, 16, 16)
+        x = rng.standard_normal(n)
+        m = SpatialMachine()
+        rank_select(
+            m, m.place_zorder(x, region), region, 1, _NeverSampleRng(), max_iterations=3
+        )
+        assert m.stats.energy < 10_000_000
+
+
+class TestQuicksortDegenerateRandomness:
+    def test_never_sampling_rng(self, rng):
+        """The quicksort's internal selections inherit the fallback safety."""
+        x = rng.standard_normal(64)
+        m = SpatialMachine()
+        out = quicksort_2d(m, x, Region(0, 0, 8, 8), _NeverSampleRng())
+        assert np.allclose(out.payload, np.sort(x))
+
+
+class TestAdversarialInputs:
+    def test_selection_on_constant_plateau_with_spikes(self, rng):
+        """Pivots almost always equal the plateau value: tie paths dominate."""
+        n = 1024
+        x = np.zeros(n)
+        x[:5] = -1.0
+        x[5:10] = 1.0
+        region = Region(0, 0, 32, 32)
+        for k in (1, 5, 6, 512, 1020, 1024):
+            m = SpatialMachine()
+            res = rank_select(
+                m, m.place_zorder(x, region), region, k, np.random.default_rng(k)
+            )
+            assert res.value == np.sort(x)[k - 1], k
+
+    def test_sort_infinities(self):
+        from repro.core.sorting.mergesort2d import sort_values
+
+        x = np.zeros(64)
+        x[0] = np.inf
+        x[1] = -np.inf
+        m = SpatialMachine()
+        out = sort_values(m, x, Region(0, 0, 8, 8))
+        assert out.payload[0, 0] == -np.inf and out.payload[-1, 0] == np.inf
+
+    def test_sort_denormals_and_negzero(self, rng):
+        from repro.core.sorting.mergesort2d import sort_values
+
+        x = np.concatenate([[-0.0, 0.0, 5e-324, -5e-324], rng.standard_normal(60)])
+        m = SpatialMachine()
+        out = sort_values(m, x, Region(0, 0, 8, 8))
+        assert np.array_equal(np.sort(x), out.payload[:, 0])
+
+    def test_spmv_extreme_values(self, rng):
+        from repro.spmv import random_coo, spmv_spatial
+
+        A = random_coo(16, 48, rng)
+        x = rng.standard_normal(16) * 1e150
+        m = SpatialMachine()
+        y = spmv_spatial(m, A, x)
+        assert np.allclose(y.payload, A.multiply_dense(x), rtol=1e-9)

@@ -1,0 +1,91 @@
+"""Tests for the scan-based gather/scatter collectives (repro.core.gather)."""
+
+import numpy as np
+import pytest
+
+from repro.core.gather import gather_masked, scatter_back, staging_square
+from repro.machine import Region, SpatialMachine
+
+
+class TestStagingSquare:
+    @pytest.mark.parametrize("count,side", [(0, 1), (1, 1), (2, 2), (5, 4), (16, 4)])
+    def test_sizes(self, count, side):
+        r = staging_square(count, Region(3, 4, 8, 8))
+        assert r.width == side and r.corner() == (3, 4)
+
+
+class TestGatherMasked:
+    def _setup(self, n, rng):
+        m = SpatialMachine()
+        side = int(np.sqrt(n))
+        region = Region(0, 0, side, side)
+        x = rng.standard_normal(n)
+        return m, region, x, m.place_zorder(x, region)
+
+    def test_order_preserved(self, rng):
+        m, region, x, ta = self._setup(64, rng)
+        mask = rng.random(64) < 0.4
+        out = gather_masked(m, ta, mask, region)
+        assert np.allclose(out.payload, x[mask])
+
+    def test_parked_rowmajor_compact(self, rng):
+        m, region, x, ta = self._setup(64, rng)
+        mask = rng.random(64) < 0.3
+        out = gather_masked(m, ta, mask, region)
+        count = int(mask.sum())
+        sq = staging_square(count, region)
+        rows, cols = sq.rowmajor_coords(count)
+        assert (out.rows == rows).all() and (out.cols == cols).all()
+
+    def test_all_selected(self, rng):
+        m, region, x, ta = self._setup(16, rng)
+        out = gather_masked(m, ta, np.ones(16, dtype=bool), region)
+        assert np.allclose(out.payload, x)
+
+    def test_single_selected(self, rng):
+        m, region, x, ta = self._setup(16, rng)
+        mask = np.zeros(16, dtype=bool)
+        mask[9] = True
+        out = gather_masked(m, ta, mask, region)
+        assert out.payload[0] == x[9]
+
+    def test_custom_staging(self, rng):
+        m, region, x, ta = self._setup(16, rng)
+        mask = rng.random(16) < 0.5
+        staging = Region(100, 100, 4, 4)
+        out = gather_masked(m, ta, mask, region, staging=staging)
+        assert out.rows.min() >= 100
+
+    def test_metadata_includes_scan_chain(self, rng):
+        """Gathered elements depend on the scan + broadcast: log-depth floor."""
+        m, region, x, ta = self._setup(256, rng)
+        mask = rng.random(256) < 0.2
+        out = gather_masked(m, ta, mask, region)
+        assert out.depth.min() >= int(np.log2(256) / 2)  # at least the scan
+
+    def test_energy_linear(self, rng):
+        """Θ(n) gather: scan + broadcast + O(sqrt n)-distance moves."""
+        for n in (256, 1024, 4096):
+            m, region, x, ta = self._setup(n, rng)
+            mask = rng.random(n) < (3 / np.sqrt(n))  # sqrt-sized sample
+            gather_masked(m, ta, mask, region)
+            assert m.stats.energy <= 20 * n
+
+    def test_wrong_length_rejected(self, rng):
+        m, region, x, ta = self._setup(16, rng)
+        with pytest.raises(ValueError):
+            gather_masked(m, ta[:8], np.ones(8, dtype=bool), region)
+
+
+class TestScatterBack:
+    def test_roundtrip(self, rng):
+        m = SpatialMachine()
+        region = Region(0, 0, 8, 8)
+        x = rng.standard_normal(64)
+        ta = m.place_zorder(x, region)
+        mask = rng.random(64) < 0.5
+        home_r, home_c = ta.rows[mask].copy(), ta.cols[mask].copy()
+        staged = gather_masked(m, ta, mask, region)
+        returned = scatter_back(m, staged, home_r, home_c)
+        assert (returned.rows == home_r).all()
+        assert np.allclose(returned.payload, x[mask])

@@ -1,0 +1,111 @@
+"""Unit tests for grid geometry (repro.machine.geometry)."""
+
+import numpy as np
+import pytest
+
+from repro.machine.geometry import Region, manhattan, manhattan_arrays, square_region_for
+
+
+class TestManhattan:
+    def test_scalar(self):
+        assert manhattan(0, 0, 3, 4) == 7
+        assert manhattan(5, 5, 5, 5) == 0
+        assert manhattan(2, 7, 0, 1) == 8
+
+    def test_symmetry(self):
+        assert manhattan(1, 2, 8, 3) == manhattan(8, 3, 1, 2)
+
+    def test_arrays_broadcast(self):
+        d = manhattan_arrays(np.array([0, 1]), np.array([0, 1]), 3, 4)
+        assert d.tolist() == [7, 5]
+
+    def test_arrays_dtype(self):
+        d = manhattan_arrays(np.array([0]), np.array([0]), np.array([2]), np.array([2]))
+        assert d.dtype == np.int64
+
+    def test_triangle_inequality(self):
+        rng = np.random.default_rng(1)
+        a, b, c = rng.integers(0, 100, (3, 2, 50))
+        dab = manhattan_arrays(a[0], a[1], b[0], b[1])
+        dbc = manhattan_arrays(b[0], b[1], c[0], c[1])
+        dac = manhattan_arrays(a[0], a[1], c[0], c[1])
+        assert (dac <= dab + dbc).all()
+
+
+class TestRegion:
+    def test_basic_properties(self):
+        r = Region(2, 3, 4, 8)
+        assert r.size == 32
+        assert not r.is_square
+        assert r.row_end == 6
+        assert r.col_end == 11
+        assert r.diameter() == 3 + 7
+        assert r.corner() == (2, 3)
+
+    def test_negative_dims_rejected(self):
+        with pytest.raises(ValueError):
+            Region(0, 0, -1, 4)
+
+    def test_empty_region(self):
+        r = Region(0, 0, 0, 5)
+        assert r.size == 0
+        assert r.diameter() == 0
+
+    def test_contains(self):
+        r = Region(1, 1, 2, 2)
+        inside = r.contains(np.array([1, 2, 0, 1]), np.array([1, 2, 1, 3]))
+        assert inside.tolist() == [True, True, False, False]
+
+    def test_quadrants_z_order(self):
+        r = Region(0, 0, 4, 4)
+        tl, tr, bl, br = r.quadrants()
+        assert tl == Region(0, 0, 2, 2)
+        assert tr == Region(0, 2, 2, 2)
+        assert bl == Region(2, 0, 2, 2)
+        assert br == Region(2, 2, 2, 2)
+
+    def test_quadrants_odd_rejected(self):
+        with pytest.raises(ValueError):
+            Region(0, 0, 3, 4).quadrants()
+
+    def test_halves(self):
+        r = Region(0, 0, 4, 8)
+        top, bottom = r.halves(axis=0)
+        assert top == Region(0, 0, 2, 8)
+        assert bottom == Region(2, 0, 2, 8)
+        left, right = r.halves(axis=1)
+        assert left == Region(0, 0, 4, 4)
+        assert right == Region(0, 4, 4, 4)
+
+    def test_rowmajor_roundtrip(self):
+        r = Region(5, 7, 4, 6)
+        rows, cols = r.rowmajor_coords()
+        idx = r.rowmajor_index(rows, cols)
+        assert (idx == np.arange(24)).all()
+
+    def test_rowmajor_partial(self):
+        r = Region(0, 0, 2, 4)
+        rows, cols = r.rowmajor_coords(5)
+        assert rows.tolist() == [0, 0, 0, 0, 1]
+        assert cols.tolist() == [0, 1, 2, 3, 0]
+
+    def test_rowmajor_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            Region(0, 0, 2, 2).rowmajor_coords(5)
+
+    def test_rowmajor_coords_offset(self):
+        r = Region(10, 20, 2, 2)
+        rows, cols = r.rowmajor_coords()
+        assert rows.min() == 10 and cols.min() == 20
+
+
+class TestSquareRegionFor:
+    @pytest.mark.parametrize("n,side", [(1, 1), (2, 2), (4, 2), (5, 4), (16, 4), (17, 8)])
+    def test_sizes(self, n, side):
+        r = square_region_for(n)
+        assert r.width == side and r.height == side
+        assert r.size >= n
+
+    def test_anchor(self):
+        r = square_region_for(10, row=3, col=4)
+        assert r.corner() == (3, 4)

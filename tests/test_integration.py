@@ -1,0 +1,171 @@
+"""Integration tests: primitives composed on one machine, cross-module flows,
+and whole-model invariants."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ADD,
+    Region,
+    SpatialMachine,
+    all_reduce,
+    merge_sorted_2d,
+    mergesort_2d,
+    rank_select,
+    scan,
+    sort_values,
+    spmv_spatial,
+)
+from repro.core.sorting.sortutil import as_sort_payload
+from repro.spmv import random_coo
+
+
+class TestComposedPipelines:
+    def test_sort_then_scan(self, rng):
+        """Sort values, then prefix-sum the sorted sequence (one machine)."""
+        n = 256
+        region = Region(0, 0, 16, 16)
+        x = rng.random(n)
+        m = SpatialMachine()
+        sorted_ta = sort_values(m, x, region)
+        # re-park row-major results along the Z-curve for the scan
+        zta = m.place_zorder(np.zeros(n), region)
+        moved = m.send(sorted_ta.with_payload(sorted_ta.payload[:, 0]), zta.rows, zta.cols)
+        res = scan(m, moved, region)
+        assert np.allclose(res.inclusive.payload, np.cumsum(np.sort(x)))
+        # depth of the final result exceeds the sort's (chained dependency)
+        assert res.inclusive.max_depth() > sorted_ta.max_depth()
+
+    def test_select_equals_sort_readoff(self, rng):
+        n = 1024
+        region = Region(0, 0, 32, 32)
+        x = rng.standard_normal(n)
+        k = 300
+        m1 = SpatialMachine()
+        res = rank_select(
+            m1, m1.place_zorder(x, region), region, k, np.random.default_rng(9)
+        )
+        m2 = SpatialMachine()
+        out = sort_values(m2, x, region)
+        assert res.value == pytest.approx(out.payload[k - 1, 0])
+        # and selection is far cheaper
+        assert m1.stats.energy < m2.stats.energy / 5
+
+    def test_spmv_power_iteration(self, rng):
+        """Three chained SpMVs on one machine approximate A³x."""
+        n = 16
+        A = random_coo(n, 3 * n, rng)
+        x = rng.standard_normal(n)
+        m = SpatialMachine()
+        y = x.copy()
+        for _ in range(3):
+            y_ta = spmv_spatial(m, A, y)
+            y = y_ta.payload.copy()
+        want = x.copy()
+        for _ in range(3):
+            want = A.multiply_dense(want)
+        assert np.allclose(y, want)
+
+    def test_merge_of_two_mergesorts(self, rng):
+        """Sort two independent arrays then merge them — the mergesort's own
+        composition, exercised explicitly at the API level."""
+        side = 8
+        m = SpatialMachine()
+        a = rng.random(side * side)
+        b = rng.random(side * side)
+        sa = sort_values(m, a, Region(0, 0, side, side))
+        sb = sort_values(m, b, Region(0, side, side, side))
+        merged = merge_sorted_2d(m, sa, sb, Region(0, 0, side, 2 * side))
+        assert np.allclose(
+            merged.payload[:, 0], np.sort(np.concatenate([a, b]))
+        )
+
+
+class TestModelInvariants:
+    def test_energy_equals_trace_sum(self, rng):
+        """The global energy counter exactly equals the per-message sum
+        (sends and relayed probe chains are both traced)."""
+        n = 64
+        region = Region(0, 0, 8, 8)
+        m = SpatialMachine(trace=True)
+        sort_values(m, rng.random(n), region)
+        assert m.tracer.total_energy() == m.stats.energy
+        assert m.tracer.total_messages() == m.stats.messages
+
+    def test_depth_never_exceeds_messages(self, rng):
+        m = SpatialMachine()
+        region = Region(0, 0, 8, 8)
+        sort_values(m, rng.random(64), region)
+        assert m.stats.max_depth <= m.stats.messages
+
+    def test_distance_never_exceeds_energy(self, rng):
+        m = SpatialMachine()
+        region = Region(0, 0, 8, 8)
+        scan(m, m.place_zorder(rng.random(64), region), region)
+        assert m.stats.max_distance <= m.stats.energy
+
+    def test_depth_le_distance(self, rng):
+        """Every hop has distance >= 1, so chain depth <= chain distance."""
+        m = SpatialMachine()
+        region = Region(0, 0, 16, 16)
+        res = scan(m, m.place_zorder(rng.random(256), region), region)
+        assert (res.inclusive.depth <= res.inclusive.dist).all()
+
+    def test_allreduce_then_dependent_work(self, rng):
+        """Control threading: work gated on an all-reduce inherits its depth."""
+        m = SpatialMachine()
+        region = Region(0, 0, 8, 8)
+        x = m.place_rowmajor(rng.random(64), region)
+        totals = all_reduce(m, x, region, ADD)
+        gated = x.depending_on(totals)
+        assert (gated.depth >= totals.depth.min()).all()
+
+    def test_costs_deterministic_given_seed(self, rng):
+        """Same input, same seed => identical measured costs."""
+        n = 256
+        region = Region(0, 0, 16, 16)
+        x = rng.standard_normal(n)
+        stats = []
+        for _ in range(2):
+            m = SpatialMachine()
+            rank_select(
+                m, m.place_zorder(x, region), region, 99, np.random.default_rng(4)
+            )
+            stats.append((m.stats.energy, m.stats.messages, m.stats.max_depth))
+        assert stats[0] == stats[1]
+
+
+class TestTableIOrdering:
+    """The paper's Table I relationships between the four problems."""
+
+    def test_scan_cheaper_than_selection_cheaper_than_sort(self, rng):
+        n = 1024
+        region = Region(0, 0, 32, 32)
+        x = rng.standard_normal(n)
+
+        m_scan = SpatialMachine()
+        scan(m_scan, m_scan.place_zorder(x, region), region)
+        m_sel = SpatialMachine()
+        rank_select(
+            m_sel, m_sel.place_zorder(x, region), region, n // 2, np.random.default_rng(1)
+        )
+        m_sort = SpatialMachine()
+        sort_values(m_sort, x, region)
+
+        assert m_scan.stats.energy < m_sel.stats.energy < m_sort.stats.energy
+
+    def test_spmv_tracks_sort_energy(self, rng):
+        """SpMV energy is sort-dominated: same order of magnitude as sorting
+        its nonzeros."""
+        n = 64
+        A = random_coo(n, 4 * n, rng)
+        x = rng.standard_normal(n)
+        m_spmv = SpatialMachine()
+        spmv_spatial(m_spmv, A, x)
+        side = 1
+        while side * side < A.nnz:
+            side *= 2
+        m_sort = SpatialMachine()
+        sort_values(m_sort, rng.random(side * side), Region(0, 0, side, side))
+        ratio = m_spmv.stats.energy / m_sort.stats.energy
+        assert 0.5 < ratio < 10

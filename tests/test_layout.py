@@ -1,0 +1,70 @@
+"""Unit tests for grid layouts (repro.machine.layout)."""
+
+import numpy as np
+import pytest
+
+from repro.machine.geometry import Region
+from repro.machine.layout import (
+    permutation_to_rowmajor,
+    rowmajor_layout,
+    square_plus_l_layout,
+    zorder_layout,
+)
+
+
+class TestBasicLayouts:
+    def test_rowmajor(self):
+        rows, cols = rowmajor_layout(Region(0, 0, 2, 3), 4)
+        assert rows.tolist() == [0, 0, 0, 1]
+        assert cols.tolist() == [0, 1, 2, 0]
+
+    def test_zorder(self):
+        rows, cols = zorder_layout(Region(0, 0, 2, 2), 4)
+        assert list(zip(rows.tolist(), cols.tolist())) == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_permutation_target(self):
+        rows, cols = permutation_to_rowmajor(Region(0, 0, 2, 2), 4)
+        assert rows.tolist() == [0, 0, 1, 1]
+
+
+class TestSquarePlusL:
+    def test_fig3_shape(self):
+        # 4x4 region: 9 elements in a 3x3 square, 7 in the mirrored L
+        region = Region(0, 0, 4, 4)
+        (sr, sc), (lr, lc) = square_plus_l_layout(region, 9, 7)
+        assert len(sr) == 9 and len(lr) == 7
+        # the square occupies the top-left 3x3 block
+        assert sr.max() <= 2 and sc.max() <= 2
+        # the L cells avoid the square entirely
+        square_cells = set(zip(sr.tolist(), sc.tolist()))
+        l_cells = set(zip(lr.tolist(), lc.tolist()))
+        assert not square_cells & l_cells
+        assert len(square_cells | l_cells) == 16
+
+    def test_l_is_rowmajor_outside_square(self):
+        region = Region(0, 0, 4, 4)
+        (_, _), (lr, lc) = square_plus_l_layout(region, 4, 5)
+        # square is 2x2; first L cells fill row 0, cols 2..3, then row 1 etc.
+        assert (lr[0], lc[0]) == (0, 2)
+        assert (lr[1], lc[1]) == (0, 3)
+        assert (lr[2], lc[2]) == (1, 2)
+
+    def test_zero_square(self):
+        region = Region(0, 0, 2, 2)
+        (sr, _), (lr, lc) = square_plus_l_layout(region, 0, 3)
+        assert len(sr) == 0 and len(lr) == 3
+        assert (lr[0], lc[0]) == (0, 0)
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            square_plus_l_layout(Region(0, 0, 2, 2), 3, 3)
+
+    def test_square_too_big_rejected(self):
+        with pytest.raises(ValueError):
+            square_plus_l_layout(Region(0, 0, 2, 8), 9, 0)
+
+    def test_offset_region(self):
+        region = Region(5, 5, 2, 2)
+        (sr, sc), (lr, lc) = square_plus_l_layout(region, 1, 3)
+        assert (sr[0], sc[0]) == (5, 5)
+        assert np.concatenate([lr, [0]]).min() >= 0

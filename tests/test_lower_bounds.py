@@ -1,0 +1,76 @@
+"""Tests for the permutation energy lower bound (Section V.A, Lemma V.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.sorting.lower_bounds import (
+    displacement_lower_bound,
+    paper_lower_bound,
+    reversal_permutation,
+    route_permutation,
+)
+from repro.core.sorting.sortutil import as_sort_payload
+from repro.machine import Region, SpatialMachine
+
+
+class TestReversalPermutation:
+    def test_is_involution(self):
+        p = reversal_permutation(64)
+        assert (p[p] == np.arange(64)).all()
+
+    def test_displacement_exact_small(self):
+        # 2x2 grid reversal: cells (0,0)<->(1,1) and (0,1)<->(1,0), each 2
+        region = Region(0, 0, 2, 2)
+        assert displacement_lower_bound(region, reversal_permutation(4)) == 8
+
+    @pytest.mark.parametrize("side", (4, 8, 16, 32))
+    def test_exact_bound_dominates_paper_formula(self, side):
+        region = Region(0, 0, side, side)
+        exact = displacement_lower_bound(region, reversal_permutation(side**2))
+        assert exact >= paper_lower_bound(side, side)
+
+    @pytest.mark.parametrize("side", (8, 16, 32, 64))
+    def test_lemma_v1_scaling(self, side):
+        """The reversal needs Ω(n^{3/2}) energy: bound / n^{3/2} is bounded
+        away from 0 and from above."""
+        region = Region(0, 0, side, side)
+        n = side * side
+        exact = displacement_lower_bound(region, reversal_permutation(n))
+        assert 0.4 < exact / n**1.5 < 1.5
+
+    def test_rectangular_case(self):
+        """Lemma V.1 for h != w: the bound uses max(w,h)² * min(w,h)."""
+        h, w = 16, 4
+        region = Region(0, 0, h, w)
+        exact = displacement_lower_bound(region, reversal_permutation(h * w))
+        assert exact >= paper_lower_bound(h, w)
+
+
+class TestRoutePermutation:
+    def test_direct_routing_meets_floor_exactly(self, rng):
+        region = Region(0, 0, 8, 8)
+        perm = rng.permutation(64)
+        lb = displacement_lower_bound(region, perm)
+        m = SpatialMachine()
+        ta = m.place_rowmajor(as_sort_payload(np.arange(64.0)), region)
+        out = route_permutation(m, ta, region, perm)
+        assert m.stats.energy == lb
+        # element i ends at row-major cell perm[i]
+        rows, cols = region.rowmajor_coords(64)
+        assert (out.rows == rows[perm]).all()
+
+    def test_identity_free(self):
+        region = Region(0, 0, 4, 4)
+        m = SpatialMachine()
+        ta = m.place_rowmajor(as_sort_payload(np.arange(16.0)), region)
+        route_permutation(m, ta, region, np.arange(16))
+        assert m.stats.energy == 0
+
+    def test_random_permutations_cheaper_than_reversal(self, rng):
+        """The reversal is (near-)worst-case among permutations."""
+        region = Region(0, 0, 16, 16)
+        n = 256
+        rev = displacement_lower_bound(region, reversal_permutation(n))
+        for _ in range(10):
+            r = displacement_lower_bound(region, rng.permutation(n))
+            assert r <= rev

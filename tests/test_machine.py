@@ -1,0 +1,215 @@
+"""Unit tests for the cost-metering simulator (repro.machine.machine).
+
+These pin down the model semantics everything else relies on:
+energy = sum of Manhattan distances, depth = longest message chain,
+distance = longest chain wire length, local work free, self-sends free.
+"""
+
+import numpy as np
+import pytest
+
+from repro.machine import Region, SpatialMachine, TrackedArray, combine
+from repro.machine.machine import concat_tracked
+
+
+class TestPlacement:
+    def test_place_free(self, machine):
+        ta = machine.place(np.arange(4.0), [0, 0, 1, 1], [0, 1, 0, 1])
+        assert machine.stats.energy == 0
+        assert machine.stats.messages == 0
+        assert ta.max_depth() == 0 and ta.max_dist() == 0
+
+    def test_place_rowmajor(self, machine):
+        ta = machine.place_rowmajor(np.arange(6.0), Region(0, 0, 2, 4))
+        assert ta.rows.tolist() == [0, 0, 0, 0, 1, 1]
+        assert ta.cols.tolist() == [0, 1, 2, 3, 0, 1]
+
+    def test_place_zorder(self, machine):
+        ta = machine.place_zorder(np.arange(4.0), Region(0, 0, 2, 2))
+        assert list(zip(ta.rows.tolist(), ta.cols.tolist())) == [
+            (0, 0), (0, 1), (1, 0), (1, 1),
+        ]
+
+    def test_length_mismatch_rejected(self, machine):
+        with pytest.raises(ValueError):
+            TrackedArray(
+                machine,
+                np.arange(3.0),
+                np.zeros(2, dtype=np.int64),
+                np.zeros(3, dtype=np.int64),
+                np.zeros(3, dtype=np.int64),
+                np.zeros(3, dtype=np.int64),
+            )
+
+
+class TestSend:
+    def test_energy_is_manhattan_sum(self, machine):
+        ta = machine.place(np.arange(3.0), [0, 0, 0], [0, 1, 2])
+        machine.send(ta, np.array([2, 2, 2]), np.array([0, 1, 2]))
+        assert machine.stats.energy == 6
+        assert machine.stats.messages == 3
+
+    def test_self_send_free(self, machine):
+        ta = machine.place(np.array([1.0]), [3], [3])
+        out = machine.send(ta, np.array([3]), np.array([3]))
+        assert machine.stats.energy == 0
+        assert machine.stats.messages == 0
+        assert out.depth[0] == 0 and out.dist[0] == 0
+
+    def test_depth_increments_per_hop(self, machine):
+        ta = machine.place(np.array([1.0]), [0], [0])
+        a = machine.send(ta, np.array([0]), np.array([5]))
+        b = machine.send(a, np.array([4]), np.array([5]))
+        assert b.depth[0] == 2
+        assert b.dist[0] == 9
+        assert machine.stats.energy == 9
+
+    def test_mixed_moved_and_static(self, machine):
+        ta = machine.place(np.arange(2.0), [0, 0], [0, 1])
+        out = machine.send(ta, np.array([0, 3]), np.array([0, 1]))
+        assert out.depth.tolist() == [0, 1]
+        assert out.dist.tolist() == [0, 3]
+        assert machine.stats.messages == 1
+
+    def test_stats_observe_running_max(self, machine):
+        ta = machine.place(np.array([1.0]), [0], [0])
+        machine.send(ta, np.array([10]), np.array([10]))
+        assert machine.stats.max_depth == 1
+        assert machine.stats.max_distance == 20
+
+    def test_destination_length_checked(self, machine):
+        ta = machine.place(np.arange(2.0), [0, 0], [0, 1])
+        with pytest.raises(ValueError):
+            machine.send(ta, np.array([0]), np.array([0]))
+
+
+class TestCombine:
+    def test_local_combine_free(self, machine):
+        a = machine.place(np.array([1.0, 2.0]), [0, 1], [0, 0])
+        b = machine.place(np.array([3.0, 4.0]), [0, 1], [0, 0])
+        out = combine([a, b], np.add)
+        assert out.payload.tolist() == [4.0, 6.0]
+        assert machine.stats.energy == 0
+
+    def test_combine_metadata_max(self, machine):
+        a = machine.place(np.array([1.0]), [0], [0])
+        moved = machine.send(a, np.array([0]), np.array([7]))  # depth 1, dist 7
+        b = machine.place(np.array([2.0]), [0], [7])
+        out = moved.combined_with(b, payload=moved.payload + b.payload)
+        assert out.depth[0] == 1 and out.dist[0] == 7
+
+    def test_combine_requires_equal_length(self, machine):
+        a = machine.place(np.arange(2.0), [0, 0], [0, 1])
+        b = machine.place(np.arange(3.0), [0, 0, 0], [0, 1, 2])
+        with pytest.raises(ValueError):
+            a.combined_with(b, payload=np.zeros(2))
+
+
+class TestDependencies:
+    def test_depending_on_elementwise_max(self, machine):
+        data = machine.place(np.arange(2.0), [0, 0], [0, 1])
+        ctrl = machine.place(np.zeros(2), [0, 0], [0, 1])
+        moved_ctrl = machine.send(ctrl, np.array([5, 5]), np.array([0, 1]))
+        back = machine.send(moved_ctrl, np.array([0, 0]), np.array([0, 1]))
+        out = data.depending_on(back)
+        assert (out.depth == 2).all()
+        assert (out.dist == 10).all()
+        assert (out.payload == data.payload).all()
+
+    def test_depending_on_scalar_control(self, machine):
+        data = machine.place(np.arange(3.0), [0, 0, 0], [0, 1, 2])
+        ctrl = machine.place(np.array([0.0]), [0], [0])
+        hop = machine.send(ctrl, np.array([9]), np.array([0]))
+        out = data.depending_on_meta(int(hop.depth[0]), int(hop.dist[0]))
+        assert (out.depth == 1).all() and (out.dist == 9).all()
+
+
+class TestRelay:
+    def test_relay_chain_costs(self, machine):
+        d, s = machine.relay((0, 0), np.array([0, 0]), np.array([4, 6]))
+        # hops: (0,0)->(0,4) = 4, (0,4)->(0,6) = 2
+        assert machine.stats.energy == 6
+        assert d == 2 and s == 6
+
+    def test_relay_accumulates_from_initial(self, machine):
+        d, s = machine.relay((0, 0), np.array([1]), np.array([1]), depth0=5, dist0=100)
+        assert d == 6 and s == 102
+
+    def test_relay_skips_zero_hops(self, machine):
+        d, s = machine.relay((0, 0), np.array([0, 0]), np.array([0, 3]))
+        assert d == 1 and s == 3
+
+
+class TestTrackedArrayOps:
+    def test_getitem_mask(self, machine):
+        ta = machine.place(np.arange(4.0), [0, 0, 1, 1], [0, 1, 0, 1])
+        sub = ta[np.array([True, False, True, False])]
+        assert sub.payload.tolist() == [0.0, 2.0]
+
+    def test_getitem_slice(self, machine):
+        ta = machine.place(np.arange(4.0), [0, 0, 1, 1], [0, 1, 0, 1])
+        assert len(ta[1:3]) == 2
+
+    def test_concat(self, machine):
+        a = machine.place(np.arange(2.0), [0, 0], [0, 1])
+        b = machine.place(np.arange(3.0), [1, 1, 1], [0, 1, 2])
+        c = concat_tracked([a, b])
+        assert len(c) == 5
+        assert c.payload.tolist() == [0, 1, 0, 1, 2]
+
+    def test_concat_skips_empty(self, machine):
+        a = machine.place(np.arange(2.0), [0, 0], [0, 1])
+        c = concat_tracked([a[0:0], a])
+        assert len(c) == 2
+
+    def test_concat_all_empty_rejected(self, machine):
+        a = machine.place(np.arange(2.0), [0, 0], [0, 1])
+        with pytest.raises(ValueError):
+            concat_tracked([a[0:0]])
+
+    def test_with_payload_checks_length(self, machine):
+        ta = machine.place(np.arange(2.0), [0, 0], [0, 1])
+        with pytest.raises(ValueError):
+            ta.with_payload(np.zeros(3))
+
+    def test_copy_is_independent(self, machine):
+        ta = machine.place(np.arange(2.0), [0, 0], [0, 1])
+        cp = ta.copy()
+        cp.payload[0] = 99
+        assert ta.payload[0] == 0
+
+
+class TestSnapshots:
+    def test_report_delta(self, machine):
+        before = machine.snapshot()
+        ta = machine.place(np.array([1.0]), [0], [0])
+        machine.send(ta, np.array([0]), np.array([10]))
+        rep = machine.report(before)
+        assert rep.energy == 10
+        assert rep.messages == 1
+        assert rep.as_dict()["depth"] == 1
+
+
+class TestMeasureContext:
+    def test_captures_delta(self, machine):
+        ta = machine.place(np.array([1.0]), [0], [0])
+        machine.send(ta, np.array([0]), np.array([5]))  # outside the block
+        with machine.measure() as cost:
+            ta2 = machine.place(np.array([2.0]), [0], [0])
+            machine.send(ta2, np.array([3]), np.array([0]))
+        assert cost.energy == 3
+        assert cost.messages == 1
+
+    def test_empty_block(self, machine):
+        with machine.measure() as cost:
+            pass
+        assert cost.energy == 0 and cost.messages == 0
+
+    def test_nested_blocks(self, machine):
+        ta = machine.place(np.array([1.0]), [0], [0])
+        with machine.measure() as outer:
+            machine.send(ta, np.array([0]), np.array([2]))
+            with machine.measure() as inner:
+                machine.send(ta, np.array([0]), np.array([1]))
+        assert inner.energy == 1
+        assert outer.energy == 3

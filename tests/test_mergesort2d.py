@@ -1,0 +1,157 @@
+"""Tests for the energy-optimal 2D Mergesort (Section V.C, Theorem V.8)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import make_workload, tail_exponent
+from repro.core.sorting.lower_bounds import displacement_lower_bound, reversal_permutation
+from repro.core.sorting.mergesort2d import mergesort_2d, sort_values
+from repro.core.sorting.sortutil import as_sort_payload
+from repro.machine import Region, SpatialMachine
+
+
+class TestMergesortCorrectness:
+    @pytest.mark.parametrize("n", (4, 16, 64, 256, 1024))
+    def test_uniform(self, n, rng):
+        side = int(np.sqrt(n))
+        m = SpatialMachine()
+        x = rng.standard_normal(n)
+        out = sort_values(m, x, Region(0, 0, side, side))
+        assert np.allclose(out.payload[:, 0], np.sort(x))
+
+    @pytest.mark.parametrize("kind", ("reversed", "sorted", "few_distinct", "zipf"))
+    def test_workloads(self, kind, rng):
+        n = 256
+        x = make_workload(kind, n, rng)
+        m = SpatialMachine()
+        out = sort_values(m, x, Region(0, 0, 16, 16))
+        assert np.allclose(out.payload[:, 0], np.sort(x))
+
+    def test_all_equal(self):
+        m = SpatialMachine()
+        out = sort_values(m, np.full(64, 5.0), Region(0, 0, 8, 8))
+        assert (out.payload[:, 0] == 5.0).all()
+
+    def test_base_case_variants(self, rng):
+        x = rng.random(256)
+        region = Region(0, 0, 16, 16)
+        for base in (4, 16, 64):
+            m = SpatialMachine()
+            ta = m.place_rowmajor(as_sort_payload(x), region)
+            out = mergesort_2d(m, ta, region, base_case=base)
+            assert np.allclose(out.payload[:, 0], np.sort(x)), base
+
+    def test_satellite_data(self, rng):
+        n = 64
+        x = rng.random(n)
+        m = SpatialMachine()
+        payload = np.stack([x, np.arange(float(n))], axis=1)
+        region = Region(0, 0, 8, 8)
+        out = mergesort_2d(m, m.place_rowmajor(payload, region), region, key_cols=1)
+        order = out.payload[:, 1].astype(int)
+        assert np.allclose(x[order], np.sort(x))
+
+    def test_output_rowmajor_cells(self, rng):
+        region = Region(0, 0, 8, 8)
+        m = SpatialMachine()
+        out = sort_values(m, rng.random(64), region)
+        rows, cols = region.rowmajor_coords(64)
+        assert (out.rows == rows).all() and (out.cols == cols).all()
+
+    def test_offset_region(self, rng):
+        region = Region(30, 40, 8, 8)
+        m = SpatialMachine()
+        out = sort_values(m, rng.random(64), region)
+        assert np.allclose(out.payload[:, 0], np.sort(out.payload[:, 0]))
+        assert out.rows.min() == 30 and out.cols.min() == 40
+
+    def test_rectangle_rejected(self, rng):
+        m = SpatialMachine()
+        ta = m.place_rowmajor(as_sort_payload(rng.random(32)), Region(0, 0, 4, 8))
+        with pytest.raises(ValueError):
+            mergesort_2d(m, ta, Region(0, 0, 4, 8))
+
+    @given(st.lists(st.integers(-1000, 1000), min_size=64, max_size=64))
+    @settings(max_examples=30, deadline=None)
+    def test_sort_property(self, xs):
+        x = np.asarray(xs, dtype=np.float64)
+        m = SpatialMachine()
+        out = sort_values(m, x, Region(0, 0, 8, 8))
+        assert np.allclose(out.payload[:, 0], np.sort(x))
+
+
+class TestTheoremV8Costs:
+    def test_energy_exponent_three_halves(self):
+        """Θ(n^{3/2}) energy: tail exponent near 1.5, never above 1.75."""
+        rng = np.random.default_rng(0)
+        ns, es = [], []
+        for side in (8, 16, 32, 64):
+            n = side * side
+            m = SpatialMachine()
+            sort_values(m, rng.random(n), Region(0, 0, side, side))
+            ns.append(n)
+            es.append(m.stats.energy)
+        exp = tail_exponent(np.array(ns), np.array(es), points=3)
+        assert 1.2 < exp < 1.8
+
+    def test_depth_polylog(self):
+        """O(log³ n): bounded by c·log³ and growing slower than any power."""
+        rng = np.random.default_rng(1)
+        depths = {}
+        for side in (8, 16, 32):
+            n = side * side
+            m = SpatialMachine()
+            out = sort_values(m, rng.random(n), Region(0, 0, side, side))
+            depths[n] = out.max_depth()
+            assert out.max_depth() <= np.log2(n) ** 3
+        # ratio between successive sizes shrinks (polylog, not power)
+        r1 = depths[256] / depths[64]
+        r2 = depths[1024] / depths[256]
+        assert r2 < r1
+
+    def test_distance_ratio_trends_to_sqrt(self):
+        """O(sqrt(n)) distance: the 4x-size ratio trends towards 2."""
+        rng = np.random.default_rng(2)
+        dists = []
+        for side in (8, 16, 32, 64):
+            m = SpatialMachine()
+            out = sort_values(m, rng.random(side * side), Region(0, 0, side, side))
+            dists.append(out.max_dist())
+        ratios = [dists[i + 1] / dists[i] for i in range(len(dists) - 1)]
+        assert ratios[-1] < ratios[0]  # converging
+        assert ratios[-1] < 3.2
+
+    def test_energy_within_constant_of_lower_bound(self):
+        """Corollary V.2: measured sort energy vs the reversal permutation's
+        displacement floor stays within a bounded factor."""
+        region = Region(0, 0, 32, 32)
+        n = 1024
+        lb = displacement_lower_bound(region, reversal_permutation(n))
+        m = SpatialMachine()
+        sort_values(m, np.arange(n, 0, -1, dtype=float), region)
+        assert m.stats.energy >= lb  # sorting the reversal must beat the floor
+        assert m.stats.energy <= 5000 * lb  # and stays within a constant
+
+
+class TestSortAny:
+    @pytest.mark.parametrize("n", (1, 3, 17, 50, 100))
+    def test_arbitrary_lengths(self, n, rng):
+        from repro.core.sorting import sort_any
+
+        x = rng.standard_normal(n)
+        got = sort_any(SpatialMachine(), x)
+        assert np.allclose(got, np.sort(x))
+
+    def test_empty(self):
+        from repro.core.sorting import sort_any
+
+        assert len(sort_any(SpatialMachine(), np.array([]))) == 0
+
+    def test_inf_inputs_survive_padding(self, rng):
+        from repro.core.sorting import sort_any
+
+        x = np.concatenate([rng.standard_normal(10), [np.inf, -np.inf]])
+        got = sort_any(SpatialMachine(), x)
+        assert np.array_equal(got, np.sort(x))

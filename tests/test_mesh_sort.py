@@ -1,0 +1,73 @@
+"""Tests for the Shearsort mesh baseline (Section II.B discussion)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import make_workload
+from repro.core.sorting.mesh_sort import shearsort
+from repro.core.sorting.mergesort2d import sort_values
+from repro.core.sorting.sortutil import as_sort_payload
+from repro.machine import Region, SpatialMachine
+
+
+def _run(x, side):
+    m = SpatialMachine()
+    region = Region(0, 0, side, side)
+    out = shearsort(m, m.place_rowmajor(as_sort_payload(x), region), region)
+    return m, out
+
+
+class TestShearsortCorrectness:
+    @pytest.mark.parametrize("n", (4, 16, 64, 256))
+    def test_uniform(self, n, rng):
+        side = int(np.sqrt(n))
+        m, out = _run(rng.standard_normal(n), side)
+        assert np.allclose(out.payload[:, 0], np.sort(out.payload[:, 0]))
+
+    @pytest.mark.parametrize("kind", ("uniform", "reversed", "sorted", "few_distinct"))
+    def test_workloads(self, kind, rng):
+        x = make_workload(kind, 64, rng)
+        m, out = _run(x, 8)
+        assert np.allclose(out.payload[:, 0], np.sort(x))
+
+    def test_rowmajor_output(self, rng):
+        x = rng.random(64)
+        m, out = _run(x, 8)
+        region = Region(0, 0, 8, 8)
+        rows, cols = region.rowmajor_coords(64)
+        assert (out.rows == rows).all() and (out.cols == cols).all()
+
+
+class TestMeshRegime:
+    def test_sqrt_depth(self):
+        """Mesh algorithms are stuck at Ω(sqrt(n)) depth; shearsort's depth
+        grows like sqrt(n) log n — a power, unlike the mergesort's polylog."""
+        rng = np.random.default_rng(0)
+        depths = {}
+        for side in (4, 8, 16, 32):
+            m, out = _run(rng.random(side * side), side)
+            depths[side] = out.max_depth()
+        # doubling the side roughly doubles the depth (sqrt regime)
+        assert 1.7 < depths[32] / depths[16] < 2.6
+        assert depths[32] >= 32  # at least sqrt(n) rounds
+
+    def test_neighbour_distance_only(self):
+        """Every round is unit-distance: chain distance tracks depth."""
+        rng = np.random.default_rng(1)
+        m, out = _run(rng.random(64), 8)
+        assert out.max_dist() <= 2 * out.max_depth() + 16
+
+    def test_depth_crossover_vs_mergesort(self):
+        """Section II.B: the 2D mergesort's polylog depth beats the mesh's
+        Θ(sqrt(n)) depth once n is large enough."""
+        rng = np.random.default_rng(2)
+        side = 32
+        n = side * side
+        x = rng.random(n)
+        m_mesh, out_mesh = _run(x, side)
+        m_ms = SpatialMachine()
+        out_ms = sort_values(m_ms, x, Region(0, 0, side, side))
+        assert out_ms.max_depth() < out_mesh.max_depth()
+        # the mesh pays much less energy per element moved (constant-distance
+        # hops), which is exactly the trade-off the paper discusses
+        assert m_mesh.stats.energy < m_ms.stats.energy

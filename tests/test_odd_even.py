@@ -1,0 +1,122 @@
+"""Tests for Batcher's odd-even mergesort network (Section V.B family)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.analysis import make_workload
+from repro.core.sorting.bitonic import bitonic_sort
+from repro.core.sorting.odd_even import odd_even_mergesort, odd_even_stages
+from repro.core.sorting.sortutil import as_sort_payload
+from repro.machine import Region, SpatialMachine
+
+
+class TestSchedule:
+    @pytest.mark.parametrize("n", (2, 4, 8, 16))
+    def test_zero_one_principle(self, n):
+        """Exhaustive 0-1 check: the schedule is a valid sorting network."""
+        stages = odd_even_stages(n)
+        for bits in itertools.product([0, 1], repeat=n):
+            a = list(bits)
+            for pairs in stages:
+                for lo, hi in pairs:
+                    if a[lo] > a[hi]:
+                        a[lo], a[hi] = a[hi], a[lo]
+            assert a == sorted(a), bits
+
+    @pytest.mark.parametrize("n", (4, 16, 64, 256))
+    def test_stage_count_is_log_squared(self, n):
+        ln = int(np.log2(n))
+        assert len(odd_even_stages(n)) == ln * (ln + 1) // 2
+
+    def test_stages_are_disjoint(self):
+        for pairs in odd_even_stages(32):
+            wires = [w for p in pairs for w in p]
+            assert len(wires) == len(set(wires))
+
+
+class TestSorting:
+    @pytest.mark.parametrize("n", (1, 4, 16, 64, 256, 1024))
+    def test_uniform(self, n, rng):
+        side = int(np.sqrt(n))
+        m = SpatialMachine()
+        x = rng.random(n)
+        region = Region(0, 0, side, side)
+        out = odd_even_mergesort(m, m.place_rowmajor(as_sort_payload(x), region), region)
+        assert np.allclose(out.payload[:, 0], np.sort(x))
+
+    @pytest.mark.parametrize("kind", ("reversed", "few_distinct", "zipf"))
+    def test_workloads(self, kind, rng):
+        x = make_workload(kind, 64, rng)
+        m = SpatialMachine()
+        region = Region(0, 0, 8, 8)
+        out = odd_even_mergesort(m, m.place_rowmajor(as_sort_payload(x), region), region)
+        assert np.allclose(out.payload[:, 0], np.sort(x))
+
+    def test_satellite(self, rng):
+        n = 64
+        x = rng.random(n)
+        payload = np.stack([x, np.arange(float(n))], axis=1)
+        m = SpatialMachine()
+        region = Region(0, 0, 8, 8)
+        out = odd_even_mergesort(m, m.place_rowmajor(payload, region), region)
+        order = out.payload[:, 1].astype(int)
+        assert np.allclose(x[order], np.sort(x))
+
+    def test_non_pow2_rejected(self, rng):
+        m = SpatialMachine()
+        ta = m.place_rowmajor(as_sort_payload(rng.random(6)), Region(0, 0, 2, 3))
+        with pytest.raises(ValueError):
+            odd_even_mergesort(m, ta, Region(0, 0, 2, 3))
+
+
+class TestNetworkFamilyComparison:
+    def test_same_depth_as_bitonic(self, rng):
+        """Both Batcher networks have log(n)(log(n)+1)/2 stages."""
+        n = 256
+        region = Region(0, 0, 16, 16)
+        x = rng.random(n)
+        m1 = SpatialMachine()
+        o1 = odd_even_mergesort(m1, m1.place_rowmajor(as_sort_payload(x), region), region)
+        m2 = SpatialMachine()
+        o2 = bitonic_sort(m2, m2.place_rowmajor(as_sort_payload(x), region), region)
+        assert o1.max_depth() == o2.max_depth()
+
+    def test_fewer_comparisons_than_bitonic(self, rng):
+        """Odd-even performs fewer compare-exchanges (the classic fact),
+        visible as fewer messages."""
+        n = 256
+        region = Region(0, 0, 16, 16)
+        x = rng.random(n)
+        m1 = SpatialMachine()
+        odd_even_mergesort(m1, m1.place_rowmajor(as_sort_payload(x), region), region)
+        m2 = SpatialMachine()
+        bitonic_sort(m2, m2.place_rowmajor(as_sort_payload(x), region), region)
+        assert m1.stats.messages < m2.stats.messages
+
+    def test_energy_same_class_as_bitonic(self):
+        """Both 1D networks pay the superlinear-in-n^{3/2} energy (Fig. 2's
+        point is about 1D recursion, not the bitonic schedule)."""
+        rng = np.random.default_rng(0)
+        norms = []
+        for side in (8, 16, 32):
+            n = side * side
+            region = Region(0, 0, side, side)
+            m = SpatialMachine()
+            odd_even_mergesort(
+                m, m.place_rowmajor(as_sort_payload(rng.random(n)), region), region
+            )
+            norms.append(m.stats.energy / n**1.5)
+        assert norms[-1] > norms[0]  # the log factor grows
+
+    def test_data_oblivious(self, rng):
+        region = Region(0, 0, 8, 8)
+        stats = []
+        for _ in range(2):
+            m = SpatialMachine()
+            odd_even_mergesort(
+                m, m.place_rowmajor(as_sort_payload(rng.random(64)), region), region
+            )
+            stats.append((m.stats.energy, m.stats.messages))
+        assert stats[0] == stats[1]

@@ -1,0 +1,104 @@
+"""Unit + property tests for monoids and segmented operators (repro.core.ops)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ops import ADD, MAX, MIN, Monoid, pack_segmented, segmented, unpack_segmented
+
+finite = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+class TestBasicMonoids:
+    def test_add(self):
+        out = ADD(np.array([1.0, 2.0]), np.array([3.0, 4.0]))
+        assert out.tolist() == [4.0, 6.0]
+        assert ADD.identity(2).tolist() == [0.0, 0.0]
+
+    def test_max_min(self):
+        assert MAX(np.array([1.0]), np.array([5.0]))[0] == 5.0
+        assert MIN(np.array([1.0]), np.array([5.0]))[0] == 1.0
+        assert MAX.identity(1)[0] == -np.inf
+        assert MIN.identity(1)[0] == np.inf
+
+    def test_identity_like_2d(self):
+        like = np.zeros((3, 2))
+        ident = ADD.identity(4, like=like)
+        assert ident.shape == (4, 2)
+        assert (ident == 0).all()
+
+    def test_identity_laws(self):
+        x = np.array([3.0, -2.0])
+        for m in (ADD, MAX, MIN):
+            i = m.identity(2, like=x)
+            assert np.allclose(m(i, x), x)
+            assert np.allclose(m(x, i), x)
+
+
+class TestPackUnpack:
+    def test_roundtrip(self):
+        flags = np.array([1, 0, 1])
+        vals = np.array([1.5, 2.5, 3.5])
+        packed = pack_segmented(flags, vals)
+        f, v = unpack_segmented(packed)
+        assert f.tolist() == [True, False, True]
+        assert v.tolist() == [1.5, 2.5, 3.5]
+
+
+class TestSegmentedOperator:
+    def test_identity(self):
+        seg = segmented(ADD)
+        ident = seg.identity(2)
+        assert ident.shape == (2, 2)
+        x = pack_segmented(np.array([1, 0]), np.array([5.0, 7.0]))
+        assert np.allclose(seg(ident, x), x)
+
+    def test_flag_resets(self):
+        seg = segmented(ADD)
+        a = pack_segmented(np.array([0]), np.array([10.0]))
+        b_flagged = pack_segmented(np.array([1]), np.array([3.0]))
+        out = seg(a, b_flagged)
+        assert out[0, 1] == 3.0  # right operand starts a new segment
+        assert out[0, 0] == 1.0
+
+    def test_no_flag_combines(self):
+        seg = segmented(ADD)
+        a = pack_segmented(np.array([1]), np.array([10.0]))
+        b = pack_segmented(np.array([0]), np.array([3.0]))
+        out = seg(a, b)
+        assert out[0, 1] == 13.0
+        assert out[0, 0] == 1.0
+
+    @given(
+        st.lists(st.tuples(st.booleans(), finite), min_size=3, max_size=3)
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_associativity_property(self, triples):
+        """The segmented operator must be associative for the scan to work."""
+        seg = segmented(ADD)
+        xs = [
+            pack_segmented(np.array([float(f)]), np.array([v]))
+            for f, v in triples
+        ]
+        left = seg(seg(xs[0], xs[1]), xs[2])
+        right = seg(xs[0], seg(xs[1], xs[2]))
+        assert np.allclose(left, right)
+
+    @given(st.lists(st.tuples(st.booleans(), finite), min_size=3, max_size=3))
+    @settings(max_examples=200, deadline=None)
+    def test_associativity_max(self, triples):
+        seg = segmented(MAX)
+        xs = [
+            pack_segmented(np.array([float(f)]), np.array([v]))
+            for f, v in triples
+        ]
+        left = seg(seg(xs[0], xs[1]), xs[2])
+        right = seg(xs[0], seg(xs[1], xs[2]))
+        assert np.allclose(left, right)
+
+    def test_custom_monoid(self):
+        mul = Monoid("mul", np.multiply, 1.0)
+        assert mul(np.array([3.0]), np.array([4.0]))[0] == 12.0
+        assert mul.identity(1)[0] == 1.0

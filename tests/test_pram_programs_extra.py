@@ -1,0 +1,119 @@
+"""Tests for the extended PRAM program library (list ranking, random programs)
+and their spatial simulations."""
+
+import numpy as np
+import pytest
+
+from repro.machine import SpatialMachine
+from repro.pram import run_reference, simulate_crcw, simulate_erew
+from repro.pram.programs import ListRankingCRCW, RandomExclusiveProgram
+
+
+def _random_list(p, rng):
+    """A random linked list over p nodes; returns (succ, order head->tail)."""
+    order = rng.permutation(p)
+    succ = np.empty(p, dtype=np.int64)
+    for a, b in zip(order[:-1], order[1:]):
+        succ[a] = b
+    succ[order[-1]] = order[-1]
+    return succ, order
+
+
+class TestListRanking:
+    @pytest.mark.parametrize("p", (2, 4, 16, 64))
+    def test_reference_ranks(self, p, rng):
+        succ, order = _random_list(p, rng)
+        mem, _ = run_reference(ListRankingCRCW(succ), "CRCW")
+        ranks = mem[p:]
+        for i, v in enumerate(order):
+            assert ranks[v] == p - 1 - i
+
+    def test_tail_only_list(self):
+        succ = np.array([0])
+        mem, _ = run_reference(ListRankingCRCW(succ), "CRCW")
+        assert mem[1] == 0
+
+    def test_identity_list_all_tails(self):
+        """Every node its own tail: all ranks zero."""
+        succ = np.arange(8)
+        mem, _ = run_reference(ListRankingCRCW(succ), "CRCW")
+        assert (mem[8:] == 0).all()
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            ListRankingCRCW(np.array([5, 0]))
+
+    def test_spatial_crcw_simulation(self, rng):
+        p = 16
+        succ, order = _random_list(p, rng)
+        ref, _ = run_reference(ListRankingCRCW(succ), "CRCW")
+        m = SpatialMachine()
+        mem, _ = simulate_crcw(m, ListRankingCRCW(succ))
+        assert np.allclose(mem.payload, ref)
+        # concurrent tail reads exercised: depth is in the CRCW regime
+        assert m.stats.max_depth > 10 * ListRankingCRCW(succ).steps
+
+    def test_step_count_logarithmic(self):
+        assert ListRankingCRCW(np.arange(64)).steps == 2 * 6
+
+
+class TestRandomExclusivePrograms:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_simulation_matches_reference(self, seed):
+        """Property: the spatial EREW simulation agrees with the reference VM
+        on arbitrary permutation-structured access patterns."""
+        prog = RandomExclusiveProgram(16, steps=6, seed=seed)
+        ref, ref_state = run_reference(
+            RandomExclusiveProgram(16, steps=6, seed=seed), "EREW"
+        )
+        m = SpatialMachine()
+        mem, state = simulate_erew(m, prog)
+        assert np.allclose(mem.payload, ref)
+        assert np.allclose(state["acc"], ref_state["acc"])
+
+    def test_deterministic_given_seed(self):
+        a = RandomExclusiveProgram(8, 4, seed=1)
+        b = RandomExclusiveProgram(8, 4, seed=1)
+        ma, _ = run_reference(a, "EREW")
+        mb, _ = run_reference(b, "EREW")
+        assert np.allclose(ma, mb)
+
+    def test_different_seeds_differ(self):
+        ma, _ = run_reference(RandomExclusiveProgram(8, 4, seed=1), "EREW")
+        mb, _ = run_reference(RandomExclusiveProgram(8, 4, seed=2), "EREW")
+        assert not np.allclose(ma, mb)
+
+    def test_erew_cost_envelope(self):
+        """Dense permutation traffic: energy ~ p x grid diameter per step."""
+        prog = RandomExclusiveProgram(64, steps=4, seed=0)
+        m = SpatialMachine()
+        simulate_erew(m, prog)
+        p = 64
+        assert m.stats.energy <= 8 * p * 2 * np.sqrt(p) * prog.steps
+        assert m.stats.max_depth <= 3 * prog.steps
+
+
+class TestRandomConcurrentPrograms:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_crcw_simulation_matches_reference(self, seed):
+        """Property: the sort-based CRCW simulation agrees with the reference
+        VM under heavy read AND write conflicts."""
+        from repro.pram.programs import RandomConcurrentProgram
+
+        prog = RandomConcurrentProgram(16, steps=4, seed=seed)
+        ref, _ = run_reference(RandomConcurrentProgram(16, steps=4, seed=seed), "CRCW")
+        m = SpatialMachine()
+        mem, _ = simulate_crcw(m, prog)
+        assert np.allclose(mem.payload, ref)
+
+    def test_single_cell_pool_extreme_conflicts(self):
+        """Every processor reads and writes the same cell every step."""
+        from repro.pram.programs import RandomConcurrentProgram
+
+        prog = RandomConcurrentProgram(16, steps=3, seed=0, pool=1)
+        ref, _ = run_reference(
+            RandomConcurrentProgram(16, steps=3, seed=0, pool=1), "CRCW"
+        )
+        m = SpatialMachine()
+        mem, _ = simulate_crcw(m, prog)
+        assert np.allclose(mem.payload, ref)

@@ -1,0 +1,127 @@
+"""Tests for the PRAM virtual machine and example programs (Section VII substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.pram import (
+    NO_ACCESS,
+    ConflictError,
+    FanInMaxCRCW,
+    PrefixDoublingScanEREW,
+    PRAMProgram,
+    SpMVCRCW,
+    TreeSumEREW,
+    run_reference,
+)
+
+
+class TestTreeSum:
+    @pytest.mark.parametrize("p", (1, 2, 8, 64, 256))
+    def test_sum(self, p, rng):
+        x = rng.standard_normal(p)
+        mem, _ = run_reference(TreeSumEREW(x), "EREW")
+        assert mem[0] == pytest.approx(x.sum())
+
+    def test_non_pow2_rejected(self):
+        with pytest.raises(ValueError):
+            TreeSumEREW(np.ones(3))
+
+    def test_step_count_logarithmic(self):
+        assert TreeSumEREW(np.ones(64)).steps == 6
+
+
+class TestPrefixScan:
+    @pytest.mark.parametrize("p", (1, 4, 32, 128))
+    def test_prefix(self, p, rng):
+        x = rng.standard_normal(p)
+        mem, _ = run_reference(PrefixDoublingScanEREW(x), "EREW")
+        assert np.allclose(mem, np.cumsum(x))
+
+
+class TestFanInMax:
+    def test_converges_via_records(self, rng):
+        v = rng.standard_normal(32)
+        rounds = FanInMaxCRCW.records_needed(v)
+        mem, _ = run_reference(FanInMaxCRCW(v, rounds=rounds), "CRCW")
+        assert mem[0] == v.max()
+
+    def test_single_round_first_record(self, rng):
+        v = rng.standard_normal(16)
+        mem, _ = run_reference(FanInMaxCRCW(v, rounds=1), "CRCW")
+        assert mem[0] == v[0]  # lowest pid beats -inf first
+
+    def test_erew_mode_rejects_concurrency(self, rng):
+        v = rng.standard_normal(4)
+        with pytest.raises(ConflictError):
+            run_reference(FanInMaxCRCW(v, rounds=1), "EREW")
+
+
+class TestSpMVProgram:
+    def test_matches_dense(self, rng):
+        n, nnz = 20, 60
+        rows = rng.integers(0, n, nnz)
+        cols = rng.integers(0, n, nnz)
+        vals = rng.standard_normal(nnz)
+        x = rng.standard_normal(n)
+        prog = SpMVCRCW(rows, cols, vals, n, x)
+        mem, _ = run_reference(prog, "CRCW")
+        want = np.zeros(n)
+        np.add.at(want, rows, vals * x[cols])
+        assert np.allclose(mem[n + prog.nnz :], want)
+
+    def test_single_row(self, rng):
+        n = 4
+        rows = np.zeros(6, dtype=int)
+        cols = rng.integers(0, n, 6)
+        vals = rng.standard_normal(6)
+        x = rng.standard_normal(n)
+        prog = SpMVCRCW(rows, cols, vals, n, x)
+        mem, _ = run_reference(prog, "CRCW")
+        assert mem[n + 6] == pytest.approx((vals * x[cols]).sum())
+
+    def test_log_steps(self):
+        prog = SpMVCRCW(np.zeros(64, dtype=int), np.zeros(64, dtype=int),
+                        np.ones(64), 4, np.ones(4))
+        assert prog.steps <= 2 + int(np.ceil(np.log2(64)))
+
+
+class TestConflictDetection:
+    class _ConcurrentRead(PRAMProgram):
+        processors = 2
+        memory_cells = 2
+        steps = 1
+
+        def initial_memory(self):
+            return np.zeros(2)
+
+        def initial_state(self):
+            return {}
+
+        def read_addrs(self, t, state):
+            return np.zeros(2, dtype=np.int64)
+
+        def step(self, t, state, read_values):
+            return np.full(2, NO_ACCESS, dtype=np.int64), np.zeros(2)
+
+    class _ConcurrentWrite(_ConcurrentRead):
+        def read_addrs(self, t, state):
+            return np.full(2, NO_ACCESS, dtype=np.int64)
+
+        def step(self, t, state, read_values):
+            return np.zeros(2, dtype=np.int64), np.array([1.0, 2.0])
+
+    def test_erew_rejects_concurrent_read(self):
+        with pytest.raises(ConflictError):
+            run_reference(self._ConcurrentRead(), "EREW")
+
+    def test_erew_rejects_concurrent_write(self):
+        with pytest.raises(ConflictError):
+            run_reference(self._ConcurrentWrite(), "EREW")
+
+    def test_crcw_lowest_pid_wins(self):
+        mem, _ = run_reference(self._ConcurrentWrite(), "CRCW")
+        assert mem[0] == 1.0
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            run_reference(self._ConcurrentRead(), "QRQW")

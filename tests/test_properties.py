@@ -1,0 +1,209 @@
+"""Cross-cutting property-based tests (hypothesis) on model invariants.
+
+These check laws that must hold for *every* input, not just the sampled
+workloads: metric axioms of the cost accounting, permutation-closure of the
+sorters, agreement between independent implementations, and monotonicity of
+the counters.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.scan import scan
+from repro.core.selection import rank_select
+from repro.core.sorting.allpairs import allpairs_sort
+from repro.core.sorting.bitonic import bitonic_sort
+from repro.core.sorting.mergesort2d import sort_values
+from repro.core.sorting.sortutil import as_sort_payload
+from repro.machine import Region, SpatialMachine
+
+floats16 = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, width=32),
+    min_size=16,
+    max_size=16,
+)
+floats64 = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, width=32),
+    min_size=64,
+    max_size=64,
+)
+
+
+class TestSorterAgreement:
+    @given(floats64)
+    @settings(max_examples=40, deadline=None)
+    def test_three_sorters_agree(self, xs):
+        """Mergesort, bitonic and all-pairs must produce identical outputs."""
+        x = np.asarray(xs, dtype=np.float64)
+        region = Region(0, 0, 8, 8)
+        m1 = SpatialMachine()
+        a = sort_values(m1, x, region).payload[:, 0]
+        m2 = SpatialMachine()
+        b = bitonic_sort(
+            m2, m2.place_rowmajor(as_sort_payload(x), region), region
+        ).payload[:, 0]
+        m3 = SpatialMachine()
+        c = allpairs_sort(
+            m3, m3.place_rowmajor(as_sort_payload(x), region), region
+        ).payload[:, 0]
+        assert np.array_equal(a, b) and np.array_equal(b, c)
+
+    @given(floats64)
+    @settings(max_examples=40, deadline=None)
+    def test_sort_is_permutation(self, xs):
+        """Output multiset == input multiset (nothing lost or duplicated)."""
+        x = np.asarray(xs, dtype=np.float64)
+        m = SpatialMachine()
+        out = sort_values(m, x, Region(0, 0, 8, 8)).payload[:, 0]
+        assert np.array_equal(np.sort(out), np.sort(x))
+
+    @given(floats64, st.integers(1, 64))
+    @settings(max_examples=30, deadline=None)
+    def test_selection_agrees_with_sort(self, xs, k):
+        x = np.asarray(xs, dtype=np.float64)
+        region = Region(0, 0, 8, 8)
+        m = SpatialMachine()
+        res = rank_select(
+            m, m.place_zorder(x, region), region, k, np.random.default_rng(0)
+        )
+        assert res.value == np.sort(x)[k - 1]
+
+
+class TestCostAxioms:
+    @given(floats16)
+    @settings(max_examples=50, deadline=None)
+    def test_counters_monotone_nonnegative(self, xs):
+        x = np.asarray(xs, dtype=np.float64)
+        region = Region(0, 0, 4, 4)
+        m = SpatialMachine()
+        e0 = m.stats.energy
+        res = scan(m, m.place_zorder(x, region), region)
+        assert m.stats.energy >= e0 >= 0
+        assert (res.inclusive.depth >= 0).all()
+        assert (res.inclusive.dist >= res.inclusive.depth).all()
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 7), st.integers(0, 7)), min_size=4, max_size=4
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_send_energy_exact(self, dests):
+        """energy == Σ |Δr| + |Δc| for any batch of destinations."""
+        m = SpatialMachine()
+        ta = m.place(np.arange(4.0), [0, 1, 2, 3], [0, 1, 2, 3])
+        dr = np.array([d[0] for d in dests])
+        dc = np.array([d[1] for d in dests])
+        m.send(ta, dr, dc)
+        want = int(np.abs(dr - np.array([0, 1, 2, 3])).sum()
+                   + np.abs(dc - np.array([0, 1, 2, 3])).sum())
+        assert m.stats.energy == want
+
+    @given(floats16)
+    @settings(max_examples=30, deadline=None)
+    def test_scan_cost_is_data_independent(self, xs):
+        """Scan routing is oblivious: identical costs for every input."""
+        x = np.asarray(xs, dtype=np.float64)
+        region = Region(0, 0, 4, 4)
+        m1 = SpatialMachine()
+        scan(m1, m1.place_zorder(x, region), region)
+        m2 = SpatialMachine()
+        scan(m2, m2.place_zorder(np.zeros(16), region), region)
+        assert m1.stats.energy == m2.stats.energy
+        assert m1.stats.messages == m2.stats.messages
+        assert m1.stats.max_depth == m2.stats.max_depth
+
+
+class TestScanVsBlocked:
+    @given(floats64, st.sampled_from([1, 4, 16]))
+    @settings(max_examples=40, deadline=None)
+    def test_blocked_scan_agrees(self, xs, block):
+        from repro.core.blocked import blocked_scan
+
+        x = np.asarray(xs, dtype=np.float64)
+        m = SpatialMachine()
+        res = blocked_scan(m, x, block=block)
+        assert np.allclose(res.prefix, np.cumsum(x), rtol=1e-9, atol=1e-6)
+
+
+class TestMergeProperties:
+    @given(
+        st.lists(st.integers(-100, 100), min_size=16, max_size=16),
+        st.lists(st.integers(-100, 100), min_size=16, max_size=16),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_merge_any_sorted_pair(self, xs, ys):
+        from repro.core.sorting.merge2d import merge_sorted_2d
+
+        a = np.sort(np.asarray(xs, dtype=np.float64))
+        b = np.sort(np.asarray(ys, dtype=np.float64))
+        m = SpatialMachine()
+        A = m.place_rowmajor(as_sort_payload(a), Region(0, 0, 4, 4))
+        B = m.place_rowmajor(as_sort_payload(b), Region(0, 4, 4, 4))
+        out = merge_sorted_2d(m, A, B, Region(0, 0, 4, 8), base_case=4)
+        assert np.array_equal(out.payload[:, 0], np.sort(np.concatenate([a, b])))
+
+
+class TestCollectivesProperties:
+    @given(
+        st.sampled_from([1, 2, 4, 8, 16]),
+        st.sampled_from([1, 2, 4, 8, 16]),
+        st.integers(0, 50),
+        st.integers(0, 50),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_broadcast_covers_any_power2_region(self, h, w, row, col):
+        from repro.core.collectives import broadcast, broadcast_1d
+
+        m = SpatialMachine()
+        region = Region(row, col, h, w)
+        v = m.place(np.array([9.0]), [row], [col])
+        out = (
+            broadcast_1d(m, v, region)
+            if (h == 1 or w == 1)
+            else broadcast(m, v, region)
+        )
+        assert len(out) == h * w
+        assert (out.payload == 9.0).all()
+        cells = set(zip(out.rows.tolist(), out.cols.tolist()))
+        assert len(cells) == h * w
+        assert all(region.contains(np.array([r]), np.array([c]))[0] for r, c in cells)
+
+    @given(
+        st.sampled_from([(2, 2), (4, 4), (8, 8), (8, 2), (2, 8), (16, 4)]),
+        st.lists(
+            st.floats(min_value=-100, max_value=100, allow_nan=False, width=32),
+            min_size=64,
+            max_size=64,
+        ),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_reduce_matches_numpy(self, shape, xs):
+        from repro.core.collectives import reduce
+        from repro.core.ops import ADD
+
+        h, w = shape
+        m = SpatialMachine()
+        region = Region(0, 0, h, w)
+        x = np.asarray(xs[: h * w], dtype=np.float64)
+        total = reduce(m, m.place_rowmajor(x, region), region, ADD)
+        assert total.payload[0] == pytest.approx(x.sum(), rel=1e-12, abs=1e-9)
+
+
+class TestGatherProperties:
+    @given(st.lists(st.booleans(), min_size=64, max_size=64))
+    @settings(max_examples=60, deadline=None)
+    def test_gather_preserves_masked_subsequence(self, mask_bits):
+        from repro.core.gather import gather_masked
+
+        mask = np.asarray(mask_bits, dtype=bool)
+        if not mask.any():
+            return
+        m = SpatialMachine()
+        region = Region(0, 0, 8, 8)
+        x = np.arange(64.0)
+        ta = m.place_zorder(x, region)
+        out = gather_masked(m, ta, mask, region)
+        assert np.array_equal(out.payload, x[mask])

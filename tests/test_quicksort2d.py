@@ -1,0 +1,111 @@
+"""Tests for the simplified selection-based 2D Quicksort (Section IX direction)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import make_workload, tail_exponent
+from repro.core.sorting.mergesort2d import sort_values
+from repro.core.sorting.quicksort2d import quicksort_2d
+from repro.machine import Region, SpatialMachine
+
+
+def _sort(x, seed=0, **kw):
+    n = len(x)
+    side = int(np.sqrt(n))
+    m = SpatialMachine()
+    out = quicksort_2d(m, x, Region(0, 0, side, side), np.random.default_rng(seed), **kw)
+    return m, out
+
+
+class TestQuicksortCorrectness:
+    @pytest.mark.parametrize("n", (4, 16, 64, 256, 1024))
+    def test_uniform(self, n, rng):
+        x = rng.standard_normal(n)
+        _, out = _sort(x)
+        assert np.allclose(out.payload, np.sort(x))
+
+    @pytest.mark.parametrize("kind", ("reversed", "sorted", "few_distinct", "zipf"))
+    def test_workloads(self, kind, rng):
+        x = make_workload(kind, 256, rng)
+        _, out = _sort(x, seed=2)
+        assert np.allclose(out.payload, np.sort(x))
+
+    def test_all_duplicates(self):
+        _, out = _sort(np.full(64, 1.5))
+        assert (out.payload == 1.5).all()
+
+    def test_two_distinct_values(self, rng):
+        x = rng.choice([0.0, 1.0], 256)
+        _, out = _sort(x, seed=3)
+        assert np.allclose(out.payload, np.sort(x))
+
+    def test_many_seeds(self, rng):
+        x = rng.standard_normal(256)
+        for seed in range(10):
+            _, out = _sort(x, seed=seed)
+            assert np.allclose(out.payload, np.sort(x)), seed
+
+    def test_output_rowmajor(self, rng):
+        region = Region(0, 0, 8, 8)
+        m = SpatialMachine()
+        out = quicksort_2d(m, rng.random(64), region, np.random.default_rng(0))
+        rows, cols = region.rowmajor_coords(64)
+        assert (out.rows == rows).all() and (out.cols == cols).all()
+
+    def test_base_case_variants(self, rng):
+        x = rng.random(256)
+        for base in (4, 16, 64):
+            _, out = _sort(x, base_case=base)
+            assert np.allclose(out.payload, np.sort(x)), base
+
+    def test_rectangle_rejected(self, rng):
+        m = SpatialMachine()
+        with pytest.raises(ValueError):
+            quicksort_2d(m, rng.random(32), Region(0, 0, 4, 8), np.random.default_rng(0))
+
+    def test_size_mismatch_rejected(self, rng):
+        m = SpatialMachine()
+        with pytest.raises(ValueError):
+            quicksort_2d(m, rng.random(60), Region(0, 0, 8, 8), np.random.default_rng(0))
+
+    @given(st.lists(st.integers(-50, 50), min_size=64, max_size=64))
+    @settings(max_examples=25, deadline=None)
+    def test_sort_property(self, xs):
+        x = np.asarray(xs, dtype=np.float64)
+        _, out = _sort(x, seed=1)
+        assert np.array_equal(out.payload, np.sort(x))
+
+
+class TestQuicksortCosts:
+    def test_energy_exponent(self):
+        rng = np.random.default_rng(0)
+        ns, es = [], []
+        for side in (8, 16, 32, 64):
+            n = side * side
+            m, _ = _sort(rng.random(n), seed=4)
+            ns.append(n)
+            es.append(m.stats.energy)
+        exp = tail_exponent(np.array(ns), np.array(es), points=3)
+        assert 1.1 < exp < 1.8  # Θ(n^{3/2}) class
+
+    def test_depth_polylog(self):
+        rng = np.random.default_rng(1)
+        depths = []
+        for side in (8, 16, 32):
+            n = side * side
+            m, out = _sort(rng.random(n), seed=5)
+            depths.append(out.max_depth())
+            assert out.max_depth() <= 3 * np.log2(n) ** 3
+        ratios = [depths[i + 1] / depths[i] for i in range(len(depths) - 1)]
+        assert ratios[-1] < ratios[0] * 1.5  # polylog-style flattening
+
+    def test_cheaper_than_mergesort(self, rng):
+        """The Section IX payoff: much smaller energy constants."""
+        n = 1024
+        x = rng.random(n)
+        mq, _ = _sort(x, seed=6)
+        mm = SpatialMachine()
+        sort_values(mm, x, Region(0, 0, 32, 32))
+        assert mq.stats.energy * 5 < mm.stats.energy

@@ -1,0 +1,240 @@
+"""Tests for the energy-optimal scan (paper Section IV.C, Lemma IV.3, Fig. 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ops import ADD, MAX, MIN, Monoid
+from repro.core.scan import scan, segmented_broadcast, segmented_scan
+from repro.machine import Region, SpatialMachine
+from repro.machine.zorder import zorder_coords
+
+SIZES = (1, 4, 16, 64, 256, 1024)
+
+
+def _run_scan(x, monoid=ADD):
+    n = len(x)
+    side = int(np.sqrt(n))
+    m = SpatialMachine()
+    region = Region(0, 0, side, side)
+    ta = m.place_zorder(np.asarray(x, dtype=np.float64), region)
+    return m, region, scan(m, ta, region, monoid)
+
+
+class TestScanCorrectness:
+    @pytest.mark.parametrize("n", SIZES)
+    def test_inclusive_matches_cumsum(self, n, rng):
+        x = rng.standard_normal(n)
+        _, _, res = _run_scan(x)
+        assert np.allclose(res.inclusive.payload, np.cumsum(x))
+
+    @pytest.mark.parametrize("n", SIZES)
+    def test_exclusive_matches(self, n, rng):
+        x = rng.standard_normal(n)
+        _, _, res = _run_scan(x)
+        expect = np.concatenate([[0.0], np.cumsum(x)[:-1]])
+        assert np.allclose(res.exclusive.payload, expect)
+
+    def test_total(self, rng):
+        x = rng.standard_normal(64)
+        _, _, res = _run_scan(x)
+        assert res.total.payload[0] == pytest.approx(x.sum())
+
+    def test_max_monoid(self, rng):
+        x = rng.standard_normal(256)
+        _, _, res = _run_scan(x, MAX)
+        assert np.allclose(res.inclusive.payload, np.maximum.accumulate(x))
+
+    def test_min_monoid(self, rng):
+        x = rng.standard_normal(64)
+        _, _, res = _run_scan(x, MIN)
+        assert np.allclose(res.inclusive.payload, np.minimum.accumulate(x))
+
+    def test_results_at_input_cells(self, rng):
+        """The i-th result lands where the i-th input lived (paper spec)."""
+        n = 64
+        x = rng.random(n)
+        m, region, res = _run_scan(x)
+        zr, zc = zorder_coords(region)
+        assert (res.inclusive.rows == zr).all()
+        assert (res.inclusive.cols == zc).all()
+
+    def test_non_pow4_rejected(self):
+        m = SpatialMachine()
+        region = Region(0, 0, 4, 2)
+        ta = m.place_zorder(np.arange(8.0), region)
+        with pytest.raises(ValueError):
+            scan(m, ta, region)
+
+    def test_noncommutative_left_fold(self):
+        """Scan must fold strictly left-to-right (segmented ops rely on it)."""
+
+        def subtract_like(a, b):  # (a, b) -> b: "last" semigroup, associative
+            return b
+
+        last = Monoid("last", subtract_like, np.nan, commutative=False)
+        x = np.arange(16.0)
+        _, _, res = _run_scan(x, last)
+        assert np.allclose(res.inclusive.payload, x)  # prefix-last == self
+
+    @given(st.lists(st.integers(-100, 100), min_size=16, max_size=16))
+    @settings(max_examples=100, deadline=None)
+    def test_cumsum_property(self, xs):
+        x = np.asarray(xs, dtype=np.float64)
+        _, _, res = _run_scan(x)
+        assert np.allclose(res.inclusive.payload, np.cumsum(x))
+
+
+class TestScanCosts:
+    def test_linear_energy(self):
+        """Lemma IV.3: Θ(n) energy — energy/n stays bounded as n grows."""
+        per_elem = []
+        for n in (64, 256, 1024, 4096, 16384):
+            x = np.ones(n)
+            m, _, _ = _run_scan(x)
+            per_elem.append(m.stats.energy / n)
+        assert max(per_elem) < 6.0
+        # converged: last two within 5%
+        assert per_elem[-1] == pytest.approx(per_elem[-2], rel=0.05)
+
+    def test_logarithmic_depth_exact(self):
+        """Depth is exactly 2*log4(n): one up-sweep + one down-sweep hop per level."""
+        for n in (4, 16, 64, 256, 4096):
+            m, _, res = _run_scan(np.ones(n))
+            assert res.inclusive.max_depth() == 2 * int(np.log2(n) / 2)
+
+    def test_sqrt_distance(self):
+        for n in (256, 4096, 16384):
+            m, _, res = _run_scan(np.ones(n))
+            assert res.inclusive.max_dist() <= 4 * np.sqrt(n)
+
+    def test_message_count_linear(self):
+        for n in (256, 4096):
+            m, _, _ = _run_scan(np.ones(n))
+            # up-sweep 4/3 n + down-sweep 4/3 n messages
+            assert m.stats.messages <= 3 * n
+
+
+class TestSegmentedScan:
+    def _expected(self, x, flags):
+        out = np.empty(len(x))
+        start = 0
+        for i in range(len(x)):
+            if flags[i]:
+                start = i
+            out[i] = x[start : i + 1].sum()
+        return out
+
+    @pytest.mark.parametrize("n", (16, 64, 256))
+    def test_random_segments(self, n, rng):
+        x = rng.standard_normal(n)
+        flags = (rng.random(n) < 0.2).astype(float)
+        flags[0] = 1
+        m = SpatialMachine()
+        side = int(np.sqrt(n))
+        region = Region(0, 0, side, side)
+        ta = m.place_zorder(x, region)
+        res = segmented_scan(m, flags, ta, region)
+        assert np.allclose(res.inclusive.payload, self._expected(x, flags))
+
+    def test_single_segment_equals_scan(self, rng):
+        x = rng.standard_normal(64)
+        flags = np.zeros(64)
+        flags[0] = 1
+        m = SpatialMachine()
+        region = Region(0, 0, 8, 8)
+        res = segmented_scan(m, flags, m.place_zorder(x, region), region)
+        assert np.allclose(res.inclusive.payload, np.cumsum(x))
+
+    def test_all_flags_identity(self, rng):
+        x = rng.standard_normal(64)
+        flags = np.ones(64)
+        m = SpatialMachine()
+        region = Region(0, 0, 8, 8)
+        res = segmented_scan(m, flags, m.place_zorder(x, region), region)
+        assert np.allclose(res.inclusive.payload, x)
+
+    def test_same_cost_as_plain_scan(self, rng):
+        """Segmented scan reuses the same algorithm: identical message cost."""
+        n = 256
+        x = rng.standard_normal(n)
+        flags = (rng.random(n) < 0.3).astype(float)
+        flags[0] = 1
+        region = Region(0, 0, 16, 16)
+        m1 = SpatialMachine()
+        segmented_scan(m1, flags, m1.place_zorder(x, region), region)
+        m2 = SpatialMachine()
+        scan(m2, m2.place_zorder(x, region), region)
+        assert m1.stats.energy == m2.stats.energy
+        assert m1.stats.messages == m2.stats.messages
+
+    @given(
+        st.lists(
+            st.tuples(st.booleans(), st.integers(-50, 50)), min_size=64, max_size=64
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_segmented_property(self, pairs):
+        flags = np.array([float(f) for f, _ in pairs])
+        flags[0] = 1
+        x = np.array([float(v) for _, v in pairs])
+        m = SpatialMachine()
+        region = Region(0, 0, 8, 8)
+        res = segmented_scan(m, flags, m.place_zorder(x, region), region)
+        assert np.allclose(res.inclusive.payload, self._expected(x, flags))
+
+
+class TestSegmentedBroadcast:
+    def test_spreads_head_values(self, rng):
+        n = 64
+        x = rng.standard_normal(n)
+        flags = np.zeros(n)
+        flags[[0, 7, 33]] = 1
+        m = SpatialMachine()
+        region = Region(0, 0, 8, 8)
+        out = segmented_broadcast(m, flags, m.place_zorder(x, region), region)
+        expect = np.empty(n)
+        for i in range(n):
+            expect[i] = x[i] if flags[i] else expect[i - 1]
+        assert np.allclose(out.payload, expect)
+
+    def test_head_only(self):
+        n = 16
+        x = np.arange(float(n))
+        flags = np.zeros(n)
+        flags[0] = 1
+        m = SpatialMachine()
+        region = Region(0, 0, 4, 4)
+        out = segmented_broadcast(m, flags, m.place_zorder(x, region), region)
+        assert (out.payload == 0.0).all()
+
+
+class TestScanAny:
+    @pytest.mark.parametrize("n", (1, 3, 7, 50, 100, 1000))
+    def test_arbitrary_lengths(self, n, rng):
+        from repro.core.scan import scan_any
+
+        x = rng.standard_normal(n)
+        m = SpatialMachine()
+        got = scan_any(m, x)
+        assert np.allclose(got, np.cumsum(x))
+
+    def test_max_monoid(self, rng):
+        from repro.core.scan import scan_any
+
+        x = rng.standard_normal(37)
+        got = scan_any(SpatialMachine(), x, MAX)
+        assert np.allclose(got, np.maximum.accumulate(x))
+
+    def test_empty(self):
+        from repro.core.scan import scan_any
+
+        assert len(scan_any(SpatialMachine(), np.array([]))) == 0
+
+    def test_energy_linear_in_padded_grid(self, rng):
+        from repro.core.scan import scan_any
+
+        m = SpatialMachine()
+        scan_any(m, rng.random(1000))  # pads to 1024
+        assert m.stats.energy <= 6 * 1024

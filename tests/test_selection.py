@@ -1,0 +1,184 @@
+"""Tests for randomized rank selection (Section VI, Theorem VI.3)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import make_workload
+from repro.core.selection import rank_select
+from repro.machine import Region, SpatialMachine
+
+
+def _select(x, k, seed=0, **kw):
+    n = len(x)
+    side = int(np.sqrt(n))
+    m = SpatialMachine()
+    region = Region(0, 0, side, side)
+    ta = m.place_zorder(np.asarray(x, dtype=np.float64), region)
+    res = rank_select(m, ta, region, k, np.random.default_rng(seed), **kw)
+    return m, res
+
+
+class TestSelectionCorrectness:
+    @pytest.mark.parametrize("n", (16, 64, 256, 1024))
+    def test_median(self, n, rng):
+        x = rng.standard_normal(n)
+        _, res = _select(x, n // 2)
+        assert res.value == pytest.approx(np.sort(x)[n // 2 - 1])
+
+    @pytest.mark.parametrize("k_frac", (0.01, 0.1, 0.5, 0.9, 1.0))
+    def test_rank_sweep(self, k_frac, rng):
+        n = 1024
+        x = rng.standard_normal(n)
+        k = max(1, int(k_frac * n))
+        _, res = _select(x, k, seed=3)
+        assert res.value == pytest.approx(np.sort(x)[k - 1])
+
+    def test_extremes(self, rng):
+        n = 256
+        x = rng.standard_normal(n)
+        _, res_min = _select(x, 1)
+        _, res_max = _select(x, n)
+        assert res_min.value == pytest.approx(x.min())
+        assert res_max.value == pytest.approx(x.max())
+
+    @pytest.mark.parametrize("kind", ("reversed", "sorted", "few_distinct", "zipf"))
+    def test_workloads(self, kind, rng):
+        n = 256
+        x = make_workload(kind, n, rng)
+        k = n // 3
+        _, res = _select(x, k, seed=5)
+        assert res.value == pytest.approx(np.sort(x)[k - 1])
+
+    def test_all_duplicates(self):
+        x = np.full(64, 2.5)
+        _, res = _select(x, 17)
+        assert res.value == 2.5
+
+    def test_many_seeds(self, rng):
+        n = 256
+        x = rng.standard_normal(n)
+        k = 77
+        want = np.sort(x)[k - 1]
+        for seed in range(25):
+            _, res = _select(x, k, seed=seed)
+            assert res.value == pytest.approx(want), seed
+
+    def test_bad_rank_rejected(self, rng):
+        x = rng.random(16)
+        with pytest.raises(ValueError):
+            _select(x, 0)
+        with pytest.raises(ValueError):
+            _select(x, 17)
+
+
+class TestTheoremVI3Costs:
+    def test_linear_energy(self):
+        """Θ(n) energy: energy/n bounded as n grows."""
+        rng = np.random.default_rng(0)
+        per = []
+        for n in (1024, 4096, 16384):
+            x = rng.standard_normal(n)
+            m, res = _select(x, n // 2, seed=1)
+            per.append(m.stats.energy / n)
+        assert max(per) < 300
+        assert per[-1] <= per[0] * 1.5  # not growing
+
+    def test_constant_iterations(self):
+        """Lemma VI.2: N shrinks polynomially, so O(1) iterations suffice."""
+        rng = np.random.default_rng(0)
+        for n in (1024, 4096, 16384):
+            x = rng.standard_normal(n)
+            _, res = _select(x, n // 2, seed=2)
+            assert res.iterations <= 8
+
+    def test_polylog_depth(self):
+        rng = np.random.default_rng(0)
+        for n in (1024, 4096):
+            x = rng.standard_normal(n)
+            m, _ = _select(x, n // 2, seed=4)
+            assert m.stats.max_depth <= 8 * np.log2(n) ** 2
+
+    def test_sqrt_distance(self):
+        rng = np.random.default_rng(0)
+        ds = []
+        for n in (1024, 4096, 16384):
+            x = rng.standard_normal(n)
+            m, _ = _select(x, n // 2, seed=6)
+            ds.append(m.stats.max_distance / np.sqrt(n))
+        assert max(ds) < 200
+        assert ds[-1] < ds[0] * 1.5
+
+    def test_energy_far_below_sorting(self):
+        """Section VI's headline: polynomial energy separation vs sorting."""
+        from repro.core.sorting.mergesort2d import sort_values
+
+        rng = np.random.default_rng(0)
+        n = 1024
+        x = rng.standard_normal(n)
+        msel, _ = _select(x, n // 2, seed=7)
+        msort = SpatialMachine()
+        sort_values(msort, x, Region(0, 0, 32, 32))
+        assert msel.stats.energy * 10 < msort.stats.energy
+
+    def test_fallback_rare(self):
+        """Lemma VI.1: pivot misses are rare — none across seeds here."""
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal(1024)
+        fallbacks = 0
+        for seed in range(20):
+            _, res = _select(x, 512, seed=seed)
+            fallbacks += res.fell_back
+        assert fallbacks <= 1
+
+    def test_fallback_path_correct(self, rng):
+        """Force the fallback branch (c tiny -> pivots frequently miss) and
+        check it still returns the exact rank."""
+        n = 256
+        x = rng.standard_normal(n)
+        k = 100
+        fell_back = False
+        for seed in range(40):
+            _, res = _select(x, k, seed=seed, c=1.0)
+            assert res.value == pytest.approx(np.sort(x)[k - 1])
+            fell_back |= res.fell_back
+        # with c=1 the miss probability is substantial; expect at least one
+        assert fell_back
+
+
+class TestLemmaVI2Shrinkage:
+    def test_history_recorded(self, rng):
+        x = rng.standard_normal(1024)
+        _, res = _select(x, 512, seed=11)
+        assert res.active_history is not None
+        assert res.active_history[0] == 1024
+        assert len(res.active_history) == res.iterations + 1
+
+    def test_history_monotone_decreasing(self, rng):
+        x = rng.standard_normal(4096)
+        _, res = _select(x, 1000, seed=12)
+        h = res.active_history
+        assert all(b <= a for a, b in zip(h[:-1], h[1:]))
+
+    def test_shrinkage_bound(self, rng):
+        """Lemma VI.2 with generous ε: every observed step contracts at
+        least to (1+1) N^{3/4} sqrt(ln n)."""
+        n = 4096
+        x = rng.standard_normal(n)
+        ln_n = np.log(n)
+        for seed in range(8):
+            _, res = _select(x, n // 2, seed=seed)
+            for a, b in zip(res.active_history[:-1], res.active_history[1:]):
+                assert b <= 2.0 * a**0.75 * np.sqrt(ln_n) + 1
+
+
+class TestExtremeRankRegression:
+    def test_rank_n_does_not_fall_back(self, rng):
+        """Regression: k = n used to trip the step-5 guard immediately
+        (the w.l.o.g. k <= ceil(n/2) flip must happen before the loop)."""
+        n = 1024
+        x = rng.standard_normal(n)
+        for k in (n, n - 1, (n + 1) // 2 + 1):
+            m, res = _select(x, k, seed=1)
+            assert res.value == pytest.approx(np.sort(x)[k - 1])
+            assert not res.fell_back, k
+            assert m.stats.energy < 1_000_000  # linear regime, not the sort

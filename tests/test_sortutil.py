@@ -1,0 +1,89 @@
+"""Tests for sort payload utilities (repro.core.sorting.sortutil)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sorting.sortutil import (
+    as_sort_payload,
+    lex_less,
+    lex_maximum,
+    lex_minimum,
+    strip_tiebreak,
+    with_tiebreak,
+)
+from repro.machine import SpatialMachine
+
+
+class TestLexLess:
+    def test_single_column(self):
+        a = np.array([[1.0], [2.0], [3.0]])
+        b = np.array([[2.0], [2.0], [2.0]])
+        assert lex_less(a, b, 1).tolist() == [True, False, False]
+
+    def test_tie_breaks_on_second_column(self):
+        a = np.array([[1.0, 5.0], [1.0, 2.0]])
+        b = np.array([[1.0, 3.0], [1.0, 3.0]])
+        assert lex_less(a, b, 2).tolist() == [False, True]
+
+    def test_first_column_dominates(self):
+        a = np.array([[0.0, 100.0]])
+        b = np.array([[1.0, -100.0]])
+        assert lex_less(a, b, 2).tolist() == [True]
+
+    def test_key_cols_limits_comparison(self):
+        a = np.array([[1.0, 9.0]])
+        b = np.array([[1.0, 0.0]])
+        assert lex_less(a, b, 1).tolist() == [False]  # satellite ignored
+
+    def test_min_max_consistent(self):
+        a = np.array([[2.0, 1.0], [1.0, 1.0]])
+        b = np.array([[1.0, 9.0], [1.0, 2.0]])
+        lo = lex_minimum(a, b, 2)
+        hi = lex_maximum(a, b, 2)
+        assert lo.tolist() == [[1.0, 9.0], [1.0, 1.0]]
+        assert hi.tolist() == [[2.0, 1.0], [1.0, 2.0]]
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(-5, 5), st.integers(-5, 5)), min_size=1, max_size=20
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_matches_python_tuples(self, pairs):
+        a = np.array([[float(x), float(y)] for x, y in pairs])
+        b = a[::-1].copy()
+        got = lex_less(a, b, 2)
+        want = [tuple(a[i]) < tuple(b[i]) for i in range(len(a))]
+        assert got.tolist() == want
+
+    def test_strict_irreflexive(self):
+        a = np.array([[1.0, 2.0]])
+        assert not lex_less(a, a, 2)[0]
+
+
+class TestPayloadHelpers:
+    def test_as_sort_payload_1d(self):
+        p = as_sort_payload(np.array([1.0, 2.0]))
+        assert p.shape == (2, 1)
+
+    def test_as_sort_payload_passthrough(self):
+        p = as_sort_payload(np.zeros((3, 2)))
+        assert p.shape == (3, 2)
+
+    def test_tiebreak_roundtrip(self):
+        m = SpatialMachine()
+        ta = m.place(np.array([[5.0, 7.0], [5.0, 8.0]]), [0, 0], [0, 1])
+        keyed, kc = with_tiebreak(ta, 1)
+        assert kc == 2
+        assert keyed.payload.shape == (2, 3)
+        # tie-break column makes the order strict
+        assert lex_less(keyed.payload[:1], keyed.payload[1:], kc)[0]
+        stripped = strip_tiebreak(keyed, kc)
+        assert np.allclose(stripped.payload, ta.payload)
+
+    def test_tiebreak_preserves_satellites(self):
+        m = SpatialMachine()
+        ta = m.place(np.array([[1.0, 10.0, 20.0]]), [0], [0])
+        keyed, kc = with_tiebreak(ta, 1)
+        assert keyed.payload[0].tolist() == [1.0, 0.0, 10.0, 20.0]

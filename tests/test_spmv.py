@@ -1,0 +1,148 @@
+"""Tests for the direct low-depth SpMV (Section VIII, Theorem VIII.2)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import tail_exponent
+from repro.machine import SpatialMachine
+from repro.spmv import (
+    banded_coo,
+    graph_adjacency_coo,
+    permutation_coo,
+    random_coo,
+    spmv_pram_simulated,
+    spmv_spatial,
+)
+
+
+class TestSpMVCorrectness:
+    @pytest.mark.parametrize("n,factor", [(8, 2), (16, 3), (32, 4), (64, 2)])
+    def test_random_matrices(self, n, factor, rng):
+        A = random_coo(n, factor * n, rng)
+        x = rng.standard_normal(n)
+        m = SpatialMachine()
+        y = spmv_spatial(m, A, x)
+        assert np.allclose(y.payload, A.multiply_dense(x))
+
+    def test_matches_scipy(self, rng):
+        A = random_coo(32, 128, rng)
+        x = rng.standard_normal(32)
+        m = SpatialMachine()
+        y = spmv_spatial(m, A, x)
+        assert np.allclose(y.payload, A.to_scipy() @ x)
+
+    def test_empty_rows_are_zero(self, rng):
+        from repro.spmv.coo import COOMatrix
+
+        A = COOMatrix(np.array([1, 1]), np.array([0, 2]), np.array([1.0, 2.0]), 4)
+        x = rng.standard_normal(4)
+        m = SpatialMachine()
+        y = spmv_spatial(m, A, x)
+        assert y.payload[0] == 0 and y.payload[2] == 0 and y.payload[3] == 0
+        assert y.payload[1] == pytest.approx(x[0] + 2 * x[2])
+
+    def test_single_entry(self, rng):
+        from repro.spmv.coo import COOMatrix
+
+        A = COOMatrix(np.array([2]), np.array([3]), np.array([5.0]), 4)
+        x = rng.standard_normal(4)
+        m = SpatialMachine()
+        y = spmv_spatial(m, A, x)
+        assert y.payload[2] == pytest.approx(5.0 * x[3])
+
+    def test_dense_column(self, rng):
+        """All entries share one column: one leader, maximal segment."""
+        from repro.spmv.coo import COOMatrix
+
+        n = 8
+        A = COOMatrix(np.arange(n), np.zeros(n, dtype=int), rng.standard_normal(n), n)
+        x = rng.standard_normal(n)
+        m = SpatialMachine()
+        y = spmv_spatial(m, A, x)
+        assert np.allclose(y.payload, A.vals * x[0])
+
+    def test_dense_row(self, rng):
+        from repro.spmv.coo import COOMatrix
+
+        n = 8
+        A = COOMatrix(np.zeros(n, dtype=int), np.arange(n), rng.standard_normal(n), n)
+        x = rng.standard_normal(n)
+        m = SpatialMachine()
+        y = spmv_spatial(m, A, x)
+        assert y.payload[0] == pytest.approx((A.vals * x).sum())
+
+    def test_permutation_matrix(self, rng):
+        perm = rng.permutation(16)
+        P = permutation_coo(perm)
+        x = rng.standard_normal(16)
+        m = SpatialMachine()
+        y = spmv_spatial(m, P, x)
+        assert np.allclose(y.payload, x[perm])
+
+    def test_banded_and_graph(self, rng):
+        for A in (banded_coo(16, 2, rng), graph_adjacency_coo(16, rng)):
+            x = rng.standard_normal(16)
+            m = SpatialMachine()
+            y = spmv_spatial(m, A, x)
+            assert np.allclose(y.payload, A.multiply_dense(x))
+
+    def test_random_input_placement(self, rng):
+        A = random_coo(16, 64, rng)
+        x = rng.standard_normal(16)
+        m = SpatialMachine()
+        y = spmv_spatial(m, A, x, rng=rng)  # shuffled entry placement
+        assert np.allclose(y.payload, A.multiply_dense(x))
+
+    def test_no_entries_rejected(self, rng):
+        from repro.spmv.coo import COOMatrix
+
+        A = COOMatrix(np.array([], dtype=int), np.array([], dtype=int), np.array([]), 4)
+        m = SpatialMachine()
+        with pytest.raises(ValueError):
+            spmv_spatial(m, A, rng.standard_normal(4))
+
+
+class TestTheoremVIII2Costs:
+    def test_energy_exponent(self):
+        """O(m^{3/2}) energy in the number of non-zeros."""
+        rng = np.random.default_rng(0)
+        ms, es = [], []
+        for n in (16, 64, 256):
+            A = random_coo(n, 4 * n, rng)
+            x = rng.standard_normal(n)
+            mach = SpatialMachine()
+            spmv_spatial(mach, A, x)
+            ms.append(A.nnz)
+            es.append(mach.stats.energy)
+        exp = tail_exponent(np.array(ms), np.array(es), points=3)
+        assert 1.2 < exp < 1.9
+
+    def test_depth_polylog(self):
+        rng = np.random.default_rng(1)
+        for n in (64, 256):
+            A = random_coo(n, 4 * n, rng)
+            mach = SpatialMachine()
+            spmv_spatial(mach, A, rng.standard_normal(n))
+            assert mach.stats.max_depth <= 2 * np.log2(A.nnz) ** 3
+
+
+class TestPRAMBaseline:
+    def test_matches_direct(self, rng):
+        A = random_coo(12, 36, rng)
+        x = rng.standard_normal(12)
+        m1 = SpatialMachine()
+        y_direct = spmv_spatial(m1, A, x)
+        m2 = SpatialMachine()
+        y_pram = spmv_pram_simulated(m2, A, x)
+        assert np.allclose(y_direct.payload, y_pram)
+
+    def test_direct_wins_depth(self, rng):
+        """Section VIII: the direct algorithm improves depth over the PRAM
+        simulation route."""
+        A = random_coo(12, 48, rng)
+        x = rng.standard_normal(12)
+        m_direct = SpatialMachine()
+        spmv_spatial(m_direct, A, x)
+        m_pram = SpatialMachine()
+        spmv_pram_simulated(m_pram, A, x)
+        assert m_direct.stats.max_depth < m_pram.stats.max_depth

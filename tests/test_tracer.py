@@ -1,0 +1,122 @@
+"""Unit tests for message tracing (repro.machine.tracer)."""
+
+import numpy as np
+import pytest
+
+from repro.machine import Region, SpatialMachine
+
+
+class TestTracerBasics:
+    def test_records_messages(self, traced_machine):
+        m = traced_machine
+        ta = m.place(np.arange(3.0), [0, 0, 0], [0, 1, 2])
+        m.send(ta, np.array([1, 1, 0]), np.array([0, 1, 2]))
+        assert m.tracer.total_messages() == 2  # the third is a self-send
+        assert m.tracer.total_energy() == 2
+
+    def test_trace_matches_stats(self, traced_machine, rng):
+        m = traced_machine
+        ta = m.place(rng.random(16), np.repeat(np.arange(4), 4), np.tile(np.arange(4), 4))
+        m.send(ta, rng.integers(0, 8, 16), rng.integers(0, 8, 16))
+        m.send(ta, rng.integers(0, 8, 16), rng.integers(0, 8, 16))
+        assert m.tracer.total_energy() == m.stats.energy
+        assert m.tracer.total_messages() == m.stats.messages
+
+    def test_edges(self, traced_machine):
+        m = traced_machine
+        ta = m.place(np.array([1.0]), [0], [0])
+        m.send(ta, np.array([2]), np.array([3]))
+        assert m.tracer.edges() == [((0, 0), (2, 3))]
+
+    def test_all_self_sends_not_recorded(self, traced_machine):
+        m = traced_machine
+        ta = m.place(np.arange(2.0), [0, 1], [0, 0])
+        m.send(ta, np.array([0, 1]), np.array([0, 0]))
+        assert m.tracer.batches == []
+
+
+class TestLoadProfiles:
+    def test_energy_by_cell_source(self, traced_machine):
+        m = traced_machine
+        ta = m.place(np.arange(2.0), [0, 5], [0, 0])
+        m.send(ta, np.array([0, 5]), np.array([3, 1]))
+        prof = m.tracer.energy_by_cell("source")
+        assert prof == {(0, 0): 3, (5, 0): 1}
+
+    def test_energy_by_cell_destination(self, traced_machine):
+        m = traced_machine
+        ta = m.place(np.arange(2.0), [0, 0], [0, 1])
+        m.send(ta, np.array([2, 2]), np.array([0, 0]))
+        prof = m.tracer.energy_by_cell("destination")
+        assert prof == {(2, 0): 2 + 3}
+
+    def test_energy_by_cell_sums_to_total(self, rng):
+        from repro.core.scan import scan
+
+        m = SpatialMachine(trace=True)
+        reg = Region(0, 0, 8, 8)
+        scan(m, m.place_zorder(rng.random(64), reg), reg)
+        prof = m.tracer.energy_by_cell()
+        assert sum(prof.values()) == m.stats.energy
+
+    def test_bad_attribution_rejected(self, traced_machine):
+        with pytest.raises(ValueError):
+            traced_machine.tracer.energy_by_cell("router")
+
+    def test_scan_profile_is_spatially_flat(self, rng):
+        """The 2D scan's per-cell load is bounded — spatial locality."""
+        from repro.core.scan import scan
+
+        m = SpatialMachine(trace=True)
+        reg = Region(0, 0, 16, 16)
+        scan(m, m.place_zorder(rng.random(256), reg), reg)
+        prof = m.tracer.energy_by_cell()
+        # no single processor carries more than a sliver of the total
+        assert max(prof.values()) <= 0.15 * m.stats.energy
+
+    def test_messages_by_round(self, traced_machine):
+        m = traced_machine
+        ta = m.place(np.arange(3.0), [0, 0, 0], [0, 1, 2])
+        m.send(ta, np.array([1, 1, 1]), np.array([0, 1, 2]))
+        m.send(ta, np.array([2, 0, 0]), np.array([0, 1, 2]))
+        per_round = m.tracer.messages_by_round()
+        assert sum(per_round.values()) == m.tracer.total_messages()
+
+
+class TestInboxAudit:
+    def test_fanin_counted(self, traced_machine):
+        m = traced_machine
+        ta = m.place(np.arange(4.0), [0, 0, 1, 1], [0, 1, 0, 1])
+        m.send(ta, np.array([5, 5, 5, 5]), np.array([5, 5, 5, 5]))
+        assert m.tracer.max_inbox_per_round() == 4
+        assert m.tracer.max_outbox_per_round() == 1
+
+    def test_fanout_counted(self, traced_machine):
+        m = traced_machine
+        ta = m.place(np.zeros(3), [0, 0, 0], [0, 0, 0])
+        m.send(ta, np.array([1, 2, 3]), np.array([0, 0, 0]))
+        assert m.tracer.max_outbox_per_round() == 3
+        assert m.tracer.max_inbox_per_round() == 1
+
+    def test_scan_inbox_is_constant(self):
+        """Core model audit: the energy-optimal scan never makes a processor
+        receive more than O(1) messages in one round (constant memory)."""
+        from repro.core.scan import scan
+
+        for n in (16, 64, 256):
+            m = SpatialMachine(trace=True)
+            side = int(np.sqrt(n))
+            reg = Region(0, 0, side, side)
+            ta = m.place_zorder(np.arange(float(n)), reg)
+            scan(m, ta, reg)
+            assert m.tracer.max_inbox_per_round() <= 2
+
+    def test_broadcast_inbox_is_one(self):
+        from repro.core.collectives import broadcast
+
+        m = SpatialMachine(trace=True)
+        reg = Region(0, 0, 16, 16)
+        v = m.place(np.array([1.0]), [0], [0])
+        broadcast(m, v, reg)
+        assert m.tracer.max_inbox_per_round() == 1
+        assert m.tracer.max_outbox_per_round() <= 3

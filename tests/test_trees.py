@@ -1,0 +1,140 @@
+"""Tests for Euler-tour tree computations (repro.trees)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.machine import SpatialMachine
+from repro.trees import SpatialTree, euler_tour
+
+
+def _random_tree(n, rng):
+    """Random tree as a parent array (node 0 is the root)."""
+    parents = np.zeros(n, dtype=np.int64)
+    for v in range(1, n):
+        parents[v] = rng.integers(0, v)
+    return parents
+
+
+def _reference_depths(parents):
+    n = len(parents)
+    d = np.zeros(n, dtype=np.int64)
+    for v in range(n):
+        u, hops = v, 0
+        while parents[u] != u:
+            u = parents[u]
+            hops += 1
+        d[v] = hops
+    return d
+
+
+class TestEulerTour:
+    def test_path_tour(self):
+        parents = np.array([0, 0, 1, 2])
+        tour, t_in, t_out = euler_tour(parents)
+        assert len(tour) == 8
+        # DFS: in/out are properly nested intervals
+        for v in range(4):
+            assert t_in[v] < t_out[v]
+
+    def test_intervals_nested(self, rng):
+        parents = _random_tree(30, rng)
+        _, t_in, t_out = euler_tour(parents)
+        for v in range(30):
+            p = parents[v]
+            if p != v:
+                assert t_in[p] < t_in[v] < t_out[v] < t_out[p]
+
+    def test_every_slot_used_once(self, rng):
+        parents = _random_tree(20, rng)
+        tour, t_in, t_out = euler_tour(parents)
+        assert sorted(np.concatenate([t_in, t_out]).tolist()) == list(range(40))
+
+    def test_no_root_rejected(self):
+        with pytest.raises(ValueError):
+            euler_tour(np.array([1, 0]))  # two-cycle, no self-root
+
+    def test_two_roots_rejected(self):
+        with pytest.raises(ValueError):
+            euler_tour(np.array([0, 1]))
+
+
+class TestTreefix:
+    @pytest.mark.parametrize("n", (2, 8, 30, 100))
+    def test_depths(self, n, rng):
+        parents = _random_tree(n, rng)
+        m = SpatialMachine()
+        tree = SpatialTree(m, parents)
+        assert np.allclose(tree.depths(), _reference_depths(parents))
+
+    def test_rootfix_sum(self, rng):
+        n = 40
+        parents = _random_tree(n, rng)
+        values = rng.standard_normal(n)
+        m = SpatialMachine()
+        tree = SpatialTree(m, parents)
+        got = tree.rootfix_sum(values)
+        for v in range(n):
+            u, total = v, values[v]
+            while parents[u] != u:
+                u = parents[u]
+                total += values[u]
+            assert got[v] == pytest.approx(total)
+
+    def test_subtree_sum(self, rng):
+        n = 40
+        parents = _random_tree(n, rng)
+        values = rng.standard_normal(n)
+        m = SpatialMachine()
+        tree = SpatialTree(m, parents)
+        got = tree.subtree_sum(values)
+        # reference via networkx descendants
+        g = nx.DiGraph((parents[v], v) for v in range(n) if parents[v] != v)
+        g.add_node(0)
+        for v in range(n):
+            desc = nx.descendants(g, v) | {v}
+            assert got[v] == pytest.approx(values[list(desc)].sum())
+
+    def test_subtree_size_root_is_n(self, rng):
+        n = 25
+        parents = _random_tree(n, rng)
+        m = SpatialMachine()
+        tree = SpatialTree(m, parents)
+        sizes = tree.subtree_size()
+        assert sizes[0] == n
+        # leaves have size 1
+        leaves = set(range(n)) - set(parents[1:].tolist())
+        for leaf in leaves:
+            assert sizes[leaf] == 1
+
+    def test_value_length_checked(self, rng):
+        tree = SpatialTree(SpatialMachine(), _random_tree(8, rng))
+        with pytest.raises(ValueError):
+            tree.rootfix_sum(np.ones(9))
+
+
+class TestSectionIIAClaim:
+    def test_path_treefix_is_linear_energy(self):
+        """Section II.A: on a path, the scan-based treefix costs Θ(n) energy —
+        the Θ(log n) improvement over the prior treefix sums."""
+        from repro.core.scan_baselines import tree_scan_1d
+        from repro.machine import Region
+
+        per_elem = []
+        for n_nodes in (128, 512, 2048):
+            parents = np.arange(-1, n_nodes - 1)
+            parents[0] = 0
+            m = SpatialMachine()
+            tree = SpatialTree(m, parents)
+            tree.rootfix_sum(np.ones(n_nodes))
+            per_elem.append(m.stats.energy / (2 * n_nodes))
+        assert max(per_elem) < 8  # linear energy
+        assert per_elem[-1] < per_elem[0] * 1.3  # flat, not log-growing
+
+    def test_depth_logarithmic(self, rng):
+        n = 512
+        parents = _random_tree(n, rng)
+        m = SpatialMachine()
+        tree = SpatialTree(m, parents)
+        tree.depths()
+        assert m.stats.max_depth <= 2 * np.log2(4 * n)

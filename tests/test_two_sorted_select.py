@@ -1,0 +1,150 @@
+"""Tests for multiselection in two sorted arrays (Section V.C(c), Lemma V.6)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import fit_power_law
+from repro.core.sorting.sortutil import as_sort_payload
+from repro.core.sorting.two_sorted_select import (
+    select_rank_two_sorted,
+    select_ranks_two_sorted,
+)
+from repro.machine import Region, SpatialMachine
+
+
+def _place(a, b):
+    m = SpatialMachine()
+    A = m.place_rowmajor(as_sort_payload(a), Region(0, 0, 64, 64))
+    B = m.place_rowmajor(as_sort_payload(b), Region(0, 64, 64, 64))
+    return m, A, B
+
+
+def _expected_cuts(a, b, k):
+    """Reference cuts under the (value, which-array, index) total order."""
+    items = [(v, 0, i) for i, v in enumerate(a)] + [(v, 1, i) for i, v in enumerate(b)]
+    items.sort()
+    ca = sum(1 for t in items[:k] if t[1] == 0)
+    return ca, k - ca
+
+
+class TestSelectCorrectness:
+    @pytest.mark.parametrize("na,nb", [(1, 1), (5, 3), (50, 50), (1, 200), (200, 1)])
+    def test_shapes(self, na, nb, rng):
+        a = np.sort(rng.standard_normal(na))
+        b = np.sort(rng.standard_normal(nb))
+        for k in {1, (na + nb) // 2, na + nb}:
+            m, A, B = _place(a, b)
+            s = select_rank_two_sorted(m, A, B, k)
+            assert (s.cut_a, s.cut_b) == _expected_cuts(a, b, k)
+
+    def test_random_sweep(self, rng):
+        for _ in range(60):
+            na, nb = rng.integers(1, 300, 2)
+            a = np.sort(rng.integers(0, 40, na)).astype(float)
+            b = np.sort(rng.integers(0, 40, nb)).astype(float)
+            k = int(rng.integers(1, na + nb + 1))
+            m, A, B = _place(a, b)
+            s = select_rank_two_sorted(m, A, B, k)
+            assert (s.cut_a, s.cut_b) == _expected_cuts(a, b, k)
+            assert not s.used_fallback
+
+    def test_all_duplicates(self):
+        a = np.full(50, 1.0)
+        b = np.full(70, 1.0)
+        m, A, B = _place(a, b)
+        s = select_rank_two_sorted(m, A, B, 60)
+        # ties go A-first: the 60 smallest are all of A plus 10 of B
+        assert (s.cut_a, s.cut_b) == (50, 10)
+
+    def test_disjoint_ranges(self, rng):
+        a = np.sort(rng.random(40))          # all < 1
+        b = np.sort(rng.random(40)) + 10.0   # all > 10
+        m, A, B = _place(a, b)
+        s = select_rank_two_sorted(m, A, B, 40)
+        assert (s.cut_a, s.cut_b) == (40, 0)
+        s = select_rank_two_sorted(m, A, B, 41)
+        assert (s.cut_a, s.cut_b) == (40, 1)
+
+    def test_empty_array_edge(self, rng):
+        a = np.sort(rng.random(20))
+        m = SpatialMachine()
+        A = m.place_rowmajor(as_sort_payload(a), Region(0, 0, 8, 8))
+        B = A[0:0]
+        s = select_rank_two_sorted(m, A, B, 7)
+        assert (s.cut_a, s.cut_b) == (7, 0)
+
+    def test_out_of_range_rejected(self, rng):
+        a = np.sort(rng.random(4))
+        m, A, B = _place(a, a)
+        with pytest.raises(ValueError):
+            select_rank_two_sorted(m, A, B, 9)
+        with pytest.raises(ValueError):
+            select_rank_two_sorted(m, A, B, 0)
+
+    def test_multiselect_matches_singles(self, rng):
+        na = nb = 128
+        a = np.sort(rng.standard_normal(na))
+        b = np.sort(rng.standard_normal(nb))
+        ks = [64, 128, 192]
+        m, A, B = _place(a, b)
+        multi = select_ranks_two_sorted(m, A, B, ks)
+        for k, s in zip(ks, multi):
+            assert (s.cut_a, s.cut_b) == _expected_cuts(a, b, k)
+
+    def test_multiselect_shares_sample_cost(self, rng):
+        """Three ranks via one call must be cheaper than three calls."""
+        na = nb = 256
+        a = np.sort(rng.standard_normal(na))
+        b = np.sort(rng.standard_normal(nb))
+        ks = [128, 256, 384]
+        m1, A1, B1 = _place(a, b)
+        select_ranks_two_sorted(m1, A1, B1, ks)
+        m3, A3, B3 = _place(a, b)
+        for k in ks:
+            select_rank_two_sorted(m3, A3, B3, k)
+        assert m1.stats.energy < m3.stats.energy
+
+    @given(
+        st.lists(st.integers(0, 20), min_size=1, max_size=60),
+        st.lists(st.integers(0, 20), min_size=1, max_size=60),
+        st.integers(1, 120),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_cut_property(self, xs, ys, kraw):
+        a = np.sort(np.asarray(xs, dtype=float))
+        b = np.sort(np.asarray(ys, dtype=float))
+        k = 1 + (kraw - 1) % (len(a) + len(b))
+        m, A, B = _place(a, b)
+        s = select_rank_two_sorted(m, A, B, k)
+        assert s.cut_a + s.cut_b == k
+        # the chosen prefix is exactly the k smallest values (as a multiset)
+        mine = np.sort(np.concatenate([a[: s.cut_a], b[: s.cut_b]]))
+        merged = np.sort(np.concatenate([a, b]))
+        assert np.allclose(mine, merged[:k])
+
+
+class TestSelectCosts:
+    def test_lemma_v6_energy_exponent(self):
+        """O(n^{5/4}) energy."""
+        rng = np.random.default_rng(0)
+        ns, es = [], []
+        for half in (256, 1024, 4096):
+            a = np.sort(rng.standard_normal(half))
+            b = np.sort(rng.standard_normal(half))
+            m, A, B = _place(a, b)
+            select_rank_two_sorted(m, A, B, half)
+            ns.append(2 * half)
+            es.append(m.stats.energy)
+        fit = fit_power_law(np.array(ns), np.array(es))
+        assert 1.0 < fit.exponent < 1.5
+
+    def test_lemma_v6_log_depth(self):
+        rng = np.random.default_rng(0)
+        for half in (256, 1024):
+            a = np.sort(rng.standard_normal(half))
+            b = np.sort(rng.standard_normal(half))
+            m, A, B = _place(a, b)
+            s = select_rank_two_sorted(m, A, B, half)
+            assert s.depth <= 12 * np.log2(2 * half)

@@ -1,0 +1,116 @@
+"""Unit + property tests for the Z-order curve (repro.machine.zorder)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.geometry import Region
+from repro.machine.zorder import (
+    is_power_of_two,
+    zorder_coords,
+    zorder_curve_energy,
+    zorder_decode,
+    zorder_encode,
+)
+
+
+class TestEncodeDecode:
+    def test_first_sixteen(self):
+        # the paper's quadrant order: TL, TR, BL, BR recursively
+        r, c = zorder_decode(np.arange(4))
+        assert list(zip(r.tolist(), c.tolist())) == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_quadrant_order_recursive(self):
+        r, c = zorder_decode(np.arange(16))
+        # indices 4..7 are the top-right quadrant of the 4x4 grid
+        assert (r[4:8] < 2).all() and (c[4:8] >= 2).all()
+        # indices 8..11 the bottom-left
+        assert (r[8:12] >= 2).all() and (c[8:12] < 2).all()
+
+    def test_roundtrip_range(self):
+        z = np.arange(4096)
+        r, c = zorder_decode(z)
+        assert (zorder_encode(r, c) == z).all()
+
+    def test_encode_monotone_in_blocks(self):
+        # all cells of the TL quadrant come before any cell of the BR quadrant
+        side = 8
+        rr, cc = np.meshgrid(np.arange(side), np.arange(side), indexing="ij")
+        z = zorder_encode(rr.ravel(), cc.ravel())
+        tl = z[(rr.ravel() < 4) & (cc.ravel() < 4)]
+        br = z[(rr.ravel() >= 4) & (cc.ravel() >= 4)]
+        assert tl.max() < br.min()
+
+    @given(st.integers(0, 2**20 - 1), st.integers(0, 2**20 - 1))
+    @settings(max_examples=200, deadline=None)
+    def test_roundtrip_property(self, row, col):
+        z = zorder_encode(np.array([row]), np.array([col]))
+        r, c = zorder_decode(z)
+        assert (r[0], c[0]) == (row, col)
+
+    @given(st.integers(0, 2**40 - 1))
+    @settings(max_examples=200, deadline=None)
+    def test_decode_encode_property(self, z):
+        r, c = zorder_decode(np.array([z], dtype=np.uint64))
+        back = zorder_encode(r, c)
+        assert int(back[0]) == z
+
+
+class TestZorderCoords:
+    def test_square(self):
+        rows, cols = zorder_coords(Region(0, 0, 4, 4))
+        assert len(rows) == 16
+        # each cell visited exactly once
+        assert len({(int(a), int(b)) for a, b in zip(rows, cols)}) == 16
+
+    def test_offset_region(self):
+        rows, cols = zorder_coords(Region(3, 5, 2, 2))
+        assert rows.tolist() == [3, 3, 4, 4]
+        assert cols.tolist() == [5, 6, 5, 6]
+
+    def test_wide_rectangle_halves(self):
+        rows, cols = zorder_coords(Region(0, 0, 2, 4))
+        # first half covers the left 2x2 square, then the right one
+        assert (cols[:4] < 2).all() and (cols[4:] >= 2).all()
+
+    def test_tall_rectangle_halves(self):
+        rows, cols = zorder_coords(Region(0, 0, 4, 2))
+        assert (rows[:4] < 2).all() and (rows[4:] >= 2).all()
+
+    def test_partial(self):
+        rows, cols = zorder_coords(Region(0, 0, 4, 4), 5)
+        assert len(rows) == 5
+
+    def test_unsupported_shape(self):
+        with pytest.raises(ValueError):
+            zorder_coords(Region(0, 0, 2, 6))
+
+    def test_non_pow2_square(self):
+        with pytest.raises(ValueError):
+            zorder_coords(Region(0, 0, 3, 3))
+
+
+class TestObservation1:
+    """Observation 1: the Z-curve's total edge length is O(n)."""
+
+    @pytest.mark.parametrize("side", [2, 4, 8, 16, 32, 64, 128])
+    def test_linear_energy(self, side):
+        n = side * side
+        energy = zorder_curve_energy(side)
+        assert n - 1 <= energy <= 2 * n  # tight linear envelope
+
+    def test_ratio_converges(self):
+        # doubling the side quadruples the energy (linear in n)
+        e1 = zorder_curve_energy(32)
+        e2 = zorder_curve_energy(64)
+        assert 3.5 < e2 / e1 < 4.5
+
+
+class TestIsPowerOfTwo:
+    def test_values(self):
+        assert is_power_of_two(1)
+        assert is_power_of_two(1024)
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(3)
+        assert not is_power_of_two(-4)
