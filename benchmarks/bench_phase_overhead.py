@@ -1,0 +1,52 @@
+"""Phase-accounting overhead — the observability layer must be ~free.
+
+The phase-scoped cost tree charges every ``send``/``relay`` to the active
+phase node: a dict lookup plus a few integer additions per *batch* (not per
+message), so its wall-clock overhead should vanish against the numpy work a
+batch already does.  This bench runs the Table-I-row-2 workload (2D
+Mergesort, the most span-dense code path) with ``phases=True`` vs
+``phases=False`` and reports the measured ratio.
+
+The acceptance target is <10% overhead; the assertion bound is looser (25%)
+so a noisy CI runner can't flake the suite — the *reported* ratio is the
+artifact.  Best-of-``REPEATS`` timings shed scheduler noise.
+"""
+
+import time
+
+import numpy as np
+
+from repro.core.sorting.mergesort2d import sort_values
+from repro.machine import Region, SpatialMachine
+
+SIDE = 32  # n = 1024: big enough to time, small enough for CI
+REPEATS = 5
+
+
+def _run(rng_seed: int, phases: bool) -> float:
+    rng = np.random.default_rng(rng_seed)
+    x = rng.random(SIDE * SIDE)
+    best = float("inf")
+    for _ in range(REPEATS):
+        m = SpatialMachine(phases=phases)
+        t0 = time.perf_counter()
+        sort_values(m, x, Region(0, 0, SIDE, SIDE))
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_phase_overhead(benchmark, report):
+    def measure():
+        _run(1, phases=True)  # warm numpy / allocator before timing
+        off = _run(1, phases=False)
+        on = _run(1, phases=True)
+        return on, off
+
+    on, off = benchmark.pedantic(measure, rounds=1, iterations=1)
+    ratio = on / off
+    report(
+        f"phase-accounting overhead on 2D Mergesort (n={SIDE * SIDE}): "
+        f"phases=on {on * 1e3:.1f} ms, phases=off {off * 1e3:.1f} ms, "
+        f"ratio {ratio:.3f} (target < 1.10)"
+    )
+    assert ratio < 1.25, f"phase accounting too expensive: {ratio:.3f}x"

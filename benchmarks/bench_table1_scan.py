@@ -7,7 +7,7 @@ measured row per size, and fits the energy/distance exponents.
 
 import numpy as np
 
-from repro.analysis import fit_power_law, render_table
+from repro.analysis import fit_power_law, phase_exponents, render_cost_tree, render_table
 from repro.core.scan import scan
 from repro.machine import Region, SpatialMachine
 
@@ -16,11 +16,13 @@ SIZES = [4**k for k in range(3, 10)]  # 64 .. 262144
 
 def _sweep(rng):
     rows = []
+    trees = []
     for n in SIZES:
         side = int(np.sqrt(n))
         m = SpatialMachine()
         region = Region(0, 0, side, side)
         res = scan(m, m.place_zorder(rng.random(n), region), region)
+        trees.append(m.cost_tree.clone())
         rows.append(
             {
                 "n": n,
@@ -32,11 +34,11 @@ def _sweep(rng):
                 "dist/sqrt(n)": res.inclusive.max_dist() / np.sqrt(n),
             }
         )
-    return rows
+    return rows, trees
 
 
 def test_table1_scan(benchmark, report, rng):
-    rows = benchmark.pedantic(lambda: _sweep(rng), rounds=1, iterations=1)
+    rows, trees = benchmark.pedantic(lambda: _sweep(rng), rounds=1, iterations=1)
     report(
         render_table(
             list(rows[0].keys()),
@@ -49,7 +51,15 @@ def test_table1_scan(benchmark, report, rng):
     d_fit = fit_power_law(ns, np.array([r["distance"] for r in rows]))
     report(f"energy exponent: {e_fit}   (paper: 1.0)")
     report(f"distance exponent: {d_fit} (paper: 0.5)")
+    report(render_cost_tree(trees[-1], title=f"per-phase breakdown at n={rows[-1]['n']}"))
+    fits = phase_exponents(ns, trees)
+    for path in sorted(fits):
+        report(f"  {path:<30} {fits[path]}")
     assert abs(e_fit.exponent - 1.0) < 0.1
     assert abs(d_fit.exponent - 0.5) < 0.1
+    # both sweeps are linear-energy; the up-sweep carries values toward the
+    # corner and must dominate neither asymptotically (same Θ(n) exponent)
+    assert abs(fits["scan/up_sweep"].exponent - 1.0) < 0.1
+    assert abs(fits["scan/down_sweep"].exponent - 1.0) < 0.1
     # depth exactly 2 log4 n
     assert all(r["depth"] == r["2log4(n)"] for r in rows)

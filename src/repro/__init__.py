@@ -59,6 +59,7 @@ from .core.sorting import (
 )
 from .machine import (
     CostReport,
+    CostTree,
     MachineStats,
     Region,
     SpatialMachine,
@@ -96,6 +97,7 @@ __all__ = [
     "select_ranks_two_sorted",
     "sort_values",
     "CostReport",
+    "CostTree",
     "MachineStats",
     "Region",
     "SpatialMachine",

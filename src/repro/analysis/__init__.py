@@ -1,16 +1,25 @@
 """Exponent fitting, table rendering and workload generators for the harness."""
 
-from .fitting import PowerFit, doubling_ratios, fit_power_law, polylog_consistent, tail_exponent
-from .tables import banner, render_table
+from .fitting import (
+    PowerFit,
+    doubling_ratios,
+    fit_power_law,
+    phase_exponents,
+    polylog_consistent,
+    tail_exponent,
+)
+from .tables import banner, render_cost_tree, render_table
 from .workloads import WORKLOADS, make_workload
 
 __all__ = [
     "PowerFit",
     "doubling_ratios",
     "fit_power_law",
+    "phase_exponents",
     "polylog_consistent",
     "tail_exponent",
     "banner",
+    "render_cost_tree",
     "render_table",
     "WORKLOADS",
     "make_workload",

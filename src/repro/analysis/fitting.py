@@ -13,7 +13,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["PowerFit", "fit_power_law", "doubling_ratios", "polylog_consistent"]
+__all__ = [
+    "PowerFit",
+    "fit_power_law",
+    "doubling_ratios",
+    "polylog_consistent",
+    "phase_exponents",
+]
 
 
 @dataclass(frozen=True)
@@ -61,6 +67,35 @@ def doubling_ratios(ns: np.ndarray, costs: np.ndarray) -> list[tuple[float, floa
         (float(ns[i + 1] / ns[i]), float(costs[i + 1] / costs[i]))
         for i in range(len(ns) - 1)
     ]
+
+
+def phase_exponents(ns, trees, metric: str = "inclusive_energy") -> dict:
+    """Per-phase power-law fits across a size sweep.
+
+    ``trees`` is one :class:`~repro.machine.metrics.CostTree` per size in
+    ``ns`` (e.g. from ``measure().per_phase`` at each ``n``).  Returns
+    ``{phase_path: PowerFit}`` for every phase present at *all* sizes with a
+    positive ``metric`` throughout — phases that appear only at some sizes,
+    or are free, can't be fitted and are skipped.  ``metric`` is any key of
+    :meth:`CostTree.flatten` rows (default: inclusive energy), so a bench
+    can ask which sub-phase drives the top-level exponent.
+    """
+    ns = np.asarray(ns, dtype=np.float64)
+    if len(ns) != len(trees):
+        raise ValueError("one cost tree per size required")
+    series: dict[str, list[float]] = {}
+    for tree in trees:
+        for row in tree.flatten():
+            series.setdefault(row["path"], []).append(float(row[metric]))
+    fits: dict[str, PowerFit] = {}
+    for path, costs in series.items():
+        if len(costs) != len(ns):
+            continue
+        arr = np.asarray(costs)
+        if (arr <= 0).any():
+            continue
+        fits[path] = fit_power_law(ns, arr)
+    return fits
 
 
 def polylog_consistent(ns: np.ndarray, costs: np.ndarray, max_power: float = 0.35) -> bool:

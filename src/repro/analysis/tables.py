@@ -6,9 +6,12 @@ these helpers keep that output uniform and diff-friendly.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
-__all__ = ["render_table", "banner"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..machine.metrics import CostTree
+
+__all__ = ["render_table", "banner", "render_cost_tree"]
 
 
 def banner(title: str) -> str:
@@ -33,6 +36,20 @@ def render_table(
     for r in cells:
         lines.append("  ".join(r[i].rjust(widths[i]) for i in range(len(headers))))
     return "\n".join(lines)
+
+
+def render_cost_tree(
+    tree: "CostTree", title: str | None = None, min_energy: int = 0
+) -> str:
+    """Render a phase-cost tree in the harness' house style.
+
+    Thin wrapper over :meth:`CostTree.render` that adds the usual banner, so
+    bench output mixes flat tables and phase breakdowns uniformly.
+    """
+    body = tree.render(min_energy=min_energy)
+    if title:
+        return f"{banner(title)}\n{body}"
+    return body
 
 
 def _fmt(c: object) -> str:

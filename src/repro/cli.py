@@ -5,6 +5,8 @@
     python -m repro select --n 4096 --k 100 --seed 3
     python -m repro spmv --n 64 --density 4
     python -m repro table1 --quick
+    python -m repro report --algo sort --per-phase
+    python -m repro trace --algo scan --out scan.jsonl
 
 Each subcommand runs the primitive on the Spatial Computer simulator and
 prints the measured energy / depth / distance next to the paper's bound.
@@ -162,6 +164,62 @@ def _print_costs(name: str, bound: str, m: SpatialMachine, depth: int, dist: int
     print(f"  paper bound: {bound}")
 
 
+def _run_algo(algo: str, n: int, seed: int, workload: str, trace: bool):
+    """Run one primitive on a fresh machine; return (machine, label)."""
+    rng = np.random.default_rng(seed)
+    m = SpatialMachine(trace=trace)
+    if algo == "scan":
+        region = _square_for(n)
+        x = make_workload(workload, n, rng)
+        res = scan(m, m.place_zorder(x, region), region)
+        assert np.allclose(res.inclusive.payload, np.cumsum(x))
+        return m, f"parallel scan (n={n})"
+    if algo == "sort":
+        region = _square_for(n)
+        x = make_workload(workload, n, rng)
+        out = sort_values(m, x, region)
+        assert np.allclose(out.payload[:, 0], np.sort(x))
+        return m, f"2D mergesort (n={n})"
+    if algo == "select":
+        region = _square_for(n)
+        x = make_workload(workload, n, rng)
+        res = rank_select(m, m.place_zorder(x, region), region, n // 2, rng)
+        assert res.value == np.sort(x)[n // 2 - 1]
+        return m, f"rank select (n={n}, k={n // 2})"
+    if algo == "spmv":
+        dim = max(4, int(np.sqrt(n)))
+        A = random_coo(dim, max(dim, n // 2), rng)
+        x = rng.standard_normal(dim)
+        y = spmv_spatial(m, A, x)
+        assert np.allclose(y.payload, A.multiply_dense(x))
+        return m, f"SpMV (n={dim}, m={A.nnz})"
+    raise SystemExit(f"unknown algorithm {algo!r}")
+
+
+def _cmd_report(args) -> int:
+    m, label = _run_algo(args.algo, args.n, args.seed, args.workload, trace=False)
+    s = m.stats
+    print(f"{label}: energy={s.energy} messages={s.messages} rounds={s.rounds} "
+          f"depth={s.max_depth} distance={s.max_distance}")
+    if args.per_phase:
+        print()
+        print(m.cost_tree.render(min_energy=args.min_energy))
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    m, label = _run_algo(args.algo, args.n, args.seed, args.workload, trace=True)
+    if args.out:
+        try:
+            count = m.tracer.to_jsonl(args.out)
+        except OSError as e:
+            raise SystemExit(f"cannot write trace to {args.out}: {e}")
+        print(f"{label}: wrote {count} message records to {args.out}")
+    else:
+        m.tracer.to_jsonl(sys.stdout)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(prog="repro", description=__doc__,
                                 formatter_class=argparse.RawDescriptionHelpFormatter)
@@ -203,6 +261,28 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--quick", action="store_true", help="smaller sizes")
     sp.add_argument("--seed", type=int, default=0)
     sp.set_defaults(func=_cmd_table1)
+
+    def algo_common(sp, default_n=1024):
+        common(sp, default_n)
+        sp.add_argument(
+            "--algo",
+            default="sort",
+            choices=("scan", "sort", "select", "spmv"),
+            help="which primitive to run (default: 2D mergesort)",
+        )
+
+    sp = sub.add_parser("report", help="cost report, optionally broken down by phase")
+    algo_common(sp)
+    sp.add_argument("--per-phase", action="store_true",
+                    help="print the hierarchical phase-cost tree")
+    sp.add_argument("--min-energy", type=int, default=0,
+                    help="hide phases cheaper than this energy")
+    sp.set_defaults(func=_cmd_report)
+
+    sp = sub.add_parser("trace", help="run with tracing on and dump JSONL message records")
+    algo_common(sp)
+    sp.add_argument("--out", default="", help="output path (default: stdout)")
+    sp.set_defaults(func=_cmd_trace)
     return p
 
 

@@ -102,7 +102,8 @@ def blocked_scan(
             local[:, j] = monoid(local[:, j - 1], chunks[:, j])
 
     totals = machine.place_zorder(local[:, -1].copy(), region)
-    block_scan = scan(machine, totals, region, monoid)
+    with machine.phase("blocked_scan"):
+        block_scan = scan(machine, totals, region, monoid)
 
     carry = block_scan.exclusive.payload.reshape(nblocks, 1)
     if monoid.op in (np.add, np.maximum, np.minimum):

@@ -129,23 +129,24 @@ def broadcast(machine: SpatialMachine, value: TrackedArray, region: Region) -> T
         raise ValueError(f"broadcast needs power-of-two sides, got {region}")
     if len(value) != 1:
         raise ValueError("broadcast expects a single root value")
-    if h == w:
-        out = broadcast_2d(machine, value, region)
+    with machine.phase("broadcast"):
+        if h == w:
+            out = broadcast_2d(machine, value, region)
+            return _order_rowmajor(out, region)
+        if h > w:
+            col0 = Region(region.row, region.col, h, 1)
+            colvals = broadcast_1d(machine, value, col0)
+            corner_idx = np.arange(0, h, w, dtype=np.int64)
+            corners = colvals[corner_idx]
+            out = broadcast_2d(machine, corners, Region(region.row, region.col, w, w))
+            return _order_rowmajor(out, region)
+        # wide case: mirror along the first row
+        row0 = Region(region.row, region.col, 1, w)
+        rowvals = broadcast_1d(machine, value, row0)
+        corner_idx = np.arange(0, w, h, dtype=np.int64)
+        corners = rowvals[corner_idx]
+        out = broadcast_2d(machine, corners, Region(region.row, region.col, h, h))
         return _order_rowmajor(out, region)
-    if h > w:
-        col0 = Region(region.row, region.col, h, 1)
-        colvals = broadcast_1d(machine, value, col0)
-        corner_idx = np.arange(0, h, w, dtype=np.int64)
-        corners = colvals[corner_idx]
-        out = broadcast_2d(machine, corners, Region(region.row, region.col, w, w))
-        return _order_rowmajor(out, region)
-    # wide case: mirror along the first row
-    row0 = Region(region.row, region.col, 1, w)
-    rowvals = broadcast_1d(machine, value, row0)
-    corner_idx = np.arange(0, w, h, dtype=np.int64)
-    corners = rowvals[corner_idx]
-    out = broadcast_2d(machine, corners, Region(region.row, region.col, h, h))
-    return _order_rowmajor(out, region)
 
 
 def _order_rowmajor(ta: TrackedArray, region: Region) -> TrackedArray:
@@ -213,20 +214,21 @@ def reduce(
         raise ValueError(f"reduce needs power-of-two sides, got {region}")
     if len(ta) != region.size:
         raise ValueError(f"reduce expects one value per cell ({region.size}), got {len(ta)}")
-    if h == w:
-        return reduce_2d(machine, _order_block_rowmajor(ta, region, w), region, monoid)
+    with machine.phase("reduce"):
+        if h == w:
+            return reduce_2d(machine, _order_block_rowmajor(ta, region, w), region, monoid)
 
-    if h > w:
-        # square-block reduce within each w x w block, then a column tree
-        ta = _order_block_rowmajor(ta, region, w)
-        blocks = reduce_2d(machine, ta, Region(region.row, region.col, w, w), monoid)
-        col0 = Region(region.row, region.col, h, 1)
-        return _tree_reduce_1d(machine, blocks, col0, stride=w, monoid=monoid)
-    # wide case: blocks along the first row
-    ta = _order_block_rowmajor(ta, region, h)
-    blocks = reduce_2d(machine, ta, Region(region.row, region.col, h, h), monoid)
-    row0 = Region(region.row, region.col, 1, w)
-    return _tree_reduce_1d(machine, blocks, row0, stride=h, monoid=monoid)
+        if h > w:
+            # square-block reduce within each w x w block, then a column tree
+            ta = _order_block_rowmajor(ta, region, w)
+            blocks = reduce_2d(machine, ta, Region(region.row, region.col, w, w), monoid)
+            col0 = Region(region.row, region.col, h, 1)
+            return _tree_reduce_1d(machine, blocks, col0, stride=w, monoid=monoid)
+        # wide case: blocks along the first row
+        ta = _order_block_rowmajor(ta, region, h)
+        blocks = reduce_2d(machine, ta, Region(region.row, region.col, h, h), monoid)
+        row0 = Region(region.row, region.col, 1, w)
+        return _tree_reduce_1d(machine, blocks, row0, stride=h, monoid=monoid)
 
 
 def _order_block_rowmajor(ta: TrackedArray, region: Region, side: int) -> TrackedArray:
@@ -322,5 +324,6 @@ def all_reduce(
     Returns one value per cell in row-major order (Section VI uses this to
     count active elements).
     """
-    total = reduce(machine, ta, region, monoid)
-    return broadcast(machine, total, region)
+    with machine.phase("all_reduce"):
+        total = reduce(machine, ta, region, monoid)
+        return broadcast(machine, total, region)

@@ -56,22 +56,23 @@ def gather_masked(
     if len(elems) != region.size:
         raise ValueError("gather_masked expects one value per cell")
     mask = np.asarray(mask, dtype=bool)
-    flags = elems.with_payload(mask.astype(np.float64))
-    res = scan(machine, flags, region, ADD)
-    corner_total = machine.send(
-        res.total, np.array([region.row]), np.array([region.col])
-    )
-    total_bc = broadcast(machine, corner_total, region)
-    count = int(round(float(np.asarray(res.total.payload).reshape(-1)[0])))
-    if staging is None:
-        staging = staging_square(count, region)
-    rows, cols = staging.rowmajor_coords(count)
-    picked = elems[mask]
-    slot = np.rint(res.inclusive.payload[mask]).astype(np.int64) - 1
-    picked = picked.depending_on(res.inclusive[mask])
-    cell_idx = region.rowmajor_index(picked.rows, picked.cols)
-    picked = picked.depending_on(total_bc[cell_idx])
-    return machine.send(picked, rows[slot], cols[slot])
+    with machine.phase("gather"):
+        flags = elems.with_payload(mask.astype(np.float64))
+        res = scan(machine, flags, region, ADD)
+        corner_total = machine.send(
+            res.total, np.array([region.row]), np.array([region.col])
+        )
+        total_bc = broadcast(machine, corner_total, region)
+        count = int(round(float(np.asarray(res.total.payload).reshape(-1)[0])))
+        if staging is None:
+            staging = staging_square(count, region)
+        rows, cols = staging.rowmajor_coords(count)
+        picked = elems[mask]
+        slot = np.rint(res.inclusive.payload[mask]).astype(np.int64) - 1
+        picked = picked.depending_on(res.inclusive[mask])
+        cell_idx = region.rowmajor_index(picked.rows, picked.cols)
+        picked = picked.depending_on(total_bc[cell_idx])
+        return machine.send(picked, rows[slot], cols[slot])
 
 
 def scatter_back(

@@ -84,60 +84,63 @@ def scan(
         return ScanResult(inclusive=ta, exclusive=ta.with_payload(
             monoid.identity(1, like=ta.payload)), total=ta)
 
-    # ---------------- up-sweep ----------------
-    # cur: one value per node of the current level, in Z-order of blocks.
-    cur = ta
-    child_store: list[tuple[TrackedArray, ...]] = []
-    for lvl in range(1, nlevels + 1):
-        nblocks = n // 4**lvl
-        parents_z = np.arange(nblocks, dtype=np.int64) * 4**lvl + lvl
-        prow, pcol = zrows[parents_z], zcols[parents_z]
-        received = tuple(
-            machine.send(cur[q::4], prow, pcol) for q in range(4)
-        )
-        payload = received[0].payload
-        for q in range(1, 4):
-            payload = monoid(payload, received[q].payload)
-        cur = received[0].combined_with(*received[1:], payload=payload)
-        child_store.append(received)
-    total = cur  # single value at the root's host processor
+    with machine.phase("scan"):
+        # ---------------- up-sweep ----------------
+        # cur: one value per node of the current level, in Z-order of blocks.
+        cur = ta
+        child_store: list[tuple[TrackedArray, ...]] = []
+        with machine.phase("up_sweep"):
+            for lvl in range(1, nlevels + 1):
+                nblocks = n // 4**lvl
+                parents_z = np.arange(nblocks, dtype=np.int64) * 4**lvl + lvl
+                prow, pcol = zrows[parents_z], zcols[parents_z]
+                received = tuple(
+                    machine.send(cur[q::4], prow, pcol) for q in range(4)
+                )
+                payload = received[0].payload
+                for q in range(1, 4):
+                    payload = monoid(payload, received[q].payload)
+                cur = received[0].combined_with(*received[1:], payload=payload)
+                child_store.append(received)
+        total = cur  # single value at the root's host processor
 
-    # ---------------- down-sweep ----------------
-    ident = monoid.identity(1, like=ta.payload)
-    x = TrackedArray(
-        machine,
-        ident,
-        total.rows.copy(),
-        total.cols.copy(),
-        np.zeros(1, dtype=np.int64),
-        np.zeros(1, dtype=np.int64),
-    )
-    for lvl in range(nlevels, 0, -1):
-        nblocks = n // 4**lvl
-        received = child_store[lvl - 1]
-        # running prefixes t_q = x ∘ s_0 ∘ ... ∘ s_{q-1}, all local at the node
-        prefixes = [x]
-        for q in range(1, 4):
-            prev = prefixes[-1]
-            payload = monoid(prev.payload, received[q - 1].payload)
-            prefixes.append(prev.combined_with(received[q - 1], payload=payload))
-        # forward prefix q to child q's host processor
-        block_starts = np.arange(nblocks, dtype=np.int64) * 4**lvl
-        sent = []
-        for q in range(4):
-            child_z = block_starts + q * 4 ** (lvl - 1) + (lvl - 1)
-            sent.append(machine.send(prefixes[q], zrows[child_z], zcols[child_z]))
-        merged = concat_tracked(sent)
-        # restore Z-order: entry for child q of block p belongs at index 4p+q
-        target = np.concatenate(
-            [np.arange(q, 4 * nblocks, 4, dtype=np.int64) for q in range(4)]
+        # ---------------- down-sweep ----------------
+        ident = monoid.identity(1, like=ta.payload)
+        x = TrackedArray(
+            machine,
+            ident,
+            total.rows.copy(),
+            total.cols.copy(),
+            np.zeros(1, dtype=np.int64),
+            np.zeros(1, dtype=np.int64),
         )
-        x = merged[np.argsort(target, kind="stable")]
+        with machine.phase("down_sweep"):
+            for lvl in range(nlevels, 0, -1):
+                nblocks = n // 4**lvl
+                received = child_store[lvl - 1]
+                # running prefixes t_q = x ∘ s_0 ∘ ... ∘ s_{q-1}, local at the node
+                prefixes = [x]
+                for q in range(1, 4):
+                    prev = prefixes[-1]
+                    payload = monoid(prev.payload, received[q - 1].payload)
+                    prefixes.append(prev.combined_with(received[q - 1], payload=payload))
+                # forward prefix q to child q's host processor
+                block_starts = np.arange(nblocks, dtype=np.int64) * 4**lvl
+                sent = []
+                for q in range(4):
+                    child_z = block_starts + q * 4 ** (lvl - 1) + (lvl - 1)
+                    sent.append(machine.send(prefixes[q], zrows[child_z], zcols[child_z]))
+                merged = concat_tracked(sent)
+                # restore Z-order: entry for child q of block p belongs at index 4p+q
+                target = np.concatenate(
+                    [np.arange(q, 4 * nblocks, 4, dtype=np.int64) for q in range(4)]
+                )
+                x = merged[np.argsort(target, kind="stable")]
 
-    exclusive = x
-    inclusive = exclusive.combined_with(
-        ta, payload=monoid(exclusive.payload, ta.payload)
-    )
+        exclusive = x
+        inclusive = exclusive.combined_with(
+            ta, payload=monoid(exclusive.payload, ta.payload)
+        )
     return ScanResult(inclusive=inclusive, exclusive=exclusive, total=total)
 
 
@@ -215,5 +218,6 @@ def segmented_broadcast(
         return a
 
     first = Monoid("first", copy_op, np.nan, commutative=False)
-    res = segmented_scan(machine, flags, ta, region, first)
+    with machine.phase("segmented_broadcast"):
+        res = segmented_scan(machine, flags, ta, region, first)
     return res.inclusive

@@ -146,81 +146,89 @@ def rank_select(
         k = n - k + 1
 
     history: list[int] = []
-    while active.sum() > threshold and iterations < max_iterations:
-        iterations += 1
-        history.append(int(active.sum()))
-        N = int(active.sum())
+    with machine.phase("select"):
+        while active.sum() > threshold and iterations < max_iterations:
+            iterations += 1
+            history.append(int(active.sum()))
+            N = int(active.sum())
 
-        # -- 1-2: sample actives, gather them into a compact square
-        p = min(1.0, c / math.sqrt(N))
-        mask = active & (rng.random(n) < p)
-        if not mask.any():
-            continue
-        sample = _gather_compact(machine, elems, mask, region)
-        ns = len(sample)
+            # -- 1-2: sample actives, gather them into a compact square
+            p = min(1.0, c / math.sqrt(N))
+            mask = active & (rng.random(n) < p)
+            if not mask.any():
+                continue
+            with machine.phase("sample_gather"):
+                sample = _gather_compact(machine, elems, mask, region)
+            ns = len(sample)
 
-        # -- 3: pivot ranks (1-based), bitonic sort of the sample
-        sorted_s = _pad_and_bitonic(machine, sample, region)
-        spread = 0.5 * c * N**0.25 * math.sqrt(ln_n)
-        center = c * k / math.sqrt(N)
-        r = max(1, min(ns, math.ceil(center + spread)))
-        use_low = k >= 0.5 * N**0.75 * math.sqrt(ln_n)
-        l = max(1, math.floor(center - spread)) if use_low else 0
-        s_r = sorted_s.payload[r - 1]
-        if use_low and l >= 1:
-            s_l = sorted_s.payload[l - 1]
-        else:
-            s_l = np.array([-np.inf, -np.inf])
+            # -- 3: pivot ranks (1-based), bitonic sort of the sample
+            with machine.phase("sample_sort"):
+                sorted_s = _pad_and_bitonic(machine, sample, region)
+            spread = 0.5 * c * N**0.25 * math.sqrt(ln_n)
+            center = c * k / math.sqrt(N)
+            r = max(1, min(ns, math.ceil(center + spread)))
+            use_low = k >= 0.5 * N**0.75 * math.sqrt(ln_n)
+            l = max(1, math.floor(center - spread)) if use_low else 0
+            s_r = sorted_s.payload[r - 1]
+            if use_low and l >= 1:
+                s_l = sorted_s.payload[l - 1]
+            else:
+                s_l = np.array([-np.inf, -np.inf])
 
-        # -- 4: broadcast both pivots over the original subgrid
-        piv_payload = np.concatenate([s_l, s_r])[None, :]
-        piv = sorted_s[r - 1 : r].with_payload(piv_payload)
-        corner = machine.send(piv, np.array([region.row]), np.array([region.col]))
-        blanket = broadcast(machine, corner, region)
+            # -- 4: broadcast both pivots over the original subgrid
+            with machine.phase("pivot_broadcast"):
+                piv_payload = np.concatenate([s_l, s_r])[None, :]
+                piv = sorted_s[r - 1 : r].with_payload(piv_payload)
+                corner = machine.send(piv, np.array([region.row]), np.array([region.col]))
+                blanket = broadcast(machine, corner, region)
 
-        # -- 5: all-reduce the counts below/above the pivots
-        elems = elems.depending_on(
-            blanket[region.rowmajor_index(elems.rows, elems.cols)]
-        )
-        below = active & lex_less(payload, np.broadcast_to(s_l, payload.shape), 2)
-        above = active & lex_less(np.broadcast_to(s_r, payload.shape), payload, 2)
-        counts = elems.with_payload(
-            np.stack([below.astype(np.float64), above.astype(np.float64)], axis=1)
-        )
-        totals = all_reduce(machine, counts, region, ADD)
-        n_below = int(round(totals.payload[0, 0]))
-        n_above = int(round(totals.payload[0, 1]))
-        elems = elems.depending_on(
-            totals[region.rowmajor_index(elems.rows, elems.cols)]
-        )
-
-        if n_below >= k or n_above >= N - k:
-            return _fallback_sort(
-                machine, elems, active, region, k, sign, iterations, history
+            # -- 5: all-reduce the counts below/above the pivots
+            elems = elems.depending_on(
+                blanket[region.rowmajor_index(elems.rows, elems.cols)]
             )
-        k -= n_below
+            below = active & lex_less(payload, np.broadcast_to(s_l, payload.shape), 2)
+            above = active & lex_less(np.broadcast_to(s_r, payload.shape), payload, 2)
+            counts = elems.with_payload(
+                np.stack([below.astype(np.float64), above.astype(np.float64)], axis=1)
+            )
+            with machine.phase("count"):
+                totals = all_reduce(machine, counts, region, ADD)
+            n_below = int(round(totals.payload[0, 0]))
+            n_above = int(round(totals.payload[0, 1]))
+            elems = elems.depending_on(
+                totals[region.rowmajor_index(elems.rows, elems.cols)]
+            )
 
-        # -- 6: deactivate everything outside (s_l, s_r)
-        active = active & ~below & ~above
+            if n_below >= k or n_above >= N - k:
+                with machine.phase("fallback_sort"):
+                    return _fallback_sort(
+                        machine, elems, active, region, k, sign, iterations, history
+                    )
+            k -= n_below
 
-        # -- 7: all-reduce the new N, flip the order if k is in the top half
-        live = elems.with_payload(active.astype(np.float64))
-        n_live = all_reduce(machine, live, region, ADD)
-        N = int(round(n_live.payload[0]))
-        elems = elems.depending_on(
-            n_live[region.rowmajor_index(elems.rows, elems.cols)]
-        )
-        if k > (N + 1) // 2:
-            sign = -sign
-            payload = -payload
-            elems = elems.with_payload(payload)
-            k = N - k + 1
+            # -- 6: deactivate everything outside (s_l, s_r)
+            active = active & ~below & ~above
 
-    # -- epilogue: gather survivors, sort, read off rank k
-    mask = active
-    survivors = _gather_compact(machine, elems, mask, region)
-    sorted_s = _pad_and_bitonic(machine, survivors, region)
-    e = sorted_s[k - 1 : k]
+            # -- 7: all-reduce the new N, flip the order if k is in the top half
+            live = elems.with_payload(active.astype(np.float64))
+            with machine.phase("count"):
+                n_live = all_reduce(machine, live, region, ADD)
+            N = int(round(n_live.payload[0]))
+            elems = elems.depending_on(
+                n_live[region.rowmajor_index(elems.rows, elems.cols)]
+            )
+            if k > (N + 1) // 2:
+                sign = -sign
+                payload = -payload
+                elems = elems.with_payload(payload)
+                k = N - k + 1
+
+        # -- epilogue: gather survivors, sort, read off rank k
+        mask = active
+        with machine.phase("finalize"):
+            survivors = _gather_compact(machine, elems, mask, region)
+            sorted_s = _pad_and_bitonic(machine, survivors, region)
+        e = sorted_s[k - 1 : k]
     value = sign * float(e.payload[0, 0])
     history.append(int(active.sum()))
     return SelectionResult(

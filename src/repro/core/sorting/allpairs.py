@@ -158,16 +158,17 @@ def allpairs_sort(
     n = len(ta)
     if ta.payload.ndim != 2:
         raise ValueError("sort payloads are (n, k) arrays")
-    keyed, kc = with_tiebreak(ta, key_cols)
-    if out_region is None:
-        side = _subgrid_side(n)
-        out_region = Region(int(ta.rows.min()), int(ta.cols.min()), side, side)
-    if n == 1:
-        out = machine.send(keyed, *out_region.rowmajor_coords(1))
-        return strip_tiebreak(out, kc)
-    ranked, ranks = allpairs_rank(machine, keyed, kc, workspace)
-    out_rows, out_cols = out_region.rowmajor_coords(n)
-    # element with rank r goes to output cell r
-    placed = machine.send(ranked, out_rows[ranks], out_cols[ranks])
-    order = np.argsort(ranks, kind="stable")
-    return strip_tiebreak(placed[order], kc)
+    with machine.phase("allpairs"):
+        keyed, kc = with_tiebreak(ta, key_cols)
+        if out_region is None:
+            side = _subgrid_side(n)
+            out_region = Region(int(ta.rows.min()), int(ta.cols.min()), side, side)
+        if n == 1:
+            out = machine.send(keyed, *out_region.rowmajor_coords(1))
+            return strip_tiebreak(out, kc)
+        ranked, ranks = allpairs_rank(machine, keyed, kc, workspace)
+        out_rows, out_cols = out_region.rowmajor_coords(n)
+        # element with rank r goes to output cell r
+        placed = machine.send(ranked, out_rows[ranks], out_cols[ranks])
+        order = np.argsort(ranks, kind="stable")
+        return strip_tiebreak(placed[order], kc)

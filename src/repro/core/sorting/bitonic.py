@@ -96,7 +96,8 @@ def bitonic_merge(
     laid out row-major on ``region`` into sorted row-major order."""
     n = len(ta)
     _check(ta, region)
-    cur = _merge_stages(machine, ta, n, key_cols, descending, alternate=False)
+    with machine.phase("bitonic_merge"):
+        cur = _merge_stages(machine, ta, n, key_cols, descending, alternate=False)
     return cur
 
 
@@ -124,10 +125,11 @@ def bitonic_sort(
         cur, kc = with_tiebreak(ta, key_cols)
     else:
         cur, kc = ta, key_cols
-    k = 2
-    while k <= n:
-        cur = _merge_stages(machine, cur, k, kc, descending, alternate=(k < n))
-        k *= 2
+    with machine.phase("bitonic"):
+        k = 2
+        while k <= n:
+            cur = _merge_stages(machine, cur, k, kc, descending, alternate=(k < n))
+            k *= 2
     if tiebreak:
         cur = strip_tiebreak(cur, kc)
     return cur

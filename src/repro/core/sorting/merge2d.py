@@ -69,15 +69,16 @@ def merge_sorted_2d(
         raise ValueError(f"{n} elements vs region size {out_region.size}")
     if base_case < 4:
         raise ValueError("base_case must be at least 4")
-    placed_parts: list[TrackedArray] = []
-    rank_parts: list[np.ndarray] = []
-    _merge_rec(machine, A, B, out_region, key_cols, base_case, 0, placed_parts, rank_parts)
-    placed = concat_tracked(placed_parts)
-    ranks = np.concatenate(rank_parts)
-    # Fig. 3d: permute from the recursion's traversal order into row-major.
-    rows, cols = out_region.rowmajor_coords(n)
-    out = machine.send(placed, rows[ranks], cols[ranks])
-    return out[np.argsort(ranks, kind="stable")]
+    with machine.phase("merge2d"):
+        placed_parts: list[TrackedArray] = []
+        rank_parts: list[np.ndarray] = []
+        _merge_rec(machine, A, B, out_region, key_cols, base_case, 0, placed_parts, rank_parts)
+        placed = concat_tracked(placed_parts)
+        ranks = np.concatenate(rank_parts)
+        # Fig. 3d: permute from the recursion's traversal order into row-major.
+        rows, cols = out_region.rowmajor_coords(n)
+        out = machine.send(placed, rows[ranks], cols[ranks])
+        return out[np.argsort(ranks, kind="stable")]
 
 
 def _merged_order(A: TrackedArray, B: TrackedArray, key_cols: int) -> np.ndarray:

@@ -50,7 +50,8 @@ def mergesort_2d(
         raise ValueError(f"expected one value per cell ({region.size}), got {n}")
     if ta.payload.ndim != 2:
         raise ValueError("sort payloads are (n, k) arrays; see sortutil.as_sort_payload")
-    return _sort_rec(machine, ta, region, key_cols, max(4, base_case))
+    with machine.phase("mergesort2d"):
+        return _sort_rec(machine, ta, region, key_cols, max(4, base_case))
 
 
 def _sort_rec(

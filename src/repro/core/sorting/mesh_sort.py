@@ -74,25 +74,26 @@ def shearsort(
     snake_asc = row % 2 == 0  # even rows ascend, odd rows descend
 
     phases = max(1, math.ceil(math.log2(max(h, 2)))) + 1
-    for _ in range(phases):
-        # --- row phase: odd-even transposition within rows, snake directions
+    with machine.phase("shearsort"):
+        for _ in range(phases):
+            # --- row phase: odd-even transposition within rows, snake directions
+            for r in range(w):
+                lo = idx[(col % 2 == r % 2) & (col + 1 < w)]
+                cur = _transposition_round(machine, cur, lo, 1, snake_asc, kc, n)
+            # --- column phase: odd-even transposition within columns, ascending
+            for r in range(h):
+                lo = idx[(row % 2 == r % 2) & (row + 1 < h)]
+                cur = _transposition_round(
+                    machine, cur, lo, w, np.ones(n, dtype=bool), kc, n
+                )
+        # final row phase leaves the array snake-sorted
         for r in range(w):
             lo = idx[(col % 2 == r % 2) & (col + 1 < w)]
             cur = _transposition_round(machine, cur, lo, 1, snake_asc, kc, n)
-        # --- column phase: odd-even transposition within columns, ascending
-        for r in range(h):
-            lo = idx[(row % 2 == r % 2) & (row + 1 < h)]
-            cur = _transposition_round(
-                machine, cur, lo, w, np.ones(n, dtype=bool), kc, n
-            )
-    # final row phase leaves the array snake-sorted
-    for r in range(w):
-        lo = idx[(col % 2 == r % 2) & (col + 1 < w)]
-        cur = _transposition_round(machine, cur, lo, 1, snake_asc, kc, n)
 
-    # convert snake order to row-major: reverse the odd rows
-    target = np.where(row % 2 == 0, idx, row * w + (w - 1 - col))
-    rows_rm, cols_rm = region.rowmajor_coords(n)
-    moved = machine.send(cur, rows_rm[target], cols_rm[target])
-    out = moved[np.argsort(target, kind="stable")]
+        # convert snake order to row-major: reverse the odd rows
+        target = np.where(row % 2 == 0, idx, row * w + (w - 1 - col))
+        rows_rm, cols_rm = region.rowmajor_coords(n)
+        moved = machine.send(cur, rows_rm[target], cols_rm[target])
+        out = moved[np.argsort(target, kind="stable")]
     return strip_tiebreak(out, kc)

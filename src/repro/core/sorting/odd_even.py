@@ -77,15 +77,16 @@ def odd_even_mergesort(
         cur, kc = ta, key_cols
 
     idx = np.arange(n, dtype=np.int64)
-    for pairs in odd_even_stages(n):
-        partner = idx.copy()
-        take_min = np.ones(n, dtype=bool)
-        arr = np.asarray(pairs, dtype=np.int64)
-        lo, hi = arr[:, 0], arr[:, 1]
-        partner[lo] = hi
-        partner[hi] = lo
-        take_min[hi] = False
-        cur = compare_exchange_stage(machine, cur, partner, take_min, kc)
+    with machine.phase("odd_even"):
+        for pairs in odd_even_stages(n):
+            partner = idx.copy()
+            take_min = np.ones(n, dtype=bool)
+            arr = np.asarray(pairs, dtype=np.int64)
+            lo, hi = arr[:, 0], arr[:, 1]
+            partner[lo] = hi
+            partner[hi] = lo
+            take_min[hi] = False
+            cur = compare_exchange_stage(machine, cur, partner, take_min, kc)
 
     if tiebreak:
         cur = strip_tiebreak(cur, kc)

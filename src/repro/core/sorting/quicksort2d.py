@@ -64,14 +64,15 @@ def quicksort_2d(
         raise ValueError(f"expected one value per cell ({region.size}), got {n}")
     ta = machine.place_zorder(values, region)
 
-    placed_parts: list[TrackedArray] = []
-    rank_parts: list[np.ndarray] = []
-    _rec(machine, ta, region, rng, max(4, base_case), 0, placed_parts, rank_parts)
-    placed = concat_tracked(placed_parts)
-    ranks = np.concatenate(rank_parts)
-    rows, cols = region.rowmajor_coords(n)
-    out = machine.send(placed, rows[ranks], cols[ranks])
-    return out[np.argsort(ranks, kind="stable")]
+    with machine.phase("quicksort2d"):
+        placed_parts: list[TrackedArray] = []
+        rank_parts: list[np.ndarray] = []
+        _rec(machine, ta, region, rng, max(4, base_case), 0, placed_parts, rank_parts)
+        placed = concat_tracked(placed_parts)
+        ranks = np.concatenate(rank_parts)
+        rows, cols = region.rowmajor_coords(n)
+        out = machine.send(placed, rows[ranks], cols[ranks])
+        return out[np.argsort(ranks, kind="stable")]
 
 
 def _rec(

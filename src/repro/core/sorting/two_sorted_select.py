@@ -150,47 +150,48 @@ def select_ranks_two_sorted(
         c0 = int(min(Aa.cols.min(), Bb.cols.min()))
         staging = Region(r0, c0, 1, 1)
 
-    step = max(1, math.isqrt(n))
-    if n <= 16 or step <= 1:
-        return [
-            _window_select(machine, Aa, Bb, k, 0, 0, kc, key_cols, staging, 0, 0, None)
-            for k in ks
-        ]
+    with machine.phase("two_sorted_select"):
+        step = max(1, math.isqrt(n))
+        if n <= 16 or step <= 1:
+            return [
+                _window_select(machine, Aa, Bb, k, 0, 0, kc, key_cols, staging, 0, 0, None)
+                for k in ks
+            ]
 
-    # -- 1-2: gather and All-Pairs-Sort the deterministic sample (shared)
-    sa = Aa[np.arange(0, na, step, dtype=np.int64)]
-    sb = Bb[np.arange(0, nb, step, dtype=np.int64)]
-    sample = concat_tracked([sa, sb])
-    sorted_s = allpairs_sort(
-        machine,
-        sample,
-        out_region=None,
-        key_cols=kc,
-        workspace=Region(staging.row, staging.col, 1, 1),
-    )
-
-    out: list[TwoArraySplit] = []
-    for k in ks:
-        # -- 3-4: pick the l-th ranked sample, search it into A and B
-        l = min((k - 1) // step, len(sorted_s))
-        if l == 0:
-            a = b = 0
-            depth = int(sorted_s.depth.max())
-            dist = int(sorted_s.dist.max())
-        else:
-            sl = sorted_s[l - 1 : l]
-            src = (int(sl.rows[0]), int(sl.cols[0]))
-            depth, dist = int(sl.depth[0]), int(sl.dist[0])
-            target = sl.payload[0]
-            a, depth, dist = _two_level_search(machine, Aa, target, kc, src, depth, dist)
-            b, depth, dist = _two_level_search(machine, Bb, target, kc, src, depth, dist)
-        # -- 5-6: solve inside the windows
-        out.append(
-            _window_select(
-                machine, Aa, Bb, k, a, b, kc, key_cols, staging, depth, dist, step
-            )
+        # -- 1-2: gather and All-Pairs-Sort the deterministic sample (shared)
+        sa = Aa[np.arange(0, na, step, dtype=np.int64)]
+        sb = Bb[np.arange(0, nb, step, dtype=np.int64)]
+        sample = concat_tracked([sa, sb])
+        sorted_s = allpairs_sort(
+            machine,
+            sample,
+            out_region=None,
+            key_cols=kc,
+            workspace=Region(staging.row, staging.col, 1, 1),
         )
-    return out
+
+        out: list[TwoArraySplit] = []
+        for k in ks:
+            # -- 3-4: pick the l-th ranked sample, search it into A and B
+            l = min((k - 1) // step, len(sorted_s))
+            if l == 0:
+                a = b = 0
+                depth = int(sorted_s.depth.max())
+                dist = int(sorted_s.dist.max())
+            else:
+                sl = sorted_s[l - 1 : l]
+                src = (int(sl.rows[0]), int(sl.cols[0]))
+                depth, dist = int(sl.depth[0]), int(sl.dist[0])
+                target = sl.payload[0]
+                a, depth, dist = _two_level_search(machine, Aa, target, kc, src, depth, dist)
+                b, depth, dist = _two_level_search(machine, Bb, target, kc, src, depth, dist)
+            # -- 5-6: solve inside the windows
+            out.append(
+                _window_select(
+                    machine, Aa, Bb, k, a, b, kc, key_cols, staging, depth, dist, step
+                )
+            )
+        return out
 
 
 def select_rank_two_sorted(

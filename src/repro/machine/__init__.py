@@ -3,7 +3,7 @@ cost-metering machine simulator, message tracing, and data layouts."""
 
 from .geometry import Region, manhattan, manhattan_arrays
 from .machine import SpatialMachine, TrackedArray, combine
-from .metrics import CostReport, MachineStats
+from .metrics import CostReport, CostTree, MachineStats, PhaseNode
 from .tracer import MessageBatch, Tracer
 from .zorder import (
     is_power_of_two,
@@ -21,6 +21,8 @@ __all__ = [
     "TrackedArray",
     "combine",
     "CostReport",
+    "CostTree",
+    "PhaseNode",
     "MachineStats",
     "Tracer",
     "MessageBatch",

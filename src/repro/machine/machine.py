@@ -32,7 +32,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from .geometry import Region, manhattan_arrays
-from .metrics import META_DTYPE, CostReport, MachineStats, combine_meta
+from .metrics import META_DTYPE, CostReport, CostTree, MachineStats, combine_meta
 from .tracer import Tracer
 from . import zorder as zo
 
@@ -119,7 +119,7 @@ class TrackedArray:
             [self.dist, *(o.dist for o in others)],
         )
         out = TrackedArray(self.machine, payload, self.rows, self.cols, depth, dist)
-        self.machine.stats.observe(out.depth, out.dist)
+        self.machine.observe(out.depth, out.dist)
         return out
 
     def depending_on(self, control: "TrackedArray") -> "TrackedArray":
@@ -198,6 +198,40 @@ def concat_tracked(parts: Sequence[TrackedArray]) -> TrackedArray:
     )
 
 
+class _PhaseSpan:
+    """Context manager pushing one phase-tree node (see ``SpatialMachine.phase``)."""
+
+    __slots__ = ("_machine", "_name", "_prev")
+
+    def __init__(self, machine: "SpatialMachine", name: str) -> None:
+        self._machine = machine
+        self._name = name
+
+    def __enter__(self):
+        m = self._machine
+        self._prev = m._phase_node
+        m._phase_node = self._prev.child(self._name)
+        return m._phase_node
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._machine._phase_node = self._prev
+
+
+class _NullSpan:
+    """No-op span used when phase accounting is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
 class SpatialMachine:
     """An unbounded 2D grid of constant-memory processors with cost metering.
 
@@ -207,11 +241,59 @@ class SpatialMachine:
         Record every message batch in :attr:`tracer` (for small-n tests,
         memory audits and figure generation).  Off by default: tracing large
         runs is memory-hungry.
+    phases:
+        Attribute charges to the active :meth:`phase` span in
+        :attr:`cost_tree` (on by default; the per-send cost is a handful of
+        integer additions).  Disable for hot-path micro-benchmarks.
     """
 
-    def __init__(self, trace: bool = False) -> None:
+    def __init__(self, trace: bool = False, phases: bool = True) -> None:
         self.stats = MachineStats()
         self.tracer: Tracer | None = Tracer() if trace else None
+        self.cost_tree = CostTree()
+        self._phase_node = self.cost_tree.root if phases else None
+
+    # ------------------------------------------------------------------
+    # phase-scoped accounting
+    # ------------------------------------------------------------------
+    def phase(self, name: str):
+        """Scope subsequent charges to phase ``name`` (nestable)::
+
+            with machine.phase("mergesort2d"):
+                ...                      # charges land on "mergesort2d"
+                with machine.phase("merge2d"):
+                    ...                  # ... on "mergesort2d/merge2d"
+
+        Re-entering a name under the same parent accumulates into the same
+        :class:`~repro.machine.metrics.PhaseNode` (recursive algorithms fold
+        onto one path).  With ``phases=False`` this is a free no-op.
+        """
+        if self._phase_node is None:
+            return _NULL_SPAN
+        return _PhaseSpan(self, name)
+
+    @property
+    def current_phase(self) -> str:
+        """The active phase path ("" at top level or with phases disabled)."""
+        return self._phase_node.path if self._phase_node is not None else ""
+
+    def observe(self, depth: np.ndarray, dist: np.ndarray) -> None:
+        """Fold per-value metadata maxima into the stats and active phase."""
+        if not depth.size:
+            return
+        dmax = int(depth.max())
+        smax = int(dist.max())
+        st = self.stats
+        if dmax > st.max_depth:
+            st.max_depth = dmax
+        if smax > st.max_distance:
+            st.max_distance = smax
+        node = self._phase_node
+        if node is not None:
+            if dmax > node.max_depth:
+                node.max_depth = dmax
+            if smax > node.max_distance:
+                node.max_distance = smax
 
     # ------------------------------------------------------------------
     # placing inputs
@@ -253,11 +335,24 @@ class SpatialMachine:
             raise ValueError("destination arrays must match value count")
         d = manhattan_arrays(ta.rows, ta.cols, rows, cols)
         moved = d > 0
-        self.stats.energy += int(d.sum())
-        self.stats.messages += int(moved.sum())
-        self.stats.rounds += 1
+        energy = int(d.sum())
+        messages = int(moved.sum())
+        self.stats.energy += energy
+        self.stats.messages += messages
+        if messages:
+            # an all-self-send batch performs no communication: not a round
+            self.stats.rounds += 1
+        node = self._phase_node
+        if node is not None:
+            node.energy += energy
+            node.messages += messages
+            if messages:
+                node.sends += 1
         if self.tracer is not None:
-            self.tracer.record(ta.rows, ta.cols, rows, cols, self.stats.rounds)
+            self.tracer.record(
+                ta.rows, ta.cols, rows, cols, self.stats.rounds,
+                phase=self.current_phase,
+            )
         out = TrackedArray(
             self,
             ta.payload,
@@ -266,7 +361,7 @@ class SpatialMachine:
             ta.depth + moved,
             ta.dist + d,
         )
-        self.stats.observe(out.depth, out.dist)
+        self.observe(out.depth, out.dist)
         return out
 
     def relay(
@@ -291,17 +386,30 @@ class SpatialMachine:
         chain_c = np.concatenate([[src[1]], stop_cols])
         d = manhattan_arrays(chain_r[:-1], chain_c[:-1], chain_r[1:], chain_c[1:])
         nz = d > 0
-        self.stats.energy += int(d.sum())
-        self.stats.messages += int(nz.sum())
-        self.stats.rounds += 1
+        energy = int(d.sum())
+        messages = int(nz.sum())
+        self.stats.energy += energy
+        self.stats.messages += messages
+        if messages:
+            self.stats.rounds += 1
+        node = self._phase_node
+        if node is not None:
+            node.energy += energy
+            node.messages += messages
+            if messages:
+                node.sends += 1
         if self.tracer is not None:
             self.tracer.record(
-                chain_r[:-1], chain_c[:-1], chain_r[1:], chain_c[1:], self.stats.rounds
+                chain_r[:-1], chain_c[:-1], chain_r[1:], chain_c[1:],
+                self.stats.rounds, phase=self.current_phase, kind="relay",
             )
-        depth = depth0 + int(nz.sum())
-        dist = dist0 + int(d.sum())
+        depth = depth0 + messages
+        dist = dist0 + energy
         self.stats.max_depth = max(self.stats.max_depth, depth)
         self.stats.max_distance = max(self.stats.max_distance, dist)
+        if node is not None:
+            node.max_depth = max(node.max_depth, depth)
+            node.max_distance = max(node.max_distance, dist)
         return depth, dist
 
     # ------------------------------------------------------------------
@@ -321,6 +429,10 @@ class SpatialMachine:
             with machine.measure() as cost:
                 scan(machine, data, region)
             print(cost.energy, cost.messages)
+            print(cost.per_phase.render())   # phase-scoped breakdown
+
+        ``cost.per_phase`` is the :class:`CostTree` delta over the block
+        (phases whose counters did not change show zero self cost).
         """
         return _Measurement(self)
 
@@ -334,9 +446,11 @@ class _Measurement:
         self.messages = 0
         self.depth = 0
         self.distance = 0
+        self.per_phase: CostTree = CostTree()
 
     def __enter__(self) -> "_Measurement":
         self._before = self._machine.snapshot()
+        self._tree_before = self._machine.cost_tree.clone()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
@@ -345,3 +459,4 @@ class _Measurement:
         self.messages = rep.messages
         self.depth = rep.depth
         self.distance = rep.distance
+        self.per_phase = self._machine.cost_tree.delta(self._tree_before)

@@ -14,8 +14,11 @@ meant for ``n`` up to a few thousand.
 
 from __future__ import annotations
 
+import json
 from collections import Counter
 from dataclasses import dataclass, field
+from pathlib import Path
+from typing import IO, Iterator
 
 import numpy as np
 
@@ -24,13 +27,20 @@ __all__ = ["Tracer", "MessageBatch"]
 
 @dataclass(frozen=True)
 class MessageBatch:
-    """One vectorized ``send``: parallel messages issued together."""
+    """One vectorized ``send``/``relay``: parallel messages issued together.
+
+    ``phase`` is the machine's active phase path at issue time (e.g.
+    ``"mergesort2d/merge2d"``, empty at top level), ``kind`` is ``"send"``
+    for batched moves and ``"relay"`` for sequential probe chains.
+    """
 
     src_rows: np.ndarray
     src_cols: np.ndarray
     dst_rows: np.ndarray
     dst_cols: np.ndarray
     round: int
+    phase: str = ""
+    kind: str = "send"
 
     def __len__(self) -> int:
         return len(self.src_rows)
@@ -50,6 +60,8 @@ class Tracer:
         dst_rows: np.ndarray,
         dst_cols: np.ndarray,
         round_idx: int,
+        phase: str = "",
+        kind: str = "send",
     ) -> None:
         moved = (src_rows != dst_rows) | (src_cols != dst_cols)
         if not moved.any():
@@ -61,8 +73,89 @@ class Tracer:
                 dst_rows[moved].copy(),
                 dst_cols[moved].copy(),
                 round_idx,
+                phase,
+                kind,
             )
         )
+
+    # ------------------------------------------------------------------
+    # structured records / JSONL export
+    # ------------------------------------------------------------------
+    def records(self) -> Iterator[dict]:
+        """One structured dict per *message* (not per batch), in issue order."""
+        for b in self.batches:
+            dists = b.distances()
+            for i in range(len(b)):
+                yield {
+                    "round": b.round,
+                    "phase": b.phase,
+                    "kind": b.kind,
+                    "src": [int(b.src_rows[i]), int(b.src_cols[i])],
+                    "dst": [int(b.dst_rows[i]), int(b.dst_cols[i])],
+                    "dist": int(dists[i]),
+                }
+
+    def to_jsonl(self, target: str | Path | IO[str]) -> int:
+        """Write one JSON record per message; returns the record count."""
+        if hasattr(target, "write"):
+            return self._write_jsonl(target)  # type: ignore[arg-type]
+        with open(target, "w") as fh:
+            return self._write_jsonl(fh)
+
+    def _write_jsonl(self, fh: IO[str]) -> int:
+        count = 0
+        for rec in self.records():
+            fh.write(json.dumps(rec, separators=(",", ":")) + "\n")
+            count += 1
+        return count
+
+    @classmethod
+    def from_jsonl(cls, source: str | Path | IO[str]) -> "Tracer":
+        """Rebuild a tracer from a JSONL trace (messages regroup into batches
+        by consecutive ``(round, phase, kind)``)."""
+        if hasattr(source, "read"):
+            lines = source.read().splitlines()  # type: ignore[union-attr]
+        else:
+            lines = Path(source).read_text().splitlines()
+        tracer = cls()
+        pending: list[dict] = []
+
+        def flush() -> None:
+            if not pending:
+                return
+            tracer.batches.append(
+                MessageBatch(
+                    np.array([r["src"][0] for r in pending], dtype=np.int64),
+                    np.array([r["src"][1] for r in pending], dtype=np.int64),
+                    np.array([r["dst"][0] for r in pending], dtype=np.int64),
+                    np.array([r["dst"][1] for r in pending], dtype=np.int64),
+                    pending[0]["round"],
+                    pending[0]["phase"],
+                    pending[0]["kind"],
+                )
+            )
+            pending.clear()
+
+        for line in lines:
+            if not line.strip():
+                continue
+            rec = json.loads(line)
+            if pending and (
+                rec["round"] != pending[0]["round"]
+                or rec["phase"] != pending[0]["phase"]
+                or rec["kind"] != pending[0]["kind"]
+            ):
+                flush()
+            pending.append(rec)
+        flush()
+        return tracer
+
+    def energy_by_phase(self) -> dict[str, int]:
+        """Total wire length attributed to each phase path seen in the trace."""
+        out: dict[str, int] = {}
+        for b in self.batches:
+            out[b.phase] = out.get(b.phase, 0) + int(b.distances().sum())
+        return out
 
     # ------------------------------------------------------------------
     def total_messages(self) -> int:

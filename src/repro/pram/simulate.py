@@ -161,40 +161,43 @@ def simulate_erew(
     """
     sim = _SimState(machine, program, layout)
     p = program.processors
-    for t in range(program.steps):
-        raddr = np.asarray(program.read_addrs(t, sim.state), dtype=np.int64)
-        _check_exclusive(raddr, "read", t)
-        vals = np.full(p, np.nan)
-        reading = np.nonzero(raddr != NO_ACCESS)[0]
-        if len(reading):
-            addr = raddr[reading]
-            # request: processor -> memory cell
-            req = machine.send(
-                sim.token[reading], sim.mem_rows[addr], sim.mem_cols[addr]
-            )
-            # reply: cell value (depends on its last write and the request)
-            reply = sim.memory[addr].combined_with(
-                req, payload=sim.memory.payload[addr]
-            )
-            back = machine.send(
-                reply, sim.proc_rows[reading], sim.proc_cols[reading]
-            )
-            vals[reading] = back.payload
-            sim.update_token(reading, back)
+    with machine.phase("pram_erew"):
+        for t in range(program.steps):
+            raddr = np.asarray(program.read_addrs(t, sim.state), dtype=np.int64)
+            _check_exclusive(raddr, "read", t)
+            vals = np.full(p, np.nan)
+            reading = np.nonzero(raddr != NO_ACCESS)[0]
+            if len(reading):
+                addr = raddr[reading]
+                with machine.phase("read"):
+                    # request: processor -> memory cell
+                    req = machine.send(
+                        sim.token[reading], sim.mem_rows[addr], sim.mem_cols[addr]
+                    )
+                    # reply: cell value (depends on its last write and the request)
+                    reply = sim.memory[addr].combined_with(
+                        req, payload=sim.memory.payload[addr]
+                    )
+                    back = machine.send(
+                        reply, sim.proc_rows[reading], sim.proc_cols[reading]
+                    )
+                vals[reading] = back.payload
+                sim.update_token(reading, back)
 
-        waddr, wval = program.step(t, sim.state, vals)
-        waddr = np.asarray(waddr, dtype=np.int64)
-        wval = np.asarray(wval, dtype=np.float64)
-        _check_exclusive(waddr, "write", t)
-        writing = np.nonzero(waddr != NO_ACCESS)[0]
-        if len(writing):
-            addr = waddr[writing]
-            msg = machine.send(
-                sim.token[writing].with_payload(wval[writing]),
-                sim.mem_rows[addr],
-                sim.mem_cols[addr],
-            )
-            sim.commit_writes(addr, msg, writing)
+            waddr, wval = program.step(t, sim.state, vals)
+            waddr = np.asarray(waddr, dtype=np.int64)
+            wval = np.asarray(wval, dtype=np.float64)
+            _check_exclusive(waddr, "write", t)
+            writing = np.nonzero(waddr != NO_ACCESS)[0]
+            if len(writing):
+                addr = waddr[writing]
+                with machine.phase("write"):
+                    msg = machine.send(
+                        sim.token[writing].with_payload(wval[writing]),
+                        sim.mem_rows[addr],
+                        sim.mem_cols[addr],
+                    )
+                sim.commit_writes(addr, msg, writing)
     return sim.memory, sim.state
 
 

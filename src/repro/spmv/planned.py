@@ -80,6 +80,12 @@ class SpMVPlan:
         x_ta = machine.place_rowmajor(np.asarray(x, dtype=np.float64), self.layout.x_region)
         xr, xc = self.layout.x_region.rowmajor_coords(n)
 
+        with machine.phase("spmv_apply"):
+            return self._apply_metered(x_ta, xr, xc, ereg, combine, multiply)
+
+    def _apply_metered(self, x_ta, xr, xc, ereg, combine, multiply) -> TrackedArray:
+        machine = self.machine
+        n = self.n
         # -- leaders fetch x_j (request/reply), segmented broadcast spreads it
         j = self.cols[self.leaders]
         req = machine.send(self.entries[self.leaders], xr[j], xc[j])
@@ -137,6 +143,19 @@ def plan_spmv(
     ereg = layout.entry_region
     start = machine.snapshot()
 
+    with machine.phase("spmv_plan"):
+        return _plan_metered(machine, matrix, layout, base_case, start)
+
+
+def _plan_metered(
+    machine: SpatialMachine,
+    matrix: COOMatrix,
+    layout: SpMVLayout,
+    base_case: int,
+    start,
+) -> SpMVPlan:
+    n, nnz = matrix.n, matrix.nnz
+    ereg = layout.entry_region
     # ---- sort triples by column (the real mergesort), land in Z-order
     triples = np.stack(
         [matrix.cols.astype(np.float64), matrix.rows.astype(np.float64), matrix.vals],

@@ -127,70 +127,77 @@ def spmv_spatial(
     x_ta = machine.place_rowmajor(np.asarray(x, dtype=np.float64), layout.x_region)
     xr, xc = layout.x_region.rowmajor_coords(n)
 
-    # ---- 1-2: sort by column, find column leaders
-    by_col = mergesort_2d(machine, entries, ereg, key_cols=1, base_case=base_case)
-    col_flags, by_col = _neighbour_leaders(machine, by_col, col=0)
-    real = by_col.payload[:, 0] != np.inf
-    leaders = np.nonzero(col_flags & real)[0]
+    with machine.phase("spmv"):
+        # ---- 1-2: sort by column, find column leaders
+        with machine.phase("sort_by_col"):
+            by_col = mergesort_2d(machine, entries, ereg, key_cols=1, base_case=base_case)
+            col_flags, by_col = _neighbour_leaders(machine, by_col, col=0)
+        real = by_col.payload[:, 0] != np.inf
+        leaders = np.nonzero(col_flags & real)[0]
 
-    # ---- 3: leaders fetch x_j, segmented broadcast spreads it
-    j = by_col.payload[leaders, 0].astype(np.int64)
-    req = machine.send(by_col[leaders], xr[j], xc[j])
-    reply = x_ta[j].combined_with(req, payload=x_ta.payload[j])
-    back = machine.send(reply, by_col.rows[leaders], by_col.cols[leaders])
-    carried = np.full(len(by_col), np.nan)
-    carried[leaders] = back.payload
-    holder = by_col.with_payload(
-        np.concatenate([by_col.payload, carried[:, None]], axis=1)
-    )
-    holder.depth[leaders] = np.maximum(holder.depth[leaders], back.depth)
-    holder.dist[leaders] = np.maximum(holder.dist[leaders], back.dist)
-    # permute once to Z-order for the scan-based broadcast
-    zr, zc = zorder_coords(ereg)
-    z_entries = machine.send(holder, zr, zc)
-    spread = segmented_broadcast(
-        machine,
-        col_flags.astype(np.float64),
-        z_entries.with_payload(z_entries.payload[:, 3]),
-        ereg,
-    )
-
-    # ---- 4: local partial products A_ij (x) x_j  (payload -> (row, product))
-    real_mask = z_entries.payload[:, 2] != np.inf
-    products = np.full(len(z_entries), np.inf)
-    products[real_mask] = multiply(
-        z_entries.payload[real_mask, 2], spread.payload[real_mask]
-    )
-    prod = z_entries.combined_with(
-        spread,
-        payload=np.stack([z_entries.payload[:, 1], products], axis=1),
-    )
-
-    # ---- 5-6: sort by row, find row leaders; order entries row-major first
-    order = ereg.rowmajor_index(prod.rows, prod.cols)
-    prod = prod[np.argsort(order, kind="stable")]
-    by_row = mergesort_2d(machine, prod, ereg, key_cols=1, base_case=base_case)
-    row_flags, by_row = _neighbour_leaders(machine, by_row, col=0)
-
-    # ---- 7: segmented scan combines each row; segment tails hold (Ax)_i
-    z_prod = machine.send(by_row, zr, zc)
-    seg_vals = z_prod.with_payload(
-        np.where(
-            z_prod.payload[:, 0] != np.inf,
-            z_prod.payload[:, 1],
-            float(combine.identity_scalar),
+        # ---- 3: leaders fetch x_j, segmented broadcast spreads it
+        with machine.phase("fetch_x"):
+            j = by_col.payload[leaders, 0].astype(np.int64)
+            req = machine.send(by_col[leaders], xr[j], xc[j])
+            reply = x_ta[j].combined_with(req, payload=x_ta.payload[j])
+            back = machine.send(reply, by_col.rows[leaders], by_col.cols[leaders])
+        carried = np.full(len(by_col), np.nan)
+        carried[leaders] = back.payload
+        holder = by_col.with_payload(
+            np.concatenate([by_col.payload, carried[:, None]], axis=1)
         )
-    )
-    scanned = segmented_scan(
-        machine, row_flags.astype(np.float64), seg_vals, ereg, combine
-    )
-    tails = np.ones(len(by_row), dtype=bool)
-    tails[:-1] = row_flags[1:]
-    real_rows = by_row.payload[:, 0] != np.inf
-    out_src = np.nonzero(tails & real_rows)[0]
-    i_idx = by_row.payload[out_src, 0].astype(np.int64)
-    yr, yc = layout.y_region.rowmajor_coords(n)
-    shipped = machine.send(scanned.inclusive[out_src], yr[i_idx], yc[i_idx])
+        holder.depth[leaders] = np.maximum(holder.depth[leaders], back.depth)
+        holder.dist[leaders] = np.maximum(holder.dist[leaders], back.dist)
+        with machine.phase("spread_x"):
+            # permute once to Z-order for the scan-based broadcast
+            zr, zc = zorder_coords(ereg)
+            z_entries = machine.send(holder, zr, zc)
+            spread = segmented_broadcast(
+                machine,
+                col_flags.astype(np.float64),
+                z_entries.with_payload(z_entries.payload[:, 3]),
+                ereg,
+            )
+
+        # ---- 4: local partial products A_ij (x) x_j  (payload -> (row, product))
+        real_mask = z_entries.payload[:, 2] != np.inf
+        products = np.full(len(z_entries), np.inf)
+        products[real_mask] = multiply(
+            z_entries.payload[real_mask, 2], spread.payload[real_mask]
+        )
+        prod = z_entries.combined_with(
+            spread,
+            payload=np.stack([z_entries.payload[:, 1], products], axis=1),
+        )
+
+        # ---- 5-6: sort by row, find row leaders; order entries row-major first
+        with machine.phase("sort_by_row"):
+            order = ereg.rowmajor_index(prod.rows, prod.cols)
+            prod = prod[np.argsort(order, kind="stable")]
+            by_row = mergesort_2d(machine, prod, ereg, key_cols=1, base_case=base_case)
+            row_flags, by_row = _neighbour_leaders(machine, by_row, col=0)
+
+        # ---- 7: segmented scan combines each row; segment tails hold (Ax)_i
+        with machine.phase("row_sum"):
+            z_prod = machine.send(by_row, zr, zc)
+            seg_vals = z_prod.with_payload(
+                np.where(
+                    z_prod.payload[:, 0] != np.inf,
+                    z_prod.payload[:, 1],
+                    float(combine.identity_scalar),
+                )
+            )
+            scanned = segmented_scan(
+                machine, row_flags.astype(np.float64), seg_vals, ereg, combine
+            )
+        tails = np.ones(len(by_row), dtype=bool)
+        tails[:-1] = row_flags[1:]
+        real_rows = by_row.payload[:, 0] != np.inf
+        out_src = np.nonzero(tails & real_rows)[0]
+        i_idx = by_row.payload[out_src, 0].astype(np.int64)
+        yr, yc = layout.y_region.rowmajor_coords(n)
+        with machine.phase("ship_y"):
+            shipped = machine.send(scanned.inclusive[out_src], yr[i_idx], yc[i_idx])
 
     # assemble dense y: rows with no entries hold the identity (local, free)
     payload = np.full(n, float(combine.identity_scalar))

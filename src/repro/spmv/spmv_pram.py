@@ -51,7 +51,8 @@ def spmv_pram_simulated(
     """
     padded = _pad_to_pow4(matrix)
     prog = SpMVCRCW(padded.rows, padded.cols, padded.vals, padded.n, np.asarray(x))
-    memory, _ = simulate_crcw(machine, prog)
+    with machine.phase("spmv_pram"):
+        memory, _ = simulate_crcw(machine, prog)
     return np.asarray(
         memory.payload[padded.n + padded.nnz : 2 * padded.n + padded.nnz]
     )

@@ -116,9 +116,10 @@ class SpatialTree:
         return self.machine.place_zorder(payload, self.region)
 
     def _scan(self, slot_values: np.ndarray) -> np.ndarray:
-        ta = self._tour_array(slot_values)
-        res = scan(self.machine, ta, self.region, ADD)
-        return res.inclusive.payload
+        with self.machine.phase("tree_scan"):
+            ta = self._tour_array(slot_values)
+            res = scan(self.machine, ta, self.region, ADD)
+            return res.inclusive.payload
 
     # ------------------------------------------------------------------
     def rootfix_sum(self, values: np.ndarray) -> np.ndarray:

@@ -1,0 +1,121 @@
+"""Cost-conformance regression: exact counters pinned for fixed seeds.
+
+The simulator's energy/messages/depth/distance counters ARE the artifact this
+repo produces — an accidental change to charging rules (an extra hop, a lost
+zero-send guard, a reordered mergesort pass) silently shifts every reported
+number.  These tests pin the exact counters of the four Table-I primitives on
+fixed seeds against ``tests/golden/costs.json``.
+
+A *deliberate* cost-model change regenerates the goldens:
+
+    PYTHONPATH=src python tests/test_cost_snapshots.py --regen
+
+and the diff of ``costs.json`` documents the shift for review.
+"""
+
+import json
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.core.scan import scan
+from repro.core.selection import rank_select
+from repro.core.sorting.mergesort2d import sort_values
+from repro.machine import Region, SpatialMachine
+from repro.spmv import random_coo, spmv_spatial
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "golden" / "costs.json"
+
+
+def _snap(m: SpatialMachine) -> dict:
+    s = m.stats
+    return {
+        "energy": s.energy,
+        "messages": s.messages,
+        "rounds": s.rounds,
+        "max_depth": s.max_depth,
+        "max_distance": s.max_distance,
+        "phases": {
+            r["path"]: r["inclusive_energy"]
+            for r in m.cost_tree.flatten()
+            if r["level"] <= 1  # top-level phases only: stable, reviewable
+        },
+    }
+
+
+def _run_scan() -> dict:
+    rng = np.random.default_rng(101)
+    m = SpatialMachine()
+    reg = Region(0, 0, 16, 16)
+    scan(m, m.place_zorder(rng.random(256), reg), reg)
+    return _snap(m)
+
+
+def _run_mergesort2d() -> dict:
+    rng = np.random.default_rng(202)
+    m = SpatialMachine()
+    sort_values(m, rng.random(256), Region(0, 0, 16, 16))
+    return _snap(m)
+
+
+def _run_selection() -> dict:
+    rng = np.random.default_rng(303)
+    m = SpatialMachine()
+    reg = Region(0, 0, 16, 16)
+    rank_select(m, m.place_zorder(rng.random(256), reg), reg, k=37, rng=rng)
+    return _snap(m)
+
+
+def _run_spmv() -> dict:
+    rng = np.random.default_rng(404)
+    m = SpatialMachine()
+    A = random_coo(16, 64, rng)
+    spmv_spatial(m, A, rng.standard_normal(16))
+    return _snap(m)
+
+
+CASES = {
+    "scan_n256_seed101": _run_scan,
+    "mergesort2d_n256_seed202": _run_mergesort2d,
+    "selection_n256_k37_seed303": _run_selection,
+    "spmv_n16_m64_seed404": _run_spmv,
+}
+
+
+def _golden() -> dict:
+    with open(GOLDEN_PATH) as fh:
+        return json.load(fh)
+
+
+@pytest.mark.parametrize("case", sorted(CASES))
+def test_costs_match_golden(case):
+    got = CASES[case]()
+    want = _golden()[case]
+    assert got == want, (
+        f"cost counters drifted for {case}.\n  got:  {got}\n  want: {want}\n"
+        "If the cost-model change is intentional, regenerate with\n"
+        "  PYTHONPATH=src python tests/test_cost_snapshots.py --regen"
+    )
+
+
+def test_goldens_cover_all_cases():
+    assert set(_golden()) == set(CASES)
+
+
+def _regen() -> None:  # pragma: no cover - maintenance entry point
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    data = {name: fn() for name, fn in sorted(CASES.items())}
+    with open(GOLDEN_PATH, "w") as fh:
+        json.dump(data, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    if "--regen" in sys.argv:
+        _regen()
+    else:
+        sys.exit("usage: python tests/test_cost_snapshots.py --regen")

@@ -1,0 +1,195 @@
+"""Phase-scoped cost accounting (machine.phase spans + CostTree)."""
+
+import numpy as np
+import pytest
+
+from repro.core.sorting.mergesort2d import sort_values
+from repro.machine import CostTree, Region, SpatialMachine
+
+from .conftest import square
+
+
+def _hop(m, length=2):
+    """One unit batch: a single message travelling ``length`` Manhattan."""
+    ta = m.place(np.array([1.0]), [0], [0])
+    m.send(ta, np.array([0]), np.array([length]))
+
+
+class TestSpans:
+    def test_nesting_builds_paths(self, machine):
+        m = machine
+        with m.phase("outer"):
+            assert m.current_phase == "outer"
+            with m.phase("inner"):
+                assert m.current_phase == "outer/inner"
+            assert m.current_phase == "outer"
+        assert m.current_phase == ""
+        assert m.cost_tree.node("outer/inner") is not None
+
+    def test_charges_land_on_active_phase(self, machine):
+        m = machine
+        _hop(m, 3)  # outside any phase -> root self
+        with m.phase("a"):
+            _hop(m, 5)
+            with m.phase("b"):
+                _hop(m, 7)
+        tree = m.cost_tree
+        assert tree.root.energy == 3
+        assert tree.node("a").energy == 5
+        assert tree.node("a/b").energy == 7
+        assert tree.node("a").inclusive_cost()["energy"] == 12
+
+    def test_reentry_accumulates_one_node(self, machine):
+        m = machine
+        for _ in range(3):
+            with m.phase("loop"):
+                _hop(m)
+        node = m.cost_tree.node("loop")
+        assert node.energy == 6
+        assert node.sends == 3
+        assert len(m.cost_tree.paths()) == 2  # root + loop, no loop_2
+
+    def test_exception_restores_phase(self, machine):
+        m = machine
+        with pytest.raises(RuntimeError):
+            with m.phase("doomed"):
+                raise RuntimeError("boom")
+        assert m.current_phase == ""
+
+    def test_span_reuse_after_sibling(self, machine):
+        m = machine
+        with m.phase("p"):
+            with m.phase("x"):
+                _hop(m)
+            with m.phase("y"):
+                _hop(m)
+            with m.phase("x"):
+                _hop(m)
+        assert m.cost_tree.node("p/x").sends == 2
+        assert m.cost_tree.node("p/y").sends == 1
+
+
+class TestTreeInvariants:
+    def test_root_inclusive_equals_flat_stats_mergesort(self, rng):
+        m = SpatialMachine()
+        sort_values(m, rng.random(256), square(256))
+        total = m.cost_tree.total()
+        assert total.energy == m.stats.energy
+        assert total.messages == m.stats.messages
+        assert total.depth == m.stats.max_depth
+        assert total.distance == m.stats.max_distance
+
+    def test_inclusive_is_self_plus_children_everywhere(self, rng):
+        m = SpatialMachine()
+        sort_values(m, rng.random(256), square(256))
+        for node, _ in m.cost_tree.root.walk():
+            inc = node.inclusive_cost()
+            assert inc["energy"] == node.energy + sum(
+                c.inclusive_cost()["energy"] for c in node.children.values()
+            )
+            assert inc["messages"] == node.messages + sum(
+                c.inclusive_cost()["messages"] for c in node.children.values()
+            )
+
+    def test_rounds_equals_total_sends(self, rng):
+        m = SpatialMachine()
+        sort_values(m, rng.random(64), square(64))
+        assert m.cost_tree.root.inclusive_cost()["sends"] == m.stats.rounds
+
+    def test_node_lookup_and_flatten_agree(self, machine):
+        m = machine
+        with m.phase("a"):
+            with m.phase("b"):
+                _hop(m, 4)
+        rows = {r["path"]: r for r in m.cost_tree.flatten()}
+        assert rows["a/b"]["self_energy"] == 4
+        assert rows["a"]["self_energy"] == 0
+        assert rows["a"]["inclusive_energy"] == 4
+        assert rows["total"]["inclusive_energy"] == 4
+        assert m.cost_tree.node("a/nope") is None
+
+    def test_as_dict_schema(self, machine):
+        m = machine
+        with m.phase("a"):
+            _hop(m)
+        d = m.cost_tree.as_dict()
+        assert d["name"] == "total"
+        assert d["children"][0]["path"] == "a"
+        assert set(d["self"]) == {"energy", "messages", "sends", "max_depth", "max_distance"}
+
+
+class TestMeasureIntegration:
+    def test_measure_exposes_per_phase_delta(self, machine):
+        m = machine
+        with m.phase("warmup"):
+            _hop(m, 9)
+        with m.measure() as res:
+            with m.phase("work"):
+                _hop(m, 5)
+        assert isinstance(res.per_phase, CostTree)
+        assert res.per_phase.node("work").energy == 5
+        assert res.per_phase.node("warmup").energy == 0  # pre-measure charge excluded
+        assert res.per_phase.total().energy == res.energy
+
+    def test_phases_disabled_machine(self, rng):
+        m = SpatialMachine(phases=False)
+        sort_values(m, rng.random(64), square(64))
+        assert m.stats.energy > 0
+        assert m.cost_tree.total().energy == 0
+        # spans are no-ops, not errors
+        with m.phase("ignored"):
+            assert m.current_phase == ""
+
+
+class TestRoundsRegression:
+    def test_zero_move_send_is_not_a_round(self, machine):
+        """Regression: all-self-send batches must not count as rounds."""
+        m = machine
+        ta = m.place(np.arange(3.0), [0, 1, 2], [0, 0, 0])
+        m.send(ta, np.array([0, 1, 2]), np.array([0, 0, 0]))  # nobody moves
+        assert m.stats.rounds == 0
+        assert m.stats.messages == 0
+        m.send(ta, np.array([0, 1, 2]), np.array([1, 1, 1]))
+        assert m.stats.rounds == 1
+
+    def test_zero_move_relay_is_not_a_round(self, machine):
+        m = machine
+        m.relay((0, 0), np.array([0]), np.array([0]))  # stays put
+        assert m.stats.rounds == 0
+        m.relay((0, 0), np.array([0, 0]), np.array([2, 3]))
+        assert m.stats.rounds == 1
+
+
+class TestCliReport:
+    def test_report_per_phase_matches_flat_run(self, capsys):
+        """Acceptance: the CLI's printed root totals equal an identical
+        run's flat MachineStats counters."""
+        from repro.cli import main
+
+        assert main(["report", "--algo", "sort", "--n", "64", "--per-phase"]) == 0
+        out = capsys.readouterr().out
+
+        from repro.analysis import make_workload
+        from repro.core.sorting.mergesort2d import sort_values as sv
+
+        rng = np.random.default_rng(0)
+        m = SpatialMachine()
+        sv(m, make_workload("uniform", 64, rng), square(64))
+
+        first = out.splitlines()[0]
+        assert f"energy={m.stats.energy} " in first
+        assert f"messages={m.stats.messages} " in first
+        # the rendered tree's "total" row shows the same inclusive energy
+        total_row = next(l for l in out.splitlines() if l.startswith("total"))
+        assert str(m.stats.energy) in total_row
+        assert "mergesort2d" in out
+
+    def test_trace_cli_writes_jsonl(self, tmp_path):
+        from repro.cli import main
+        from repro.machine.tracer import Tracer
+
+        path = tmp_path / "t.jsonl"
+        assert main(["trace", "--algo", "scan", "--n", "64", "--out", str(path)]) == 0
+        t = Tracer.from_jsonl(path)
+        assert t.total_messages() > 0
+        assert any(b.phase.startswith("scan") for b in t.batches)

@@ -1,0 +1,183 @@
+"""Property-based tests of the cost model (hypothesis).
+
+The Spatial Computer charges are simple invariants over arbitrary message
+patterns — exactly the shape of claim property-based testing is good at:
+
+* energy is the sum of Manhattan distances over all messages ever sent;
+* per-value depth/distance metadata never decreases through a send;
+* local combination takes the elementwise max of the inputs' metadata;
+* zero-length sends are free on every counter;
+* the phase tree is a lossless decomposition: every node's inclusive cost
+  is its self cost plus its children's, and the root's inclusive totals
+  equal the flat machine counters.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import SpatialMachine
+
+GRID = 32  # coordinates drawn from a GRID x GRID board
+
+coord = st.integers(min_value=0, max_value=GRID - 1)
+
+
+@st.composite
+def placements(draw, max_len=24):
+    """A batch of values with start coordinates and 1-3 destination hops."""
+    n = draw(st.integers(min_value=1, max_value=max_len))
+    rows = draw(st.lists(coord, min_size=n, max_size=n))
+    cols = draw(st.lists(coord, min_size=n, max_size=n))
+    hops = draw(st.integers(min_value=1, max_value=3))
+    dests = [
+        (
+            draw(st.lists(coord, min_size=n, max_size=n)),
+            draw(st.lists(coord, min_size=n, max_size=n)),
+        )
+        for _ in range(hops)
+    ]
+    return np.array(rows), np.array(cols), dests
+
+
+def _manhattan(r0, c0, r1, c1):
+    return int(np.abs(np.asarray(r1) - np.asarray(r0)).sum()
+               + np.abs(np.asarray(c1) - np.asarray(c0)).sum())
+
+
+@settings(max_examples=60, deadline=None)
+@given(placements())
+def test_energy_is_sum_of_manhattan_distances(batch):
+    rows, cols, dests = batch
+    m = SpatialMachine()
+    ta = m.place(np.arange(float(len(rows))), rows, cols)
+    expected = 0
+    for dr, dc in dests:
+        expected += _manhattan(ta.rows, ta.cols, dr, dc)
+        ta = m.send(ta, np.array(dr), np.array(dc))
+    assert m.stats.energy == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(placements())
+def test_metadata_monotone_through_sends(batch):
+    rows, cols, dests = batch
+    m = SpatialMachine()
+    ta = m.place(np.arange(float(len(rows))), rows, cols)
+    for dr, dc in dests:
+        before_depth, before_dist = ta.depth.copy(), ta.dist.copy()
+        moved = (np.array(dr) != ta.rows) | (np.array(dc) != ta.cols)
+        ta = m.send(ta, np.array(dr), np.array(dc))
+        assert (ta.depth >= before_depth).all()
+        assert (ta.dist >= before_dist).all()
+        # exactly the movers pay +1 depth; stayers' metadata is unchanged
+        assert (ta.depth[moved] == before_depth[moved] + 1).all()
+        assert (ta.depth[~moved] == before_depth[~moved]).all()
+        assert (ta.dist[~moved] == before_dist[~moved]).all()
+
+
+@settings(max_examples=60, deadline=None)
+@given(placements())
+def test_send_depth_increment_is_exactly_one_for_movers(batch):
+    rows, cols, dests = batch
+    m = SpatialMachine()
+    ta = m.place(np.zeros(len(rows)), rows, cols)
+    dr, dc = dests[0]
+    moved = (np.array(dr) != rows) | (np.array(dc) != cols)
+    out = m.send(ta, np.array(dr), np.array(dc))
+    assert (out.depth[moved] == 1).all()
+    assert (out.depth[~moved] == 0).all()
+    d = np.abs(np.array(dr) - rows) + np.abs(np.array(dc) - cols)
+    assert (out.dist == d).all()
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=16),
+    st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=16),
+)
+def test_combine_metadata_is_elementwise_max(d1, d2):
+    n = min(len(d1), len(d2))
+    d1, d2 = np.array(d1[:n]), np.array(d2[:n])
+    m = SpatialMachine()
+    a = m.place(np.zeros(n), np.zeros(n, dtype=int), np.arange(n))
+    b = m.place(np.zeros(n), np.ones(n, dtype=int), np.arange(n))
+    a.depth[:], a.dist[:] = d1, d2
+    b.depth[:], b.dist[:] = d2, d1
+    c = a.combined_with(b, payload=a.payload)
+    assert (c.depth == np.maximum(d1, d2)).all()
+    assert (c.dist == np.maximum(d1, d2)).all()
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(coord, min_size=1, max_size=24), st.lists(coord, min_size=1, max_size=24))
+def test_zero_length_sends_are_free(rows, cols):
+    n = min(len(rows), len(cols))
+    rows, cols = np.array(rows[:n]), np.array(cols[:n])
+    m = SpatialMachine()
+    ta = m.place(np.arange(float(n)), rows, cols)
+    out = m.send(ta, rows, cols)  # everyone "sends" to itself
+    assert m.stats.energy == 0
+    assert m.stats.messages == 0
+    assert m.stats.rounds == 0
+    assert m.stats.max_depth == 0
+    assert (out.depth == 0).all() and (out.dist == 0).all()
+    assert m.cost_tree.total().energy == 0
+
+
+phase_names = st.sampled_from(["a", "b", "c", "d"])
+
+
+@st.composite
+def phase_programs(draw):
+    """A random sequence of push / pop / send operations."""
+    return draw(
+        st.lists(
+            st.one_of(
+                st.tuples(st.just("push"), phase_names),
+                st.tuples(st.just("pop"), st.just("")),
+                st.tuples(st.just("send"), st.integers(min_value=0, max_value=9)),
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(phase_programs())
+def test_phase_tree_is_lossless_decomposition(program):
+    m = SpatialMachine()
+    stack = []
+    for op, arg in program:
+        if op == "push":
+            span = m.phase(arg)
+            span.__enter__()
+            stack.append(span)
+        elif op == "pop" and stack:
+            stack.pop().__exit__(None, None, None)
+        elif op == "send":
+            ta = m.place(np.array([1.0]), [0], [0])
+            m.send(ta, np.array([0]), np.array([arg]))
+    while stack:
+        stack.pop().__exit__(None, None, None)
+
+    tree = m.cost_tree
+    # root inclusive == flat counters
+    total = tree.total()
+    assert total.energy == m.stats.energy
+    assert total.messages == m.stats.messages
+    assert tree.root.inclusive_cost()["sends"] == m.stats.rounds
+    # every node: inclusive == self + sum(children inclusive)
+    for node, _ in tree.root.walk():
+        inc = node.inclusive_cost()
+        assert inc["energy"] == node.energy + sum(
+            c.inclusive_cost()["energy"] for c in node.children.values()
+        )
+        assert inc["messages"] == node.messages + sum(
+            c.inclusive_cost()["messages"] for c in node.children.values()
+        )
+    # clone + delta round-trip: delta against a fresh clone is all zeros
+    zero = tree.delta(tree.clone())
+    assert zero.total().energy == 0
+    assert zero.total().messages == 0

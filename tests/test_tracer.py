@@ -1,9 +1,12 @@
 """Unit tests for message tracing (repro.machine.tracer)."""
 
+import io
+
 import numpy as np
 import pytest
 
 from repro.machine import Region, SpatialMachine
+from repro.machine.tracer import Tracer
 
 
 class TestTracerBasics:
@@ -120,3 +123,66 @@ class TestInboxAudit:
         broadcast(m, v, reg)
         assert m.tracer.max_inbox_per_round() == 1
         assert m.tracer.max_outbox_per_round() <= 3
+
+
+class TestStructuredRecords:
+    def _scan_machine(self, rng, n=64) -> SpatialMachine:
+        from repro.core.scan import scan
+
+        m = SpatialMachine(trace=True)
+        reg = Region(0, 0, int(np.sqrt(n)), int(np.sqrt(n)))
+        scan(m, m.place_zorder(rng.random(n), reg), reg)
+        return m
+
+    def test_records_are_phase_tagged(self, rng):
+        m = self._scan_machine(rng)
+        phases = {r["phase"] for r in m.tracer.records()}
+        assert phases == {"scan/up_sweep", "scan/down_sweep"}
+        for r in m.tracer.records():
+            assert r["kind"] == "send"
+            assert r["dist"] >= 1  # self-sends are never recorded
+
+    def test_jsonl_roundtrip_file(self, rng, tmp_path):
+        m = self._scan_machine(rng)
+        path = tmp_path / "trace.jsonl"
+        count = m.tracer.to_jsonl(path)
+        assert count == m.tracer.total_messages()
+        back = Tracer.from_jsonl(path)
+        assert list(back.records()) == list(m.tracer.records())
+        assert back.total_energy() == m.stats.energy
+        assert back.energy_by_phase() == m.tracer.energy_by_phase()
+
+    def test_jsonl_roundtrip_filelike(self, traced_machine):
+        m = traced_machine
+        with m.phase("p"):
+            ta = m.place(np.arange(2.0), [0, 0], [0, 1])
+            m.send(ta, np.array([3, 3]), np.array([0, 1]))
+        buf = io.StringIO()
+        m.tracer.to_jsonl(buf)
+        buf.seek(0)
+        back = Tracer.from_jsonl(buf)
+        assert len(back.batches) == 1
+        assert back.batches[0].phase == "p"
+        assert back.total_energy() == 6
+
+    def test_energy_by_phase_matches_cost_tree(self, rng):
+        m = self._scan_machine(rng)
+        by_phase = m.tracer.energy_by_phase()
+        for path, energy in by_phase.items():
+            assert m.cost_tree.node(path).energy == energy
+        assert sum(by_phase.values()) == m.stats.energy
+
+    def test_relay_kind_recorded(self, traced_machine):
+        m = traced_machine
+        m.relay((0, 0), np.array([0, 0]), np.array([2, 5]))
+        kinds = {r["kind"] for r in m.tracer.records()}
+        assert kinds == {"relay"}
+
+    def test_untraced_machine_has_no_tracer(self, rng):
+        from repro.core.scan import scan
+
+        m = SpatialMachine()  # trace defaults off: the hot path pays nothing
+        reg = Region(0, 0, 8, 8)
+        scan(m, m.place_zorder(rng.random(64), reg), reg)
+        assert m.tracer is None
+        assert m.stats.energy > 0
