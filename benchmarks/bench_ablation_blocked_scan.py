@@ -59,3 +59,22 @@ def test_ablation_blocked_scan(benchmark, report, rng):
     depths = [r["depth"] for r in rows]
     assert depths == sorted(depths, reverse=True)
     report("every factor-4 block growth saves ~4x energy and ~2x distance.")
+
+
+# -- repro.runner suite ----------------------------------------------------
+from repro.runner import point_from_machine, register_suite
+
+
+@register_suite(
+    "ablation_blocked_scan",
+    artifact="§I.D extension — blocked scan: Θ(n/B) E, Θ(√(n/B)) distance",
+    grid={"n": [16384], "block": [1, 4, 16, 64, 256]},
+    quick={"n": [1024], "block": [1, 16]},
+)
+def _suite_point(params, rng):
+    n, b = params["n"], params["block"]
+    x = rng.standard_normal(n)
+    m = SpatialMachine()
+    res = blocked_scan(m, x, block=b)
+    assert np.allclose(res.prefix, np.cumsum(x))
+    return point_from_machine(m, out_depth=res.max_depth(), out_distance=res.max_dist())

@@ -66,3 +66,28 @@ def test_ablation_planned_spmv(benchmark, report, rng):
         "a plan costs about one full SpMV and every further multiply is "
         ">20x cheaper — the iterative-solver regime (PageRank, CG)."
     )
+
+
+# -- repro.runner suite ----------------------------------------------------
+from repro.runner import point_from_machine, register_suite
+
+
+@register_suite(
+    "ablation_planned_spmv",
+    artifact="extension — planned SpMV: plan once, multiply many times",
+    grid={"n": [16, 32, 64, 128]},
+    quick={"n": [16]},
+)
+def _suite_point(params, rng):
+    n = params["n"]
+    A = random_coo(n, 4 * n, rng)
+    x = rng.standard_normal(n)
+    want = A.multiply_dense(x)
+    m = SpatialMachine()
+    plan = plan_spmv(m, A)
+    plan_energy = m.stats.energy
+    before = m.snapshot()
+    y = plan.apply(x)
+    assert np.allclose(y.payload, want)
+    apply_energy = m.stats.energy - before.energy
+    return point_from_machine(m, plan_energy=plan_energy, apply_energy=apply_energy)

@@ -67,3 +67,23 @@ def test_ablation_quicksort(benchmark, report, rng):
         "selection-based splitters drop the energy constant by an order of "
         "magnitude at the cost of ~3x depth and determinism."
     )
+
+
+# -- repro.runner suite ----------------------------------------------------
+from repro.runner import point_from_machine, register_suite
+
+
+@register_suite(
+    "ablation_quicksort",
+    artifact="§IX — selection-based 2D quicksort vs 2D mergesort",
+    grid={"side": [8, 16, 32, 64]},
+    quick={"side": [8]},
+)
+def _suite_point(params, rng):
+    side = params["side"]
+    region = Region(0, 0, side, side)
+    x = rng.random(side * side)
+    mq = SpatialMachine()
+    out_q = quicksort_2d(mq, x, region, rng)
+    assert np.allclose(out_q.payload, np.sort(x))
+    return point_from_machine(mq, out_depth=out_q.max_depth())

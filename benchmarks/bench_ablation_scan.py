@@ -64,3 +64,30 @@ def test_ablation_scan(benchmark, report, rng):
         "2D scan: linear energy at log depth — dominates both baselines "
         "(the §IV.C claim)."
     )
+
+
+# -- repro.runner suite ----------------------------------------------------
+from repro.runner import point_from_machine, register_suite
+
+
+@register_suite(
+    "ablation_scan",
+    artifact="§IV.C ablation — 2D scan vs sequential vs 1D binary tree",
+    grid={"n": [64, 256, 1024, 4096]},
+    quick={"n": [64]},
+)
+def _suite_point(params, rng):
+    n = params["n"]
+    side = int(np.sqrt(n))
+    region = Region(0, 0, side, side)
+    x = rng.random(n)
+    m2 = SpatialMachine()
+    r2 = scan(m2, m2.place_zorder(x, region), region)
+    assert np.allclose(r2.inclusive.payload, np.cumsum(x))
+    ms = SpatialMachine()
+    sequential_scan(ms, ms.place_zorder(x, region), region)
+    mt = SpatialMachine()
+    tree_scan_1d(mt, mt.place_rowmajor(x, region), region)
+    return point_from_machine(
+        m2, seq_energy=ms.stats.energy, tree1d_energy=mt.stats.energy
+    )

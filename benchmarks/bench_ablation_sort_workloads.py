@@ -72,3 +72,23 @@ def test_ablation_sort_workloads(benchmark, report, rng):
         "mergesort is the data-dependent one — pre-sorted inputs cost ~3x "
         "less routing. All stay in the Θ(n^{3/2}) class."
     )
+
+
+# -- repro.runner suite ----------------------------------------------------
+from repro.runner import point_from_machine, register_suite
+
+
+@register_suite(
+    "ablation_sort_workloads",
+    artifact="extension — sorter cost sensitivity to the input distribution",
+    grid={"workload": list(WORKLOADS), "side": [16]},
+    quick={"workload": ["uniform", "sorted"], "side": [8]},
+)
+def _suite_point(params, rng):
+    side = params["side"]
+    region = Region(0, 0, side, side)
+    x = make_workload(params["workload"], side * side, rng)
+    m = SpatialMachine()
+    out = sort_values(m, x, region)
+    assert np.allclose(out.payload[:, 0], np.sort(x))
+    return point_from_machine(m, out_depth=out.max_depth())

@@ -63,3 +63,23 @@ def test_ablation_spmv_density(benchmark, report, rng):
     # depth stays polylog in m across the density sweep
     for r in rows:
         assert r["depth"] <= 2 * np.log2(r["nnz"]) ** 3
+
+
+# -- repro.runner suite ----------------------------------------------------
+from repro.runner import point_from_machine, register_suite
+
+
+@register_suite(
+    "ablation_spmv_density",
+    artifact="§IX open question — SpMV energy vs matrix density at fixed n",
+    grid={"n": [64], "density": [1, 2, 4, 8, 16]},
+    quick={"n": [16], "density": [2, 4]},
+)
+def _suite_point(params, rng):
+    n, d = params["n"], params["density"]
+    x = rng.standard_normal(n)
+    A = random_coo(n, d * n, rng)
+    m = SpatialMachine()
+    y = spmv_spatial(m, A, x)
+    assert np.allclose(y.payload, A.multiply_dense(x))
+    return point_from_machine(m, nnz=A.nnz)

@@ -51,3 +51,26 @@ def test_allpairs(benchmark, report, rng):
     assert 2.2 < fit.exponent < 2.8
     for r in rows:
         assert r["depth"] <= r["4log2(n)+8"]
+
+
+# -- repro.runner suite ----------------------------------------------------
+from repro.runner import point_from_machine, register_suite
+
+
+@register_suite(
+    "allpairs",
+    artifact="Lemma V.5 — All-Pairs Sort: O(n^2.5) E, O(log n) D, O(n) distance",
+    grid={"n": [4, 16, 64, 256]},
+    quick={"n": [4, 16]},
+)
+def _suite_point(params, rng):
+    n = params["n"]
+    side = 1
+    while side * side < n:
+        side *= 2
+    region = Region(0, 0, side, side)
+    x = rng.random(n)
+    m = SpatialMachine()
+    out = allpairs_sort(m, m.place_rowmajor(as_sort_payload(x), region), region)
+    assert np.allclose(out.payload[:, 0], np.sort(x))
+    return point_from_machine(m, out_depth=out.max_depth(), out_distance=out.max_dist())

@@ -97,3 +97,26 @@ def test_collectives_rectangles(benchmark, report, rng):
         )
     )
     assert max(r["ratio"] for r in rows) < 4
+
+
+# -- repro.runner suite ----------------------------------------------------
+from repro.runner import point_from_machine, register_suite
+
+
+@register_suite(
+    "collectives",
+    artifact="Lemma IV.1 / Cor. IV.2 — broadcast & reduce: O(hw + h log h) E, O(log n) D",
+    grid={"side": [8, 16, 32, 64]},
+    quick={"side": [8]},
+)
+def _suite_point(params, rng):
+    side = params["side"]
+    n = side * side
+    region = Region(0, 0, side, side)
+    mb = SpatialMachine()
+    out = broadcast(mb, mb.place(np.array([1.0]), [0], [0]), region)
+    mr = SpatialMachine()
+    reduce(mr, mr.place_rowmajor(rng.random(n), region), region, ADD)
+    return point_from_machine(
+        mb, bcast_depth=out.max_depth(), reduce_energy=mr.stats.energy
+    )

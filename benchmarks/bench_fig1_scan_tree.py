@@ -62,3 +62,20 @@ def test_fig1_scan_tree(benchmark, report):
     up_energy = sum(r["energy"] for r in rows if r["phase"] == "up-sweep")
     assert up_energy <= 4 * n
     report(f"up-sweep energy {up_energy} <= 4n = {4 * n} (Lemma IV.3 envelope)")
+
+
+# -- repro.runner suite ----------------------------------------------------
+from repro.runner import point_from_machine, register_suite
+
+
+@register_suite(
+    "fig1_scan_tree",
+    artifact="Figure 1 — scan summation-tree message batches (Lemma IV.3 envelope)",
+    grid={"side": [4, 8, 16]},
+    quick={"side": [4]},
+)
+def _suite_point(params, rng):
+    m, region, rows = _trace_levels(params["side"])
+    up_energy = sum(r["energy"] for r in rows if r["phase"] == "up-sweep")
+    assert up_energy <= 4 * region.size
+    return point_from_machine(m, up_energy=up_energy, batches=len(rows))

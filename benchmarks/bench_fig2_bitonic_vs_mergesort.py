@@ -114,3 +114,30 @@ def test_fig2_lemma_v3_rectangles(benchmark, report, rng):
     )
     ratios = [r["ratio"] for r in rows]
     assert max(ratios) / min(ratios) < 4  # constant-factor agreement
+
+
+# -- repro.runner suite ----------------------------------------------------
+from repro.runner import point_from_machine, register_suite
+
+
+@register_suite(
+    "fig2_bitonic_vs_mergesort",
+    artifact="Figure 2 / Lemma V.4 — bitonic network vs 2D mergesort energy",
+    grid={"side": [8, 16, 32]},
+    quick={"side": [8]},
+)
+def _suite_point(params, rng):
+    side = params["side"]
+    region = Region(0, 0, side, side)
+    x = rng.random(side * side)
+    mb = SpatialMachine()
+    out_b = bitonic_sort(mb, mb.place_rowmajor(as_sort_payload(x), region), region)
+    mm = SpatialMachine()
+    out_m = sort_values(mm, x, region)
+    assert np.allclose(out_b.payload[:, 0], out_m.payload[:, 0])
+    return point_from_machine(
+        mb,
+        mergesort_energy=mm.stats.energy,
+        bitonic_depth=out_b.max_depth(),
+        mergesort_depth=out_m.max_depth(),
+    )

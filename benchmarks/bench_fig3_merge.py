@@ -58,3 +58,26 @@ def test_fig3_merge(benchmark, report, rng):
     assert 1.1 < exp < 1.8
     for r in rows:
         assert r["depth"] <= 3 * r["log2(n)^2"]
+
+
+# -- repro.runner suite ----------------------------------------------------
+from repro.runner import point_from_machine, register_suite
+
+
+@register_suite(
+    "fig3_merge",
+    artifact="Figure 3 / Lemma V.7 — rank-splitting 2D merge: O(n^1.5) E, O(log² n) D",
+    grid={"side": [8, 16, 32, 64]},
+    quick={"side": [8]},
+)
+def _suite_point(params, rng):
+    side = params["side"]
+    half = side * side
+    a = np.sort(rng.standard_normal(half))
+    b = np.sort(rng.standard_normal(half))
+    m = SpatialMachine()
+    A = m.place_rowmajor(as_sort_payload(a), Region(0, 0, side, side))
+    B = m.place_rowmajor(as_sort_payload(b), Region(0, side, side, side))
+    out = merge_sorted_2d(m, A, B, Region(0, 0, side, 2 * side))
+    assert np.allclose(out.payload[:, 0], np.sort(np.concatenate([a, b])))
+    return point_from_machine(m, out_depth=out.max_depth(), out_distance=out.max_dist())

@@ -70,3 +70,29 @@ def test_lower_bound(benchmark, report):
         "mergesort energy / lower bound plateaus: both sides are "
         "Θ(n^{3/2}) — the sort is energy-optimal (Theorem V.8)."
     )
+
+
+# -- repro.runner suite ----------------------------------------------------
+from repro.runner import point_from_machine, register_suite
+
+
+@register_suite(
+    "lower_bound",
+    artifact="Lemma V.1 / Cor. V.2 — permutation energy floor vs measured sort",
+    grid={"side": [8, 16, 32, 64]},
+    quick={"side": [8]},
+)
+def _suite_point(params, rng):
+    side = params["side"]
+    n = side * side
+    region = Region(0, 0, side, side)
+    perm = reversal_permutation(n)
+    floor = displacement_lower_bound(region, perm)
+    m_route = SpatialMachine()
+    ta = m_route.place_rowmajor(as_sort_payload(np.arange(float(n))), region)
+    route_permutation(m_route, ta, region, perm)
+    assert m_route.stats.energy == floor
+    m_sort = SpatialMachine()
+    sort_values(m_sort, np.arange(n, 0, -1, dtype=float), region)
+    assert m_sort.stats.energy >= floor
+    return point_from_machine(m_sort, floor=floor, routed_energy=m_route.stats.energy)

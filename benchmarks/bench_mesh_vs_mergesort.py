@@ -71,3 +71,32 @@ def test_mesh_vs_mergesort(benchmark, report, rng):
         "mergesort's growth ratio falls towards 1 (polylog): at scale the "
         "mergesort dominates — the §II.B motivation."
     )
+
+
+# -- repro.runner suite ----------------------------------------------------
+from repro.runner import point_from_machine, register_suite
+
+
+@register_suite(
+    "mesh_vs_mergesort",
+    artifact="§II.B — Θ(√n)-depth mesh shearsort vs polylog 2D mergesort",
+    grid={"side": [8, 16, 32]},
+    quick={"side": [8]},
+)
+def _suite_point(params, rng):
+    side = params["side"]
+    region = Region(0, 0, side, side)
+    x = rng.random(side * side)
+    m_mesh = SpatialMachine()
+    out_mesh = shearsort(
+        m_mesh, m_mesh.place_rowmajor(as_sort_payload(x), region), region
+    )
+    m_ms = SpatialMachine()
+    out_ms = sort_values(m_ms, x, region)
+    assert np.allclose(out_mesh.payload[:, 0], out_ms.payload[:, 0])
+    return point_from_machine(
+        m_mesh,
+        mergesort_energy=m_ms.stats.energy,
+        mesh_depth=out_mesh.max_depth(),
+        mergesort_depth=out_ms.max_depth(),
+    )

@@ -50,3 +50,21 @@ def test_phase_overhead(benchmark, report):
         f"ratio {ratio:.3f} (target < 1.10)"
     )
     assert ratio < 1.25, f"phase accounting too expensive: {ratio:.3f}x"
+
+
+# -- repro.runner suite ----------------------------------------------------
+from repro.runner import point_from_machine, register_suite
+
+
+@register_suite(
+    "phase_overhead",
+    artifact="observability — phase accounting on/off (wall-clock is the artifact)",
+    grid={"side": [32], "phases": [True, False]},
+    quick={"side": [16], "phases": [True, False]},
+)
+def _suite_point(params, rng):
+    side = params["side"]
+    x = rng.random(side * side)
+    m = SpatialMachine(phases=params["phases"])
+    sort_values(m, x, Region(0, 0, side, side))
+    return point_from_machine(m)

@@ -90,3 +90,32 @@ def test_pram_crcw_gap(benchmark, report, rng):
     gaps = [r["depth gap"] for r in rows]
     assert gaps[0] > 3
     assert gaps[-1] > gaps[0]
+
+
+# -- repro.runner suite ----------------------------------------------------
+from repro.runner import point_from_machine, register_suite
+
+
+@register_suite(
+    "pram",
+    artifact="Lemmas VII.1-VII.2 — EREW/CRCW PRAM simulation costs",
+    grid=[
+        {"p": 16, "mode": "erew"},
+        {"p": 64, "mode": "erew"},
+        {"p": 256, "mode": "erew"},
+        {"p": 16, "mode": "crcw"},
+        {"p": 64, "mode": "crcw"},
+    ],
+    quick=[{"p": 16, "mode": "erew"}, {"p": 16, "mode": "crcw"}],
+)
+def _suite_point(params, rng):
+    p = params["p"]
+    x = rng.standard_normal(p)
+    prog = TreeSumEREW(x)
+    m = SpatialMachine()
+    if params["mode"] == "erew":
+        mem, _ = simulate_erew(m, prog)
+        assert abs(mem.payload[0] - x.sum()) < 1e-9
+    else:
+        simulate_crcw(m, prog)
+    return point_from_machine(m, steps=prog.steps)

@@ -75,3 +75,25 @@ def test_selection_probability(benchmark, report, rng):
     strong = sum(r["fallbacks"] for r in rows if r["c"] == 3.0)
     assert weak >= strong
     report("c >= 3 keeps pivot misses rare; c = 1 visibly degrades — Lemma VI.1.")
+
+
+# -- repro.runner suite ----------------------------------------------------
+from repro.runner import point_from_machine, register_suite
+
+
+@register_suite(
+    "selection_probability",
+    artifact="Lemmas VI.1-VI.2 — pivot-miss fallback rate and iteration counts",
+    grid={"n": [256, 1024, 4096], "c": [1.0, 3.0]},
+    quick={"n": [256], "c": [3.0]},
+    seeds=(0, 1, 2, 3, 4),
+)
+def _suite_point(params, rng):
+    n = params["n"]
+    side = int(np.sqrt(n))
+    region = Region(0, 0, side, side)
+    x = rng.standard_normal(n)
+    m = SpatialMachine()
+    res = rank_select(m, m.place_zorder(x, region), region, n // 2, rng, c=params["c"])
+    assert res.value == np.sort(x)[n // 2 - 1]
+    return point_from_machine(m, iterations=res.iterations, fell_back=int(res.fell_back))

@@ -65,3 +65,29 @@ def test_selection_shrinkage(benchmark, report, rng):
         # above) the lemma's 3/4 once the √ln n factor is accounted for
         assert r["mean log-ratio"] < 0.95
     report("observed contraction matches the Lemma VI.2 regime.")
+
+
+# -- repro.runner suite ----------------------------------------------------
+from repro.runner import point_from_machine, register_suite
+
+
+@register_suite(
+    "selection_shrinkage",
+    artifact="Lemma VI.2 — active-set shrinkage N_t -> ~N^{3/4}√ln n",
+    grid={"n": [1024, 4096]},
+    quick={"n": [1024]},
+    seeds=(0, 1, 2),
+)
+def _suite_point(params, rng):
+    n = params["n"]
+    side = int(np.sqrt(n))
+    region = Region(0, 0, side, side)
+    x = rng.standard_normal(n)
+    m = SpatialMachine()
+    res = rank_select(m, m.place_zorder(x, region), region, n // 2, rng)
+    hist = res.active_history or []
+    bound = lambda a: (1 + EPS) * a**0.75 * np.sqrt(np.log(n))  # noqa: E731
+    violations = sum(b > bound(a) for a, b in zip(hist[:-1], hist[1:]))
+    return point_from_machine(
+        m, steps=max(len(hist) - 1, 0), violations=int(violations)
+    )

@@ -59,3 +59,28 @@ def test_spmv_baseline(benchmark, report, rng):
     wins = [r["depth win"] for r in rows]
     assert wins[-1] > wins[0] * 0.8
     report("direct SpMV wins depth and distance — the §VIII improvement.")
+
+
+# -- repro.runner suite ----------------------------------------------------
+from repro.runner import point_from_machine, register_suite
+
+
+@register_suite(
+    "spmv_baseline",
+    artifact="§VIII — direct SpMV vs CRCW-PRAM-simulated SpMV",
+    grid={"n": [8, 16, 32]},
+    quick={"n": [8]},
+)
+def _suite_point(params, rng):
+    n = params["n"]
+    A = random_coo(n, 3 * n, rng)
+    x = rng.standard_normal(n)
+    want = A.multiply_dense(x)
+    m_d = SpatialMachine()
+    y_d = spmv_spatial(m_d, A, x)
+    m_p = SpatialMachine()
+    y_p = spmv_pram_simulated(m_p, A, x)
+    assert np.allclose(y_d.payload, want) and np.allclose(y_p, want)
+    return point_from_machine(
+        m_d, pram_depth=m_p.stats.max_depth, pram_energy=m_p.stats.energy
+    )

@@ -63,3 +63,26 @@ def test_table1_scan(benchmark, report, rng):
     assert abs(fits["scan/down_sweep"].exponent - 1.0) < 0.1
     # depth exactly 2 log4 n
     assert all(r["depth"] == r["2log4(n)"] for r in rows)
+
+
+# -- repro.runner suite ----------------------------------------------------
+from repro.runner import point_from_machine, register_suite
+
+
+@register_suite(
+    "table1_scan",
+    artifact="Table I row 1 — parallel scan: Θ(n) E, O(log n) D, Θ(√n) distance",
+    grid={"n": [64, 256, 1024, 4096, 16384, 65536]},
+    quick={"n": [64, 256]},
+)
+def _suite_point(params, rng):
+    n = params["n"]
+    side = int(np.sqrt(n))
+    region = Region(0, 0, side, side)
+    x = rng.random(n)
+    m = SpatialMachine()
+    res = scan(m, m.place_zorder(x, region), region)
+    assert np.allclose(res.inclusive.payload, np.cumsum(x))
+    return point_from_machine(
+        m, out_depth=res.inclusive.max_depth(), out_distance=res.inclusive.max_dist()
+    )

@@ -63,3 +63,25 @@ def test_table1_selection(benchmark, report, rng):
     assert abs(e_fit.exponent - 1.0) < 0.2
     assert all(r["iters(max)"] <= 8 for r in rows)  # O(1) iterations
     assert all(r["depth(max)"] <= 8 * r["log2(n)^2"] for r in rows)
+
+
+# -- repro.runner suite ----------------------------------------------------
+from repro.runner import point_from_machine, register_suite
+
+
+@register_suite(
+    "table1_selection",
+    artifact="Table I row 3 — rank selection: Θ(n) E, O(log² n) D w.h.p.",
+    grid={"n": [64, 256, 1024, 4096, 16384]},
+    quick={"n": [64, 256]},
+    seeds=(0, 1, 2),
+)
+def _suite_point(params, rng):
+    n = params["n"]
+    side = int(np.sqrt(n))
+    region = Region(0, 0, side, side)
+    x = rng.standard_normal(n)
+    m = SpatialMachine()
+    res = rank_select(m, m.place_zorder(x, region), region, n // 2, rng)
+    assert res.value == np.sort(x)[n // 2 - 1]
+    return point_from_machine(m, iterations=res.iterations, fell_back=int(res.fell_back))

@@ -60,3 +60,22 @@ def test_table1_sort(benchmark, report, rng):
         assert r["depth"] <= r["log2(n)^3"]
     # the E/n^1.5 normalization flattens out at the tail (Θ, not ω)
     assert rows[-1]["E/n^1.5"] < rows[-2]["E/n^1.5"] * 1.25
+
+
+# -- repro.runner suite ----------------------------------------------------
+from repro.runner import point_from_machine, register_suite
+
+
+@register_suite(
+    "table1_sort",
+    artifact="Table I row 2 — 2D mergesort: Θ(n^1.5) E, O(log³ n) D, Θ(√n) distance",
+    grid={"side": [8, 16, 32, 64]},
+    quick={"side": [8, 16]},
+)
+def _suite_point(params, rng):
+    side = params["side"]
+    x = rng.random(side * side)
+    m = SpatialMachine()
+    out = sort_values(m, x, Region(0, 0, side, side))
+    assert np.allclose(out.payload[:, 0], np.sort(x))
+    return point_from_machine(m, out_depth=out.max_depth(), out_distance=out.max_dist())

@@ -89,3 +89,23 @@ def test_table1_spmv_matrix_kinds(benchmark, report, rng):
     # all kinds stay in the sort-dominated regime (comparable E/m^1.5)
     norms = [r["E/m^1.5"] for r in rows]
     assert max(norms) / min(norms) < 8
+
+
+# -- repro.runner suite ----------------------------------------------------
+from repro.runner import point_from_machine, register_suite
+
+
+@register_suite(
+    "table1_spmv",
+    artifact="Table I row 4 — SpMV (m=Θ(n)): Θ(m^1.5) E, O(log³ n) D",
+    grid={"n": [16, 32, 64, 128, 256]},
+    quick={"n": [16, 32]},
+)
+def _suite_point(params, rng):
+    n = params["n"]
+    A = random_coo(n, 4 * n, rng)
+    x = rng.standard_normal(n)
+    m = SpatialMachine()
+    y = spmv_spatial(m, A, x)
+    assert np.allclose(y.payload, A.multiply_dense(x))
+    return point_from_machine(m, nnz=A.nnz)

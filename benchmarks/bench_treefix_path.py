@@ -56,3 +56,22 @@ def test_treefix_path(benchmark, report, rng):
     assert max(scan_series) < 8  # linear energy, flat per slot
     assert tree_series[-1] > tree_series[0] * 1.4  # the log factor grows
     report("the scan layout removes the Θ(log n) treefix energy factor on paths.")
+
+
+# -- repro.runner suite ----------------------------------------------------
+from repro.runner import point_from_machine, register_suite
+
+
+@register_suite(
+    "treefix_path",
+    artifact="§II.A — path treefix in Θ(n) energy via the scan",
+    grid={"nodes": [128, 512, 2048]},
+    quick={"nodes": [128]},
+)
+def _suite_point(params, rng):
+    n = params["nodes"]
+    parents = np.concatenate([[0], np.arange(n - 1)])
+    m = SpatialMachine()
+    tree = SpatialTree(m, parents)
+    tree.rootfix_sum(rng.random(n))
+    return point_from_machine(m, tour_slots=2 * n)

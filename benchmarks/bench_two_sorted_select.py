@@ -72,3 +72,28 @@ def test_two_sorted_select(benchmark, report, rng):
     # sharing the sample sort makes the multiselect strictly cheaper than
     # three independent selections of the same ranks
     assert all(r["multi/separate"] < 1.0 for r in rows)
+
+
+# -- repro.runner suite ----------------------------------------------------
+from repro.runner import point_from_machine, register_suite
+
+
+@register_suite(
+    "two_sorted_select",
+    artifact="Lemma V.6 — rank selection in two sorted arrays: O(n^1.25) E",
+    grid={"half": [64, 256, 1024, 4096]},
+    quick={"half": [64]},
+)
+def _suite_point(params, rng):
+    half = params["half"]
+    a = np.sort(rng.standard_normal(half))
+    b = np.sort(rng.standard_normal(half))
+    m = SpatialMachine()
+    A = m.place_rowmajor(as_sort_payload(a), Region(0, 0, 64, 64))
+    B = m.place_rowmajor(as_sort_payload(b), Region(0, 64, 64, 64))
+    s = select_rank_two_sorted(m, A, B, half)
+    merged = np.sort(np.concatenate([a, b]))
+    assert np.allclose(
+        np.sort(np.concatenate([a[: s.cut_a], b[: s.cut_b]])), merged[:half]
+    )
+    return point_from_machine(m, sel_depth=s.depth, sel_dist=s.dist)

@@ -16,6 +16,18 @@ import pytest
 
 REPORT_PATH = pathlib.Path(__file__).resolve().parent.parent / "benchmark_report.txt"
 
+DEFAULT_SEED = 20250705
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-seed",
+        type=int,
+        default=DEFAULT_SEED,
+        help="seed for the shared rng fixture (every bench draws its data "
+        "from an explicit np.random.Generator seeded here)",
+    )
+
 
 @pytest.fixture(scope="session", autouse=True)
 def _fresh_report():
@@ -38,5 +50,5 @@ def report(capsys):
 
 
 @pytest.fixture
-def rng() -> np.random.Generator:
-    return np.random.default_rng(20250705)
+def rng(request) -> np.random.Generator:
+    return np.random.default_rng(request.config.getoption("--bench-seed"))

@@ -72,7 +72,7 @@ from .pram import PRAMProgram, run_reference, simulate, simulate_crcw, simulate_
 from .spmv import COOMatrix, plan_spmv, random_coo, spmv_pram_simulated, spmv_spatial
 from .trees import SpatialTree
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ADD",

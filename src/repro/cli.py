@@ -7,6 +7,9 @@
     python -m repro table1 --quick
     python -m repro report --algo sort --per-phase
     python -m repro trace --algo scan --out scan.jsonl
+    python -m repro bench list
+    python -m repro bench run --suite table1_sort --jobs 4
+    python -m repro bench compare --baseline benchmarks/baselines/quick
 
 Each subcommand runs the primitive on the Spatial Computer simulator and
 prints the measured energy / depth / distance next to the paper's bound.
@@ -221,8 +224,12 @@ def _cmd_trace(args) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from . import __version__
+    from .runner.cli import add_bench_parser
+
     p = argparse.ArgumentParser(prog="repro", description=__doc__,
                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    p.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
     sub = p.add_subparsers(dest="command", required=True)
 
     def common(sp, default_n=1024):
@@ -283,6 +290,8 @@ def build_parser() -> argparse.ArgumentParser:
     algo_common(sp)
     sp.add_argument("--out", default="", help="output path (default: stdout)")
     sp.set_defaults(func=_cmd_trace)
+
+    add_bench_parser(sub)
     return p
 
 

@@ -1,0 +1,72 @@
+"""repro.runner — parallel experiment execution for the benchmark harness.
+
+The subsystem turns the ad-hoc ``benchmarks/bench_*.py`` scripts into a
+declarative, fault-tolerant, cached sweep runner:
+
+* :mod:`repro.runner.spec` — :class:`ExperimentSpec` / :class:`SweepGrid`
+  descriptions of (suite, sizes, seeds, repeats) with canonical hashing;
+* :mod:`repro.runner.registry` — the :func:`register_suite` decorator every
+  bench file uses, plus suite discovery;
+* :mod:`repro.runner.executor` — a process-pool executor with per-task
+  timeouts, bounded crash retry with backoff, and graceful degradation;
+* :mod:`repro.runner.cache` — a content-addressed on-disk result cache keyed
+  by (spec hash, code version);
+* :mod:`repro.runner.result` — the unified ``BenchResult`` JSON schema
+  (``BENCH_<suite>.json``);
+* :mod:`repro.runner.compare` — the energy/depth regression gate behind
+  ``repro bench compare``.
+
+See ``docs/BENCHMARKS.md`` for the full workflow.
+"""
+
+from .cache import DEFAULT_CACHE_DIR, ResultCache, code_version
+from .compare import GATED_METRICS, CompareReport, collect_results, compare_results
+from .executor import RunConfig, run_points
+from .registry import (
+    REGISTRY,
+    Suite,
+    default_bench_dir,
+    load_suites,
+    point_from_machine,
+    register_suite,
+)
+from .result import (
+    METRIC_NAMES,
+    SCHEMA_VERSION,
+    PointResult,
+    build_bench_result,
+    load_bench_result,
+    validate_bench_result,
+    write_bench_result,
+)
+from .spec import ExperimentSpec, PointSpec, SweepGrid, canonical_json, spec_hash
+
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "ResultCache",
+    "code_version",
+    "GATED_METRICS",
+    "CompareReport",
+    "collect_results",
+    "compare_results",
+    "RunConfig",
+    "run_points",
+    "REGISTRY",
+    "Suite",
+    "default_bench_dir",
+    "load_suites",
+    "point_from_machine",
+    "register_suite",
+    "METRIC_NAMES",
+    "SCHEMA_VERSION",
+    "PointResult",
+    "build_bench_result",
+    "load_bench_result",
+    "validate_bench_result",
+    "write_bench_result",
+    "ExperimentSpec",
+    "PointSpec",
+    "SweepGrid",
+    "canonical_json",
+    "spec_hash",
+]

@@ -1,0 +1,93 @@
+"""Content-addressed on-disk result cache.
+
+A cache entry is one completed :class:`~repro.runner.result.PointResult`,
+stored under ``<root>/<k[:2]>/<k>.json`` where ``k`` is the sha256 of the
+point's canonical identity **plus the code version**:
+
+    key = sha256({"point": point.identity(), "code_version": <hash of sources>})
+
+Re-running an unchanged sweep therefore only reads JSON files; changing the
+spec (different sizes/seeds/params) or any source file under ``src/repro``
+(or the suite's own bench file) changes the key and transparently invalidates
+exactly the affected entries.  Only ``status == "ok"`` points are cached —
+failures re-execute on the next run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from .result import PointResult
+from .spec import PointSpec, spec_hash
+
+__all__ = ["ResultCache", "code_version", "DEFAULT_CACHE_DIR"]
+
+DEFAULT_CACHE_DIR = ".bench_cache"
+
+
+def code_version(extra_paths: tuple[str, ...] = ()) -> str:
+    """Hash of every ``*.py`` under ``src/repro`` plus any extra files.
+
+    Content-only (no mtimes), so the version is stable across checkouts and
+    machines for identical sources.
+    """
+    pkg_root = Path(__file__).resolve().parents[1]
+    h = hashlib.sha256()
+    files = sorted(pkg_root.rglob("*.py"))
+    for extra in sorted(extra_paths):
+        p = Path(extra)
+        if p.is_file():
+            files.append(p)
+    for f in files:
+        h.update(str(f.name).encode())
+        h.update(f.read_bytes())
+    return h.hexdigest()
+
+
+class ResultCache:
+    """Filesystem-backed point-result cache (one JSON file per entry)."""
+
+    def __init__(self, root: str | Path = DEFAULT_CACHE_DIR) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    # -- keys -----------------------------------------------------------
+    @staticmethod
+    def key_for(point: PointSpec, code_ver: str) -> str:
+        return spec_hash({"point": point.identity(), "code_version": code_ver})
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    # -- access ---------------------------------------------------------
+    def get(self, key: str) -> PointResult | None:
+        path = self.path_for(key)
+        try:
+            with open(path) as fh:
+                doc = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        try:
+            res = PointResult.from_dict(doc)
+        except (KeyError, TypeError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        res.cached = True
+        return res
+
+    def put(self, key: str, result: PointResult) -> None:
+        if result.status != "ok":
+            return
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        doc = result.as_dict()
+        doc["cached"] = False  # stored form; flagged True on retrieval
+        tmp = path.with_suffix(".tmp")
+        with open(tmp, "w") as fh:
+            json.dump(doc, fh)
+        tmp.replace(path)

@@ -1,0 +1,167 @@
+"""``repro bench`` — the experiment-runner command group.
+
+    repro bench list                                 # registered suites
+    repro bench run --suite table1_sort --jobs 4     # one suite, 4 workers
+    repro bench run --quick --jobs 2                 # CI smoke: all suites, tiny grids
+    repro bench compare --baseline benchmarks/baselines/quick --current bench_out
+
+``run`` writes one schema-valid ``BENCH_<suite>.json`` per suite and exits
+non-zero if any point failed; ``compare`` exits non-zero when a gated metric
+(energy, max_depth) regresses beyond the threshold against the baseline.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from .cache import DEFAULT_CACHE_DIR, ResultCache, code_version
+from .compare import GATED_METRICS, collect_results, compare_results
+from .executor import RunConfig, run_points
+from .registry import Suite, load_suites
+from .result import build_bench_result, validate_bench_result, write_bench_result
+
+__all__ = ["add_bench_parser"]
+
+
+def _cmd_list(args) -> int:
+    suites = load_suites(args.bench_dir or None)
+    width = max((len(n) for n in suites), default=10)
+    print(f"{len(suites)} registered suite(s):")
+    for name in sorted(suites):
+        s = suites[name]
+        n_full = len(s.grid.points(name))
+        n_quick = len(s.quick.points(name))
+        print(
+            f"  {name:<{width}}  points={n_full:<3} quick={n_quick:<2} "
+            f"{s.artifact or '(no artifact note)'}"
+        )
+    return 0
+
+
+def _cmd_run(args) -> int:
+    suites = load_suites(args.bench_dir or None)
+    if args.suite:
+        missing = [n for n in args.suite if n not in suites]
+        if missing:
+            known = ", ".join(sorted(suites))
+            raise SystemExit(f"unknown suite(s) {missing}; known: {known}")
+        selected = [suites[n] for n in args.suite]
+    else:
+        selected = [suites[n] for n in sorted(suites)]
+
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    config = RunConfig(
+        jobs=args.jobs,
+        timeout=args.timeout,
+        retries=args.retries,
+        backoff=args.backoff,
+        use_cache=not args.no_cache,
+    )
+    out_dir = Path(args.out_dir)
+    bench_dir = Path(args.bench_dir) if args.bench_dir else None
+    log = (lambda msg: print(msg, flush=True)) if not args.quiet else None
+
+    any_failed = False
+    for suite in selected:
+        spec = suite.spec(quick=args.quick, seed=args.seed)
+        points = spec.points()
+        code_ver = code_version(extra_paths=_suite_sources(suite, bench_dir))
+        print(f"{suite.name}: {len(points)} point(s), jobs={config.jobs}", flush=True)
+        results = run_points(
+            suite,
+            points,
+            config,
+            cache=cache,
+            code_ver=code_ver,
+            bench_dir=bench_dir if bench_dir is not None else "",
+            log=log,
+        )
+        doc = build_bench_result(
+            suite.name,
+            suite.artifact,
+            spec.as_dict(),
+            code_ver,
+            {
+                "jobs": config.jobs,
+                "timeout": config.timeout,
+                "retries": config.retries,
+            },
+            results,
+        )
+        problems = validate_bench_result(doc)
+        if problems:  # pragma: no cover - internal invariant
+            raise SystemExit(f"internal error: invalid BenchResult: {problems}")
+        path = write_bench_result(out_dir / f"BENCH_{suite.name}.json", doc)
+        s = doc["summary"]
+        print(
+            f"{suite.name}: ok={s['ok']} failed={s['failed']} cached={s['cached']} "
+            f"wall={s['wall_time_s']:.2f}s -> {path}",
+            flush=True,
+        )
+        any_failed = any_failed or s["failed"] > 0
+    return 1 if any_failed else 0
+
+
+def _suite_sources(suite: Suite, bench_dir: Path | None) -> tuple[str, ...]:
+    mod = sys.modules.get(suite.source)
+    src = getattr(mod, "__file__", None)
+    return (src,) if src else ()
+
+
+def _cmd_compare(args) -> int:
+    baseline = collect_results(args.baseline)
+    current = collect_results(args.current)
+    metrics = tuple(args.metric) if args.metric else GATED_METRICS
+    rep = compare_results(
+        baseline, current, threshold=args.threshold, metrics=metrics
+    )
+    print(rep.render())
+    return 0 if rep.passed else 1
+
+
+def add_bench_parser(sub) -> None:
+    """Attach the ``bench`` command group to the main CLI's subparsers."""
+    bench = sub.add_parser(
+        "bench", help="parallel experiment runner: list/run/compare benchmark suites"
+    )
+    bsub = bench.add_subparsers(dest="bench_command", required=True)
+
+    sp = bsub.add_parser("list", help="list registered benchmark suites")
+    sp.add_argument("--bench-dir", default="", help="benchmarks directory (default: repo's)")
+    sp.set_defaults(func=_cmd_list)
+
+    sp = bsub.add_parser("run", help="run suites in parallel and write BENCH_<suite>.json")
+    sp.add_argument("--suite", action="append", default=None,
+                    help="suite to run (repeatable; default: all registered)")
+    sp.add_argument("--quick", action="store_true",
+                    help="use each suite's tiny quick grid (CI smoke)")
+    sp.add_argument("--jobs", type=int, default=2, help="parallel worker processes")
+    sp.add_argument("--seed", type=int, default=None,
+                    help="override the sweep's seed list with this single seed")
+    sp.add_argument("--timeout", type=float, default=300.0,
+                    help="per-point timeout in seconds")
+    sp.add_argument("--retries", type=int, default=2,
+                    help="retries per point after a worker crash")
+    sp.add_argument("--backoff", type=float, default=0.25,
+                    help="base retry backoff in seconds (doubles per attempt)")
+    sp.add_argument("--no-cache", action="store_true", help="bypass the result cache")
+    sp.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                    help="result-cache directory")
+    sp.add_argument("--out-dir", default=".", help="where BENCH_<suite>.json files go")
+    sp.add_argument("--bench-dir", default="", help="benchmarks directory (default: repo's)")
+    sp.add_argument("--quiet", action="store_true", help="suppress per-point progress")
+    sp.set_defaults(func=_cmd_run)
+
+    sp = bsub.add_parser(
+        "compare", help="gate current results against a baseline (non-zero on regression)"
+    )
+    sp.add_argument("--baseline", required=True,
+                    help="baseline BENCH_*.json file or directory")
+    sp.add_argument("--current", default=".",
+                    help="current BENCH_*.json file or directory (default: cwd)")
+    sp.add_argument("--threshold", type=float, default=0.1,
+                    help="relative regression tolerance (default 10%%)")
+    sp.add_argument("--metric", action="append", default=None,
+                    help=f"gated metrics (repeatable; default: {', '.join(GATED_METRICS)})")
+    sp.set_defaults(func=_cmd_compare)

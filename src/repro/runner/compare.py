@@ -1,0 +1,133 @@
+"""The ``repro bench compare`` regression gate.
+
+Compares current ``BENCH_<suite>.json`` documents against a baseline (a file
+or a directory of such files).  Points are matched by canonical identity
+``(suite, params, seed, repeat)``; for every matched pair the gated metrics
+(energy and max_depth by default — the model counters are deterministic
+given the seed) must not exceed ``baseline * (1 + threshold)``.  Also gated:
+a point that was ok in the baseline but failed or disappeared in the current
+run.  Improvements are reported but never fail the gate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .result import load_bench_result
+from .spec import canonical_json
+
+__all__ = ["GATED_METRICS", "CompareReport", "collect_results", "compare_results"]
+
+GATED_METRICS = ("energy", "max_depth")
+
+
+@dataclass
+class CompareReport:
+    """Outcome of one baseline-vs-current comparison."""
+
+    regressions: list[str] = field(default_factory=list)
+    improvements: list[str] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+    compared_points: int = 0
+
+    @property
+    def passed(self) -> bool:
+        return not self.regressions
+
+    def render(self) -> str:
+        lines = [f"compared {self.compared_points} point(s)"]
+        for n in self.notes:
+            lines.append(f"  note: {n}")
+        for i in self.improvements:
+            lines.append(f"  improved: {i}")
+        for r in self.regressions:
+            lines.append(f"  REGRESSION: {r}")
+        lines.append(
+            "PASS: no regressions"
+            if self.passed
+            else f"FAIL: {len(self.regressions)} regression(s)"
+        )
+        return "\n".join(lines)
+
+
+def collect_results(path: str | Path) -> dict[str, dict]:
+    """Load BenchResult docs from a file or a directory of ``BENCH_*.json``."""
+    p = Path(path)
+    docs: dict[str, dict] = {}
+    if p.is_dir():
+        files = sorted(p.glob("BENCH_*.json"))
+    elif p.is_file():
+        files = [p]
+    else:
+        raise FileNotFoundError(f"no results at {p}")
+    for f in files:
+        doc = load_bench_result(f)
+        name = doc.get("suite") or f.stem.removeprefix("BENCH_")
+        docs[name] = doc
+    return docs
+
+
+def _point_key(point: dict) -> str:
+    return canonical_json(
+        {
+            "params": point.get("params", {}),
+            "seed": point.get("seed", 0),
+            "repeat": point.get("repeat", 0),
+        }
+    )
+
+
+def _point_index(doc: dict) -> dict[str, dict]:
+    return {_point_key(p): p for p in doc.get("points", [])}
+
+
+def compare_results(
+    baseline: dict[str, dict],
+    current: dict[str, dict],
+    *,
+    threshold: float = 0.1,
+    metrics: tuple[str, ...] = GATED_METRICS,
+) -> CompareReport:
+    rep = CompareReport()
+    for suite_name in sorted(baseline):
+        base_doc = baseline[suite_name]
+        cur_doc = current.get(suite_name)
+        if cur_doc is None:
+            rep.regressions.append(f"{suite_name}: suite missing from current results")
+            continue
+        cur_points = _point_index(cur_doc)
+        for key, bp in _point_index(base_doc).items():
+            if bp.get("status") != "ok":
+                rep.notes.append(f"{suite_name} {bp.get('params')}: baseline point failed; skipped")
+                continue
+            cp = cur_points.get(key)
+            label = f"{suite_name} {bp.get('params')} seed={bp.get('seed')}"
+            if cp is None:
+                rep.regressions.append(f"{label}: point missing from current results")
+                continue
+            if cp.get("status") != "ok":
+                err = (cp.get("error") or "?").splitlines()[-1][:100]
+                rep.regressions.append(f"{label}: point failed in current run ({err})")
+                continue
+            rep.compared_points += 1
+            bm, cm = bp.get("metrics") or {}, cp.get("metrics") or {}
+            for name in metrics:
+                if name not in bm:
+                    continue
+                base_v, cur_v = float(bm[name]), float(cm.get(name, float("inf")))
+                if cur_v > base_v * (1.0 + threshold) + 1e-9:
+                    pct = 100.0 * (cur_v - base_v) / base_v if base_v else float("inf")
+                    rep.regressions.append(
+                        f"{label}: {name} {base_v:g} -> {cur_v:g} (+{pct:.1f}% > "
+                        f"{threshold:.0%} threshold)"
+                    )
+                elif cur_v < base_v * (1.0 - threshold) - 1e-9:
+                    pct = 100.0 * (base_v - cur_v) / base_v
+                    rep.improvements.append(
+                        f"{label}: {name} {base_v:g} -> {cur_v:g} (-{pct:.1f}%)"
+                    )
+    extra = sorted(set(current) - set(baseline))
+    if extra:
+        rep.notes.append(f"suites only in current (not gated): {', '.join(extra)}")
+    return rep

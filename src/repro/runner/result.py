@@ -1,0 +1,192 @@
+"""The unified ``BenchResult`` JSON schema.
+
+One ``BENCH_<suite>.json`` document per suite run:
+
+.. code-block:: json
+
+    {
+      "schema_version": 1,
+      "suite": "table1_sort",
+      "artifact": "Table I row 2 ...",
+      "code_version": "1f2e3d...",
+      "generated_at": "2026-08-06T12:00:00+00:00",
+      "spec": {"suite": ..., "grid": {...}, "quick": false},
+      "config": {"jobs": 4, "timeout": 120.0, "retries": 2},
+      "points": [ { ...PointResult... } ],
+      "summary": {"total": 4, "ok": 4, "failed": 0, "cached": 0, "wall_time_s": 3.2}
+    }
+
+Every point carries the flat :class:`MachineStats` counters (energy,
+messages, rounds, max_depth, max_distance), the flattened per-phase
+``CostTree`` rows, the wall-clock time, and a status — a failed or timed-out
+point is recorded (``status: "failed"``) instead of aborting the sweep.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "METRIC_NAMES",
+    "PointResult",
+    "build_bench_result",
+    "validate_bench_result",
+    "write_bench_result",
+    "load_bench_result",
+]
+
+SCHEMA_VERSION = 1
+
+METRIC_NAMES = ("energy", "messages", "rounds", "max_depth", "max_distance")
+
+
+@dataclass
+class PointResult:
+    """Outcome of one sweep point (one worker task, or one cache hit)."""
+
+    params: dict
+    seed: int
+    repeat: int
+    status: str  # "ok" | "failed"
+    cached: bool = False
+    attempts: int = 1
+    wall_time_s: float = 0.0
+    error: str | None = None
+    metrics: dict | None = None
+    phases: list = field(default_factory=list)
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def as_dict(self) -> dict:
+        return {
+            "params": dict(self.params),
+            "seed": self.seed,
+            "repeat": self.repeat,
+            "status": self.status,
+            "cached": self.cached,
+            "attempts": self.attempts,
+            "wall_time_s": round(self.wall_time_s, 6),
+            "error": self.error,
+            "metrics": dict(self.metrics) if self.metrics is not None else None,
+            "phases": list(self.phases),
+            "extra": dict(self.extra),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "PointResult":
+        return cls(
+            params=dict(d["params"]),
+            seed=int(d["seed"]),
+            repeat=int(d.get("repeat", 0)),
+            status=d["status"],
+            cached=bool(d.get("cached", False)),
+            attempts=int(d.get("attempts", 1)),
+            wall_time_s=float(d.get("wall_time_s", 0.0)),
+            error=d.get("error"),
+            metrics=d.get("metrics"),
+            phases=list(d.get("phases", [])),
+            extra=dict(d.get("extra", {})),
+        )
+
+
+def build_bench_result(
+    suite_name: str,
+    artifact: str,
+    spec_dict: dict,
+    code_version: str,
+    config: dict,
+    points: list[PointResult],
+) -> dict:
+    total_wall = sum(p.wall_time_s for p in points)
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "suite": suite_name,
+        "artifact": artifact,
+        "code_version": code_version,
+        "generated_at": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "spec": spec_dict,
+        "config": config,
+        "points": [p.as_dict() for p in points],
+        "summary": {
+            "total": len(points),
+            "ok": sum(p.ok for p in points),
+            "failed": sum(not p.ok for p in points),
+            "cached": sum(p.cached for p in points),
+            "wall_time_s": round(total_wall, 6),
+        },
+    }
+
+
+def validate_bench_result(doc: Any) -> list[str]:
+    """Return schema problems (an empty list means the document is valid)."""
+    errs: list[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not a JSON object"]
+    if doc.get("schema_version") != SCHEMA_VERSION:
+        errs.append(f"schema_version must be {SCHEMA_VERSION}")
+    for key in ("suite", "code_version", "generated_at"):
+        if not isinstance(doc.get(key), str) or not doc.get(key):
+            errs.append(f"missing/empty string field {key!r}")
+    if not isinstance(doc.get("spec"), dict):
+        errs.append("missing object field 'spec'")
+    points = doc.get("points")
+    if not isinstance(points, list):
+        return errs + ["missing array field 'points'"]
+    for i, p in enumerate(points):
+        where = f"points[{i}]"
+        if not isinstance(p, dict):
+            errs.append(f"{where} is not an object")
+            continue
+        if p.get("status") not in ("ok", "failed"):
+            errs.append(f"{where}.status must be 'ok' or 'failed'")
+        if not isinstance(p.get("params"), dict):
+            errs.append(f"{where}.params must be an object")
+        if not isinstance(p.get("seed"), int):
+            errs.append(f"{where}.seed must be an int")
+        if p.get("status") == "ok":
+            m = p.get("metrics")
+            if not isinstance(m, dict):
+                errs.append(f"{where}.metrics must be an object on ok points")
+            else:
+                for name in METRIC_NAMES:
+                    if not isinstance(m.get(name), (int, float)):
+                        errs.append(f"{where}.metrics.{name} missing or non-numeric")
+            if not isinstance(p.get("phases"), list):
+                errs.append(f"{where}.phases must be an array")
+        else:
+            if not p.get("error"):
+                errs.append(f"{where} failed without an error message")
+    summary = doc.get("summary")
+    if not isinstance(summary, dict):
+        errs.append("missing object field 'summary'")
+    else:
+        if summary.get("total") != len(points):
+            errs.append("summary.total disagrees with len(points)")
+        n_ok = sum(1 for p in points if isinstance(p, dict) and p.get("status") == "ok")
+        if summary.get("ok") != n_ok:
+            errs.append("summary.ok disagrees with the points")
+    return errs
+
+
+def write_bench_result(path: str | Path, doc: dict) -> Path:
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    with open(p, "w") as fh:
+        json.dump(doc, fh, indent=1, sort_keys=False)
+        fh.write("\n")
+    return p
+
+
+def load_bench_result(path: str | Path) -> dict:
+    with open(path) as fh:
+        return json.load(fh)

@@ -1,0 +1,117 @@
+"""Declarative experiment descriptions for the benchmark runner.
+
+An :class:`ExperimentSpec` names a registered suite and the sweep to run; a
+:class:`SweepGrid` expands parameter lists into concrete :class:`PointSpec`
+points (the cartesian product of the parameter axes, crossed with seeds and
+repeats).  Every spec is JSON-serializable and canonically hashable: the
+content-addressed result cache and the ``repro bench compare`` gate both key
+on :func:`spec_hash` of the canonical form, so two runs describing the same
+work always agree on identity regardless of dict ordering.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
+
+__all__ = [
+    "canonical_json",
+    "spec_hash",
+    "PointSpec",
+    "SweepGrid",
+    "ExperimentSpec",
+]
+
+
+def canonical_json(obj: Any) -> str:
+    """Deterministic JSON: sorted keys, no whitespace, no NaN escapes."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"), allow_nan=False)
+
+
+def spec_hash(obj: Any) -> str:
+    """sha256 hex digest of an object's canonical JSON form."""
+    return hashlib.sha256(canonical_json(obj).encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class PointSpec:
+    """One concrete unit of work: a suite's point function at fixed inputs."""
+
+    suite: str
+    params: Mapping[str, Any]
+    seed: int = 0
+    repeat: int = 0
+
+    def identity(self) -> dict:
+        """The matching key used by the cache and the compare gate."""
+        return {
+            "suite": self.suite,
+            "params": dict(self.params),
+            "seed": self.seed,
+            "repeat": self.repeat,
+        }
+
+    def label(self) -> str:
+        parts = [f"{k}={v}" for k, v in sorted(self.params.items())]
+        parts.append(f"seed={self.seed}")
+        if self.repeat:
+            parts.append(f"rep={self.repeat}")
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class SweepGrid:
+    """Parameter axes to sweep.
+
+    ``params`` is either a mapping ``{name: [values...]}`` (expanded as the
+    cartesian product, axes in sorted-name order) or an explicit sequence of
+    parameter dicts (for sweeps whose points are not a full cross product,
+    e.g. a mode that only makes sense at small sizes).
+    """
+
+    params: Any
+    seeds: tuple[int, ...] = (0,)
+    repeats: int = 1
+
+    def param_sets(self) -> list[dict]:
+        if isinstance(self.params, Mapping):
+            names = sorted(self.params)
+            axes = [list(self.params[k]) for k in names]
+            return [dict(zip(names, combo)) for combo in itertools.product(*axes)]
+        return [dict(p) for p in self.params]
+
+    def points(self, suite: str) -> list[PointSpec]:
+        out = []
+        for ps in self.param_sets():
+            for seed in self.seeds:
+                for rep in range(self.repeats):
+                    out.append(PointSpec(suite=suite, params=ps, seed=seed, repeat=rep))
+        return out
+
+    def as_dict(self) -> dict:
+        if isinstance(self.params, Mapping):
+            params = {k: list(v) for k, v in sorted(self.params.items())}
+        else:
+            params = [dict(p) for p in self.params]
+        return {"params": params, "seeds": list(self.seeds), "repeats": self.repeats}
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A suite plus the sweep to run over it (the unit ``repro bench run`` executes)."""
+
+    suite: str
+    grid: SweepGrid
+    quick: bool = False
+
+    def points(self) -> list[PointSpec]:
+        return self.grid.points(self.suite)
+
+    def as_dict(self) -> dict:
+        return {"suite": self.suite, "grid": self.grid.as_dict(), "quick": self.quick}
+
+    def hash(self) -> str:
+        return spec_hash(self.as_dict())

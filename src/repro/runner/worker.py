@@ -1,0 +1,43 @@
+"""Child-process entry point for the sweep executor.
+
+Workers never receive function objects: a task is ``(bench_dir, suite name,
+params, seed)``, and the child re-resolves the suite through
+:func:`~repro.runner.registry.load_suites` (a no-op after fork, a fresh
+import under spawn).  The result — or a formatted traceback — travels back
+over a one-shot pipe; a worker that dies without sending anything is treated
+as a crash by the parent and retried.
+"""
+
+from __future__ import annotations
+
+import traceback
+
+__all__ = ["worker_entry"]
+
+
+def worker_entry(conn, bench_dir: str, suite_name: str, params: dict, seed: int) -> None:
+    try:
+        import numpy as np
+
+        from .registry import load_suites
+
+        suites = load_suites(bench_dir or None)
+        suite = suites[suite_name]
+        rng = np.random.default_rng(seed)
+        out = suite.fn(dict(params), rng)
+        if not isinstance(out, dict) or "metrics" not in out:
+            raise TypeError(
+                f"suite {suite_name!r} returned {type(out).__name__}, expected the "
+                "point_from_machine() dict"
+            )
+        conn.send(("ok", out))
+    except BaseException:
+        try:
+            conn.send(("error", traceback.format_exc(limit=30)))
+        except Exception:  # pragma: no cover - pipe already gone
+            pass
+    finally:
+        try:
+            conn.close()
+        except Exception:  # pragma: no cover
+            pass

@@ -1,0 +1,122 @@
+"""Tests for the ``repro bench compare`` regression gate."""
+
+import copy
+import json
+
+import pytest
+
+from repro.runner import collect_results, compare_results, write_bench_result
+
+
+def _doc(suite="s1", energy=1000, depth=20, status="ok", n=64):
+    point = {
+        "params": {"n": n},
+        "seed": 0,
+        "repeat": 0,
+        "status": status,
+        "cached": False,
+        "attempts": 1,
+        "wall_time_s": 0.1,
+        "error": None if status == "ok" else "boom",
+        "metrics": {
+            "energy": energy, "messages": 10, "rounds": 2,
+            "max_depth": depth, "max_distance": 30,
+        } if status == "ok" else None,
+        "phases": [],
+        "extra": {},
+    }
+    return {
+        "schema_version": 1,
+        "suite": suite,
+        "artifact": "",
+        "code_version": "v",
+        "generated_at": "2026-08-06T00:00:00+00:00",
+        "spec": {"suite": suite},
+        "config": {},
+        "points": [point],
+        "summary": {"total": 1, "ok": int(status == "ok"),
+                    "failed": int(status != "ok"), "cached": 0, "wall_time_s": 0.1},
+    }
+
+
+class TestCompare:
+    def test_identical_passes(self):
+        base = {"s1": _doc()}
+        rep = compare_results(base, copy.deepcopy(base))
+        assert rep.passed and rep.compared_points == 1
+
+    def test_energy_regression_fails(self):
+        rep = compare_results({"s1": _doc(energy=1000)},
+                              {"s1": _doc(energy=1200)}, threshold=0.1)
+        assert not rep.passed
+        assert "energy" in rep.regressions[0]
+
+    def test_regression_within_threshold_passes(self):
+        rep = compare_results({"s1": _doc(energy=1000)},
+                              {"s1": _doc(energy=1050)}, threshold=0.1)
+        assert rep.passed
+
+    def test_depth_regression_fails(self):
+        rep = compare_results({"s1": _doc(depth=20)}, {"s1": _doc(depth=30)})
+        assert not rep.passed
+        assert "max_depth" in rep.regressions[0]
+
+    def test_improvement_never_fails(self):
+        rep = compare_results({"s1": _doc(energy=1000)}, {"s1": _doc(energy=500)})
+        assert rep.passed
+        assert rep.improvements
+
+    def test_missing_suite_fails(self):
+        rep = compare_results({"s1": _doc()}, {})
+        assert not rep.passed and "missing" in rep.regressions[0]
+
+    def test_missing_point_fails(self):
+        cur = {"s1": _doc(n=128)}  # different params: the n=64 point vanished
+        rep = compare_results({"s1": _doc(n=64)}, cur)
+        assert not rep.passed
+
+    def test_point_now_failing_fails(self):
+        rep = compare_results({"s1": _doc()}, {"s1": _doc(status="failed")})
+        assert not rep.passed and "failed in current run" in rep.regressions[0]
+
+    def test_failed_baseline_point_skipped(self):
+        rep = compare_results({"s1": _doc(status="failed")}, {"s1": _doc()})
+        assert rep.passed and rep.compared_points == 0 and rep.notes
+
+    def test_extra_current_suite_is_note_only(self):
+        rep = compare_results({"s1": _doc()}, {"s1": _doc(), "s2": _doc(suite="s2")})
+        assert rep.passed
+        assert any("only in current" in n for n in rep.notes)
+
+    def test_render_mentions_verdict(self):
+        good = compare_results({"s1": _doc()}, {"s1": _doc()})
+        bad = compare_results({"s1": _doc(energy=10)}, {"s1": _doc(energy=100)})
+        assert "PASS" in good.render()
+        assert "FAIL" in bad.render() and "REGRESSION" in bad.render()
+
+
+class TestCollect:
+    def test_collect_from_dir_and_file(self, tmp_path):
+        write_bench_result(tmp_path / "BENCH_s1.json", _doc("s1"))
+        write_bench_result(tmp_path / "BENCH_s2.json", _doc("s2"))
+        from_dir = collect_results(tmp_path)
+        assert set(from_dir) == {"s1", "s2"}
+        from_file = collect_results(tmp_path / "BENCH_s1.json")
+        assert set(from_file) == {"s1"}
+
+    def test_collect_missing_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            collect_results(tmp_path / "nope")
+
+    def test_checked_in_quick_baseline_is_valid(self):
+        # the CI gate depends on this directory staying schema-valid
+        from pathlib import Path
+
+        from repro.runner import validate_bench_result
+
+        base_dir = Path(__file__).resolve().parent.parent / "benchmarks" / "baselines" / "quick"
+        docs = collect_results(base_dir)
+        assert len(docs) >= 24
+        for name, doc in docs.items():
+            assert validate_bench_result(doc) == [], name
+            assert doc["summary"]["failed"] == 0, name

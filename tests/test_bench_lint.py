@@ -1,0 +1,61 @@
+"""Seed-determinism audit (grep-based lint).
+
+Reproducibility contract: all randomness flows through an explicit
+``numpy.random.Generator`` handed in by the harness (the ``rng`` fixture, a
+suite point's seed, or a CLI ``--seed``).  Module-level / legacy global-state
+calls (``np.random.seed``, ``np.random.rand`` ...) would make sweep points
+depend on execution order, breaking the result cache and the compare gate.
+"""
+
+import re
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+# np.random.<attr> / numpy.random.<attr> uses that do NOT touch global state
+ALLOWED = {"default_rng", "Generator", "SeedSequence", "BitGenerator", "PCG64"}
+
+PATTERN = re.compile(r"\b(?:np|numpy)\.random\.(\w+)")
+
+
+def _violations(paths):
+    bad = []
+    for path in paths:
+        for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+            stripped = line.split("#", 1)[0]
+            for m in PATTERN.finditer(stripped):
+                if m.group(1) not in ALLOWED:
+                    bad.append(f"{path.relative_to(REPO)}:{lineno}: {line.strip()}")
+    return bad
+
+
+class TestSeedDeterminism:
+    def test_no_global_numpy_random_in_benchmarks(self):
+        files = sorted((REPO / "benchmarks").glob("*.py"))
+        assert files, "benchmarks directory went missing"
+        assert _violations(files) == []
+
+    def test_no_global_numpy_random_in_src(self):
+        files = sorted((REPO / "src").rglob("*.py"))
+        assert files
+        assert _violations(files) == []
+
+    def test_every_bench_file_registers_a_suite(self):
+        # each bench_*.py must participate in the runner registry
+        for path in sorted((REPO / "benchmarks").glob("bench_*.py")):
+            assert "register_suite(" in path.read_text(), (
+                f"{path.name} is not registered with repro.runner"
+            )
+
+    def test_every_suite_declares_seeds(self):
+        from repro.runner import load_suites
+
+        for name, suite in load_suites().items():
+            assert suite.grid.seeds, f"suite {name} has no seed axis"
+            for pt in suite.grid.points(name):
+                assert isinstance(pt.seed, int)
+
+    def test_rng_fixture_honors_bench_seed_option(self):
+        # the pytest-side harness takes --bench-seed (see benchmarks/conftest.py)
+        text = (REPO / "benchmarks" / "conftest.py").read_text()
+        assert "--bench-seed" in text

@@ -10,6 +10,30 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_version(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+    def test_bench_help(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["bench", "--help"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        for verb in ("list", "run", "compare"):
+            assert verb in out
+
+    def test_bench_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench"])
+
+    def test_bench_run_unknown_suite_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["bench", "run", "--suite", "no_such_suite"])
+
     def test_defaults(self):
         args = build_parser().parse_args(["scan"])
         assert args.n == 4096 and args.workload == "uniform"
@@ -51,3 +75,31 @@ class TestCommands:
     def test_non_pow4_rejected(self):
         with pytest.raises(SystemExit):
             main(["scan", "--n", "100"])
+
+
+class TestBenchCommands:
+    def test_bench_list(self, capsys):
+        assert main(["bench", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "table1_sort" in out and "registered suite(s)" in out
+
+    def test_bench_run_and_compare_roundtrip(self, tmp_path, capsys):
+        run_args = [
+            "bench", "run", "--suite", "table1_scan", "--quick", "--jobs", "2",
+            "--no-cache", "--quiet", "--out-dir", str(tmp_path / "out"),
+        ]
+        assert main(run_args) == 0
+        out_file = tmp_path / "out" / "BENCH_table1_scan.json"
+        assert out_file.exists()
+
+        from repro.runner import load_bench_result, validate_bench_result
+
+        doc = load_bench_result(out_file)
+        assert validate_bench_result(doc) == []
+        assert doc["summary"]["failed"] == 0
+        capsys.readouterr()
+
+        # identical vs itself: the gate passes
+        assert main(["bench", "compare", "--baseline", str(out_file),
+                     "--current", str(out_file)]) == 0
+        assert "PASS" in capsys.readouterr().out

@@ -1,0 +1,270 @@
+"""Tests for the repro.runner subsystem: specs, registry, cache, executor.
+
+The failure-path tests register synthetic suites from a temporary benchmarks
+directory so a crash/timeout/exception in a worker is exercised for real
+(separate processes), with tiny timeouts and backoffs to keep the suite fast.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.runner import (
+    ExperimentSpec,
+    PointResult,
+    PointSpec,
+    ResultCache,
+    RunConfig,
+    SweepGrid,
+    build_bench_result,
+    canonical_json,
+    load_suites,
+    run_points,
+    spec_hash,
+    validate_bench_result,
+)
+
+SYNTH_BENCH = textwrap.dedent(
+    """
+    import os
+    import time
+
+    from repro.runner import register_suite
+
+    def _metrics(n):
+        return {
+            "metrics": {"energy": n * 10, "messages": n, "rounds": 1,
+                        "max_depth": 2, "max_distance": 3},
+            "phases": [],
+            "extra": {"n2": n * n},
+        }
+
+    @register_suite("rt_ok", artifact="synthetic", grid={"n": [4, 8]},
+                    quick={"n": [4]})
+    def _ok(params, rng):
+        return _metrics(params["n"])
+
+    @register_suite("rt_crash", grid={"n": [4]})
+    def _crash(params, rng):
+        os._exit(13)
+
+    @register_suite("rt_sleep", grid={"n": [4]})
+    def _sleep(params, rng):
+        time.sleep(60)
+
+    @register_suite("rt_raise", grid={"n": [4]})
+    def _raise(params, rng):
+        raise ValueError("synthetic failure")
+
+    @register_suite("rt_mixed", grid={"n": [3, 4, 5]})
+    def _mixed(params, rng):
+        if params["n"] == 4:
+            raise ValueError("only the middle point fails")
+        return _metrics(params["n"])
+    """
+)
+
+
+@pytest.fixture
+def synth_dir(tmp_path):
+    (tmp_path / "bench_synth.py").write_text(SYNTH_BENCH)
+    return tmp_path
+
+
+@pytest.fixture
+def synth(synth_dir):
+    return load_suites(synth_dir)
+
+
+FAST = dict(timeout=10.0, retries=2, backoff=0.01)
+
+
+class TestSpec:
+    def test_grid_cross_product(self):
+        g = SweepGrid(params={"a": [1, 2], "b": ["x"]}, seeds=(0, 1), repeats=2)
+        pts = g.points("s")
+        assert len(pts) == 2 * 1 * 2 * 2
+        assert pts[0].identity() == {
+            "suite": "s", "params": {"a": 1, "b": "x"}, "seed": 0, "repeat": 0,
+        }
+
+    def test_grid_explicit_points(self):
+        g = SweepGrid(params=[{"p": 16, "mode": "erew"}, {"p": 16, "mode": "crcw"}])
+        assert [p.params["mode"] for p in g.points("s")] == ["erew", "crcw"]
+
+    def test_hash_is_order_insensitive(self):
+        a = spec_hash({"x": 1, "y": [1, 2]})
+        b = spec_hash({"y": [1, 2], "x": 1})
+        assert a == b
+        assert a != spec_hash({"x": 1, "y": [2, 1]})
+
+    def test_canonical_json_deterministic(self):
+        assert canonical_json({"b": 1, "a": 2}) == '{"a":2,"b":1}'
+
+    def test_experiment_spec_roundtrip(self):
+        spec = ExperimentSpec("s", SweepGrid(params={"n": [4]}))
+        assert spec.as_dict()["grid"]["params"] == {"n": [4]}
+        assert spec.hash() == spec.hash()
+
+
+class TestRegistry:
+    def test_real_benchmarks_all_register(self):
+        suites = load_suites()
+        assert len(suites) >= 24
+        for expected in ("table1_scan", "table1_sort", "table1_selection",
+                         "table1_spmv", "pram", "phase_overhead"):
+            assert expected in suites
+        for s in suites.values():
+            assert s.grid.seeds, f"{s.name} has no seeds"
+            assert s.quick.points(s.name), f"{s.name} has an empty quick grid"
+
+    def test_load_is_idempotent(self, synth_dir):
+        first = load_suites(synth_dir)
+        second = load_suites(synth_dir)
+        assert first["rt_ok"].fn is second["rt_ok"].fn
+
+    def test_missing_dir_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_suites(tmp_path / "nope")
+
+
+class TestCache:
+    def _point(self, n=4):
+        return PointSpec(suite="rt_ok", params={"n": n}, seed=0)
+
+    def _result(self, n=4):
+        return PointResult(
+            params={"n": n}, seed=0, repeat=0, status="ok",
+            metrics={"energy": 1, "messages": 1, "rounds": 1,
+                     "max_depth": 1, "max_distance": 1},
+        )
+
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        key = cache.key_for(self._point(), "v1")
+        assert cache.get(key) is None
+        cache.put(key, self._result())
+        hit = cache.get(key)
+        assert hit is not None and hit.cached and hit.ok
+
+    def test_spec_change_invalidates(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        cache.put(cache.key_for(self._point(4), "v1"), self._result(4))
+        assert cache.get(cache.key_for(self._point(8), "v1")) is None
+
+    def test_code_version_change_invalidates(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        cache.put(cache.key_for(self._point(), "v1"), self._result())
+        assert cache.get(cache.key_for(self._point(), "v2")) is None
+        assert cache.get(cache.key_for(self._point(), "v1")) is not None
+
+    def test_failed_results_not_cached(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        key = cache.key_for(self._point(), "v1")
+        cache.put(key, PointResult(params={"n": 4}, seed=0, repeat=0,
+                                   status="failed", error="boom"))
+        assert cache.get(key) is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        key = cache.key_for(self._point(), "v1")
+        cache.put(key, self._result())
+        cache.path_for(key).write_text("{not json")
+        assert cache.get(key) is None
+
+
+class TestExecutor:
+    def test_ok_sweep(self, synth, synth_dir):
+        suite = synth["rt_ok"]
+        results = run_points(suite, suite.spec().points(), RunConfig(jobs=2, **FAST),
+                             bench_dir=synth_dir)
+        assert [r.status for r in results] == ["ok", "ok"]
+        assert results[0].metrics["energy"] == 40
+        assert results[0].extra["n2"] == 16
+
+    def test_crash_retry_exhaustion(self, synth, synth_dir):
+        suite = synth["rt_crash"]
+        results = run_points(suite, suite.spec().points(),
+                             RunConfig(jobs=1, timeout=10.0, retries=2, backoff=0.01),
+                             bench_dir=synth_dir)
+        (r,) = results
+        assert r.status == "failed"
+        assert r.attempts == 3  # initial + 2 retries
+        assert "exit code 13" in r.error
+
+    def test_timeout_produces_failed_record_without_killing_sweep(
+        self, synth, synth_dir
+    ):
+        # one hanging point amid ok points: the sweep must complete, with
+        # exactly the hanging point recorded as failed (timeout)
+        sleep = synth["rt_sleep"]
+        ok = synth["rt_ok"]
+        cfg = RunConfig(jobs=2, timeout=1.0, retries=0, backoff=0.01)
+        slow = run_points(sleep, sleep.spec().points(), cfg, bench_dir=synth_dir)
+        fast = run_points(ok, ok.spec().points(), cfg, bench_dir=synth_dir)
+        assert slow[0].status == "failed" and "timeout" in slow[0].error
+        assert all(r.ok for r in fast)
+
+    def test_exception_is_recorded_not_retried(self, synth, synth_dir):
+        suite = synth["rt_raise"]
+        results = run_points(suite, suite.spec().points(), RunConfig(jobs=1, **FAST),
+                             bench_dir=synth_dir)
+        (r,) = results
+        assert r.status == "failed"
+        assert r.attempts == 1
+        assert "synthetic failure" in r.error
+
+    def test_partial_failure_keeps_other_points(self, synth, synth_dir):
+        suite = synth["rt_mixed"]
+        results = run_points(suite, suite.spec().points(), RunConfig(jobs=2, **FAST),
+                             bench_dir=synth_dir)
+        assert [r.status for r in results] == ["ok", "failed", "ok"]
+
+    def test_cache_hits_skip_execution(self, synth, synth_dir, tmp_path):
+        suite = synth["rt_ok"]
+        cache = ResultCache(tmp_path / "c")
+        cfg = RunConfig(jobs=2, **FAST)
+        points = suite.spec().points()
+        first = run_points(suite, points, cfg, cache=cache, code_ver="v1",
+                           bench_dir=synth_dir)
+        second = run_points(suite, points, cfg, cache=cache, code_ver="v1",
+                            bench_dir=synth_dir)
+        assert not any(r.cached for r in first)
+        assert all(r.cached for r in second)
+        assert [r.metrics for r in second] == [r.metrics for r in first]
+        # a code-version bump invalidates every entry
+        third = run_points(suite, points, cfg, cache=cache, code_ver="v2",
+                           bench_dir=synth_dir)
+        assert not any(r.cached for r in third)
+
+
+class TestSchema:
+    def _doc(self, synth, synth_dir):
+        suite = synth["rt_ok"]
+        spec = suite.spec()
+        results = run_points(suite, spec.points(), RunConfig(jobs=2, **FAST),
+                             bench_dir=synth_dir)
+        return build_bench_result(suite.name, suite.artifact, spec.as_dict(),
+                                  "v1", {"jobs": 2}, results)
+
+    def test_valid_document(self, synth, synth_dir):
+        doc = self._doc(synth, synth_dir)
+        assert validate_bench_result(doc) == []
+        assert doc["summary"] == {
+            "total": 2, "ok": 2, "failed": 0, "cached": 0,
+            "wall_time_s": doc["summary"]["wall_time_s"],
+        }
+
+    def test_validator_flags_problems(self, synth, synth_dir):
+        doc = self._doc(synth, synth_dir)
+        doc["points"][0]["metrics"].pop("energy")
+        doc["points"][1]["status"] = "failed"
+        doc["points"][1]["error"] = None
+        errs = validate_bench_result(doc)
+        assert any("metrics.energy" in e for e in errs)
+        assert any("without an error message" in e for e in errs)
+        assert any("summary.ok" in e for e in errs)
+
+    def test_validator_rejects_non_objects(self):
+        assert validate_bench_result([]) == ["document is not a JSON object"]
+        assert "schema_version must be 1" in validate_bench_result({})[0]
