@@ -7,6 +7,7 @@
     python -m repro table1 --quick
     python -m repro report --algo sort --per-phase
     python -m repro trace --algo scan --out scan.jsonl
+    python -m repro chaos --profiles mixed --side 8
     python -m repro bench list
     python -m repro bench run --suite table1_sort --jobs 4
     python -m repro bench compare --baseline benchmarks/baselines/quick
@@ -199,6 +200,51 @@ def _run_algo(algo: str, n: int, seed: int, workload: str, trace: bool):
     raise SystemExit(f"unknown algorithm {algo!r}")
 
 
+def _cmd_chaos(args) -> int:
+    import json
+
+    from .runner.chaos import CHAOS_ALGOS, CHAOS_PROFILES, run_chaos_grid
+
+    algos = list(CHAOS_ALGOS) if args.algos == "all" else args.algos.split(",")
+    profiles = list(CHAOS_PROFILES) if args.profiles == "all" else args.profiles.split(",")
+    seeds = tuple(range(args.seed, args.seed + args.plans))
+    reports = run_chaos_grid(algos, profiles, side=args.side, seeds=seeds)
+
+    rows = [
+        [
+            r["algo"],
+            r["profile"],
+            r["seed"],
+            "ok" if r["exact_match"] else "MISMATCH",
+            f"{r['energy_inflation']:.3f}",
+            f"{r['depth_inflation']:.3f}",
+            r["recovery"]["retries"],
+            r["recovery"]["detoured"],
+            r["recovery"]["spared"],
+            r["recovery_phase_energy"],
+        ]
+        for r in reports
+    ]
+    print(
+        render_table(
+            ["algo", "profile", "seed", "result", "E infl", "D infl",
+             "retries", "detours", "spared", "recovery E"],
+            rows,
+            title=f"chaos sweep (side={args.side}, {len(reports)} points)",
+        )
+    )
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(reports, fh, indent=2)
+        print(f"wrote {len(reports)} chaos reports to {args.out}")
+    bad = [r for r in reports if not r["exact_match"]]
+    if bad:
+        print(f"FAULT-RECOVERY FAILURE: {len(bad)} point(s) diverged from the "
+              f"fault-free run", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_report(args) -> int:
     m, label = _run_algo(args.algo, args.n, args.seed, args.workload, trace=False)
     s = m.stats
@@ -290,6 +336,21 @@ def build_parser() -> argparse.ArgumentParser:
     algo_common(sp)
     sp.add_argument("--out", default="", help="output path (default: stdout)")
     sp.set_defaults(func=_cmd_trace)
+
+    sp = sub.add_parser(
+        "chaos",
+        help="fault-injection sweep: every primitive under seeded fault plans",
+    )
+    sp.add_argument("--algos", default="all",
+                    help="comma-separated algorithm names, or 'all'")
+    sp.add_argument("--profiles", default="all",
+                    help="comma-separated fault profiles (drops, corruption, dead, mixed), or 'all'")
+    sp.add_argument("--side", type=int, default=8, help="working-set square side")
+    sp.add_argument("--seed", type=int, default=0, help="first fault-plan seed")
+    sp.add_argument("--plans", type=int, default=1,
+                    help="number of consecutive seeds per (algo, profile)")
+    sp.add_argument("--out", default="", help="also dump the JSON reports here")
+    sp.set_defaults(func=_cmd_chaos)
 
     add_bench_parser(sub)
     return p

@@ -33,6 +33,7 @@ from ..machine.geometry import Region
 from ..machine.machine import SpatialMachine, TrackedArray
 from .ops import ADD, Monoid
 from .scan import ScanResult, scan
+from .validate import check_finite_values
 
 __all__ = ["blocked_scan", "BlockedScanResult", "blocks_region"]
 
@@ -81,8 +82,12 @@ def blocked_scan(
     ``values`` is a 1-D array whose length is ``block * 4^k``; consecutive
     runs of ``block`` elements live on one processor.  With ``block == 1``
     this degenerates to the plain Section IV.C scan.
+
+    Fault-transparent: the prefix array is bit-identical under any
+    :class:`~repro.machine.FaultPlan`; recovery only inflates costs.
     """
     values = np.asarray(values, dtype=np.float64)
+    check_finite_values(machine, values, "blocked_scan input")
     n = len(values)
     if region is None:
         region = blocks_region(n, block)

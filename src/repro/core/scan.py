@@ -71,6 +71,9 @@ def scan(
     ``region`` (use :meth:`SpatialMachine.place_zorder`).  The operator is
     combined strictly left-to-right, so non-commutative monoids (segmented
     operators) are safe.
+
+    Fault-transparent: under a :class:`~repro.machine.FaultPlan` the scan
+    outputs are bit-identical to the fault-free run; only costs inflate.
     """
     n = len(ta)
     if n == 0:

@@ -120,6 +120,10 @@ def rank_select(
     along the Z-order curve of the square power-of-two ``region`` (scans run
     over that curve).  ``c >= 3`` trades energy constants for failure
     probability (Theorem VI.3).
+
+    Fault-transparent: given the same ``rng`` seed, the selected value is
+    bit-identical under any :class:`~repro.machine.FaultPlan` (recovery
+    resends never alter payloads); only costs inflate.
     """
     n = len(ta)
     if n != region.size:

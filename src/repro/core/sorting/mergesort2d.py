@@ -22,6 +22,7 @@ import numpy as np
 from ...machine.geometry import Region
 from ...machine.machine import SpatialMachine, TrackedArray
 from ...machine.zorder import is_power_of_two
+from ..validate import check_finite_values
 from .allpairs import allpairs_sort
 from .merge2d import merge_sorted_2d
 
@@ -105,8 +106,12 @@ def sort_values(
     base_case: int = 16,
 ) -> TrackedArray:
     """Convenience wrapper: place a 1-D value array row-major on ``region``
-    and 2D-mergesort it.  Returns the sorted tracked array (payload (n, 1))."""
+    and 2D-mergesort it.  Returns the sorted tracked array (payload (n, 1)).
+
+    Fault-transparent: under a :class:`~repro.machine.FaultPlan` the sorted
+    output is bit-identical to the fault-free run; only costs inflate."""
     values = np.asarray(values, dtype=np.float64)
+    check_finite_values(machine, values, "sort_values input")
     ta = machine.place_rowmajor(values[:, None], region)
     return mergesort_2d(machine, ta, region, key_cols=1, base_case=base_case)
 
@@ -123,6 +128,7 @@ def sort_any(
     convenience entry point for callers that do not manage placements.
     """
     values = np.asarray(values, dtype=np.float64)
+    check_finite_values(machine, values, "sort_any input")
     n = len(values)
     if n == 0:
         return values.copy()

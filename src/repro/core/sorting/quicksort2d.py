@@ -38,6 +38,7 @@ from ...machine.zorder import is_power_of_two, zorder_coords
 from ..collectives import all_reduce, broadcast
 from ..ops import ADD
 from ..scan import scan
+from ..validate import check_finite_values
 from .allpairs import allpairs_sort
 from .sortutil import as_sort_payload
 
@@ -59,6 +60,7 @@ def quicksort_2d(
     if not region.is_square or not is_power_of_two(region.width):
         raise ValueError(f"quicksort_2d needs a power-of-two square region, got {region}")
     values = np.asarray(values, dtype=np.float64)
+    check_finite_values(machine, values, "quicksort_2d input")
     n = len(values)
     if n != region.size:
         raise ValueError(f"expected one value per cell ({region.size}), got {n}")

@@ -1,0 +1,40 @@
+"""Strict-mode input guards shared by the core entry points.
+
+The fault/recovery layer (see ``docs/FAULTS.md``) keeps every primitive
+*result-transparent*: retries, detours, and dead-cell sparing change the
+measured costs but never the returned values.  That guarantee relies on
+payload arithmetic being well-defined, so in strict mode
+(``SpatialMachine(strict=True)``) the entry points that ingest raw value
+arrays reject NaN up front with an actionable error instead of letting it
+propagate through scans and comparators as silent garbage.
+
+``inf`` is deliberately allowed — the sorters and selection use it as
+legitimate padding (see ``tests/test_sort_infinities``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["check_finite_values"]
+
+
+def check_finite_values(machine, values: np.ndarray, what: str) -> None:
+    """Reject NaN entries of ``values`` when ``machine`` is strict.
+
+    ``what`` names the argument in the error (e.g. ``"sort_values input"``)
+    so the failure points at the caller's data, not at machine internals.
+    """
+    if not getattr(machine, "strict", False):
+        return
+    values = np.asarray(values)
+    if not np.issubdtype(values.dtype, np.floating):
+        return
+    bad = np.isnan(values)
+    if bad.any():
+        idx = int(np.flatnonzero(bad.reshape(-1))[0])
+        raise ValueError(
+            f"{what} contains NaN (first at flat index {idx}); strict mode "
+            f"rejects NaN payloads because they poison comparators and "
+            f"prefix sums — filter or impute them before placement"
+        )

@@ -1,8 +1,16 @@
 """Spatial Computer Model substrate: grid geometry, Z-order curves, the
-cost-metering machine simulator, message tracing, and data layouts."""
+cost-metering machine simulator, fault injection and recovery, message
+tracing, and data layouts."""
 
+from .faults import (
+    RECOVERY_PHASE,
+    FaultConfigError,
+    FaultPlan,
+    ModelViolation,
+    RecoveryStats,
+)
 from .geometry import Region, manhattan, manhattan_arrays
-from .machine import SpatialMachine, TrackedArray, combine
+from .machine import DEFAULT_WORD_BUDGET, SpatialMachine, TrackedArray, combine
 from .metrics import CostReport, CostTree, MachineStats, PhaseNode
 from .tracer import MessageBatch, Tracer
 from .zorder import (
@@ -14,6 +22,12 @@ from .zorder import (
 )
 
 __all__ = [
+    "RECOVERY_PHASE",
+    "FaultConfigError",
+    "FaultPlan",
+    "ModelViolation",
+    "RecoveryStats",
+    "DEFAULT_WORD_BUDGET",
     "Region",
     "manhattan",
     "manhattan_arrays",

@@ -1,0 +1,410 @@
+"""Deterministic fault injection, recovery, and strict model validation.
+
+The Spatial Computer Model assumes a perfect, unbounded fabric; the hardware
+it abstracts (wafer-scale and dataflow accelerators) must tolerate dead
+processing elements and lost or corrupted flits.  This module lets the
+simulator *exercise* that gap without giving up determinism or exactness:
+
+* :class:`FaultPlan` — a seeded description of what goes wrong: rectangular
+  **dead regions** (failed PEs), a per-message **drop** probability (flits
+  lost in transit, detected by timeout), and a per-message **corruption**
+  probability (flits delivered damaged, detected by checksum and NACKed).
+  All randomness flows through the plan's explicit
+  :class:`numpy.random.Generator`, so a given ``(plan seed, algorithm seed)``
+  pair always produces the identical fault sequence and the identical costs.
+
+* **Recovery** — :meth:`SpatialMachine.send` consults the plan and repairs
+  every fault transparently:
+
+  - a value addressed to a dead cell is physically hosted by that cell's
+    *spare* (the nearest live cell outside every dead rectangle,
+    deterministic tie-break), mirroring the compile-time sparing maps of
+    wafer-scale parts.  Sparing is **address-transparent**: the value keeps
+    its logical coordinate (algorithms' coordinate arithmetic is
+    undisturbed) and every message touching a dead logical address pays the
+    extra Manhattan wire to/from the spare;
+  - a message whose XY route crosses a dead rectangle **detours** around
+    the nearer side; the extra wire length is charged to energy and to the
+    value's chain distance;
+  - a dropped or corrupted message is **resent** (exponential backoff,
+    geometric number of attempts, capped at :attr:`FaultPlan.max_retries`);
+    every failed attempt is one more real message: it burns the full wire
+    energy again, deepens the value's dependency chain by one, and adds the
+    wire length to its chain distance.
+
+  Retry, detour, and sparing charges land in the machine's *flat* counters (totals
+  stay honest) and are additionally attributed to a dedicated top-level
+  ``recovery`` phase of the :class:`~repro.machine.metrics.CostTree`, so
+  ``repro report --per-phase`` shows exactly what sabotage cost.
+  Payloads are never altered: algorithms remain bit-identical under any
+  plan, only their measured costs inflate.
+
+* **Strict validation** — ``SpatialMachine(strict=True)`` enforces the
+  model's own contract online: any processor receiving more than
+  ``word_budget`` messages in a single batched round violates the O(1)
+  words-per-processor assumption and raises :class:`ModelViolation`
+  (the same audit :meth:`Tracer.max_inbox_per_round` performs offline);
+  non-finite / non-integral coordinates and NaN payloads entering via
+  ``place`` fail fast with actionable errors instead of silently turning
+  into garbage int64 offsets that corrupt every cost metric.
+
+See ``docs/FAULTS.md`` for the full semantics and the cost-accounting rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from .geometry import Region
+
+__all__ = [
+    "FaultPlan",
+    "RecoveryStats",
+    "ModelViolation",
+    "FaultConfigError",
+    "RECOVERY_PHASE",
+    "resolve_spares",
+    "spare_extras",
+    "detour_extras",
+    "sample_failures",
+]
+
+#: name of the CostTree child that recovery charges are attributed to.
+RECOVERY_PHASE = "recovery"
+
+
+class ModelViolation(RuntimeError):
+    """A program broke a Spatial Computer Model invariant (strict mode)."""
+
+
+class FaultConfigError(ValueError):
+    """A :class:`FaultPlan` is malformed or unsatisfiable for this traffic."""
+
+
+@dataclass
+class RecoveryStats:
+    """Running totals of what fault recovery cost one machine.
+
+    All counters are cumulative over the machine's lifetime; ``as_dict``
+    gives the JSON-friendly form embedded in chaos benchmark results.
+    """
+
+    #: messages lost in transit and detected by timeout
+    dropped: int = 0
+    #: messages delivered corrupt, detected by checksum, and NACKed
+    corrupted: int = 0
+    #: total retransmissions issued (== dropped + corrupted)
+    retries: int = 0
+    #: wire length burned by failed attempts (each retry re-pays the wire)
+    retry_energy: int = 0
+    #: messages that routed around at least one dead rectangle
+    detoured: int = 0
+    #: extra wire length due to detours around dead regions
+    detour_energy: int = 0
+    #: messages redirected to a spare because their destination was dead
+    spared: int = 0
+    #: extra wire length to/from spare cells hosting dead logical addresses
+    spare_energy: int = 0
+    #: simulated exponential-backoff delay, in backoff ticks
+    backoff_ticks: int = 0
+    #: worst delivery-attempt count for any single message
+    max_attempts: int = 1
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "dropped": self.dropped,
+            "corrupted": self.corrupted,
+            "retries": self.retries,
+            "retry_energy": self.retry_energy,
+            "detoured": self.detoured,
+            "detour_energy": self.detour_energy,
+            "spared": self.spared,
+            "spare_energy": self.spare_energy,
+            "backoff_ticks": self.backoff_ticks,
+            "max_attempts": self.max_attempts,
+        }
+
+    @property
+    def total_recovery_energy(self) -> int:
+        return self.retry_energy + self.detour_energy + self.spare_energy
+
+
+@dataclass
+class FaultPlan:
+    """A deterministic, seeded description of fabric faults.
+
+    Parameters
+    ----------
+    rng:
+        The generator every probabilistic fault decision draws from.  Pass an
+        explicitly seeded generator (or use :meth:`seeded`); the machine
+        never touches global NumPy state.
+    dead_regions:
+        Rectangles of failed processors.  Values addressed to a dead cell are
+        hosted by its spare (nearest live cell); routes crossing a rectangle
+        detour around it.
+    drop_prob:
+        Per-attempt probability that a message is lost in transit.
+    corrupt_prob:
+        Per-attempt probability that a message arrives corrupted (detected,
+        then retransmitted like a drop).
+    max_retries:
+        Hard cap on retransmissions per message; the model guarantees
+        delivery at the latest on attempt ``max_retries + 1`` (a bounded
+        escalation, e.g. a reliable control network).  Keeps every cost
+        finite and the constant-factor inflation bound provable.
+    backoff_base:
+        Ticks of simulated wait before the first retry; doubles per attempt.
+        Accounted in :attr:`RecoveryStats.backoff_ticks` (wall-clock-like
+        latency is not part of the model's energy/depth/distance metrics).
+    """
+
+    rng: np.random.Generator
+    dead_regions: tuple[Region, ...] = ()
+    drop_prob: float = 0.0
+    corrupt_prob: float = 0.0
+    max_retries: int = 16
+    backoff_base: int = 1
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.rng, np.random.Generator):
+            raise FaultConfigError(
+                f"FaultPlan.rng must be a numpy.random.Generator, got "
+                f"{type(self.rng).__name__}; use FaultPlan.seeded(seed, ...) "
+                "or np.random.default_rng(seed)"
+            )
+        for name in ("drop_prob", "corrupt_prob"):
+            p = getattr(self, name)
+            if not (0.0 <= p < 1.0):
+                raise FaultConfigError(f"{name} must be in [0, 1), got {p}")
+        if self.failure_prob >= 1.0:
+            raise FaultConfigError(
+                f"combined failure probability must stay below 1 "
+                f"(drop={self.drop_prob}, corrupt={self.corrupt_prob})"
+            )
+        if self.max_retries < 1:
+            raise FaultConfigError(f"max_retries must be >= 1, got {self.max_retries}")
+        if self.backoff_base < 0:
+            raise FaultConfigError(f"backoff_base must be >= 0, got {self.backoff_base}")
+        self.dead_regions = tuple(self.dead_regions)
+        for reg in self.dead_regions:
+            if not isinstance(reg, Region):
+                raise FaultConfigError(f"dead_regions entries must be Region, got {reg!r}")
+            if reg.size == 0:
+                raise FaultConfigError(f"dead region must be non-empty: {reg}")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def seeded(cls, seed: int, **kwargs) -> "FaultPlan":
+        """A plan whose generator is freshly seeded with ``seed``."""
+        return cls(rng=np.random.default_rng(seed), **kwargs)
+
+    @property
+    def failure_prob(self) -> float:
+        """Per-attempt probability that a message needs retransmission."""
+        return 1.0 - (1.0 - self.drop_prob) * (1.0 - self.corrupt_prob)
+
+    @property
+    def injects_faults(self) -> bool:
+        return bool(self.dead_regions) or self.failure_prob > 0.0
+
+    def dead_mask(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        """Boolean mask of coordinates lying inside any dead region."""
+        mask = np.zeros(len(rows), dtype=bool)
+        for reg in self.dead_regions:
+            mask |= reg.contains(rows, cols)
+        return mask
+
+    def describe(self) -> dict:
+        """JSON-friendly summary of the plan (generator state excluded)."""
+        return {
+            "dead_regions": [
+                [r.row, r.col, r.height, r.width] for r in self.dead_regions
+            ],
+            "drop_prob": self.drop_prob,
+            "corrupt_prob": self.corrupt_prob,
+            "max_retries": self.max_retries,
+            "backoff_base": self.backoff_base,
+        }
+
+
+# ----------------------------------------------------------------------
+# dead-region handling: sparing and detours
+# ----------------------------------------------------------------------
+def resolve_spares(
+    plan: FaultPlan, rows: np.ndarray, cols: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Redirect coordinates inside dead regions to their spare cells.
+
+    The spare of a dead cell is the nearest cell just outside its rectangle
+    (deterministic tie-break order: left, right, above, below).  Overlapping
+    rectangles are resolved iteratively; an unsatisfiable configuration (a
+    cell walled in on every side by further dead rectangles for more passes
+    than rectangles exist) raises :class:`FaultConfigError`.
+
+    Returns ``(rows, cols, spared_mask)`` with fresh arrays when anything
+    moved (the inputs are never mutated).
+    """
+    if not plan.dead_regions:
+        return rows, cols, np.zeros(len(rows), dtype=bool)
+    spared = np.zeros(len(rows), dtype=bool)
+    out_r, out_c = rows, cols
+    max_passes = 4 * len(plan.dead_regions)
+    for _ in range(max_passes):
+        dead = plan.dead_mask(out_r, out_c)
+        if not dead.any():
+            return out_r, out_c, spared
+        if out_r is rows:
+            out_r, out_c = rows.copy(), cols.copy()
+        for reg in plan.dead_regions:
+            m = reg.contains(out_r, out_c)
+            if not m.any():
+                continue
+            r, c = out_r[m], out_c[m]
+            exit_left = c - reg.col + 1
+            exit_right = reg.col_end - c
+            exit_up = r - reg.row + 1
+            exit_down = reg.row_end - r
+            best = np.minimum.reduce([exit_left, exit_right, exit_up, exit_down])
+            nr, nc = r.copy(), c.copy()
+            go_left = exit_left == best
+            go_right = ~go_left & (exit_right == best)
+            go_up = ~go_left & ~go_right & (exit_up == best)
+            go_down = ~(go_left | go_right | go_up)
+            nc[go_left] = reg.col - 1
+            nc[go_right] = reg.col_end
+            nr[go_up] = reg.row - 1
+            nr[go_down] = reg.row_end
+            out_r[m], out_c[m] = nr, nc
+            spared |= m
+    if plan.dead_mask(out_r, out_c).any():
+        raise FaultConfigError(
+            "could not find live spare cells: dead regions overlap too deeply "
+            f"({len(plan.dead_regions)} rectangles)"
+        )
+    return out_r, out_c, spared
+
+
+def spare_extras(
+    plan: FaultPlan, rows: np.ndarray, cols: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-endpoint wire surcharge for coordinates hosted by a spare cell.
+
+    Sparing is *address-transparent*: a value addressed to a dead cell keeps
+    its logical coordinate — so coordinate arithmetic inside algorithms (the
+    All-Pairs Sort's subgrid regrouping, Z-order layouts, ...) is undisturbed
+    — while being physically hosted by the nearest live cell just outside the
+    rectangle (:func:`resolve_spares` picks the spare and validates that one
+    exists).  Every message that starts or ends at a dead logical address
+    pays the extra Manhattan wire to/from the physical spare.
+
+    Returns ``(extra, spared_mask)``; ``extra`` is int64, zero for live
+    coordinates.
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    cols = np.asarray(cols, dtype=np.int64)
+    sr, sc, spared = resolve_spares(plan, rows, cols)
+    if not spared.any():
+        return np.zeros(len(rows), dtype=np.int64), spared
+    extra = np.abs(sr - rows) + np.abs(sc - cols)
+    return extra.astype(np.int64), spared
+
+
+def detour_extras(
+    dead_regions: Sequence[Region],
+    src_rows: np.ndarray,
+    src_cols: np.ndarray,
+    dst_rows: np.ndarray,
+    dst_cols: np.ndarray,
+) -> np.ndarray:
+    """Extra wire length each message pays to route around dead rectangles.
+
+    Messages follow XY (dimension-ordered) routes: first along the column of
+    the source (rows change), then along the row of the destination (columns
+    change).  A leg that would pass through a dead rectangle detours around
+    the rectangle's nearer side, paying twice the perpendicular shift.  A
+    message crossing ``k`` rectangles pays ``k`` detours — a deterministic
+    upper bound, not a maze router.
+    """
+    n = len(src_rows)
+    extra = np.zeros(n, dtype=np.int64)
+    if not dead_regions or n == 0:
+        return extra
+    rlo = np.minimum(src_rows, dst_rows)
+    rhi = np.maximum(src_rows, dst_rows)
+    clo = np.minimum(src_cols, dst_cols)
+    chi = np.maximum(src_cols, dst_cols)
+    for reg in dead_regions:
+        # vertical leg: at column src_col, spanning rows [rlo, rhi]
+        v_cross = (
+            (src_cols >= reg.col)
+            & (src_cols < reg.col_end)
+            & (rhi >= reg.row)
+            & (rlo < reg.row_end)
+            & (src_rows != dst_rows)
+        )
+        if v_cross.any():
+            shift = np.minimum(
+                src_cols - reg.col + 1, reg.col_end - src_cols
+            )
+            extra += np.where(v_cross, 2 * shift, 0)
+        # horizontal leg: at row dst_row, spanning columns [clo, chi]
+        h_cross = (
+            (dst_rows >= reg.row)
+            & (dst_rows < reg.row_end)
+            & (chi >= reg.col)
+            & (clo < reg.col_end)
+            & (src_cols != dst_cols)
+        )
+        if h_cross.any():
+            shift = np.minimum(dst_rows - reg.row + 1, reg.row_end - dst_rows)
+            extra += np.where(h_cross, 2 * shift, 0)
+    return extra
+
+
+# ----------------------------------------------------------------------
+# drop / corruption sampling
+# ----------------------------------------------------------------------
+def sample_failures(
+    plan: FaultPlan, count: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Failed delivery attempts for ``count`` messages, split by cause.
+
+    Returns ``(failures, dropped, corrupted)`` int64 arrays: per message the
+    number of failed attempts before the successful delivery (geometric with
+    the plan's combined failure probability, capped at ``max_retries``), and
+    its decomposition into timeout-detected drops and checksum-detected
+    corruptions.  Consumes ``plan.rng`` — deterministic for a fixed seed and
+    message stream.
+    """
+    p_fail = plan.failure_prob
+    if p_fail <= 0.0 or count == 0:
+        zeros = np.zeros(count, dtype=np.int64)
+        return zeros, zeros.copy(), zeros.copy()
+    # geometric(p_success) = attempts to first success, so failures = g - 1
+    failures = plan.rng.geometric(1.0 - p_fail, size=count).astype(np.int64) - 1
+    np.minimum(failures, plan.max_retries, out=failures)
+    # attribute each failure: it was a drop with probability
+    # drop / (drop + (1-drop)*corrupt), else a detected corruption
+    # roundoff can push the ratio a hair past 1.0 when corrupt_prob == 0
+    p_drop_given_fail = min(1.0, plan.drop_prob / p_fail)
+    dropped = plan.rng.binomial(failures, p_drop_given_fail).astype(np.int64)
+    corrupted = failures - dropped
+    return failures, dropped, corrupted
+
+
+def backoff_ticks(plan: FaultPlan, failures: np.ndarray) -> int:
+    """Total simulated exponential-backoff wait for the given failure counts.
+
+    A message retried ``f`` times waits ``base * (2^f - 1)`` ticks (the sum
+    of ``base * 2^k`` over its failed attempts).
+    """
+    if plan.backoff_base == 0 or not failures.size:
+        return 0
+    f = failures[failures > 0]
+    if not f.size:
+        return 0
+    return int(plan.backoff_base * ((1 << f.astype(np.int64)) - 1).sum())

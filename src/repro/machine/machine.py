@@ -27,16 +27,43 @@ dependency structure of iterative algorithms.
 
 from __future__ import annotations
 
+import os
 from typing import Callable, Sequence
 
 import numpy as np
 
+from .faults import (
+    RECOVERY_PHASE,
+    FaultPlan,
+    ModelViolation,
+    RecoveryStats,
+    backoff_ticks,
+    detour_extras,
+    spare_extras,
+    sample_failures,
+)
 from .geometry import Region, manhattan_arrays
 from .metrics import META_DTYPE, CostReport, CostTree, MachineStats, combine_meta
 from .tracer import Tracer
 from . import zorder as zo
 
-__all__ = ["SpatialMachine", "TrackedArray", "combine", "concat_tracked"]
+__all__ = [
+    "SpatialMachine",
+    "TrackedArray",
+    "combine",
+    "concat_tracked",
+    "DEFAULT_WORD_BUDGET",
+]
+
+#: default strict-mode cap on messages one processor may receive in a single
+#: batched round.  The model allows "O(1) words"; every primitive in this
+#: repo has per-round fan-in <= 2, so 8 leaves slack for composed algorithms
+#: while still catching gather-to-one-cell bugs immediately.
+DEFAULT_WORD_BUDGET = 8
+
+
+def _env_flag(name: str) -> bool:
+    return os.environ.get(name, "").strip().lower() in ("1", "true", "yes", "on")
 
 
 class TrackedArray:
@@ -245,13 +272,51 @@ class SpatialMachine:
         Attribute charges to the active :meth:`phase` span in
         :attr:`cost_tree` (on by default; the per-send cost is a handful of
         integer additions).  Disable for hot-path micro-benchmarks.
+    faults:
+        A :class:`~repro.machine.faults.FaultPlan` to execute under: dead
+        cells are spared/detoured around and dropped or corrupted messages
+        are retransmitted, with every recovery charge landing in the flat
+        counters *and* a dedicated top-level ``recovery`` phase of
+        :attr:`cost_tree`.  Results stay bit-identical; only costs inflate.
+        ``None`` (the default) is the perfect fabric.
+    strict:
+        Enforce the model's contract online: per-round fan-in above
+        ``word_budget`` raises :class:`~repro.machine.faults.ModelViolation`;
+        non-finite/non-integral coordinates and NaN payloads entering via
+        :meth:`place` raise ``ValueError`` immediately instead of silently
+        corrupting the cost metrics.  Defaults to the ``REPRO_STRICT``
+        environment flag, so ``REPRO_STRICT=1 pytest`` audits a whole suite.
+    word_budget:
+        Strict-mode cap on messages one processor may receive in one batched
+        round (default :data:`DEFAULT_WORD_BUDGET`, overridable via the
+        ``REPRO_WORD_BUDGET`` environment variable).
+    bounds:
+        Optional fabric rectangle.  In strict mode, any placement or send
+        targeting a cell outside it fails fast with an actionable error.
     """
 
-    def __init__(self, trace: bool = False, phases: bool = True) -> None:
+    def __init__(
+        self,
+        trace: bool = False,
+        phases: bool = True,
+        faults: FaultPlan | None = None,
+        strict: bool | None = None,
+        word_budget: int | None = None,
+        bounds: Region | None = None,
+    ) -> None:
         self.stats = MachineStats()
         self.tracer: Tracer | None = Tracer() if trace else None
         self.cost_tree = CostTree()
         self._phase_node = self.cost_tree.root if phases else None
+        self.faults = faults
+        self.recovery = RecoveryStats()
+        self.strict = _env_flag("REPRO_STRICT") if strict is None else bool(strict)
+        if word_budget is None:
+            word_budget = int(os.environ.get("REPRO_WORD_BUDGET", DEFAULT_WORD_BUDGET))
+        if word_budget < 1:
+            raise ValueError(f"word_budget must be >= 1, got {word_budget}")
+        self.word_budget = word_budget
+        self.bounds = bounds
 
     # ------------------------------------------------------------------
     # phase-scoped accounting
@@ -296,16 +361,97 @@ class SpatialMachine:
                 node.max_distance = smax
 
     # ------------------------------------------------------------------
+    # strict-mode validation
+    # ------------------------------------------------------------------
+    def _coerce_coords(
+        self, rows: np.ndarray, cols: np.ndarray, what: str
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """int64 coordinate arrays; in strict mode, fail fast on garbage.
+
+        A NaN or fractional coordinate silently cast to int64 becomes a
+        huge bogus offset that inflates every cost metric — strict mode
+        turns that into an immediate, actionable ``ValueError``.
+        """
+        if self.strict:
+            for name, arr in (("rows", rows), ("cols", cols)):
+                a = np.asarray(arr)
+                if a.dtype.kind == "f":
+                    bad = ~np.isfinite(a)
+                    if bad.any():
+                        raise ValueError(
+                            f"{what}: {int(bad.sum())} non-finite {name} "
+                            f"coordinate(s) (first at index {int(np.argmax(bad))}); "
+                            "coordinates must be finite integers"
+                        )
+                    frac = a != np.floor(a)
+                    if frac.any():
+                        raise ValueError(
+                            f"{what}: {int(frac.sum())} non-integral {name} "
+                            f"coordinate(s) (first at index {int(np.argmax(frac))}); "
+                            "grid coordinates must be whole numbers"
+                        )
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        if self.strict and self.bounds is not None:
+            inside = self.bounds.contains(rows, cols)
+            outside = ~inside
+            if outside.any():
+                i = int(np.argmax(outside))
+                raise ValueError(
+                    f"{what}: {int(outside.sum())} coordinate(s) outside the "
+                    f"fabric bounds {self.bounds} (first offender "
+                    f"({int(rows[i])}, {int(cols[i])}) at index {i})"
+                )
+        return rows, cols
+
+    def _check_fan_in(self, rows: np.ndarray, cols: np.ndarray, moved: np.ndarray) -> None:
+        """Strict mode: one round may deliver at most ``word_budget`` words per cell."""
+        if not moved.any():
+            return
+        dests = np.stack([rows[moved], cols[moved]], axis=1)
+        cells, counts = np.unique(dests, axis=0, return_counts=True)
+        worst = int(counts.max())
+        if worst > self.word_budget:
+            r, c = cells[int(np.argmax(counts))]
+            raise ModelViolation(
+                f"processor ({int(r)}, {int(c)}) receives {worst} messages in one "
+                f"round, exceeding the O(1) word budget of {self.word_budget}; "
+                "a constant-memory processor cannot buffer them — restructure "
+                "the communication into a tree/scan, or raise word_budget if "
+                "this fan-in is genuinely constant"
+            )
+
+    # ------------------------------------------------------------------
     # placing inputs
     # ------------------------------------------------------------------
     def place(
         self, payload: np.ndarray, rows: np.ndarray, cols: np.ndarray
     ) -> TrackedArray:
-        """Place input values on the grid (free: inputs start in memory)."""
+        """Place input values on the grid (free: inputs start in memory).
+
+        Under a :class:`FaultPlan` with dead regions, values addressed to a
+        dead cell are physically hosted by the cell's spare — a free
+        layout-time redirection, like the sparing maps burned into
+        wafer-scale parts.  The value keeps its *logical* coordinate;
+        messages later sent to or from it pay the wire to the spare.
+        """
         payload = np.asarray(payload)
         n = len(payload)
-        rows = np.asarray(rows, dtype=np.int64)
-        cols = np.asarray(cols, dtype=np.int64)
+        rows, cols = self._coerce_coords(rows, cols, "place")
+        if self.strict and payload.dtype.kind == "f":
+            nan = np.isnan(payload)
+            if nan.any():
+                raise ValueError(
+                    f"place: payload contains {int(nan.sum())} NaN value(s) "
+                    f"(first at flat index {int(np.argmax(nan.ravel()))}); NaNs "
+                    "poison comparisons and reductions — filter or encode them "
+                    "before placing"
+                )
+        if self.faults is not None and self.faults.dead_regions:
+            # address-transparent sparing: validate a spare exists and count
+            # the redirections, but keep the logical coordinates
+            _, spared = spare_extras(self.faults, rows, cols)
+            self.recovery.spared += int(spared.sum())
         zeros = np.zeros(n, dtype=META_DTYPE)
         return TrackedArray(self, payload, rows, cols, zeros, zeros.copy())
 
@@ -328,17 +474,67 @@ class SpatialMachine:
         Moving a value across Manhattan distance ``d > 0`` is one message:
         ``energy += d``, value depth ``+= 1`` and chain distance ``+= d``.
         Values whose destination equals their source do not communicate.
+
+        Under a :class:`FaultPlan`, delivery is still guaranteed and payloads
+        and coordinates are never altered, but faults inflate the measured
+        costs: messages touching dead cells pay the wire to/from the spare
+        that physically hosts the logical address, routes crossing dead
+        rectangles pay a detour, and dropped/corrupted messages are resent —
+        each failed attempt burns the wire energy again, deepens the value's
+        chain by one message, and lengthens its chain distance by the wire.
+        The extra charges are attributed to the ``recovery`` phase of
+        :attr:`cost_tree` (flat totals include them too).
         """
-        rows = np.asarray(rows, dtype=np.int64)
-        cols = np.asarray(cols, dtype=np.int64)
+        rows, cols = self._coerce_coords(rows, cols, "send")
         if len(rows) != len(ta) or len(cols) != len(ta):
             raise ValueError("destination arrays must match value count")
+        plan = self.faults
         d = manhattan_arrays(ta.rows, ta.cols, rows, cols)
         moved = d > 0
-        energy = int(d.sum())
         messages = int(moved.sum())
-        self.stats.energy += energy
-        self.stats.messages += messages
+        if self.strict and messages:
+            self._check_fan_in(rows, cols, moved)
+
+        # ---- fault recovery: sparing taxes, detours, retransmissions
+        failures = None
+        detour_energy = spare_energy = retry_energy = retries = 0
+        d_eff = d
+        if plan is not None and plan.injects_faults and messages:
+            if plan.dead_regions:
+                src_extra, _ = spare_extras(plan, ta.rows, ta.cols)
+                dst_extra, dst_spared = spare_extras(plan, rows, cols)
+                sp = src_extra + dst_extra
+                sp[~moved] = 0
+                spare_energy = int(sp.sum())
+                if spare_energy:
+                    d_eff = d_eff + sp
+                    self.recovery.spared += int((dst_spared & moved).sum())
+                    self.recovery.spare_energy += spare_energy
+                extra = detour_extras(plan.dead_regions, ta.rows, ta.cols, rows, cols)
+                extra[~moved] = 0
+                detour_energy = int(extra.sum())
+                if detour_energy:
+                    d_eff = d_eff + extra
+                    self.recovery.detoured += int((extra > 0).sum())
+                    self.recovery.detour_energy += detour_energy
+            if plan.failure_prob > 0.0:
+                f, dropped, corrupted = sample_failures(plan, messages)
+                if f.any():
+                    failures = np.zeros(len(ta), dtype=META_DTYPE)
+                    failures[moved] = f
+                    retries = int(f.sum())
+                    retry_energy = int((d_eff * failures).sum())
+                    rec = self.recovery
+                    rec.dropped += int(dropped.sum())
+                    rec.corrupted += int(corrupted.sum())
+                    rec.retries += retries
+                    rec.retry_energy += retry_energy
+                    rec.backoff_ticks += backoff_ticks(plan, f)
+                    rec.max_attempts = max(rec.max_attempts, int(f.max()) + 1)
+
+        energy = int(d.sum())
+        self.stats.energy += energy + spare_energy + detour_energy + retry_energy
+        self.stats.messages += messages + retries
         if messages:
             # an all-self-send batch performs no communication: not a round
             self.stats.rounds += 1
@@ -353,16 +549,35 @@ class SpatialMachine:
                 ta.rows, ta.cols, rows, cols, self.stats.rounds,
                 phase=self.current_phase,
             )
-        out = TrackedArray(
-            self,
-            ta.payload,
-            rows,
-            cols,
-            ta.depth + moved,
-            ta.dist + d,
-        )
+            if failures is not None:
+                idx = np.nonzero(failures)[0]
+                idx = np.repeat(idx, failures[idx])
+                self.tracer.record(
+                    ta.rows[idx], ta.cols[idx], rows[idx], cols[idx],
+                    self.stats.rounds, phase=self.current_phase, kind="resend",
+                )
+        if failures is None:
+            depth = ta.depth + moved
+            dist = ta.dist + d_eff
+        else:
+            depth = ta.depth + moved + failures
+            dist = ta.dist + d_eff * (1 + failures)
+        out = TrackedArray(self, ta.payload, rows, cols, depth, dist)
         self.observe(out.depth, out.dist)
+        self._charge_recovery(spare_energy + detour_energy + retry_energy, retries, out)
         return out
+
+    def _charge_recovery(self, energy: int, retries: int, out: TrackedArray | None) -> None:
+        """Attribute recovery charges to the dedicated ``recovery`` phase."""
+        if (not energy and not retries) or self._phase_node is None:
+            return
+        rec = self.cost_tree.root.child(RECOVERY_PHASE)
+        rec.energy += energy
+        rec.messages += retries
+        rec.sends += 1
+        if out is not None and len(out):
+            rec.max_depth = max(rec.max_depth, int(out.depth.max()))
+            rec.max_distance = max(rec.max_distance, int(out.dist.max()))
 
     def relay(
         self,
@@ -380,16 +595,55 @@ class SpatialMachine:
         the ``(depth, dist)`` metadata of the value available at the final
         stop.
         """
-        stop_rows = np.asarray(stop_rows, dtype=np.int64)
-        stop_cols = np.asarray(stop_cols, dtype=np.int64)
+        stop_rows, stop_cols = self._coerce_coords(stop_rows, stop_cols, "relay")
         chain_r = np.concatenate([[src[0]], stop_rows])
         chain_c = np.concatenate([[src[1]], stop_cols])
+        plan = self.faults
         d = manhattan_arrays(chain_r[:-1], chain_c[:-1], chain_r[1:], chain_c[1:])
         nz = d > 0
-        energy = int(d.sum())
         messages = int(nz.sum())
-        self.stats.energy += energy
-        self.stats.messages += messages
+
+        # ---- fault recovery (same accounting as ``send``, per hop)
+        detour_energy = spare_energy = retry_energy = retries = 0
+        d_eff = d
+        if plan is not None and plan.injects_faults and messages:
+            if plan.dead_regions:
+                node_extra, node_spared = spare_extras(plan, chain_r, chain_c)
+                # each hop pays for both of its endpoints' spares
+                sp = node_extra[:-1] + node_extra[1:]
+                sp[~nz] = 0
+                spare_energy = int(sp.sum())
+                if spare_energy:
+                    d_eff = d_eff + sp
+                    self.recovery.spared += int((node_spared[1:] & nz).sum())
+                    self.recovery.spare_energy += spare_energy
+                extra = detour_extras(
+                    plan.dead_regions, chain_r[:-1], chain_c[:-1], chain_r[1:], chain_c[1:]
+                )
+                extra[~nz] = 0
+                detour_energy = int(extra.sum())
+                if detour_energy:
+                    d_eff = d_eff + extra
+                    self.recovery.detoured += int((extra > 0).sum())
+                    self.recovery.detour_energy += detour_energy
+            if plan.failure_prob > 0.0:
+                f, dropped, corrupted = sample_failures(plan, messages)
+                if f.any():
+                    full = np.zeros(len(d), dtype=META_DTYPE)
+                    full[nz] = f
+                    retries = int(f.sum())
+                    retry_energy = int((d_eff * full).sum())
+                    rec = self.recovery
+                    rec.dropped += int(dropped.sum())
+                    rec.corrupted += int(corrupted.sum())
+                    rec.retries += retries
+                    rec.retry_energy += retry_energy
+                    rec.backoff_ticks += backoff_ticks(plan, f)
+                    rec.max_attempts = max(rec.max_attempts, int(f.max()) + 1)
+
+        energy = int(d.sum())
+        self.stats.energy += energy + spare_energy + detour_energy + retry_energy
+        self.stats.messages += messages + retries
         if messages:
             self.stats.rounds += 1
         node = self._phase_node
@@ -403,13 +657,14 @@ class SpatialMachine:
                 chain_r[:-1], chain_c[:-1], chain_r[1:], chain_c[1:],
                 self.stats.rounds, phase=self.current_phase, kind="relay",
             )
-        depth = depth0 + messages
-        dist = dist0 + energy
+        depth = depth0 + messages + retries
+        dist = dist0 + int(d_eff.sum()) + retry_energy
         self.stats.max_depth = max(self.stats.max_depth, depth)
         self.stats.max_distance = max(self.stats.max_distance, dist)
         if node is not None:
             node.max_depth = max(node.max_depth, depth)
             node.max_distance = max(node.max_distance, dist)
+        self._charge_recovery(spare_energy + detour_energy + retry_energy, retries, None)
         return depth, dist
 
     # ------------------------------------------------------------------

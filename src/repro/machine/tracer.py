@@ -15,6 +15,7 @@ meant for ``n`` up to a few thousand.
 from __future__ import annotations
 
 import json
+import warnings
 from collections import Counter
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -112,7 +113,13 @@ class Tracer:
     @classmethod
     def from_jsonl(cls, source: str | Path | IO[str]) -> "Tracer":
         """Rebuild a tracer from a JSONL trace (messages regroup into batches
-        by consecutive ``(round, phase, kind)``)."""
+        by consecutive ``(round, phase, kind)``).
+
+        Corrupt or truncated lines — the usual aftermath of a process dying
+        mid-write — are skipped with a :class:`RuntimeWarning` and the valid
+        prefix/remainder still loads as a partial trace, instead of the whole
+        file being rejected with ``json.JSONDecodeError``.
+        """
         if hasattr(source, "read"):
             lines = source.read().splitlines()  # type: ignore[union-attr]
         else:
@@ -136,10 +143,20 @@ class Tracer:
             )
             pending.clear()
 
-        for line in lines:
+        bad_lines: list[int] = []
+        for lineno, line in enumerate(lines, 1):
             if not line.strip():
                 continue
-            rec = json.loads(line)
+            try:
+                rec = json.loads(line)
+                # touch every required field so structurally-broken records
+                # (e.g. a truncated "dst" pair) are rejected here, not deep
+                # inside flush() with an opaque error
+                _ = (rec["round"], rec["phase"], rec["kind"])
+                _ = (rec["src"][0], rec["src"][1], rec["dst"][0], rec["dst"][1])
+            except (json.JSONDecodeError, KeyError, IndexError, TypeError):
+                bad_lines.append(lineno)
+                continue
             if pending and (
                 rec["round"] != pending[0]["round"]
                 or rec["phase"] != pending[0]["phase"]
@@ -148,6 +165,16 @@ class Tracer:
                 flush()
             pending.append(rec)
         flush()
+        if bad_lines:
+            shown = ", ".join(str(ln) for ln in bad_lines[:5])
+            more = "" if len(bad_lines) <= 5 else f" (+{len(bad_lines) - 5} more)"
+            warnings.warn(
+                f"skipped {len(bad_lines)} corrupt/truncated trace line(s) "
+                f"at line {shown}{more}; loaded a partial trace of "
+                f"{tracer.total_messages()} messages",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         return tracer
 
     def energy_by_phase(self) -> dict[str, int]:

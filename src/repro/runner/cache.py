@@ -11,13 +11,27 @@ spec (different sizes/seeds/params) or any source file under ``src/repro``
 (or the suite's own bench file) changes the key and transparently invalidates
 exactly the affected entries.  Only ``status == "ok"`` points are cached —
 failures re-execute on the next run.
+
+Writes are torn-write safe under concurrency: each writer stages into a
+pid-unique temp file, then atomically renames it into place while holding an
+exclusive ``flock`` on a per-entry ``.lock`` file, so two simultaneous
+``repro bench run`` invocations can never interleave partial JSON.  Reads
+that do find a corrupt entry (e.g. from a power loss mid-rename on a
+non-atomic filesystem) discard it — the file is unlinked, never loaded.
 """
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
+import os
 from pathlib import Path
+
+try:  # POSIX advisory locks; absent on some platforms
+    import fcntl
+except ImportError:  # pragma: no cover - non-posix
+    fcntl = None  # type: ignore[assignment]
 
 from .result import PointResult
 from .spec import PointSpec, spec_hash
@@ -62,18 +76,50 @@ class ResultCache:
     def path_for(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
 
+    @contextlib.contextmanager
+    def _entry_lock(self, path: Path):
+        """Exclusive advisory lock scoped to one cache entry.
+
+        Serializes writers (and the corrupt-entry unlink in :meth:`get`)
+        against each other across processes.  No-op where ``fcntl`` is
+        unavailable — the pid-unique temp + atomic rename in :meth:`put`
+        still prevents torn writes there.
+        """
+        if fcntl is None:  # pragma: no cover - non-posix
+            yield
+            return
+        lock_path = path.with_suffix(".lock")
+        lock_path.parent.mkdir(parents=True, exist_ok=True)
+        with open(lock_path, "w") as lock_fh:
+            fcntl.flock(lock_fh, fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(lock_fh, fcntl.LOCK_UN)
+
+    def _discard(self, path: Path) -> None:
+        """Unlink a corrupt entry so it is never considered again."""
+        with self._entry_lock(path):
+            with contextlib.suppress(OSError):
+                path.unlink()
+
     # -- access ---------------------------------------------------------
     def get(self, key: str) -> PointResult | None:
         path = self.path_for(key)
         try:
             with open(path) as fh:
                 doc = json.load(fh)
-        except (OSError, json.JSONDecodeError):
+        except OSError:
+            self.misses += 1
+            return None
+        except json.JSONDecodeError:
+            self._discard(path)
             self.misses += 1
             return None
         try:
             res = PointResult.from_dict(doc)
         except (KeyError, TypeError, ValueError):
+            self._discard(path)
             self.misses += 1
             return None
         self.hits += 1
@@ -87,7 +133,13 @@ class ResultCache:
         path.parent.mkdir(parents=True, exist_ok=True)
         doc = result.as_dict()
         doc["cached"] = False  # stored form; flagged True on retrieval
-        tmp = path.with_suffix(".tmp")
-        with open(tmp, "w") as fh:
-            json.dump(doc, fh)
-        tmp.replace(path)
+        # pid-unique temp: concurrent writers never share a staging file
+        tmp = path.with_suffix(f".{os.getpid()}.tmp")
+        with self._entry_lock(path):
+            try:
+                with open(tmp, "w") as fh:
+                    json.dump(doc, fh)
+                tmp.replace(path)
+            finally:
+                with contextlib.suppress(OSError):
+                    tmp.unlink()

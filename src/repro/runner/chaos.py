@@ -1,0 +1,247 @@
+"""Chaos harness: every primitive under seeded fault plans.
+
+Each chaos point runs one algorithm **twice with the same algorithm seed** —
+once on a pristine machine and once under a :class:`~repro.machine.FaultPlan`
+— then checks that the results are bit-identical and reports the cost of
+surviving: energy/depth inflation factors and the recovery accounting
+(retries, detours, sparing) that explains them.
+
+Recovery in the simulator is *result-transparent* by construction (dropped
+and corrupted messages are re-sent, dead cells are spared deterministically),
+so a mismatch here means a bug in the fault layer, not an expected outcome;
+the chaos suite and ``repro chaos`` both treat it as a hard failure.
+
+Profiles are small named fault grids (see :data:`CHAOS_PROFILES`):
+
+``drops``       5% per-attempt message drop probability
+``corruption``  5% per-attempt payload corruption (detected + NACK + resend)
+``dead``        a dead square of side ``max(1, side // 4)`` at (1, 1)
+``mixed``       3% drops + 2% corruption + the dead square
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..machine import RECOVERY_PHASE, FaultPlan, Region, SpatialMachine
+
+__all__ = [
+    "CHAOS_ALGOS",
+    "CHAOS_PROFILES",
+    "chaos_plan",
+    "run_chaos_pair",
+    "run_chaos_point",
+    "run_chaos_grid",
+]
+
+
+# ---------------------------------------------------------------------------
+# algorithm runners: fn(machine, side, rng) -> result ndarray
+# ---------------------------------------------------------------------------
+def _run_scan(m: SpatialMachine, side: int, rng: np.random.Generator) -> np.ndarray:
+    from ..core.scan import scan
+
+    region = Region(0, 0, side, side)
+    x = rng.random(side * side)
+    return scan(m, m.place_zorder(x, region), region).inclusive.payload.copy()
+
+
+def _run_blocked_scan(m: SpatialMachine, side: int, rng: np.random.Generator) -> np.ndarray:
+    from ..core.blocked import blocked_scan
+
+    x = rng.random(4 * side * side)
+    return blocked_scan(m, x, block=4).prefix.copy()
+
+
+def _run_select(m: SpatialMachine, side: int, rng: np.random.Generator) -> np.ndarray:
+    from ..core.selection import rank_select
+
+    region = Region(0, 0, side, side)
+    n = side * side
+    x = rng.random(n)
+    res = rank_select(m, m.place_zorder(x, region), region, n // 3 + 1, rng)
+    return np.array([res.value])
+
+
+def _sorter_input(m: SpatialMachine, side: int, rng: np.random.Generator):
+    from ..core.sorting.sortutil import as_sort_payload
+
+    region = Region(0, 0, side, side)
+    x = rng.random(side * side)
+    return m.place_rowmajor(as_sort_payload(x), region), region
+
+
+def _run_mergesort(m: SpatialMachine, side: int, rng: np.random.Generator) -> np.ndarray:
+    from ..core.sorting.mergesort2d import sort_values
+
+    x = rng.random(side * side)
+    return sort_values(m, x, Region(0, 0, side, side)).payload[:, 0].copy()
+
+
+def _run_quicksort(m: SpatialMachine, side: int, rng: np.random.Generator) -> np.ndarray:
+    from ..core.sorting.quicksort2d import quicksort_2d
+
+    x = rng.random(side * side)
+    return np.asarray(quicksort_2d(m, x, Region(0, 0, side, side), rng).payload).copy()
+
+
+def _run_bitonic(m: SpatialMachine, side: int, rng: np.random.Generator) -> np.ndarray:
+    from ..core.sorting.bitonic import bitonic_sort
+
+    ta, region = _sorter_input(m, side, rng)
+    return bitonic_sort(m, ta, region).payload[:, 0].copy()
+
+
+def _run_odd_even(m: SpatialMachine, side: int, rng: np.random.Generator) -> np.ndarray:
+    from ..core.sorting.odd_even import odd_even_mergesort
+
+    ta, region = _sorter_input(m, side, rng)
+    return odd_even_mergesort(m, ta, region).payload[:, 0].copy()
+
+
+def _run_shearsort(m: SpatialMachine, side: int, rng: np.random.Generator) -> np.ndarray:
+    from ..core.sorting.mesh_sort import shearsort
+
+    ta, region = _sorter_input(m, side, rng)
+    return shearsort(m, ta, region).payload[:, 0].copy()
+
+
+def _run_allpairs(m: SpatialMachine, side: int, rng: np.random.Generator) -> np.ndarray:
+    from ..core.sorting.allpairs import allpairs_sort
+
+    ta, region = _sorter_input(m, side, rng)
+    return allpairs_sort(m, ta, region).payload[:, 0].copy()
+
+
+def _run_merge2d(m: SpatialMachine, side: int, rng: np.random.Generator) -> np.ndarray:
+    from ..core.sorting.merge2d import merge_sorted_2d
+    from ..core.sorting.sortutil import as_sort_payload
+
+    a = np.sort(rng.standard_normal(side * side))
+    b = np.sort(rng.standard_normal(side * side))
+    A = m.place_rowmajor(as_sort_payload(a), Region(0, 0, side, side))
+    B = m.place_rowmajor(as_sort_payload(b), Region(0, side, side, side))
+    out = merge_sorted_2d(m, A, B, Region(0, 0, side, 2 * side))
+    return out.payload[:, 0].copy()
+
+
+def _run_spmv(m: SpatialMachine, side: int, rng: np.random.Generator) -> np.ndarray:
+    from ..spmv import random_coo, spmv_spatial
+
+    dim = side * side
+    A = random_coo(dim, 4 * dim, rng)
+    x = rng.standard_normal(dim)
+    return np.asarray(spmv_spatial(m, A, x, rng=rng).payload).copy()
+
+
+#: name -> runner, covering scan, blocked scan, rank selection, all seven
+#: sorters, and SpMV (the acceptance list of ISSUE 3).
+CHAOS_ALGOS: dict[str, Callable[[SpatialMachine, int, np.random.Generator], np.ndarray]] = {
+    "scan": _run_scan,
+    "blocked_scan": _run_blocked_scan,
+    "select": _run_select,
+    "mergesort": _run_mergesort,
+    "quicksort": _run_quicksort,
+    "bitonic": _run_bitonic,
+    "oddeven": _run_odd_even,
+    "shearsort": _run_shearsort,
+    "allpairs": _run_allpairs,
+    "merge2d": _run_merge2d,
+    "spmv": _run_spmv,
+}
+
+#: profile name -> kwargs template (dead regions are side-dependent, so they
+#: are materialized by :func:`chaos_plan`).
+CHAOS_PROFILES: tuple[str, ...] = ("drops", "corruption", "dead", "mixed")
+
+
+def chaos_plan(profile: str, plan_seed: int, side: int) -> FaultPlan:
+    """Materialize one named fault profile for a ``side x side`` working set."""
+    d = max(1, side // 4)
+    dead = (Region(1, 1, d, d),)
+    if profile == "drops":
+        return FaultPlan.seeded(plan_seed, drop_prob=0.05)
+    if profile == "corruption":
+        return FaultPlan.seeded(plan_seed, corrupt_prob=0.05)
+    if profile == "dead":
+        return FaultPlan.seeded(plan_seed, dead_regions=dead)
+    if profile == "mixed":
+        return FaultPlan.seeded(plan_seed, drop_prob=0.03, corrupt_prob=0.02, dead_regions=dead)
+    raise ValueError(f"unknown chaos profile {profile!r}; have {', '.join(CHAOS_PROFILES)}")
+
+
+# ---------------------------------------------------------------------------
+# point execution
+# ---------------------------------------------------------------------------
+def run_chaos_pair(
+    algo: str,
+    profile: str,
+    side: int = 8,
+    seed: int = 0,
+    plan_seed: int | None = None,
+) -> tuple[dict, SpatialMachine, SpatialMachine]:
+    """Run ``algo`` clean and under ``profile``; return (report, clean machine,
+    faulty machine).  Both runs use the same algorithm generator seed so any
+    internal randomness (quicksort splitters, selection samples) matches."""
+    try:
+        fn = CHAOS_ALGOS[algo]
+    except KeyError:
+        raise ValueError(f"unknown chaos algo {algo!r}; have {', '.join(CHAOS_ALGOS)}") from None
+    if plan_seed is None:
+        plan_seed = seed + 1_000_003
+
+    clean_m = SpatialMachine()
+    clean = fn(clean_m, side, np.random.default_rng(seed))
+
+    plan = chaos_plan(profile, plan_seed, side)
+    faulty_m = SpatialMachine(faults=plan)
+    faulty = fn(faulty_m, side, np.random.default_rng(seed))
+
+    cs, fs = clean_m.stats, faulty_m.stats
+    report = {
+        "algo": algo,
+        "profile": profile,
+        "side": side,
+        "seed": seed,
+        "plan_seed": plan_seed,
+        "plan": plan.describe(),
+        "exact_match": bool(np.array_equal(clean, faulty)),
+        "clean_energy": int(cs.energy),
+        "faulty_energy": int(fs.energy),
+        "clean_max_depth": int(cs.max_depth),
+        "faulty_max_depth": int(fs.max_depth),
+        "energy_inflation": (fs.energy / cs.energy) if cs.energy else 1.0,
+        "depth_inflation": (fs.max_depth / cs.max_depth) if cs.max_depth else 1.0,
+        "recovery": faulty_m.recovery.as_dict(),
+        "recovery_phase_energy": int(faulty_m.cost_tree.root.child(RECOVERY_PHASE).energy),
+    }
+    return report, clean_m, faulty_m
+
+
+def run_chaos_point(
+    algo: str,
+    profile: str,
+    side: int = 8,
+    seed: int = 0,
+    plan_seed: int | None = None,
+) -> dict:
+    """JSON-friendly chaos report for one (algo, profile) point."""
+    report, _, _ = run_chaos_pair(algo, profile, side, seed, plan_seed)
+    return report
+
+
+def run_chaos_grid(
+    algos: list[str] | None = None,
+    profiles: list[str] | None = None,
+    side: int = 8,
+    seeds: tuple[int, ...] = (0,),
+) -> list[dict]:
+    """Cross (algos x profiles x seeds); returns one report per point."""
+    out = []
+    for algo in algos or list(CHAOS_ALGOS):
+        for profile in profiles or list(CHAOS_PROFILES):
+            for seed in seeds:
+                out.append(run_chaos_point(algo, profile, side, seed))
+    return out

@@ -27,13 +27,15 @@ from multiprocessing import connection as mp_connection
 from pathlib import Path
 from typing import Callable
 
+import numpy as np
+
 from .cache import ResultCache
 from .registry import Suite
 from .result import PointResult
 from .spec import PointSpec
 from .worker import worker_entry
 
-__all__ = ["RunConfig", "run_points"]
+__all__ = ["RunConfig", "retry_delay", "run_points"]
 
 
 @dataclass(frozen=True)
@@ -44,7 +46,25 @@ class RunConfig:
     timeout: float = 300.0
     retries: int = 2
     backoff: float = 0.25
+    jitter: float = 0.5
     use_cache: bool = True
+
+
+def retry_delay(config: RunConfig, point_seed: int, index: int, attempt: int) -> float:
+    """Backoff before retrying a crashed worker: exponential plus jitter.
+
+    The jitter term desynchronizes retries when several workers die at once
+    (e.g. an OOM sweep) so they do not stampede back in lockstep, yet it is
+    *deterministic*: drawn from a generator seeded by the point's own seed,
+    its sweep index, and the attempt number, so re-running a sweep reproduces
+    the exact same schedule.  ``config.jitter`` scales the spread — delay is
+    uniform in ``[base, base * (1 + jitter)]`` with ``base = backoff * 2^a``.
+    """
+    base = config.backoff * (2**attempt)
+    if config.jitter <= 0.0:
+        return base
+    rng = np.random.default_rng((point_seed, index, attempt))
+    return base * (1.0 + config.jitter * float(rng.random()))
 
 
 def _context():
@@ -167,7 +187,7 @@ def run_points(
                 else:  # crash: the worker died without reporting
                     code = getattr(r.proc, "exitcode", None)
                     if r.attempt < config.retries:
-                        delay = config.backoff * (2**r.attempt)
+                        delay = retry_delay(config, r.point.seed, r.index, r.attempt)
                         say(
                             f"  [{suite.name}] {r.point.label()}: worker crashed "
                             f"(exit {code}), retry {r.attempt + 1}/{config.retries} "

@@ -30,6 +30,7 @@ import numpy as np
 
 from ..core.ops import ADD, Monoid
 from ..core.scan import segmented_broadcast, segmented_scan
+from ..core.validate import check_finite_values
 from ..core.sorting.mergesort2d import mergesort_2d
 from ..machine.geometry import Region
 from ..machine.machine import SpatialMachine, TrackedArray, concat_tracked
@@ -100,8 +101,13 @@ def spmv_spatial(
     ``combine=MIN, multiply=lambda a, x: x`` gives the min-label propagation
     used for connected components in :mod:`repro.apps.graph`).  Rows with no
     entries receive ``combine.identity_scalar``.
+
+    Fault-transparent: ``y`` is bit-identical under any
+    :class:`~repro.machine.FaultPlan`; recovery only inflates costs.
     """
     n, nnz = matrix.n, matrix.nnz
+    check_finite_values(machine, np.asarray(x), "spmv x vector")
+    check_finite_values(machine, matrix.vals, "spmv matrix values")
     if nnz == 0:
         raise ValueError("SpMV needs at least one non-zero")
     layout = layout or SpMVLayout.default(n, nnz)

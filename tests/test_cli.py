@@ -103,3 +103,34 @@ class TestBenchCommands:
         assert main(["bench", "compare", "--baseline", str(out_file),
                      "--current", str(out_file)]) == 0
         assert "PASS" in capsys.readouterr().out
+
+
+class TestChaosCommand:
+    def test_chaos_sweep_passes(self, capsys):
+        assert main(["chaos", "--algos", "scan,select", "--profiles",
+                     "drops,dead", "--side", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "chaos sweep" in out
+        assert "MISMATCH" not in out
+
+    def test_chaos_json_output(self, tmp_path, capsys):
+        out_file = tmp_path / "chaos.json"
+        assert main(["chaos", "--algos", "scan", "--profiles", "mixed",
+                     "--side", "4", "--out", str(out_file)]) == 0
+        import json
+
+        reports = json.loads(out_file.read_text())
+        assert len(reports) == 1
+        assert reports[0]["exact_match"] is True
+        assert "recovery" in reports[0]
+        capsys.readouterr()
+
+    def test_chaos_rejects_unknown_algo(self):
+        with pytest.raises(ValueError, match="unknown chaos algo"):
+            main(["chaos", "--algos", "nope", "--profiles", "drops"])
+
+    def test_chaos_multiple_plans(self, capsys):
+        assert main(["chaos", "--algos", "mergesort", "--profiles", "mixed",
+                     "--side", "4", "--plans", "3"]) == 0
+        # three seeded plans, all bit-identical
+        assert capsys.readouterr().out.count(" ok ") >= 3

@@ -135,3 +135,66 @@ class TestAdversarialInputs:
         m = SpatialMachine()
         y = spmv_spatial(m, A, x)
         assert np.allclose(y.payload, A.multiply_dense(x), rtol=1e-9)
+
+
+# ---------------------------------------------------------------------------
+# property-based chaos: randomized FaultPlans must never change results
+# ---------------------------------------------------------------------------
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.scan import scan
+from repro.machine import FaultPlan
+
+fault_plans = st.builds(
+    lambda seed, drop, corrupt, dead: FaultPlan.seeded(
+        seed,
+        drop_prob=drop,
+        corrupt_prob=corrupt,
+        dead_regions=(Region(1, 1, 2, 2),) if dead else (),
+    ),
+    seed=st.integers(0, 2**31 - 1),
+    drop=st.floats(0.0, 0.3),
+    corrupt=st.floats(0.0, 0.3),
+    dead=st.booleans(),
+)
+
+
+class TestRandomizedFaultPlans:
+    """Hypothesis sweep: for arbitrary plans, results equal the fault-free
+    run bit for bit and recovery only ever adds cost."""
+
+    @given(plan=fault_plans, algo_seed=st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_scan_matches_fault_free(self, plan, algo_seed):
+        region = Region(0, 0, 4, 4)
+        x = np.random.default_rng(algo_seed).standard_normal(16)
+        clean_m = SpatialMachine()
+        clean = scan(clean_m, clean_m.place_zorder(x, region), region)
+        m = SpatialMachine(faults=plan)
+        res = scan(m, m.place_zorder(x, region), region)
+        assert np.array_equal(res.inclusive.payload, clean.inclusive.payload)
+        assert np.array_equal(res.exclusive.payload, clean.exclusive.payload)
+        assert m.stats.energy >= clean_m.stats.energy
+        assert m.cost_tree.total().energy == m.stats.energy
+
+    @given(plan=fault_plans, algo_seed=st.integers(0, 1000))
+    @settings(max_examples=15, deadline=None)
+    def test_rank_select_matches_fault_free(self, plan, algo_seed):
+        n = 16
+        region = Region(0, 0, 4, 4)
+        arng = np.random.default_rng(algo_seed)
+        x = arng.standard_normal(n)
+        k = int(arng.integers(1, n + 1))
+        clean_m = SpatialMachine()
+        want = rank_select(
+            clean_m, clean_m.place_zorder(x, region), region, k,
+            np.random.default_rng(algo_seed + 1),
+        )
+        m = SpatialMachine(faults=plan)
+        got = rank_select(
+            m, m.place_zorder(x, region), region, k,
+            np.random.default_rng(algo_seed + 1),
+        )
+        assert got.value == want.value == np.sort(x)[k - 1]
+        assert m.stats.energy >= clean_m.stats.energy

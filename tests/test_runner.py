@@ -268,3 +268,113 @@ class TestSchema:
     def test_validator_rejects_non_objects(self):
         assert validate_bench_result([]) == ["document is not a JSON object"]
         assert "schema_version must be 1" in validate_bench_result({})[0]
+
+
+class TestCacheTornWrites:
+    """Concurrency hardening: torn writes are discarded, never loaded."""
+
+    def _point(self, n=4):
+        return PointSpec(suite="rt_ok", params={"n": n}, seed=0)
+
+    def _result(self, n=4):
+        return PointResult(params={"n": n}, seed=0, repeat=0, status="ok",
+                           metrics={"energy": 10})
+
+    def test_torn_write_is_discarded_not_loaded(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        key = cache.key_for(self._point(), "v1")
+        cache.put(key, self._result())
+        path = cache.path_for(key)
+        full = path.read_text()
+        path.write_text(full[: len(full) // 2])  # simulated torn write
+        assert cache.get(key) is None
+        assert not path.exists()  # corrupt entry removed, not just skipped
+        # the slot is clean: a fresh put works and reads back
+        cache.put(key, self._result())
+        assert cache.get(key) is not None
+
+    def test_structurally_invalid_entry_discarded(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        key = cache.key_for(self._point(), "v1")
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text('{"valid_json": "but not a PointResult"}')
+        assert cache.get(key) is None
+        assert not path.exists()
+
+    def test_no_stale_tmp_files_left_behind(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        key = cache.key_for(self._point(), "v1")
+        cache.put(key, self._result())
+        leftovers = [p for p in (tmp_path / "c").rglob("*.tmp")]
+        assert leftovers == []
+
+    def test_writers_serialize_on_entry_lock(self, tmp_path):
+        import threading
+        import time as _time
+
+        try:
+            import fcntl
+        except ImportError:
+            pytest.skip("no fcntl on this platform")
+        cache = ResultCache(tmp_path / "c")
+        key = cache.key_for(self._point(), "v1")
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        lock_fh = open(path.with_suffix(".lock"), "w")
+        fcntl.flock(lock_fh, fcntl.LOCK_EX)
+        done = threading.Event()
+
+        def writer():
+            cache.put(key, self._result())
+            done.set()
+
+        t = threading.Thread(target=writer, daemon=True)
+        t.start()
+        assert not done.wait(0.3)  # blocked while we hold the entry lock
+        fcntl.flock(lock_fh, fcntl.LOCK_UN)
+        lock_fh.close()
+        assert done.wait(5.0)
+        t.join(5.0)
+        assert cache.get(key) is not None
+
+
+class TestRetryJitter:
+    """Crash-retry backoff carries deterministic, seeded jitter."""
+
+    def test_deterministic_for_same_inputs(self):
+        from repro.runner.executor import retry_delay
+
+        cfg = RunConfig(backoff=0.25, jitter=0.5)
+        assert retry_delay(cfg, 7, 3, 1) == retry_delay(cfg, 7, 3, 1)
+
+    def test_within_jitter_envelope(self):
+        from repro.runner.executor import retry_delay
+
+        cfg = RunConfig(backoff=0.25, jitter=0.5)
+        for attempt in range(3):
+            base = 0.25 * 2**attempt
+            d = retry_delay(cfg, 0, 0, attempt)
+            assert base <= d <= base * 1.5
+
+    def test_zero_jitter_is_pure_exponential(self):
+        from repro.runner.executor import retry_delay
+
+        cfg = RunConfig(backoff=0.25, jitter=0.0)
+        assert retry_delay(cfg, 0, 0, 2) == 1.0
+
+    def test_distinct_points_desynchronize(self):
+        from repro.runner.executor import retry_delay
+
+        cfg = RunConfig(backoff=0.25, jitter=0.5)
+        delays = {retry_delay(cfg, seed, idx, 0) for seed in range(4) for idx in range(4)}
+        assert len(delays) > 1  # not all in lockstep
+
+    def test_crash_retries_still_succeed_with_jitter(self, synth, synth_dir):
+        suite = synth["rt_crash"]
+        pts = suite.spec().points()
+        cfg = RunConfig(jobs=2, timeout=10.0, retries=2, backoff=0.01, jitter=0.5,
+                        use_cache=False)
+        res = run_points(suite, pts, cfg, bench_dir=synth_dir)
+        assert all(r.status == "failed" for r in res)
+        assert all(r.attempts == 3 for r in res)

@@ -186,3 +186,43 @@ class TestStructuredRecords:
         scan(m, m.place_zorder(rng.random(64), reg), reg)
         assert m.tracer is None
         assert m.stats.energy > 0
+
+
+class TestCorruptTraceLoading:
+    """A process dying mid-write must not make the whole trace unreadable."""
+
+    def _trace_text(self, rng):
+        from repro.core.scan import scan
+
+        m = SpatialMachine(trace=True)
+        reg = Region(0, 0, 4, 4)
+        scan(m, m.place_zorder(rng.random(16), reg), reg)
+        buf = io.StringIO()
+        total = m.tracer.to_jsonl(buf)
+        return buf.getvalue(), total
+
+    def test_truncated_trailing_line_warns_and_loads_partial(self, rng):
+        text, total = self._trace_text(rng)
+        lines = text.splitlines()
+        torn = "\n".join(lines[:-1] + [lines[-1][: len(lines[-1]) // 2]])
+        with pytest.warns(RuntimeWarning, match="corrupt/truncated"):
+            back = Tracer.from_jsonl(io.StringIO(torn))
+        assert back.total_messages() == total - 1
+
+    def test_corrupt_middle_line_skipped_not_fatal(self, rng):
+        text, total = self._trace_text(rng)
+        lines = text.splitlines()
+        lines[1] = "{this is not json"
+        lines[3] = '{"round": 0, "phase": "x", "kind": "send", "src": [0]}'
+        with pytest.warns(RuntimeWarning, match="skipped 2"):
+            back = Tracer.from_jsonl(io.StringIO("\n".join(lines)))
+        assert back.total_messages() == total - 2
+
+    def test_clean_trace_emits_no_warning(self, rng):
+        import warnings as _warnings
+
+        text, total = self._trace_text(rng)
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error")
+            back = Tracer.from_jsonl(io.StringIO(text))
+        assert back.total_messages() == total
