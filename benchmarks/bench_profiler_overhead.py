@@ -1,0 +1,79 @@
+"""Profiler overhead — opt-in cost, and a guarantee the default path is free.
+
+``SpatialMachine(profile=True)`` folds every charged batch into per-cell
+traffic grids, unrolls XY routes onto unit links, and retains compact hop
+records for witness extraction.  That is real work — measured here at
+roughly 4x wall-clock on 2D Mergesort, the most batch-dense code path
+(thousands of tiny relay batches; vectorized codes like the scan pay the
+same per-batch constant over far fewer batches).  Profiling is opt-in
+observability, so the *reported* ratios are the artifact; the assertions
+only catch pathological regressions (a per-fold ``np.unique(axis=0)`` once
+made this 17x).
+
+The guarantee this bench pins: with ``profile`` off (the default), the
+machine carries no profiler at all — the fast path adds a single
+``is None`` test per batch — so profiler-off timing is the baseline, not a
+degraded mode.
+"""
+
+import time
+
+import numpy as np
+
+from repro.core.sorting.mergesort2d import sort_values
+from repro.machine import Region, SpatialMachine, SpatialProfiler
+
+SIDE = 16  # n = 256; mergesort's relay-heavy recursion is already ~3900 batches
+REPEATS = 3
+
+
+def _run(rng_seed: int, profile) -> float:
+    rng = np.random.default_rng(rng_seed)
+    x = rng.random(SIDE * SIDE)
+    best = float("inf")
+    for _ in range(REPEATS):
+        m = SpatialMachine(profile=profile)
+        t0 = time.perf_counter()
+        sort_values(m, x, Region(0, 0, SIDE, SIDE))
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_profiler_overhead(benchmark, report):
+    def measure():
+        _run(1, False)  # warm numpy / allocator before timing
+        off = _run(1, False)
+        grids = _run(1, SpatialProfiler(witnesses=False))
+        full = _run(1, True)
+        return off, grids, full
+
+    off, grids, full = benchmark.pedantic(measure, rounds=1, iterations=1)
+    report(
+        f"profiler overhead on 2D Mergesort (n={SIDE * SIDE}): "
+        f"off {off * 1e3:.1f} ms, grids-only {grids * 1e3:.1f} ms "
+        f"({grids / off:.2f}x), full {full * 1e3:.1f} ms ({full / off:.2f}x) "
+        f"(opt-in; profile=False machines run the unchanged fast path)"
+    )
+    assert SpatialMachine().profiler is None, "profiling must be opt-in"
+    assert SpatialMachine(profile=False).profiler is None
+    # loose regression bounds: measured ~4.3x; a noisy runner must not flake
+    assert full / off < 10.0, f"full profiling too expensive: {full / off:.2f}x"
+    assert grids / off < 10.0, f"grid folding too expensive: {grids / off:.2f}x"
+
+
+# -- repro.runner suite ----------------------------------------------------
+from repro.runner import point_from_machine, register_suite
+
+
+@register_suite(
+    "profiler_overhead",
+    artifact="observability — profiler on/off (wall-clock is the artifact)",
+    grid={"side": [16], "profile": [False, True]},
+    quick={"side": [8], "profile": [False, True]},
+)
+def _suite_point(params, rng):
+    side = params["side"]
+    x = rng.random(side * side)
+    m = SpatialMachine(profile=bool(params["profile"]))
+    sort_values(m, x, Region(0, 0, side, side))
+    return point_from_machine(m)

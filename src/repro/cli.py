@@ -6,7 +6,9 @@
     python -m repro spmv --n 64 --density 4
     python -m repro table1 --quick
     python -m repro report --algo sort --per-phase
+    python -m repro report --algo sort --format json
     python -m repro trace --algo scan --out scan.jsonl
+    python -m repro profile scan -n 4096 --heatmap out.svg --trace out.json
     python -m repro chaos --profiles mixed --side 8
     python -m repro bench list
     python -m repro bench run --suite table1_sort --jobs 4
@@ -168,10 +170,11 @@ def _print_costs(name: str, bound: str, m: SpatialMachine, depth: int, dist: int
     print(f"  paper bound: {bound}")
 
 
-def _run_algo(algo: str, n: int, seed: int, workload: str, trace: bool):
+def _run_algo(algo: str, n: int, seed: int, workload: str, trace: bool,
+              profile: bool = False):
     """Run one primitive on a fresh machine; return (machine, label)."""
     rng = np.random.default_rng(seed)
-    m = SpatialMachine(trace=trace)
+    m = SpatialMachine(trace=trace, profile=profile)
     if algo == "scan":
         region = _square_for(n)
         x = make_workload(workload, n, rng)
@@ -246,13 +249,97 @@ def _cmd_chaos(args) -> int:
 
 
 def _cmd_report(args) -> int:
+    import json
+
     m, label = _run_algo(args.algo, args.n, args.seed, args.workload, trace=False)
     s = m.stats
+    if args.format == "json":
+        doc = {
+            "label": label,
+            "algo": args.algo,
+            "n": args.n,
+            "seed": args.seed,
+            "workload": args.workload,
+            "metrics": {
+                "energy": s.energy,
+                "messages": s.messages,
+                "rounds": s.rounds,
+                "max_depth": s.max_depth,
+                "max_distance": s.max_distance,
+            },
+            "cost_tree": m.cost_tree.as_dict(),
+        }
+        print(json.dumps(doc, indent=2, sort_keys=False))
+        return 0
     print(f"{label}: energy={s.energy} messages={s.messages} rounds={s.rounds} "
           f"depth={s.max_depth} distance={s.max_distance}")
     if args.per_phase:
         print()
         print(m.cost_tree.render(min_energy=args.min_energy))
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from .machine.chrometrace import write_chrome_trace
+    from .machine.heatmap import render_ascii, write_heatmap
+
+    m, label = _run_algo(args.algo, args.n, args.seed, args.workload,
+                         trace=False, profile=True)
+    prof = m.profiler
+    s = m.stats
+    print(f"{label}: energy={s.energy} messages={s.messages} rounds={s.rounds} "
+          f"depth={s.max_depth} distance={s.max_distance}")
+
+    stats = prof.hotspot_stats(args.metric)
+    bbox = stats["bbox"]
+    where = (f"rows {bbox[0]}..{bbox[2]}, cols {bbox[1]}..{bbox[3]}"
+             if bbox else "(empty)")
+    print(f"{args.metric} grid: {stats['active_cells']} active cell(s) over "
+          f"{where}; max={stats['max']} mean={stats['mean']} "
+          f"gini={stats['gini']} max/mean={stats['max_mean_skew']}")
+    print(f"top {args.top} hotspot(s) by {args.metric}:")
+    for cell, v in prof.top_cells(args.top, by=args.metric):
+        print(f"  {cell}: {v}")
+
+    if args.witness in ("depth", "both"):
+        w = prof.depth_witness()
+        print()
+        print(w.render())
+        if w.complete and w.replayed() != s.max_depth:  # pragma: no cover
+            print("  WARNING: witness replay disagrees with MachineStats.max_depth",
+                  file=sys.stderr)
+    if args.witness in ("distance", "both"):
+        w = prof.distance_witness()
+        print()
+        print(w.render())
+        if w.complete and w.replayed() != s.max_distance:  # pragma: no cover
+            print("  WARNING: witness replay disagrees with MachineStats.max_distance",
+                  file=sys.stderr)
+
+    grids = {
+        "energy": prof.cell_energy,
+        "sent": lambda: prof.sent,
+        "received": lambda: prof.received,
+        "links": prof.link_load,
+    }
+    cells = grids[args.metric]()
+    if args.ascii:
+        print()
+        print(render_ascii(cells, title=f"{label} — {args.metric} per cell"))
+    if args.heatmap:
+        try:
+            fmt = write_heatmap(cells, args.heatmap,
+                                title=f"{label} — {args.metric} per cell")
+        except OSError as e:
+            raise SystemExit(f"cannot write heatmap to {args.heatmap}: {e}")
+        print(f"wrote {fmt} heatmap to {args.heatmap}")
+    if args.trace:
+        try:
+            count = write_chrome_trace(prof, args.trace, label=label)
+        except OSError as e:
+            raise SystemExit(f"cannot write trace to {args.trace}: {e}")
+        print(f"wrote {count} trace event(s) to {args.trace} "
+              "(load in ui.perfetto.dev or chrome://tracing)")
     return 0
 
 
@@ -279,7 +366,8 @@ def build_parser() -> argparse.ArgumentParser:
     sub = p.add_subparsers(dest="command", required=True)
 
     def common(sp, default_n=1024):
-        sp.add_argument("--n", type=int, default=default_n, help="input size (power of 4)")
+        sp.add_argument("-n", "--n", type=int, default=default_n,
+                        help="input size (power of 4)")
         sp.add_argument("--seed", type=int, default=0)
         sp.add_argument("--workload", default="uniform",
                         choices=("uniform", "reversed", "sorted", "few_distinct", "zipf"))
@@ -330,7 +418,31 @@ def build_parser() -> argparse.ArgumentParser:
                     help="print the hierarchical phase-cost tree")
     sp.add_argument("--min-energy", type=int, default=0,
                     help="hide phases cheaper than this energy")
+    sp.add_argument("--format", default="text", choices=("text", "json"),
+                    help="output format; json dumps the full CostTree for scripts")
     sp.set_defaults(func=_cmd_report)
+
+    sp = sub.add_parser(
+        "profile",
+        help="spatial profiler: per-cell heatmaps, link load, critical-path witnesses",
+    )
+    sp.add_argument("algo", choices=("scan", "sort", "select", "spmv"),
+                    help="which primitive to profile")
+    common(sp, 1024)
+    sp.add_argument("--metric", default="energy",
+                    choices=("energy", "sent", "received", "links"),
+                    help="cell metric for hotspots/heatmaps (default: wire energy)")
+    sp.add_argument("--top", type=int, default=8, help="hotspot cells to list")
+    sp.add_argument("--witness", default="both",
+                    choices=("depth", "distance", "both", "none"),
+                    help="which critical-path witness chain(s) to print")
+    sp.add_argument("--ascii", action="store_true",
+                    help="print an ASCII heatmap to stdout")
+    sp.add_argument("--heatmap", default="",
+                    help="write a heatmap file (.svg for SVG, else ASCII text)")
+    sp.add_argument("--trace", default="",
+                    help="write Chrome trace-event JSON (Perfetto-loadable)")
+    sp.set_defaults(func=_cmd_profile)
 
     sp = sub.add_parser("trace", help="run with tracing on and dump JSONL message records")
     algo_common(sp)

@@ -9,10 +9,13 @@ from .faults import (
     ModelViolation,
     RecoveryStats,
 )
+from .chrometrace import chrome_trace_events, write_chrome_trace
 from .geometry import Region, manhattan, manhattan_arrays
+from .heatmap import render_ascii, render_svg, write_heatmap
 from .machine import DEFAULT_WORD_BUDGET, SpatialMachine, TrackedArray, combine
 from .metrics import CostReport, CostTree, MachineStats, PhaseNode
-from .tracer import MessageBatch, Tracer
+from .profiler import SpatialProfiler, Witness, WitnessHop, gini, grid_to_dense
+from .tracer import MessageBatch, Tracer, jsonl_sink
 from .zorder import (
     is_power_of_two,
     zorder_coords,
@@ -40,6 +43,17 @@ __all__ = [
     "MachineStats",
     "Tracer",
     "MessageBatch",
+    "jsonl_sink",
+    "SpatialProfiler",
+    "Witness",
+    "WitnessHop",
+    "gini",
+    "grid_to_dense",
+    "render_ascii",
+    "render_svg",
+    "write_heatmap",
+    "chrome_trace_events",
+    "write_chrome_trace",
     "zorder_encode",
     "zorder_decode",
     "zorder_coords",

@@ -1,0 +1,176 @@
+"""Heatmap renderers for profiler grids: ASCII for terminals, SVG for docs.
+
+Both renderers take the sparse ``{(row, col): value}`` maps the
+:class:`~repro.machine.profiler.SpatialProfiler` accumulates (or any map of
+the same shape, e.g. :meth:`Tracer.energy_by_cell`), densify them over the
+occupied bounding box, and shade by value.  No third-party plotting
+dependency: the SVG is hand-assembled markup any browser (and Perfetto's
+screenshot tooling) renders.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import IO, Mapping
+
+import numpy as np
+
+from .profiler import grid_to_dense
+
+__all__ = ["render_ascii", "render_svg", "write_heatmap"]
+
+#: terminal shading ramp, light to heavy
+_ASCII_RAMP = " .:-=+*#%@"
+
+#: inferno-like color ramp anchors (fraction, (r, g, b))
+_SVG_RAMP = (
+    (0.00, (12, 7, 35)),
+    (0.25, (87, 16, 110)),
+    (0.50, (188, 55, 84)),
+    (0.75, (249, 142, 9)),
+    (1.00, (252, 255, 164)),
+)
+
+
+def _densify(cells: Mapping[tuple[int, int], int]):
+    dense, origin = grid_to_dense(dict(cells))
+    return dense.astype(np.float64), origin
+
+
+def _ramp_color(frac: float) -> str:
+    frac = min(1.0, max(0.0, frac))
+    for (f0, c0), (f1, c1) in zip(_SVG_RAMP, _SVG_RAMP[1:]):
+        if frac <= f1:
+            t = 0.0 if f1 == f0 else (frac - f0) / (f1 - f0)
+            r, g, b = (round(a + t * (b_ - a)) for a, b_ in zip(c0, c1))
+            return f"#{r:02x}{g:02x}{b:02x}"
+    r, g, b = _SVG_RAMP[-1][1]  # pragma: no cover - frac > 1 clamped above
+    return f"#{r:02x}{g:02x}{b:02x}"
+
+
+def render_ascii(
+    cells: Mapping[tuple[int, int], int], title: str = "", max_width: int = 96
+) -> str:
+    """Shade a cell map with terminal characters (one char per cell).
+
+    Wide grids are block-downsampled (each character then aggregates a
+    ``k x k`` block, stated in the legend) so the picture fits ``max_width``
+    columns.
+    """
+    dense, (r0, c0) = _densify(cells)
+    if dense.size == 0:
+        return f"{title + ': ' if title else ''}(empty grid)"
+    k = 1
+    while dense.shape[1] / k > max_width:
+        k *= 2
+    if k > 1:
+        h = -(-dense.shape[0] // k) * k
+        w = -(-dense.shape[1] // k) * k
+        padded = np.zeros((h, w))
+        padded[: dense.shape[0], : dense.shape[1]] = dense
+        dense = padded.reshape(h // k, k, w // k, k).sum(axis=(1, 3))
+    vmax = dense.max()
+    lines = []
+    if title:
+        lines.append(title)
+    if vmax <= 0:
+        scaled = np.zeros_like(dense, dtype=np.int64)
+    else:
+        scaled = np.minimum(
+            (dense / vmax * (len(_ASCII_RAMP) - 1)).round().astype(np.int64),
+            len(_ASCII_RAMP) - 1,
+        )
+        # occupied-but-faint cells still get the lightest non-blank shade
+        scaled[(dense > 0) & (scaled == 0)] = 1
+    for row in scaled:
+        lines.append("".join(_ASCII_RAMP[v] for v in row))
+    block = f", 1 char = {k}x{k} cells" if k > 1 else ""
+    lines.append(
+        f"origin=({r0}, {c0}), max={int(vmax)}{block}, "
+        f"ramp '{_ASCII_RAMP.strip()}' light->heavy"
+    )
+    return "\n".join(lines)
+
+
+def render_svg(
+    cells: Mapping[tuple[int, int], int],
+    title: str = "heatmap",
+    cell_px: int | None = None,
+    log_scale: bool = True,
+) -> str:
+    """Standalone SVG heatmap of a cell map (log-shaded by default).
+
+    Log shading keeps tree-pattern hotspots from washing the rest of the
+    grid to black; pass ``log_scale=False`` for a linear ramp.
+    """
+    dense, (r0, c0) = _densify(cells)
+    h, w = (dense.shape if dense.size else (1, 1))
+    if cell_px is None:
+        cell_px = max(3, min(24, 640 // max(h, w)))
+    pad, header, footer = 6, 24, 30
+    width = w * cell_px + 2 * pad
+    height = h * cell_px + header + footer + 2 * pad
+    vmax = float(dense.max()) if dense.size else 0.0
+    out = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+        f'<text x="{pad}" y="{header - 8}" font-family="monospace" '
+        f'font-size="13">{_esc(title)}</text>',
+    ]
+    if dense.size and vmax > 0:
+        if log_scale:
+            shade = np.log1p(dense) / np.log1p(vmax)
+        else:
+            shade = dense / vmax
+        ys, xs = np.nonzero(dense)
+        for r, c in zip(ys.tolist(), xs.tolist()):
+            color = _ramp_color(float(shade[r, c]))
+            out.append(
+                f'<rect x="{pad + c * cell_px}" y="{header + pad + r * cell_px}" '
+                f'width="{cell_px}" height="{cell_px}" fill="{color}">'
+                f"<title>({r + r0}, {c + c0}): {int(dense[r, c])}</title></rect>"
+            )
+    # legend: the ramp plus the extremes
+    bar_y = header + pad + h * cell_px + 8
+    bar_w = max(60, width - 2 * pad - 120)
+    steps = 24
+    for i in range(steps):
+        out.append(
+            f'<rect x="{pad + i * bar_w // steps}" y="{bar_y}" '
+            f'width="{-(-bar_w // steps)}" height="8" '
+            f'fill="{_ramp_color((i + 0.5) / steps)}"/>'
+        )
+    scale = "log" if log_scale else "linear"
+    out.append(
+        f'<text x="{pad + bar_w + 6}" y="{bar_y + 8}" font-family="monospace" '
+        f'font-size="10">0 .. {int(vmax)} ({scale}), origin=({r0}, {c0})</text>'
+    )
+    out.append("</svg>")
+    return "\n".join(out)
+
+
+def _esc(text: str) -> str:
+    return text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+
+
+def write_heatmap(
+    cells: Mapping[tuple[int, int], int],
+    target: str | Path | IO[str],
+    title: str = "heatmap",
+) -> str:
+    """Write a heatmap, picking the format from the filename.
+
+    ``*.svg`` gets the SVG renderer; anything else (``.txt``, ``.asc``, a
+    bare stream) gets the ASCII renderer.  Returns the format written.
+    """
+    if hasattr(target, "write"):
+        target.write(render_ascii(cells, title) + "\n")  # type: ignore[union-attr]
+        return "ascii"
+    path = Path(target)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if path.suffix.lower() == ".svg":
+        path.write_text(render_svg(cells, title) + "\n")
+        return "svg"
+    path.write_text(render_ascii(cells, title) + "\n")
+    return "ascii"

@@ -44,6 +44,7 @@ from .faults import (
 )
 from .geometry import Region, manhattan_arrays
 from .metrics import META_DTYPE, CostReport, CostTree, MachineStats, combine_meta
+from .profiler import SpatialProfiler
 from .tracer import Tracer
 from . import zorder as zo
 
@@ -238,10 +239,15 @@ class _PhaseSpan:
         m = self._machine
         self._prev = m._phase_node
         m._phase_node = self._prev.child(self._name)
+        if m.profiler is not None:
+            m.profiler.phase_enter(m._phase_node.path)
         return m._phase_node
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        self._machine._phase_node = self._prev
+        m = self._machine
+        if m.profiler is not None:
+            m.profiler.phase_exit(m._phase_node.path)
+        m._phase_node = self._prev
 
 
 class _NullSpan:
@@ -267,7 +273,19 @@ class SpatialMachine:
     trace:
         Record every message batch in :attr:`tracer` (for small-n tests,
         memory audits and figure generation).  Off by default: tracing large
-        runs is memory-hungry.
+        runs is memory-hungry.  Pass a preconfigured
+        :class:`~repro.machine.tracer.Tracer` (e.g. a streaming one with
+        ``retain=False`` and a sink) instead of ``True`` to control the
+        memory footprint.
+    profile:
+        Attach a :class:`~repro.machine.profiler.SpatialProfiler`: per-cell
+        traffic/energy grids, per-link XY-route utilization, and the
+        depth/distance critical-path witnesses (``docs/PROFILING.md``).
+        ``True`` creates a default profiler; a preconfigured
+        ``SpatialProfiler`` is used as-is; the default ``None`` consults the
+        ``REPRO_PROFILE`` environment flag (so ``repro bench run --profile``
+        can profile suite-owned machines).  Costs are unchanged either way —
+        the profiler only observes.
     phases:
         Attribute charges to the active :meth:`phase` span in
         :attr:`cost_tree` (on by default; the per-send cost is a handful of
@@ -297,15 +315,25 @@ class SpatialMachine:
 
     def __init__(
         self,
-        trace: bool = False,
+        trace: bool | Tracer = False,
         phases: bool = True,
         faults: FaultPlan | None = None,
         strict: bool | None = None,
         word_budget: int | None = None,
         bounds: Region | None = None,
+        profile: bool | SpatialProfiler | None = None,
     ) -> None:
         self.stats = MachineStats()
-        self.tracer: Tracer | None = Tracer() if trace else None
+        if isinstance(trace, Tracer):
+            self.tracer: Tracer | None = trace
+        else:
+            self.tracer = Tracer() if trace else None
+        if profile is None:
+            profile = _env_flag("REPRO_PROFILE")
+        if isinstance(profile, SpatialProfiler):
+            self.profiler: SpatialProfiler | None = profile
+        else:
+            self.profiler = SpatialProfiler() if profile else None
         self.cost_tree = CostTree()
         self._phase_node = self.cost_tree.root if phases else None
         self.faults = faults
@@ -562,6 +590,11 @@ class SpatialMachine:
         else:
             depth = ta.depth + moved + failures
             dist = ta.dist + d_eff * (1 + failures)
+        if self.profiler is not None and messages:
+            self.profiler.record_send(
+                ta.rows, ta.cols, rows, cols, d_eff, failures, moved,
+                depth, dist, self.current_phase, "send", self.stats.rounds,
+            )
         out = TrackedArray(self, ta.payload, rows, cols, depth, dist)
         self.observe(out.depth, out.dist)
         self._charge_recovery(spare_energy + detour_energy + retry_energy, retries, out)
@@ -605,6 +638,7 @@ class SpatialMachine:
 
         # ---- fault recovery (same accounting as ``send``, per hop)
         detour_energy = spare_energy = retry_energy = retries = 0
+        hop_failures = None
         d_eff = d
         if plan is not None and plan.injects_faults and messages:
             if plan.dead_regions:
@@ -629,10 +663,10 @@ class SpatialMachine:
             if plan.failure_prob > 0.0:
                 f, dropped, corrupted = sample_failures(plan, messages)
                 if f.any():
-                    full = np.zeros(len(d), dtype=META_DTYPE)
-                    full[nz] = f
+                    hop_failures = np.zeros(len(d), dtype=META_DTYPE)
+                    hop_failures[nz] = f
                     retries = int(f.sum())
-                    retry_energy = int((d_eff * full).sum())
+                    retry_energy = int((d_eff * hop_failures).sum())
                     rec = self.recovery
                     rec.dropped += int(dropped.sum())
                     rec.corrupted += int(corrupted.sum())
@@ -656,6 +690,20 @@ class SpatialMachine:
             self.tracer.record(
                 chain_r[:-1], chain_c[:-1], chain_r[1:], chain_c[1:],
                 self.stats.rounds, phase=self.current_phase, kind="relay",
+            )
+        if self.profiler is not None and messages:
+            # per-hop cumulative chain metadata: hop i's depth/distance as
+            # the relayed value leaves stop i (matches the returned totals)
+            att = nz.astype(META_DTYPE)
+            per_hop_dist = d_eff
+            if hop_failures is not None:
+                att = att + hop_failures
+                per_hop_dist = d_eff * (1 + hop_failures)
+            self.profiler.record_send(
+                chain_r[:-1], chain_c[:-1], chain_r[1:], chain_c[1:],
+                d_eff, hop_failures, nz,
+                depth0 + np.cumsum(att), dist0 + np.cumsum(per_hop_dist),
+                self.current_phase, "relay", self.stats.rounds,
             )
         depth = depth0 + messages + retries
         dist = dist0 + int(d_eff.sum()) + retry_energy

@@ -23,7 +23,35 @@ from typing import IO, Iterator
 
 import numpy as np
 
-__all__ = ["Tracer", "MessageBatch"]
+__all__ = ["Tracer", "MessageBatch", "jsonl_sink"]
+
+
+def jsonl_sink(fh: IO[str]):
+    """A streaming :class:`Tracer` sink writing one JSON record per message.
+
+    The emitted lines are :meth:`Tracer.from_jsonl`-compatible, so a
+    streamed trace round-trips exactly like a retained one.
+    """
+
+    def write(batch: "MessageBatch") -> None:
+        dists = batch.distances()
+        for i in range(len(batch)):
+            fh.write(
+                json.dumps(
+                    {
+                        "round": batch.round,
+                        "phase": batch.phase,
+                        "kind": batch.kind,
+                        "src": [int(batch.src_rows[i]), int(batch.src_cols[i])],
+                        "dst": [int(batch.dst_rows[i]), int(batch.dst_cols[i])],
+                        "dist": int(dists[i]),
+                    },
+                    separators=(",", ":"),
+                )
+                + "\n"
+            )
+
+    return write
 
 
 @dataclass(frozen=True)
@@ -52,7 +80,27 @@ class MessageBatch:
 
 @dataclass
 class Tracer:
+    """Message recorder; by default it retains every batch in :attr:`batches`.
+
+    **Streaming mode** (for profiling runs whose traces do not fit in
+    memory): pass ``retain=False`` plus a ``sink`` — each batch is handed to
+    the sink callable and then dropped, so memory stays O(1) in the trace
+    length.  A :meth:`SpatialProfiler.add_batch
+    <repro.machine.profiler.SpatialProfiler.add_batch>` bound method makes a
+    natural sink (folds the trace into traffic grids as it streams), as does
+    :func:`jsonl_sink` for on-the-fly JSONL export.  The limit that remains:
+    batch-retrospective queries (``to_jsonl``, ``energy_by_cell``,
+    ``max_inbox_per_round`` — and the profiler's critical-path *witnesses*,
+    which need per-value metadata no ``MessageBatch`` carries) are only
+    available while batches are retained; witness extraction is additionally
+    capped at the profiler's ``max_witness_messages`` retention limit.
+    """
+
     batches: list[MessageBatch] = field(default_factory=list)
+    #: optional callable receiving each recorded :class:`MessageBatch`
+    sink: "object | None" = None
+    #: keep batches in :attr:`batches` (disable for streaming runs)
+    retain: bool = True
 
     def record(
         self,
@@ -67,17 +115,19 @@ class Tracer:
         moved = (src_rows != dst_rows) | (src_cols != dst_cols)
         if not moved.any():
             return
-        self.batches.append(
-            MessageBatch(
-                src_rows[moved].copy(),
-                src_cols[moved].copy(),
-                dst_rows[moved].copy(),
-                dst_cols[moved].copy(),
-                round_idx,
-                phase,
-                kind,
-            )
+        batch = MessageBatch(
+            src_rows[moved].copy(),
+            src_cols[moved].copy(),
+            dst_rows[moved].copy(),
+            dst_cols[moved].copy(),
+            round_idx,
+            phase,
+            kind,
         )
+        if self.sink is not None:
+            self.sink(batch)  # type: ignore[operator]
+        if self.retain:
+            self.batches.append(batch)
 
     # ------------------------------------------------------------------
     # structured records / JSONL export

@@ -57,6 +57,7 @@ def _cmd_run(args) -> int:
         retries=args.retries,
         backoff=args.backoff,
         use_cache=not args.no_cache,
+        profile=args.profile,
     )
     out_dir = Path(args.out_dir)
     bench_dir = Path(args.bench_dir) if args.bench_dir else None
@@ -67,6 +68,10 @@ def _cmd_run(args) -> int:
         spec = suite.spec(quick=args.quick, seed=args.seed)
         points = spec.points()
         code_ver = code_version(extra_paths=_suite_sources(suite, bench_dir))
+        if args.profile:
+            # profiled points carry an extra "profile" payload — keep them in
+            # a distinct cache namespace so plain reruns never replay it
+            code_ver += "+profile"
         print(f"{suite.name}: {len(points)} point(s), jobs={config.jobs}", flush=True)
         results = run_points(
             suite,
@@ -145,6 +150,9 @@ def add_bench_parser(sub) -> None:
                     help="retries per point after a worker crash")
     sp.add_argument("--backoff", type=float, default=0.25,
                     help="base retry backoff in seconds (doubles per attempt)")
+    sp.add_argument("--profile", action="store_true",
+                    help="attach a SpatialProfiler to every point (adds a "
+                         "'profile' section with hotspot/witness summaries)")
     sp.add_argument("--no-cache", action="store_true", help="bypass the result cache")
     sp.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
                     help="result-cache directory")

@@ -48,6 +48,8 @@ class RunConfig:
     backoff: float = 0.25
     jitter: float = 0.5
     use_cache: bool = True
+    #: run every point under a SpatialProfiler (sets REPRO_PROFILE in workers)
+    profile: bool = False
 
 
 def retry_delay(config: RunConfig, point_seed: int, index: int, attempt: int) -> float:
@@ -125,7 +127,14 @@ def run_points(
         parent_conn, child_conn = ctx.Pipe(duplex=False)
         proc = ctx.Process(
             target=worker_entry,
-            args=(child_conn, str(bench_dir), suite.name, dict(pt.params), pt.seed),
+            args=(
+                child_conn,
+                str(bench_dir),
+                suite.name,
+                dict(pt.params),
+                pt.seed,
+                config.profile,
+            ),
             daemon=True,
         )
         proc.start()
@@ -174,6 +183,7 @@ def run_points(
                             metrics=payload["metrics"],
                             phases=payload.get("phases", []),
                             extra=payload.get("extra", {}),
+                            profile=payload.get("profile"),
                             **base,
                         ),
                         r.point,

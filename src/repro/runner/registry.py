@@ -102,9 +102,12 @@ def point_from_machine(machine, **extra) -> dict:
     ``metrics`` carries the flat :class:`MachineStats` counters; ``phases``
     the flattened per-phase :class:`CostTree` rows; ``extra`` any suite-
     specific scalars (result depth/distance, baseline energies, ratios).
+    When the machine carries a :class:`~repro.machine.profiler.SpatialProfiler`
+    (``repro bench run --profile`` turns one on via ``REPRO_PROFILE``), its
+    hotspot/witness summary rides along under ``profile``.
     """
     s = machine.stats
-    return {
+    out = {
         "metrics": {
             "energy": int(s.energy),
             "messages": int(s.messages),
@@ -115,6 +118,10 @@ def point_from_machine(machine, **extra) -> dict:
         "phases": machine.cost_tree.flatten(),
         "extra": {k: _jsonable(v) for k, v in extra.items()},
     }
+    profiler = getattr(machine, "profiler", None)
+    if profiler is not None:
+        out["profile"] = profiler.summary()
+    return out
 
 
 def _jsonable(v):

@@ -20,6 +20,11 @@ Every point carries the flat :class:`MachineStats` counters (energy,
 messages, rounds, max_depth, max_distance), the flattened per-phase
 ``CostTree`` rows, the wall-clock time, and a status — a failed or timed-out
 point is recorded (``status: "failed"``) instead of aborting the sweep.
+A point run under ``repro bench run --profile`` additionally carries an
+optional ``profile`` object (the :meth:`SpatialProfiler.summary
+<repro.machine.profiler.SpatialProfiler.summary>` document: hotspot stats,
+top cells, link skew, critical-path witnesses); readers must treat the key
+as absent on unprofiled runs.
 """
 
 from __future__ import annotations
@@ -60,13 +65,15 @@ class PointResult:
     metrics: dict | None = None
     phases: list = field(default_factory=list)
     extra: dict = field(default_factory=dict)
+    #: optional profiler summary (``--profile`` runs only; omitted otherwise)
+    profile: dict | None = None
 
     @property
     def ok(self) -> bool:
         return self.status == "ok"
 
     def as_dict(self) -> dict:
-        return {
+        d = {
             "params": dict(self.params),
             "seed": self.seed,
             "repeat": self.repeat,
@@ -79,6 +86,9 @@ class PointResult:
             "phases": list(self.phases),
             "extra": dict(self.extra),
         }
+        if self.profile is not None:
+            d["profile"] = dict(self.profile)
+        return d
 
     @classmethod
     def from_dict(cls, d: dict) -> "PointResult":
@@ -94,6 +104,7 @@ class PointResult:
             metrics=d.get("metrics"),
             phases=list(d.get("phases", [])),
             extra=dict(d.get("extra", {})),
+            profile=d.get("profile"),
         )
 
 
@@ -163,6 +174,8 @@ def validate_bench_result(doc: Any) -> list[str]:
                         errs.append(f"{where}.metrics.{name} missing or non-numeric")
             if not isinstance(p.get("phases"), list):
                 errs.append(f"{where}.phases must be an array")
+            if "profile" in p and not isinstance(p["profile"], dict):
+                errs.append(f"{where}.profile must be an object when present")
         else:
             if not p.get("error"):
                 errs.append(f"{where} failed without an error message")

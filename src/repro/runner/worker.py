@@ -1,7 +1,7 @@
 """Child-process entry point for the sweep executor.
 
 Workers never receive function objects: a task is ``(bench_dir, suite name,
-params, seed)``, and the child re-resolves the suite through
+params, seed, profile?)``, and the child re-resolves the suite through
 :func:`~repro.runner.registry.load_suites` (a no-op after fork, a fresh
 import under spawn).  The result — or a formatted traceback — travels back
 over a one-shot pipe; a worker that dies without sending anything is treated
@@ -15,11 +15,26 @@ import traceback
 __all__ = ["worker_entry"]
 
 
-def worker_entry(conn, bench_dir: str, suite_name: str, params: dict, seed: int) -> None:
+def worker_entry(
+    conn,
+    bench_dir: str,
+    suite_name: str,
+    params: dict,
+    seed: int,
+    profile: bool = False,
+) -> None:
     try:
+        import os
+
         import numpy as np
 
         from .registry import load_suites
+
+        if profile:
+            # Suites build their own SpatialMachine; the environment flag is
+            # how a profiler reaches machines we never see constructed (the
+            # machine's ``profile=None`` default consults REPRO_PROFILE).
+            os.environ["REPRO_PROFILE"] = "1"
 
         suites = load_suites(bench_dir or None)
         suite = suites[suite_name]

@@ -1,0 +1,88 @@
+"""Property-based tests of the profiler's exact-accounting claims (hypothesis).
+
+The profiler's core promise is *conservation*: every unit of energy the
+machine charges lands in exactly one cell of the ``energy_out`` grid (and one
+of ``energy_in``) — including fault-recovery surcharges, where one message's
+charge is ``d_eff * attempts`` (sparing and detour extras times delivery
+attempts).  These properties sweep random workloads, fault probabilities,
+and dead regions and require the grids to sum *exactly* (integer equality,
+no tolerance) to the flat ``MachineStats`` counters.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.scan import scan
+from repro.machine import FaultPlan, Region, SpatialMachine
+
+sides = st.sampled_from([2, 4, 8])
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+def _scan_machine(side: int, seed: int, faults=None) -> SpatialMachine:
+    rng = np.random.default_rng(seed)
+    m = SpatialMachine(profile=True, faults=faults)
+    reg = Region(0, 0, side, side)
+    scan(m, m.place_zorder(rng.random(side * side), reg), reg)
+    return m
+
+
+@settings(max_examples=30, deadline=None)
+@given(side=sides, seed=seeds)
+def test_energy_grids_conserve_machine_energy(side, seed):
+    m = _scan_machine(side, seed)
+    p = m.profiler
+    assert p.total_energy == m.stats.energy
+    assert sum(p.energy_out.values()) == m.stats.energy
+    assert sum(p.energy_in.values()) == m.stats.energy
+    # fault-free: message grids match the flat counter and links carry
+    # exactly one load unit per wire unit
+    assert sum(p.sent.values()) == m.stats.messages
+    assert sum(p.hlinks.values()) + sum(p.vlinks.values()) == m.stats.energy
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    side=sides,
+    seed=seeds,
+    plan_seed=seeds,
+    drop=st.floats(min_value=0.0, max_value=0.4),
+    corrupt=st.floats(min_value=0.0, max_value=0.3),
+)
+def test_energy_grids_conserve_under_recovery_resends(
+    side, seed, plan_seed, drop, corrupt
+):
+    plan = FaultPlan(
+        rng=np.random.default_rng(plan_seed), drop_prob=drop, corrupt_prob=corrupt
+    )
+    m = _scan_machine(side, seed, faults=plan)
+    p = m.profiler
+    # conservation must hold whether or not the plan actually fired
+    assert p.total_energy == m.stats.energy
+    assert sum(p.energy_out.values()) == m.stats.energy
+    assert sum(p.energy_in.values()) == m.stats.energy
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=seeds, plan_seed=seeds)
+def test_energy_grids_conserve_under_dead_regions(seed, plan_seed):
+    plan = FaultPlan(
+        rng=np.random.default_rng(plan_seed),
+        dead_regions=(Region(2, 2, 2, 2),),
+        drop_prob=0.1,
+    )
+    m = _scan_machine(8, seed, faults=plan)
+    p = m.profiler
+    assert p.total_energy == m.stats.energy
+    assert sum(p.energy_out.values()) == m.stats.energy
+
+
+@settings(max_examples=20, deadline=None)
+@given(side=sides, seed=seeds)
+def test_witnesses_replay_exactly(side, seed):
+    m = _scan_machine(side, seed)
+    dw = m.profiler.depth_witness()
+    sw = m.profiler.distance_witness()
+    assert dw.complete and dw.replayed() == dw.target == m.stats.max_depth
+    assert sw.complete and sw.replayed() == sw.target == m.stats.max_distance
