@@ -13,6 +13,7 @@
     python -m repro bench list
     python -m repro bench run --suite table1_sort --jobs 4
     python -m repro bench compare --baseline benchmarks/baselines/quick
+    python -m repro serve --port 8642 --workers 2
 
 Each subcommand runs the primitive on the Spatial Computer simulator and
 prints the measured energy / depth / distance next to the paper's bound.
@@ -211,7 +212,11 @@ def _cmd_chaos(args) -> int:
     algos = list(CHAOS_ALGOS) if args.algos == "all" else args.algos.split(",")
     profiles = list(CHAOS_PROFILES) if args.profiles == "all" else args.profiles.split(",")
     seeds = tuple(range(args.seed, args.seed + args.plans))
-    reports = run_chaos_grid(algos, profiles, side=args.side, seeds=seeds)
+    try:
+        reports = run_chaos_grid(algos, profiles, side=args.side, seeds=seeds)
+    except ValueError as e:
+        # unknown algo/profile names: exit with a usage error, not a traceback
+        raise SystemExit(str(e))
 
     rows = [
         [
@@ -343,6 +348,14 @@ def _cmd_profile(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    # lazy import: the service layer pulls in asyncio/pool machinery that the
+    # one-shot CLI verbs never need
+    from .service.server import serve_main
+
+    return serve_main(args)
+
+
 def _cmd_trace(args) -> int:
     m, label = _run_algo(args.algo, args.n, args.seed, args.workload, trace=True)
     if args.out:
@@ -463,6 +476,38 @@ def build_parser() -> argparse.ArgumentParser:
                     help="number of consecutive seeds per (algo, profile)")
     sp.add_argument("--out", default="", help="also dump the JSON reports here")
     sp.set_defaults(func=_cmd_chaos)
+
+    sp = sub.add_parser(
+        "serve",
+        help="HTTP serving layer: batch, cache, and execute simulation requests",
+    )
+    sp.add_argument("--host", default="127.0.0.1")
+    sp.add_argument("--port", type=int, default=8642,
+                    help="listen port (0 picks a free one)")
+    sp.add_argument("--workers", type=int, default=2,
+                    help="persistent simulation worker processes")
+    sp.add_argument("--inline", action="store_true",
+                    help="run simulations on threads instead of the worker pool "
+                    "(for hosts that cannot fork; disables profile requests)")
+    sp.add_argument("--max-inflight", type=int, default=64,
+                    help="admitted requests in flight before 429")
+    sp.add_argument("--queue", type=int, default=256,
+                    help="admitted-but-not-executing requests before 429")
+    sp.add_argument("--batch-window", type=float, default=0.02,
+                    help="seconds to hold a new key for duplicate coalescing")
+    sp.add_argument("--timeout", type=float, default=30.0,
+                    help="per-execution deadline in seconds (overrun -> 504)")
+    sp.add_argument("--memory-cache", type=int, default=512,
+                    help="in-process LRU entries")
+    sp.add_argument("--cache-dir", default=".bench_cache",
+                    help="content-addressed disk cache shared with `repro bench run`")
+    sp.add_argument("--no-disk-cache", action="store_true",
+                    help="serve from the in-memory LRU only")
+    sp.add_argument("--bench-dir", default="",
+                    help="suite directory (default: ./benchmarks)")
+    sp.add_argument("--drain-timeout", type=float, default=30.0,
+                    help="seconds to wait for in-flight requests on SIGTERM")
+    sp.set_defaults(func=_cmd_serve)
 
     add_bench_parser(sub)
     return p

@@ -30,7 +30,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..machine.geometry import Region
-from ..machine.machine import SpatialMachine, TrackedArray
+from ..machine.machine import SpatialMachine
 from .ops import ADD, Monoid
 from .scan import ScanResult, scan
 from .validate import check_finite_values

@@ -40,8 +40,9 @@ import numpy as np
 
 from ..machine.geometry import Region
 from ..machine.machine import SpatialMachine, TrackedArray, concat_tracked
-from ..machine.zorder import zorder_coords
 from .collectives import all_reduce, broadcast
+from .gather import gather_masked as _gather_compact_impl
+from .gather import staging_square as _staging_square_impl
 from .ops import ADD
 from .sorting.bitonic import bitonic_sort
 from .sorting.mergesort2d import mergesort_2d
@@ -64,9 +65,6 @@ class SelectionResult:
     #: the N_t trajectory of Lemma VI.2
     active_history: list[int] | None = None
 
-
-from .gather import gather_masked as _gather_compact_impl
-from .gather import staging_square as _staging_square_impl
 
 
 def _staging_square(count: int, region: Region) -> Region:

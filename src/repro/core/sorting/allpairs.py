@@ -20,13 +20,11 @@ is exactly how Sections V-VI use it).
 
 from __future__ import annotations
 
-import math
 
 import numpy as np
 
 from ...machine.geometry import Region
 from ...machine.machine import SpatialMachine, TrackedArray, concat_tracked
-from ...machine.zorder import is_power_of_two
 from ..collectives import broadcast_2d, reduce_2d
 from ..ops import ADD
 from .sortutil import lex_less, strip_tiebreak, with_tiebreak

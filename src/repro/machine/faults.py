@@ -53,7 +53,7 @@ See ``docs/FAULTS.md`` for the full semantics and the cost-accounting rules.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np

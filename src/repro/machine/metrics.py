@@ -17,7 +17,7 @@ adds ``1`` to depth and ``d`` to distance.  Local computation is free and a
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator
 
 import numpy as np

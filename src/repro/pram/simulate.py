@@ -27,11 +27,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..core.ops import ADD
 from ..core.scan import segmented_broadcast
 from ..core.sorting.mergesort2d import mergesort_2d
 from ..machine.geometry import Region
-from ..machine.machine import SpatialMachine, TrackedArray, concat_tracked
+from ..machine.machine import SpatialMachine, TrackedArray
 from ..machine.zorder import zorder_coords
 from .pram import NO_ACCESS, PRAMProgram, _check_exclusive
 

@@ -9,8 +9,13 @@ declarative, fault-tolerant, cached sweep runner:
   bench file uses, plus suite discovery;
 * :mod:`repro.runner.executor` — a process-pool executor with per-task
   timeouts, bounded crash retry with backoff, and graceful degradation;
+* :mod:`repro.runner.cachekey` — the single source of truth for cache-key
+  derivation (point identity + code version, ``+profile`` salting), shared
+  by the executor, the CLI, and the serving layer;
 * :mod:`repro.runner.cache` — a content-addressed on-disk result cache keyed
-  by (spec hash, code version);
+  by :func:`~repro.runner.cachekey.point_key`;
+* :mod:`repro.runner.pool` — a bounded pool of *persistent* worker processes
+  (imports warm, one pipe round-trip per task) used by ``repro serve``;
 * :mod:`repro.runner.result` — the unified ``BenchResult`` JSON schema
   (``BENCH_<suite>.json``);
 * :mod:`repro.runner.compare` — the energy/depth regression gate behind
@@ -19,9 +24,11 @@ declarative, fault-tolerant, cached sweep runner:
 See ``docs/BENCHMARKS.md`` for the full workflow.
 """
 
-from .cache import DEFAULT_CACHE_DIR, ResultCache, code_version
+from .cache import DEFAULT_CACHE_DIR, ResultCache
+from .cachekey import PROFILE_SALT, code_version, point_key, suite_code_version
 from .compare import GATED_METRICS, CompareReport, collect_results, compare_results
-from .executor import RunConfig, run_points
+from .executor import RunConfig, mp_context, run_points
+from .pool import PoolCrash, PoolError, PoolTaskError, PoolTimeout, WorkerPool
 from .registry import (
     REGISTRY,
     Suite,
@@ -44,13 +51,22 @@ from .spec import ExperimentSpec, PointSpec, SweepGrid, canonical_json, spec_has
 __all__ = [
     "DEFAULT_CACHE_DIR",
     "ResultCache",
+    "PROFILE_SALT",
     "code_version",
+    "point_key",
+    "suite_code_version",
     "GATED_METRICS",
     "CompareReport",
     "collect_results",
     "compare_results",
     "RunConfig",
+    "mp_context",
     "run_points",
+    "PoolError",
+    "PoolTimeout",
+    "PoolCrash",
+    "PoolTaskError",
+    "WorkerPool",
     "REGISTRY",
     "Suite",
     "default_bench_dir",

@@ -23,7 +23,6 @@ non-atomic filesystem) discard it — the file is unlinked, never loaded.
 from __future__ import annotations
 
 import contextlib
-import hashlib
 import json
 import os
 from pathlib import Path
@@ -33,31 +32,13 @@ try:  # POSIX advisory locks; absent on some platforms
 except ImportError:  # pragma: no cover - non-posix
     fcntl = None  # type: ignore[assignment]
 
+from .cachekey import code_version, point_key
 from .result import PointResult
-from .spec import PointSpec, spec_hash
+from .spec import PointSpec
 
 __all__ = ["ResultCache", "code_version", "DEFAULT_CACHE_DIR"]
 
 DEFAULT_CACHE_DIR = ".bench_cache"
-
-
-def code_version(extra_paths: tuple[str, ...] = ()) -> str:
-    """Hash of every ``*.py`` under ``src/repro`` plus any extra files.
-
-    Content-only (no mtimes), so the version is stable across checkouts and
-    machines for identical sources.
-    """
-    pkg_root = Path(__file__).resolve().parents[1]
-    h = hashlib.sha256()
-    files = sorted(pkg_root.rglob("*.py"))
-    for extra in sorted(extra_paths):
-        p = Path(extra)
-        if p.is_file():
-            files.append(p)
-    for f in files:
-        h.update(str(f.name).encode())
-        h.update(f.read_bytes())
-    return h.hexdigest()
 
 
 class ResultCache:
@@ -71,7 +52,7 @@ class ResultCache:
     # -- keys -----------------------------------------------------------
     @staticmethod
     def key_for(point: PointSpec, code_ver: str) -> str:
-        return spec_hash({"point": point.identity(), "code_version": code_ver})
+        return point_key(point, code_ver)
 
     def path_for(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"

@@ -1,0 +1,84 @@
+"""Cache-key derivation — the single source of truth for result identity.
+
+Every consumer of the content-addressed result cache (the batch executor in
+:mod:`repro.runner.executor`, the ``repro bench`` CLI, and the serving layer
+in :mod:`repro.service`) must agree on how a key is derived, or identical
+work stops deduplicating.  Before this module existed the pieces were
+scattered: :meth:`ResultCache.key_for` held the hash recipe, the CLI carried
+the suite-source discovery and the ``+profile`` salt, and the executor
+re-derived keys through the cache object.  Everything now lives here, so the
+service layer can compute keys without importing the executor (and its
+process-pool machinery) at all.
+
+A key is::
+
+    sha256({"point": point.identity(), "code_version": <version>})
+
+where the version is the content hash of every source file under
+``src/repro`` plus the suite's own bench file, optionally salted with
+``+profile`` (profiled points carry an extra payload and must never be
+replayed into unprofiled runs, or vice versa).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import sys
+from pathlib import Path
+
+from .spec import PointSpec, spec_hash
+
+__all__ = [
+    "PROFILE_SALT",
+    "code_version",
+    "point_key",
+    "suite_code_version",
+    "suite_source_paths",
+]
+
+#: appended to the code version for profiled runs — a distinct cache namespace
+PROFILE_SALT = "+profile"
+
+
+def code_version(extra_paths: tuple[str, ...] = ()) -> str:
+    """Hash of every ``*.py`` under ``src/repro`` plus any extra files.
+
+    Content-only (no mtimes), so the version is stable across checkouts and
+    machines for identical sources.
+    """
+    pkg_root = Path(__file__).resolve().parents[1]
+    h = hashlib.sha256()
+    files = sorted(pkg_root.rglob("*.py"))
+    for extra in sorted(extra_paths):
+        p = Path(extra)
+        if p.is_file():
+            files.append(p)
+    for f in files:
+        h.update(str(f.name).encode())
+        h.update(f.read_bytes())
+    return h.hexdigest()
+
+
+def point_key(point: PointSpec, code_ver: str) -> str:
+    """The content-addressed cache key for one sweep point."""
+    return spec_hash({"point": point.identity(), "code_version": code_ver})
+
+
+def suite_source_paths(suite) -> tuple[str, ...]:
+    """The suite's own bench file, when its module is importable."""
+    mod = sys.modules.get(suite.source)
+    src = getattr(mod, "__file__", None)
+    return (src,) if src else ()
+
+
+def suite_code_version(suite, *, profile: bool = False) -> str:
+    """The full code version for one suite's points.
+
+    Covers ``src/repro`` and the suite's bench file; ``profile=True`` salts
+    the version so profiled and unprofiled results live in disjoint cache
+    namespaces.
+    """
+    ver = code_version(extra_paths=suite_source_paths(suite))
+    if profile:
+        ver += PROFILE_SALT
+    return ver

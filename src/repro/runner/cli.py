@@ -12,14 +12,14 @@ non-zero if any point failed; ``compare`` exits non-zero when a gated metric
 
 from __future__ import annotations
 
-import sys
 from pathlib import Path
 
-from .cache import DEFAULT_CACHE_DIR, ResultCache, code_version
+from .cache import DEFAULT_CACHE_DIR, ResultCache
+from .cachekey import suite_code_version
 from .compare import GATED_METRICS, collect_results, compare_results
 from .executor import RunConfig, run_points
-from .registry import Suite, load_suites
-from .result import build_bench_result, validate_bench_result, write_bench_result
+from .registry import load_suites
+from .result import METRIC_NAMES, build_bench_result, validate_bench_result, write_bench_result
 
 __all__ = ["add_bench_parser"]
 
@@ -67,11 +67,9 @@ def _cmd_run(args) -> int:
     for suite in selected:
         spec = suite.spec(quick=args.quick, seed=args.seed)
         points = spec.points()
-        code_ver = code_version(extra_paths=_suite_sources(suite, bench_dir))
-        if args.profile:
-            # profiled points carry an extra "profile" payload — keep them in
-            # a distinct cache namespace so plain reruns never replay it
-            code_ver += "+profile"
+        # profiled points carry an extra "profile" payload — suite_code_version
+        # salts the key so plain reruns never replay it (and vice versa)
+        code_ver = suite_code_version(suite, profile=args.profile)
         print(f"{suite.name}: {len(points)} point(s), jobs={config.jobs}", flush=True)
         results = run_points(
             suite,
@@ -108,16 +106,18 @@ def _cmd_run(args) -> int:
     return 1 if any_failed else 0
 
 
-def _suite_sources(suite: Suite, bench_dir: Path | None) -> tuple[str, ...]:
-    mod = sys.modules.get(suite.source)
-    src = getattr(mod, "__file__", None)
-    return (src,) if src else ()
-
-
 def _cmd_compare(args) -> int:
-    baseline = collect_results(args.baseline)
-    current = collect_results(args.current)
     metrics = tuple(args.metric) if args.metric else GATED_METRICS
+    unknown = [m for m in metrics if m not in METRIC_NAMES]
+    if unknown:
+        raise SystemExit(
+            f"unknown metric(s): {', '.join(unknown)}; known: {', '.join(METRIC_NAMES)}"
+        )
+    try:
+        baseline = collect_results(args.baseline)
+        current = collect_results(args.current)
+    except FileNotFoundError as e:
+        raise SystemExit(str(e))
     rep = compare_results(
         baseline, current, threshold=args.threshold, metrics=metrics
     )

@@ -30,12 +30,13 @@ from typing import Callable
 import numpy as np
 
 from .cache import ResultCache
+from .cachekey import point_key
 from .registry import Suite
 from .result import PointResult
 from .spec import PointSpec
 from .worker import worker_entry
 
-__all__ = ["RunConfig", "retry_delay", "run_points"]
+__all__ = ["RunConfig", "mp_context", "retry_delay", "run_points"]
 
 
 @dataclass(frozen=True)
@@ -69,9 +70,12 @@ def retry_delay(config: RunConfig, point_seed: int, index: int, attempt: int) ->
     return base * (1.0 + config.jitter * float(rng.random()))
 
 
-def _context():
-    # fork keeps the (already imported) registry warm in children; fall back
-    # to spawn where fork does not exist.
+def mp_context():
+    """The multiprocessing context shared by the executor and the worker pool.
+
+    fork keeps the (already imported) registry warm in children; fall back
+    to spawn where fork does not exist.
+    """
     try:
         return multiprocessing.get_context("fork")
     except ValueError:  # pragma: no cover - non-posix
@@ -106,20 +110,20 @@ def run_points(
 
     for i, pt in enumerate(points):
         if config.use_cache and cache is not None:
-            hit = cache.get(cache.key_for(pt, code_ver))
+            hit = cache.get(point_key(pt, code_ver))
             if hit is not None:
                 results[i] = hit
                 say(f"  [{suite.name}] {pt.label()}: cached")
                 continue
         pending.append((i, pt, 0, 0.0))
 
-    ctx = _context()
+    ctx = mp_context()
     running: dict[object, _Running] = {}
 
     def _finish(i: int, res: PointResult, pt: PointSpec) -> None:
         results[i] = res
         if res.ok and cache is not None and config.use_cache:
-            cache.put(cache.key_for(pt, code_ver), res)
+            cache.put(point_key(pt, code_ver), res)
         state = "ok" if res.ok else f"FAILED ({(res.error or '?').splitlines()[-1][:80]})"
         say(f"  [{suite.name}] {pt.label()}: {state} in {res.wall_time_s:.2f}s")
 

@@ -1,0 +1,160 @@
+"""A bounded pool of persistent worker processes.
+
+The batch executor forks one process per sweep point — the right trade for
+long-running points where isolation dominates.  A serving layer answering
+many small simulation requests needs the opposite trade: workers that stay
+alive (imports warm, registry loaded) and cost one pipe round-trip per task
+instead of one fork.  :class:`WorkerPool` provides that, reusing the same
+multiprocessing context (:func:`~repro.runner.executor.mp_context`) and the
+same child protocol (:func:`~repro.runner.worker.pool_worker_main`, built on
+the executor's :func:`~repro.runner.worker.run_suite_point`).
+
+Failure semantics:
+
+* a task that exceeds its timeout gets its worker killed and replaced; the
+  caller sees :class:`PoolTimeout`;
+* a worker that dies mid-task (segfault, OOM-kill) is replaced; the caller
+  sees :class:`PoolCrash`;
+* a deterministic exception inside the point function travels back as a
+  formatted traceback and raises :class:`PoolTaskError` — the worker stays
+  alive.
+
+:meth:`WorkerPool.run` blocks and is thread-safe; async callers wrap it in
+``asyncio.to_thread`` (see :mod:`repro.service.executor`).  Workers are
+forked at construction time — create the pool *before* starting threads or
+an event loop.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from .executor import mp_context
+from .worker import pool_worker_main
+
+__all__ = ["PoolError", "PoolTimeout", "PoolCrash", "PoolTaskError", "WorkerPool"]
+
+
+class PoolError(RuntimeError):
+    """Base class for pool-side failures."""
+
+
+class PoolTimeout(PoolError):
+    """The task exceeded its deadline; the worker was killed and replaced."""
+
+
+class PoolCrash(PoolError):
+    """The worker died without reporting; it was replaced."""
+
+
+class PoolTaskError(PoolError):
+    """The point function raised; carries the child's formatted traceback."""
+
+
+class _Worker:
+    def __init__(self, ctx, bench_dir: str) -> None:
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        self.proc = ctx.Process(
+            target=pool_worker_main,
+            args=(child_conn, bench_dir),
+            daemon=True,
+        )
+        self.proc.start()
+        child_conn.close()
+        self.conn = parent_conn
+
+    def stop(self, graceful: bool = True) -> None:
+        if graceful:
+            try:
+                self.conn.send(None)
+            except (OSError, ValueError):
+                pass
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+        self.proc.join(timeout=2)
+        if self.proc.is_alive():
+            self.proc.terminate()
+            self.proc.join(timeout=2)
+
+
+class WorkerPool:
+    """``size`` persistent worker processes behind a blocking ``run()``."""
+
+    def __init__(self, size: int = 2, bench_dir: str = "") -> None:
+        self.size = max(1, int(size))
+        self.bench_dir = str(bench_dir or "")
+        self._ctx = mp_context()
+        self._lock = threading.Lock()
+        self._slots = threading.Semaphore(self.size)
+        self._closed = False
+        self._idle = [self._spawn() for _ in range(self.size)]
+        #: lifetime counters (read under no lock; informational only)
+        self.tasks = 0
+        self.replaced = 0
+
+    def _spawn(self) -> _Worker:
+        return _Worker(self._ctx, self.bench_dir)
+
+    def run(
+        self,
+        suite_name: str,
+        params: dict,
+        seed: int,
+        profile: bool = False,
+        *,
+        timeout: float = 60.0,
+    ) -> dict:
+        """Execute one point on an idle worker; block until it answers.
+
+        Thread-safe: at most ``size`` tasks execute concurrently, excess
+        callers wait on the slot semaphore.
+        """
+        if self._closed:
+            raise PoolError("worker pool is closed")
+        self._slots.acquire()
+        with self._lock:
+            worker = self._idle.pop()
+        self.tasks += 1
+        replace = False
+        try:
+            try:
+                worker.conn.send((suite_name, dict(params), int(seed), bool(profile)))
+                if not worker.conn.poll(timeout):
+                    replace = True
+                    raise PoolTimeout(f"no result within {timeout:.1f}s")
+                kind, payload = worker.conn.recv()
+            except PoolTimeout:
+                raise
+            except (EOFError, OSError, BrokenPipeError) as exc:
+                replace = True
+                code = getattr(worker.proc, "exitcode", None)
+                raise PoolCrash(f"pool worker died mid-task (exit {code})") from exc
+        finally:
+            if replace:
+                worker.stop(graceful=False)
+                self.replaced += 1
+                worker = self._spawn()
+            with self._lock:
+                self._idle.append(worker)
+            self._slots.release()
+        if kind == "error":
+            raise PoolTaskError(str(payload))
+        return payload
+
+    def close(self) -> None:
+        """Stop every worker; in-flight tasks should be drained first."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            workers, self._idle = self._idle, []
+        for w in workers:
+            w.stop()
+
+    def __enter__(self) -> WorkerPool:
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,18 +1,70 @@
-"""Child-process entry point for the sweep executor.
+"""Child-process entry points for the sweep executor and the worker pool.
 
 Workers never receive function objects: a task is ``(bench_dir, suite name,
 params, seed, profile?)``, and the child re-resolves the suite through
 :func:`~repro.runner.registry.load_suites` (a no-op after fork, a fresh
-import under spawn).  The result — or a formatted traceback — travels back
-over a one-shot pipe; a worker that dies without sending anything is treated
-as a crash by the parent and retried.
+import under spawn).  Two process shapes share the same execution core
+(:func:`run_suite_point`):
+
+* :func:`worker_entry` — one-shot: run a single task, report over a one-shot
+  pipe, exit.  Used by the batch executor, where per-task process isolation
+  is the point (a segfault kills only that point).
+* :func:`pool_worker_main` — persistent: loop over tasks arriving on a
+  duplex pipe until told to stop.  Used by the serving layer's
+  :class:`~repro.runner.pool.WorkerPool`, where fork-per-request would
+  dominate small-simulation latency.
+
+A worker that dies without sending anything is treated as a crash by the
+parent (retried by the executor; respawned by the pool).
 """
 
 from __future__ import annotations
 
 import traceback
 
-__all__ = ["worker_entry"]
+__all__ = ["run_suite_point", "worker_entry", "pool_worker_main"]
+
+
+def run_suite_point(
+    bench_dir: str,
+    suite_name: str,
+    params: dict,
+    seed: int,
+    profile: bool = False,
+) -> dict:
+    """Resolve ``suite_name`` and execute one point; return its payload dict.
+
+    Raises whatever the point function raises; raises :class:`TypeError`
+    when the suite returns something other than the ``point_from_machine()``
+    shape.  ``profile`` sets ``REPRO_PROFILE`` for the duration of the call —
+    suites build their own SpatialMachine, and the environment flag is how a
+    profiler reaches machines we never see constructed (the machine's
+    ``profile=None`` default consults REPRO_PROFILE).  The flag is restored
+    afterwards so persistent pool workers can interleave profiled and
+    unprofiled tasks.
+    """
+    import os
+
+    import numpy as np
+
+    from .registry import load_suites
+
+    suites = load_suites(bench_dir or None)
+    suite = suites[suite_name]
+    rng = np.random.default_rng(seed)
+    if profile:
+        os.environ["REPRO_PROFILE"] = "1"
+    try:
+        out = suite.fn(dict(params), rng)
+    finally:
+        if profile:
+            os.environ.pop("REPRO_PROFILE", None)
+    if not isinstance(out, dict) or "metrics" not in out:
+        raise TypeError(
+            f"suite {suite_name!r} returned {type(out).__name__}, expected the "
+            "point_from_machine() dict"
+        )
+    return out
 
 
 def worker_entry(
@@ -23,28 +75,9 @@ def worker_entry(
     seed: int,
     profile: bool = False,
 ) -> None:
+    """One-shot executor child: run the task, send the outcome, exit."""
     try:
-        import os
-
-        import numpy as np
-
-        from .registry import load_suites
-
-        if profile:
-            # Suites build their own SpatialMachine; the environment flag is
-            # how a profiler reaches machines we never see constructed (the
-            # machine's ``profile=None`` default consults REPRO_PROFILE).
-            os.environ["REPRO_PROFILE"] = "1"
-
-        suites = load_suites(bench_dir or None)
-        suite = suites[suite_name]
-        rng = np.random.default_rng(seed)
-        out = suite.fn(dict(params), rng)
-        if not isinstance(out, dict) or "metrics" not in out:
-            raise TypeError(
-                f"suite {suite_name!r} returned {type(out).__name__}, expected the "
-                "point_from_machine() dict"
-            )
+        out = run_suite_point(bench_dir, suite_name, params, seed, profile)
         conn.send(("ok", out))
     except BaseException:
         try:
@@ -56,3 +89,33 @@ def worker_entry(
             conn.close()
         except Exception:  # pragma: no cover
             pass
+
+
+def pool_worker_main(conn, bench_dir: str) -> None:
+    """Persistent pool child: execute tasks from ``conn`` until shutdown.
+
+    The protocol is one ``(suite_name, params, seed, profile)`` tuple per
+    task, answered with ``("ok", payload)`` or ``("error", traceback)``.
+    ``None`` — or a closed pipe — ends the loop.
+    """
+    while True:
+        try:
+            task = conn.recv()
+        except (EOFError, OSError):
+            break
+        if task is None:
+            break
+        suite_name, params, seed, profile = task
+        try:
+            out = run_suite_point(bench_dir, suite_name, params, seed, profile)
+            msg = ("ok", out)
+        except BaseException:
+            msg = ("error", traceback.format_exc(limit=30))
+        try:
+            conn.send(msg)
+        except (OSError, ValueError):  # pragma: no cover - parent went away
+            break
+    try:
+        conn.close()
+    except Exception:  # pragma: no cover
+        pass

@@ -1,0 +1,47 @@
+"""repro.service — an async batch-serving layer for spatial-model simulations.
+
+``repro serve`` exposes the benchmark registry's Table I primitives over a
+minimal HTTP/1.1 interface (stdlib asyncio only, no new dependencies):
+
+* :mod:`repro.service.protocol` — request validation against the runner
+  registry (``{"algo": "scan", "n": 4096, "seed": 7, "profile": false}``);
+* :mod:`repro.service.executor` — execution backends: a persistent
+  :class:`~repro.runner.pool.WorkerPool` of forked workers, or inline
+  threads for contexts that cannot fork (benchmarks inside sweep workers);
+* :mod:`repro.service.batcher` — dynamic micro-batching: identical in-flight
+  requests coalesce into one execution fanned back out to every waiter;
+* :mod:`repro.service.cache` — an in-process LRU over the content-addressed
+  on-disk :class:`~repro.runner.cache.ResultCache` (keys shared with
+  ``repro bench run`` via :mod:`repro.runner.cachekey`);
+* :mod:`repro.service.metrics` — request counters, latency histograms,
+  cache/batch efficiency, queue depth (served as JSON at ``/metrics``);
+* :mod:`repro.service.server` — the HTTP server: admission control
+  (429 + Retry-After), per-request timeouts (504), graceful SIGTERM drain;
+* :mod:`repro.service.loadgen` — a closed-loop load generator used by the
+  tests, the CI ``service-smoke`` job, and ``benchmarks/bench_service.py``.
+
+See ``docs/SERVICE.md`` for endpoint and semantics documentation.
+"""
+
+from .batcher import Batcher
+from .cache import ServiceCache
+from .executor import ExecutionError, ExecutionTimeout, ServiceExecutor
+from .metrics import LatencyHistogram, ServiceMetrics
+from .protocol import ALGO_SUITES, RequestError, ServiceRequest
+from .server import ServiceConfig, SpatialService, serve_main
+
+__all__ = [
+    "ALGO_SUITES",
+    "Batcher",
+    "ExecutionError",
+    "ExecutionTimeout",
+    "LatencyHistogram",
+    "RequestError",
+    "ServiceCache",
+    "ServiceConfig",
+    "ServiceExecutor",
+    "ServiceMetrics",
+    "ServiceRequest",
+    "SpatialService",
+    "serve_main",
+]

@@ -1,0 +1,83 @@
+"""Two-tier result cache for the serving layer.
+
+Tier 1 is a bounded in-process LRU (payload dicts keyed by the request's
+content-addressed key); tier 2 is the same on-disk
+:class:`~repro.runner.cache.ResultCache` that ``repro bench run`` writes.
+Because both layers key through :mod:`repro.runner.cachekey`, a sweep run
+yesterday warms today's service — and vice versa: a served miss is persisted
+as a schema-valid :class:`~repro.runner.result.PointResult` that a later
+``repro bench run`` replays without re-executing.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from ..runner.cache import ResultCache
+from ..runner.result import PointResult
+from .protocol import ServiceRequest
+
+__all__ = ["ServiceCache"]
+
+
+def _payload_from_result(res: PointResult) -> dict:
+    payload = {
+        "metrics": dict(res.metrics or {}),
+        "phases": list(res.phases),
+        "extra": dict(res.extra),
+    }
+    if res.profile is not None:
+        payload["profile"] = dict(res.profile)
+    return payload
+
+
+class ServiceCache:
+    """In-process LRU over the shared content-addressed disk cache."""
+
+    def __init__(self, maxsize: int = 512, disk: ResultCache | None = None) -> None:
+        self.maxsize = max(1, int(maxsize))
+        self.disk = disk
+        self._lru: OrderedDict[str, dict] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    def _remember(self, key: str, payload: dict) -> None:
+        self._lru[key] = payload
+        self._lru.move_to_end(key)
+        while len(self._lru) > self.maxsize:
+            self._lru.popitem(last=False)
+
+    def get(self, key: str) -> tuple[dict | None, str | None]:
+        """Look up ``key``; return ``(payload, tier)`` with tier in
+        ``("memory", "disk", None)``.  Disk hits are promoted into the LRU."""
+        hit = self._lru.get(key)
+        if hit is not None:
+            self._lru.move_to_end(key)
+            return hit, "memory"
+        if self.disk is not None:
+            res = self.disk.get(key)
+            if res is not None:
+                payload = _payload_from_result(res)
+                self._remember(key, payload)
+                return payload, "disk"
+        return None, None
+
+    def put(self, key: str, request: ServiceRequest, payload: dict, wall_time_s: float) -> None:
+        """Store a completed execution in both tiers."""
+        self._remember(key, payload)
+        if self.disk is not None:
+            self.disk.put(
+                key,
+                PointResult(
+                    params=request.params(),
+                    seed=request.seed,
+                    repeat=0,
+                    status="ok",
+                    wall_time_s=wall_time_s,
+                    metrics=payload.get("metrics"),
+                    phases=list(payload.get("phases", [])),
+                    extra=dict(payload.get("extra", {})),
+                    profile=payload.get("profile"),
+                ),
+            )

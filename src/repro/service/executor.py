@@ -1,0 +1,126 @@
+"""Execution backends for the serving layer.
+
+The default backend is a persistent :class:`~repro.runner.pool.WorkerPool`
+of forked worker processes — imports warm, one pipe round-trip per task, a
+crashed or hung worker replaced without taking the server down.  The inline
+backend runs the point function on the event loop's thread pool instead;
+it exists for contexts that are not allowed to fork children (daemonic
+sweep workers, i.e. ``benchmarks/bench_service.py`` running under
+``repro bench run``), at the cost of no kill-on-timeout and no ``profile``
+support (the REPRO_PROFILE environment flag is process-global and cannot be
+scoped to one thread).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+from ..runner.pool import PoolCrash, PoolError, PoolTaskError, PoolTimeout, WorkerPool
+from ..runner.worker import run_suite_point
+from .protocol import RequestError, ServiceRequest
+
+__all__ = ["ExecutionError", "ExecutionTimeout", "ServiceExecutor"]
+
+
+class ExecutionError(RuntimeError):
+    """The simulation failed; ``detail`` carries the worker traceback tail."""
+
+    status = 500
+
+    def __init__(self, message: str, detail: str = "") -> None:
+        super().__init__(message)
+        self.detail = detail
+
+
+class ExecutionTimeout(ExecutionError):
+    """The simulation exceeded the execution deadline."""
+
+    status = 504
+
+
+class ServiceExecutor:
+    """Bounded simulation execution: worker pool or inline threads."""
+
+    def __init__(
+        self,
+        workers: int = 2,
+        bench_dir: str = "",
+        *,
+        inline: bool = False,
+        timeout: float = 60.0,
+    ) -> None:
+        self.workers = max(1, int(workers))
+        self.bench_dir = str(bench_dir or "")
+        self.inline = bool(inline)
+        self.timeout = float(timeout)
+        self._pool: WorkerPool | None = None
+        if not self.inline:
+            # fork the pool eagerly, before the event loop spawns any threads
+            self._pool = WorkerPool(size=self.workers, bench_dir=self.bench_dir)
+        self._inline_slots = asyncio.Semaphore(self.workers)
+
+    async def execute(self, request: ServiceRequest) -> tuple[dict, float]:
+        """Run one request; return ``(payload, execution_seconds)``.
+
+        Raises :class:`ExecutionError` / :class:`ExecutionTimeout`; both map
+        onto HTTP statuses in the server."""
+        started = time.monotonic()
+        if self._pool is not None:
+            payload = await self._run_pooled(request)
+        else:
+            payload = await self._run_inline(request)
+        return payload, time.monotonic() - started
+
+    async def _run_pooled(self, request: ServiceRequest) -> dict:
+        assert self._pool is not None
+        try:
+            return await asyncio.to_thread(
+                self._pool.run,
+                request.suite_name,
+                request.params(),
+                request.seed,
+                request.profile,
+                timeout=self.timeout,
+            )
+        except PoolTimeout as exc:
+            raise ExecutionTimeout(f"execution exceeded {self.timeout:.1f}s") from exc
+        except PoolTaskError as exc:
+            tail = str(exc).strip().splitlines()[-1] if str(exc).strip() else "?"
+            raise ExecutionError(f"simulation failed: {tail}", detail=str(exc)) from exc
+        except (PoolCrash, PoolError) as exc:
+            raise ExecutionError(str(exc)) from exc
+
+    async def _run_inline(self, request: ServiceRequest) -> dict:
+        if request.profile:
+            raise RequestError(
+                "profile runs need the worker pool; restart without --inline",
+                "profile",
+            )
+        async with self._inline_slots:
+            try:
+                return await asyncio.to_thread(
+                    run_suite_point,
+                    self.bench_dir,
+                    request.suite_name,
+                    request.params(),
+                    request.seed,
+                    False,
+                )
+            except Exception as exc:
+                raise ExecutionError(f"simulation failed: {exc}") from exc
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def stats(self) -> dict:
+        doc = {
+            "backend": "inline" if self.inline else "pool",
+            "workers": self.workers,
+        }
+        if self._pool is not None:
+            doc["pool_tasks"] = self._pool.tasks
+            doc["pool_replaced"] = self._pool.replaced
+        return doc

@@ -1,0 +1,334 @@
+"""Closed-loop load generator for the serving layer.
+
+``run_load`` drives ``N`` requests through a fixed set of persistent
+connections: every worker opens its connection, all workers start together
+(so the server really sees ``concurrency`` simultaneous requests), and each
+worker issues its next request as soon as the previous response lands.
+
+The request mix is pre-generated from a seed over small algo/size/seed
+pools, which has two useful consequences: duplicates exist (so coalescing
+and cache hits actually happen under load), and the multiset of requests —
+hence the summed model metrics in the report — is a pure function of
+``(count, seed)`` no matter how the requests interleave.  That determinism
+is what lets ``benchmarks/bench_service.py`` gate on the summed metrics.
+
+Also usable directly::
+
+    python -m repro.service.loadgen --port 8642 --requests 200 --require-hits 1
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import random
+import sys
+import time
+from collections import Counter, deque
+from dataclasses import dataclass, field
+
+__all__ = ["DEFAULT_MIX", "LoadReport", "build_requests", "fetch_metrics", "run_load", "wait_ready"]
+
+#: (algo, candidate sizes) pools the generator draws from; deliberately small
+#: so a few hundred requests revisit the same (algo, n, seed) keys
+DEFAULT_MIX = (
+    ("scan", (256, 1024, 4096)),
+    ("sort", (256, 1024)),
+    ("select", (256, 1024)),
+    ("spmv", (16, 64)),
+)
+
+#: model metrics summed (vs maxed) across responses when aggregating
+_SUM_METRICS = ("energy", "messages", "rounds")
+_MAX_METRICS = ("max_depth", "max_distance")
+
+
+def build_requests(
+    count: int,
+    seed: int,
+    *,
+    mix: tuple = DEFAULT_MIX,
+    seed_pool: int = 3,
+) -> list[dict]:
+    """Deterministic request multiset for ``(count, seed)``."""
+    rng = random.Random(seed)
+    requests = []
+    for _ in range(count):
+        algo, sizes = mix[rng.randrange(len(mix))]
+        requests.append(
+            {
+                "algo": algo,
+                "n": sizes[rng.randrange(len(sizes))],
+                "seed": rng.randrange(seed_pool),
+            }
+        )
+    return requests
+
+
+@dataclass
+class LoadReport:
+    """Client-side view of one load run."""
+
+    requests: int = 0
+    ok: int = 0
+    by_status: Counter = field(default_factory=Counter)
+    errors: list = field(default_factory=list)
+    cache_hits: int = 0
+    batched: int = 0
+    latencies_s: list = field(default_factory=list)
+    wall_s: float = 0.0
+    model_metrics: dict = field(default_factory=dict)
+
+    @property
+    def dropped(self) -> int:
+        """Requests that never got an HTTP response."""
+        return len(self.errors)
+
+    def throughput_rps(self) -> float:
+        return self.requests / self.wall_s if self.wall_s > 0 else 0.0
+
+    def latency_quantile(self, q: float) -> float:
+        if not self.latencies_s:
+            return 0.0
+        ordered = sorted(self.latencies_s)
+        idx = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[idx]
+
+    def record(self, status: int, doc: dict, latency_s: float) -> None:
+        self.by_status[status] += 1
+        self.latencies_s.append(latency_s)
+        if status != 200 or not doc.get("ok"):
+            return
+        self.ok += 1
+        if doc.get("cached"):
+            self.cache_hits += 1
+        if doc.get("batched"):
+            self.batched += 1
+        metrics = doc.get("metrics") or {}
+        for name in _SUM_METRICS:
+            if name in metrics:
+                self.model_metrics[name] = self.model_metrics.get(name, 0) + metrics[name]
+        for name in _MAX_METRICS:
+            if name in metrics:
+                self.model_metrics[name] = max(self.model_metrics.get(name, 0), metrics[name])
+
+    def as_dict(self) -> dict:
+        return {
+            "requests": self.requests,
+            "ok": self.ok,
+            "dropped": self.dropped,
+            "by_status": {str(k): v for k, v in sorted(self.by_status.items())},
+            "errors": list(self.errors[:20]),
+            "cache_hits": self.cache_hits,
+            "batched": self.batched,
+            "wall_s": round(self.wall_s, 4),
+            "throughput_rps": round(self.throughput_rps(), 2),
+            "latency_p50_ms": round(self.latency_quantile(0.50) * 1000.0, 3),
+            "latency_p95_ms": round(self.latency_quantile(0.95) * 1000.0, 3),
+            "latency_max_ms": round(max(self.latencies_s) * 1000.0, 3) if self.latencies_s else 0.0,
+            "model_metrics": dict(self.model_metrics),
+        }
+
+
+async def _http(
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+    method: str,
+    path: str,
+    payload: dict | None = None,
+    timeout: float = 30.0,
+) -> tuple[int, dict, bool]:
+    """One request on an open connection -> (status, doc, server_closed)."""
+    body = json.dumps(payload).encode("utf-8") if payload is not None else b""
+    head = (
+        f"{method} {path} HTTP/1.1\r\n"
+        f"Host: loadgen\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: keep-alive\r\n\r\n"
+    )
+    writer.write(head.encode("latin-1") + body)
+    await writer.drain()
+    status_line = await asyncio.wait_for(reader.readline(), timeout)
+    if not status_line:
+        raise ConnectionError("server closed the connection")
+    status = int(status_line.split()[1])
+    headers = {}
+    while True:
+        line = await asyncio.wait_for(reader.readline(), timeout)
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _sep, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", "0") or "0")
+    raw = await asyncio.wait_for(reader.readexactly(length), timeout) if length else b""
+    doc = json.loads(raw) if raw else {}
+    return status, doc, headers.get("connection", "").lower() == "close"
+
+
+async def fetch_metrics(host: str, port: int, timeout: float = 10.0) -> dict:
+    """One-shot ``GET /metrics``."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        _status, doc, _closed = await _http(reader, writer, "GET", "/metrics", timeout=timeout)
+        return doc
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except Exception:
+            pass
+
+
+async def wait_ready(host: str, port: int, timeout: float = 10.0) -> bool:
+    """Poll ``/healthz`` until the server answers or the timeout lapses."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            reader, writer = await asyncio.open_connection(host, port)
+            try:
+                status, _doc, _closed = await _http(reader, writer, "GET", "/healthz", timeout=2.0)
+            finally:
+                writer.close()
+            if status == 200:
+                return True
+        except (OSError, asyncio.TimeoutError, ConnectionError, ValueError):
+            pass
+        await asyncio.sleep(0.05)
+    return False
+
+
+async def run_load(
+    host: str,
+    port: int,
+    requests: list[dict],
+    *,
+    concurrency: int = 16,
+    timeout: float = 30.0,
+) -> LoadReport:
+    """Drive ``requests`` through ``concurrency`` persistent connections."""
+    report = LoadReport(requests=len(requests))
+    pending = deque(requests)
+    workers = max(1, min(int(concurrency), len(requests)))
+    ready = 0
+    start_gate = asyncio.Event()
+
+    async def worker() -> None:
+        nonlocal ready
+        reader, writer = await asyncio.open_connection(host, port)
+        ready += 1
+        if ready == workers:
+            start_gate.set()
+        await start_gate.wait()
+        try:
+            while True:
+                try:
+                    payload = pending.popleft()
+                except IndexError:
+                    return
+                t0 = time.monotonic()
+                status = None
+                for attempt in (1, 2):
+                    try:
+                        status, doc, closed = await _http(
+                            reader, writer, "POST", "/run", payload, timeout=timeout
+                        )
+                        break
+                    except (
+                        ConnectionError,
+                        OSError,
+                        asyncio.IncompleteReadError,
+                        asyncio.TimeoutError,
+                        ValueError,
+                    ) as exc:
+                        if attempt == 2:
+                            report.errors.append(f"{payload['algo']}/{payload['n']}: {exc!r}")
+                            return
+                        # stale connection: reconnect once and resend
+                        writer.close()
+                        reader, writer = await asyncio.open_connection(host, port)
+                if status is None:
+                    return
+                report.record(status, doc, time.monotonic() - t0)
+                if closed:
+                    reader, writer = await asyncio.open_connection(host, port)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+    t_start = time.monotonic()
+    outcomes = await asyncio.gather(*(worker() for _ in range(workers)), return_exceptions=True)
+    report.wall_s = time.monotonic() - t_start
+    for out in outcomes:
+        if isinstance(out, BaseException):
+            report.errors.append(f"worker crashed: {out!r}")
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service.loadgen",
+        description="Closed-loop load generator for `repro serve`.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument("--requests", type=int, default=200)
+    parser.add_argument("--concurrency", type=int, default=16)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--timeout", type=float, default=30.0)
+    parser.add_argument("--wait", type=float, default=0.0, help="seconds to wait for /healthz first")
+    parser.add_argument("--out", default="", help="write the load report JSON here")
+    parser.add_argument("--metrics-out", default="", help="scrape /metrics afterwards into this file")
+    parser.add_argument("--require-hits", type=int, default=0, help="fail unless >= N cache hits")
+    parser.add_argument(
+        "--require-batched", type=int, default=0, help="fail unless >= N responses were batched"
+    )
+    args = parser.parse_args(argv)
+
+    if args.wait > 0 and not asyncio.run(wait_ready(args.host, args.port, args.wait)):
+        print(f"loadgen: no /healthz from {args.host}:{args.port} after {args.wait}s", file=sys.stderr)
+        return 2
+
+    requests = build_requests(args.requests, args.seed)
+    report = asyncio.run(
+        run_load(args.host, args.port, requests, concurrency=args.concurrency, timeout=args.timeout)
+    )
+    doc = report.as_dict()
+    print(
+        f"loadgen: {report.ok}/{report.requests} ok, {report.dropped} dropped, "
+        f"{report.cache_hits} cache hits, {report.batched} batched, "
+        f"{doc['throughput_rps']} req/s, p95 {doc['latency_p95_ms']}ms"
+    )
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+        print(f"loadgen: report -> {args.out}")
+    if args.metrics_out:
+        metrics = asyncio.run(fetch_metrics(args.host, args.port, timeout=args.timeout))
+        with open(args.metrics_out, "w") as fh:
+            json.dump(metrics, fh, indent=2, sort_keys=True)
+        print(f"loadgen: metrics -> {args.metrics_out}")
+
+    failures = []
+    if report.dropped:
+        failures.append(f"{report.dropped} request(s) got no response")
+    non_ok = report.requests - report.dropped - report.ok
+    if non_ok:
+        failures.append(f"{non_ok} non-200 response(s): {dict(report.by_status)}")
+    if report.cache_hits < args.require_hits:
+        failures.append(f"cache hits {report.cache_hits} < required {args.require_hits}")
+    if report.batched < args.require_batched:
+        failures.append(f"batched responses {report.batched} < required {args.require_batched}")
+    if failures:
+        for failure in failures:
+            print(f"loadgen: FAIL: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,163 @@
+"""Service observability: counters and latency histograms for ``/metrics``.
+
+Everything here is mutated from the single event-loop thread, so plain ints
+suffice — no locks.  The snapshot is deliberately plain JSON (no Prometheus
+text format) to stay consistent with the rest of the repo's artifacts:
+``MachineStats`` counters and ``CostTree`` rows already travel as JSON in
+``BENCH_*.json`` documents, and per-request cost payloads reuse exactly that
+serialization (see :func:`repro.runner.registry.point_from_machine`).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+
+__all__ = ["LATENCY_BUCKETS_MS", "LatencyHistogram", "ServiceMetrics"]
+
+#: upper bucket bounds in milliseconds; requests above the last bound land
+#: in a +Inf overflow bucket
+LATENCY_BUCKETS_MS = (1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000)
+
+
+class LatencyHistogram:
+    """Fixed-bucket latency histogram (cumulative-friendly, JSON-served)."""
+
+    def __init__(self, bounds_ms: tuple[int, ...] = LATENCY_BUCKETS_MS) -> None:
+        self.bounds_ms = tuple(bounds_ms)
+        self.counts = [0] * (len(self.bounds_ms) + 1)
+        self.count = 0
+        self.sum_ms = 0.0
+        self.max_ms = 0.0
+
+    def observe(self, seconds: float) -> None:
+        ms = seconds * 1000.0
+        self.count += 1
+        self.sum_ms += ms
+        self.max_ms = max(self.max_ms, ms)
+        for i, bound in enumerate(self.bounds_ms):
+            if ms <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile in ms (upper bound of the matching bucket)."""
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        seen = 0
+        for i, bound in enumerate(self.bounds_ms):
+            seen += self.counts[i]
+            if seen >= target:
+                return float(bound)
+        return self.max_ms
+
+    def as_dict(self) -> dict:
+        buckets = {f"le_{b}ms": c for b, c in zip(self.bounds_ms, self.counts)}
+        buckets["le_inf"] = self.counts[-1]
+        return {
+            "count": self.count,
+            "sum_ms": round(self.sum_ms, 3),
+            "mean_ms": round(self.sum_ms / self.count, 3) if self.count else 0.0,
+            "max_ms": round(self.max_ms, 3),
+            "p50_ms": self.quantile(0.50),
+            "p95_ms": self.quantile(0.95),
+            "p99_ms": self.quantile(0.99),
+            "buckets": buckets,
+        }
+
+
+class ServiceMetrics:
+    """All counters behind ``/metrics``; single-threaded by construction."""
+
+    def __init__(self) -> None:
+        self.started_monotonic = time.monotonic()
+        self.started_at = time.time()
+        self.requests_total = 0
+        self.responses_by_status: Counter[int] = Counter()
+        self.requests_by_algo: Counter[str] = Counter()
+        self.cache_hits_memory = 0
+        self.cache_hits_disk = 0
+        self.cache_misses = 0
+        self.executions = 0
+        self.execution_failures = 0
+        self.batched_executions = 0
+        self.coalesced_requests = 0
+        self.rejected = 0
+        self.timeouts = 0
+        self.inflight = 0
+        self.peak_inflight = 0
+        self.drained = 0
+        self.latency = LatencyHistogram()
+        self.execution_latency = LatencyHistogram()
+
+    # -- request lifecycle ----------------------------------------------
+    def request_received(self) -> None:
+        """Any ``POST /run`` attempt, valid or not."""
+        self.requests_total += 1
+
+    def request_admitted(self, algo: str | None = None) -> None:
+        if algo is not None:
+            self.requests_by_algo[algo] += 1
+        self.inflight += 1
+        self.peak_inflight = max(self.peak_inflight, self.inflight)
+
+    def request_finished(self, status: int, latency_s: float) -> None:
+        self.inflight -= 1
+        self.drained += 1
+        self.responses_by_status[status] += 1
+        self.latency.observe(latency_s)
+
+    def response_only(self, status: int) -> None:
+        """A response that never entered the request lifecycle (404, 429...)."""
+        self.responses_by_status[status] += 1
+
+    # -- cache / batch accounting ---------------------------------------
+    def cache_hit(self, tier: str) -> None:
+        if tier == "memory":
+            self.cache_hits_memory += 1
+        else:
+            self.cache_hits_disk += 1
+
+    @property
+    def cache_hits(self) -> int:
+        return self.cache_hits_memory + self.cache_hits_disk
+
+    # -- snapshot --------------------------------------------------------
+    def snapshot(self, *, queue_depth: int = 0, extra: dict | None = None) -> dict:
+        lookups = self.cache_hits + self.cache_misses
+        doc = {
+            "uptime_s": round(time.monotonic() - self.started_monotonic, 3),
+            "started_at_unix": round(self.started_at, 3),
+            "requests": {
+                "total": self.requests_total,
+                "by_algo": dict(self.requests_by_algo),
+                "inflight": self.inflight,
+                "peak_inflight": self.peak_inflight,
+                "queue_depth": queue_depth,
+                "rejected": self.rejected,
+                "timeouts": self.timeouts,
+            },
+            "responses": {
+                "by_status": {str(k): v for k, v in sorted(self.responses_by_status.items())},
+            },
+            "cache": {
+                "hits": self.cache_hits,
+                "hits_memory": self.cache_hits_memory,
+                "hits_disk": self.cache_hits_disk,
+                "misses": self.cache_misses,
+                "hit_rate": round(self.cache_hits / lookups, 4) if lookups else 0.0,
+            },
+            "batching": {
+                "executions": self.executions,
+                "execution_failures": self.execution_failures,
+                "batched_executions": self.batched_executions,
+                "coalesced_requests": self.coalesced_requests,
+            },
+            "latency": self.latency.as_dict(),
+            "execution_latency": self.execution_latency.as_dict(),
+        }
+        if extra:
+            doc.update(extra)
+        return doc

@@ -1,0 +1,144 @@
+"""Request validation for the serving layer.
+
+A request is a small JSON object::
+
+    {"algo": "scan", "n": 4096, "seed": 7, "profile": false}
+
+``algo`` selects one of the Table I primitives; each maps onto a suite in
+the benchmark registry (:data:`ALGO_SUITES`), so a served request is the
+same unit of work as a ``repro bench run`` sweep point — same point
+function, same determinism contract, same cache identity.  Validation is
+strict: unknown fields, wrong types, and out-of-range sizes are rejected
+with :class:`RequestError` (HTTP 400) before any work is admitted.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from ..runner.cachekey import PROFILE_SALT, point_key
+from ..runner.spec import PointSpec
+
+__all__ = ["ALGO_SUITES", "SIZE_LIMITS", "RequestError", "ServiceRequest"]
+
+#: served algorithm -> registered suite executing it
+ALGO_SUITES = {
+    "scan": "table1_scan",
+    "sort": "table1_sort",
+    "select": "table1_selection",
+    "spmv": "table1_spmv",
+}
+
+#: inclusive (min, max) admitted problem size per algorithm.  The caps match
+#: each suite's full sweep grid — sizes the repo's own benchmarks exercise.
+SIZE_LIMITS = {
+    "scan": (64, 65536),
+    "sort": (64, 4096),
+    "select": (64, 16384),
+    "spmv": (4, 1024),
+}
+
+#: algorithms whose ``n`` must be a power of four (square power-of-two grid)
+_POWER_OF_FOUR = frozenset({"scan", "sort", "select"})
+
+_ALLOWED_FIELDS = frozenset({"algo", "n", "seed", "profile"})
+
+_MAX_SEED = 2**32
+
+
+class RequestError(ValueError):
+    """A malformed or unserviceable request (surfaces as HTTP 400)."""
+
+    def __init__(self, message: str, field: str | None = None) -> None:
+        super().__init__(message)
+        self.field = field
+
+
+def _is_power_of_four(n: int) -> bool:
+    return n > 0 and n & (n - 1) == 0 and n.bit_length() % 2 == 1
+
+
+def _require_int(doc: Mapping[str, Any], field: str, default: int | None) -> int:
+    value = doc.get(field, default)
+    if value is None:
+        raise RequestError(f"missing required field {field!r}", field)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise RequestError(f"field {field!r} must be an integer", field)
+    return value
+
+
+@dataclass(frozen=True)
+class ServiceRequest:
+    """One validated simulation request."""
+
+    algo: str
+    n: int
+    seed: int = 0
+    profile: bool = False
+
+    @classmethod
+    def from_payload(cls, doc: Any) -> ServiceRequest:
+        """Validate a decoded JSON body; raise :class:`RequestError` if bad."""
+        if not isinstance(doc, dict):
+            raise RequestError("request body must be a JSON object")
+        unknown = sorted(set(doc) - _ALLOWED_FIELDS)
+        if unknown:
+            raise RequestError(
+                f"unknown field(s): {', '.join(unknown)}; "
+                f"allowed: {', '.join(sorted(_ALLOWED_FIELDS))}",
+                unknown[0],
+            )
+        algo = doc.get("algo")
+        if not isinstance(algo, str) or algo not in ALGO_SUITES:
+            raise RequestError(
+                f"unknown algo {algo!r}; served: {', '.join(sorted(ALGO_SUITES))}",
+                "algo",
+            )
+        n = _require_int(doc, "n", None)
+        lo, hi = SIZE_LIMITS[algo]
+        if not lo <= n <= hi:
+            raise RequestError(f"n={n} out of range for {algo} (admitted: {lo}..{hi})", "n")
+        if algo in _POWER_OF_FOUR and not _is_power_of_four(n):
+            raise RequestError(f"n={n} must be a power of 4 for {algo}", "n")
+        seed = _require_int(doc, "seed", 0)
+        if not 0 <= seed < _MAX_SEED:
+            raise RequestError(f"seed must be in [0, 2**32), got {seed}", "seed")
+        profile = doc.get("profile", False)
+        if not isinstance(profile, bool):
+            raise RequestError("field 'profile' must be a boolean", "profile")
+        return cls(algo=algo, n=n, seed=seed, profile=profile)
+
+    @property
+    def suite_name(self) -> str:
+        return ALGO_SUITES[self.algo]
+
+    def params(self) -> dict:
+        # table1_sort sweeps the grid side, every other suite sweeps n
+        if self.algo == "sort":
+            return {"side": math.isqrt(self.n)}
+        return {"n": self.n}
+
+    def point(self) -> PointSpec:
+        """The registry sweep point this request denotes."""
+        return PointSpec(suite=self.suite_name, params=self.params(), seed=self.seed)
+
+    def cache_key(self, code_ver: str) -> str:
+        """Content-addressed identity, shared with ``repro bench run``.
+
+        ``code_ver`` is the *unsalted* suite code version; profiled requests
+        are salted here so the two payload shapes never alias.
+        """
+        ver = code_ver + PROFILE_SALT if self.profile else code_ver
+        return point_key(self.point(), ver)
+
+    def describe(self) -> dict:
+        return {
+            "algo": self.algo,
+            "n": self.n,
+            "seed": self.seed,
+            "profile": self.profile,
+            "suite": self.suite_name,
+            "params": self.params(),
+        }

@@ -1,0 +1,441 @@
+"""The asyncio HTTP/1.1 server behind ``repro serve``.
+
+Endpoints (all JSON; see ``docs/SERVICE.md``):
+
+* ``POST /run``   — execute one validated simulation request
+* ``GET /healthz`` — liveness (reports draining state)
+* ``GET /metrics`` — counters, latency histograms, cache/batch efficiency
+* ``GET /algos``   — served algorithms and admitted size ranges
+
+The request path is: admission control (in-flight cap and bounded queue →
+429 + Retry-After) → two-tier cache lookup → micro-batcher (identical
+in-flight requests coalesce onto one execution) → worker pool.  Each request
+races a deadline; losing it returns 504 while any shared execution keeps
+running for the other waiters.  SIGTERM/SIGINT triggers a graceful drain:
+the listener closes, in-flight requests finish, workers shut down, and the
+process exits 0 after printing ``drained cleanly``.
+
+The HTTP handling is deliberately minimal — request line, headers,
+``Content-Length`` bodies, keep-alive — because the protocol surface is
+three JSON endpoints, not a general web server.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import signal
+import time
+from dataclasses import dataclass
+
+from ..runner.cache import DEFAULT_CACHE_DIR, ResultCache
+from ..runner.cachekey import suite_code_version
+from ..runner.registry import load_suites
+from .batcher import Batcher
+from .cache import ServiceCache
+from .executor import ExecutionError, ExecutionTimeout, ServiceExecutor
+from .metrics import ServiceMetrics
+from .protocol import ALGO_SUITES, SIZE_LIMITS, RequestError, ServiceRequest
+
+__all__ = ["ServiceConfig", "SpatialService", "serve_main"]
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+_MAX_BODY = 1 << 20
+
+
+class _BadRequest(Exception):
+    """Unparseable HTTP: answer 400 and close the connection."""
+
+
+@dataclass
+class ServiceConfig:
+    """Knobs for one ``repro serve`` instance."""
+
+    host: str = "127.0.0.1"
+    port: int = 8642
+    workers: int = 2
+    #: run simulations on event-loop threads instead of the worker pool
+    #: (for contexts that cannot fork; disables ``profile`` requests)
+    inline: bool = False
+    max_inflight: int = 64
+    max_queue: int = 256
+    batch_window: float = 0.02
+    #: execution deadline; the request deadline adds the batch window + 1s
+    timeout: float = 30.0
+    memory_cache: int = 512
+    cache_dir: str = DEFAULT_CACHE_DIR
+    disk_cache: bool = True
+    bench_dir: str = ""
+    drain_timeout: float = 30.0
+
+
+class SpatialService:
+    """One serving instance: listener, batcher, cache, executor, metrics."""
+
+    def __init__(self, config: ServiceConfig) -> None:
+        self.config = config
+        suites = load_suites(config.bench_dir or None)
+        missing = [a for a, s in sorted(ALGO_SUITES.items()) if s not in suites]
+        if missing:
+            raise RuntimeError(
+                f"registry is missing suites for algo(s): {', '.join(missing)}"
+            )
+        # unsalted per-suite code versions; requests salt for profile runs
+        self.code_versions = {
+            algo: suite_code_version(suites[suite_name])
+            for algo, suite_name in ALGO_SUITES.items()
+        }
+        disk = ResultCache(config.cache_dir) if config.disk_cache else None
+        self.cache = ServiceCache(maxsize=config.memory_cache, disk=disk)
+        self.batcher = Batcher(window=config.batch_window)
+        self.executor = ServiceExecutor(
+            workers=config.workers,
+            bench_dir=config.bench_dir,
+            inline=config.inline,
+            timeout=config.timeout,
+        )
+        self.metrics = ServiceMetrics()
+        self.draining = False
+        self.port = config.port
+        self._server: asyncio.AbstractServer | None = None
+        self._executing = 0
+        self._writers: set[asyncio.StreamWriter] = set()
+        self._bg: set[asyncio.Task] = set()
+
+    # -- lifecycle -------------------------------------------------------
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_conn,
+            self.config.host,
+            self.config.port,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def drain(self, timeout: float | None = None) -> bool:
+        """Stop accepting work; wait for in-flight requests. True if empty."""
+        self.draining = True
+        if self._server is not None:
+            self._server.close()
+        budget = self.config.drain_timeout if timeout is None else timeout
+        deadline = time.monotonic() + budget
+        while (self.metrics.inflight > 0 or self._bg) and time.monotonic() < deadline:
+            await asyncio.sleep(0.02)
+        return self.metrics.inflight == 0 and not self._bg
+
+    async def stop(self) -> None:
+        self.draining = True
+        if self._server is not None:
+            self._server.close()
+            with contextlib.suppress(Exception, asyncio.TimeoutError):
+                await asyncio.wait_for(self._server.wait_closed(), 2.0)
+        for writer in list(self._writers):
+            with contextlib.suppress(Exception):
+                writer.close()
+        self.executor.close()
+
+    # -- request processing ---------------------------------------------
+    def queue_depth(self) -> int:
+        """Admitted requests not currently occupying an execution slot."""
+        return max(0, self.metrics.inflight - self._executing)
+
+    async def _process(self, request: ServiceRequest) -> dict:
+        """Cache lookup -> batcher -> executor; returns payload + provenance."""
+        key = request.cache_key(self.code_versions[request.algo])
+        payload, tier = self.cache.get(key)
+        if tier is not None:
+            self.metrics.cache_hit(tier)
+            return {"payload": payload, "cached": tier, "batched": False}
+        self.metrics.cache_misses += 1
+
+        async def _execute() -> dict:
+            self._executing += 1
+            try:
+                payload, exec_s = await self.executor.execute(request)
+            except BaseException:
+                self.metrics.execution_failures += 1
+                raise
+            finally:
+                self._executing -= 1
+                self.metrics.executions += 1
+            self.metrics.execution_latency.observe(exec_s)
+            self.cache.put(key, request, payload, exec_s)
+            return payload
+
+        outcome = await self.batcher.submit(key, _execute)
+        if outcome.leader:
+            if outcome.batched:
+                self.metrics.batched_executions += 1
+        else:
+            self.metrics.coalesced_requests += 1
+        return {"payload": outcome.payload, "cached": False, "batched": outcome.batched}
+
+    def _track(self, task: asyncio.Task) -> None:
+        self._bg.add(task)
+
+        def _done(t: asyncio.Task) -> None:
+            self._bg.discard(t)
+            if not t.cancelled():
+                t.exception()  # retrieved; abandoned (504) leaders stay quiet
+
+        task.add_done_callback(_done)
+
+    async def _serve_run(self, body: bytes) -> tuple[int, dict, list]:
+        self.metrics.request_received()
+        try:
+            doc = json.loads(body.decode("utf-8") or "null")
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            self.metrics.response_only(400)
+            return 400, {"ok": False, "error": f"invalid JSON body: {exc}"}, []
+        try:
+            request = ServiceRequest.from_payload(doc)
+        except RequestError as exc:
+            self.metrics.response_only(400)
+            return 400, {"ok": False, "error": str(exc), "field": exc.field}, []
+        if self.draining:
+            self.metrics.response_only(503)
+            return 503, {"ok": False, "error": "server is draining"}, []
+        if self.metrics.inflight >= self.config.max_inflight:
+            self.metrics.rejected += 1
+            self.metrics.response_only(429)
+            return (
+                429,
+                {"ok": False, "error": "too many in-flight requests"},
+                [("Retry-After", "1")],
+            )
+        if self.queue_depth() >= self.config.max_queue:
+            self.metrics.rejected += 1
+            self.metrics.response_only(429)
+            return 429, {"ok": False, "error": "queue full"}, [("Retry-After", "1")]
+
+        started = time.monotonic()
+        self.metrics.request_admitted(request.algo)
+        status = 200
+        result: dict = {}
+        task = asyncio.create_task(self._process(request))
+        self._track(task)
+        deadline = self.config.timeout + self.config.batch_window + 1.0
+        try:
+            out = await asyncio.wait_for(asyncio.shield(task), deadline)
+            result = {
+                "ok": True,
+                **request.describe(),
+                "cached": out["cached"] or False,
+                "batched": out["batched"],
+                "wall_time_s": round(time.monotonic() - started, 6),
+                **out["payload"],
+            }
+        except asyncio.TimeoutError:
+            status = 504
+            self.metrics.timeouts += 1
+            result = {"ok": False, "error": f"request timed out after {deadline:.1f}s"}
+        except ExecutionTimeout as exc:
+            status = 504
+            self.metrics.timeouts += 1
+            result = {"ok": False, "error": str(exc)}
+        except RequestError as exc:
+            status = 400
+            result = {"ok": False, "error": str(exc), "field": exc.field}
+        except ExecutionError as exc:
+            status = 500
+            result = {"ok": False, "error": str(exc)}
+        except Exception as exc:  # defensive: never tear the connection down
+            status = 500
+            result = {"ok": False, "error": f"internal error: {exc!r}"}
+        finally:
+            self.metrics.request_finished(status, time.monotonic() - started)
+        return status, result, []
+
+    def metrics_doc(self) -> dict:
+        return self.metrics.snapshot(
+            queue_depth=self.queue_depth(),
+            extra={
+                "service": {
+                    "draining": self.draining,
+                    "executor": self.executor.stats(),
+                    "open_batches": self.batcher.depth(),
+                    "memory_cache_entries": len(self.cache),
+                    "batch_window_s": self.config.batch_window,
+                    "max_inflight": self.config.max_inflight,
+                    "max_queue": self.config.max_queue,
+                },
+            },
+        )
+
+    async def _route(self, method: str, path: str, body: bytes) -> tuple[int, dict, list]:
+        if path == "/run":
+            if method != "POST":
+                self.metrics.response_only(405)
+                return 405, {"ok": False, "error": "use POST /run"}, [("Allow", "POST")]
+            return await self._serve_run(body)
+        if method != "GET":
+            self.metrics.response_only(405)
+            return 405, {"ok": False, "error": f"{method} not allowed here"}, [("Allow", "GET")]
+        if path == "/healthz":
+            return 200, {"status": "ok", "draining": self.draining}, []
+        if path == "/metrics":
+            return 200, self.metrics_doc(), []
+        if path == "/algos":
+            return (
+                200,
+                {
+                    "algos": {
+                        algo: {"suite": suite_name, "n_range": list(SIZE_LIMITS[algo])}
+                        for algo, suite_name in sorted(ALGO_SUITES.items())
+                    },
+                },
+                [],
+            )
+        if path == "/":
+            return 200, {"endpoints": ["/run", "/healthz", "/metrics", "/algos"]}, []
+        self.metrics.response_only(404)
+        return 404, {"ok": False, "error": f"no route for {path}"}, []
+
+    # -- HTTP plumbing ---------------------------------------------------
+    async def _read_request(self, reader: asyncio.StreamReader):
+        start = await reader.readline()
+        if not start:
+            return None
+        try:
+            method, target, _version = start.decode("latin-1").split()
+        except ValueError:
+            raise _BadRequest(f"malformed request line: {start[:80]!r}")
+        headers: dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, sep, value = line.decode("latin-1").partition(":")
+            if not sep:
+                raise _BadRequest(f"malformed header line: {line[:80]!r}")
+            headers[name.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", "0") or "0")
+        except ValueError:
+            raise _BadRequest("non-integer Content-Length")
+        if length < 0 or length > _MAX_BODY:
+            raise _BadRequest(f"body of {length} bytes exceeds the {_MAX_BODY} limit")
+        body = await reader.readexactly(length) if length else b""
+        return method, target, headers, body
+
+    async def _write_response(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        doc: dict,
+        extra_headers: list,
+        keep_alive: bool,
+    ) -> None:
+        body = json.dumps(doc).encode("utf-8")
+        lines = [
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
+        ]
+        lines.extend(f"{name}: {value}" for name, value in extra_headers)
+        writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body)
+        await writer.drain()
+
+    async def _handle_conn(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        self._writers.add(writer)
+        try:
+            while True:
+                try:
+                    parsed = await self._read_request(reader)
+                except _BadRequest as exc:
+                    self.metrics.response_only(400)
+                    await self._write_response(
+                        writer, 400, {"ok": False, "error": str(exc)}, [], False
+                    )
+                    break
+                if parsed is None:
+                    break
+                method, target, headers, body = parsed
+                path = target.split("?", 1)[0]
+                keep_alive = (
+                    not self.draining and headers.get("connection", "").lower() != "close"
+                )
+                status, doc, extra = await self._route(method.upper(), path, body)
+                await self._write_response(writer, status, doc, extra, keep_alive)
+                if not keep_alive:
+                    break
+        except (
+            ConnectionResetError,
+            BrokenPipeError,
+            asyncio.IncompleteReadError,
+            asyncio.LimitOverrunError,
+        ):
+            pass  # client went away mid-request; nothing to answer
+        finally:
+            self._writers.discard(writer)
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+
+
+async def _amain(config: ServiceConfig) -> int:
+    service = SpatialService(config)
+    await service.start()
+    backend = "inline" if config.inline else f"pool({config.workers})"
+    print(
+        f"repro-serve: listening on http://{config.host}:{service.port} "
+        f"(backend={backend}, window={config.batch_window}s)",
+        flush=True,
+    )
+    stop_event = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(sig, stop_event.set)
+        except NotImplementedError:  # pragma: no cover - non-posix loops
+            signal.signal(sig, lambda *_: stop_event.set())
+    await stop_event.wait()
+    print("repro-serve: draining...", flush=True)
+    clean = await service.drain()
+    await service.stop()
+    total = service.metrics.requests_total
+    if clean:
+        print(f"repro-serve: drained cleanly after {total} request(s)", flush=True)
+        return 0
+    print(
+        f"repro-serve: drain timed out with {service.metrics.inflight} request(s) "
+        "still in flight",
+        flush=True,
+    )
+    return 1
+
+
+def serve_main(args) -> int:
+    """Entry point for the ``repro serve`` CLI verb."""
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        inline=args.inline,
+        max_inflight=args.max_inflight,
+        max_queue=args.queue,
+        batch_window=args.batch_window,
+        timeout=args.timeout,
+        memory_cache=args.memory_cache,
+        cache_dir=args.cache_dir,
+        disk_cache=not args.no_disk_cache,
+        bench_dir=args.bench_dir,
+        drain_timeout=args.drain_timeout,
+    )
+    return asyncio.run(_amain(config))

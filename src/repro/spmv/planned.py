@@ -34,7 +34,6 @@ import numpy as np
 from ..core.ops import ADD, Monoid
 from ..core.scan import segmented_broadcast, segmented_scan
 from ..core.sorting.mergesort2d import mergesort_2d
-from ..machine.geometry import Region
 from ..machine.machine import SpatialMachine, TrackedArray
 from ..machine.zorder import zorder_coords
 from .coo import COOMatrix
@@ -140,7 +139,6 @@ def plan_spmv(
     if nnz == 0:
         raise ValueError("SpMV needs at least one non-zero")
     layout = layout or SpMVLayout.default(n, nnz)
-    ereg = layout.entry_region
     start = machine.snapshot()
 
     with machine.phase("spmv_plan"):

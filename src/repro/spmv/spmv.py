@@ -33,7 +33,7 @@ from ..core.scan import segmented_broadcast, segmented_scan
 from ..core.validate import check_finite_values
 from ..core.sorting.mergesort2d import mergesort_2d
 from ..machine.geometry import Region
-from ..machine.machine import SpatialMachine, TrackedArray, concat_tracked
+from ..machine.machine import SpatialMachine, TrackedArray
 from ..machine.zorder import zorder_coords
 from .coo import COOMatrix
 

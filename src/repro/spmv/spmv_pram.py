@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..machine.machine import SpatialMachine, TrackedArray
+from ..machine.machine import SpatialMachine
 from ..pram.programs import SpMVCRCW
 from ..pram.simulate import simulate_crcw
 from .coo import COOMatrix

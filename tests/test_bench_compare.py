@@ -1,7 +1,6 @@
 """Tests for the ``repro bench compare`` regression gate."""
 
 import copy
-import json
 
 import pytest
 

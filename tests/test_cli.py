@@ -105,6 +105,51 @@ class TestBenchCommands:
         assert "PASS" in capsys.readouterr().out
 
 
+class TestErrorPaths:
+    """Bad invocations exit non-zero with a message, never a traceback."""
+
+    def test_unknown_verb(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["frobnicate"])
+        assert exc.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_profile_unknown_algo(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["profile", "bogus"])
+        assert exc.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_profile_malformed_metric(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["profile", "scan", "--metric", "bogus"])
+        assert exc.value.code == 2
+        assert "--metric" in capsys.readouterr().err
+
+    def test_bench_compare_unknown_metric(self):
+        with pytest.raises(SystemExit, match="unknown metric"):
+            main(["bench", "compare", "--baseline", "benchmarks/baselines/quick",
+                  "--current", "benchmarks/baselines/quick", "--metric", "bogus"])
+
+    def test_bench_compare_missing_baseline(self, tmp_path):
+        with pytest.raises(SystemExit) as exc:
+            main(["bench", "compare", "--baseline", str(tmp_path / "nowhere"),
+                  "--current", str(tmp_path / "nowhere")])
+        assert exc.value.code not in (0, None)
+
+    def test_report_unknown_algo(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["report", "--algo", "bogus"])
+        assert exc.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_serve_bad_port_type(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["serve", "--port", "not-a-port"])
+        assert exc.value.code == 2
+        assert "--port" in capsys.readouterr().err
+
+
 class TestChaosCommand:
     def test_chaos_sweep_passes(self, capsys):
         assert main(["chaos", "--algos", "scan,select", "--profiles",
@@ -126,8 +171,17 @@ class TestChaosCommand:
         capsys.readouterr()
 
     def test_chaos_rejects_unknown_algo(self):
-        with pytest.raises(ValueError, match="unknown chaos algo"):
+        with pytest.raises(SystemExit, match="unknown chaos algo"):
             main(["chaos", "--algos", "nope", "--profiles", "drops"])
+
+    def test_chaos_rejects_unknown_profile(self):
+        with pytest.raises(SystemExit, match="unknown"):
+            main(["chaos", "--algos", "scan", "--profiles", "gremlins"])
+
+    def test_chaos_bad_algo_exits_nonzero(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["chaos", "--algos", "nope", "--profiles", "drops"])
+        assert exc.value.code != 0
 
     def test_chaos_multiple_plans(self, capsys):
         assert main(["chaos", "--algos", "mergesort", "--profiles", "mixed",

@@ -11,7 +11,6 @@ from repro.core.collectives import (
     all_reduce,
     broadcast,
     broadcast_1d,
-    broadcast_2d,
     reduce,
     reduce_2d,
 )

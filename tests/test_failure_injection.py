@@ -3,7 +3,6 @@ resource-edge behaviour.  The algorithms must stay *correct* (possibly at
 higher cost) when their probabilistic assumptions are sabotaged."""
 
 import numpy as np
-import pytest
 
 from repro.core.selection import rank_select
 from repro.core.sorting.quicksort2d import quicksort_2d

@@ -10,13 +10,11 @@ from repro import (
     SpatialMachine,
     all_reduce,
     merge_sorted_2d,
-    mergesort_2d,
     rank_select,
     scan,
     sort_values,
     spmv_spatial,
 )
-from repro.core.sorting.sortutil import as_sort_payload
 from repro.spmv import random_coo
 
 

@@ -8,7 +8,7 @@ distance = longest chain wire length, local work free, self-sends free.
 import numpy as np
 import pytest
 
-from repro.machine import Region, SpatialMachine, TrackedArray, combine
+from repro.machine import Region, TrackedArray, combine
 from repro.machine.machine import concat_tracked
 
 

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.sorting.mergesort2d import sort_values
-from repro.machine import CostTree, Region, SpatialMachine
+from repro.machine import CostTree, SpatialMachine
 
 from .conftest import square
 

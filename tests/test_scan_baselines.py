@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.ops import ADD, MAX
+from repro.core.ops import MAX
 from repro.core.scan import scan
 from repro.core.scan_baselines import sequential_scan, tree_scan_1d
 from repro.machine import Region, SpatialMachine

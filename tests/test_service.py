@@ -1,0 +1,571 @@
+"""Tests for the serving layer (`repro serve` and repro.service.*).
+
+Three tiers:
+
+* pure unit tests for the protocol, batcher, cache, and metrics pieces;
+* in-process integration tests driving a real asyncio server over real
+  sockets (inline executor — no forking under the test runner);
+* one subprocess test exercising the shipped entry points end to end:
+  ``repro serve`` with the worker pool, the loadgen module, ``/metrics``
+  scraping, and SIGTERM graceful drain.
+"""
+
+import asyncio
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.runner.cache import ResultCache
+from repro.runner.cachekey import PROFILE_SALT, point_key
+from repro.runner.spec import PointSpec
+from repro.service import (
+    Batcher,
+    RequestError,
+    ServiceCache,
+    ServiceConfig,
+    ServiceMetrics,
+    ServiceRequest,
+    SpatialService,
+)
+from repro.service.loadgen import _http, build_requests, fetch_metrics, run_load
+
+SRC_DIR = Path(__file__).resolve().parents[1] / "src"
+
+#: small-n request mix: every key executes in well under a second
+FAST_MIX = (
+    ("scan", (64, 256)),
+    ("sort", (64, 256)),
+    ("select", (64, 256)),
+    ("spmv", (16, 64)),
+)
+
+
+class TestProtocol:
+    def test_roundtrip(self):
+        req = ServiceRequest.from_payload({"algo": "scan", "n": 4096, "seed": 7})
+        assert req == ServiceRequest("scan", 4096, 7, False)
+        assert req.suite_name == "table1_scan"
+        assert req.params() == {"n": 4096}
+        assert req.describe()["suite"] == "table1_scan"
+
+    def test_sort_sweeps_side_not_n(self):
+        req = ServiceRequest.from_payload({"algo": "sort", "n": 1024})
+        assert req.params() == {"side": 32}
+        assert req.point() == PointSpec(suite="table1_sort", params={"side": 32}, seed=0)
+
+    def test_rejects_non_object(self):
+        with pytest.raises(RequestError):
+            ServiceRequest.from_payload([1, 2, 3])
+
+    def test_rejects_unknown_algo(self):
+        with pytest.raises(RequestError) as exc:
+            ServiceRequest.from_payload({"algo": "fft", "n": 64})
+        assert exc.value.field == "algo"
+
+    def test_rejects_unknown_field(self):
+        with pytest.raises(RequestError, match="unknown field"):
+            ServiceRequest.from_payload({"algo": "scan", "n": 64, "shards": 2})
+
+    def test_rejects_missing_n(self):
+        with pytest.raises(RequestError) as exc:
+            ServiceRequest.from_payload({"algo": "scan"})
+        assert exc.value.field == "n"
+
+    def test_rejects_out_of_range_n(self):
+        with pytest.raises(RequestError, match="out of range"):
+            ServiceRequest.from_payload({"algo": "sort", "n": 16384})
+
+    def test_rejects_non_power_of_four(self):
+        with pytest.raises(RequestError, match="power of 4"):
+            ServiceRequest.from_payload({"algo": "scan", "n": 100})
+
+    def test_spmv_any_size_in_range(self):
+        assert ServiceRequest.from_payload({"algo": "spmv", "n": 100}).n == 100
+
+    def test_rejects_bool_masquerading_as_int(self):
+        with pytest.raises(RequestError):
+            ServiceRequest.from_payload({"algo": "scan", "n": True})
+
+    def test_rejects_non_bool_profile(self):
+        with pytest.raises(RequestError, match="boolean"):
+            ServiceRequest.from_payload({"algo": "scan", "n": 64, "profile": 1})
+
+    def test_cache_key_matches_runner_identity(self):
+        req = ServiceRequest("scan", 256, seed=1)
+        expected = point_key(
+            PointSpec(suite="table1_scan", params={"n": 256}, seed=1), "v0"
+        )
+        assert req.cache_key("v0") == expected
+
+    def test_profile_salts_cache_key(self):
+        plain = ServiceRequest("scan", 256, 1, False).cache_key("v0")
+        prof = ServiceRequest("scan", 256, 1, True).cache_key("v0")
+        assert plain != prof
+        assert prof == point_key(
+            PointSpec(suite="table1_scan", params={"n": 256}, seed=1),
+            "v0" + PROFILE_SALT,
+        )
+
+
+class TestBatcher:
+    def test_identical_keys_coalesce_to_one_execution(self):
+        async def go():
+            batcher = Batcher(window=0.05)
+            calls = 0
+
+            async def execute():
+                nonlocal calls
+                calls += 1
+                await asyncio.sleep(0.01)
+                return {"v": 42}
+
+            outs = await asyncio.gather(*(batcher.submit("k", execute) for _ in range(5)))
+            return calls, outs
+
+        calls, outs = asyncio.run(go())
+        assert calls == 1
+        assert [o.leader for o in outs].count(True) == 1
+        assert all(o.payload == {"v": 42} for o in outs)
+        assert all(o.batched for o in outs)
+
+    def test_distinct_keys_do_not_coalesce(self):
+        async def go():
+            batcher = Batcher(window=0.01)
+            calls = 0
+
+            async def execute():
+                nonlocal calls
+                calls += 1
+                return {}
+
+            outs = await asyncio.gather(
+                batcher.submit("a", execute), batcher.submit("b", execute)
+            )
+            return calls, outs
+
+        calls, outs = asyncio.run(go())
+        assert calls == 2
+        assert all(o.leader and not o.batched for o in outs)
+
+    def test_leader_failure_propagates_to_waiters(self):
+        async def go():
+            batcher = Batcher(window=0.05)
+
+            async def execute():
+                await asyncio.sleep(0.01)
+                raise ValueError("boom")
+
+            tasks = [
+                asyncio.ensure_future(batcher.submit("k", execute)) for _ in range(3)
+            ]
+            results = await asyncio.gather(*tasks, return_exceptions=True)
+            return results, batcher.depth()
+
+        results, depth = asyncio.run(go())
+        assert all(isinstance(r, ValueError) for r in results)
+        assert depth == 0  # failed batch is closed, not wedged
+
+    def test_cancelled_waiter_does_not_kill_the_batch(self):
+        async def go():
+            batcher = Batcher(window=0.05)
+            calls = 0
+
+            async def execute():
+                nonlocal calls
+                calls += 1
+                await asyncio.sleep(0.05)
+                return {"v": 1}
+
+            leader = asyncio.ensure_future(batcher.submit("k", execute))
+            await asyncio.sleep(0.01)  # leader is inside its window
+            waiter = asyncio.ensure_future(batcher.submit("k", execute))
+            await asyncio.sleep(0.01)
+            waiter.cancel()
+            out = await leader
+            return calls, out
+
+        calls, out = asyncio.run(go())
+        assert calls == 1
+        assert out.payload == {"v": 1}
+
+
+class TestServiceCache:
+    def _request(self):
+        return ServiceRequest("scan", 64, 0, False)
+
+    def test_memory_roundtrip_and_lru_eviction(self):
+        cache = ServiceCache(maxsize=2, disk=None)
+        req = self._request()
+        for key in ("a", "b", "c"):
+            cache.put(key, req, {"metrics": {"energy": 1}, "phases": [], "extra": {}}, 0.1)
+        assert cache.get("a") == (None, None)  # evicted
+        payload, tier = cache.get("c")
+        assert tier == "memory" and payload["metrics"]["energy"] == 1
+
+    def test_disk_tier_shared_with_runner_cache(self, tmp_path):
+        disk = ResultCache(tmp_path / "cache")
+        req = self._request()
+        payload = {"metrics": {"energy": 7}, "phases": [], "extra": {"note": 1}}
+        ServiceCache(maxsize=4, disk=disk).put("key1", req, payload, 0.2)
+
+        # a fresh instance (empty LRU) falls through to disk, then promotes
+        fresh = ServiceCache(maxsize=4, disk=disk)
+        got, tier = fresh.get("key1")
+        assert tier == "disk" and got["metrics"]["energy"] == 7
+        assert fresh.get("key1")[1] == "memory"
+
+        # and the stored artifact is a schema-valid runner PointResult
+        stored = disk.get("key1")
+        assert stored.status == "ok" and stored.params == {"n": 64}
+
+
+class TestServiceMetrics:
+    def test_lifecycle_counters(self):
+        m = ServiceMetrics()
+        m.request_received()
+        m.request_admitted("scan")
+        assert (m.inflight, m.peak_inflight) == (1, 1)
+        m.request_finished(200, 0.005)
+        assert m.inflight == 0
+        m.response_only(404)
+        snap = m.snapshot(queue_depth=3)
+        assert snap["requests"]["total"] == 1
+        assert snap["requests"]["queue_depth"] == 3
+        assert snap["responses"]["by_status"] == {"200": 1, "404": 1}
+        assert snap["latency"]["count"] == 1
+
+    def test_cache_hit_rate(self):
+        m = ServiceMetrics()
+        m.cache_hit("memory")
+        m.cache_hit("disk")
+        m.cache_misses += 2
+        assert m.snapshot()["cache"]["hit_rate"] == 0.5
+
+    def test_histogram_quantiles(self):
+        from repro.service import LatencyHistogram
+
+        h = LatencyHistogram()
+        for ms in (1, 1, 1, 1, 1, 1, 1, 1, 1, 900):
+            h.observe(ms / 1000.0)
+        d = h.as_dict()
+        assert d["count"] == 10
+        assert d["p50_ms"] == 1
+        assert d["p99_ms"] == 1000  # bucket upper bound holding the straggler
+
+
+class TestLoadgen:
+    def test_request_mix_is_deterministic(self):
+        assert build_requests(50, 7) == build_requests(50, 7)
+        assert build_requests(50, 7) != build_requests(50, 8)
+
+    def test_generated_requests_all_validate(self):
+        for payload in build_requests(200, 3):
+            ServiceRequest.from_payload(payload)
+
+
+def _service_config(**overrides) -> ServiceConfig:
+    base = dict(
+        port=0,
+        inline=True,  # no forking under the test runner
+        workers=4,
+        batch_window=0.02,
+        disk_cache=False,
+        drain_timeout=10.0,
+    )
+    base.update(overrides)
+    return ServiceConfig(**base)
+
+
+def _with_service(config, scenario):
+    """Run ``await scenario(service)`` against a live in-process server."""
+
+    async def go():
+        service = SpatialService(config)
+        await service.start()
+        try:
+            return await scenario(service)
+        finally:
+            await service.drain(10.0)
+            await service.stop()
+
+    return asyncio.run(go())
+
+
+async def _call(port, method, path, payload=None, timeout=30.0):
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    try:
+        return await _http(reader, writer, method, path, payload, timeout=timeout)
+    finally:
+        writer.close()
+
+
+async def _call_raw(port, body: bytes, timeout=10.0):
+    """Send raw bytes; return (status, headers, doc)."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    try:
+        writer.write(body)
+        await writer.drain()
+        status = int((await asyncio.wait_for(reader.readline(), timeout)).split()[1])
+        headers = {}
+        while True:
+            line = await asyncio.wait_for(reader.readline(), timeout)
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode().partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0"))
+        raw = await reader.readexactly(length) if length else b""
+        return status, headers, json.loads(raw) if raw else {}
+    finally:
+        writer.close()
+
+
+class TestServerRoutes:
+    def test_basic_routes(self):
+        async def scenario(service):
+            port = service.port
+            status, doc, _ = await _call(port, "GET", "/healthz")
+            assert (status, doc) == (200, {"status": "ok", "draining": False})
+            status, doc, _ = await _call(port, "GET", "/algos")
+            assert status == 200 and doc["algos"]["scan"]["suite"] == "table1_scan"
+            status, doc, _ = await _call(port, "GET", "/nope")
+            assert status == 404
+            status, doc, _ = await _call(port, "GET", "/run")
+            assert status == 405
+            status, doc, _ = await _call(port, "POST", "/run", {"algo": "fft", "n": 64})
+            assert status == 400 and "unknown algo" in doc["error"]
+            status, _, _ = await _call(port, "GET", "/metrics")
+            assert status == 200
+
+        _with_service(_service_config(), scenario)
+
+    def test_malformed_json_and_http(self):
+        async def scenario(service):
+            port = service.port
+            raw = b"POST /run HTTP/1.1\r\nContent-Length: 9\r\n\r\nnot json!"
+            status, _, doc = await _call_raw(port, raw)
+            assert status == 400 and "invalid JSON" in doc["error"]
+            status, _, doc = await _call_raw(port, b"garbage\r\n\r\n")
+            assert status == 400
+            raw = b"POST /run HTTP/1.1\r\nContent-Length: 9999999\r\n\r\n"
+            status, _, doc = await _call_raw(port, raw)
+            assert status == 400 and "exceeds" in doc["error"]
+
+        _with_service(_service_config(), scenario)
+
+    def test_run_executes_and_caches(self):
+        async def scenario(service):
+            port = service.port
+            body = {"algo": "scan", "n": 64, "seed": 0}
+            status, doc, _ = await _call(port, "POST", "/run", body)
+            assert status == 200 and doc["ok"]
+            assert doc["cached"] is False
+            for name in ("energy", "messages", "rounds", "max_depth", "max_distance"):
+                assert name in doc["metrics"]
+            status, doc2, _ = await _call(port, "POST", "/run", body)
+            assert status == 200 and doc2["cached"] == "memory"
+            assert doc2["metrics"] == doc["metrics"]
+            snap = service.metrics_doc()
+            assert snap["cache"]["hits_memory"] == 1
+            assert snap["batching"]["executions"] == 1
+
+        _with_service(_service_config(), scenario)
+
+    def test_profile_rejected_inline(self):
+        async def scenario(service):
+            status, doc, _ = await _call(
+                service.port, "POST", "/run", {"algo": "scan", "n": 64, "profile": True}
+            )
+            assert status == 400 and "profile" in doc["error"]
+
+        _with_service(_service_config(), scenario)
+
+    def test_draining_returns_503(self):
+        async def scenario(service):
+            service.draining = True
+            status, doc, _ = await _call(
+                service.port, "POST", "/run", {"algo": "scan", "n": 64}
+            )
+            assert status == 503 and "draining" in doc["error"]
+            service.draining = False
+
+        _with_service(_service_config(), scenario)
+
+    def test_admission_control_429_with_retry_after(self):
+        async def scenario(service):
+            port = service.port
+            # eight distinct keys at once against max_inflight=3: the window
+            # holds the first three in flight, the rest must bounce
+            async def post(seed):
+                body = json.dumps({"algo": "scan", "n": 64, "seed": seed}).encode()
+                raw = (
+                    b"POST /run HTTP/1.1\r\nContent-Type: application/json\r\n"
+                    + f"Content-Length: {len(body)}\r\n\r\n".encode()
+                    + body
+                )
+                return await _call_raw(port, raw, timeout=30.0)
+
+            outs = await asyncio.gather(*(post(s) for s in range(8)))
+            statuses = [s for s, _, _ in outs]
+            assert statuses.count(200) == 3
+            assert statuses.count(429) == 5
+            rejected = next(out for out in outs if out[0] == 429)
+            assert rejected[1].get("retry-after") == "1"
+            assert service.metrics.rejected == 5
+
+        _with_service(
+            _service_config(max_inflight=3, max_queue=64, batch_window=0.5), scenario
+        )
+
+
+class TestServerUnderLoad:
+    def test_fifty_concurrent_inflight_zero_drops(self):
+        """The headline acceptance: >=50 in flight, nothing dropped."""
+
+        async def scenario(service):
+            port = service.port
+            requests = build_requests(60, seed=11, mix=FAST_MIX, seed_pool=2)
+            report = await run_load(
+                "127.0.0.1", port, requests, concurrency=50, timeout=60.0
+            )
+            assert report.dropped == 0, report.errors
+            assert report.ok == 60, dict(report.by_status)
+
+            # 50 simultaneous first requests over <=16 distinct keys: the
+            # pigeonhole guarantees coalescing happened
+            snap = service.metrics_doc()
+            assert snap["requests"]["peak_inflight"] >= 50
+            assert snap["batching"]["batched_executions"] >= 1
+            assert snap["batching"]["coalesced_requests"] >= 1
+
+            # any repeated request is now a cache hit
+            status, doc, _ = await _call(port, "POST", "/run", requests[0])
+            assert status == 200 and doc["cached"] == "memory"
+            assert service.metrics_doc()["cache"]["hits"] >= 1
+
+        _with_service(
+            _service_config(max_inflight=128, batch_window=0.3, workers=8), scenario
+        )
+
+    def test_timeout_returns_504_pool_backend(self, tmp_path):
+        # needs the real pool: kill-on-timeout is a process-level contract
+        async def scenario(service):
+            status, doc, _ = await _call(
+                service.port,
+                "POST",
+                "/run",
+                {"algo": "sort", "n": 4096},
+                timeout=30.0,
+            )
+            assert status == 504, doc
+            assert service.metrics.timeouts == 1
+            # the pool replaced the killed worker and still serves
+            status, doc, _ = await _call(
+                service.port, "POST", "/run", {"algo": "scan", "n": 64}, timeout=30.0
+            )
+            assert status == 200 and doc["ok"]
+            assert service.executor.stats()["pool_replaced"] >= 1
+
+        _with_service(
+            _service_config(
+                inline=False,
+                workers=1,
+                timeout=0.05,
+                batch_window=0.0,
+                disk_cache=True,
+                cache_dir=str(tmp_path / "cache"),
+            ),
+            scenario,
+        )
+
+
+class TestServeSubprocess:
+    """End to end through the shipped entry points, pool backend included."""
+
+    def _spawn(self, tmp_path, *extra):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(SRC_DIR) + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--port", "0",
+                "--workers", "2",
+                "--batch-window", "0.25",
+                "--cache-dir", str(tmp_path / "cache"),
+                "--drain-timeout", "30",
+                *extra,
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        banner = proc.stdout.readline()
+        match = re.search(r"listening on http://[\d.]+:(\d+)", banner)
+        if not match:
+            proc.kill()
+            raise AssertionError(f"no listen banner, got: {banner!r}")
+        return proc, int(match.group(1))
+
+    def test_serve_loadgen_metrics_and_sigterm_drain(self, tmp_path):
+        proc, port = self._spawn(tmp_path)
+        try:
+            requests = build_requests(60, seed=5, mix=FAST_MIX, seed_pool=2)
+            report = asyncio.run(
+                run_load("127.0.0.1", port, requests, concurrency=50, timeout=60.0)
+            )
+            assert report.dropped == 0, report.errors
+            assert report.ok == 60, dict(report.by_status)
+            assert report.batched >= 1
+
+            # a repeat of the whole mix is served from cache, no new executions
+            metrics_before = asyncio.run(fetch_metrics("127.0.0.1", port))
+            report2 = asyncio.run(
+                run_load("127.0.0.1", port, requests, concurrency=10, timeout=60.0)
+            )
+            assert report2.ok == 60 and report2.cache_hits == 60
+            metrics = asyncio.run(fetch_metrics("127.0.0.1", port))
+            assert metrics["requests"]["peak_inflight"] >= 50
+            assert metrics["batching"]["batched_executions"] >= 1
+            assert metrics["cache"]["hits"] >= 60
+            assert metrics["batching"]["executions"] == metrics_before["batching"]["executions"]
+            assert metrics["service"]["executor"]["backend"] == "pool"
+        finally:
+            proc.send_signal(signal.SIGTERM)
+            out, _ = proc.communicate(timeout=60)
+        assert proc.returncode == 0, out
+        assert "drained cleanly" in out
+
+    def test_sigterm_drains_inflight_request(self, tmp_path):
+        """SIGTERM while a request is executing: it completes, then exit 0."""
+
+        async def scenario(proc, port):
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            try:
+                task = asyncio.ensure_future(
+                    _http(reader, writer, "POST", "/run",
+                          {"algo": "select", "n": 1024}, timeout=60.0)
+                )
+                await asyncio.sleep(0.05)  # request is in flight
+                proc.send_signal(signal.SIGTERM)
+                status, doc, _ = await task
+                assert status == 200 and doc["ok"]
+            finally:
+                writer.close()
+
+        proc, port = self._spawn(tmp_path)
+        try:
+            asyncio.run(scenario(proc, port))
+            out, _ = proc.communicate(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == 0, out
+        assert "drained cleanly" in out
