@@ -1,0 +1,137 @@
+"""Machine overhead — the fast path's wall-clock win over the reference oracle.
+
+The fast machine replaces per-call scalar accounting with vectorized
+kernels and closed-form charging; the :class:`ReferenceMachine` keeps the
+original per-call implementations as the executable specification.  This
+bench times both on the Figure-2 sorting workload (Bitonic Sort + 2D
+Mergesort per grid) **in-process** — the sweep runner forks a worker per
+point, and ~25 ms of interpreter start-up would drown the small sides and
+flatter the large ones, so the ref/fast pair is timed inside one process
+with best-of-``REPEATS`` wall clocks.
+
+Two guarantees ride along:
+
+* **exactness** — before timing, one run per machine class must agree on
+  payload bytes, :class:`MachineStats`, and the per-phase cost tree (the
+  fast path is an optimization, never an approximation);
+* **speed** — at the largest side the fast machine must win by at least
+  :data:`MIN_SPEEDUP_LARGEST`x (measured ~5.9x at side 32; the gate leaves
+  noise margin below the measurement but still fails any real regression).
+"""
+
+import time
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.core.sorting.bitonic import bitonic_sort
+from repro.core.sorting.mergesort2d import sort_values
+from repro.core.sorting.sortutil import as_sort_payload
+from repro.machine import Region, ReferenceMachine, SpatialMachine
+
+SIDES = [8, 16, 32]
+REPEATS = 3
+MIN_SPEEDUP_LARGEST = 5.0
+
+
+def _workload(mclass, side: int, seed: int):
+    """One fig2-style point: bitonic + mergesort on a side x side grid."""
+    rng = np.random.default_rng(seed)
+    x = rng.random(side * side)
+    region = Region(0, 0, side, side)
+    mb = mclass()
+    out_b = bitonic_sort(mb, mb.place_rowmajor(as_sort_payload(x), region), region)
+    mm = mclass()
+    out_m = sort_values(mm, x, region)
+    return mb, out_b, mm, out_m
+
+
+def _counters_equal(side: int, seed: int) -> bool:
+    rb, ob, rm, om = _workload(ReferenceMachine, side, seed)
+    fb, pb, fm, pm = _workload(lambda: SpatialMachine(fast=True, strict=False), side, seed)
+    return (
+        rb.stats == fb.stats
+        and rm.stats == fm.stats
+        and rb.cost_tree.as_dict() == fb.cost_tree.as_dict()
+        and rm.cost_tree.as_dict() == fm.cost_tree.as_dict()
+        and ob.payload.tobytes() == pb.payload.tobytes()
+        and om.payload.tobytes() == pm.payload.tobytes()
+    )
+
+
+def _time(mclass, side: int, seed: int) -> float:
+    best = float("inf")
+    for _ in range(REPEATS):
+        t0 = time.perf_counter()
+        _workload(mclass, side, seed)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _measure(side: int, seed: int = 0) -> dict:
+    equal = _counters_equal(side, seed)  # also serves as the warm-up
+    ref = _time(ReferenceMachine, side, seed)
+    fast = _time(lambda: SpatialMachine(fast=True, strict=False), side, seed)
+    return {
+        "side": side,
+        "ref_wall_s": ref,
+        "fast_wall_s": fast,
+        "speedup": ref / fast,
+        "counters_equal": equal,
+    }
+
+
+def test_machine_overhead(benchmark, report):
+    rows = benchmark.pedantic(
+        lambda: [_measure(side) for side in SIDES], rounds=1, iterations=1
+    )
+    report(
+        render_table(
+            ["side", "ref ms", "fast ms", "speedup", "counters"],
+            [
+                [
+                    r["side"],
+                    f"{r['ref_wall_s'] * 1e3:.1f}",
+                    f"{r['fast_wall_s'] * 1e3:.1f}",
+                    f"{r['speedup']:.2f}x",
+                    "=" if r["counters_equal"] else "DIFF",
+                ]
+                for r in rows
+            ],
+            title="fast machine vs reference oracle (fig2 workload, in-process)",
+        )
+    )
+    assert all(r["counters_equal"] for r in rows), "fast path drifted from oracle"
+    largest = rows[-1]
+    assert largest["speedup"] >= MIN_SPEEDUP_LARGEST, (
+        f"fast path win at side={largest['side']} fell to "
+        f"{largest['speedup']:.2f}x (gate: {MIN_SPEEDUP_LARGEST}x)"
+    )
+    # the win must grow with n (vectorization amortizes per-call overhead)
+    assert rows[-1]["speedup"] > rows[0]["speedup"]
+
+
+# -- repro.runner suite ----------------------------------------------------
+from repro.runner import point_from_machine, register_suite
+
+
+@register_suite(
+    "machine_overhead",
+    artifact="Fast-path machine vs per-call reference oracle: exactness + wall-clock",
+    grid={"side": SIDES},
+    quick={"side": [8, 32]},
+)
+def _suite_point(params, rng):
+    side = params["side"]
+    seed = int(rng.integers(0, 2**31))
+    r = _measure(side, seed)
+    # counters are the artifact: record the (identical) fast-machine stats so
+    # the energy/depth baseline also pins the model, not just the wall clock
+    mb, _, _, _ = _workload(lambda: SpatialMachine(fast=True, strict=False), side, seed)
+    return point_from_machine(
+        mb,
+        ref_wall_s=r["ref_wall_s"],
+        fast_wall_s=r["fast_wall_s"],
+        speedup=r["speedup"],
+        counters_equal=r["counters_equal"],
+    )

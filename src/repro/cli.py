@@ -10,6 +10,7 @@
     python -m repro trace --algo scan --out scan.jsonl
     python -m repro profile scan -n 4096 --heatmap out.svg --trace out.json
     python -m repro chaos --profiles mixed --side 8
+    python -m repro conformance --side 8 --seeds 3
     python -m repro bench list
     python -m repro bench run --suite table1_sort --jobs 4
     python -m repro bench compare --baseline benchmarks/baselines/quick
@@ -253,6 +254,64 @@ def _cmd_chaos(args) -> int:
     return 0
 
 
+def _cmd_conformance(args) -> int:
+    import json
+
+    from .runner.conformance import (
+        CONFORMANCE_ALGOS,
+        CONFORMANCE_PROFILES,
+        diff_point,
+        run_conformance_grid,
+    )
+
+    algos = list(CONFORMANCE_ALGOS) if args.algos == "all" else args.algos.split(",")
+    profiles = (
+        list(CONFORMANCE_PROFILES) if args.profiles == "all" else args.profiles.split(",")
+    )
+    seeds = tuple(range(args.seed, args.seed + args.seeds))
+    try:
+        reports = run_conformance_grid(algos, profiles, side=args.side, seeds=seeds)
+    except ValueError as e:
+        raise SystemExit(str(e))
+
+    rows = [
+        [
+            r["algo"],
+            r["profile"],
+            r["seed"],
+            "ok" if r["conformant"] else "MISMATCH",
+            "=" if r["payload_equal"] else "DIFF",
+            "=" if r["stats_equal"] else "DIFF",
+            "=" if r["cost_tree_equal"] else "DIFF",
+            "=" if r["recovery_equal"] else "DIFF",
+            r["fast_stats"]["energy"],
+        ]
+        for r in reports
+    ]
+    print(
+        render_table(
+            ["algo", "profile", "seed", "result", "payload", "stats",
+             "cost tree", "recovery", "energy"],
+            rows,
+            title=f"fast-vs-reference conformance (side={args.side}, "
+                  f"{len(reports)} points)",
+        )
+    )
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(reports, fh, indent=2)
+        print(f"wrote {len(reports)} conformance reports to {args.out}")
+    bad = [r for r in reports if not r["conformant"]]
+    if bad:
+        for r in bad:
+            print(f"  {r['algo']}/{r['profile']}/seed={r['seed']}: {diff_point(r)}",
+                  file=sys.stderr)
+        print(f"CONFORMANCE FAILURE: {len(bad)} point(s) diverged from the "
+              f"reference oracle", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_report(args) -> int:
     import json
 
@@ -476,6 +535,22 @@ def build_parser() -> argparse.ArgumentParser:
                     help="number of consecutive seeds per (algo, profile)")
     sp.add_argument("--out", default="", help="also dump the JSON reports here")
     sp.set_defaults(func=_cmd_chaos)
+
+    sp = sub.add_parser(
+        "conformance",
+        help="differential check: fast machine vs per-call reference oracle",
+    )
+    sp.add_argument("--algos", default="all",
+                    help="comma-separated algorithm names, or 'all'")
+    sp.add_argument("--profiles", default="all",
+                    help="comma-separated profiles (clean, drops, corruption, "
+                    "dead, mixed), or 'all'")
+    sp.add_argument("--side", type=int, default=8, help="working-set square side")
+    sp.add_argument("--seed", type=int, default=0, help="first algorithm/plan seed")
+    sp.add_argument("--seeds", type=int, default=1,
+                    help="number of consecutive seeds per (algo, profile)")
+    sp.add_argument("--out", default="", help="also dump the JSON reports here")
+    sp.set_defaults(func=_cmd_conformance)
 
     sp = sub.add_parser(
         "serve",

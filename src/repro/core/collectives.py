@@ -19,7 +19,8 @@ from __future__ import annotations
 import numpy as np
 
 from ..machine.geometry import Region
-from ..machine.machine import SpatialMachine, TrackedArray, concat_tracked
+from ..machine.machine import SpatialMachine, TrackedArray, _tracked, concat_tracked
+from ..machine.metrics import META_DTYPE
 from ..machine.zorder import is_power_of_two, zorder_encode
 from .ops import Monoid
 
@@ -48,16 +49,98 @@ def broadcast_2d(machine: SpatialMachine, value: TrackedArray, region: Region) -
     side = region.width
     if region.height != side or not is_power_of_two(side):
         raise ValueError(f"broadcast_2d needs a square power-of-two region, got {region}")
-    cur = value
-    s = side
-    while s > 1:
-        half = s // 2
-        parts = [cur]
-        for dr, dc in ((0, half), (half, 0), (half, half)):
-            parts.append(machine.send(cur, cur.rows + dr, cur.cols + dc))
-        cur = concat_tracked(parts)
-        s = half
-    return cur
+    return machine.quadrant_broadcast(value, side)
+
+
+# per-element (depth, dist) offsets plus flat counters of the binary-tree
+# 1D broadcast, keyed by length; the tree shape is fixed by n alone
+_BC1D_CACHE: dict[int, tuple[np.ndarray, np.ndarray, int, int, int, int, int]] = {}
+
+
+def _bc1d_tables(n: int) -> tuple[np.ndarray, np.ndarray, int, int, int, int, int]:
+    """Simulate the reference tree once in index space.
+
+    Returns ``(depth_off, dist_off, energy, messages, sends, dmax, smax)``:
+    the metadata increments per linear index, the summed counters, and the
+    number of communicating send rounds.
+    """
+    cached = _BC1D_CACHE.get(n)
+    if cached is not None:
+        return cached
+    depth_off = np.zeros(n, dtype=META_DTYPE)
+    dist_off = np.zeros(n, dtype=META_DTYPE)
+    energy = messages = sends = 0
+    lo = np.zeros(1, dtype=np.int64)
+    hi = np.full(1, n - 1, dtype=np.int64)
+    while True:
+        rem = hi - lo
+        active = rem > 0
+        if not active.any():
+            break
+        lo_a, hi_a = lo[active], hi[active]
+        s1 = (rem[active] + 1) // 2
+
+        child_a = lo_a + 1  # hop distance 1 from the segment root at lo
+        depth_off[child_a] = depth_off[lo_a] + 1
+        dist_off[child_a] = dist_off[lo_a] + 1
+        energy += len(child_a)
+        messages += len(child_a)
+        sends += 1
+        new_lo = [child_a]
+        new_hi = [lo_a + s1]
+
+        has_b = lo_a + s1 + 1 <= hi_a
+        if has_b.any():
+            src_b = lo_a[has_b]
+            child_b = (lo_a + s1 + 1)[has_b]
+            d = child_b - src_b
+            depth_off[child_b] = depth_off[src_b] + 1
+            dist_off[child_b] = dist_off[src_b] + d
+            energy += int(d.sum())
+            messages += len(child_b)
+            sends += 1
+            new_lo.append(child_b)
+            new_hi.append(hi_a[has_b])
+
+        lo = np.concatenate(new_lo)
+        hi = np.concatenate(new_hi)
+    tables = (
+        depth_off,
+        dist_off,
+        energy,
+        messages,
+        sends,
+        int(depth_off.max()),
+        int(dist_off.max()),
+    )
+    _BC1D_CACHE[n] = tables
+    return tables
+
+
+def _broadcast_1d_fast(
+    machine: SpatialMachine, value: TrackedArray, region: Region, n: int, vertical: bool
+) -> TrackedArray:
+    """Closed form of :func:`broadcast_1d` (clean fast-mode runs only)."""
+    depth_off, dist_off, energy, messages, sends, dmax, smax = _bc1d_tables(n)
+    st = machine.stats
+    st.energy += energy
+    st.messages += messages
+    st.rounds += sends
+    node = machine._phase_node
+    if node is not None:
+        node.energy += energy
+        node.messages += messages
+        node.sends += sends
+    d0, s0 = int(value.depth[0]), int(value.dist[0])
+    machine.observe_maxima(d0 + dmax, s0 + smax)
+    idx = np.arange(n, dtype=np.int64)
+    if vertical:
+        rows, cols = region.row + idx, np.full(n, region.col, dtype=np.int64)
+    else:
+        rows, cols = np.full(n, region.row, dtype=np.int64), region.col + idx
+    p = value.payload
+    payload = np.repeat(p, n, axis=0) if p.ndim > 1 else np.repeat(p, n)
+    return _tracked(machine, payload, rows, cols, depth_off + d0, dist_off + s0)
 
 
 def broadcast_1d(machine: SpatialMachine, value: TrackedArray, region: Region) -> TrackedArray:
@@ -72,6 +155,21 @@ def broadcast_1d(machine: SpatialMachine, value: TrackedArray, region: Region) -
         raise ValueError(f"broadcast_1d needs a 1-wide or 1-tall region, got {region}")
     n = region.size
     vertical = region.width == 1
+    plan = machine.faults
+    if (
+        n > 1
+        and len(value) == 1
+        # the closed-form tables measure hops from the region root, so the
+        # value must already sit there
+        and int(value.rows[0]) == region.row
+        and int(value.cols[0]) == region.col
+        and machine.fast
+        and not machine.strict
+        and machine.tracer is None
+        and machine.profiler is None
+        and (plan is None or not plan.injects_faults)
+    ):
+        return _broadcast_1d_fast(machine, value, region, n, vertical)
 
     def coords(idx: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         if vertical:
@@ -183,18 +281,7 @@ def reduce_2d(
     # block-local Z index from modular coordinates
     z_local = zorder_encode((ta.rows - region.row) % side, (ta.cols - region.col) % side)
     order = np.lexsort((z_local, block_ids))
-    cur = ta[order]
-
-    remaining = block
-    while remaining > 1:
-        c0, c1, c2, c3 = cur[0::4], cur[1::4], cur[2::4], cur[3::4]
-        r1 = machine.send(c1, c0.rows, c0.cols)
-        r2 = machine.send(c2, c0.rows, c0.cols)
-        r3 = machine.send(c3, c0.rows, c0.cols)
-        payload = monoid(monoid(monoid(c0.payload, r1.payload), r2.payload), r3.payload)
-        cur = c0.combined_with(r1, r2, r3, payload=payload)
-        remaining //= 4
-    return cur
+    return machine.quadrant_reduce(ta[order], side, monoid)
 
 
 def reduce(

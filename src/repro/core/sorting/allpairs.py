@@ -16,6 +16,16 @@ processors each.
 Costs: ``O(n^{5/2})`` energy, ``O(log n)`` depth, ``O(n)`` distance — cheap
 when ``n`` is a square-root-sized sample, hopeless as a general sorter (which
 is exactly how Sections V-VI use it).
+
+Two implementations share the rank entry point.  The *reference* body (any
+non-fast machine, and fast machines under strict mode, tracer/profiler, or a
+fault plan) runs the operation-by-operation construction: per-call sends, the
+explicit quadrupling loop, lexsort regrouping, padding, and the generic 2D
+reduce.  The *fast* body exploits that every index permutation is fixed by
+the exploded-grid geometry: it charges the identical counters in closed form
+and composes the metadata from precomputed quadrant offset tables, never
+materializing the ``n^2`` intermediate placements.  ``repro conformance``
+asserts the two produce bit-identical ranks and exactly equal cost books.
 """
 
 from __future__ import annotations
@@ -23,8 +33,15 @@ from __future__ import annotations
 
 import numpy as np
 
+from ...machine.fastpath import (
+    quad_broadcast_charge,
+    quad_offsets,
+    quad_reduce_charge,
+    quad_reduce_offsets,
+)
 from ...machine.geometry import Region
-from ...machine.machine import SpatialMachine, TrackedArray, concat_tracked
+from ...machine.machine import SpatialMachine, TrackedArray, _tracked, concat_tracked
+from ...machine.zorder import zorder_encode
 from ..collectives import broadcast_2d, reduce_2d
 from ..ops import ADD
 from .sortutil import lex_less, strip_tiebreak, with_tiebreak
@@ -38,6 +55,27 @@ def _subgrid_side(n: int) -> int:
     while side * side < n:
         side *= 2
     return side
+
+
+# every index permutation used by the fast body depends only on (s, n) — the
+# scatter corners, replication orders and pad cells are fixed by the
+# exploded-grid geometry, not the data — so each is computed once and reused
+# (coordinates are cached relative to the workspace corner)
+_LAYOUT_CACHE: dict[tuple[int, int], dict[str, np.ndarray]] = {}
+
+
+def _layout(s: int, n: int) -> dict[str, np.ndarray]:
+    lay = _LAYOUT_CACHE.get((s, n))
+    if lay is None:
+        i = np.arange(n, dtype=np.int64)
+        lay = {
+            "corner_r": (i // s) * s,
+            "corner_c": (i % s) * s,
+            "home_r": i // s,
+            "home_c": i % s,
+        }
+        _LAYOUT_CACHE[(s, n)] = lay
+    return lay
 
 
 def allpairs_rank(
@@ -57,7 +95,117 @@ def allpairs_rank(
     if workspace is None:
         workspace = Region(int(ta.rows.min()), int(ta.cols.min()), s * s, s * s)
     R, C = workspace.row, workspace.col
+    plan = machine.faults
+    if (
+        machine.fast
+        and not machine.strict
+        and machine.tracer is None
+        and machine.profiler is None
+        and (plan is None or not plan.injects_faults)
+    ):
+        return _allpairs_rank_fast(machine, ta, key_cols, R, C, s, n)
+    return _allpairs_rank_reference(machine, ta, key_cols, R, C, s, n)
 
+
+def _allpairs_rank_fast(
+    machine: SpatialMachine,
+    ta: TrackedArray,
+    key_cols: int,
+    R: int,
+    C: int,
+    s: int,
+    n: int,
+) -> tuple[TrackedArray, np.ndarray]:
+    """Closed-form rank: same counters and ranks, no ``n^2`` placements.
+
+    After the reference regroups its replicas by (subgrid, cell), the entry
+    at cell ``j`` of ``Γ_i`` holds the pair ``(A_i, A_j)``: the blanket copy
+    of ``A_i`` arrived via the quadrant whose offset lands on cell ``j``, and
+    the replicated copy of ``A_j`` via the quadrant landing on subgrid ``i``.
+    Every metadata field is therefore an offset-table update of the two send
+    outputs, and the per-block maxima of the reduce collapse to O(n) vector
+    maxima.  The ranks themselves need no arithmetic at all: summing strict
+    0/1 comparison bits is exact in float64, so the reduce output *is* the
+    element's lexicographic rank — one ``np.lexsort`` of the (strict) keys.
+    """
+    lay = _layout(s, n)
+    per = s * s
+
+    # -- 1. scatter A_i to the corner of Γ_i; charge its blanket broadcast
+    pivots = machine.send(ta, R + lay["corner_r"], C + lay["corner_c"])
+    pd_max, ps_max = int(pivots.depth.max()), int(pivots.dist.max())
+    quad_broadcast_charge(machine, n, s, 1, pd_max, ps_max)
+
+    # -- 3. compact A into Γ_0; charge its subgrid-lattice replication
+    copies0 = machine.send(ta, R + lay["home_r"], C + lay["home_c"])
+    cd_max, cs_max = int(copies0.depth.max()), int(copies0.dist.max())
+    quad_broadcast_charge(machine, n, s, s, cd_max, cs_max)
+
+    doff = lay.get("doff")
+    if doff is None:
+        row_off, col_off, depth_off, dist_off = quad_offsets(s)
+        # quadrant index landing on local row-major cell 0..n-1
+        perm = np.argsort(row_off * s + col_off, kind="stable")[:n]
+        doff = depth_off[perm]
+        dstoff = dist_off[perm]
+        lay["doff"], lay["dstoff"] = doff, dstoff
+        lay["dstoff_s"] = dstoff * s
+        lay["doff_max"] = int(doff.max())
+        lay["dstoff_max"] = int(dstoff.max())
+        # reduce offsets re-indexed by local row-major cell (tables are
+        # Z-indexed); pads occupy cells n..per-1 with zero metadata
+        rdo_z, rso_z, _ = quad_reduce_offsets(s)
+        cells = np.arange(per, dtype=np.int64)
+        z = zorder_encode(cells // s, cells % s)
+        rdo_cell, rso_cell = rdo_z[z], rso_z[z]
+        lay["c_rdo"], lay["c_rso"] = rdo_cell[:n].copy(), rso_cell[:n].copy()
+        lay["a_dep"] = int((doff + rdo_cell[:n]).max())
+        lay["a_dst"] = int((dstoff + rso_cell[:n]).max())
+        lay["pad_dep"] = int(rdo_cell[n:].max()) if per != n else 0
+        lay["pad_dst"] = int(rso_cell[n:].max()) if per != n else 0
+    dstoff = lay["dstoff"]
+
+    # -- 2-4. the compare at cell j of Γ_i sees metadata
+    #         max(pivot[i] + off[j], copy[j] + off[i]); observe its maxima
+    machine.observe_maxima(
+        max(pd_max, cd_max) + lay["doff_max"],
+        max(ps_max + lay["dstoff_max"], cs_max + s * lay["dstoff_max"]),
+    )
+
+    # -- 5. per-block reduce metadata: max over cells j of (bit meta + reduce
+    #       carry offset), split over the two bit terms + the zero-meta pads
+    quad_reduce_charge(machine, n, s)
+    rdep = np.maximum(pivots.depth + lay["a_dep"], doff + int((copies0.depth + lay["c_rdo"]).max()))
+    rdst = np.maximum(pivots.dist + lay["a_dst"], lay["dstoff_s"] + int((copies0.dist + lay["c_rso"]).max()))
+    if per != n:
+        np.maximum(rdep, rdep.dtype.type(lay["pad_dep"]), out=rdep)
+        np.maximum(rdst, rdst.dtype.type(lay["pad_dst"]), out=rdst)
+    machine.observe(rdep, rdst)
+
+    # rank = number of strictly smaller rows = position in the sorted order
+    P = ta.payload
+    order = np.lexsort(tuple(P[:, c] for c in range(key_cols - 1, -1, -1)))
+    ranks = np.empty(n, dtype=np.int64)
+    ranks[order] = np.arange(n, dtype=np.int64)
+
+    # fold the reduction's metadata into the element sitting at the corner
+    out_dep = np.maximum(pivots.depth, rdep)
+    out_dst = np.maximum(pivots.dist, rdst)
+    machine.observe(out_dep, out_dst)
+    ranked = _tracked(machine, pivots.payload, pivots.rows, pivots.cols, out_dep, out_dst)
+    return ranked, ranks
+
+
+def _allpairs_rank_reference(
+    machine: SpatialMachine,
+    ta: TrackedArray,
+    key_cols: int,
+    R: int,
+    C: int,
+    s: int,
+    n: int,
+) -> tuple[TrackedArray, np.ndarray]:
+    """The per-operation construction (conformance oracle for the fast body)."""
     # -- 1. scatter A_i to the corner of Γ_i (subgrids in row-major order)
     i = np.arange(n, dtype=np.int64)
     corner_rows = R + (i // s) * s
@@ -113,7 +261,9 @@ def allpairs_rank(
     #       bits at the unused cells (free placement, identity values).
     full = _pad_subgrids(machine, bits, R, C, s, n)
     ranks_ta = reduce_2d(machine, full, Region(R, C, s, s), ADD)
-    ranks = np.rint(ranks_ta.payload[:, 0] if ranks_ta.payload.ndim > 1 else ranks_ta.payload).astype(np.int64)
+    ranks = np.rint(
+        ranks_ta.payload[:, 0] if ranks_ta.payload.ndim > 1 else ranks_ta.payload
+    ).astype(np.int64)
 
     # fold the reduction's metadata into the element sitting at the corner
     ranked = pivots.combined_with(ranks_ta.with_payload(pivots.payload), payload=pivots.payload)

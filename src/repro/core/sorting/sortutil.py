@@ -75,5 +75,9 @@ def with_tiebreak(ta: TrackedArray, key_cols: int) -> tuple[TrackedArray, int]:
 def strip_tiebreak(ta: TrackedArray, key_cols_with_tb: int) -> TrackedArray:
     """Remove the column inserted by :func:`with_tiebreak`."""
     payload = ta.payload
-    kept = np.delete(payload, key_cols_with_tb - 1, axis=1)
+    tb = key_cols_with_tb - 1
+    if tb + 1 == payload.shape[1]:
+        kept = payload[:, :tb].copy()
+    else:
+        kept = np.concatenate([payload[:, :tb], payload[:, tb + 1 :]], axis=1)
     return ta.with_payload(kept)

@@ -35,7 +35,6 @@ import numpy as np
 from ...machine.geometry import Region
 from ...machine.machine import SpatialMachine, TrackedArray, concat_tracked
 from .allpairs import allpairs_sort
-from .sortutil import lex_less
 
 __all__ = ["select_rank_two_sorted", "select_ranks_two_sorted", "TwoArraySplit"]
 
@@ -69,37 +68,41 @@ def _augment(ta: TrackedArray, key_cols: int, arr_id: float) -> TrackedArray:
     return ta.with_payload(out)
 
 
-def _two_level_search(
-    machine: SpatialMachine,
-    arr: TrackedArray,
-    target_row: np.ndarray,
-    kc: int,
-    src: tuple[int, int],
-    depth0: int,
-    dist0: int,
-) -> tuple[int, int, int]:
-    """#elements of ``arr`` strictly below ``target_row``, charging a relayed
-    two-level (block anchors, then within-block) binary search."""
+def _probe_plan(
+    arr: TrackedArray, target_row: np.ndarray, kc: int
+) -> tuple[int, np.ndarray]:
+    """#elements of ``arr`` strictly below ``target_row``, plus the probe
+    index sequence of the relayed two-level (block anchors, then
+    within-block) binary search.  Pure planning — the caller charges the
+    probes as one chain of a batched :meth:`SpatialMachine.relay_many`."""
     n = len(arr)
     if n == 0:
-        return 0, depth0, dist0
-    below = lex_less(
-        arr.payload, np.broadcast_to(target_row, arr.payload.shape), kc
-    )
-    count = int(below.sum())
+        return 0, np.empty(0, dtype=np.int64)
+    # arr is sorted under the strict key order, so "strictly below target"
+    # is a prefix: count is its lower-bound index (O(kc log n) scalar
+    # compares) and any probed index i is below iff i < count
+    P = arr.payload
+    t = tuple(target_row[:kc])
+    lo, hi = 0, n
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if tuple(P[mid, :kc]) < t:
+            lo = mid + 1
+        else:
+            hi = mid
+    count = lo
 
     stride = max(1, math.isqrt(n))
     probes: list[int] = []
 
     def bisect(lo: int, hi: int, step: int) -> int:
         """Probe indices lo, lo+step, ... to find the first not-below."""
-        nonlocal probes
         lo_i, hi_i = 0, (hi - lo + step - 1) // step  # block count
         while lo_i < hi_i:
             mid = (lo_i + hi_i) // 2
             idx = min(lo + mid * step, n - 1)
             probes.append(idx)
-            if below[idx]:
+            if idx < count:
                 lo_i = mid + 1
             else:
                 hi_i = mid
@@ -108,10 +111,7 @@ def _two_level_search(
     first_block = bisect(0, n, stride)  # anchor level
     block_lo = max(0, first_block - stride)
     bisect(block_lo, min(n, block_lo + 2 * stride), 1)  # within-block level
-    if probes:
-        p = np.asarray(probes, dtype=np.int64)
-        depth0, dist0 = machine.relay(src, arr.rows[p], arr.cols[p], depth0, dist0)
-    return count, depth0, dist0
+    return count, np.asarray(probes, dtype=np.int64)
 
 
 def select_ranks_two_sorted(
@@ -170,21 +170,40 @@ def select_ranks_two_sorted(
             workspace=Region(staging.row, staging.col, 1, 1),
         )
 
-        out: list[TwoArraySplit] = []
+        # -- 3-4: pick each rank's l-th ranked sample and plan its A- and
+        #    B-search probe chains; every chain of the round is charged in
+        #    one batched relay_many call.  The B-chain starts from the
+        #    A-chain's end metadata (carry), matching the sequential search.
+        chains: list[tuple] = []
+        carry: list[bool] = []
+        per_k: list[tuple[int, int, int] | None] = []
         for k in ks:
-            # -- 3-4: pick the l-th ranked sample, search it into A and B
             l = min((k - 1) // step, len(sorted_s))
             if l == 0:
+                per_k.append(None)
+                continue
+            sl = sorted_s[l - 1 : l]
+            src = (int(sl.rows[0]), int(sl.cols[0]))
+            depth, dist = int(sl.depth[0]), int(sl.dist[0])
+            target = sl.payload[0]
+            a, pa = _probe_plan(Aa, target, kc)
+            b, pb = _probe_plan(Bb, target, kc)
+            chains.append((src, Aa.rows[pa], Aa.cols[pa], depth, dist))
+            carry.append(False)
+            chains.append((src, Bb.rows[pb], Bb.cols[pb], 0, 0))
+            carry.append(True)
+            per_k.append((len(chains) - 1, a, b))
+        ends = machine.relay_many(chains, carry) if chains else []
+
+        out: list[TwoArraySplit] = []
+        for k, info in zip(ks, per_k):
+            if info is None:
                 a = b = 0
                 depth = int(sorted_s.depth.max())
                 dist = int(sorted_s.dist.max())
             else:
-                sl = sorted_s[l - 1 : l]
-                src = (int(sl.rows[0]), int(sl.cols[0]))
-                depth, dist = int(sl.depth[0]), int(sl.dist[0])
-                target = sl.payload[0]
-                a, depth, dist = _two_level_search(machine, Aa, target, kc, src, depth, dist)
-                b, depth, dist = _two_level_search(machine, Bb, target, kc, src, depth, dist)
+                bi, a, b = info
+                depth, dist = ends[bi]
             # -- 5-6: solve inside the windows
             out.append(
                 _window_select(

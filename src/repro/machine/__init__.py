@@ -12,7 +12,14 @@ from .faults import (
 from .chrometrace import chrome_trace_events, write_chrome_trace
 from .geometry import Region, manhattan, manhattan_arrays
 from .heatmap import render_ascii, render_svg, write_heatmap
-from .machine import DEFAULT_WORD_BUDGET, SpatialMachine, TrackedArray, combine
+from .machine import (
+    DEFAULT_WORD_BUDGET,
+    ReferenceMachine,
+    SpatialMachine,
+    TrackedArray,
+    combine,
+    concat_tracked,
+)
 from .metrics import CostReport, CostTree, MachineStats, PhaseNode
 from .profiler import SpatialProfiler, Witness, WitnessHop, gini, grid_to_dense
 from .tracer import MessageBatch, Tracer, jsonl_sink
@@ -35,8 +42,10 @@ __all__ = [
     "manhattan",
     "manhattan_arrays",
     "SpatialMachine",
+    "ReferenceMachine",
     "TrackedArray",
     "combine",
+    "concat_tracked",
     "CostReport",
     "CostTree",
     "PhaseNode",

@@ -1,0 +1,471 @@
+"""Vectorized fast-path kernels for :class:`~repro.machine.machine.SpatialMachine`.
+
+The machine's fast mode charges batched operations through flat array
+programs instead of per-call Python.  The contract (enforced by
+``repro conformance`` and ``tests/test_fast_conformance.py``) is *exact*
+equivalence with the per-call reference path: identical counters and cost
+trees, identical recovery stats, identical tracer/profiler feeds, and —
+critically — an identical rng stream under a seeded
+:class:`~repro.machine.faults.FaultPlan`.
+
+The rng contract shapes the one remaining Python loop here:
+``sample_failures`` draws twice per *call*, and the reference path calls it
+once per communicating chain in chain order, so the batched kernel must do
+the same.  Everything rng-free (hop distances, sparing and detour extras,
+segment sums, maxima) is computed flat over a ``(chain, hop)`` layout.
+
+Segment reductions use cumulative sums rather than ``np.add.reduceat``:
+``reduceat`` returns ``arr[start]`` — not 0 — for an empty segment, and
+zero-hop chains are legal inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .faults import backoff_ticks, detour_extras, sample_failures, spare_extras
+from .metrics import META_DTYPE
+
+__all__ = [
+    "quad_broadcast_charge",
+    "quad_offsets",
+    "quad_reduce_charge",
+    "quad_reduce_offsets",
+    "quadrant_broadcast_fast",
+    "quadrant_reduce_fast",
+    "relay_many_fast",
+    "segment_sums",
+]
+
+
+def segment_sums(values: np.ndarray, starts: np.ndarray) -> np.ndarray:
+    """Sum ``values`` over the segments ``[starts[i], starts[i+1])``.
+
+    The final segment ends at ``len(values)``.  Empty segments (consecutive
+    equal starts) sum to 0.
+    """
+    cs = np.zeros(len(values) + 1, dtype=np.int64)
+    np.cumsum(values, out=cs[1:])
+    ends = np.empty(len(starts), dtype=np.int64)
+    if len(starts):
+        ends[:-1] = starts[1:]
+        ends[-1] = len(values)
+    return cs[ends] - cs[starts]
+
+
+# quadrant-offset tables keyed by lattice side; a few KB per power of two
+_QUAD_TABLES: dict[int, tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = {}
+
+
+def _quad_tables(side: int) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """(row_off, col_off, depth_off, dist_off) per final quadrant index.
+
+    The doubling loop appends the three shifted copies after the originals,
+    so after ``k = log2(side)`` levels the element that started at position
+    ``i`` ends at ``b * m + i``, where base-4 digit ``l-1`` of ``b`` is the
+    quadrant choice at level ``l`` (0 stay, 1 east, 2 south, 3 south-east)
+    with shift ``h = side >> l``.  The offsets below are those choices summed.
+    """
+    cached = _QUAD_TABLES.get(side)
+    if cached is not None:
+        return cached
+    k = side.bit_length() - 1
+    b = np.arange(side * side, dtype=np.int64)
+    row_off = np.zeros(len(b), dtype=np.int64)
+    col_off = np.zeros(len(b), dtype=np.int64)
+    depth_off = np.zeros(len(b), dtype=META_DTYPE)
+    dist_off = np.zeros(len(b), dtype=META_DTYPE)
+    for lvl in range(1, k + 1):
+        h = side >> lvl
+        q = (b >> (2 * (lvl - 1))) & 3
+        row_off += np.where(q >= 2, h, 0)
+        col_off += np.where(q & 1, h, 0)
+        depth_off += q != 0
+        dist_off += np.where(q == 3, 2 * h, np.where(q != 0, h, 0))
+    tables = (row_off, col_off, depth_off, dist_off)
+    _QUAD_TABLES[side] = tables
+    return tables
+
+
+def quad_offsets(side: int) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Public accessor for the per-quadrant offset tables (read-only)."""
+    return _quad_tables(side)
+
+
+# reduce-side tables: same quadrant digits, but level l of the reduce works
+# the SMALLEST quads first (h = 2**(l-1)), the mirror image of the broadcast
+_QUAD_REDUCE_TABLES: dict[int, tuple[np.ndarray, np.ndarray, int]] = {}
+
+
+def _quad_reduce_tables(side: int) -> tuple[np.ndarray, np.ndarray, int]:
+    """(depth_off, dist_off, energy_per_block) for a block-local Z index.
+
+    ``depth_off``/``dist_off`` are the metadata increments carried to the
+    block corner: entry ``z``'s value is moved (by its successive carriers)
+    once per nonzero base-4 digit of ``z``, where digit ``j`` is the
+    quadrant choice at scale ``h = 2**j`` (0 stay, 1 east, 2 south, 3
+    south-east — hop distance h, h, 2h onto the quad's Z-first cell).
+    ``energy_per_block`` counts each level's actual hops once — at level
+    ``j`` only the ``per / 4**(j+1)`` quad corners move, not every entry.
+    """
+    cached = _QUAD_REDUCE_TABLES.get(side)
+    if cached is not None:
+        return cached
+    per = side * side
+    k = side.bit_length() - 1
+    z = np.arange(per, dtype=np.int64)
+    depth_off = np.zeros(len(z), dtype=META_DTYPE)
+    dist_off = np.zeros(len(z), dtype=META_DTYPE)
+    energy = 0
+    for j in range(k):
+        h = 1 << j
+        q = (z >> (2 * j)) & 3
+        depth_off += q != 0
+        dist_off += np.where(q == 3, 2 * h, np.where(q != 0, h, 0))
+        energy += 4 * h * (per >> (2 * (j + 1)))
+    tables = (depth_off, dist_off, energy)
+    _QUAD_REDUCE_TABLES[side] = tables
+    return tables
+
+
+def quad_reduce_offsets(side: int) -> tuple[np.ndarray, np.ndarray, int]:
+    """Public accessor for the reduce offset tables, Z-indexed (read-only)."""
+    return _quad_reduce_tables(side)
+
+
+def quad_reduce_charge(machine, nblocks, side):
+    """Charge a quadrant reduce's exact counters without materializing it.
+
+    ``nblocks`` blocks of ``side * side`` entries each; per block every entry
+    but the Z-first moves exactly once along its digit path.  Counterpart of
+    :func:`quad_broadcast_charge` for callers that reconstruct the per-block
+    metadata themselves.
+    """
+    _, _, block_energy = _quad_reduce_tables(side)
+    per = side * side
+    k = side.bit_length() - 1
+    st = machine.stats
+    node = machine._phase_node
+    energy = nblocks * block_energy
+    messages = nblocks * (per - 1)
+    st.energy += energy
+    st.messages += messages
+    st.rounds += 3 * k
+    if node is not None:
+        node.energy += energy
+        node.messages += messages
+        node.sends += 3 * k
+
+
+# scaled variants plus the per-element counter units, keyed (side, scale)
+_QUAD_SCALED: dict[
+    tuple[int, int],
+    tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, int, int],
+]
+_QUAD_SCALED = {}
+
+
+def _quad_scaled(side: int, scale: int):
+    cached = _QUAD_SCALED.get((side, scale))
+    if cached is not None:
+        return cached
+    row_off, col_off, depth_off, dist_off = _quad_tables(side)
+    if scale != 1:
+        row_off = row_off * scale
+        col_off = col_off * scale
+        dist_off = dist_off * scale
+    # per input element: three sends per level, costing h, h and 2h each
+    energy_unit = sum(
+        4 * (side >> lvl) * scale * 4 ** (lvl - 1)
+        for lvl in range(1, side.bit_length())
+    )
+    messages_unit = side * side - 1
+    cached = (
+        row_off[:, None],
+        col_off[:, None],
+        depth_off[:, None],
+        dist_off[:, None],
+        energy_unit,
+        messages_unit,
+    )
+    _QUAD_SCALED[(side, scale)] = cached
+    return cached
+
+
+def quad_broadcast_charge(machine, m, side, scale, depth_in_max, dist_in_max):
+    """Charge a quadrant broadcast's exact counters without materializing it.
+
+    ``m`` values, each replicated ``side * side``-fold with block stride
+    ``scale``; ``depth_in_max``/``dist_in_max`` are the input metadata maxima.
+    Callers that reconstruct the output metadata themselves (the all-pairs
+    fast path) use this to keep the books identical to the reference loop.
+    """
+    _, _, _, _, energy_unit, messages_unit = _quad_scaled(side, scale)
+    k = side.bit_length() - 1
+    st = machine.stats
+    node = machine._phase_node
+    energy = m * energy_unit
+    messages = m * messages_unit
+    st.energy += energy
+    st.messages += messages
+    st.rounds += 3 * k
+    dmax = depth_in_max + k
+    smax = dist_in_max + 2 * (side - 1) * scale
+    if dmax > st.max_depth:
+        st.max_depth = dmax
+    if smax > st.max_distance:
+        st.max_distance = smax
+    if node is not None:
+        node.energy += energy
+        node.messages += messages
+        node.sends += 3 * k
+        if dmax > node.max_depth:
+            node.max_depth = dmax
+        if smax > node.max_distance:
+            node.max_distance = smax
+
+
+def quadrant_broadcast_fast(machine, ta, side, scale):
+    """Closed form of the recursive quadrant replication loop.
+
+    Charges the loop's exact counters (energy, messages, rounds, sends,
+    maxima) and returns the final ``(payload, rows, cols, depth, dist)``
+    components in the loop's element order.  Clean runs only — the caller
+    guards out strict mode, tracer/profiler, and fault plans.
+    """
+    row_off, col_off, depth_off, dist_off, _, _ = _quad_scaled(side, scale)
+    quad_broadcast_charge(
+        machine, len(ta), side, scale, int(ta.depth.max()), int(ta.dist.max())
+    )
+    rows = (ta.rows[None, :] + row_off).ravel()
+    cols = (ta.cols[None, :] + col_off).ravel()
+    depth = (ta.depth[None, :] + depth_off).ravel()
+    dist = (ta.dist[None, :] + dist_off).ravel()
+    p = ta.payload
+    if p.ndim == 1:
+        payload = np.tile(p, side * side)
+    else:
+        payload = np.tile(p, (side * side,) + (1,) * (p.ndim - 1))
+    return payload, rows, cols, depth, dist
+
+
+def quadrant_reduce_fast(machine, payload, depth, dist, side, combine):
+    """Closed-form quadrant-tree reduce over the raw field arrays.
+
+    Trusts :meth:`SpatialMachine.quadrant_reduce`'s layout contract (one
+    entry per cell of each square block, block-local Z-order): every hop
+    distance is then fixed by the Z-geometry, so counters and per-entry
+    metadata increments come from precomputed offset tables — entry ``z``
+    moves once per nonzero base-4 digit of ``z`` (see
+    :func:`_quad_reduce_tables`).  Only the payload fold still walks the
+    levels, preserving the reference's exact floating-point combination
+    order.  Returns the per-block ``(payload, depth, dist)`` — positions are
+    the caller's block corners.  Clean runs only; the caller guards.
+    """
+    depth_off, dist_off, _ = _quad_reduce_tables(side)
+    per = side * side
+    k = side.bit_length() - 1
+    nblocks = len(depth) // per
+    quad_reduce_charge(machine, nblocks, side)
+    depth = (depth.reshape(nblocks, per) + depth_off).max(axis=1)
+    dist = (dist.reshape(nblocks, per) + dist_off).max(axis=1)
+    machine.observe(depth, dist)
+    for _ in range(k):
+        payload = combine(
+            combine(combine(payload[0::4], payload[1::4]), payload[2::4]),
+            payload[3::4],
+        )
+    return payload, depth, dist
+
+
+def relay_many_fast(machine, chains, carry=None):
+    """Batched :meth:`SpatialMachine.relay` over a flattened hop layout.
+
+    See :meth:`SpatialMachine.relay_many` for the API.  ``machine`` must be
+    a fast-mode :class:`SpatialMachine`; this function performs all of the
+    call's charging (stats, cost tree, recovery, tracer, profiler).
+    """
+    K = len(chains)
+    results: list[tuple[int, int]] = [(0, 0)] * K
+    st = machine.stats
+    node = machine._phase_node
+
+    # ---- flatten: each non-empty chain contributes a [src, stops...] run
+    node_parts_r: list[np.ndarray] = []
+    node_parts_c: list[np.ndarray] = []
+    meta0: list[tuple[int, int]] = []
+    flat_of: list[int] = []  # chain index -> flat segment index (-1: no stops)
+    hops_per: list[int] = []
+    for src, stop_rows, stop_cols, depth0, dist0 in chains:
+        stop_rows, stop_cols = machine._coerce_coords(stop_rows, stop_cols, "relay")
+        meta0.append((int(depth0), int(dist0)))
+        if len(stop_rows) == 0:
+            flat_of.append(-1)
+            continue
+        flat_of.append(len(hops_per))
+        hops_per.append(len(stop_rows))
+        node_parts_r.append(np.concatenate([[src[0]], stop_rows]))
+        node_parts_c.append(np.concatenate([[src[1]], stop_cols]))
+
+    nseg = len(hops_per)
+    hops = np.asarray(hops_per, dtype=np.int64)
+    hop_start = np.zeros(nseg, dtype=np.int64)
+    if nseg:
+        np.cumsum(hops[:-1], out=hop_start[1:])
+        node_r = np.concatenate(node_parts_r)
+        node_c = np.concatenate(node_parts_c)
+        # hop endpoints: consecutive node pairs within each chain's run
+        node_start = hop_start + np.arange(nseg, dtype=np.int64)
+        keep = np.ones(len(node_r), dtype=bool)
+        keep[node_start] = False
+        to_idx = np.nonzero(keep)[0]
+        from_idx = to_idx - 1
+        fr_r, fr_c = node_r[from_idx], node_c[from_idx]
+        to_r, to_c = node_r[to_idx], node_c[to_idx]
+        d = np.abs(to_r - fr_r) + np.abs(to_c - fr_c)
+        nz = d > 0
+    else:
+        d = np.zeros(0, dtype=np.int64)
+        nz = np.zeros(0, dtype=bool)
+        fr_r = fr_c = to_r = to_c = d
+
+    messages_per = segment_sums(nz, hop_start)
+    total_messages = int(messages_per.sum())
+
+    # ---- fault recovery, flat (rng-free parts) + per-chain rng sampling
+    plan = machine.faults
+    spare_per = np.zeros(nseg, dtype=np.int64)
+    detour_per = np.zeros(nseg, dtype=np.int64)
+    retries_per = np.zeros(nseg, dtype=np.int64)
+    retry_e_per = np.zeros(nseg, dtype=np.int64)
+    hop_failures = None
+    d_eff = d
+    if plan is not None and plan.injects_faults and total_messages:
+        rec = machine.recovery
+        if plan.dead_regions:
+            node_extra, node_spared = spare_extras(plan, node_r, node_c)
+            # each hop pays for both of its endpoints' spares
+            sp = node_extra[from_idx] + node_extra[to_idx]
+            sp[~nz] = 0
+            spare_per = segment_sums(sp, hop_start)
+            spare_total = int(spare_per.sum())
+            if spare_total:
+                d_eff = d_eff + sp
+                rec.spared += int((node_spared[to_idx] & nz).sum())
+                rec.spare_energy += spare_total
+            extra = detour_extras(plan.dead_regions, fr_r, fr_c, to_r, to_c)
+            extra[~nz] = 0
+            detour_per = segment_sums(extra, hop_start)
+            detour_total = int(detour_per.sum())
+            if detour_total:
+                d_eff = d_eff + extra
+                rec.detoured += int((extra > 0).sum())
+                rec.detour_energy += detour_total
+        if plan.failure_prob > 0.0:
+            # one sample_failures call per communicating chain, in chain
+            # order: the rng stream must match the sequential relay loop
+            fail_flat = np.zeros(len(d), dtype=META_DTYPE)
+            any_fail = False
+            for j in range(nseg):
+                mj = int(messages_per[j])
+                if not mj:
+                    continue
+                f, dropped, corrupted = sample_failures(plan, mj)
+                if not f.any():
+                    continue
+                any_fail = True
+                seg = slice(int(hop_start[j]), int(hop_start[j] + hops[j]))
+                view = fail_flat[seg]
+                view[nz[seg]] = f
+                rj = int(f.sum())
+                retries_per[j] = rj
+                rec.dropped += int(dropped.sum())
+                rec.corrupted += int(corrupted.sum())
+                rec.retries += rj
+                rec.backoff_ticks += backoff_ticks(plan, f)
+                rec.max_attempts = max(rec.max_attempts, int(f.max()) + 1)
+            if any_fail:
+                hop_failures = fail_flat
+                retry_e_per = segment_sums(d_eff * fail_flat, hop_start)
+                rec.retry_energy += int(retry_e_per.sum())
+
+    # ---- flat counters (sums and round counts distribute over chains)
+    energy_per = segment_sums(d, hop_start)
+    deff_per = energy_per + spare_per + detour_per
+    energy_total = int(energy_per.sum())
+    retries_total = int(retries_per.sum())
+    st.energy += (
+        energy_total
+        + int(spare_per.sum())
+        + int(detour_per.sum())
+        + int(retry_e_per.sum())
+    )
+    st.messages += total_messages + retries_total
+    comm = messages_per > 0
+    ncomm = int(np.count_nonzero(comm))
+    st.rounds += ncomm
+    if node is not None:
+        node.energy += energy_total
+        node.messages += total_messages
+        node.sends += ncomm
+
+    tracer = machine.tracer
+    profiler = machine.profiler
+    round_ids = None
+    if (tracer is not None or profiler is not None) and nseg:
+        # chain j's round id as the sequential loop would have assigned it
+        round_ids = (st.rounds - ncomm) + np.cumsum(comm)
+        if tracer is not None:
+            phase = machine.current_phase
+            for j in range(nseg):
+                seg = slice(int(hop_start[j]), int(hop_start[j] + hops[j]))
+                tracer.record(
+                    fr_r[seg], fr_c[seg], to_r[seg], to_c[seg],
+                    int(round_ids[j]), phase=phase, kind="relay",
+                )
+
+    # ---- per-chain outputs: carry resolution, maxima, recovery, profiler
+    phase = machine.current_phase
+    prev = (0, 0)
+    for i in range(K):
+        d0, s0 = meta0[i]
+        if carry is not None and carry[i]:
+            d0, s0 = prev
+        j = flat_of[i]
+        if j < 0:
+            prev = (d0, s0)
+            results[i] = prev
+            continue
+        depth = d0 + int(messages_per[j]) + int(retries_per[j])
+        dist = s0 + int(deff_per[j]) + int(retry_e_per[j])
+        if depth > st.max_depth:
+            st.max_depth = depth
+        if dist > st.max_distance:
+            st.max_distance = dist
+        if node is not None:
+            if depth > node.max_depth:
+                node.max_depth = depth
+            if dist > node.max_distance:
+                node.max_distance = dist
+        if profiler is not None and messages_per[j]:
+            seg = slice(int(hop_start[j]), int(hop_start[j] + hops[j]))
+            att = nz[seg].astype(META_DTYPE)
+            per_hop_dist = d_eff[seg]
+            hf = None
+            if hop_failures is not None and retries_per[j]:
+                hf = hop_failures[seg]
+                att = att + hf
+                per_hop_dist = d_eff[seg] * (1 + hf)
+            profiler.record_send(
+                fr_r[seg], fr_c[seg], to_r[seg], to_c[seg],
+                d_eff[seg], hf, nz[seg],
+                d0 + np.cumsum(att), s0 + np.cumsum(per_hop_dist),
+                phase, "relay", int(round_ids[j]),
+            )
+        rec_energy = int(spare_per[j]) + int(detour_per[j]) + int(retry_e_per[j])
+        rj = int(retries_per[j])
+        if rec_energy or rj:
+            machine._charge_recovery(rec_energy, rj, None)
+        prev = (depth, dist)
+        results[i] = prev
+    return results

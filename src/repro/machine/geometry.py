@@ -41,6 +41,11 @@ def manhattan_arrays(
     ) + np.abs(np.asarray(cols1, dtype=np.int64) - np.asarray(cols0, dtype=np.int64))
 
 
+# row-major div/mod enumerations keyed by (n, width); the corner offset is
+# added per call, so cached arrays are shared across congruent regions
+_ROWMAJOR_CACHE: dict[tuple[int, int], tuple[np.ndarray, np.ndarray]] = {}
+
+
 @dataclass(frozen=True)
 class Region:
     """An axis-aligned rectangle of processors.
@@ -148,8 +153,12 @@ class Region:
             n = self.size
         if n > self.size:
             raise ValueError(f"requested {n} cells from region of size {self.size}")
-        idx = np.arange(n, dtype=np.int64)
-        return self.row + idx // self.width, self.col + idx % self.width
+        cached = _ROWMAJOR_CACHE.get((n, self.width))
+        if cached is None:
+            idx = np.arange(n, dtype=np.int64)
+            cached = (idx // self.width, idx % self.width)
+            _ROWMAJOR_CACHE[(n, self.width)] = cached
+        return self.row + cached[0], self.col + cached[1]
 
     def rowmajor_index(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
         """Inverse of :meth:`rowmajor_coords` for coordinates inside the region."""

@@ -23,6 +23,20 @@ Control dependencies (e.g. "iteration t+1 may only start once the broadcast
 decision of iteration t arrived") are threaded with
 :meth:`TrackedArray.depending_on`, so the measured depth reflects the true
 dependency structure of iterative algorithms.
+
+Two interchangeable execution paths implement the charging rules
+(``docs/PERFORMANCE.md``):
+
+* the **fast path** (default) runs single-pass vectorized kernels and the
+  batched :meth:`SpatialMachine.relay_many` / :meth:`SpatialMachine.send_shifts`
+  APIs;
+* the **reference path** (:class:`ReferenceMachine`, or ``REPRO_REFERENCE=1``)
+  keeps the original per-call implementations as the conformance oracle.
+
+The two are required to agree *exactly* — bit-identical payloads, equal
+counters, equal cost trees, equal recovery stats, identical rng streams under
+a seeded :class:`~repro.machine.faults.FaultPlan`.  ``repro conformance`` and
+``tests/test_fast_conformance.py`` enforce the contract.
 """
 
 from __future__ import annotations
@@ -42,6 +56,7 @@ from .faults import (
     spare_extras,
     sample_failures,
 )
+from .fastpath import quadrant_broadcast_fast, quadrant_reduce_fast, relay_many_fast
 from .geometry import Region, manhattan_arrays
 from .metrics import META_DTYPE, CostReport, CostTree, MachineStats, combine_meta
 from .profiler import SpatialProfiler
@@ -50,6 +65,7 @@ from . import zorder as zo
 
 __all__ = [
     "SpatialMachine",
+    "ReferenceMachine",
     "TrackedArray",
     "combine",
     "concat_tracked",
@@ -107,7 +123,7 @@ class TrackedArray:
 
     def __getitem__(self, idx) -> "TrackedArray":
         """Subset by mask / fancy index / slice (no communication)."""
-        return TrackedArray(
+        return _tracked(
             self.machine,
             self.payload[idx],
             self.rows[idx],
@@ -117,7 +133,7 @@ class TrackedArray:
         )
 
     def copy(self) -> "TrackedArray":
-        return TrackedArray(
+        return _tracked(
             self.machine,
             self.payload.copy(),
             self.rows.copy(),
@@ -133,7 +149,7 @@ class TrackedArray:
         """Locally recompute the payload (free; metadata unchanged)."""
         if len(payload) != len(self):
             raise ValueError("payload length mismatch")
-        return TrackedArray(self.machine, payload, self.rows, self.cols, self.depth, self.dist)
+        return _tracked(self.machine, payload, self.rows, self.cols, self.depth, self.dist)
 
     def combined_with(
         self, *others: "TrackedArray", payload: np.ndarray
@@ -146,7 +162,7 @@ class TrackedArray:
             [self.depth, *(o.depth for o in others)],
             [self.dist, *(o.dist for o in others)],
         )
-        out = TrackedArray(self.machine, payload, self.rows, self.cols, depth, dist)
+        out = _tracked(self.machine, payload, self.rows, self.cols, depth, dist)
         self.machine.observe(out.depth, out.dist)
         return out
 
@@ -159,7 +175,7 @@ class TrackedArray:
         """
         cd = control.depth if len(control) != 1 else control.depth[0]
         cs = control.dist if len(control) != 1 else control.dist[0]
-        return TrackedArray(
+        return _tracked(
             self.machine,
             self.payload,
             self.rows,
@@ -170,7 +186,7 @@ class TrackedArray:
 
     def depending_on_meta(self, depth: int, dist: int) -> "TrackedArray":
         """Like :meth:`depending_on` with raw scalar metadata."""
-        return TrackedArray(
+        return _tracked(
             self.machine,
             self.payload,
             self.rows,
@@ -200,6 +216,23 @@ class TrackedArray:
         )
 
 
+def _tracked(machine, payload, rows, cols, depth, dist) -> TrackedArray:
+    """Build a :class:`TrackedArray` without ``__init__``'s length validation.
+
+    Hot-path constructor for internal call sites whose five field arrays are
+    equal-length by construction (slices of a validated array, outputs of
+    elementwise kernels).  External constructors keep the checked path.
+    """
+    ta = TrackedArray.__new__(TrackedArray)
+    ta.machine = machine
+    ta.payload = payload
+    ta.rows = rows
+    ta.cols = cols
+    ta.depth = depth
+    ta.dist = dist
+    return ta
+
+
 def combine(
     arrays: Sequence[TrackedArray], func: Callable[..., np.ndarray]
 ) -> TrackedArray:
@@ -216,7 +249,7 @@ def concat_tracked(parts: Sequence[TrackedArray]) -> TrackedArray:
     if not parts:
         raise ValueError("concat_tracked needs at least one non-empty part")
     machine = parts[0].machine
-    return TrackedArray(
+    return _tracked(
         machine,
         np.concatenate([p.payload for p in parts]),
         np.concatenate([p.rows for p in parts]),
@@ -311,6 +344,14 @@ class SpatialMachine:
     bounds:
         Optional fabric rectangle.  In strict mode, any placement or send
         targeting a cell outside it fails fast with an actionable error.
+    fast:
+        Select the vectorized fast execution path (``True``, the default) or
+        the per-call reference oracle (``False``; what
+        :class:`ReferenceMachine` pins).  ``None`` consults the
+        ``REPRO_REFERENCE`` environment flag, so a whole run — tests, bench
+        sweeps, the service — can be flipped onto the oracle without code
+        changes.  Both paths charge identically; the fast path is only
+        allowed to be faster (``docs/PERFORMANCE.md``).
     """
 
     def __init__(
@@ -322,6 +363,7 @@ class SpatialMachine:
         word_budget: int | None = None,
         bounds: Region | None = None,
         profile: bool | SpatialProfiler | None = None,
+        fast: bool | None = None,
     ) -> None:
         self.stats = MachineStats()
         if isinstance(trace, Tracer):
@@ -345,6 +387,7 @@ class SpatialMachine:
             raise ValueError(f"word_budget must be >= 1, got {word_budget}")
         self.word_budget = word_budget
         self.bounds = bounds
+        self.fast = not _env_flag("REPRO_REFERENCE") if fast is None else bool(fast)
 
     # ------------------------------------------------------------------
     # phase-scoped accounting
@@ -376,6 +419,20 @@ class SpatialMachine:
             return
         dmax = int(depth.max())
         smax = int(dist.max())
+        st = self.stats
+        if dmax > st.max_depth:
+            st.max_depth = dmax
+        if smax > st.max_distance:
+            st.max_distance = smax
+        node = self._phase_node
+        if node is not None:
+            if dmax > node.max_depth:
+                node.max_depth = dmax
+            if smax > node.max_distance:
+                node.max_distance = smax
+
+    def observe_maxima(self, dmax: int, smax: int) -> None:
+        """Scalar form of :meth:`observe` for precomputed metadata maxima."""
         st = self.stats
         if dmax > st.max_depth:
             st.max_depth = dmax
@@ -513,6 +570,14 @@ class SpatialMachine:
         The extra charges are attributed to the ``recovery`` phase of
         :attr:`cost_tree` (flat totals include them too).
         """
+        if self.fast:
+            return self._send_fast(ta, rows, cols)
+        return self._send_reference(ta, rows, cols)
+
+    def _send_reference(
+        self, ta: TrackedArray, rows: np.ndarray, cols: np.ndarray
+    ) -> TrackedArray:
+        """The original per-call ``send`` implementation (conformance oracle)."""
         rows, cols = self._coerce_coords(rows, cols, "send")
         if len(rows) != len(ta) or len(cols) != len(ta):
             raise ValueError("destination arrays must match value count")
@@ -600,6 +665,368 @@ class SpatialMachine:
         self._charge_recovery(spare_energy + detour_energy + retry_energy, retries, out)
         return out
 
+    def _send_fast(
+        self, ta: TrackedArray, rows: np.ndarray, cols: np.ndarray
+    ) -> TrackedArray:
+        """Single-pass vectorized ``send`` kernel.
+
+        Counter-identical to :meth:`_send_reference` (conformance-enforced):
+        same strict checks, same fault accounting, same rng draws, same
+        tracer/profiler feeds — fused into one pass with in-place distance
+        arithmetic and the unchecked :func:`_tracked` constructor.
+        """
+        rows, cols = self._coerce_coords(rows, cols, "send")
+        n = len(ta)
+        if len(rows) != n or len(cols) != n:
+            raise ValueError("destination arrays must match value count")
+        d = np.subtract(rows, ta.rows)
+        np.abs(d, out=d)
+        t = np.subtract(cols, ta.cols)
+        np.abs(t, out=t)
+        d += t
+        moved = d > 0
+        messages = int(np.count_nonzero(moved))
+        if self.strict and messages:
+            self._check_fan_in(rows, cols, moved)
+
+        plan = self.faults
+        failures = None
+        detour_energy = spare_energy = retry_energy = retries = 0
+        d_eff = d
+        if plan is not None and plan.injects_faults and messages:
+            if plan.dead_regions:
+                src_extra, _ = spare_extras(plan, ta.rows, ta.cols)
+                dst_extra, dst_spared = spare_extras(plan, rows, cols)
+                sp = src_extra + dst_extra
+                sp[~moved] = 0
+                spare_energy = int(sp.sum())
+                if spare_energy:
+                    d_eff = d_eff + sp
+                    self.recovery.spared += int((dst_spared & moved).sum())
+                    self.recovery.spare_energy += spare_energy
+                extra = detour_extras(plan.dead_regions, ta.rows, ta.cols, rows, cols)
+                extra[~moved] = 0
+                detour_energy = int(extra.sum())
+                if detour_energy:
+                    d_eff = d_eff + extra
+                    self.recovery.detoured += int((extra > 0).sum())
+                    self.recovery.detour_energy += detour_energy
+            if plan.failure_prob > 0.0:
+                f, dropped, corrupted = sample_failures(plan, messages)
+                if f.any():
+                    failures = np.zeros(n, dtype=META_DTYPE)
+                    failures[moved] = f
+                    retries = int(f.sum())
+                    retry_energy = int((d_eff * failures).sum())
+                    rec = self.recovery
+                    rec.dropped += int(dropped.sum())
+                    rec.corrupted += int(corrupted.sum())
+                    rec.retries += retries
+                    rec.retry_energy += retry_energy
+                    rec.backoff_ticks += backoff_ticks(plan, f)
+                    rec.max_attempts = max(rec.max_attempts, int(f.max()) + 1)
+
+        energy = int(np.add.reduce(d))
+        st = self.stats
+        st.energy += energy + spare_energy + detour_energy + retry_energy
+        st.messages += messages + retries
+        if messages:
+            st.rounds += 1
+        node = self._phase_node
+        if node is not None:
+            node.energy += energy
+            node.messages += messages
+            if messages:
+                node.sends += 1
+        if self.tracer is not None:
+            self.tracer.record(
+                ta.rows, ta.cols, rows, cols, st.rounds,
+                phase=self.current_phase,
+            )
+            if failures is not None:
+                idx = np.nonzero(failures)[0]
+                idx = np.repeat(idx, failures[idx])
+                self.tracer.record(
+                    ta.rows[idx], ta.cols[idx], rows[idx], cols[idx],
+                    st.rounds, phase=self.current_phase, kind="resend",
+                )
+        if failures is None:
+            depth = ta.depth + moved
+            dist = ta.dist + d_eff
+        else:
+            depth = ta.depth + moved + failures
+            dist = ta.dist + d_eff * (1 + failures)
+        if self.profiler is not None and messages:
+            self.profiler.record_send(
+                ta.rows, ta.cols, rows, cols, d_eff, failures, moved,
+                depth, dist, self.current_phase, "send", st.rounds,
+            )
+        out = _tracked(self, ta.payload, rows, cols, depth, dist)
+        self.observe(depth, dist)
+        if retries or spare_energy or detour_energy:
+            self._charge_recovery(
+                spare_energy + detour_energy + retry_energy, retries, out
+            )
+        return out
+
+    def send_shift(self, ta: TrackedArray, dr: int, dc: int) -> TrackedArray:
+        """Send every value by the uniform offset ``(dr, dc)``.
+
+        Exactly ``send(ta, ta.rows + dr, ta.cols + dc)`` on every counter;
+        the fast path exploits the constant wire length ``|dr| + |dc|``
+        shared by all messages of the batch.
+        """
+        return self.send_shifts(ta, ((dr, dc),))[0]
+
+    def send_shifts(
+        self, ta: TrackedArray, offsets: Sequence[tuple[int, int]]
+    ) -> list[TrackedArray]:
+        """Issue one uniform-offset ``send`` per entry of ``offsets``.
+
+        Defined as — and on the reference path literally executed as — the
+        sequential loop ``[send(ta, ta.rows + dr, ta.cols + dc) for dr, dc
+        in offsets]``: each offset with any movement is its own round.  The
+        quadrant collectives (broadcast, all-pairs replication) use this to
+        charge a whole recursion level per call; the fast path then reduces
+        each offset to closed-form scalar charges (``n`` messages of length
+        ``|dr| + |dc|`` each).
+        """
+        offsets = [(int(dr), int(dc)) for dr, dc in offsets]
+        plan = self.faults
+        if (
+            not self.fast
+            or self.strict
+            or len(ta) == 0
+            or self.tracer is not None
+            or self.profiler is not None
+            or (plan is not None and plan.injects_faults)
+        ):
+            # every observing/validating feature wants real coordinate
+            # arrays: degrade to the defining per-offset loop
+            return [self.send(ta, ta.rows + dr, ta.cols + dc) for dr, dc in offsets]
+        return self._send_shifts_fast(ta, offsets)
+
+    def _send_shifts_fast(
+        self, ta: TrackedArray, offsets: list[tuple[int, int]]
+    ) -> list[TrackedArray]:
+        n = len(ta)
+        st = self.stats
+        node = self._phase_node
+        # uniform shifts preserve the argmax structure: the batch maxima
+        # after a shift are the input maxima plus the shift charges
+        base_depth = int(ta.depth.max())
+        base_dist = int(ta.dist.max())
+        depth = None
+        outs = []
+        for dr, dc in offsets:
+            s = abs(dr) + abs(dc)
+            rows = ta.rows + dr if dr else ta.rows
+            cols = ta.cols + dc if dc else ta.cols
+            if s == 0:
+                outs.append(_tracked(self, ta.payload, rows, cols, ta.depth, ta.dist))
+                self.observe(ta.depth, ta.dist)
+                continue
+            if depth is None:
+                depth = ta.depth + 1
+            dist = ta.dist + s
+            st.energy += n * s
+            st.messages += n
+            st.rounds += 1
+            dmax = base_depth + 1
+            smax = base_dist + s
+            if dmax > st.max_depth:
+                st.max_depth = dmax
+            if smax > st.max_distance:
+                st.max_distance = smax
+            if node is not None:
+                node.energy += n * s
+                node.messages += n
+                node.sends += 1
+                if dmax > node.max_depth:
+                    node.max_depth = dmax
+                if smax > node.max_distance:
+                    node.max_distance = smax
+            outs.append(_tracked(self, ta.payload, rows, cols, depth, dist))
+        return outs
+
+    def send_many(
+        self, batches: Sequence[tuple[TrackedArray, np.ndarray, np.ndarray]]
+    ) -> list[TrackedArray]:
+        """Issue several independent ``send`` batches, each its own round.
+
+        Defined as — and on the reference path literally executed as — the
+        sequential loop ``[send(ta, rows, cols) for ta, rows, cols in
+        batches]``.  The quadrant reduce uses this to charge one recursion
+        level (three child-to-parent sends) per call; the fast path fuses
+        the distance arithmetic over one concatenated layout.
+        """
+        batches = list(batches)
+        if not batches:
+            return []
+        plan = self.faults
+        if (
+            not self.fast
+            or self.strict
+            or self.tracer is not None
+            or self.profiler is not None
+            or (plan is not None and plan.injects_faults)
+            or any(len(b[0]) == 0 for b in batches)
+        ):
+            return [self.send(ta, rows, cols) for ta, rows, cols in batches]
+        return self._send_many_fast(batches)
+
+    def _send_many_fast(
+        self, batches: list[tuple[TrackedArray, np.ndarray, np.ndarray]]
+    ) -> list[TrackedArray]:
+        starts = np.zeros(len(batches), dtype=np.int64)
+        sizes = [len(b[0]) for b in batches]
+        np.cumsum(sizes[:-1], out=starts[1:])
+        src_r = np.concatenate([b[0].rows for b in batches])
+        src_c = np.concatenate([b[0].cols for b in batches])
+        dst_r = np.concatenate([np.asarray(b[1], dtype=np.int64) for b in batches])
+        dst_c = np.concatenate([np.asarray(b[2], dtype=np.int64) for b in batches])
+        d = np.subtract(dst_r, src_r)
+        np.abs(d, out=d)
+        t = np.subtract(dst_c, src_c)
+        np.abs(t, out=t)
+        d += t
+        moved = d > 0
+        messages = int(np.count_nonzero(moved))
+        st = self.stats
+        node = self._phase_node
+        energy = int(np.add.reduce(d))
+        st.energy += energy
+        st.messages += messages
+        depth = np.concatenate([b[0].depth for b in batches]) + moved
+        dist = np.concatenate([b[0].dist for b in batches]) + d
+        if messages:
+            # rounds/sends count the batches that actually communicate;
+            # maxima distribute (max of per-batch maxima == global max)
+            cs = np.zeros(len(moved) + 1, dtype=np.int64)
+            np.cumsum(moved, out=cs[1:])
+            per = np.diff(np.append(cs[starts], messages))
+            ncomm = int(np.count_nonzero(per))
+            st.rounds += ncomm
+            dmax = int(depth.max())
+            smax = int(dist.max())
+            if dmax > st.max_depth:
+                st.max_depth = dmax
+            if smax > st.max_distance:
+                st.max_distance = smax
+            if node is not None:
+                node.sends += ncomm
+                if dmax > node.max_depth:
+                    node.max_depth = dmax
+                if smax > node.max_distance:
+                    node.max_distance = smax
+        elif len(moved):
+            self.observe(depth, dist)
+        if node is not None:
+            node.energy += energy
+            node.messages += messages
+        outs = []
+        for i, (ta, rows, cols) in enumerate(batches):
+            a = int(starts[i])
+            b = a + sizes[i]
+            outs.append(
+                _tracked(
+                    self,
+                    ta.payload,
+                    np.asarray(rows, dtype=np.int64),
+                    np.asarray(cols, dtype=np.int64),
+                    depth[a:b],
+                    dist[a:b],
+                )
+            )
+        return outs
+
+    def quadrant_broadcast(
+        self, ta: TrackedArray, side: int, scale: int = 1
+    ) -> TrackedArray:
+        """Recursive quadrant replication of ``ta`` over a ``side x side``
+        lattice of strides ``scale`` (the 2D broadcast / all-pairs
+        replication pattern).
+
+        Defined as — and on the reference path literally executed as — the
+        doubling loop: while ``s > 1`` concatenate ``cur`` with its three
+        copies shifted by ``(0, h)``, ``(h, 0)``, ``(h, h)`` where
+        ``h = (s // 2) * scale``.  ``side`` must be a power of two.  The
+        fast path materializes the final ``len(ta) * side**2`` layout in
+        closed form (offsets, depth and distance increments per quadrant
+        index) and charges the loop's exact counters.
+        """
+        side = int(side)
+        if side <= 1:
+            return ta
+        plan = self.faults
+        if (
+            self.fast
+            and not self.strict
+            and self.tracer is None
+            and self.profiler is None
+            and (plan is None or not plan.injects_faults)
+            and len(ta)
+        ):
+            return _tracked(self, *quadrant_broadcast_fast(self, ta, side, int(scale)))
+        cur = ta
+        s = side
+        while s > 1:
+            half = (s // 2) * scale
+            parts = [cur]
+            parts += self.send_shifts(cur, ((0, half), (half, 0), (half, half)))
+            cur = concat_tracked(parts)
+            s //= 2
+        return cur
+
+    def quadrant_reduce(
+        self,
+        ta: TrackedArray,
+        side: int,
+        combine: Callable[[np.ndarray, np.ndarray], np.ndarray],
+    ) -> TrackedArray:
+        """Quadrant-tree reduce of Z-ordered square blocks (reverse of
+        :meth:`quadrant_broadcast`).
+
+        ``ta`` holds ``side * side`` entries per block in block-local Z-order
+        (blocks contiguous); ``combine`` folds two payload arrays and must be
+        associative.  Defined as — and on the reference path literally
+        executed as — the level loop: split ``cur`` into the four quadrant
+        strides, send quadrants 1-3 onto quadrant 0's cells, fold payloads in
+        the fixed order ``((c0 . c1) . c2) . c3``.  Returns one entry per
+        block at the block corner.  The fast path runs the same loop over the
+        raw field arrays, skipping per-level TrackedArray bookkeeping.
+        """
+        side = int(side)
+        if side <= 1:
+            return ta
+        plan = self.faults
+        if (
+            self.fast
+            and not self.strict
+            and self.tracer is None
+            and self.profiler is None
+            and (plan is None or not plan.injects_faults)
+            and len(ta)
+        ):
+            per = side * side
+            payload, depth, dist = quadrant_reduce_fast(
+                self, ta.payload, ta.depth, ta.dist, side, combine
+            )
+            return _tracked(self, payload, ta.rows[::per], ta.cols[::per], depth, dist)
+        cur = ta
+        remaining = side * side
+        while remaining > 1:
+            c0, c1, c2, c3 = cur[0::4], cur[1::4], cur[2::4], cur[3::4]
+            r1, r2, r3 = self.send_many(
+                [(c1, c0.rows, c0.cols), (c2, c0.rows, c0.cols), (c3, c0.rows, c0.cols)]
+            )
+            payload = combine(
+                combine(combine(c0.payload, r1.payload), r2.payload), r3.payload
+            )
+            cur = c0.combined_with(r1, r2, r3, payload=payload)
+            remaining //= 4
+        return cur
+
     def _charge_recovery(self, energy: int, retries: int, out: TrackedArray | None) -> None:
         """Attribute recovery charges to the dedicated ``recovery`` phase."""
         if (not energy and not retries) or self._phase_node is None:
@@ -627,8 +1054,15 @@ class SpatialMachine:
         each hop one message, each hop depending on the previous one.  Returns
         the ``(depth, dist)`` metadata of the value available at the final
         stop.
+
+        A chain with no stops is a complete no-op — no message, no round,
+        nothing observed; the caller's ``(depth0, dist0)`` pass through
+        unchanged (the batched-zero-move analogue of ``send``'s free
+        self-sends).
         """
         stop_rows, stop_cols = self._coerce_coords(stop_rows, stop_cols, "relay")
+        if len(stop_rows) == 0:
+            return int(depth0), int(dist0)
         chain_r = np.concatenate([[src[0]], stop_rows])
         chain_c = np.concatenate([[src[1]], stop_cols])
         plan = self.faults
@@ -715,6 +1149,49 @@ class SpatialMachine:
         self._charge_recovery(spare_energy + detour_energy + retry_energy, retries, None)
         return depth, dist
 
+    def relay_many(
+        self,
+        chains: Sequence[tuple],
+        carry: Sequence[bool] | None = None,
+    ) -> list[tuple[int, int]]:
+        """Charge many relayed chains in one call.
+
+        ``chains`` is a sequence of ``(src, stop_rows, stop_cols, depth0,
+        dist0)`` tuples, each exactly the argument list of :meth:`relay`.
+        ``carry`` (optional, one bool per chain) links chains: a chain with
+        ``carry[i]`` set starts from the *previous* chain's returned
+        ``(depth, dist)`` instead of its own ``(depth0, dist0)`` — the
+        two-level searches in selection thread the A-array search's end
+        metadata into the B-array search this way.  ``carry[0]`` falls back
+        to ``(0, 0)``.  Returns one ``(depth, dist)`` pair per chain.
+
+        Semantics are *defined* as the sequential loop of :meth:`relay`
+        calls (the reference path runs exactly that loop, drawing one
+        ``sample_failures`` per communicating chain in order).  The fast
+        path charges every chain through one flattened ``(chain, hop)``
+        layout with identical counters, rng stream, and trace records.
+        """
+        chains = list(chains)
+        if carry is not None and len(carry) != len(chains):
+            raise ValueError("carry must have one entry per chain")
+        if not self.fast:
+            return self._relay_many_reference(chains, carry)
+        return relay_many_fast(self, chains, carry)
+
+    def _relay_many_reference(
+        self,
+        chains: Sequence[tuple],
+        carry: Sequence[bool] | None = None,
+    ) -> list[tuple[int, int]]:
+        out: list[tuple[int, int]] = []
+        prev = (0, 0)
+        for i, (src, stop_rows, stop_cols, depth0, dist0) in enumerate(chains):
+            if carry is not None and carry[i]:
+                depth0, dist0 = prev
+            prev = self.relay(src, stop_rows, stop_cols, int(depth0), int(dist0))
+            out.append(prev)
+        return out
+
     # ------------------------------------------------------------------
     # measurement helpers
     # ------------------------------------------------------------------
@@ -738,6 +1215,21 @@ class SpatialMachine:
         (phases whose counters did not change show zero self cost).
         """
         return _Measurement(self)
+
+
+class ReferenceMachine(SpatialMachine):
+    """A :class:`SpatialMachine` pinned to the per-call reference path.
+
+    The conformance oracle: ``send`` and ``relay`` run the original scalar
+    implementations, and every batched API (``send_shifts``,
+    ``relay_many``) degrades to its defining sequential loop.  Constructing
+    a plain ``SpatialMachine`` under ``REPRO_REFERENCE=1`` resolves to the
+    same behavior; this class pins it regardless of the environment.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        kwargs["fast"] = False
+        super().__init__(*args, **kwargs)
 
 
 class _Measurement:

@@ -1,0 +1,254 @@
+"""Fast-kernel parity: every batched machine API against its defining loop.
+
+Each batched primitive (``send_many``, ``quadrant_broadcast``,
+``quadrant_reduce``, the 1D/2D broadcasts) is *defined* as a sequential
+composition of reference operations; the vectorized fast path must
+reproduce payloads, per-value metadata, and every machine counter exactly.
+These tests drive the pairs directly at the machine/collective layer —
+below the algorithm level the conformance grid covers — so a divergence
+pinpoints the kernel at fault.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.collectives import broadcast_1d, broadcast_2d, reduce_2d
+from repro.core.ops import ADD, MAX
+from repro.machine import Region, ReferenceMachine, SpatialMachine
+
+GRID = 16
+coord = st.integers(min_value=0, max_value=GRID - 1)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+def fast_machine() -> SpatialMachine:
+    return SpatialMachine(fast=True, strict=False)
+
+
+def assert_tracked_equal(a, b):
+    assert a.payload.tobytes() == b.payload.tobytes()
+    assert a.payload.shape == b.payload.shape and a.payload.dtype == b.payload.dtype
+    np.testing.assert_array_equal(a.rows, b.rows)
+    np.testing.assert_array_equal(a.cols, b.cols)
+    np.testing.assert_array_equal(a.depth, b.depth)
+    np.testing.assert_array_equal(a.dist, b.dist)
+
+
+def assert_machines_equal(mr, mf):
+    assert mr.stats == mf.stats
+    assert mr.cost_tree.as_dict() == mf.cost_tree.as_dict()
+    assert mr.recovery.as_dict() == mf.recovery.as_dict()
+
+
+# ---------------------------------------------------------------------------
+# send_many
+# ---------------------------------------------------------------------------
+@st.composite
+def send_batches(draw, max_batches=4, max_len=12):
+    k = draw(st.integers(min_value=0, max_value=max_batches))
+    out = []
+    for _ in range(k):
+        n = draw(st.integers(min_value=0, max_value=max_len))
+        out.append((
+            np.array(draw(st.lists(coord, min_size=n, max_size=n))),
+            np.array(draw(st.lists(coord, min_size=n, max_size=n))),
+            np.array(draw(st.lists(coord, min_size=n, max_size=n))),
+            np.array(draw(st.lists(coord, min_size=n, max_size=n))),
+        ))
+    return out
+
+
+class TestSendManyParity:
+    @settings(max_examples=60, deadline=None)
+    @given(send_batches())
+    def test_matches_sequential_sends(self, batches):
+        def run(m):
+            placed = [
+                (m.place(np.arange(float(len(r0))), r0, c0), r1, c1)
+                for r0, c0, r1, c1 in batches
+            ]
+            return m.send_many(placed)
+
+        mr, mf = ReferenceMachine(), fast_machine()
+        ref, fast = run(mr), run(mf)
+        assert len(ref) == len(fast)
+        for a, b in zip(ref, fast):
+            assert_tracked_equal(a, b)
+        assert_machines_equal(mr, mf)
+
+    def test_each_batch_is_its_own_round(self):
+        m = fast_machine()
+        tas = [
+            (m.place(np.ones(2), [0, 1], [0, 0]), np.array([0, 1]), np.array([3, 3]))
+            for _ in range(3)
+        ]
+        m.send_many(tas)
+        assert m.stats.rounds == 3
+
+
+# ---------------------------------------------------------------------------
+# quadrant broadcast / reduce
+# ---------------------------------------------------------------------------
+class TestQuadrantBroadcastParity:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        side=st.sampled_from([2, 4, 8]),
+        scale=st.sampled_from([1, 2]),
+        n=st.integers(min_value=1, max_value=6),
+        seed=seeds,
+    )
+    def test_matches_doubling_loop(self, side, scale, n, seed):
+        rng = np.random.default_rng(seed)
+        rows = rng.integers(0, GRID, n)
+        cols = rng.integers(0, GRID, n)
+        payload = rng.random((n, 2))
+        d0 = rng.integers(0, 6, n)
+        s0 = rng.integers(0, 6, n)
+
+        def run(m):
+            ta = m.place(payload, rows, cols)
+            ta.depth[:] = d0
+            ta.dist[:] = s0
+            return m.quadrant_broadcast(ta, side, scale)
+
+        mr, mf = ReferenceMachine(), fast_machine()
+        ref, fast = run(mr), run(mf)
+        assert_tracked_equal(ref, fast)
+        assert_machines_equal(mr, mf)
+
+    def test_side_one_is_identity(self):
+        m = fast_machine()
+        ta = m.place(np.ones(3), [0, 1, 2], [0, 0, 0])
+        assert m.quadrant_broadcast(ta, 1) is ta
+        assert m.stats.energy == 0
+
+
+class TestQuadrantReduceParity:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        side=st.sampled_from([2, 4, 8]),
+        seed=seeds,
+        op=st.sampled_from([ADD, MAX]),
+    )
+    def test_reduce_2d_matches_level_loop(self, side, seed, op):
+        """reduce_2d drives quadrant_reduce with the real Z-order layout."""
+        region = Region(0, 0, side, side)
+        x = np.random.default_rng(seed).random(side * side)
+
+        def run(m):
+            return reduce_2d(m, m.place_rowmajor(x, region), region, op)
+
+        mr, mf = ReferenceMachine(), fast_machine()
+        ref, fast = run(mr), run(mf)
+        assert_tracked_equal(ref, fast)
+        assert_machines_equal(mr, mf)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        side=st.sampled_from([2, 4]),
+        nblocks=st.integers(min_value=1, max_value=3),
+        seed=seeds,
+    )
+    def test_multi_block_reduce(self, side, nblocks, seed):
+        """Several contiguous Z-ordered blocks reduced in one call — the
+        layout quadrant_reduce documents (blocks contiguous, block-local
+        Z-order within each)."""
+        from repro.machine.machine import concat_tracked
+
+        rng = np.random.default_rng(seed)
+        xs = [rng.random(side * side) for _ in range(nblocks)]
+
+        def run(m):
+            blocks = [
+                m.place_zorder(x, Region(0, b * side, side, side))
+                for b, x in enumerate(xs)
+            ]
+            return m.quadrant_reduce(concat_tracked(blocks), side, np.maximum)
+
+        mr, mf = ReferenceMachine(), fast_machine()
+        ref, fast = run(mr), run(mf)
+        assert_tracked_equal(ref, fast)
+        assert_machines_equal(mr, mf)
+
+
+# ---------------------------------------------------------------------------
+# 1D / 2D broadcast collectives
+# ---------------------------------------------------------------------------
+class TestBroadcastParity:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n=st.sampled_from([2, 3, 4, 7, 8, 16]),
+        vertical=st.booleans(),
+        width=st.integers(min_value=1, max_value=3),
+        seed=seeds,
+    )
+    def test_broadcast_1d(self, n, vertical, width, seed):
+        region = Region(0, 0, n, 1) if vertical else Region(0, 0, 1, n)
+        payload = np.random.default_rng(seed).random((1, width))
+
+        def run(m):
+            v = m.place(payload, [region.row], [region.col])
+            return broadcast_1d(m, v, region)
+
+        mr, mf = ReferenceMachine(), fast_machine()
+        ref, fast = run(mr), run(mf)
+        assert_tracked_equal(ref, fast)
+        assert_machines_equal(mr, mf)
+
+    @settings(max_examples=25, deadline=None)
+    @given(n=st.sampled_from([4, 8]), vertical=st.booleans())
+    def test_broadcast_1d_off_root_value(self, n, vertical):
+        """A value not at the region root must take the reference tree (the
+        closed-form tables measure hops from the root) — regression for the
+        guard that used to skip this check."""
+        region = Region(0, 0, n, 1) if vertical else Region(0, 0, 1, n)
+
+        def run(m):
+            v = m.place(np.array([5.0]), [3], [5])
+            return broadcast_1d(m, v, region)
+
+        mr, mf = ReferenceMachine(), fast_machine()
+        ref, fast = run(mr), run(mf)
+        assert_tracked_equal(ref, fast)
+        assert_machines_equal(mr, mf)
+
+    @settings(max_examples=25, deadline=None)
+    @given(side=st.sampled_from([2, 4, 8]), seed=seeds)
+    def test_broadcast_2d(self, side, seed):
+        region = Region(0, 0, side, side)
+        payload = np.random.default_rng(seed).random(1)
+
+        def run(m):
+            v = m.place(payload, [0], [0])
+            return broadcast_2d(m, v, region)
+
+        mr, mf = ReferenceMachine(), fast_machine()
+        ref, fast = run(mr), run(mf)
+        assert_tracked_equal(ref, fast)
+        assert_machines_equal(mr, mf)
+
+
+# ---------------------------------------------------------------------------
+# guard dispatch: impure machines must take the reference path
+# ---------------------------------------------------------------------------
+class TestGuardDispatch:
+    @pytest.mark.parametrize(
+        "kwargs",
+        (
+            {"strict": True},
+            {"trace": True},
+            {"profile": True},
+        ),
+        ids=("strict", "tracer", "profiler"),
+    )
+    def test_instrumented_machines_match_reference_counters(self, kwargs):
+        side = 4
+        region = Region(0, 0, side, side)
+        x = np.random.default_rng(1).random(side * side)
+        mi = SpatialMachine(fast=True, **kwargs)
+        reduce_2d(mi, mi.place_rowmajor(x, region), region, ADD)
+        mr = ReferenceMachine()
+        reduce_2d(mr, mr.place_rowmajor(x, region), region, ADD)
+        assert mi.stats == mr.stats

@@ -86,3 +86,93 @@ def test_witnesses_replay_exactly(side, seed):
     sw = m.profiler.distance_witness()
     assert dw.complete and dw.replayed() == dw.target == m.stats.max_depth
     assert sw.complete and sw.replayed() == sw.target == m.stats.max_distance
+
+
+# ---------------------------------------------------------------------------
+# batched relay chains through the profiler
+# ---------------------------------------------------------------------------
+coord = st.integers(min_value=0, max_value=15)
+
+
+@st.composite
+def relay_batches(draw, max_chains=5, max_stops=6):
+    """Random relay_many argument lists, including empty chains."""
+    n = draw(st.integers(min_value=1, max_value=max_chains))
+    chains = []
+    for _ in range(n):
+        k = draw(st.integers(min_value=0, max_value=max_stops))
+        chains.append((
+            (draw(coord), draw(coord)),
+            np.array(draw(st.lists(coord, min_size=k, max_size=k)), dtype=np.int64),
+            np.array(draw(st.lists(coord, min_size=k, max_size=k)), dtype=np.int64),
+            draw(st.integers(min_value=0, max_value=8)),
+            draw(st.integers(min_value=0, max_value=8)),
+        ))
+    carry = draw(st.none() | st.lists(st.booleans(), min_size=n, max_size=n))
+    return chains, carry
+
+
+@settings(max_examples=40, deadline=None)
+@given(batch=relay_batches())
+def test_relay_many_energy_grids_conserve(batch):
+    """Batched relay chains must land every energy unit in the spatial
+    grids, exactly like individual relay calls do."""
+    chains, carry = batch
+    m = SpatialMachine(profile=True)
+    m.relay_many(chains, carry)
+    p = m.profiler
+    assert p.total_energy == m.stats.energy
+    assert sum(p.energy_out.values()) == m.stats.energy
+    assert sum(p.energy_in.values()) == m.stats.energy
+    assert sum(p.sent.values()) == m.stats.messages
+    assert sum(p.hlinks.values()) + sum(p.vlinks.values()) == m.stats.energy
+
+
+@settings(max_examples=30, deadline=None)
+@given(batch=relay_batches(), plan_seed=seeds)
+def test_relay_many_conserves_under_faults(batch, plan_seed):
+    chains, carry = batch
+    plan = FaultPlan(
+        rng=np.random.default_rng(plan_seed), drop_prob=0.2, corrupt_prob=0.1
+    )
+    m = SpatialMachine(profile=True, faults=plan)
+    m.relay_many(chains, carry)
+    p = m.profiler
+    assert p.total_energy == m.stats.energy
+    assert sum(p.energy_out.values()) == m.stats.energy
+    assert sum(p.energy_in.values()) == m.stats.energy
+
+
+@settings(max_examples=30, deadline=None)
+@given(batch=relay_batches())
+def test_relay_many_witnesses_replay(batch):
+    """The depth/distance maxima set by batched chains must be explainable:
+    the witness chains replay to exactly the recorded targets."""
+    chains, carry = batch
+    m = SpatialMachine(profile=True)
+    m.relay_many(chains, carry)
+    if m.stats.messages == 0:
+        return  # nothing communicated; no witness to replay
+    dw = m.profiler.depth_witness()
+    sw = m.profiler.distance_witness()
+    # a chain entering with nonzero depth0/dist0 carries history the
+    # profiler never saw, so full replay is only guaranteed when every
+    # chain starts from scratch
+    if all(c[3] == 0 for c in chains) and (carry is None or not any(carry)):
+        assert dw.complete and dw.replayed() == dw.target == m.stats.max_depth
+    if all(c[4] == 0 for c in chains) and (carry is None or not any(carry)):
+        assert sw.complete and sw.replayed() == sw.target == m.stats.max_distance
+
+
+@settings(max_examples=30, deadline=None)
+@given(batch=relay_batches())
+def test_profiled_relay_many_counters_match_unprofiled(batch):
+    """Attaching a profiler must never change the machine's accounting —
+    it only forces the reference path, which is counter-identical."""
+    chains, carry = batch
+    mp = SpatialMachine(profile=True)
+    got_p = mp.relay_many(chains, carry)
+    mf = SpatialMachine(fast=True, strict=False)
+    got_f = mf.relay_many(chains, carry)
+    assert got_p == got_f
+    assert mp.stats == mf.stats

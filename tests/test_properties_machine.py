@@ -125,6 +125,25 @@ def test_zero_length_sends_are_free(rows, cols):
     assert m.cost_tree.total().energy == 0
 
 
+@settings(max_examples=40, deadline=None)
+@given(coord, coord, st.integers(min_value=0, max_value=20),
+       st.integers(min_value=0, max_value=20))
+def test_empty_relay_is_noop(r, c, depth0, dist0):
+    """A relay with no stops is a complete no-op: no counter moves and the
+    caller's metadata passes through unchanged (regression — this used to
+    charge a round)."""
+    e = np.empty(0, dtype=np.int64)
+    for m in (SpatialMachine(), SpatialMachine(fast=False)):
+        got = m.relay((r, c), e, e, depth0, dist0)
+        assert got == (depth0, dist0)
+        assert m.stats.energy == 0
+        assert m.stats.messages == 0
+        assert m.stats.rounds == 0
+        assert m.stats.max_depth == 0
+        assert m.stats.max_distance == 0
+        assert m.cost_tree.total().energy == 0
+
+
 phase_names = st.sampled_from(["a", "b", "c", "d"])
 
 

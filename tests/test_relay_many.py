@@ -1,0 +1,193 @@
+"""Property-based tests of the batched relay (hypothesis).
+
+``relay_many`` is *defined* as the sequential loop of ``relay`` calls; the
+fast path must reproduce that loop's counters, returned metadata, and —
+under seeded fault plans — its rng stream exactly.  Hypothesis drives the
+equivalence over arbitrary chain batches, including the degenerate shapes
+(no chains, empty chains, zero-length hops, carry links) that the
+selection search emits in practice.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import FaultPlan, ReferenceMachine, SpatialMachine
+
+GRID = 32
+
+coord = st.integers(min_value=0, max_value=GRID - 1)
+meta0 = st.integers(min_value=0, max_value=12)
+
+
+@st.composite
+def chain(draw, max_stops=8):
+    """One relay argument tuple; may be empty, may contain zero-length hops
+    (repeated coordinates), may start on its own first stop."""
+    src = (draw(coord), draw(coord))
+    n = draw(st.integers(min_value=0, max_value=max_stops))
+    rows = draw(st.lists(coord, min_size=n, max_size=n))
+    cols = draw(st.lists(coord, min_size=n, max_size=n))
+    if n and draw(st.booleans()):  # force at least one zero-length hop
+        i = draw(st.integers(min_value=0, max_value=n - 1))
+        rows[i], cols[i] = src
+    return (
+        src,
+        np.array(rows, dtype=np.int64),
+        np.array(cols, dtype=np.int64),
+        draw(meta0),
+        draw(meta0),
+    )
+
+
+@st.composite
+def chain_batches(draw, max_chains=6):
+    n = draw(st.integers(min_value=0, max_value=max_chains))
+    chains = [draw(chain()) for _ in range(n)]
+    carry = draw(
+        st.none() | st.lists(st.booleans(), min_size=n, max_size=n)
+    )
+    return chains, carry
+
+
+def _machine_state(m):
+    return (m.stats, m.cost_tree.as_dict(), m.recovery.as_dict())
+
+
+def _run_pair(chains, carry, plan_seed=None, **plan_kw):
+    """Run the same batch on the reference loop and the fast kernel."""
+    mr = ReferenceMachine(
+        faults=FaultPlan.seeded(plan_seed, **plan_kw) if plan_seed is not None else None
+    )
+    ref = mr.relay_many(chains, carry)
+    mf = SpatialMachine(
+        fast=True,
+        strict=False,
+        faults=FaultPlan.seeded(plan_seed, **plan_kw) if plan_seed is not None else None,
+    )
+    fast = mf.relay_many(chains, carry)
+    return ref, fast, mr, mf
+
+
+class TestRelayManyEquivalence:
+    @settings(max_examples=80, deadline=None)
+    @given(chain_batches())
+    def test_clean_matches_sequential_loop(self, batch):
+        chains, carry = batch
+        ref, fast, mr, mf = _run_pair(chains, carry)
+        assert fast == ref
+        assert _machine_state(mf) == _machine_state(mr)
+
+    @settings(max_examples=60, deadline=None)
+    @given(chain_batches(), st.integers(min_value=0, max_value=2**31))
+    def test_faulty_matches_sequential_loop(self, batch, plan_seed):
+        """Under drops + corruption the fast path must consume the plan's
+        rng stream exactly as the loop does: one draw per communicating
+        chain, in chain order."""
+        chains, carry = batch
+        ref, fast, mr, mf = _run_pair(
+            chains, carry, plan_seed=plan_seed, drop_prob=0.2, corrupt_prob=0.1
+        )
+        assert fast == ref
+        assert _machine_state(mf) == _machine_state(mr)
+
+    @settings(max_examples=40, deadline=None)
+    @given(chain_batches(), st.integers(min_value=0, max_value=2**31))
+    def test_dead_regions_match_sequential_loop(self, batch, plan_seed):
+        from repro.machine import Region
+
+        chains, carry = batch
+        ref, fast, mr, mf = _run_pair(
+            chains, carry, plan_seed=plan_seed, dead_regions=(Region(4, 4, 3, 3),)
+        )
+        assert fast == ref
+        assert _machine_state(mf) == _machine_state(mr)
+
+    @settings(max_examples=60, deadline=None)
+    @given(chain_batches())
+    def test_relay_many_equals_explicit_relay_calls(self, batch):
+        """The definition itself: relay_many == [relay(*c) for c in chains]
+        with carry threading, on the same machine."""
+        chains, carry = batch
+        m1 = SpatialMachine(fast=True, strict=False)
+        got = m1.relay_many(chains, carry)
+        m2 = SpatialMachine(fast=True, strict=False)
+        expect = []
+        prev = (0, 0)
+        for i, (src, rows, cols, d0, s0) in enumerate(chains):
+            if carry is not None and carry[i]:
+                d0, s0 = prev
+            prev = m2.relay(src, rows, cols, int(d0), int(s0))
+            expect.append(prev)
+        assert got == expect
+        assert m1.stats == m2.stats
+
+
+class TestRelayManyTotals:
+    @settings(max_examples=60, deadline=None)
+    @given(chain_batches(), st.randoms(use_true_random=False))
+    def test_permutation_invariance_of_totals(self, batch, rnd):
+        """Without carry links, chain order cannot affect the clean totals:
+        energy/messages are sums, max_depth/max_distance are maxima."""
+        chains, _ = batch
+        perm = list(range(len(chains)))
+        rnd.shuffle(perm)
+        _, _, _, m1 = _run_pair(chains, None)
+        _, _, _, m2 = _run_pair([chains[i] for i in perm], None)
+        assert m1.stats == m2.stats
+
+    @settings(max_examples=60, deadline=None)
+    @given(chain_batches())
+    def test_depth_counts_communicating_hops(self, batch):
+        """Clean relay depth = depth0 + number of nonzero-length hops; the
+        distance delta is the chain's wire length."""
+        chains, _ = batch
+        m = SpatialMachine(fast=True, strict=False)
+        out = m.relay_many(chains, None)
+        for (src, rows, cols, d0, s0), (depth, dist) in zip(chains, out):
+            cr = np.concatenate([[src[0]], rows])
+            cc = np.concatenate([[src[1]], cols])
+            hops = np.abs(np.diff(cr)) + np.abs(np.diff(cc))
+            assert depth == d0 + int((hops > 0).sum())
+            assert dist == s0 + int(hops.sum())
+
+
+class TestRelayEdgeCases:
+    @pytest.mark.parametrize("mclass", (SpatialMachine, ReferenceMachine))
+    def test_empty_stop_array_is_noop(self, mclass):
+        m = mclass()
+        before = m.stats.snapshot()
+        got = m.relay((3, 4), np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64), 5, 7)
+        assert got == (5, 7)
+        assert m.stats == before
+
+    def test_empty_batch(self):
+        m = SpatialMachine(fast=True, strict=False)
+        assert m.relay_many([], None) == []
+        assert m.relay_many([]) == []
+        assert m.stats == m.stats.snapshot().__class__()
+
+    def test_all_empty_chains(self):
+        e = np.empty(0, dtype=np.int64)
+        m = SpatialMachine(fast=True, strict=False)
+        out = m.relay_many([((0, 0), e, e, 2, 3), ((1, 1), e, e, 0, 0)], [False, True])
+        # second chain carries the first's pass-through metadata
+        assert out == [(2, 3), (2, 3)]
+        assert m.stats.energy == 0 and m.stats.messages == 0 and m.stats.rounds == 0
+
+    def test_carry_length_mismatch_rejected(self):
+        e = np.empty(0, dtype=np.int64)
+        m = SpatialMachine()
+        with pytest.raises(ValueError, match="carry"):
+            m.relay_many([((0, 0), e, e, 0, 0)], [True, False])
+
+    def test_zero_length_hops_are_free_but_chain_continues(self):
+        m = SpatialMachine(fast=True, strict=False)
+        rows = np.array([0, 0, 5], dtype=np.int64)
+        cols = np.array([0, 0, 0], dtype=np.int64)
+        depth, dist = m.relay((0, 0), rows, cols, 0, 0)
+        assert depth == 1  # only the final hop communicates
+        assert dist == 5
+        assert m.stats.energy == 5
+        assert m.stats.messages == 1
