@@ -1,0 +1,73 @@
+"""Tuner evaluation suite — every auto-tuner measurement runs through here.
+
+Unlike the artifact benches, this suite's point function is a *dispatcher*:
+``params`` name a :class:`repro.tuner.space.TuneConfig` (algorithm class,
+variant, arrival layout, block factor) plus ``n``, and the point runs that
+configuration on a fresh machine via :func:`repro.tuner.variants.run_config_point`.
+Registering it as a normal suite is what gives the tuner the runner's
+process-pool executor, content-addressed cache, and ``suite_code_version``
+staleness for free — and what lets CI gate tuner drift with the ordinary
+``repro bench run --quick --suite tuner`` + baseline compare.
+
+The grids below are *representative pins* for baseline tracking (one point
+per variant family); the tuner itself enumerates its own configurations and
+does not read these grids.
+"""
+
+from repro.runner import register_suite
+from repro.tuner.variants import run_config_point
+
+
+def _cfg(algo_class, variant, layout, n, block=None):
+    return {
+        "algo_class": algo_class,
+        "variant": variant,
+        "layout": layout,
+        "block": block,
+        "n": n,
+    }
+
+
+QUICK = [
+    _cfg("sort", "bitonic", "rowmajor", 64),
+    _cfg("sort", "mergesort", "rowmajor", 64),
+    _cfg("sort", "shearsort", "rowmajor", 64),
+    _cfg("sort", "allpairs", "rowmajor", 64),
+    _cfg("scan", "tree", "zorder", 64),
+    _cfg("scan", "blocked", "host", 64, block=4),
+    _cfg("spmv", "direct", "coo", 16),
+    _cfg("spmv", "planned", "coo", 16),
+]
+
+FULL = QUICK + [
+    _cfg("sort", "oddeven", "rowmajor", 64),
+    _cfg("sort", "quicksort", "rowmajor", 64),
+    _cfg("sort", "merge2d", "rowmajor", 64),
+    _cfg("sort", "bitonic", "zorder", 64),
+    _cfg("sort", "bitonic", "rowmajor", 256),
+    _cfg("scan", "tree", "zorder", 256),
+    _cfg("scan", "tree", "rowmajor", 64),
+    _cfg("scan", "blocked", "host", 256, block=16),
+    _cfg("spmv", "direct", "coo", 64),
+    _cfg("spmv", "planned", "coo", 64),
+]
+
+
+@register_suite(
+    "tuner",
+    artifact="auto-tuner configuration space: (variant, layout, block) cost pins",
+    grid=FULL,
+    quick=QUICK,
+    timeout=120.0,
+)
+def _suite_point(params, rng):
+    return run_config_point(params, rng)
+
+
+def test_tuner_suite_points(rng):
+    """Every quick pin runs, verifies its output, and reports sane counters."""
+    for params in QUICK:
+        payload = _suite_point(dict(params), rng)
+        m = payload["metrics"]
+        assert m["energy"] >= 0 and m["max_depth"] >= 0
+        assert payload["extra"]["edp"] == m["energy"] * m["max_depth"]

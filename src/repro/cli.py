@@ -431,6 +431,7 @@ def _cmd_trace(args) -> int:
 def build_parser() -> argparse.ArgumentParser:
     from . import __version__
     from .runner.cli import add_bench_parser
+    from .tuner.cli import add_tune_parser
 
     p = argparse.ArgumentParser(prog="repro", description=__doc__,
                                 formatter_class=argparse.RawDescriptionHelpFormatter)
@@ -582,9 +583,12 @@ def build_parser() -> argparse.ArgumentParser:
                     help="suite directory (default: ./benchmarks)")
     sp.add_argument("--drain-timeout", type=float, default=30.0,
                     help="seconds to wait for in-flight requests on SIGTERM")
+    sp.add_argument("--plan-db", default="benchmarks/plans/plan_db.json",
+                    help="tuner plan database answering /plan and auto: dispatch")
     sp.set_defaults(func=_cmd_serve)
 
     add_bench_parser(sub)
+    add_tune_parser(sub)
     return p
 
 

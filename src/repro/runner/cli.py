@@ -18,7 +18,7 @@ from .cache import DEFAULT_CACHE_DIR, ResultCache
 from .cachekey import suite_code_version
 from .compare import GATED_METRICS, collect_results, compare_results
 from .executor import RunConfig, run_points
-from .registry import load_suites
+from .registry import default_bench_dir, load_suites
 from .result import METRIC_NAMES, build_bench_result, validate_bench_result, write_bench_result
 
 __all__ = ["add_bench_parser"]
@@ -26,16 +26,24 @@ __all__ = ["add_bench_parser"]
 
 def _cmd_list(args) -> int:
     suites = load_suites(args.bench_dir or None)
+    baseline_dir = (
+        Path(args.bench_dir) if args.bench_dir else default_bench_dir()
+    ) / "baselines" / "quick"
     width = max((len(n) for n in suites), default=10)
     print(f"{len(suites)} registered suite(s):")
+    with_baseline = 0
     for name in sorted(suites):
         s = suites[name]
         n_full = len(s.grid.points(name))
         n_quick = len(s.quick.points(name))
+        has_baseline = (baseline_dir / f"BENCH_{name}.json").is_file()
+        with_baseline += has_baseline
         print(
             f"  {name:<{width}}  points={n_full:<3} quick={n_quick:<2} "
+            f"baseline={'yes' if has_baseline else 'no ':<3} "
             f"{s.artifact or '(no artifact note)'}"
         )
+    print(f"{with_baseline}/{len(suites)} suite(s) have a quick baseline in {baseline_dir}")
     return 0
 
 

@@ -44,25 +44,58 @@ _SUM_METRICS = ("energy", "messages", "rounds")
 _MAX_METRICS = ("max_depth", "max_distance")
 
 
+#: algo classes the tuner can auto-dispatch (``--auto`` rewrites these)
+_AUTO_CLASSES = frozenset({"sort", "scan", "spmv"})
+
+
 def build_requests(
     count: int,
     seed: int,
     *,
     mix: tuple = DEFAULT_MIX,
     seed_pool: int = 3,
+    zipf_alpha: float = 0.0,
+    auto: bool = False,
 ) -> list[dict]:
-    """Deterministic request multiset for ``(count, seed)``."""
+    """Deterministic request multiset for ``(count, seed)``.
+
+    ``zipf_alpha == 0`` (the default) draws uniformly — byte-identical to
+    the historical generator, which ``benchmarks/bench_service.py`` gates
+    on.  ``zipf_alpha > 0`` enumerates every ``(algo, n, seed)`` key the
+    pools can produce and draws with probability proportional to
+    ``1 / rank**alpha`` (rank 1 = first enumerated key), the classic
+    skewed-popularity shape: a few hot keys dominate, so cache hits and
+    coalescing climb with ``alpha`` while the multiset stays a pure
+    function of ``(count, seed, alpha)``.
+
+    ``auto=True`` rewrites tunable algos to their ``auto:<class>`` form so
+    the served requests exercise plan-based dispatch.
+    """
     rng = random.Random(seed)
     requests = []
-    for _ in range(count):
-        algo, sizes = mix[rng.randrange(len(mix))]
-        requests.append(
-            {
-                "algo": algo,
-                "n": sizes[rng.randrange(len(sizes))],
-                "seed": rng.randrange(seed_pool),
-            }
-        )
+    if zipf_alpha > 0.0:
+        keys = [
+            {"algo": algo, "n": n, "seed": s}
+            for algo, sizes in mix
+            for n in sizes
+            for s in range(seed_pool)
+        ]
+        weights = [1.0 / (rank + 1) ** zipf_alpha for rank in range(len(keys))]
+        requests = [dict(k) for k in rng.choices(keys, weights=weights, k=count)]
+    else:
+        for _ in range(count):
+            algo, sizes = mix[rng.randrange(len(mix))]
+            requests.append(
+                {
+                    "algo": algo,
+                    "n": sizes[rng.randrange(len(sizes))],
+                    "seed": rng.randrange(seed_pool),
+                }
+            )
+    if auto:
+        for payload in requests:
+            if payload["algo"] in _AUTO_CLASSES:
+                payload["algo"] = f"auto:{payload['algo']}"
     return requests
 
 
@@ -279,6 +312,11 @@ def main(argv=None) -> int:
     parser.add_argument("--requests", type=int, default=200)
     parser.add_argument("--concurrency", type=int, default=16)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--zipf-alpha", type=float, default=0.0,
+                        help="key-popularity skew: 0 = uniform (historical mix), "
+                        "higher = fewer, hotter keys (see build_requests)")
+    parser.add_argument("--auto", action="store_true",
+                        help="rewrite tunable algos to auto:<class> (plan dispatch)")
     parser.add_argument("--timeout", type=float, default=30.0)
     parser.add_argument("--wait", type=float, default=0.0, help="seconds to wait for /healthz first")
     parser.add_argument("--out", default="", help="write the load report JSON here")
@@ -293,7 +331,9 @@ def main(argv=None) -> int:
         print(f"loadgen: no /healthz from {args.host}:{args.port} after {args.wait}s", file=sys.stderr)
         return 2
 
-    requests = build_requests(args.requests, args.seed)
+    requests = build_requests(
+        args.requests, args.seed, zipf_alpha=args.zipf_alpha, auto=args.auto
+    )
     report = asyncio.run(
         run_load(args.host, args.port, requests, concurrency=args.concurrency, timeout=args.timeout)
     )

@@ -10,10 +10,18 @@ same unit of work as a ``repro bench run`` sweep point — same point
 function, same determinism contract, same cache identity.  Validation is
 strict: unknown fields, wrong types, and out-of-range sizes are rejected
 with :class:`RequestError` (HTTP 400) before any work is admitted.
+
+``algo`` may also be ``"auto:<class>"`` (``auto:sort``, ``auto:scan``,
+``auto:spmv``) with an optional ``metric`` (energy | max_depth | edp,
+default edp): the server consults the tuner's plan database for the best
+(variant, layout, block) configuration at this ``n`` and executes *that* as
+a ``tuner``-suite point.  Auto requests validate here but carry no concrete
+sweep params until the server resolves the plan (:meth:`ServiceRequest.resolve`).
 """
 
 from __future__ import annotations
 
+import dataclasses
 import math
 from dataclasses import dataclass
 from typing import Any, Mapping
@@ -21,7 +29,16 @@ from typing import Any, Mapping
 from ..runner.cachekey import PROFILE_SALT, point_key
 from ..runner.spec import PointSpec
 
-__all__ = ["ALGO_SUITES", "SIZE_LIMITS", "RequestError", "ServiceRequest"]
+__all__ = [
+    "ALGO_SUITES",
+    "SIZE_LIMITS",
+    "AUTO_PREFIX",
+    "AUTO_CLASSES",
+    "AUTO_SIZE_LIMITS",
+    "TUNER_SUITE_NAME",
+    "RequestError",
+    "ServiceRequest",
+]
 
 #: served algorithm -> registered suite executing it
 ALGO_SUITES = {
@@ -43,7 +60,25 @@ SIZE_LIMITS = {
 #: algorithms whose ``n`` must be a power of four (square power-of-two grid)
 _POWER_OF_FOUR = frozenset({"scan", "sort", "select"})
 
-_ALLOWED_FIELDS = frozenset({"algo", "n", "seed", "profile"})
+#: auto-tuned dispatch: ``"auto:<class>"`` resolves through the plan DB
+AUTO_PREFIX = "auto:"
+AUTO_CLASSES = ("sort", "scan", "spmv")
+TUNER_SUITE_NAME = "tuner"
+
+#: tighter caps for auto requests — resolving a cold plan simulates several
+#: candidate configurations, so admitted sizes stay tuning-affordable
+AUTO_SIZE_LIMITS = {
+    "sort": (16, 1024),
+    "scan": (16, 4096),
+    "spmv": (4, 256),
+}
+
+#: classes whose auto ``n`` must be a power of four (square regions)
+_AUTO_POWER_OF_FOUR = frozenset({"sort", "scan"})
+
+_TUNE_METRICS = ("energy", "max_depth", "edp")
+
+_ALLOWED_FIELDS = frozenset({"algo", "n", "seed", "profile", "metric"})
 
 _MAX_SEED = 2**32
 
@@ -77,6 +112,10 @@ class ServiceRequest:
     n: int
     seed: int = 0
     profile: bool = False
+    #: tuning objective; only meaningful (and only accepted) for auto requests
+    metric: str = "edp"
+    #: plan-selected ``tuner``-suite params, set by :meth:`resolve` (auto only)
+    resolved_params: tuple | None = None
 
     @classmethod
     def from_payload(cls, doc: Any) -> ServiceRequest:
@@ -91,16 +130,31 @@ class ServiceRequest:
                 unknown[0],
             )
         algo = doc.get("algo")
-        if not isinstance(algo, str) or algo not in ALGO_SUITES:
+        auto_class = None
+        if isinstance(algo, str) and algo.startswith(AUTO_PREFIX):
+            auto_class = algo[len(AUTO_PREFIX):]
+            if auto_class not in AUTO_CLASSES:
+                raise RequestError(
+                    f"unknown auto class {auto_class!r}; tunable: "
+                    + ", ".join(f"{AUTO_PREFIX}{c}" for c in AUTO_CLASSES),
+                    "algo",
+                )
+        elif not isinstance(algo, str) or algo not in ALGO_SUITES:
+            served = sorted(ALGO_SUITES) + [f"{AUTO_PREFIX}{c}" for c in AUTO_CLASSES]
             raise RequestError(
-                f"unknown algo {algo!r}; served: {', '.join(sorted(ALGO_SUITES))}",
+                f"unknown algo {algo!r}; served: {', '.join(served)}",
                 "algo",
             )
         n = _require_int(doc, "n", None)
-        lo, hi = SIZE_LIMITS[algo]
+        lo, hi = (AUTO_SIZE_LIMITS[auto_class] if auto_class else SIZE_LIMITS[algo])
         if not lo <= n <= hi:
             raise RequestError(f"n={n} out of range for {algo} (admitted: {lo}..{hi})", "n")
-        if algo in _POWER_OF_FOUR and not _is_power_of_four(n):
+        pow4 = (
+            auto_class in _AUTO_POWER_OF_FOUR
+            if auto_class
+            else algo in _POWER_OF_FOUR
+        )
+        if pow4 and not _is_power_of_four(n):
             raise RequestError(f"n={n} must be a power of 4 for {algo}", "n")
         seed = _require_int(doc, "seed", 0)
         if not 0 <= seed < _MAX_SEED:
@@ -108,13 +162,55 @@ class ServiceRequest:
         profile = doc.get("profile", False)
         if not isinstance(profile, bool):
             raise RequestError("field 'profile' must be a boolean", "profile")
-        return cls(algo=algo, n=n, seed=seed, profile=profile)
+        metric = doc.get("metric", "edp")
+        if "metric" in doc and auto_class is None:
+            raise RequestError(
+                "field 'metric' only applies to auto: requests", "metric"
+            )
+        if not isinstance(metric, str) or metric not in _TUNE_METRICS:
+            raise RequestError(
+                f"unknown metric {metric!r}; known: {', '.join(_TUNE_METRICS)}",
+                "metric",
+            )
+        if auto_class is not None and profile:
+            raise RequestError(
+                "profile runs are not supported for auto: requests", "profile"
+            )
+        return cls(algo=algo, n=n, seed=seed, profile=profile, metric=metric)
+
+    # -- auto dispatch ----------------------------------------------------
+    @property
+    def is_auto(self) -> bool:
+        return self.algo.startswith(AUTO_PREFIX)
+
+    @property
+    def algo_class(self) -> str:
+        """The tunable class of an auto request (``auto:sort`` -> ``sort``)."""
+        if not self.is_auto:
+            raise ValueError(f"{self.algo!r} is not an auto: request")
+        return self.algo[len(AUTO_PREFIX):]
+
+    def resolve(self, config_params: Mapping[str, Any]) -> ServiceRequest:
+        """Bind the plan-selected ``tuner``-suite params to this request."""
+        if not self.is_auto:
+            raise ValueError(f"{self.algo!r} is not an auto: request")
+        return dataclasses.replace(
+            self, resolved_params=tuple(sorted(config_params.items()))
+        )
 
     @property
     def suite_name(self) -> str:
+        if self.is_auto:
+            return TUNER_SUITE_NAME
         return ALGO_SUITES[self.algo]
 
     def params(self) -> dict:
+        if self.is_auto:
+            if self.resolved_params is None:
+                raise RuntimeError(
+                    f"auto request {self.algo} n={self.n} has no resolved plan yet"
+                )
+            return dict(self.resolved_params)
         # table1_sort sweeps the grid side, every other suite sweeps n
         if self.algo == "sort":
             return {"side": math.isqrt(self.n)}
@@ -134,11 +230,17 @@ class ServiceRequest:
         return point_key(self.point(), ver)
 
     def describe(self) -> dict:
-        return {
+        out = {
             "algo": self.algo,
             "n": self.n,
             "seed": self.seed,
             "profile": self.profile,
             "suite": self.suite_name,
-            "params": self.params(),
         }
+        if self.is_auto:
+            out["metric"] = self.metric
+            if self.resolved_params is not None:
+                out["params"] = self.params()
+        else:
+            out["params"] = self.params()
+        return out

@@ -2,7 +2,9 @@
 
 Endpoints (all JSON; see ``docs/SERVICE.md``):
 
-* ``POST /run``   — execute one validated simulation request
+* ``POST /run``   — execute one validated simulation request; ``"algo":
+  "auto:<class>"`` resolves the tuned variant through the plan database first
+* ``POST /plan``  — resolve a tuning plan without executing it
 * ``GET /healthz`` — liveness (reports draining state)
 * ``GET /metrics`` — counters, latency histograms, cache/batch efficiency
 * ``GET /algos``   — served algorithms and admitted size ranges
@@ -32,11 +34,22 @@ from dataclasses import dataclass
 from ..runner.cache import DEFAULT_CACHE_DIR, ResultCache
 from ..runner.cachekey import suite_code_version
 from ..runner.registry import load_suites
+from ..tuner.planner import ServicePlanner
+from ..tuner.tuner import TuneError
 from .batcher import Batcher
 from .cache import ServiceCache
 from .executor import ExecutionError, ExecutionTimeout, ServiceExecutor
 from .metrics import ServiceMetrics
-from .protocol import ALGO_SUITES, SIZE_LIMITS, RequestError, ServiceRequest
+from .protocol import (
+    ALGO_SUITES,
+    AUTO_CLASSES,
+    AUTO_PREFIX,
+    AUTO_SIZE_LIMITS,
+    SIZE_LIMITS,
+    TUNER_SUITE_NAME,
+    RequestError,
+    ServiceRequest,
+)
 
 __all__ = ["ServiceConfig", "SpatialService", "serve_main"]
 
@@ -79,6 +92,8 @@ class ServiceConfig:
     disk_cache: bool = True
     bench_dir: str = ""
     drain_timeout: float = 30.0
+    #: tuner plan database answering ``/plan`` and ``auto:`` dispatch
+    plan_db: str = "benchmarks/plans/plan_db.json"
 
 
 class SpatialService:
@@ -88,6 +103,8 @@ class SpatialService:
         self.config = config
         suites = load_suites(config.bench_dir or None)
         missing = [a for a, s in sorted(ALGO_SUITES.items()) if s not in suites]
+        if TUNER_SUITE_NAME not in suites:
+            missing.append("auto:*")
         if missing:
             raise RuntimeError(
                 f"registry is missing suites for algo(s): {', '.join(missing)}"
@@ -97,8 +114,16 @@ class SpatialService:
             algo: suite_code_version(suites[suite_name])
             for algo, suite_name in ALGO_SUITES.items()
         }
+        tuner_ver = suite_code_version(suites[TUNER_SUITE_NAME])
+        for cls_name in AUTO_CLASSES:
+            self.code_versions[f"{AUTO_PREFIX}{cls_name}"] = tuner_ver
         disk = ResultCache(config.cache_dir) if config.disk_cache else None
         self.cache = ServiceCache(maxsize=config.memory_cache, disk=disk)
+        self.planner = ServicePlanner(
+            bench_dir=config.bench_dir or None,
+            cache=disk,
+            db_path=config.plan_db or None,
+        )
         self.batcher = Batcher(window=config.batch_window)
         self.executor = ServiceExecutor(
             workers=config.workers,
@@ -150,13 +175,41 @@ class SpatialService:
         """Admitted requests not currently occupying an execution slot."""
         return max(0, self.metrics.inflight - self._executing)
 
+    async def _resolve_auto(self, request: ServiceRequest) -> tuple[ServiceRequest, dict]:
+        """Plan an ``auto:`` request; returns (resolved request, provenance)."""
+        try:
+            plan, source = await asyncio.to_thread(
+                self.planner.plan,
+                request.algo_class,
+                request.n,
+                request.metric,
+                request.seed,
+            )
+        except TuneError as exc:
+            raise ExecutionError(str(exc)) from exc
+        resolved = request.resolve(plan.best_config.params(request.n))
+        provenance = {
+            "config": dict(plan.best["config"]),
+            "label": plan.best["label"],
+            "metric": plan.metric,
+            "value": plan.best["value"],
+            "source": source,
+        }
+        return resolved, provenance
+
     async def _process(self, request: ServiceRequest) -> dict:
         """Cache lookup -> batcher -> executor; returns payload + provenance."""
+        plan_doc = None
+        if request.is_auto:
+            request, plan_doc = await self._resolve_auto(request)
         key = request.cache_key(self.code_versions[request.algo])
         payload, tier = self.cache.get(key)
         if tier is not None:
             self.metrics.cache_hit(tier)
-            return {"payload": payload, "cached": tier, "batched": False}
+            return {
+                "payload": payload, "cached": tier, "batched": False,
+                "plan": plan_doc, "request": request,
+            }
         self.metrics.cache_misses += 1
 
         async def _execute() -> dict:
@@ -179,7 +232,10 @@ class SpatialService:
                 self.metrics.batched_executions += 1
         else:
             self.metrics.coalesced_requests += 1
-        return {"payload": outcome.payload, "cached": False, "batched": outcome.batched}
+        return {
+            "payload": outcome.payload, "cached": False, "batched": outcome.batched,
+            "plan": plan_doc, "request": request,
+        }
 
     def _track(self, task: asyncio.Task) -> None:
         self._bg.add(task)
@@ -230,12 +286,14 @@ class SpatialService:
             out = await asyncio.wait_for(asyncio.shield(task), deadline)
             result = {
                 "ok": True,
-                **request.describe(),
+                **out.get("request", request).describe(),
                 "cached": out["cached"] or False,
                 "batched": out["batched"],
                 "wall_time_s": round(time.monotonic() - started, 6),
                 **out["payload"],
             }
+            if out.get("plan") is not None:
+                result["plan"] = out["plan"]
         except asyncio.TimeoutError:
             status = 504
             self.metrics.timeouts += 1
@@ -257,6 +315,59 @@ class SpatialService:
             self.metrics.request_finished(status, time.monotonic() - started)
         return status, result, []
 
+    async def _serve_plan(self, body: bytes) -> tuple[int, dict, list]:
+        """Resolve a tuning plan (memo/DB/tune) without executing anything."""
+        try:
+            doc = json.loads(body.decode("utf-8") or "null")
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            self.metrics.response_only(400)
+            return 400, {"ok": False, "error": f"invalid JSON body: {exc}"}, []
+        if isinstance(doc, dict) and "algo_class" in doc and "algo" not in doc:
+            doc = dict(doc)
+            doc["algo"] = f"{AUTO_PREFIX}{doc.pop('algo_class')}"
+        try:
+            request = ServiceRequest.from_payload(doc)
+            if not request.is_auto:
+                raise RequestError(
+                    f"/plan takes an auto: algo or algo_class, got {request.algo!r}",
+                    "algo",
+                )
+        except RequestError as exc:
+            self.metrics.response_only(400)
+            return 400, {"ok": False, "error": str(exc), "field": exc.field}, []
+        if self.draining:
+            self.metrics.response_only(503)
+            return 503, {"ok": False, "error": "server is draining"}, []
+        try:
+            plan, source = await asyncio.to_thread(
+                self.planner.plan,
+                request.algo_class,
+                request.n,
+                request.metric,
+                request.seed,
+            )
+        except TuneError as exc:
+            self.metrics.response_only(500)
+            return 500, {"ok": False, "error": str(exc)}, []
+        self.metrics.response_only(200)
+        return (
+            200,
+            {
+                "ok": True,
+                "algo_class": request.algo_class,
+                "n": request.n,
+                "metric": request.metric,
+                "seed": request.seed,
+                "plan": dict(plan.best),
+                "counts": dict(plan.counts),
+                "pareto": list(plan.pareto),
+                "source": source,
+                "code_version": plan.code_version,
+                "space_hash": plan.space_hash,
+            },
+            [],
+        )
+
     def metrics_doc(self) -> dict:
         return self.metrics.snapshot(
             queue_depth=self.queue_depth(),
@@ -269,6 +380,7 @@ class SpatialService:
                     "batch_window_s": self.config.batch_window,
                     "max_inflight": self.config.max_inflight,
                     "max_queue": self.config.max_queue,
+                    "planner": self.planner.stats(),
                 },
             },
         )
@@ -279,6 +391,11 @@ class SpatialService:
                 self.metrics.response_only(405)
                 return 405, {"ok": False, "error": "use POST /run"}, [("Allow", "POST")]
             return await self._serve_run(body)
+        if path == "/plan":
+            if method != "POST":
+                self.metrics.response_only(405)
+                return 405, {"ok": False, "error": "use POST /plan"}, [("Allow", "POST")]
+            return await self._serve_plan(body)
         if method != "GET":
             self.metrics.response_only(405)
             return 405, {"ok": False, "error": f"{method} not allowed here"}, [("Allow", "GET")]
@@ -287,18 +404,18 @@ class SpatialService:
         if path == "/metrics":
             return 200, self.metrics_doc(), []
         if path == "/algos":
-            return (
-                200,
-                {
-                    "algos": {
-                        algo: {"suite": suite_name, "n_range": list(SIZE_LIMITS[algo])}
-                        for algo, suite_name in sorted(ALGO_SUITES.items())
-                    },
-                },
-                [],
-            )
+            algos = {
+                algo: {"suite": suite_name, "n_range": list(SIZE_LIMITS[algo])}
+                for algo, suite_name in sorted(ALGO_SUITES.items())
+            }
+            for cls_name in AUTO_CLASSES:
+                algos[f"{AUTO_PREFIX}{cls_name}"] = {
+                    "suite": TUNER_SUITE_NAME,
+                    "n_range": list(AUTO_SIZE_LIMITS[cls_name]),
+                }
+            return 200, {"algos": algos}, []
         if path == "/":
-            return 200, {"endpoints": ["/run", "/healthz", "/metrics", "/algos"]}, []
+            return 200, {"endpoints": ["/run", "/plan", "/healthz", "/metrics", "/algos"]}, []
         self.metrics.response_only(404)
         return 404, {"ok": False, "error": f"no route for {path}"}, []
 
@@ -437,5 +554,6 @@ def serve_main(args) -> int:
         disk_cache=not args.no_disk_cache,
         bench_dir=args.bench_dir,
         drain_timeout=args.drain_timeout,
+        plan_db=getattr(args, "plan_db", "benchmarks/plans/plan_db.json"),
     )
     return asyncio.run(_amain(config))

@@ -1,0 +1,91 @@
+"""repro.tuner — pruned auto-tuning over (algorithm, layout, block factor).
+
+The tuner answers "which variant should run this request?" for the repo's
+primitive classes (sorting, scan, SpMV).  It enumerates the registered
+configurations (:mod:`~repro.tuner.space`), discards the ones whose
+admissible analytic lower bounds (:mod:`~repro.tuner.bounds`) cannot beat
+the incumbent, measures the survivors through the shared runner executor
+and content-addressed cache (:mod:`~repro.tuner.evaluate`), and records the
+winner — with the full search table and energy/depth Pareto front — in a
+persistent, staleness-checked :class:`~repro.tuner.plandb.PlanDB`.
+
+Three front doors:
+
+* ``repro tune`` — CLI sweep + table, ``--regen`` rewrites the checked-in DB;
+* :func:`plan_for` — library API, DB-first with tune-on-miss;
+* ``POST /plan`` on the service, which also powers ``"algo": "auto:sort"``
+  dispatch in ``POST /run``.
+
+See ``docs/TUNER.md`` for the pruning contract and the plan schema.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..runner.cache import DEFAULT_CACHE_DIR, ResultCache
+from .bounds import TUNE_METRICS, config_bounds, is_dominated, metric_value
+from .evaluate import TUNER_SUITE, Evaluator
+from .plandb import DEFAULT_PLAN_DB, PlanDB
+from .space import ALGO_CLASSES, SearchSpace, TuneConfig
+from .tuner import TuneError, TunePlan, TuneRequest, tune_one
+from .variants import Variant, register_variant, run_config, variants_for
+
+__all__ = [
+    "ALGO_CLASSES",
+    "TUNE_METRICS",
+    "TUNER_SUITE",
+    "DEFAULT_PLAN_DB",
+    "Evaluator",
+    "PlanDB",
+    "SearchSpace",
+    "TuneConfig",
+    "TuneError",
+    "TunePlan",
+    "TuneRequest",
+    "Variant",
+    "config_bounds",
+    "is_dominated",
+    "metric_value",
+    "plan_for",
+    "register_variant",
+    "run_config",
+    "tune_one",
+    "variants_for",
+]
+
+
+def plan_for(
+    algo_class: str,
+    n: int,
+    metric: str = "edp",
+    *,
+    seed: int = 0,
+    db_path: str | Path | None = None,
+    bench_dir: str | Path | None = None,
+    cache_dir: str | Path | None = DEFAULT_CACHE_DIR,
+    jobs: int = 0,
+    persist: bool = False,
+) -> TunePlan:
+    """Best plan for ``(algo_class, n, metric)``: DB hit if fresh, else tune.
+
+    A stored plan is honoured only when its ``code_version`` and
+    ``space_hash`` match the current tree; otherwise the request is re-tuned
+    (and written back when ``persist=True`` and a DB path is given).
+    """
+    request = TuneRequest(algo_class=algo_class, n=int(n), metric=metric, seed=seed)
+    cache = ResultCache(cache_dir) if cache_dir else None
+    evaluator = Evaluator(bench_dir, cache, jobs=jobs)
+    space = SearchSpace.for_request(request.algo_class, request.n)
+
+    db = PlanDB(db_path) if db_path else None
+    if db is not None:
+        hit = db.get(request, evaluator.code_version, space.hash())
+        if hit is not None:
+            return hit
+
+    plan = tune_one(request, evaluator)
+    if db is not None and persist:
+        db.put(plan)
+        db.save()
+    return plan

@@ -1,0 +1,184 @@
+"""`repro tune` — run the pruned auto-tuner and maintain the plan DB.
+
+Examples::
+
+    repro tune                               # sort, default sizes, EDP
+    repro tune --algo-class sort --algo-class scan --metric energy -n 64
+    repro tune --quick --brute-force         # CI: verify pruning == brute force
+    repro tune --quick --regen               # rewrite benchmarks/plans/plan_db.json
+
+Each requested ``(algo_class, n, metric)`` resolves DB-first: a stored plan
+whose ``code_version`` and ``space_hash`` match the current tree is served
+as-is (source ``db``); anything missing or stale is re-tuned (source
+``tuned``).  ``--regen`` forces re-tuning and persists the results.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from ..runner.cache import DEFAULT_CACHE_DIR, ResultCache
+from .bounds import TUNE_METRICS
+from .evaluate import Evaluator
+from .plandb import DEFAULT_PLAN_DB, PlanDB
+from .space import ALGO_CLASSES, SearchSpace
+from .tuner import TuneError, TuneRequest, tune_one
+
+__all__ = ["add_tune_parser"]
+
+#: default sweep sizes per class; ``--quick`` keeps CI at a handful of points
+DEFAULT_SIZES = {"sort": (16, 64, 256), "scan": (64, 256, 1024), "spmv": (16, 64)}
+QUICK_SIZES = {"sort": (64,), "scan": (64,), "spmv": (16,)}
+
+_COLUMNS = (
+    "class", "n", "metric", "best", "energy", "depth", "edp",
+    "space", "pruned", "eval", "source",
+)
+
+
+def _row(plan, source: str) -> dict:
+    m = plan.best["metrics"]
+    return {
+        "class": plan.algo_class,
+        "n": plan.n,
+        "metric": plan.metric,
+        "best": plan.best["label"],
+        "energy": m["energy"],
+        "depth": m["max_depth"],
+        "edp": m["edp"],
+        "space": plan.counts["total"],
+        "pruned": plan.counts["dominated"] + plan.counts["bound_pruned"],
+        "eval": plan.counts["evaluated"],
+        "source": source,
+    }
+
+
+def _print_table(rows: list[dict]) -> None:
+    widths = {
+        c: max(len(c), *(len(str(r[c])) for r in rows)) if rows else len(c)
+        for c in _COLUMNS
+    }
+    header = "  ".join(c.ljust(widths[c]) for c in _COLUMNS)
+    print(header)
+    print("-" * len(header))
+    for r in rows:
+        print("  ".join(str(r[c]).ljust(widths[c]) for c in _COLUMNS))
+
+
+def _cmd_tune(args) -> int:
+    classes = list(dict.fromkeys(args.algo_class)) or ["sort"]
+    sizes = QUICK_SIZES if args.quick else DEFAULT_SIZES
+
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    try:
+        evaluator = Evaluator(
+            args.bench_dir or None, cache, jobs=args.jobs, timeout=args.timeout
+        )
+    except (RuntimeError, FileNotFoundError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+
+    db = None if args.no_db else PlanDB(args.plan_db)
+    rows: list[dict] = []
+    plans: list = []
+    mismatches: list[str] = []
+    for algo_class in classes:
+        for n in (args.n or sizes[algo_class]):
+            request = TuneRequest(
+                algo_class=algo_class, n=int(n), metric=args.metric, seed=args.seed
+            )
+            space_hash = SearchSpace.for_request(algo_class, int(n)).hash()
+            plan, source = None, "tuned"
+            if db is not None and not args.regen:
+                plan = db.get(request, evaluator.code_version, space_hash)
+                if plan is not None:
+                    source = "db"
+            if plan is None:
+                try:
+                    plan = tune_one(request, evaluator)
+                except TuneError as e:
+                    print(f"error: {e}", file=sys.stderr)
+                    return 2
+                if db is not None:
+                    db.put(plan)
+            if args.brute_force:
+                brute = tune_one(request, evaluator, brute=True)
+                if plan.best != brute.best:
+                    mismatches.append(
+                        f"{request.key()}: pruned={plan.best['label']} "
+                        f"value={plan.best['value']} vs "
+                        f"brute={brute.best['label']} value={brute.best['value']}"
+                    )
+            plans.append(plan)
+            rows.append(_row(plan, source))
+
+    _print_table(rows)
+    evaluated = sum(r["eval"] for r in rows)
+    pruned = sum(r["pruned"] for r in rows)
+    total = sum(r["space"] for r in rows)
+    frac = pruned / total if total else 0.0
+    print(
+        f"\n{total} configuration(s): {pruned} pruned analytically ({frac:.0%}), "
+        f"{evaluated} simulated ({evaluator.executed} executed, "
+        f"{evaluator.cache_hits} cache hits)"
+    )
+
+    if db is not None and (args.regen or any(r["source"] == "tuned" for r in rows)):
+        db.save()
+        print(f"plan DB: {db.path} ({len(db)} plan(s))")
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump([p.as_dict() for p in plans], fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"plan table: {args.out}")
+    if args.brute_force:
+        if mismatches:
+            print("\nBRUTE-FORCE MISMATCH:", file=sys.stderr)
+            for line in mismatches:
+                print(f"  {line}", file=sys.stderr)
+            return 1
+        print(f"brute-force check: {len(plans)} plan(s) bit-identical")
+    return 0
+
+
+def add_tune_parser(sub) -> None:
+    sp = sub.add_parser(
+        "tune",
+        help="pruned auto-tuner over (variant, layout, block) configurations",
+    )
+    sp.add_argument(
+        "--algo-class",
+        action="append",
+        default=[],
+        choices=ALGO_CLASSES,
+        help="class to tune; repeatable (default: sort)",
+    )
+    sp.add_argument("--metric", default="edp", choices=TUNE_METRICS,
+                    help="objective to minimize (default: energy-depth product)")
+    sp.add_argument("-n", "--n", type=int, action="append", default=[],
+                    help="input size; repeatable (default: per-class sweep)")
+    sp.add_argument("--seed", type=int, default=0, help="workload seed")
+    sp.add_argument("--quick", action="store_true",
+                    help="one small size per class (CI grid)")
+    sp.add_argument("--jobs", type=int, default=0,
+                    help="parallel evaluation processes (0: in-process)")
+    sp.add_argument("--timeout", type=float, default=120.0,
+                    help="per-evaluation timeout with --jobs")
+    sp.add_argument("--brute-force", action="store_true",
+                    help="also evaluate every configuration and fail (exit 1) "
+                    "unless the pruned plan is bit-identical")
+    sp.add_argument("--plan-db", default=DEFAULT_PLAN_DB,
+                    help="persistent plan database path")
+    sp.add_argument("--no-db", action="store_true",
+                    help="ignore the plan database entirely")
+    sp.add_argument("--regen", action="store_true",
+                    help="re-tune everything and rewrite the plan database")
+    sp.add_argument("--out", default="",
+                    help="write the full plan table (all configs + bounds) as JSON")
+    sp.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                    help="content-addressed result cache shared with bench/serve")
+    sp.add_argument("--no-cache", action="store_true")
+    sp.add_argument("--bench-dir", default="",
+                    help="benchmarks directory (default: repo's)")
+    sp.set_defaults(func=_cmd_tune)

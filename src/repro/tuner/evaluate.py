@@ -1,0 +1,136 @@
+"""Configuration evaluation through the runner's executor and cache.
+
+The tuner never measures a configuration itself — every evaluation is a
+sweep point of the registered ``tuner`` suite (``benchmarks/bench_tuner.py``),
+keyed through :mod:`repro.runner.cachekey` exactly like ``repro bench run``
+and the serving layer.  Consequences:
+
+* parallel evaluation reuses :func:`repro.runner.executor.run_points`
+  (process isolation, timeouts, retries) with zero new machinery;
+* the content-addressed cache is shared — a config measured by the CLI
+  warms ``plan_for`` and the ``/plan`` endpoint, and vice versa;
+* PlanDB staleness falls out of ``suite_code_version``: any source change
+  re-keys every evaluation.
+
+The inline path exists for hosts that must not fork (the service's planner
+runs on event-loop threads) and for tiny grids where process spin-up would
+dominate; it produces byte-identical cache entries.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+import numpy as np
+
+from ..runner.cache import ResultCache
+from ..runner.cachekey import point_key, suite_code_version
+from ..runner.executor import RunConfig, run_points
+from ..runner.registry import Suite, load_suites
+from ..runner.result import PointResult
+from ..runner.spec import PointSpec
+from .space import TuneConfig
+
+__all__ = ["TUNER_SUITE", "Evaluator"]
+
+#: the registered suite every tuner evaluation runs through
+TUNER_SUITE = "tuner"
+
+
+class Evaluator:
+    """Measure configurations as ``tuner``-suite points, cache-first."""
+
+    def __init__(
+        self,
+        bench_dir: str | Path | None = None,
+        cache: ResultCache | None = None,
+        *,
+        jobs: int = 0,
+        timeout: float = 300.0,
+        log=None,
+    ) -> None:
+        self.bench_dir = str(bench_dir or "")
+        suites = load_suites(bench_dir)
+        try:
+            self.suite: Suite = suites[TUNER_SUITE]
+        except KeyError:
+            raise RuntimeError(
+                f"the benchmark registry has no {TUNER_SUITE!r} suite; "
+                "is benchmarks/bench_tuner.py present?"
+            ) from None
+        self.cache = cache
+        self.jobs = int(jobs)  # 0 => inline (in-process, no forking)
+        self.timeout = float(timeout)
+        self.log = log
+        self.code_version = suite_code_version(self.suite)
+        self.executed = 0
+        self.cache_hits = 0
+
+    def point_for(self, config: TuneConfig, n: int, seed: int) -> PointSpec:
+        return PointSpec(suite=TUNER_SUITE, params=config.params(n), seed=seed)
+
+    def evaluate(
+        self, configs: list[TuneConfig], n: int, seed: int
+    ) -> list[PointResult]:
+        """Measure ``configs`` at ``(n, seed)``; one PointResult per config."""
+        if not configs:
+            return []
+        points = [self.point_for(c, n, seed) for c in configs]
+        if self.jobs > 0:
+            return self._evaluate_parallel(points)
+        return [self._evaluate_inline(pt) for pt in points]
+
+    # -- parallel: the runner's process-per-point executor ---------------
+    def _evaluate_parallel(self, points: list[PointSpec]) -> list[PointResult]:
+        config = RunConfig(
+            jobs=self.jobs,
+            timeout=self.timeout,
+            use_cache=self.cache is not None,
+        )
+        before = self.cache.hits if self.cache is not None else 0
+        results = run_points(
+            self.suite,
+            points,
+            config,
+            cache=self.cache,
+            code_ver=self.code_version,
+            bench_dir=self.bench_dir,
+            log=self.log,
+        )
+        if self.cache is not None:
+            self.cache_hits += self.cache.hits - before
+        self.executed += sum(1 for r in results if not r.cached)
+        return results
+
+    # -- inline: same identity, no processes -----------------------------
+    def _evaluate_inline(self, pt: PointSpec) -> PointResult:
+        key = point_key(pt, self.code_version)
+        if self.cache is not None:
+            hit = self.cache.get(key)
+            if hit is not None:
+                self.cache_hits += 1
+                return hit
+        started = time.monotonic()
+        base = dict(params=dict(pt.params), seed=pt.seed, repeat=pt.repeat)
+        try:
+            payload = self.suite.fn(dict(pt.params), np.random.default_rng(pt.seed))
+        except Exception as exc:
+            return PointResult(
+                status="failed",
+                error=f"{type(exc).__name__}: {exc}",
+                wall_time_s=time.monotonic() - started,
+                **base,
+            )
+        self.executed += 1
+        result = PointResult(
+            status="ok",
+            wall_time_s=time.monotonic() - started,
+            metrics=payload["metrics"],
+            phases=payload.get("phases", []),
+            extra=payload.get("extra", {}),
+            **base,
+        )
+        if self.cache is not None:
+            self.cache.put(key, result)
+        return result

@@ -1,0 +1,100 @@
+"""Persistent plan database: a warm cache of tuning answers.
+
+The DB is a single JSON file mapping request keys
+(``sort/n=64/metric=edp/seed=0``) to full :class:`~repro.tuner.tuner.TunePlan`
+dicts.  It is **never authoritative**: every lookup re-checks the stored
+``code_version`` (hash of the repro sources plus the tuner bench file) and
+``space_hash`` (hash of the enumerated configuration space) against the
+caller's current values, and a mismatch reads as a miss.  A stale plan is
+therefore re-tuned, never silently served — the staleness test in
+``tests/test_tuner.py`` pins this down.
+
+The checked-in copy under ``benchmarks/plans/plan_db.json`` exists so the
+service and CLI start warm on an unchanged tree; CI regenerates it with
+``repro tune --regen`` and gates drift through the benchmark baseline
+compare, not by trusting the file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from .tuner import PLAN_SCHEMA_VERSION, TunePlan, TuneRequest
+
+__all__ = ["DEFAULT_PLAN_DB", "PlanDB"]
+
+#: where ``repro tune`` and the service look by default
+DEFAULT_PLAN_DB = "benchmarks/plans/plan_db.json"
+
+
+class PlanDB:
+    """JSON-backed store of tuned plans, keyed by request, checked for staleness."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.entries: dict[str, dict] = {}
+        self.load()
+
+    def load(self) -> None:
+        self.entries = {}
+        if not self.path.exists():
+            return
+        try:
+            raw = json.loads(self.path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return  # unreadable DB == empty DB; tuning rebuilds it
+        if not isinstance(raw, dict) or raw.get("schema_version") != PLAN_SCHEMA_VERSION:
+            return
+        entries = raw.get("entries")
+        if isinstance(entries, dict):
+            self.entries = {str(k): v for k, v in entries.items() if isinstance(v, dict)}
+
+    def get(
+        self, request: TuneRequest, code_version: str, space_hash: str
+    ) -> TunePlan | None:
+        """The stored plan for ``request``, or None when missing *or stale*."""
+        entry = self.entries.get(request.key())
+        if entry is None:
+            return None
+        if entry.get("code_version") != code_version:
+            return None
+        if entry.get("space_hash") != space_hash:
+            return None
+        try:
+            return TunePlan.from_dict(entry)
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def put(self, plan: TunePlan) -> None:
+        request = TuneRequest(
+            algo_class=plan.algo_class, n=plan.n, metric=plan.metric, seed=plan.seed
+        )
+        self.entries[request.key()] = plan.as_dict()
+
+    def save(self) -> None:
+        """Atomic write (tmp + rename) so readers never see a torn file."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "schema_version": PLAN_SCHEMA_VERSION,
+            "entries": {k: self.entries[k] for k in sorted(self.entries)},
+        }
+        fd, tmp = tempfile.mkstemp(
+            dir=str(self.path.parent), prefix=self.path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(payload, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            os.replace(tmp, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __len__(self) -> int:
+        return len(self.entries)

@@ -1,0 +1,102 @@
+"""Synchronous plan resolution for hosts that serve requests (the service).
+
+:class:`ServicePlanner` answers "which configuration runs this request?"
+with three tiers, cheapest first:
+
+1. an in-process memo (per planner instance, keyed like the DB);
+2. the persistent :class:`~repro.tuner.plandb.PlanDB`, honoured only when
+   its ``code_version`` and ``space_hash`` match the current tree;
+3. a live :func:`~repro.tuner.tuner.tune_one` run through an *inline*
+   evaluator — no forking, safe on event-loop worker threads — sharing the
+   service's content-addressed result cache, so candidate measurements warm
+   the same store ``POST /run`` executions hit.
+
+Freshly tuned plans are written back to the DB (best effort: an unwritable
+DB path degrades to memo-only).  All resolution is serialized under one
+lock — concurrent identical requests tune once.
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+
+from ..runner.cache import ResultCache
+from .evaluate import Evaluator
+from .plandb import PlanDB
+from .space import SearchSpace
+from .tuner import TunePlan, TuneRequest, tune_one
+
+__all__ = ["ServicePlanner"]
+
+
+class ServicePlanner:
+    """Memo -> PlanDB -> tune, under a lock; built lazily on first use."""
+
+    def __init__(
+        self,
+        *,
+        bench_dir: str | Path | None = None,
+        cache: ResultCache | None = None,
+        db_path: str | Path | None = None,
+    ) -> None:
+        self.bench_dir = bench_dir
+        self.cache = cache
+        self.db_path = db_path
+        self._lock = threading.Lock()
+        self._memo: dict[str, TunePlan] = {}
+        self._evaluator: Evaluator | None = None
+        self._db: PlanDB | None = None
+        self.tuned = 0
+        self.db_hits = 0
+        self.memo_hits = 0
+
+    def _materialize(self) -> Evaluator:
+        if self._evaluator is None:
+            self._evaluator = Evaluator(self.bench_dir, self.cache, jobs=0)
+            if self.db_path:
+                self._db = PlanDB(self.db_path)
+        return self._evaluator
+
+    @property
+    def code_version(self) -> str:
+        with self._lock:
+            return self._materialize().code_version
+
+    def plan(
+        self, algo_class: str, n: int, metric: str = "edp", seed: int = 0
+    ) -> tuple[TunePlan, str]:
+        """The best plan plus its provenance: ``memo`` | ``db`` | ``tuned``."""
+        request = TuneRequest(algo_class=algo_class, n=int(n), metric=metric, seed=seed)
+        key = request.key()
+        with self._lock:
+            evaluator = self._materialize()
+            hit = self._memo.get(key)
+            if hit is not None:
+                self.memo_hits += 1
+                return hit, "memo"
+            space_hash = SearchSpace.for_request(request.algo_class, request.n).hash()
+            if self._db is not None:
+                stored = self._db.get(request, evaluator.code_version, space_hash)
+                if stored is not None:
+                    self.db_hits += 1
+                    self._memo[key] = stored
+                    return stored, "db"
+            plan = tune_one(request, evaluator)
+            self.tuned += 1
+            self._memo[key] = plan
+            if self._db is not None:
+                self._db.put(plan)
+                try:
+                    self._db.save()
+                except OSError:
+                    pass  # read-only deployment: memo still holds the plan
+            return plan, "tuned"
+
+    def stats(self) -> dict:
+        return {
+            "memo_entries": len(self._memo),
+            "memo_hits": self.memo_hits,
+            "db_hits": self.db_hits,
+            "tuned": self.tuned,
+        }

@@ -1,0 +1,256 @@
+"""The pruned search: bounds first, simulation only for contenders.
+
+:func:`tune_one` runs one ``(algo_class, n, metric, seed)`` request:
+
+1. enumerate the :class:`~repro.tuner.space.SearchSpace` (native layouts
+   first);
+2. **dominance pruning** — drop every non-native-layout configuration: it
+   measures exactly its native sibling plus the charged relayout, so it can
+   never win (see :func:`repro.tuner.bounds.is_dominated`);
+3. **bound-vs-incumbent pruning** — order survivors by ascending lower
+   bound on the objective and evaluate in that order (chunked for parallel
+   evaluators); a configuration whose bound exceeds the best *measured*
+   value so far is discarded unevaluated.  Pruning uses strict ``>`` so a
+   bound that merely ties the incumbent still gets measured — that is what
+   makes the argmin *bit-identical* to brute force: any pruned config has
+   ``measured >= bound > incumbent >= final best``;
+4. the plan is the argmin over measured values with ties broken by
+   enumeration order (native layouts enumerate first, so a dominated
+   configuration can never steal a tie).
+
+``brute=True`` skips both pruning stages — the equivalence oracle the
+acceptance tests and the hypothesis suite check against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..runner.result import PointResult
+from .bounds import TUNE_METRICS, config_bounds, is_dominated, metric_value
+from .evaluate import Evaluator
+from .space import SearchSpace, TuneConfig
+
+__all__ = ["TuneError", "TuneRequest", "TunePlan", "tune_one"]
+
+PLAN_SCHEMA_VERSION = 1
+
+
+class TuneError(RuntimeError):
+    """No configuration could be measured for a request."""
+
+
+@dataclass(frozen=True)
+class TuneRequest:
+    """One tuning question: best variant for ``algo_class`` at ``n``."""
+
+    algo_class: str
+    n: int
+    metric: str = "edp"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.metric not in TUNE_METRICS:
+            raise ValueError(
+                f"unknown tuning metric {self.metric!r}; known: {', '.join(TUNE_METRICS)}"
+            )
+
+    def key(self) -> str:
+        return f"{self.algo_class}/n={self.n}/metric={self.metric}/seed={self.seed}"
+
+
+@dataclass
+class TunePlan:
+    """The answer: best configuration plus the full search record."""
+
+    algo_class: str
+    n: int
+    metric: str
+    seed: int
+    best: dict  # {"config", "metrics", "value"}
+    pareto: list = field(default_factory=list)
+    table: list = field(default_factory=list)
+    counts: dict = field(default_factory=dict)
+    space_hash: str = ""
+    code_version: str = ""
+
+    @property
+    def best_config(self) -> TuneConfig:
+        return TuneConfig.from_dict(self.best["config"])
+
+    def pruned_fraction(self) -> float:
+        total = self.counts.get("total", 0)
+        pruned = self.counts.get("dominated", 0) + self.counts.get("bound_pruned", 0)
+        return pruned / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "schema_version": PLAN_SCHEMA_VERSION,
+            "algo_class": self.algo_class,
+            "n": self.n,
+            "metric": self.metric,
+            "seed": self.seed,
+            "best": dict(self.best),
+            "pareto": list(self.pareto),
+            "table": list(self.table),
+            "counts": dict(self.counts),
+            "space_hash": self.space_hash,
+            "code_version": self.code_version,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "TunePlan":
+        return cls(
+            algo_class=str(d["algo_class"]),
+            n=int(d["n"]),
+            metric=str(d["metric"]),
+            seed=int(d.get("seed", 0)),
+            best=dict(d["best"]),
+            pareto=list(d.get("pareto", [])),
+            table=list(d.get("table", [])),
+            counts=dict(d.get("counts", {})),
+            space_hash=str(d.get("space_hash", "")),
+            code_version=str(d.get("code_version", "")),
+        )
+
+
+@dataclass
+class _Row:
+    index: int
+    config: TuneConfig
+    lb: dict
+    status: str = "pending"  # evaluated | pruned_dominated | pruned_bound | failed
+    metrics: dict | None = None
+    value: int | None = None
+    error: str | None = None
+
+    def as_table_row(self) -> dict:
+        return {
+            "config": self.config.as_dict(),
+            "label": self.config.label(),
+            "status": self.status,
+            "bounds": dict(self.lb),
+            "metrics": dict(self.metrics) if self.metrics else None,
+            "value": self.value,
+            "error": self.error,
+        }
+
+
+def _absorb(row: _Row, result: PointResult, metric: str) -> None:
+    if result.ok and result.metrics:
+        row.status = "evaluated"
+        row.metrics = dict(result.metrics)
+        row.metrics["edp"] = metric_value(result.metrics, "edp")
+        row.value = metric_value(result.metrics, metric)
+    else:
+        row.status = "failed"
+        row.error = result.error or "evaluation failed"
+
+
+def _pareto_front(rows: list[_Row]) -> list[dict]:
+    """Measured configs no other measured config beats on both objectives."""
+    measured = [r for r in rows if r.status == "evaluated"]
+    front = []
+    for r in measured:
+        e, d = r.metrics["energy"], r.metrics["max_depth"]
+        dominated = any(
+            (o.metrics["energy"] <= e and o.metrics["max_depth"] < d)
+            or (o.metrics["energy"] < e and o.metrics["max_depth"] <= d)
+            for o in measured
+        )
+        if not dominated:
+            front.append(r)
+    front.sort(key=lambda r: (r.metrics["energy"], r.metrics["max_depth"], r.index))
+    return [{"config": r.config.as_dict(), "metrics": dict(r.metrics)} for r in front]
+
+
+def tune_one(
+    request: TuneRequest,
+    evaluator: Evaluator,
+    *,
+    brute: bool = False,
+) -> TunePlan:
+    """Answer one request; ``brute=True`` measures every configuration."""
+    space = SearchSpace.for_request(request.algo_class, request.n)
+    rows = [
+        _Row(index=i, config=c, lb=config_bounds(c, request.n, request.seed))
+        for i, c in enumerate(space.configs)
+    ]
+
+    dominated = 0
+    candidates: list[_Row] = []
+    for row in rows:
+        if not brute and is_dominated(row.config):
+            row.status = "pruned_dominated"
+            dominated += 1
+        else:
+            candidates.append(row)
+
+    bound_pruned = 0
+    if brute:
+        results = evaluator.evaluate(
+            [r.config for r in candidates], request.n, request.seed
+        )
+        for row, result in zip(candidates, results):
+            _absorb(row, result, request.metric)
+    else:
+        # ascending bound order; stable, so enumeration order breaks LB ties
+        candidates.sort(key=lambda r: (r.lb[request.metric], r.index))
+        incumbent: int | None = None
+        chunk = max(1, evaluator.jobs)
+        cursor = 0
+        while cursor < len(candidates):
+            batch = []
+            while cursor < len(candidates) and len(batch) < chunk:
+                row = candidates[cursor]
+                cursor += 1
+                if incumbent is not None and row.lb[request.metric] > incumbent:
+                    row.status = "pruned_bound"
+                    bound_pruned += 1
+                else:
+                    batch.append(row)
+            if not batch:
+                continue
+            results = evaluator.evaluate(
+                [r.config for r in batch], request.n, request.seed
+            )
+            for row, result in zip(batch, results):
+                _absorb(row, result, request.metric)
+                if row.value is not None and (incumbent is None or row.value < incumbent):
+                    incumbent = row.value
+
+    measured = [r for r in rows if r.status == "evaluated"]
+    if not measured:
+        errors = "; ".join(
+            f"{r.config.label()}: {r.error}" for r in rows if r.status == "failed"
+        )
+        raise TuneError(
+            f"no configuration of {request.key()} could be measured"
+            + (f" ({errors})" if errors else "")
+        )
+    best = min(measured, key=lambda r: (r.value, r.index))
+
+    failed = sum(1 for r in rows if r.status == "failed")
+    return TunePlan(
+        algo_class=request.algo_class,
+        n=request.n,
+        metric=request.metric,
+        seed=request.seed,
+        best={
+            "config": best.config.as_dict(),
+            "label": best.config.label(),
+            "metrics": dict(best.metrics),
+            "value": best.value,
+        },
+        pareto=_pareto_front(rows),
+        table=[r.as_table_row() for r in rows],
+        counts={
+            "total": len(rows),
+            "dominated": dominated,
+            "bound_pruned": bound_pruned,
+            "evaluated": len(measured),
+            "failed": failed,
+        },
+        space_hash=space.hash(),
+        code_version=evaluator.code_version,
+    )

@@ -1,0 +1,385 @@
+"""Tunable algorithm variants and their execution adapters.
+
+Every variant is registered as a :class:`Variant`: which layouts its input
+may arrive in (native first), which block factors it accepts at a given
+``n``, and a runner that executes one :class:`~repro.tuner.space.TuneConfig`
+on a fresh machine and verifies the output host-side.
+
+**Layout adapter semantics.**  Placement is free in the spatial computer
+model, so "the input arrives in layout L" is modeled by placing the input
+at L's coordinates and then paying one charged ``machine.send`` (under a
+``relayout`` phase) to the variant's native layout.  The post-relayout run
+is then bit-identical to the native configuration — which is exactly what
+makes non-native layouts analytically dominated (see
+:mod:`repro.tuner.bounds`).
+
+To register a new tunable variant, append a :class:`Variant` entry for its
+algo class here (or call :func:`register_variant` from your own module) —
+the search space, pruner, CLI table, plan DB, and ``/plan`` endpoint all
+pick it up from this registry.  See ``docs/TUNER.md``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..machine import Region, SpatialMachine
+from ..machine.layout import rowmajor_layout, square_plus_l_layout, zorder_layout
+from ..runner.registry import point_from_machine
+
+__all__ = [
+    "SORT_LAYOUTS",
+    "SPMV_ITERS",
+    "Variant",
+    "VARIANTS",
+    "register_variant",
+    "variants_for",
+    "get_variant",
+    "layout_coords",
+    "sort_workload",
+    "run_config",
+    "run_config_point",
+]
+
+#: layouts a sorter's input may arrive in (native row-major first)
+SORT_LAYOUTS = ("rowmajor", "zorder", "square_l")
+
+#: multiplies per SpMV request — planned SpMV amortizes its plan over these
+SPMV_ITERS = 4
+
+
+def layout_coords(layout: str, region: Region, n: int) -> tuple[np.ndarray, np.ndarray]:
+    """Coordinates of the first ``n`` cells of ``region`` in ``layout``."""
+    if layout == "rowmajor":
+        return rowmajor_layout(region, n)
+    if layout == "zorder":
+        return zorder_layout(region, n)
+    if layout == "square_l":
+        # Fig. 3 shape: a corner square holding n/4 elements (side/2 on a
+        # power-of-two region) plus the mirrored-L fill for the rest.
+        if n < 4:
+            return rowmajor_layout(region, n)
+        n_square = n // 4
+        (sr, sc), (lr, lc) = square_plus_l_layout(region, n_square, n - n_square)
+        return np.concatenate([sr, lr]), np.concatenate([sc, lc])
+    raise ValueError(f"unknown layout {layout!r}; known: rowmajor, zorder, square_l")
+
+
+def relayout(machine: SpatialMachine, ta, region: Region, src: str, dst: str):
+    """One charged send moving ``ta`` from layout ``src`` to ``dst``."""
+    if src == dst:
+        return ta
+    rows, cols = layout_coords(dst, region, len(ta))
+    with machine.phase("relayout"):
+        return machine.send(ta, rows, cols)
+
+
+@dataclass(frozen=True)
+class Variant:
+    """One tunable algorithm variant."""
+
+    algo_class: str
+    name: str
+    #: the layout the implementation consumes (relayout target)
+    native_layout: str
+    #: layouts the input may arrive in, native first
+    layouts: tuple[str, ...]
+    #: ``run(machine, config, n, rng) -> verified output ndarray``
+    run: Callable[[SpatialMachine, "object", int, np.random.Generator], np.ndarray]
+    #: ``n -> valid block factors`` (``(None,)`` for unblocked variants)
+    blocks: Callable[[int], tuple] = field(default=lambda n: (None,))
+    note: str = ""
+
+    def tunable_layouts(self, n: int) -> tuple[str, ...]:
+        return self.layouts
+
+
+#: algo class -> variant name -> Variant (enumeration order = registration)
+VARIANTS: dict[str, dict[str, Variant]] = {}
+
+
+def register_variant(variant: Variant) -> Variant:
+    VARIANTS.setdefault(variant.algo_class, {})[variant.name] = variant
+    return variant
+
+
+def variants_for(algo_class: str) -> tuple[Variant, ...]:
+    return tuple(VARIANTS.get(algo_class, {}).values())
+
+
+def get_variant(algo_class: str, name: str) -> Variant:
+    try:
+        return VARIANTS[algo_class][name]
+    except KeyError:
+        known = ", ".join(VARIANTS.get(algo_class, {}))
+        raise ValueError(
+            f"unknown variant {name!r} for class {algo_class!r}; known: {known}"
+        ) from None
+
+
+# ---------------------------------------------------------------------------
+# sorters: all seven variants share the placement/relayout/verify driver
+# ---------------------------------------------------------------------------
+def sort_workload(n: int, rng: np.random.Generator) -> np.ndarray:
+    """The workload the sort tuner measures (uniform keys, seed-determined)."""
+    return rng.random(n)
+
+
+def _sort_region(n: int) -> Region:
+    side = math.isqrt(n)
+    if side * side != n or side & (side - 1):
+        raise ValueError(f"sort configs need n a power of 4, got {n}")
+    return Region(0, 0, side, side)
+
+
+def _run_sorter(sorter) -> Callable:
+    """Wrap a ``(machine, ta, region, x, rng) -> 1-D values`` sorter body."""
+
+    def run(machine: SpatialMachine, config, n: int, rng: np.random.Generator):
+        from ..core.sorting.sortutil import as_sort_payload
+
+        region = _sort_region(n)
+        x = sort_workload(n, rng)
+        rows, cols = layout_coords(config.layout, region, n)
+        ta = machine.place(as_sort_payload(x), rows, cols)
+        ta = relayout(machine, ta, region, config.layout, "rowmajor")
+        out = np.asarray(sorter(machine, ta, region, x, rng))
+        expect = np.sort(x)
+        if not np.array_equal(out, expect):
+            raise RuntimeError(f"{config.label()} returned an unsorted result")
+        return out
+
+    return run
+
+
+def _sort_mergesort(machine, ta, region, x, rng):
+    from ..core.sorting.mergesort2d import mergesort_2d
+
+    return mergesort_2d(machine, ta, region).payload[:, 0]
+
+
+def _sort_quicksort(machine, ta, region, x, rng):
+    # quicksort_2d consumes raw values (placement is free); the relayout
+    # send on ``ta`` is already charged, which is the cost being tuned
+    from ..core.sorting.quicksort2d import quicksort_2d
+
+    return np.asarray(quicksort_2d(machine, x, region, rng).payload)
+
+
+def _sort_bitonic(machine, ta, region, x, rng):
+    from ..core.sorting.bitonic import bitonic_sort
+
+    return bitonic_sort(machine, ta, region).payload[:, 0]
+
+
+def _sort_oddeven(machine, ta, region, x, rng):
+    from ..core.sorting.odd_even import odd_even_mergesort
+
+    return odd_even_mergesort(machine, ta, region).payload[:, 0]
+
+
+def _sort_shearsort(machine, ta, region, x, rng):
+    from ..core.sorting.mesh_sort import shearsort
+
+    return shearsort(machine, ta, region).payload[:, 0]
+
+
+def _sort_allpairs(machine, ta, region, x, rng):
+    from ..core.sorting.allpairs import allpairs_sort
+
+    return allpairs_sort(machine, ta, region).payload[:, 0]
+
+
+def _sort_merge2d(machine, ta, region, x, rng):
+    # one-level 2D merge: quadrant-sized base cases sorted by all-pairs
+    # rank, then a single round of the Fig. 3 merge recursion
+    from ..core.sorting.mergesort2d import mergesort_2d
+
+    n = len(x)
+    return mergesort_2d(machine, ta, region, base_case=max(4, n // 4)).payload[:, 0]
+
+
+for _name, _body, _note in (
+    ("mergesort", _sort_mergesort, "2D mergesort (energy-optimal, §V)"),
+    ("quicksort", _sort_quicksort, "selection quicksort (w.h.p. bounds)"),
+    ("bitonic", _sort_bitonic, "Batcher bitonic network"),
+    ("oddeven", _sort_oddeven, "Batcher odd-even merge network"),
+    ("shearsort", _sort_shearsort, "mesh shearsort baseline"),
+    ("allpairs", _sort_allpairs, "all-pairs rank sort"),
+    ("merge2d", _sort_merge2d, "one-level 2D merge over all-pairs leaves"),
+):
+    register_variant(
+        Variant(
+            algo_class="sort",
+            name=_name,
+            native_layout="rowmajor",
+            layouts=SORT_LAYOUTS,
+            run=_run_sorter(_body),
+            note=_note,
+        )
+    )
+
+
+# ---------------------------------------------------------------------------
+# scan: the Z-order tree scan (layout-tunable) vs host-blocked scans
+# ---------------------------------------------------------------------------
+def _run_scan_tree(machine, config, n, rng):
+    from ..core.scan import scan
+
+    region = _sort_region(n)
+    x = rng.random(n)
+    rows, cols = layout_coords(config.layout, region, n)
+    ta = machine.place(x, rows, cols)
+    ta = relayout(machine, ta, region, config.layout, "zorder")
+    res = scan(machine, ta, region)
+    out = np.asarray(res.inclusive.payload)
+    if not np.allclose(out, np.cumsum(x)):
+        raise RuntimeError(f"{config.label()} scan prefix mismatch")
+    return out
+
+
+def _run_scan_blocked(machine, config, n, rng):
+    from ..core.blocked import blocked_scan
+
+    x = rng.random(n)
+    out = np.asarray(blocked_scan(machine, x, block=int(config.block)).prefix)
+    if not np.allclose(out, np.cumsum(x)):
+        raise RuntimeError(f"{config.label()} blocked-scan prefix mismatch")
+    return out
+
+
+def _scan_blocks(n: int) -> tuple:
+    """Block factors with a power-of-4 number of blocks (blocked_scan's rule)."""
+    valid = []
+    for b in (4, 16, 64):
+        if b > n or n % b:
+            continue
+        nblocks = n // b
+        if nblocks > 0 and nblocks & (nblocks - 1) == 0 and nblocks.bit_length() % 2 == 1:
+            valid.append(b)
+    return tuple(valid) or ()
+
+
+register_variant(
+    Variant(
+        algo_class="scan",
+        name="tree",
+        native_layout="zorder",
+        layouts=("zorder", "rowmajor", "square_l"),
+        run=_run_scan_tree,
+        note="4-ary Z-order summation tree (§IV.C)",
+    )
+)
+register_variant(
+    Variant(
+        algo_class="scan",
+        name="blocked",
+        native_layout="host",
+        layouts=("host",),
+        run=_run_scan_blocked,
+        blocks=_scan_blocks,
+        note="b words per PE: free local prefix + spatial scan of block totals",
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# spmv: one-shot direct multiplies vs plan-once-apply-many
+# ---------------------------------------------------------------------------
+def _spmv_operands(n: int, rng: np.random.Generator):
+    from ..spmv import random_coo
+
+    A = random_coo(n, 4 * n, rng)
+    xs = rng.standard_normal((SPMV_ITERS, n))
+    return A, xs
+
+
+def _spmv_verify(config, A, x, y):
+    expect = np.zeros(A.n)
+    np.add.at(expect, A.rows, A.vals * x[A.cols])
+    if not np.allclose(np.asarray(y), expect):
+        raise RuntimeError(f"{config.label()} SpMV result mismatch")
+
+
+def _run_spmv_direct(machine, config, n, rng):
+    from ..spmv import spmv_spatial
+
+    A, xs = _spmv_operands(n, rng)
+    y = None
+    for x in xs:
+        y = spmv_spatial(machine, A, x)
+    _spmv_verify(config, A, xs[-1], y.payload)
+    return np.asarray(y.payload)
+
+
+def _run_spmv_planned(machine, config, n, rng):
+    from ..spmv import plan_spmv
+
+    A, xs = _spmv_operands(n, rng)
+    plan = plan_spmv(machine, A)
+    y = None
+    for x in xs:
+        y = plan.apply(x)
+    _spmv_verify(config, A, xs[-1], y.payload)
+    return np.asarray(y.payload)
+
+
+register_variant(
+    Variant(
+        algo_class="spmv",
+        name="direct",
+        native_layout="coo",
+        layouts=("coo",),
+        run=_run_spmv_direct,
+        note=f"{SPMV_ITERS} independent full multiplies",
+    )
+)
+register_variant(
+    Variant(
+        algo_class="spmv",
+        name="planned",
+        native_layout="coo",
+        layouts=("coo",),
+        run=_run_spmv_planned,
+        note=f"plan once, {SPMV_ITERS} applies along precomputed lanes",
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# execution entry points
+# ---------------------------------------------------------------------------
+def run_config(config, n: int, seed: int = 0) -> SpatialMachine:
+    """Execute one configuration on a fresh machine; return the machine."""
+    variant = get_variant(config.algo_class, config.variant)
+    machine = SpatialMachine()
+    rng = np.random.default_rng(seed)
+    variant.run(machine, config, n, rng)
+    return machine
+
+
+def run_config_point(params: dict, rng) -> dict:
+    """The ``tuner`` suite point function (see ``benchmarks/bench_tuner.py``).
+
+    ``rng`` is the registry-provided seeded generator; the run consumes it
+    directly so the point stays deterministic in ``(params, seed)``.
+    """
+    from .space import TuneConfig
+
+    params = dict(params)
+    n = int(params.pop("n"))
+    config = TuneConfig.from_params(params)
+    variant = get_variant(config.algo_class, config.variant)
+    machine = SpatialMachine()
+    variant.run(machine, config, n, rng)
+    return point_from_machine(
+        machine,
+        config=config.as_dict(),
+        config_label=config.label(),
+        n=n,
+        edp=int(machine.stats.energy) * int(machine.stats.max_depth),
+    )

@@ -1,0 +1,90 @@
+"""Property-based tests of the tuner's pruning contract (hypothesis).
+
+The contract under test, on exhaustively-evaluated small grids (n <= 64):
+
+* **admissibility** — for every configuration and every metric, the analytic
+  lower bound never exceeds the measured value;
+* **argmin preservation** — the pruned search returns the *same* best plan
+  (configuration and value, bit-identical) as brute-force enumeration, for
+  every metric in {energy, max_depth, edp} and across workload seeds.
+
+Evaluations are memoized through a shared content-addressed cache, so
+hypothesis re-drawing the same (class, n, seed) costs nothing after the
+first example.
+"""
+
+import tempfile
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runner.cache import ResultCache
+from repro.tuner import Evaluator, TuneRequest, tune_one
+from repro.tuner.bounds import TUNE_METRICS, config_bounds, metric_value
+from repro.tuner.space import TuneConfig
+
+_EVALUATOR = None
+
+
+def _evaluator() -> Evaluator:
+    global _EVALUATOR
+    if _EVALUATOR is None:
+        _EVALUATOR = Evaluator(cache=ResultCache(tempfile.mkdtemp(prefix="tuner_prop_")))
+    return _EVALUATOR
+
+
+#: (algo_class, n, seed) triples cheap enough to brute-force exhaustively;
+#: n=64 sort simulates every sorter, so only seed 0 is drawn there
+_CASES = (
+    [("sort", 4, s) for s in range(4)]
+    + [("sort", 16, s) for s in range(4)]
+    + [("sort", 64, 0)]
+    + [("scan", 16, 0), ("scan", 64, 0), ("scan", 64, 3)]
+    + [("spmv", 4, 0), ("spmv", 16, 0), ("spmv", 16, 2)]
+)
+
+
+@given(case=st.sampled_from(_CASES), metric=st.sampled_from(TUNE_METRICS))
+@settings(max_examples=40, deadline=None)
+def test_pruned_search_matches_brute_force_argmin(case, metric):
+    algo_class, n, seed = case
+    request = TuneRequest(algo_class, n, metric, seed=seed)
+    evaluator = _evaluator()
+    pruned = tune_one(request, evaluator)
+    brute = tune_one(request, evaluator, brute=True)
+    assert pruned.best == brute.best, (
+        f"{request.key()}: pruned chose {pruned.best['label']} "
+        f"(value {pruned.best['value']}), brute force chose "
+        f"{brute.best['label']} (value {brute.best['value']})"
+    )
+    # sanity on the search record: everything pruned or measured, none lost
+    counts = pruned.counts
+    assert (
+        counts["dominated"] + counts["bound_pruned"] + counts["evaluated"] + counts["failed"]
+        == counts["total"]
+    )
+
+
+@given(case=st.sampled_from(_CASES))
+@settings(max_examples=25, deadline=None)
+def test_bounds_are_admissible_for_every_configuration(case):
+    algo_class, n, seed = case
+    evaluator = _evaluator()
+    brute = tune_one(TuneRequest(algo_class, n, seed=seed), evaluator, brute=True)
+    for row in brute.table:
+        assert row["status"] == "evaluated", row
+        config = TuneConfig.from_dict(row["config"])
+        lb = config_bounds(config, n, seed)
+        for metric in TUNE_METRICS:
+            measured = metric_value(row["metrics"], metric)
+            assert lb[metric] <= measured, (
+                f"{config.label()} at n={n} seed={seed}: bound "
+                f"{lb[metric]} > measured {measured} on {metric}"
+            )
+
+
+@pytest.mark.parametrize("metric", TUNE_METRICS)
+def test_pruning_clears_half_the_sort_space_at_n64(metric):
+    plan = tune_one(TuneRequest("sort", 64, metric), _evaluator())
+    assert plan.pruned_fraction() >= 0.5, plan.counts
