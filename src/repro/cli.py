@@ -415,6 +415,18 @@ def _cmd_serve(args) -> int:
     return serve_main(args)
 
 
+def _cmd_fleet(args) -> int:
+    from .service.fleet import fleet_main
+
+    return fleet_main(args)
+
+
+def _cmd_fleet_chaos(args) -> int:
+    from .service.fleetchaos import fleet_chaos_main
+
+    return fleet_chaos_main(args)
+
+
 def _cmd_trace(args) -> int:
     m, label = _run_algo(args.algo, args.n, args.seed, args.workload, trace=True)
     if args.out:
@@ -585,7 +597,55 @@ def build_parser() -> argparse.ArgumentParser:
                     help="seconds to wait for in-flight requests on SIGTERM")
     sp.add_argument("--plan-db", default="benchmarks/plans/plan_db.json",
                     help="tuner plan database answering /plan and auto: dispatch")
+    sp.add_argument("--shard-id", default="",
+                    help="fleet identity (e.g. s0r1) echoed on /healthz, /readyz "
+                    "and /metrics")
     sp.set_defaults(func=_cmd_serve)
+
+    sp = sub.add_parser(
+        "fleet",
+        help="consistent-hash gateway over replicated `repro serve` shards",
+    )
+    sp.add_argument("--host", default="127.0.0.1")
+    sp.add_argument("--port", type=int, default=8640,
+                    help="gateway listen port (0 picks a free one)")
+    sp.add_argument("--shards", type=int, default=2)
+    sp.add_argument("--replicas", type=int, default=2,
+                    help="replicas per shard when spawning (ignored with --backends)")
+    sp.add_argument("--backends", default="",
+                    help="comma-separated host:port list of running shard servers, "
+                    "dealt round-robin into --shards groups; empty = spawn "
+                    "shards x replicas `repro serve` children")
+    sp.add_argument("--workers", type=int, default=1,
+                    help="worker processes per spawned shard replica")
+    sp.add_argument("--max-inflight", type=int, default=256)
+    sp.add_argument("--request-timeout", type=float, default=30.0,
+                    help="overall per-request deadline across failover attempts")
+    sp.add_argument("--attempt-timeout", type=float, default=5.0,
+                    help="per-attempt budget before failing over to the next replica")
+    sp.add_argument("--hedge-after", type=float, default=0.75,
+                    help="seconds before a slow first attempt may be hedged")
+    sp.add_argument("--hedge-rate", type=float, default=0.05,
+                    help="maximum fraction of requests that start a hedge (0 disables)")
+    sp.add_argument("--probe-interval", type=float, default=0.5,
+                    help="health-probe loop interval per replica")
+    sp.add_argument("--seed", type=int, default=0,
+                    help="seed for breaker jitter, probe jitter")
+    sp.add_argument("--cache-dir", default=".bench_cache",
+                    help="shared content-addressed cache (stale serving reads it)")
+    sp.add_argument("--no-disk-cache", action="store_true",
+                    help="disable stale-result serving from the disk cache")
+    sp.add_argument("--bench-dir", default="")
+    sp.set_defaults(func=_cmd_fleet)
+
+    sp = sub.add_parser(
+        "fleet-chaos",
+        help="shard-kill chaos gates: clean vs faulted fleet must match exactly",
+    )
+    from .service.fleetchaos import add_fleet_chaos_args
+
+    add_fleet_chaos_args(sp)
+    sp.set_defaults(func=_cmd_fleet_chaos)
 
     add_bench_parser(sub)
     add_tune_parser(sub)

@@ -28,6 +28,7 @@ an event loop.
 from __future__ import annotations
 
 import threading
+import time
 
 from .executor import mp_context
 from .worker import pool_worker_main
@@ -62,6 +63,20 @@ class _Worker:
         self.proc.start()
         child_conn.close()
         self.conn = parent_conn
+        #: True once the child's ("ready", pid) handshake has been consumed
+        self.warm = False
+
+    def consume_ready(self, timeout: float = 0.0) -> bool:
+        """Consume the warm-up handshake if it has arrived; True when warm."""
+        if self.warm:
+            return True
+        try:
+            if self.conn.poll(timeout):
+                self.conn.recv()  # the first message is always ("ready", pid)
+                self.warm = True
+        except (EOFError, OSError):
+            return False
+        return self.warm
 
     def stop(self, graceful: bool = True) -> None:
         if graceful:
@@ -121,10 +136,17 @@ class WorkerPool:
         try:
             try:
                 worker.conn.send((suite_name, dict(params), int(seed), bool(profile)))
-                if not worker.conn.poll(timeout):
-                    replace = True
-                    raise PoolTimeout(f"no result within {timeout:.1f}s")
-                kind, payload = worker.conn.recv()
+                deadline = time.monotonic() + timeout
+                while True:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not worker.conn.poll(remaining):
+                        replace = True
+                        raise PoolTimeout(f"no result within {timeout:.1f}s")
+                    kind, payload = worker.conn.recv()
+                    if kind == "ready":  # startup handshake racing the task
+                        worker.warm = True
+                        continue
+                    break
             except PoolTimeout:
                 raise
             except (EOFError, OSError, BrokenPipeError) as exc:
@@ -142,6 +164,22 @@ class WorkerPool:
         if kind == "error":
             raise PoolTaskError(str(payload))
         return payload
+
+    def ready(self) -> bool:
+        """True once every worker has completed its warm-up handshake.
+
+        Workers currently executing a task count as warm (they answered or
+        are answering); idle workers are polled without blocking.  A fresh
+        pool therefore reports not-ready until each forked/spawned child has
+        entered its task loop — the signal ``/readyz`` needs.
+        """
+        with self._lock:
+            if self._closed:
+                return False
+            idle = list(self._idle)
+            busy = self.size - len(idle)
+            warm = sum(1 for w in idle if w.consume_ready())
+        return warm + busy == self.size
 
     def close(self) -> None:
         """Stop every worker; in-flight tasks should be drained first."""

@@ -97,7 +97,18 @@ def pool_worker_main(conn, bench_dir: str) -> None:
     The protocol is one ``(suite_name, params, seed, profile)`` tuple per
     task, answered with ``("ok", payload)`` or ``("error", traceback)``.
     ``None`` — or a closed pipe — ends the loop.
+
+    The first message the child ever sends is a ``("ready", pid)`` warm-up
+    handshake: the parent pool uses it for readiness reporting (a freshly
+    spawned worker that has not yet entered its task loop is "warming"),
+    and skips it transparently when it arrives interleaved with a result.
     """
+    import os
+
+    try:
+        conn.send(("ready", os.getpid()))
+    except (OSError, ValueError):  # pragma: no cover - parent already gone
+        return
     while True:
         try:
             task = conn.recv()

@@ -5,6 +5,9 @@ minimal HTTP/1.1 interface (stdlib asyncio only, no new dependencies):
 
 * :mod:`repro.service.protocol` — request validation against the runner
   registry (``{"algo": "scan", "n": 4096, "seed": 7, "profile": false}``);
+* :mod:`repro.service.httpio` — the shared byte-level HTTP/1.1 plumbing
+  (request parsing, JSON responses, client calls) used by the server, the
+  fleet gateway, and the load generator;
 * :mod:`repro.service.executor` — execution backends: a persistent
   :class:`~repro.runner.pool.WorkerPool` of forked workers, or inline
   threads for contexts that cannot fork (benchmarks inside sweep workers);
@@ -16,25 +19,51 @@ minimal HTTP/1.1 interface (stdlib asyncio only, no new dependencies):
 * :mod:`repro.service.metrics` — request counters, latency histograms,
   cache/batch efficiency, queue depth (served as JSON at ``/metrics``);
 * :mod:`repro.service.server` — the HTTP server: admission control
-  (429 + Retry-After), per-request timeouts (504), graceful SIGTERM drain;
-* :mod:`repro.service.loadgen` — a closed-loop load generator used by the
-  tests, the CI ``service-smoke`` job, and ``benchmarks/bench_service.py``.
+  (429 + Retry-After), liveness/readiness split (``/healthz`` vs
+  ``/readyz``), per-request timeouts (504), graceful SIGTERM drain;
+* :mod:`repro.service.loadgen` — a closed-loop load generator (Retry-After
+  honoring backoff, multi-target fan-out) used by the tests, the CI smoke
+  jobs, and ``benchmarks/bench_service.py``.
+
+``repro fleet`` layers a resilient sharded front tier on top:
+
+* :mod:`repro.service.fleet` — the consistent-hash gateway: key-affine
+  routing over ``shards x replicas`` backends, deadline-budgeted failover,
+  bounded hedged retries, stale-cache degradation;
+* :mod:`repro.service.health` — background liveness/readiness probing with
+  debounced state flips and periodic backend metrics scrapes;
+* :mod:`repro.service.breaker` — per-replica circuit breakers with seeded
+  jitter and an assertable transition log;
+* :mod:`repro.service.fleetchaos` — ``repro fleet-chaos``: kills, hangs and
+  restarts replicas mid-load and gates on exact clean-run equivalence.
 
 See ``docs/SERVICE.md`` for endpoint and semantics documentation.
 """
 
 from .batcher import Batcher
+from .breaker import BreakerConfig, CircuitBreaker
 from .cache import ServiceCache
-from .executor import ExecutionError, ExecutionTimeout, ServiceExecutor
-from .metrics import LatencyHistogram, ServiceMetrics
+from .executor import ExecutionCrash, ExecutionError, ExecutionTimeout, ServiceExecutor
+from .fleet import FleetConfig, FleetGateway, HashRing, fleet_main
+from .health import BackendState, HealthMonitor
+from .metrics import FleetMetrics, LatencyHistogram, ServiceMetrics
 from .protocol import ALGO_SUITES, RequestError, ServiceRequest
 from .server import ServiceConfig, SpatialService, serve_main
 
 __all__ = [
     "ALGO_SUITES",
+    "BackendState",
     "Batcher",
+    "BreakerConfig",
+    "CircuitBreaker",
+    "ExecutionCrash",
     "ExecutionError",
     "ExecutionTimeout",
+    "FleetConfig",
+    "FleetGateway",
+    "FleetMetrics",
+    "HashRing",
+    "HealthMonitor",
     "LatencyHistogram",
     "RequestError",
     "ServiceCache",
@@ -43,5 +72,6 @@ __all__ = [
     "ServiceMetrics",
     "ServiceRequest",
     "SpatialService",
+    "fleet_main",
     "serve_main",
 ]

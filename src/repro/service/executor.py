@@ -20,7 +20,7 @@ from ..runner.pool import PoolCrash, PoolError, PoolTaskError, PoolTimeout, Work
 from ..runner.worker import run_suite_point
 from .protocol import RequestError, ServiceRequest
 
-__all__ = ["ExecutionError", "ExecutionTimeout", "ServiceExecutor"]
+__all__ = ["ExecutionCrash", "ExecutionError", "ExecutionTimeout", "ServiceExecutor"]
 
 
 class ExecutionError(RuntimeError):
@@ -35,6 +35,17 @@ class ExecutionError(RuntimeError):
 
 class ExecutionTimeout(ExecutionError):
     """The simulation exceeded the execution deadline."""
+
+    status = 504
+
+
+class ExecutionCrash(ExecutionError):
+    """The executing worker died mid-task (segfault, OOM, kill).
+
+    Maps to 504 like a timeout — the request did not complete and is safe
+    to retry (a gateway fails it over to another replica); the pool has
+    already replaced the dead worker.
+    """
 
     status = 504
 
@@ -88,7 +99,9 @@ class ServiceExecutor:
         except PoolTaskError as exc:
             tail = str(exc).strip().splitlines()[-1] if str(exc).strip() else "?"
             raise ExecutionError(f"simulation failed: {tail}", detail=str(exc)) from exc
-        except (PoolCrash, PoolError) as exc:
+        except PoolCrash as exc:
+            raise ExecutionCrash(str(exc)) from exc
+        except PoolError as exc:
             raise ExecutionError(str(exc)) from exc
 
     async def _run_inline(self, request: ServiceRequest) -> dict:
@@ -109,6 +122,12 @@ class ServiceExecutor:
                 )
             except Exception as exc:
                 raise ExecutionError(f"simulation failed: {exc}") from exc
+
+    def ready(self) -> bool:
+        """True once the backend can serve without a warm-up stall."""
+        if self._pool is None:
+            return True
+        return self._pool.ready()
 
     def close(self) -> None:
         if self._pool is not None:

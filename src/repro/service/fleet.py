@@ -1,0 +1,858 @@
+"""Resilient sharded front tier: the ``repro fleet`` gateway.
+
+The gateway sits in front of ``shards x replicas`` independent ``repro
+serve`` processes and routes each request by **consistent hashing** of its
+routing key (algo, n, seed, profile — the identity that also drives the
+content-addressed cache).  Identical keys always land on the same shard, so
+the shard's micro-batcher co-batches them; different keys spread across the
+ring.  Within a shard, a key has a stable preferred replica (affinity keeps
+co-batching effective) with the other replicas as failover targets.
+
+Resilience is layered, in order of engagement:
+
+1. **health loop** (:mod:`repro.service.health`) — background liveness +
+   readiness probes per replica; routing prefers ready replicas.
+2. **circuit breakers** (:mod:`repro.service.breaker`) — one per replica;
+   consecutive failures open the breaker and traffic skips the replica
+   until a half-open probe succeeds.
+3. **deadline-budgeted failover** — a failed or timed-out attempt moves to
+   the next replica while the request's overall deadline allows.
+4. **hedged requests** — when the first attempt is slow, a bounded fraction
+   of requests start a second attempt on another replica; the first answer
+   wins and the loser is cancelled.
+5. **graceful degradation** — when no replica can answer, the gateway
+   serves a stale result from the shared content-addressed disk cache
+   (marked ``"degraded": true``) or sheds the request with 503 +
+   Retry-After.
+
+Everything timing-related is seeded (breaker jitter, probe jitter) so the
+fleet chaos harness (:mod:`repro.service.fleetchaos`) can assert exact
+invariants across runs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import bisect
+import contextlib
+import hashlib
+import json
+import math
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+from dataclasses import dataclass
+
+from ..runner.cache import DEFAULT_CACHE_DIR, ResultCache
+from ..runner.cachekey import suite_code_version
+from ..runner.registry import load_suites
+from .breaker import BreakerConfig, CircuitBreaker
+from .cache import ServiceCache
+from .health import BackendState, HealthMonitor
+from .httpio import BadRequest, http_call, read_http_request, write_json_response
+from .metrics import FleetMetrics
+from .protocol import (
+    ALGO_SUITES,
+    AUTO_CLASSES,
+    AUTO_PREFIX,
+    AUTO_SIZE_LIMITS,
+    SIZE_LIMITS,
+    TUNER_SUITE_NAME,
+    RequestError,
+    ServiceRequest,
+)
+
+__all__ = [
+    "FleetConfig",
+    "FleetGateway",
+    "HashRing",
+    "ShardProcess",
+    "fleet_main",
+    "group_backends",
+    "parse_backend_list",
+    "routing_key",
+    "serve_argv",
+]
+
+
+def _stable_hash(data: str) -> int:
+    """First 8 bytes of sha256 as an int — stable across processes/runs."""
+    return int.from_bytes(hashlib.sha256(data.encode("utf-8")).digest()[:8], "big")
+
+
+def routing_key(request: ServiceRequest) -> str:
+    """The request identity the ring hashes on.
+
+    Matches the cache-key inputs (minus code version, which is uniform
+    across the fleet) so identical requests co-locate and co-batch."""
+    key = f"{request.algo}|{request.n}|{request.seed}|{int(request.profile)}"
+    if request.is_auto:
+        key += f"|{request.metric}"
+    return key
+
+
+class HashRing:
+    """Consistent-hash ring mapping keys onto shard indices.
+
+    ``vnodes`` virtual nodes per shard smooth the key distribution; the
+    ring is a pure function of (shards, vnodes), so every gateway instance
+    agrees on placement without coordination."""
+
+    def __init__(self, shards: int, vnodes: int = 64) -> None:
+        self.shards = max(1, int(shards))
+        self.vnodes = max(1, int(vnodes))
+        points = sorted(
+            (_stable_hash(f"shard-{s}-vnode-{v}"), s)
+            for s in range(self.shards)
+            for v in range(self.vnodes)
+        )
+        self._points = points
+        self._hashes = [h for h, _ in points]
+
+    def shard_for(self, key: str) -> int:
+        i = bisect.bisect_right(self._hashes, _stable_hash(key)) % len(self._points)
+        return self._points[i][1]
+
+    def spread(self, keys) -> list[int]:
+        """Per-shard key counts — handy for balance tests."""
+        counts = [0] * self.shards
+        for key in keys:
+            counts[self.shard_for(key)] += 1
+        return counts
+
+
+@dataclass
+class FleetConfig:
+    """Knobs for one gateway instance."""
+
+    host: str = "127.0.0.1"
+    port: int = 8640
+    vnodes: int = 64
+    max_inflight: int = 256
+    #: overall per-request deadline across all failover attempts
+    request_timeout: float = 30.0
+    #: per-attempt budget (connect + response) before failing over
+    attempt_timeout: float = 5.0
+    #: seconds a first attempt may be quiet before a hedge is considered
+    hedge_after: float = 0.75
+    #: hedges_started stays <= hedge_rate * requests_total (0 disables)
+    hedge_rate: float = 0.05
+    probe_interval: float = 0.5
+    probe_timeout: float = 2.0
+    fall: int = 2
+    rise: int = 1
+    failure_threshold: int = 3
+    cooldown: float = 1.0
+    max_cooldown: float = 15.0
+    seed: int = 0
+    cache_dir: str = DEFAULT_CACHE_DIR
+    disk_cache: bool = True
+    bench_dir: str = ""
+    drain_timeout: float = 30.0
+
+
+class _AttemptFailed(Exception):
+    """One backend attempt failed; carries the reason for accounting."""
+
+    def __init__(self, backend: BackendState, reason: str, retry_after: str = "") -> None:
+        super().__init__(f"{backend.name}: {reason}")
+        self.backend = backend
+        self.reason = reason
+        self.retry_after = retry_after
+
+
+class FleetGateway:
+    """The front-tier HTTP server: route, probe, break, hedge, degrade."""
+
+    def __init__(self, config: FleetConfig, backends: list[list[tuple[str, int]]]) -> None:
+        if not backends or any(not group for group in backends):
+            raise ValueError("every shard needs at least one replica")
+        self.config = config
+        self.shards: list[list[BackendState]] = []
+        flat: list[BackendState] = []
+        self.breakers: dict[str, CircuitBreaker] = {}
+        bcfg = BreakerConfig(
+            failure_threshold=config.failure_threshold,
+            cooldown_s=config.cooldown,
+            max_cooldown_s=config.max_cooldown,
+        )
+        for s, group in enumerate(backends):
+            states = []
+            for r, (host, port) in enumerate(group):
+                st = BackendState(
+                    name=f"s{s}r{r}", host=host, port=int(port), shard=s, replica=r
+                )
+                states.append(st)
+                flat.append(st)
+                self.breakers[st.name] = CircuitBreaker(
+                    st.name, bcfg, seed=config.seed * 1000003 + len(flat)
+                )
+            self.shards.append(states)
+        self.ring = HashRing(len(self.shards), config.vnodes)
+        self.monitor = HealthMonitor(
+            flat,
+            interval=config.probe_interval,
+            timeout=config.probe_timeout,
+            fall=config.fall,
+            rise=config.rise,
+            seed=config.seed,
+        )
+        self.metrics = FleetMetrics()
+        disk = ResultCache(config.cache_dir) if config.disk_cache else None
+        #: stale-serving tier: the same content-addressed cache the shards
+        #: write through, read here only when no replica can answer
+        self.stale_cache = ServiceCache(maxsize=256, disk=disk)
+        suites = load_suites(config.bench_dir or None)
+        self.code_versions = {
+            algo: suite_code_version(suites[suite_name])
+            for algo, suite_name in ALGO_SUITES.items()
+            if suite_name in suites
+        }
+        self.draining = False
+        self.port = config.port
+        self._server: asyncio.AbstractServer | None = None
+        self._writers: set[asyncio.StreamWriter] = set()
+
+    # -- lifecycle -------------------------------------------------------
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_conn, self.config.host, self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self.monitor.start()
+
+    async def drain(self, timeout: float | None = None) -> bool:
+        self.draining = True
+        if self._server is not None:
+            self._server.close()
+        budget = self.config.drain_timeout if timeout is None else timeout
+        deadline = time.monotonic() + budget
+        while self.metrics.inflight > 0 and time.monotonic() < deadline:
+            await asyncio.sleep(0.02)
+        return self.metrics.inflight == 0
+
+    async def stop(self) -> None:
+        self.draining = True
+        await self.monitor.stop()
+        if self._server is not None:
+            self._server.close()
+            with contextlib.suppress(Exception, asyncio.TimeoutError):
+                await asyncio.wait_for(self._server.wait_closed(), 2.0)
+        for writer in list(self._writers):
+            with contextlib.suppress(Exception):
+                writer.close()
+
+    # -- routing ---------------------------------------------------------
+    def _candidates(self, shard: int, key: str) -> list[BackendState]:
+        """Replicas of ``shard`` in preference order for ``key``.
+
+        A stable per-key rotation gives each key a preferred replica (so
+        repeats co-batch); a stable sort by health rank moves not-ready
+        replicas to the back without disturbing the rotation."""
+        replicas = self.shards[shard]
+        start = _stable_hash(f"replica:{key}") % len(replicas)
+        rotated = replicas[start:] + replicas[:start]
+        rank = {True: 0, None: 1, False: 2}
+        return sorted(rotated, key=lambda st: rank[st.ready])
+
+    async def _attempt(
+        self, st: BackendState, path: str, payload: dict, timeout: float
+    ) -> tuple[int, dict, BackendState]:
+        """One forwarded request; settles the replica's breaker either way."""
+        br = self.breakers[st.name]
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(st.host, st.port), timeout
+            )
+            try:
+                status, headers, doc, _closed = await http_call(
+                    reader, writer, "POST", path, payload,
+                    timeout=timeout, keep_alive=False,
+                )
+            finally:
+                writer.close()
+                with contextlib.suppress(Exception):
+                    await writer.wait_closed()
+        except (OSError, asyncio.TimeoutError, ConnectionError, ValueError,
+                json.JSONDecodeError) as exc:
+            reason = type(exc).__name__
+            br.record_failure(reason)
+            self.metrics.attempt_failed(st.name, reason)
+            raise _AttemptFailed(st, reason) from exc
+        if status == 429:
+            # the replica answered — just saturated; back off without
+            # penalizing the breaker
+            br.record_success()
+            self.metrics.attempt_failed(st.name, "http 429")
+            raise _AttemptFailed(st, "http 429", headers.get("retry-after", ""))
+        if status >= 500:
+            br.record_failure(f"http {status}")
+            self.metrics.attempt_failed(st.name, f"http {status}")
+            raise _AttemptFailed(st, f"http {status}", headers.get("retry-after", ""))
+        br.record_success()
+        return status, doc, st
+
+    async def _settle(
+        self,
+        tasks: dict[asyncio.Task, BackendState],
+        primary: asyncio.Task | None = None,
+    ) -> tuple[int, dict, BackendState] | None:
+        """Await racing attempts; first success wins, losers are cancelled."""
+        pending = set(tasks)
+        winner = None
+        while pending and winner is None:
+            done, pending = await asyncio.wait(
+                pending, return_when=asyncio.FIRST_COMPLETED
+            )
+            for t in done:
+                try:
+                    winner = t.result()
+                except _AttemptFailed:
+                    continue
+                if primary is not None and t is not primary and len(tasks) > 1:
+                    self.metrics.hedge_wins += 1
+                break
+        for t in pending:
+            t.cancel()
+            self.metrics.hedges_cancelled += 1
+            # the cancelled attempt never settles its breaker: return the
+            # half-open probe slot it may be holding
+            self.breakers[tasks[t].name].release()
+        for t in pending:
+            with contextlib.suppress(asyncio.CancelledError, _AttemptFailed):
+                await t
+        return winner
+
+    async def _try_backends(
+        self,
+        path: str,
+        payload: dict,
+        order: list[BackendState],
+        deadline: float,
+        *,
+        hedge: bool = False,
+    ) -> tuple[int, dict, BackendState] | None:
+        """Failover walk over ``order`` (two passes) within ``deadline``."""
+        cfg = self.config
+        m = self.metrics
+        queue = list(order) + list(order)
+        first = True
+        while queue:
+            st = queue.pop(0)
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            if not self.breakers[st.name].allow():
+                continue
+            timeout = min(cfg.attempt_timeout, remaining)
+            task = asyncio.create_task(self._attempt(st, path, payload, timeout))
+            tasks: dict[asyncio.Task, BackendState] = {task: st}
+            if hedge and first and cfg.hedge_rate > 0 and cfg.hedge_after < timeout:
+                done, _ = await asyncio.wait({task}, timeout=cfg.hedge_after)
+                if not done:
+                    h_st = next(
+                        (
+                            c for c in queue
+                            if c.name != st.name
+                            and self.breakers[c.name].would_allow()
+                        ),
+                        None,
+                    )
+                    if (
+                        h_st is not None
+                        and m.hedge_allowed(cfg.hedge_rate)
+                        and self.breakers[h_st.name].allow()
+                    ):
+                        m.hedges_started += 1
+                        h_timeout = min(
+                            cfg.attempt_timeout, deadline - time.monotonic()
+                        )
+                        h_task = asyncio.create_task(
+                            self._attempt(h_st, path, payload, h_timeout)
+                        )
+                        tasks[h_task] = h_st
+            first = False
+            outcome = await self._settle(tasks, primary=task)
+            if outcome is not None:
+                return outcome
+            m.failovers += 1
+        return None
+
+    # -- degradation -----------------------------------------------------
+    def _degrade(self, request: ServiceRequest, shard: int) -> tuple[int, dict, list]:
+        """No replica answered: stale cache hit, else 503 + Retry-After."""
+        m = self.metrics
+        if not request.is_auto and request.algo in self.code_versions:
+            key = request.cache_key(self.code_versions[request.algo])
+            payload, tier = self.stale_cache.get(key)
+            if payload is not None:
+                m.degraded_stale += 1
+                doc = {
+                    "ok": True,
+                    **request.describe(),
+                    "cached": "stale",
+                    "batched": False,
+                    "degraded": True,
+                    "fleet": {"shard": shard, "replica": None, "stale_tier": tier},
+                    **payload,
+                }
+                return 200, doc, []
+        m.shed += 1
+        waits = [
+            self.breakers[st.name].seconds_until_probe()
+            for st in self.shards[shard]
+        ]
+        retry = max(1.0, min(waits)) if waits else 1.0
+        return (
+            503,
+            {
+                "ok": False,
+                "error": f"no replica available for shard {shard}",
+                "degraded": False,
+            },
+            [("Retry-After", str(int(math.ceil(retry))))],
+        )
+
+    # -- request handlers ------------------------------------------------
+    async def _serve_run(self, body: bytes) -> tuple[int, dict, list]:
+        m = self.metrics
+        m.request_received()
+        try:
+            doc = json.loads(body.decode("utf-8") or "null")
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            m.response_only(400)
+            return 400, {"ok": False, "error": f"invalid JSON body: {exc}"}, []
+        try:
+            request = ServiceRequest.from_payload(doc)
+        except RequestError as exc:
+            m.response_only(400)
+            return 400, {"ok": False, "error": str(exc), "field": exc.field}, []
+        if self.draining:
+            m.response_only(503)
+            return (
+                503,
+                {"ok": False, "error": "gateway is draining"},
+                [("Retry-After", "1")],
+            )
+        if m.inflight >= self.config.max_inflight:
+            m.rejected += 1
+            m.response_only(429)
+            return (
+                429,
+                {"ok": False, "error": "gateway at capacity"},
+                [("Retry-After", "1")],
+            )
+        key = routing_key(request)
+        shard = self.ring.shard_for(key)
+        m.routed_by_shard[shard] += 1
+        m.request_admitted()
+        started = time.monotonic()
+        status = 502
+        try:
+            deadline = time.monotonic() + self.config.request_timeout
+            outcome = await self._try_backends(
+                "/run", doc, self._candidates(shard, key), deadline, hedge=True
+            )
+            if outcome is not None:
+                status, out, st = outcome
+                m.forwarded_by_backend[st.name] += 1
+                if isinstance(out, dict):
+                    out["fleet"] = {"shard": shard, "replica": st.name}
+                return status, out, []
+            status, out, extra = self._degrade(request, shard)
+            return status, out, extra
+        except Exception as exc:  # defensive: the gateway must keep serving
+            status = 502
+            return 502, {"ok": False, "error": f"gateway error: {exc!r}"}, []
+        finally:
+            m.request_finished(status, time.monotonic() - started)
+
+    async def _serve_plan(self, body: bytes) -> tuple[int, dict, list]:
+        """Forward a plan request, routed by its tuning identity (no hedge —
+        a cold plan can trigger an expensive tuning run on the shard)."""
+        m = self.metrics
+        m.request_received()
+        try:
+            doc = json.loads(body.decode("utf-8") or "null")
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            m.response_only(400)
+            return 400, {"ok": False, "error": f"invalid JSON body: {exc}"}, []
+        if not isinstance(doc, dict):
+            m.response_only(400)
+            return 400, {"ok": False, "error": "body must be a JSON object"}, []
+        if self.draining:
+            m.response_only(503)
+            return (
+                503,
+                {"ok": False, "error": "gateway is draining"},
+                [("Retry-After", "1")],
+            )
+        cls = str(doc.get("algo_class") or doc.get("algo") or "")
+        key = f"plan|{cls}|{doc.get('n')}|{doc.get('metric', 'edp')}"
+        shard = self.ring.shard_for(key)
+        m.routed_by_shard[shard] += 1
+        m.request_admitted()
+        started = time.monotonic()
+        status = 502
+        try:
+            deadline = time.monotonic() + self.config.request_timeout
+            outcome = await self._try_backends(
+                "/plan", doc, self._candidates(shard, key), deadline
+            )
+            if outcome is not None:
+                status, out, st = outcome
+                m.forwarded_by_backend[st.name] += 1
+                if isinstance(out, dict):
+                    out["fleet"] = {"shard": shard, "replica": st.name}
+                return status, out, []
+            m.shed += 1
+            status = 503
+            return (
+                503,
+                {"ok": False, "error": f"no replica available for shard {shard}"},
+                [("Retry-After", "1")],
+            )
+        except Exception as exc:
+            status = 502
+            return 502, {"ok": False, "error": f"gateway error: {exc!r}"}, []
+        finally:
+            m.request_finished(status, time.monotonic() - started)
+
+    # -- observability ---------------------------------------------------
+    def metrics_doc(self) -> dict:
+        shards = [
+            {
+                "shard": i,
+                "replicas": [st.name for st in group],
+                "ready": sum(1 for st in group if st.ready),
+            }
+            for i, group in enumerate(self.shards)
+        ]
+        breakers = {name: br.snapshot() for name, br in sorted(self.breakers.items())}
+        return self.metrics.snapshot(
+            shards=shards,
+            breakers=breakers,
+            health=self.monitor.snapshot(),
+            extra={
+                "gateway": {
+                    "draining": self.draining,
+                    "shards": len(self.shards),
+                    "replicas": sum(len(g) for g in self.shards),
+                    "vnodes": self.ring.vnodes,
+                    "hedge_rate": self.config.hedge_rate,
+                    "probe_interval_s": self.config.probe_interval,
+                    "probe_rounds": self.monitor.rounds,
+                },
+            },
+        )
+
+    async def _route(self, method: str, path: str, body: bytes) -> tuple[int, dict, list]:
+        if path == "/run":
+            if method != "POST":
+                self.metrics.response_only(405)
+                return 405, {"ok": False, "error": "use POST /run"}, [("Allow", "POST")]
+            return await self._serve_run(body)
+        if path == "/plan":
+            if method != "POST":
+                self.metrics.response_only(405)
+                return 405, {"ok": False, "error": "use POST /plan"}, [("Allow", "POST")]
+            return await self._serve_plan(body)
+        if method != "GET":
+            self.metrics.response_only(405)
+            return 405, {"ok": False, "error": f"{method} not allowed here"}, [("Allow", "GET")]
+        if path == "/healthz":
+            return 200, {"status": "ok", "role": "gateway", "draining": self.draining}, []
+        if path == "/readyz":
+            per_shard = [sum(1 for st in group if st.ready) for group in self.shards]
+            all_ready = all(st.ready for group in self.shards for st in group)
+            ok = not self.draining and all(c > 0 for c in per_shard)
+            doc = {
+                "ready": ok,
+                "draining": self.draining,
+                "shards_ready": per_shard,
+                "all_ready": all_ready,
+            }
+            if ok:
+                return 200, doc, []
+            return 503, doc, [("Retry-After", "1")]
+        if path == "/metrics":
+            return 200, self.metrics_doc(), []
+        if path == "/algos":
+            algos = {
+                algo: {"suite": suite_name, "n_range": list(SIZE_LIMITS[algo])}
+                for algo, suite_name in sorted(ALGO_SUITES.items())
+            }
+            for cls_name in AUTO_CLASSES:
+                algos[f"{AUTO_PREFIX}{cls_name}"] = {
+                    "suite": TUNER_SUITE_NAME,
+                    "n_range": list(AUTO_SIZE_LIMITS[cls_name]),
+                }
+            return 200, {"algos": algos}, []
+        if path == "/":
+            return (
+                200,
+                {"endpoints": ["/run", "/plan", "/healthz", "/readyz", "/metrics", "/algos"]},
+                [],
+            )
+        self.metrics.response_only(404)
+        return 404, {"ok": False, "error": f"no route for {path}"}, []
+
+    async def _handle_conn(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        self._writers.add(writer)
+        try:
+            while True:
+                try:
+                    parsed = await read_http_request(reader)
+                except BadRequest as exc:
+                    self.metrics.response_only(400)
+                    await write_json_response(
+                        writer, 400, {"ok": False, "error": str(exc)}, [], False
+                    )
+                    break
+                if parsed is None:
+                    break
+                method, target, headers, body = parsed
+                path = target.split("?", 1)[0]
+                keep_alive = (
+                    not self.draining and headers.get("connection", "").lower() != "close"
+                )
+                status, doc, extra = await self._route(method.upper(), path, body)
+                await write_json_response(writer, status, doc, extra, keep_alive)
+                if not keep_alive:
+                    break
+        except (
+            ConnectionResetError,
+            BrokenPipeError,
+            asyncio.IncompleteReadError,
+            asyncio.LimitOverrunError,
+        ):
+            pass
+        finally:
+            self._writers.discard(writer)
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+
+
+# -- shard process management -------------------------------------------
+
+_BANNER_RE = re.compile(r"listening on http://[\d.]+:(\d+)")
+
+
+def serve_argv(
+    shard_id: str,
+    *,
+    port: int = 0,
+    workers: int = 1,
+    cache_dir: str = "",
+    bench_dir: str = "",
+    batch_window: float | None = None,
+    timeout: float | None = None,
+    extra: tuple = (),
+) -> list[str]:
+    """Build the ``repro serve`` command line for one shard replica."""
+    argv = [
+        sys.executable, "-m", "repro", "serve",
+        "--host", "127.0.0.1",
+        "--port", str(port),
+        "--shard-id", shard_id,
+        "--workers", str(workers),
+    ]
+    if cache_dir:
+        argv += ["--cache-dir", cache_dir]
+    if bench_dir:
+        argv += ["--bench-dir", bench_dir]
+    if batch_window is not None:
+        argv += ["--batch-window", str(batch_window)]
+    if timeout is not None:
+        argv += ["--timeout", str(timeout)]
+    argv += list(extra)
+    return argv
+
+
+class ShardProcess:
+    """One spawned shard replica: banner-parsed port, log capture, signals."""
+
+    def __init__(self, name: str, argv: list[str], env: dict | None = None) -> None:
+        self.name = name
+        self.argv = list(argv)
+        self.env = env
+        self.proc: subprocess.Popen | None = None
+        self.port = 0
+        self.log: list[str] = []
+        self._banner = threading.Event()
+
+    def start(self, timeout: float = 30.0) -> int:
+        self.proc = subprocess.Popen(
+            self.argv,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=self.env,
+            start_new_session=True,
+        )
+        threading.Thread(target=self._pump, daemon=True).start()
+        if not self._banner.wait(timeout) or not self.port:
+            raise RuntimeError(
+                f"{self.name}: no listen banner within {timeout:.0f}s "
+                f"(log tail: {self.log[-3:]})"
+            )
+        return self.port
+
+    def _pump(self) -> None:
+        assert self.proc is not None and self.proc.stdout is not None
+        for line in self.proc.stdout:
+            self.log.append(line.rstrip("\n"))
+            if not self._banner.is_set():
+                match = _BANNER_RE.search(line)
+                if match:
+                    self.port = int(match.group(1))
+                    self._banner.set()
+        self._banner.set()  # EOF without a banner unblocks start()
+
+    @property
+    def alive(self) -> bool:
+        return self.proc is not None and self.proc.poll() is None
+
+    def _signal(self, sig: int, group: bool = False) -> None:
+        if self.proc is not None and self.proc.poll() is None:
+            with contextlib.suppress(ProcessLookupError, OSError):
+                if group:
+                    # The replica runs in its own session (start_new_session),
+                    # so the group covers its forked pool workers too — a bare
+                    # SIGKILL to the parent would orphan them forever.
+                    os.killpg(os.getpgid(self.proc.pid), sig)
+                else:
+                    self.proc.send_signal(sig)
+
+    def kill(self) -> None:
+        self._signal(signal.SIGKILL, group=True)
+
+    def suspend(self) -> None:
+        self._signal(signal.SIGSTOP)
+
+    def resume(self) -> None:
+        self._signal(signal.SIGCONT)
+
+    def terminate(self) -> None:
+        self._signal(signal.SIGTERM)
+
+    def wait(self, timeout: float = 10.0) -> int | None:
+        if self.proc is None:
+            return None
+        with contextlib.suppress(subprocess.TimeoutExpired):
+            return self.proc.wait(timeout)
+        return None
+
+
+def parse_backend_list(spec: str) -> list[tuple[str, int]]:
+    """``"host:port,host:port,..."`` -> [(host, port), ...]."""
+    out = []
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        host, _, port = part.rpartition(":")
+        try:
+            out.append((host or "127.0.0.1", int(port)))
+        except ValueError:
+            raise SystemExit(f"bad backend address {part!r} (want host:port)")
+    return out
+
+
+def group_backends(flat: list[tuple[str, int]], shards: int) -> list[list[tuple[str, int]]]:
+    """Deal ``flat`` round-robin into ``shards`` replica groups."""
+    shards = max(1, int(shards))
+    if len(flat) < shards:
+        raise SystemExit(f"{len(flat)} backend(s) cannot fill {shards} shard(s)")
+    return [flat[i::shards] for i in range(shards)]
+
+
+async def _fleet_amain(
+    config: FleetConfig, backends: list[list[tuple[str, int]]]
+) -> int:
+    gateway = FleetGateway(config, backends)
+    await gateway.start()
+    print(
+        f"repro-fleet: listening on http://{config.host}:{gateway.port} "
+        f"(shards={len(backends)}, replicas={sum(len(g) for g in backends)}, "
+        f"hedge_rate={config.hedge_rate})",
+        flush=True,
+    )
+    stop_event = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(sig, stop_event.set)
+        except NotImplementedError:  # pragma: no cover - non-posix loops
+            signal.signal(sig, lambda *_: stop_event.set())
+    await stop_event.wait()
+    print("repro-fleet: draining...", flush=True)
+    clean = await gateway.drain()
+    await gateway.stop()
+    total = gateway.metrics.requests_total
+    if clean:
+        print(f"repro-fleet: drained cleanly after {total} request(s)", flush=True)
+        return 0
+    print(
+        f"repro-fleet: drain timed out with {gateway.metrics.inflight} request(s) "
+        "still in flight",
+        flush=True,
+    )
+    return 1
+
+
+def fleet_main(args) -> int:
+    """Entry point for the ``repro fleet`` CLI verb."""
+    procs: list[ShardProcess] = []
+    try:
+        if args.backends:
+            groups = group_backends(parse_backend_list(args.backends), args.shards)
+        else:
+            groups = []
+            for s in range(args.shards):
+                group = []
+                for r in range(args.replicas):
+                    name = f"s{s}r{r}"
+                    proc = ShardProcess(
+                        name,
+                        serve_argv(
+                            name,
+                            workers=args.workers,
+                            cache_dir=args.cache_dir,
+                            bench_dir=args.bench_dir,
+                        ),
+                    )
+                    procs.append(proc)
+                    port = proc.start()
+                    group.append(("127.0.0.1", port))
+                    print(f"repro-fleet: shard {name} up on :{port}", flush=True)
+                groups.append(group)
+        config = FleetConfig(
+            host=args.host,
+            port=args.port,
+            max_inflight=args.max_inflight,
+            request_timeout=args.request_timeout,
+            attempt_timeout=args.attempt_timeout,
+            hedge_after=args.hedge_after,
+            hedge_rate=args.hedge_rate,
+            probe_interval=args.probe_interval,
+            seed=args.seed,
+            cache_dir=args.cache_dir,
+            disk_cache=not args.no_disk_cache,
+            bench_dir=args.bench_dir,
+        )
+        return asyncio.run(_fleet_amain(config, groups))
+    finally:
+        for proc in procs:
+            proc.terminate()
+        for proc in procs:
+            proc.wait(10)

@@ -1,0 +1,419 @@
+"""Fleet-level chaos harness: ``repro fleet-chaos``.
+
+Extends the repo's fault-injection discipline (simulator-level ``repro
+chaos``, single-server ``--chaos`` drain tests) to the sharded serving
+tier.  The harness runs the same seeded request multiset twice through a
+``shards x replicas`` fleet behind an in-process gateway:
+
+1. a **clean run** — no faults, establishing the baseline summed model
+   counters (deterministic simulations make the sums a pure function of
+   the request multiset);
+2. a **chaos run** — a seeded schedule kills one replica (SIGKILL),
+   hangs another on a *different* shard (SIGSTOP), restarts the killed
+   replica on its old port mid-run (slow start: the gateway must not route
+   to it until its worker pool is warm), and finally resumes the hung one.
+
+Because every shard keeps at least one live replica throughout, the gates
+are exact, not statistical:
+
+* zero dropped requests and zero failed (non-200) client responses;
+* summed model counters **byte-identical** to the clean run;
+* hedged duplicate executions bounded by the configured hedge rate;
+* at least one circuit breaker ``-> open`` transition in the gateway's
+  ``/metrics`` during chaos;
+* surviving replicas drain cleanly on SIGTERM (banner grep).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import contextlib
+import json
+import random
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from .fleet import FleetConfig, FleetGateway, ShardProcess, serve_argv
+from .loadgen import build_requests, run_load
+
+__all__ = ["ChaosEvent", "build_schedule", "fleet_chaos_main", "main"]
+
+
+@dataclass(frozen=True)
+class ChaosEvent:
+    """One fault, fired when ``fraction`` of the load has completed."""
+
+    fraction: float
+    action: str  # kill | hang | restart | resume
+    target: str  # replica name, e.g. "s1r0"
+
+
+def build_schedule(shards: int, replicas: int, seed: int) -> list[ChaosEvent]:
+    """The seeded kill/hang/restart/resume schedule.
+
+    The killed and hung replicas live on different shards, so with
+    ``replicas >= 2`` every shard keeps at least one untouched replica and
+    the exact invariants are achievable."""
+    if replicas < 2:
+        raise SystemExit("fleet-chaos needs --replicas >= 2 to keep every shard alive")
+    rng = random.Random(seed)
+    kill_shard = rng.randrange(shards)
+    if shards > 1:
+        hang_shard = (kill_shard + 1 + rng.randrange(shards - 1)) % shards
+    else:
+        hang_shard = kill_shard
+    kill_target = f"s{kill_shard}r{rng.randrange(replicas)}"
+    hang_target = f"s{hang_shard}r{rng.randrange(replicas)}"
+    if shards == 1 and hang_target == kill_target:
+        # single-shard fallback: hang a different replica than the kill
+        hang_target = f"s0r{(int(kill_target[-1]) + 1) % replicas}"
+    return [
+        ChaosEvent(0.20, "kill", kill_target),
+        ChaosEvent(0.40, "hang", hang_target),
+        ChaosEvent(0.60, "restart", kill_target),
+        ChaosEvent(0.80, "resume", hang_target),
+    ]
+
+
+def _spawn_fleet(
+    shards: int, replicas: int, *, workers: int, cache_dir: str, bench_dir: str = ""
+) -> dict[str, ShardProcess]:
+    procs: dict[str, ShardProcess] = {}
+    try:
+        for s in range(shards):
+            for r in range(replicas):
+                name = f"s{s}r{r}"
+                proc = ShardProcess(
+                    name,
+                    serve_argv(
+                        name, workers=workers, cache_dir=cache_dir, bench_dir=bench_dir
+                    ),
+                )
+                procs[name] = proc
+                proc.start()
+    except Exception:
+        for proc in procs.values():
+            proc.kill()
+        raise
+    return procs
+
+
+async def _controller(
+    gateway: FleetGateway,
+    procs: dict[str, ShardProcess],
+    retired: list[ShardProcess],
+    schedule: list[ChaosEvent],
+    total: int,
+    fired: list[dict],
+    respawn,
+) -> None:
+    """Fire each event once ``fraction * total`` responses have completed."""
+
+    def finished() -> int:
+        return gateway.metrics.latency.count
+
+    for event in schedule:
+        threshold = event.fraction * total
+        while finished() < threshold:
+            await asyncio.sleep(0.05)
+        proc = procs[event.target]
+        if event.action == "kill":
+            proc.kill()
+        elif event.action == "hang":
+            proc.suspend()
+        elif event.action == "resume":
+            proc.resume()
+        elif event.action == "restart":
+            retired.append(proc)
+            fresh = respawn(event.target, proc.port)
+            procs[event.target] = fresh
+
+            def _start(p=fresh, t=event.target):
+                try:
+                    p.start()
+                except RuntimeError as exc:
+                    fired.append({"action": "restart-failed", "target": t,
+                                  "error": str(exc)})
+
+            # don't block the controller on the slow start: the point is that
+            # the gateway keeps routing around the replica while it warms
+            asyncio.get_running_loop().run_in_executor(None, _start)
+        fired.append(
+            {
+                "action": event.action,
+                "target": event.target,
+                "at_responses": finished(),
+            }
+        )
+        print(
+            f"fleet-chaos: {event.action} {event.target} "
+            f"at {finished()}/{total} responses",
+            flush=True,
+        )
+
+
+async def _drive(
+    config: FleetConfig,
+    groups: list[list[tuple[str, int]]],
+    requests: list[dict],
+    *,
+    concurrency: int,
+    timeout: float,
+    seed: int,
+    schedule: list[ChaosEvent] | None,
+    procs: dict[str, ShardProcess],
+    retired: list[ShardProcess],
+    respawn,
+) -> tuple[dict, dict, list[dict]]:
+    gateway = FleetGateway(config, groups)
+    await gateway.start()
+    deadline = time.monotonic() + 60.0
+    while not all(st.ready for group in gateway.shards for st in group):
+        if time.monotonic() > deadline:
+            await gateway.stop()
+            raise RuntimeError("fleet never became ready (pool warm-up stalled?)")
+        await asyncio.sleep(0.05)
+    fired: list[dict] = []
+    controller = None
+    if schedule:
+        controller = asyncio.create_task(
+            _controller(gateway, procs, retired, schedule, len(requests), fired, respawn)
+        )
+    report = await run_load(
+        "127.0.0.1",
+        gateway.port,
+        requests,
+        concurrency=concurrency,
+        timeout=timeout,
+        max_retries=12,
+        backoff_seed=seed,
+    )
+    if controller is not None:
+        controller.cancel()
+        with contextlib.suppress(asyncio.CancelledError):
+            await controller
+    metrics = gateway.metrics_doc()
+    await gateway.drain(5.0)
+    await gateway.stop()
+    return report.as_dict(), metrics, fired
+
+
+def _run_scenario(
+    label: str,
+    args,
+    cache_dir: str,
+    schedule: list[ChaosEvent] | None,
+) -> tuple[dict, dict, list[dict], dict[str, list[str]]]:
+    """Spawn a fleet, drive the load (with optional chaos), drain, collect logs."""
+    print(
+        f"fleet-chaos: {label} run — {args.shards}x{args.replicas} fleet, "
+        f"{args.requests} requests",
+        flush=True,
+    )
+    procs = _spawn_fleet(
+        args.shards,
+        args.replicas,
+        workers=args.workers,
+        cache_dir=cache_dir,
+        bench_dir=args.bench_dir,
+    )
+    retired: list[ShardProcess] = []
+
+    def respawn(name: str, port: int) -> ShardProcess:
+        return ShardProcess(
+            name,
+            serve_argv(
+                name,
+                port=port,
+                workers=args.workers,
+                cache_dir=cache_dir,
+                bench_dir=args.bench_dir,
+            ),
+        )
+
+    groups = [
+        [("127.0.0.1", procs[f"s{s}r{r}"].port) for r in range(args.replicas)]
+        for s in range(args.shards)
+    ]
+    config = FleetConfig(
+        host="127.0.0.1",
+        port=0,
+        request_timeout=45.0,
+        attempt_timeout=2.0,
+        hedge_after=0.5,
+        hedge_rate=args.hedge_rate,
+        probe_interval=0.3,
+        probe_timeout=1.0,
+        fall=2,
+        rise=1,
+        failure_threshold=2,
+        cooldown=0.5,
+        max_cooldown=4.0,
+        seed=args.seed,
+        cache_dir=cache_dir,
+    )
+    requests = build_requests(args.requests, args.seed)
+    try:
+        report, metrics, fired = asyncio.run(
+            _drive(
+                config,
+                groups,
+                requests,
+                concurrency=args.concurrency,
+                timeout=args.timeout,
+                seed=args.seed,
+                schedule=schedule,
+                procs=procs,
+                retired=retired,
+                respawn=respawn,
+            )
+        )
+    finally:
+        # un-freeze anything still SIGSTOP'd so SIGTERM can drain it
+        for proc in procs.values():
+            proc.resume()
+            proc.terminate()
+        for proc in procs.values():
+            proc.wait(15)
+        for proc in retired:
+            proc.kill()
+            proc.wait(5)
+    logs = {name: list(proc.log) for name, proc in procs.items()}
+    for proc in retired:
+        logs[f"{proc.name} (retired)"] = list(proc.log)
+    return report, metrics, fired, logs
+
+
+def _gate(args, clean: dict, chaos: dict, metrics: dict, logs: dict) -> list[str]:
+    """The exact invariants; returns a list of failure strings."""
+    failures = []
+    if clean["dropped"] or clean["ok"] != clean["requests"]:
+        failures.append(
+            f"clean run not clean: {clean['ok']}/{clean['requests']} ok, "
+            f"{clean['dropped']} dropped, statuses {clean['by_status']}"
+        )
+    if chaos["dropped"]:
+        failures.append(f"{chaos['dropped']} request(s) dropped under chaos")
+    if chaos["ok"] != chaos["requests"]:
+        failures.append(
+            f"failed responses under chaos: {chaos['ok']}/{chaos['requests']} ok, "
+            f"statuses {chaos['by_status']}"
+        )
+    if clean["model_metrics"] != chaos["model_metrics"]:
+        failures.append(
+            "summed model counters diverged: "
+            f"clean={clean['model_metrics']} chaos={chaos['model_metrics']}"
+        )
+    total = max(1, metrics["requests"]["total"])
+    hedge_frac = metrics["hedging"]["started"] / total
+    if hedge_frac > args.hedge_rate + 1e-9:
+        failures.append(
+            f"hedge rate {hedge_frac:.4f} exceeds the {args.hedge_rate} budget"
+        )
+    opens = sum(
+        1
+        for br in metrics.get("breakers", {}).values()
+        for t in br.get("transitions", [])
+        if t.get("to") == "open"
+    )
+    if opens == 0:
+        failures.append("no circuit breaker opened during chaos")
+    drained = [
+        name
+        for name, lines in logs.items()
+        if any("drained cleanly" in line for line in lines)
+    ]
+    if not drained:
+        failures.append("no surviving shard logged a clean drain")
+    return failures
+
+
+def fleet_chaos_main(args) -> int:
+    """Entry point for the ``repro fleet-chaos`` CLI verb."""
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    schedule = build_schedule(args.shards, args.replicas, args.seed)
+
+    clean_report, clean_metrics, _, _clean_logs = _run_scenario(
+        "clean", args, str(out_dir / "cache_clean"), None
+    )
+    chaos_report, chaos_metrics, fired, chaos_logs = _run_scenario(
+        "chaos", args, str(out_dir / "cache_chaos"), schedule
+    )
+
+    failures = _gate(args, clean_report, chaos_report, chaos_metrics, chaos_logs)
+
+    doc = {
+        "shards": args.shards,
+        "replicas": args.replicas,
+        "requests": args.requests,
+        "seed": args.seed,
+        "schedule": [
+            {"fraction": e.fraction, "action": e.action, "target": e.target}
+            for e in schedule
+        ],
+        "events_fired": fired,
+        "clean": clean_report,
+        "chaos": chaos_report,
+        "failures": failures,
+    }
+    (out_dir / "report.json").write_text(json.dumps(doc, indent=2, sort_keys=True))
+    (out_dir / "gateway_metrics_clean.json").write_text(
+        json.dumps(clean_metrics, indent=2, sort_keys=True)
+    )
+    (out_dir / "gateway_metrics_chaos.json").write_text(
+        json.dumps(chaos_metrics, indent=2, sort_keys=True)
+    )
+    (out_dir / "shard_logs_chaos.txt").write_text(
+        "\n".join(
+            f"[{name}] {line}" for name, lines in chaos_logs.items() for line in lines
+        )
+        + "\n"
+    )
+    print(
+        f"fleet-chaos: clean {clean_report['ok']}/{clean_report['requests']} ok; "
+        f"chaos {chaos_report['ok']}/{chaos_report['requests']} ok, "
+        f"{chaos_report['backoff_retries']} backoff retries, "
+        f"{chaos_report['degraded']} degraded, "
+        f"{chaos_metrics['hedging']['started']} hedges, "
+        f"{chaos_metrics['routing']['failovers']} failovers",
+        flush=True,
+    )
+    print(f"fleet-chaos: artifacts -> {out_dir}", flush=True)
+    if failures:
+        for failure in failures:
+            print(f"fleet-chaos: FAIL: {failure}", flush=True)
+        return 1
+    print("fleet-chaos: PASS — surviving fleet matched the clean run exactly", flush=True)
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service.fleetchaos",
+        description="Shard-kill chaos gates for the fleet gateway.",
+    )
+    add_fleet_chaos_args(parser)
+    return fleet_chaos_main(parser.parse_args(argv))
+
+
+def add_fleet_chaos_args(parser) -> None:
+    parser.add_argument("--shards", type=int, default=2)
+    parser.add_argument("--replicas", type=int, default=2)
+    parser.add_argument("--requests", type=int, default=300)
+    parser.add_argument("--concurrency", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes per shard replica")
+    parser.add_argument("--hedge-rate", type=float, default=0.05)
+    parser.add_argument("--timeout", type=float, default=60.0,
+                        help="client-side per-request timeout")
+    parser.add_argument("--bench-dir", default="")
+    parser.add_argument("--out", default="chaos_fleet_out",
+                        help="artifact directory (reports, metrics, caches)")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,138 @@
+"""Minimal shared HTTP/1.1 plumbing for the serving tier.
+
+Three parties speak the same deliberately small HTTP dialect — request line,
+headers, ``Content-Length`` bodies, keep-alive: the single-process server
+(:mod:`repro.service.server`), the fleet gateway (:mod:`repro.service.fleet`,
+which is a server on one side and a client on the other), and the load
+generator (:mod:`repro.service.loadgen`).  Factoring the byte-level pieces
+here keeps them in lockstep; none of them is a general web server and none
+should grow into one.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+__all__ = [
+    "MAX_BODY",
+    "REASONS",
+    "BadRequest",
+    "http_call",
+    "read_http_request",
+    "write_json_response",
+]
+
+REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    502: "Bad Gateway",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+MAX_BODY = 1 << 20
+
+
+class BadRequest(Exception):
+    """Unparseable HTTP: answer 400 and close the connection."""
+
+
+async def read_http_request(reader: asyncio.StreamReader):
+    """Parse one request off ``reader``: (method, target, headers, body).
+
+    Returns ``None`` on a cleanly closed connection; raises
+    :class:`BadRequest` on malformed bytes or an oversized body.
+    """
+    start = await reader.readline()
+    if not start:
+        return None
+    try:
+        method, target, _version = start.decode("latin-1").split()
+    except ValueError:
+        raise BadRequest(f"malformed request line: {start[:80]!r}")
+    headers: dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, sep, value = line.decode("latin-1").partition(":")
+        if not sep:
+            raise BadRequest(f"malformed header line: {line[:80]!r}")
+        headers[name.strip().lower()] = value.strip()
+    try:
+        length = int(headers.get("content-length", "0") or "0")
+    except ValueError:
+        raise BadRequest("non-integer Content-Length")
+    if length < 0 or length > MAX_BODY:
+        raise BadRequest(f"body of {length} bytes exceeds the {MAX_BODY} limit")
+    body = await reader.readexactly(length) if length else b""
+    return method, target, headers, body
+
+
+async def write_json_response(
+    writer: asyncio.StreamWriter,
+    status: int,
+    doc: dict,
+    extra_headers: list,
+    keep_alive: bool,
+) -> None:
+    """Serialize ``doc`` as the JSON body of one HTTP/1.1 response."""
+    body = json.dumps(doc).encode("utf-8")
+    lines = [
+        f"HTTP/1.1 {status} {REASONS.get(status, 'Unknown')}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    lines.extend(f"{name}: {value}" for name, value in extra_headers)
+    writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body)
+    await writer.drain()
+
+
+async def http_call(
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+    method: str,
+    path: str,
+    payload: dict | None = None,
+    timeout: float = 30.0,
+    *,
+    keep_alive: bool = True,
+) -> tuple[int, dict, dict, bool]:
+    """One client request on an open connection.
+
+    Returns ``(status, headers, doc, server_closed)`` where ``headers`` maps
+    lower-cased names to values and ``server_closed`` is True when the
+    response asked to close the connection.
+    """
+    body = json.dumps(payload).encode("utf-8") if payload is not None else b""
+    head = (
+        f"{method} {path} HTTP/1.1\r\n"
+        f"Host: repro\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n\r\n"
+    )
+    writer.write(head.encode("latin-1") + body)
+    await writer.drain()
+    status_line = await asyncio.wait_for(reader.readline(), timeout)
+    if not status_line:
+        raise ConnectionError("server closed the connection")
+    status = int(status_line.split()[1])
+    headers: dict[str, str] = {}
+    while True:
+        line = await asyncio.wait_for(reader.readline(), timeout)
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _sep, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", "0") or "0")
+    raw = await asyncio.wait_for(reader.readexactly(length), timeout) if length else b""
+    doc = json.loads(raw) if raw else {}
+    return status, headers, doc, headers.get("connection", "").lower() == "close"

@@ -12,6 +12,13 @@ hence the summed model metrics in the report — is a pure function of
 ``(count, seed)`` no matter how the requests interleave.  That determinism
 is what lets ``benchmarks/bench_service.py`` gate on the summed metrics.
 
+Back-pressure is honored, not counted as failure: a 429 or 503 answer with
+``Retry-After`` makes the worker sleep for the server's hint (with seeded
+jitter so a fleet of loadgen workers does not retry in lockstep) and resend,
+up to ``max_retries`` times.  Only the final status of a request is
+recorded, so the report's summed model metrics stay a pure function of the
+request multiset even when the server sheds load mid-run.
+
 Also usable directly::
 
     python -m repro.service.loadgen --port 8642 --requests 200 --require-hits 1
@@ -27,6 +34,8 @@ import sys
 import time
 from collections import Counter, deque
 from dataclasses import dataclass, field
+
+from .httpio import http_call
 
 __all__ = ["DEFAULT_MIX", "LoadReport", "build_requests", "fetch_metrics", "run_load", "wait_ready"]
 
@@ -109,6 +118,10 @@ class LoadReport:
     errors: list = field(default_factory=list)
     cache_hits: int = 0
     batched: int = 0
+    #: 429/503 responses resent after honoring Retry-After (not failures)
+    backoff_retries: int = 0
+    #: responses marked ``"degraded": true`` (stale cache served by a gateway)
+    degraded: int = 0
     latencies_s: list = field(default_factory=list)
     wall_s: float = 0.0
     model_metrics: dict = field(default_factory=dict)
@@ -138,6 +151,8 @@ class LoadReport:
             self.cache_hits += 1
         if doc.get("batched"):
             self.batched += 1
+        if doc.get("degraded"):
+            self.degraded += 1
         metrics = doc.get("metrics") or {}
         for name in _SUM_METRICS:
             if name in metrics:
@@ -155,6 +170,8 @@ class LoadReport:
             "errors": list(self.errors[:20]),
             "cache_hits": self.cache_hits,
             "batched": self.batched,
+            "backoff_retries": self.backoff_retries,
+            "degraded": self.degraded,
             "wall_s": round(self.wall_s, 4),
             "throughput_rps": round(self.throughput_rps(), 2),
             "latency_p50_ms": round(self.latency_quantile(0.50) * 1000.0, 3),
@@ -172,32 +189,14 @@ async def _http(
     payload: dict | None = None,
     timeout: float = 30.0,
 ) -> tuple[int, dict, bool]:
-    """One request on an open connection -> (status, doc, server_closed)."""
-    body = json.dumps(payload).encode("utf-8") if payload is not None else b""
-    head = (
-        f"{method} {path} HTTP/1.1\r\n"
-        f"Host: loadgen\r\n"
-        f"Content-Type: application/json\r\n"
-        f"Content-Length: {len(body)}\r\n"
-        f"Connection: keep-alive\r\n\r\n"
+    """One request on an open connection -> (status, doc, server_closed).
+
+    Thin compatibility wrapper over :func:`repro.service.httpio.http_call`
+    for callers that do not need the response headers."""
+    status, _headers, doc, closed = await http_call(
+        reader, writer, method, path, payload, timeout=timeout
     )
-    writer.write(head.encode("latin-1") + body)
-    await writer.drain()
-    status_line = await asyncio.wait_for(reader.readline(), timeout)
-    if not status_line:
-        raise ConnectionError("server closed the connection")
-    status = int(status_line.split()[1])
-    headers = {}
-    while True:
-        line = await asyncio.wait_for(reader.readline(), timeout)
-        if line in (b"\r\n", b"\n", b""):
-            break
-        name, _sep, value = line.decode("latin-1").partition(":")
-        headers[name.strip().lower()] = value.strip()
-    length = int(headers.get("content-length", "0") or "0")
-    raw = await asyncio.wait_for(reader.readexactly(length), timeout) if length else b""
-    doc = json.loads(raw) if raw else {}
-    return status, doc, headers.get("connection", "").lower() == "close"
+    return status, doc, closed
 
 
 async def fetch_metrics(host: str, port: int, timeout: float = 10.0) -> dict:
@@ -239,17 +238,29 @@ async def run_load(
     *,
     concurrency: int = 16,
     timeout: float = 30.0,
+    max_retries: int = 8,
+    backoff_seed: int = 0,
+    targets: list[tuple[str, int]] | None = None,
 ) -> LoadReport:
-    """Drive ``requests`` through ``concurrency`` persistent connections."""
+    """Drive ``requests`` through ``concurrency`` persistent connections.
+
+    429/503 responses are resent after sleeping for the server's
+    ``Retry-After`` hint (seeded jitter, up to ``max_retries`` per request);
+    only the final status is recorded.  ``targets`` optionally spreads the
+    workers round-robin over several (host, port) endpoints — e.g. every
+    replica of a fleet — instead of the single ``(host, port)``.
+    """
     report = LoadReport(requests=len(requests))
     pending = deque(requests)
     workers = max(1, min(int(concurrency), len(requests)))
     ready = 0
     start_gate = asyncio.Event()
 
-    async def worker() -> None:
+    async def worker(windex: int) -> None:
         nonlocal ready
-        reader, writer = await asyncio.open_connection(host, port)
+        t_host, t_port = targets[windex % len(targets)] if targets else (host, port)
+        rng = random.Random((backoff_seed << 16) ^ windex)
+        reader, writer = await asyncio.open_connection(t_host, t_port)
         ready += 1
         if ready == workers:
             start_gate.set()
@@ -261,31 +272,47 @@ async def run_load(
                 except IndexError:
                     return
                 t0 = time.monotonic()
-                status = None
-                for attempt in (1, 2):
-                    try:
-                        status, doc, closed = await _http(
-                            reader, writer, "POST", "/run", payload, timeout=timeout
-                        )
-                        break
-                    except (
-                        ConnectionError,
-                        OSError,
-                        asyncio.IncompleteReadError,
-                        asyncio.TimeoutError,
-                        ValueError,
-                    ) as exc:
-                        if attempt == 2:
-                            report.errors.append(f"{payload['algo']}/{payload['n']}: {exc!r}")
-                            return
-                        # stale connection: reconnect once and resend
-                        writer.close()
-                        reader, writer = await asyncio.open_connection(host, port)
-                if status is None:
-                    return
+                retries = 0
+                while True:
+                    status = None
+                    for attempt in (1, 2):
+                        try:
+                            status, headers, doc, closed = await http_call(
+                                reader, writer, "POST", "/run", payload, timeout=timeout
+                            )
+                            break
+                        except (
+                            ConnectionError,
+                            OSError,
+                            asyncio.IncompleteReadError,
+                            asyncio.TimeoutError,
+                            ValueError,
+                        ) as exc:
+                            if attempt == 2:
+                                report.errors.append(f"{payload['algo']}/{payload['n']}: {exc!r}")
+                                return
+                            # stale connection: reconnect once and resend
+                            writer.close()
+                            reader, writer = await asyncio.open_connection(t_host, t_port)
+                    if status is None:
+                        return
+                    if status in (429, 503) and retries < max_retries:
+                        retries += 1
+                        report.backoff_retries += 1
+                        try:
+                            base = float(headers.get("retry-after", "") or 0.5)
+                        except ValueError:
+                            base = 0.5
+                        base = min(max(base, 0.05), 5.0)
+                        # seeded jitter: sleep 0.5x..1.5x of the server hint
+                        await asyncio.sleep(base * (0.5 + rng.random()))
+                        if closed:
+                            reader, writer = await asyncio.open_connection(t_host, t_port)
+                        continue
+                    break
                 report.record(status, doc, time.monotonic() - t0)
                 if closed:
-                    reader, writer = await asyncio.open_connection(host, port)
+                    reader, writer = await asyncio.open_connection(t_host, t_port)
         finally:
             writer.close()
             try:
@@ -294,7 +321,9 @@ async def run_load(
                 pass
 
     t_start = time.monotonic()
-    outcomes = await asyncio.gather(*(worker() for _ in range(workers)), return_exceptions=True)
+    outcomes = await asyncio.gather(
+        *(worker(i) for i in range(workers)), return_exceptions=True
+    )
     report.wall_s = time.monotonic() - t_start
     for out in outcomes:
         if isinstance(out, BaseException):
@@ -318,6 +347,11 @@ def main(argv=None) -> int:
     parser.add_argument("--auto", action="store_true",
                         help="rewrite tunable algos to auto:<class> (plan dispatch)")
     parser.add_argument("--timeout", type=float, default=30.0)
+    parser.add_argument("--max-retries", type=int, default=8,
+                        help="Retry-After-honoring resends per request on 429/503")
+    parser.add_argument("--targets", default="",
+                        help="comma-separated host:port list to spread workers "
+                        "over round-robin (overrides --host/--port per worker)")
     parser.add_argument("--wait", type=float, default=0.0, help="seconds to wait for /healthz first")
     parser.add_argument("--out", default="", help="write the load report JSON here")
     parser.add_argument("--metrics-out", default="", help="scrape /metrics afterwards into this file")
@@ -334,13 +368,28 @@ def main(argv=None) -> int:
     requests = build_requests(
         args.requests, args.seed, zipf_alpha=args.zipf_alpha, auto=args.auto
     )
+    targets = None
+    if args.targets:
+        from .fleet import parse_backend_list
+
+        targets = parse_backend_list(args.targets)
     report = asyncio.run(
-        run_load(args.host, args.port, requests, concurrency=args.concurrency, timeout=args.timeout)
+        run_load(
+            args.host,
+            args.port,
+            requests,
+            concurrency=args.concurrency,
+            timeout=args.timeout,
+            max_retries=args.max_retries,
+            backoff_seed=args.seed,
+            targets=targets,
+        )
     )
     doc = report.as_dict()
     print(
         f"loadgen: {report.ok}/{report.requests} ok, {report.dropped} dropped, "
         f"{report.cache_hits} cache hits, {report.batched} batched, "
+        f"{report.backoff_retries} backoff retries, "
         f"{doc['throughput_rps']} req/s, p95 {doc['latency_p95_ms']}ms"
     )
     if args.out:

@@ -13,7 +13,7 @@ from __future__ import annotations
 import time
 from collections import Counter
 
-__all__ = ["LATENCY_BUCKETS_MS", "LatencyHistogram", "ServiceMetrics"]
+__all__ = ["LATENCY_BUCKETS_MS", "FleetMetrics", "LatencyHistogram", "ServiceMetrics"]
 
 #: upper bucket bounds in milliseconds; requests above the last bound land
 #: in a +Inf overflow bucket
@@ -86,6 +86,8 @@ class ServiceMetrics:
         self.coalesced_requests = 0
         self.rejected = 0
         self.timeouts = 0
+        #: requests answered 504 because the executing worker died mid-task
+        self.crashed = 0
         self.inflight = 0
         self.peak_inflight = 0
         self.drained = 0
@@ -138,6 +140,7 @@ class ServiceMetrics:
                 "queue_depth": queue_depth,
                 "rejected": self.rejected,
                 "timeouts": self.timeouts,
+                "crashed": self.crashed,
             },
             "responses": {
                 "by_status": {str(k): v for k, v in sorted(self.responses_by_status.items())},
@@ -158,6 +161,111 @@ class ServiceMetrics:
             "latency": self.latency.as_dict(),
             "execution_latency": self.execution_latency.as_dict(),
         }
+        if extra:
+            doc.update(extra)
+        return doc
+
+
+class FleetMetrics:
+    """Gateway-side counters: routing, failover, hedging, degradation.
+
+    Like :class:`ServiceMetrics`, everything mutates on the gateway's single
+    event-loop thread.  Per-shard and per-backend aggregation lives here so
+    the gateway's ``/metrics`` can answer "which shard is limping" without
+    scraping every replica on the request path; the health monitor's
+    periodic backend scrapes are folded in by the snapshot.
+    """
+
+    def __init__(self) -> None:
+        self.started_monotonic = time.monotonic()
+        self.started_at = time.time()
+        self.requests_total = 0
+        self.responses_by_status: Counter[int] = Counter()
+        self.inflight = 0
+        self.peak_inflight = 0
+        self.rejected = 0
+        #: requests routed per shard index, and outcomes per backend name
+        self.routed_by_shard: Counter[int] = Counter()
+        self.forwarded_by_backend: Counter[str] = Counter()
+        self.attempt_failures: dict[str, Counter] = {}
+        self.failovers = 0
+        self.hedges_started = 0
+        self.hedge_wins = 0
+        self.hedges_cancelled = 0
+        self.degraded_stale = 0
+        self.shed = 0
+        self.latency = LatencyHistogram()
+
+    # -- request lifecycle ----------------------------------------------
+    def request_received(self) -> None:
+        self.requests_total += 1
+
+    def request_admitted(self) -> None:
+        self.inflight += 1
+        self.peak_inflight = max(self.peak_inflight, self.inflight)
+
+    def request_finished(self, status: int, latency_s: float) -> None:
+        self.inflight -= 1
+        self.responses_by_status[status] += 1
+        self.latency.observe(latency_s)
+
+    def response_only(self, status: int) -> None:
+        self.responses_by_status[status] += 1
+
+    # -- routing accounting ---------------------------------------------
+    def attempt_failed(self, backend: str, reason: str) -> None:
+        self.attempt_failures.setdefault(backend, Counter())[reason] += 1
+
+    def hedge_allowed(self, rate: float) -> bool:
+        """Would starting one more hedge keep hedges within ``rate``?"""
+        return self.hedges_started + 1 <= rate * max(1, self.requests_total)
+
+    # -- snapshot --------------------------------------------------------
+    def snapshot(
+        self,
+        *,
+        shards: list[dict] | None = None,
+        breakers: dict | None = None,
+        health: list[dict] | None = None,
+        extra: dict | None = None,
+    ) -> dict:
+        doc = {
+            "uptime_s": round(time.monotonic() - self.started_monotonic, 3),
+            "started_at_unix": round(self.started_at, 3),
+            "requests": {
+                "total": self.requests_total,
+                "inflight": self.inflight,
+                "peak_inflight": self.peak_inflight,
+                "rejected": self.rejected,
+            },
+            "responses": {
+                "by_status": {str(k): v for k, v in sorted(self.responses_by_status.items())},
+            },
+            "routing": {
+                "by_shard": {str(k): v for k, v in sorted(self.routed_by_shard.items())},
+                "forwarded_by_backend": dict(self.forwarded_by_backend),
+                "attempt_failures": {
+                    name: dict(counts) for name, counts in sorted(self.attempt_failures.items())
+                },
+                "failovers": self.failovers,
+            },
+            "hedging": {
+                "started": self.hedges_started,
+                "wins": self.hedge_wins,
+                "cancelled": self.hedges_cancelled,
+            },
+            "degraded": {
+                "stale_served": self.degraded_stale,
+                "shed": self.shed,
+            },
+            "latency": self.latency.as_dict(),
+        }
+        if shards is not None:
+            doc["shards"] = shards
+        if breakers is not None:
+            doc["breakers"] = breakers
+        if health is not None:
+            doc["health"] = health
         if extra:
             doc.update(extra)
         return doc

@@ -6,6 +6,9 @@ Endpoints (all JSON; see ``docs/SERVICE.md``):
   "auto:<class>"`` resolves the tuned variant through the plan database first
 * ``POST /plan``  — resolve a tuning plan without executing it
 * ``GET /healthz`` — liveness (reports draining state)
+* ``GET /readyz``  — readiness: 503 while the worker pool is warming or the
+  server is draining, 200 once it can take traffic (fleet gateways route on
+  this, see :mod:`repro.service.fleet`)
 * ``GET /metrics`` — counters, latency histograms, cache/batch efficiency
 * ``GET /algos``   — served algorithms and admitted size ranges
 
@@ -18,8 +21,9 @@ the listener closes, in-flight requests finish, workers shut down, and the
 process exits 0 after printing ``drained cleanly``.
 
 The HTTP handling is deliberately minimal — request line, headers,
-``Content-Length`` bodies, keep-alive — because the protocol surface is
-three JSON endpoints, not a general web server.
+``Content-Length`` bodies, keep-alive — and shared with the fleet gateway
+and the load generator through :mod:`repro.service.httpio`, because the
+protocol surface is a few JSON endpoints, not a general web server.
 """
 
 from __future__ import annotations
@@ -38,7 +42,8 @@ from ..tuner.planner import ServicePlanner
 from ..tuner.tuner import TuneError
 from .batcher import Batcher
 from .cache import ServiceCache
-from .executor import ExecutionError, ExecutionTimeout, ServiceExecutor
+from .executor import ExecutionCrash, ExecutionError, ExecutionTimeout, ServiceExecutor
+from .httpio import BadRequest, read_http_request, write_json_response
 from .metrics import ServiceMetrics
 from .protocol import (
     ALGO_SUITES,
@@ -52,24 +57,6 @@ from .protocol import (
 )
 
 __all__ = ["ServiceConfig", "SpatialService", "serve_main"]
-
-_REASONS = {
-    200: "OK",
-    400: "Bad Request",
-    404: "Not Found",
-    405: "Method Not Allowed",
-    413: "Payload Too Large",
-    429: "Too Many Requests",
-    500: "Internal Server Error",
-    503: "Service Unavailable",
-    504: "Gateway Timeout",
-}
-
-_MAX_BODY = 1 << 20
-
-
-class _BadRequest(Exception):
-    """Unparseable HTTP: answer 400 and close the connection."""
 
 
 @dataclass
@@ -94,6 +81,10 @@ class ServiceConfig:
     drain_timeout: float = 30.0
     #: tuner plan database answering ``/plan`` and ``auto:`` dispatch
     plan_db: str = "benchmarks/plans/plan_db.json"
+    #: fleet identity ("s0r1" = shard 0, replica 1); echoed on /healthz,
+    #: /readyz and /metrics so gateways and chaos harnesses can tell
+    #: replicas apart
+    shard_id: str = ""
 
 
 class SpatialService:
@@ -261,7 +252,11 @@ class SpatialService:
             return 400, {"ok": False, "error": str(exc), "field": exc.field}, []
         if self.draining:
             self.metrics.response_only(503)
-            return 503, {"ok": False, "error": "server is draining"}, []
+            return (
+                503,
+                {"ok": False, "error": "server is draining"},
+                [("Retry-After", "1")],
+            )
         if self.metrics.inflight >= self.config.max_inflight:
             self.metrics.rejected += 1
             self.metrics.response_only(429)
@@ -298,6 +293,10 @@ class SpatialService:
             status = 504
             self.metrics.timeouts += 1
             result = {"ok": False, "error": f"request timed out after {deadline:.1f}s"}
+        except ExecutionCrash as exc:
+            status = 504
+            self.metrics.crashed += 1
+            result = {"ok": False, "error": str(exc)}
         except ExecutionTimeout as exc:
             status = 504
             self.metrics.timeouts += 1
@@ -373,6 +372,7 @@ class SpatialService:
             queue_depth=self.queue_depth(),
             extra={
                 "service": {
+                    "shard": self.config.shard_id,
                     "draining": self.draining,
                     "executor": self.executor.stats(),
                     "open_batches": self.batcher.depth(),
@@ -400,7 +400,23 @@ class SpatialService:
             self.metrics.response_only(405)
             return 405, {"ok": False, "error": f"{method} not allowed here"}, [("Allow", "GET")]
         if path == "/healthz":
-            return 200, {"status": "ok", "draining": self.draining}, []
+            doc = {"status": "ok", "draining": self.draining}
+            if self.config.shard_id:
+                doc["shard"] = self.config.shard_id
+            return 200, doc, []
+        if path == "/readyz":
+            reason = ""
+            if self.draining:
+                reason = "draining"
+            elif not self.executor.ready():
+                reason = "warming"
+            doc = {"ready": not reason, "draining": self.draining}
+            if self.config.shard_id:
+                doc["shard"] = self.config.shard_id
+            if reason:
+                doc["reason"] = reason
+                return 503, doc, [("Retry-After", "1")]
+            return 200, doc, []
         if path == "/metrics":
             return 200, self.metrics_doc(), []
         if path == "/algos":
@@ -415,56 +431,15 @@ class SpatialService:
                 }
             return 200, {"algos": algos}, []
         if path == "/":
-            return 200, {"endpoints": ["/run", "/plan", "/healthz", "/metrics", "/algos"]}, []
+            return (
+                200,
+                {"endpoints": ["/run", "/plan", "/healthz", "/readyz", "/metrics", "/algos"]},
+                [],
+            )
         self.metrics.response_only(404)
         return 404, {"ok": False, "error": f"no route for {path}"}, []
 
-    # -- HTTP plumbing ---------------------------------------------------
-    async def _read_request(self, reader: asyncio.StreamReader):
-        start = await reader.readline()
-        if not start:
-            return None
-        try:
-            method, target, _version = start.decode("latin-1").split()
-        except ValueError:
-            raise _BadRequest(f"malformed request line: {start[:80]!r}")
-        headers: dict[str, str] = {}
-        while True:
-            line = await reader.readline()
-            if line in (b"\r\n", b"\n", b""):
-                break
-            name, sep, value = line.decode("latin-1").partition(":")
-            if not sep:
-                raise _BadRequest(f"malformed header line: {line[:80]!r}")
-            headers[name.strip().lower()] = value.strip()
-        try:
-            length = int(headers.get("content-length", "0") or "0")
-        except ValueError:
-            raise _BadRequest("non-integer Content-Length")
-        if length < 0 or length > _MAX_BODY:
-            raise _BadRequest(f"body of {length} bytes exceeds the {_MAX_BODY} limit")
-        body = await reader.readexactly(length) if length else b""
-        return method, target, headers, body
-
-    async def _write_response(
-        self,
-        writer: asyncio.StreamWriter,
-        status: int,
-        doc: dict,
-        extra_headers: list,
-        keep_alive: bool,
-    ) -> None:
-        body = json.dumps(doc).encode("utf-8")
-        lines = [
-            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
-            "Content-Type: application/json",
-            f"Content-Length: {len(body)}",
-            f"Connection: {'keep-alive' if keep_alive else 'close'}",
-        ]
-        lines.extend(f"{name}: {value}" for name, value in extra_headers)
-        writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body)
-        await writer.drain()
-
+    # -- HTTP plumbing (byte-level pieces live in .httpio) ----------------
     async def _handle_conn(
         self,
         reader: asyncio.StreamReader,
@@ -474,10 +449,10 @@ class SpatialService:
         try:
             while True:
                 try:
-                    parsed = await self._read_request(reader)
-                except _BadRequest as exc:
+                    parsed = await read_http_request(reader)
+                except BadRequest as exc:
                     self.metrics.response_only(400)
-                    await self._write_response(
+                    await write_json_response(
                         writer, 400, {"ok": False, "error": str(exc)}, [], False
                     )
                     break
@@ -489,7 +464,7 @@ class SpatialService:
                     not self.draining and headers.get("connection", "").lower() != "close"
                 )
                 status, doc, extra = await self._route(method.upper(), path, body)
-                await self._write_response(writer, status, doc, extra, keep_alive)
+                await write_json_response(writer, status, doc, extra, keep_alive)
                 if not keep_alive:
                     break
         except (
@@ -510,9 +485,10 @@ async def _amain(config: ServiceConfig) -> int:
     service = SpatialService(config)
     await service.start()
     backend = "inline" if config.inline else f"pool({config.workers})"
+    shard = f", shard={config.shard_id}" if config.shard_id else ""
     print(
         f"repro-serve: listening on http://{config.host}:{service.port} "
-        f"(backend={backend}, window={config.batch_window}s)",
+        f"(backend={backend}, window={config.batch_window}s{shard})",
         flush=True,
     )
     stop_event = asyncio.Event()
@@ -555,5 +531,6 @@ def serve_main(args) -> int:
         bench_dir=args.bench_dir,
         drain_timeout=args.drain_timeout,
         plan_db=getattr(args, "plan_db", "benchmarks/plans/plan_db.json"),
+        shard_id=getattr(args, "shard_id", "") or "",
     )
     return asyncio.run(_amain(config))

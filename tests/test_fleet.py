@@ -1,0 +1,670 @@
+"""Tests for the fleet front tier (`repro fleet` and repro.service.fleet/*).
+
+Mirrors the tiers of ``test_service.py``:
+
+* pure unit tests for the hash ring, circuit breaker, fleet metrics, and
+  the chaos schedule;
+* in-process integration tests: a real ``FleetGateway`` over real inline
+  ``SpatialService`` backends on real sockets (health probing, failover,
+  breakers, hedging, stale degradation, readiness);
+* one subprocess test killing a live replica under load through the shipped
+  ``repro serve`` entry point, gating on zero failed client responses.
+"""
+
+import asyncio
+import contextlib
+import os
+import socket
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.service import (
+    FleetConfig,
+    FleetGateway,
+    FleetMetrics,
+    HashRing,
+    HealthMonitor,
+    ServiceConfig,
+    SpatialService,
+)
+from repro.service.breaker import CLOSED, HALF_OPEN, OPEN, BreakerConfig, CircuitBreaker
+from repro.service.fleet import (
+    ShardProcess,
+    group_backends,
+    parse_backend_list,
+    routing_key,
+    serve_argv,
+)
+from repro.service.fleetchaos import build_schedule
+from repro.service.health import BackendState
+from repro.service.httpio import http_call
+from repro.service.loadgen import build_requests, run_load
+from repro.service.protocol import ServiceRequest
+
+SRC_DIR = Path(__file__).resolve().parents[1] / "src"
+
+#: small-n request mix: every key executes in well under a second
+FAST_MIX = (
+    ("scan", (64, 256)),
+    ("sort", (64, 256)),
+    ("select", (64, 256)),
+    ("spmv", (16, 64)),
+)
+
+
+def _dead_port() -> int:
+    """A port that was just free: connecting to it refuses immediately."""
+    sock = socket.socket()
+    sock.bind(("127.0.0.1", 0))
+    port = sock.getsockname()[1]
+    sock.close()
+    return port
+
+
+def _service_config(**overrides) -> ServiceConfig:
+    base = dict(
+        port=0,
+        inline=True,  # no forking under the test runner
+        workers=4,
+        batch_window=0.01,
+        disk_cache=False,
+        drain_timeout=10.0,
+    )
+    base.update(overrides)
+    return ServiceConfig(**base)
+
+
+def _fleet_config(**overrides) -> FleetConfig:
+    base = dict(
+        port=0,
+        vnodes=16,
+        max_inflight=64,
+        request_timeout=10.0,
+        attempt_timeout=2.0,
+        hedge_after=5.0,
+        hedge_rate=0.0,  # hedging off unless a test turns it on
+        probe_interval=0.2,
+        probe_timeout=1.0,
+        fall=2,
+        rise=1,
+        failure_threshold=3,
+        cooldown=30.0,  # long enough that a tripped breaker stays open
+        max_cooldown=60.0,
+        seed=0,
+        disk_cache=False,
+        drain_timeout=5.0,
+    )
+    base.update(overrides)
+    return FleetConfig(**base)
+
+
+def _freeze_health(gateway: FleetGateway) -> None:
+    """Reset every replica to the never-probed rank (monitor must be stopped).
+
+    Keeps the per-key rotation in ``_candidates`` deterministic: no probe
+    result can reorder replicas mid-test."""
+    for group in gateway.shards:
+        for st in group:
+            st.ready = None
+            st.alive = None
+            st.consecutive_failures = 0
+            st.consecutive_successes = 0
+
+
+def _run_fleet(groups, scenario, *, config=None, freeze_health=False):
+    """Run ``await scenario(gateway, services)`` against a live fleet.
+
+    ``groups`` is one list per shard whose items are either a
+    :class:`ServiceConfig` (a live inline backend is started) or an ``int``
+    (a dead port standing in for a crashed replica)."""
+
+    async def go():
+        services = []
+        try:
+            addrs = []
+            for group in groups:
+                g_addrs = []
+                for item in group:
+                    if isinstance(item, int):
+                        g_addrs.append(("127.0.0.1", item))
+                    else:
+                        svc = SpatialService(item)
+                        await svc.start()
+                        services.append(svc)
+                        g_addrs.append(("127.0.0.1", svc.port))
+                addrs.append(g_addrs)
+            gateway = FleetGateway(config or _fleet_config(), addrs)
+            await gateway.start()
+            if freeze_health:
+                await gateway.monitor.stop()
+                _freeze_health(gateway)
+            try:
+                return await scenario(gateway, services)
+            finally:
+                await gateway.stop()
+        finally:
+            for svc in services:
+                await svc.drain(5.0)
+                await svc.stop()
+
+    return asyncio.run(go())
+
+
+async def _gcall(port, method, path, payload=None, timeout=10.0):
+    """One-shot request -> (status, headers, doc)."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    try:
+        status, headers, doc, _closed = await http_call(
+            reader, writer, method, path, payload, timeout=timeout
+        )
+        return status, headers, doc
+    finally:
+        writer.close()
+
+
+def _payloads_preferring(gateway, name, count, pool=64):
+    """Valid /run payloads whose preferred replica is ``name``."""
+    out = []
+    for seed in range(pool):
+        payload = {"algo": "scan", "n": 64, "seed": seed}
+        key = routing_key(ServiceRequest.from_payload(payload))
+        shard = gateway.ring.shard_for(key)
+        if gateway._candidates(shard, key)[0].name == name:
+            out.append(payload)
+            if len(out) == count:
+                return out
+    raise AssertionError(f"no payloads prefer {name} in a pool of {pool}")
+
+
+class TestHashRing:
+    def test_placement_is_deterministic(self):
+        a, b = HashRing(3, vnodes=32), HashRing(3, vnodes=32)
+        keys = [f"key-{i}" for i in range(500)]
+        assert [a.shard_for(k) for k in keys] == [b.shard_for(k) for k in keys]
+        assert all(0 <= a.shard_for(k) < 3 for k in keys)
+
+    def test_spread_is_balanced(self):
+        counts = HashRing(3, vnodes=64).spread(f"key-{i}" for i in range(3000))
+        assert sum(counts) == 3000
+        assert all(500 <= c <= 2000 for c in counts), counts
+
+    def test_single_shard_takes_everything(self):
+        ring = HashRing(1, vnodes=8)
+        assert ring.spread(f"k{i}" for i in range(100)) == [100]
+
+    def test_routing_key_matches_request_identity(self):
+        a = ServiceRequest.from_payload({"algo": "scan", "n": 64, "seed": 3})
+        b = ServiceRequest.from_payload({"algo": "scan", "n": 64, "seed": 3})
+        c = ServiceRequest.from_payload({"algo": "scan", "n": 64, "seed": 4})
+        assert routing_key(a) == routing_key(b) != routing_key(c)
+
+    def test_routing_key_includes_auto_metric(self):
+        edp = ServiceRequest.from_payload({"algo": "auto:sort", "n": 256})
+        energy = ServiceRequest.from_payload(
+            {"algo": "auto:sort", "n": 256, "metric": "energy"}
+        )
+        assert routing_key(edp) != routing_key(energy)
+
+
+def _breaker(**cfg):
+    """A breaker on a hand-cranked clock; advance time via the returned list."""
+    now = [0.0]
+    config = BreakerConfig(**{"jitter": 0.0, **cfg})
+    return CircuitBreaker("b", config, seed=1, clock=lambda: now[0]), now
+
+
+class TestCircuitBreaker:
+    def test_trips_after_consecutive_failures(self):
+        br, _now = _breaker(failure_threshold=3, cooldown_s=1.0)
+        br.record_failure()
+        br.record_failure()
+        assert br.state == CLOSED and br.allow()
+        br.record_failure()
+        assert br.state == OPEN
+        assert not br.allow()
+        assert br.rejected == 1
+        last = br.transitions[-1]
+        assert (last["from"], last["to"]) == (CLOSED, OPEN)
+
+    def test_success_resets_the_consecutive_count(self):
+        br, _now = _breaker(failure_threshold=3)
+        br.record_failure()
+        br.record_failure()
+        br.record_success()
+        br.record_failure()
+        br.record_failure()
+        assert br.state == CLOSED
+
+    def test_half_open_admits_exactly_one_probe(self):
+        br, now = _breaker(failure_threshold=1, cooldown_s=2.0)
+        br.record_failure()
+        assert br.state == OPEN
+        now[0] = 2.5  # past the cooldown
+        assert br.allow()  # the probe
+        assert br.state == HALF_OPEN
+        assert not br.allow()  # second caller is still rejected
+        br.record_success()
+        assert br.state == CLOSED
+        reasons = [t["reason"] for t in br.transitions]
+        assert "cooldown elapsed" in reasons and "probe succeeded" in reasons
+
+    def test_probe_failure_doubles_cooldown_up_to_cap(self):
+        br, now = _breaker(failure_threshold=1, cooldown_s=1.0, max_cooldown_s=3.0)
+        br.record_failure()  # open, cooldown 1.0
+        now[0] = 1.5
+        assert br.allow()
+        br.record_failure("still down")  # re-open, cooldown 2.0
+        assert br.state == OPEN
+        assert br.snapshot()["cooldown_s"] == 2.0
+        assert br.seconds_until_probe() == pytest.approx(2.0)
+        now[0] = 4.0
+        assert br.allow()
+        br.record_failure("still down")  # re-open, capped at 3.0
+        assert br.snapshot()["cooldown_s"] == 3.0
+        now[0] = 8.0
+        assert br.allow()
+        br.record_success()
+        assert br.state == CLOSED
+        assert br.snapshot()["cooldown_s"] == 1.0  # reset on recovery
+
+    def test_release_returns_the_probe_slot(self):
+        br, now = _breaker(failure_threshold=1, cooldown_s=1.0)
+        br.record_failure()
+        now[0] = 1.5
+        assert br.allow()
+        br.release()  # the admitted attempt was cancelled, not settled
+        assert br.allow()
+
+    def test_would_allow_is_non_mutating(self):
+        br, now = _breaker(failure_threshold=1, cooldown_s=1.0)
+        br.record_failure()
+        assert not br.would_allow()
+        now[0] = 1.5
+        assert br.would_allow()
+        assert br.state == OPEN  # no transition, no probe slot consumed
+        assert br.rejected == 0
+
+    def test_jitter_is_bounded_and_seeded(self):
+        for seed in (0, 1, 7):
+            a = CircuitBreaker(
+                "a",
+                BreakerConfig(failure_threshold=1, cooldown_s=10.0, jitter=0.2),
+                seed=seed,
+                clock=lambda: 0.0,
+            )
+            b = CircuitBreaker(
+                "b",
+                BreakerConfig(failure_threshold=1, cooldown_s=10.0, jitter=0.2),
+                seed=seed,
+                clock=lambda: 0.0,
+            )
+            a.record_failure()
+            b.record_failure()
+            assert 8.0 <= a.seconds_until_probe() <= 12.0
+            assert a.seconds_until_probe() == b.seconds_until_probe()
+
+
+class TestFleetMetrics:
+    def test_hedge_budget_is_a_fraction_of_requests(self):
+        m = FleetMetrics()
+        m.requests_total = 19
+        assert not m.hedge_allowed(0.05)  # 1 hedge > 5% of 19
+        m.requests_total = 20
+        assert m.hedge_allowed(0.05)
+        m.hedges_started = 1
+        assert not m.hedge_allowed(0.05)
+        m.requests_total = 40
+        assert m.hedge_allowed(0.05)
+
+    def test_snapshot_sections(self):
+        m = FleetMetrics()
+        m.request_received()
+        m.request_admitted()
+        m.attempt_failed("s0r0", "boom")
+        m.failovers += 1
+        m.request_finished(200, 0.01)
+        snap = m.snapshot(
+            shards=[{"shard": 0}], breakers={"s0r0": {}}, health=[], extra={"x": 1}
+        )
+        assert snap["requests"]["total"] == 1
+        assert snap["routing"]["attempt_failures"] == {"s0r0": {"boom": 1}}
+        assert snap["routing"]["failovers"] == 1
+        assert snap["shards"] == [{"shard": 0}]
+        assert "s0r0" in snap["breakers"]
+        assert snap["x"] == 1
+
+
+class TestChaosSchedule:
+    def test_schedule_is_seeded_and_keeps_shards_apart(self):
+        sched = build_schedule(3, 2, seed=5)
+        assert sched == build_schedule(3, 2, seed=5)
+        actions = [e.action for e in sched]
+        assert actions == ["kill", "hang", "restart", "resume"]
+        kill, hang, restart, resume = sched
+        # the killed and hung replicas live on different shards, so every
+        # shard keeps at least one live replica throughout
+        assert kill.target.split("r")[0] != hang.target.split("r")[0]
+        assert restart.target == kill.target
+        assert resume.target == hang.target
+        assert [e.fraction for e in sched] == sorted(e.fraction for e in sched)
+
+    def test_single_replica_fleets_are_rejected(self):
+        with pytest.raises(SystemExit):
+            build_schedule(2, 1, seed=0)
+
+
+class TestBackendHelpers:
+    def test_parse_and_group_backends(self):
+        flat = parse_backend_list("127.0.0.1:1, :2,localhost:3,127.0.0.1:4")
+        assert flat == [
+            ("127.0.0.1", 1),
+            ("127.0.0.1", 2),
+            ("localhost", 3),
+            ("127.0.0.1", 4),
+        ]
+        assert group_backends(flat, 2) == [[flat[0], flat[2]], [flat[1], flat[3]]]
+        with pytest.raises(SystemExit):
+            parse_backend_list("nope")
+        with pytest.raises(SystemExit):
+            group_backends(flat[:1], 2)
+
+    def test_serve_argv_shape(self):
+        argv = serve_argv("s1r0", workers=2, cache_dir="/tmp/c")
+        assert argv[:3] == [sys.executable, "-m", "repro"]
+        assert "--shard-id" in argv and argv[argv.index("--shard-id") + 1] == "s1r0"
+        assert argv[argv.index("--cache-dir") + 1] == "/tmp/c"
+
+
+class TestHealthMonitor:
+    def test_readiness_flips_with_debounce(self):
+        async def go():
+            svc = SpatialService(_service_config())
+            await svc.start()
+            try:
+                backend = BackendState("s0r0", "127.0.0.1", svc.port, 0, 0)
+                monitor = HealthMonitor([backend], fall=2, rise=1)
+                assert await monitor.probe(backend)
+                assert backend.ready is True and backend.alive is True
+                assert backend.last_status == 200
+
+                svc.draining = True  # /readyz answers 503, /healthz stays 200
+                assert not await monitor.probe(backend)
+                assert backend.ready is True  # one failure < fall=2
+                assert not await monitor.probe(backend)
+                assert backend.ready is False and backend.alive is True
+                assert backend.last_status == 503
+
+                svc.draining = False
+                assert await monitor.probe(backend)
+                assert backend.ready is True  # rise=1 recovers immediately
+                assert len(backend.transitions) >= 3
+            finally:
+                await svc.drain(5.0)
+                await svc.stop()
+
+        asyncio.run(go())
+
+    def test_dead_backend_is_marked_down(self):
+        async def go():
+            backend = BackendState("s0r0", "127.0.0.1", _dead_port(), 0, 0)
+            monitor = HealthMonitor([backend], fall=1, timeout=0.5)
+            assert not await monitor.probe(backend)
+            assert backend.ready is False and backend.alive is False
+            assert backend.last_error
+
+        asyncio.run(go())
+
+    def test_probe_scrapes_backend_metrics(self):
+        async def go():
+            svc = SpatialService(_service_config(shard_id="s0r0"))
+            await svc.start()
+            try:
+                backend = BackendState("s0r0", "127.0.0.1", svc.port, 0, 0)
+                monitor = HealthMonitor([backend])
+                await monitor.probe(backend)  # probe #1 also scrapes /metrics
+                assert backend.backend_metrics["shard"] == "s0r0"
+                assert "requests_total" in backend.backend_metrics
+            finally:
+                await svc.drain(5.0)
+                await svc.stop()
+
+        asyncio.run(go())
+
+
+class TestFleetGateway:
+    def test_routing_affinity_and_fleet_annotation(self):
+        async def scenario(gateway, _services):
+            body = {"algo": "scan", "n": 64, "seed": 1}
+            seen = set()
+            for _ in range(3):
+                status, _h, doc = await _gcall(gateway.port, "POST", "/run", body)
+                assert status == 200 and doc["ok"]
+                seen.add((doc["fleet"]["shard"], doc["fleet"]["replica"]))
+            assert len(seen) == 1  # identical keys always land together
+            shard, replica = next(iter(seen))
+            assert replica == f"s{shard}r0"
+            assert sum(gateway.metrics.forwarded_by_backend.values()) == 3
+            assert sum(gateway.metrics.routed_by_shard.values()) == 3
+
+        _run_fleet([[_service_config()], [_service_config()]], scenario)
+
+    def test_failover_skips_dead_replica_and_opens_breaker(self):
+        def scenario_config():
+            return _fleet_config(attempt_timeout=1.0, failure_threshold=3)
+
+        async def scenario(gateway, _services):
+            payloads = _payloads_preferring(gateway, "s0r0", 4)
+            for payload in payloads[:3]:
+                status, _h, doc = await _gcall(gateway.port, "POST", "/run", payload)
+                assert status == 200 and doc["ok"]
+                assert doc["fleet"]["replica"] == "s0r1"  # failed over
+            br = gateway.breakers["s0r0"]
+            assert br.state == OPEN  # three consecutive connect failures
+            assert gateway.metrics.failovers >= 3
+            assert sum(gateway.metrics.attempt_failures["s0r0"].values()) == 3
+
+            # with the breaker open the dead replica is skipped, not retried
+            status, _h, doc = await _gcall(gateway.port, "POST", "/run", payloads[3])
+            assert status == 200 and doc["fleet"]["replica"] == "s0r1"
+            assert sum(gateway.metrics.attempt_failures["s0r0"].values()) == 3
+            assert br.rejected >= 1
+
+            # the trip is visible on /metrics for the chaos gate to find
+            _s, _h, metrics = await _gcall(gateway.port, "GET", "/metrics")
+            transitions = metrics["breakers"]["s0r0"]["transitions"]
+            assert any(t["to"] == OPEN for t in transitions)
+
+        _run_fleet(
+            [[_dead_port(), _service_config()]],
+            scenario,
+            config=scenario_config(),
+            freeze_health=True,
+        )
+
+    def test_hedged_request_wins_over_a_stalled_replica(self):
+        async def go():
+            unblock = asyncio.Event()
+
+            async def hang(reader, writer):
+                with contextlib.suppress(Exception):
+                    await reader.read(1 << 16)  # swallow the request, never answer
+                    await unblock.wait()
+
+            stub = await asyncio.start_server(hang, "127.0.0.1", 0)
+            stub_port = stub.sockets[0].getsockname()[1]
+            svc = SpatialService(_service_config())
+            await svc.start()
+            gateway = FleetGateway(
+                _fleet_config(hedge_after=0.15, hedge_rate=1.0),
+                [[("127.0.0.1", stub_port), ("127.0.0.1", svc.port)]],
+            )
+            await gateway.start()
+            await gateway.monitor.stop()
+            _freeze_health(gateway)
+            try:
+                payload = _payloads_preferring(gateway, "s0r0", 1)[0]
+                status, _h, doc = await _gcall(gateway.port, "POST", "/run", payload)
+                assert status == 200 and doc["ok"]
+                assert doc["fleet"]["replica"] == "s0r1"  # the hedge answered
+                m = gateway.metrics
+                assert (m.hedges_started, m.hedge_wins, m.hedges_cancelled) == (1, 1, 1)
+            finally:
+                unblock.set()
+                stub.close()
+                await gateway.stop()
+                await svc.drain(5.0)
+                await svc.stop()
+
+        asyncio.run(go())
+
+    def test_degraded_stale_serving_and_shed(self):
+        async def scenario(gateway, _services):
+            cached = ServiceRequest.from_payload({"algo": "scan", "n": 64, "seed": 0})
+            key = cached.cache_key(gateway.code_versions["scan"])
+            payload = {
+                "metrics": {"energy": 5, "messages": 2, "rounds": 1,
+                            "max_depth": 1, "max_distance": 1},
+                "phases": [],
+                "extra": {},
+            }
+            gateway.stale_cache.put(key, cached, payload, 0.1)
+
+            # a previously-seen key is served stale when no replica answers
+            status, _h, doc = await _gcall(
+                gateway.port, "POST", "/run", {"algo": "scan", "n": 64, "seed": 0}
+            )
+            assert status == 200 and doc["ok"]
+            assert doc["degraded"] is True and doc["cached"] == "stale"
+            assert doc["fleet"]["replica"] is None
+            assert doc["metrics"]["energy"] == 5
+
+            # an unseen key is shed with an honest Retry-After
+            status, headers, doc = await _gcall(
+                gateway.port, "POST", "/run", {"algo": "scan", "n": 64, "seed": 9}
+            )
+            assert status == 503 and doc["degraded"] is False
+            assert int(headers["retry-after"]) >= 1
+
+            assert gateway.metrics.degraded_stale == 1
+            assert gateway.metrics.shed == 1
+
+        _run_fleet(
+            [[_dead_port()]],
+            scenario,
+            config=_fleet_config(
+                attempt_timeout=0.5, failure_threshold=1, cooldown=30.0
+            ),
+            freeze_health=True,
+        )
+
+    def test_readyz_metrics_and_draining(self):
+        async def scenario(gateway, _services):
+            # never probed: the gateway refuses to call itself ready
+            status, headers, doc = await _gcall(gateway.port, "GET", "/readyz")
+            assert status == 503 and doc["shards_ready"] == [0, 0]
+            assert headers["retry-after"] == "1"
+
+            await gateway.monitor.probe_all()
+            status, _h, doc = await _gcall(gateway.port, "GET", "/readyz")
+            assert status == 200 and doc["all_ready"] is True
+
+            status, _h, doc = await _gcall(gateway.port, "GET", "/healthz")
+            assert status == 200 and doc["role"] == "gateway"
+
+            _s, _h, metrics = await _gcall(gateway.port, "GET", "/metrics")
+            assert set(metrics["breakers"]) == {"s0r0", "s1r0"}
+            assert metrics["gateway"]["shards"] == 2
+            assert len(metrics["health"]) == 2
+
+            gateway.draining = True
+            status, _h, doc = await _gcall(gateway.port, "GET", "/readyz")
+            assert status == 503 and doc["draining"] is True
+            gateway.draining = False
+
+        _run_fleet(
+            [[_service_config()], [_service_config()]],
+            scenario,
+            freeze_health=True,
+        )
+
+    def test_gateway_serves_load_end_to_end(self):
+        async def scenario(gateway, _services):
+            requests = build_requests(30, seed=3, mix=FAST_MIX, seed_pool=2)
+            report = await run_load(
+                "127.0.0.1", gateway.port, requests, concurrency=8, timeout=30.0
+            )
+            assert report.dropped == 0, report.errors
+            assert report.ok == 30, dict(report.by_status)
+            assert sum(gateway.metrics.routed_by_shard.values()) == 30
+
+        _run_fleet([[_service_config()], [_service_config()]], scenario)
+
+
+class TestFleetSubprocess:
+    """A real replica kill under load through the shipped entry points."""
+
+    def _spawn_replica(self, name, tmp_path):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(SRC_DIR) + os.pathsep + env.get("PYTHONPATH", "")
+        proc = ShardProcess(
+            name,
+            serve_argv(
+                name,
+                workers=1,
+                cache_dir=str(tmp_path / "cache"),
+                batch_window=0.05,
+            ),
+            env=env,
+        )
+        proc.start(timeout=60.0)
+        return proc
+
+    def test_replica_kill_under_load_zero_failures(self, tmp_path):
+        procs = [
+            self._spawn_replica("s0r0", tmp_path),
+            self._spawn_replica("s0r1", tmp_path),
+        ]
+        try:
+            async def go():
+                gateway = FleetGateway(
+                    _fleet_config(
+                        request_timeout=20.0,
+                        attempt_timeout=5.0,
+                        probe_interval=0.15,
+                        fall=1,
+                        rise=1,
+                        failure_threshold=2,
+                        cooldown=0.5,
+                        max_cooldown=2.0,
+                    ),
+                    [[("127.0.0.1", p.port) for p in procs]],
+                )
+                await gateway.start()
+                try:
+                    async def killer():
+                        while gateway.metrics.latency.count < 5:
+                            await asyncio.sleep(0.02)
+                        procs[0].kill()
+
+                    kill_task = asyncio.ensure_future(killer())
+                    requests = build_requests(30, seed=7, mix=FAST_MIX, seed_pool=2)
+                    report = await run_load(
+                        "127.0.0.1", gateway.port, requests,
+                        concurrency=4, timeout=30.0, max_retries=12, backoff_seed=7,
+                    )
+                    await kill_task
+                    return report
+                finally:
+                    await gateway.stop()
+
+            report = asyncio.run(go())
+            assert not procs[0].alive  # the kill really happened mid-run
+            assert report.dropped == 0, report.errors
+            assert report.ok == 30, dict(report.by_status)
+        finally:
+            for proc in procs:
+                proc.terminate()
+            for proc in procs:
+                proc.wait(15.0)

@@ -33,6 +33,7 @@ from repro.service import (
     ServiceRequest,
     SpatialService,
 )
+from repro.service.httpio import read_http_request, write_json_response
 from repro.service.loadgen import _http, build_requests, fetch_metrics, run_load
 
 SRC_DIR = Path(__file__).resolve().parents[1] / "src"
@@ -269,6 +270,81 @@ class TestLoadgen:
             ServiceRequest.from_payload(payload)
 
 
+async def _start_stub(respond):
+    """A tiny HTTP stub: ``respond(request_number) -> (status, doc, headers)``."""
+    counter = {"n": 0}
+
+    async def handler(reader, writer):
+        try:
+            while True:
+                parsed = await read_http_request(reader)
+                if parsed is None:
+                    break
+                counter["n"] += 1
+                status, doc, extra = respond(counter["n"])
+                await write_json_response(writer, status, doc, extra, True)
+        except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+
+    server = await asyncio.start_server(handler, "127.0.0.1", 0)
+    return server, server.sockets[0].getsockname()[1], counter
+
+
+class TestLoadgenBackoff:
+    """429/503 + Retry-After answers are resent, not counted as failures."""
+
+    def test_retry_after_is_honored_then_succeeds(self):
+        async def go():
+            def respond(n):
+                if n <= 3:  # the first three answers push back
+                    return 503, {"ok": False, "error": "warming"}, [("Retry-After", "0.05")]
+                return 200, {"ok": True, "metrics": {"energy": 1}}, []
+
+            server, port, counter = await _start_stub(respond)
+            try:
+                requests = [{"algo": "scan", "n": 64, "seed": i} for i in range(5)]
+                report = await run_load(
+                    "127.0.0.1", port, requests,
+                    concurrency=2, timeout=10.0, backoff_seed=3,
+                )
+                return report, counter["n"]
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        report, calls = asyncio.run(go())
+        assert report.dropped == 0
+        assert report.ok == 5
+        assert dict(report.by_status) == {200: 5}  # only final statuses recorded
+        assert report.backoff_retries == 3
+        assert calls == 8  # 5 requests + 3 Retry-After resends
+        assert report.model_metrics["energy"] == 5
+
+    def test_backoff_gives_up_after_max_retries(self):
+        async def go():
+            def respond(n):
+                return 503, {"ok": False, "error": "down"}, [("Retry-After", "0.05")]
+
+            server, port, _counter = await _start_stub(respond)
+            try:
+                requests = [{"algo": "scan", "n": 64, "seed": i} for i in range(3)]
+                return await run_load(
+                    "127.0.0.1", port, requests,
+                    concurrency=1, timeout=10.0, max_retries=2,
+                )
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        report = asyncio.run(go())
+        assert report.dropped == 0  # an HTTP 503 is an answer, not a drop
+        assert report.ok == 0
+        assert dict(report.by_status) == {503: 3}
+        assert report.backoff_retries == 6  # 3 requests x max_retries=2
+
+
 def _service_config(**overrides) -> ServiceConfig:
     base = dict(
         port=0,
@@ -386,6 +462,41 @@ class TestServerRoutes:
 
         _with_service(_service_config(), scenario)
 
+    def test_readyz_splits_from_healthz(self):
+        async def scenario(service):
+            port = service.port
+            status, doc, _ = await _call(port, "GET", "/readyz")
+            assert status == 200 and doc == {"ready": True, "draining": False}
+
+            # a warming executor flips readiness but never liveness
+            service.executor.ready = lambda: False
+            status, doc, _ = await _call(port, "GET", "/readyz")
+            assert status == 503 and doc["reason"] == "warming"
+            status, doc, _ = await _call(port, "GET", "/healthz")
+            assert status == 200
+            del service.executor.ready
+
+            # draining does the same, with a Retry-After hint
+            service.draining = True
+            status, headers, doc = await _call_raw(port, b"GET /readyz HTTP/1.1\r\n\r\n")
+            assert status == 503 and doc["reason"] == "draining"
+            assert headers["retry-after"] == "1"
+            service.draining = False
+            status, doc, _ = await _call(port, "GET", "/readyz")
+            assert status == 200 and doc["ready"] is True
+
+        _with_service(_service_config(), scenario)
+
+    def test_shard_id_echoed_on_health_and_metrics(self):
+        async def scenario(service):
+            _, doc, _ = await _call(service.port, "GET", "/healthz")
+            assert doc["shard"] == "s1r0"
+            _, doc, _ = await _call(service.port, "GET", "/readyz")
+            assert doc["shard"] == "s1r0"
+            assert service.metrics_doc()["service"]["shard"] == "s1r0"
+
+        _with_service(_service_config(shard_id="s1r0"), scenario)
+
     def test_draining_returns_503(self):
         async def scenario(service):
             service.draining = True
@@ -484,6 +595,57 @@ class TestServerUnderLoad:
             scenario,
         )
 
+    def test_worker_crash_mid_batch_one_504_per_request(self, tmp_path):
+        """A worker killed mid-batch: every coalesced waiter gets exactly one
+        504, the failure is counted once, and the replacement worker serves."""
+
+        async def scenario(service):
+            port = service.port
+            pool = service.executor._pool
+            pids = [w.proc.pid for w in pool._idle]
+            assert len(pids) == 1
+
+            body = {"algo": "sort", "n": 4096}
+            leader = asyncio.ensure_future(_call(port, "POST", "/run", body, timeout=60.0))
+            await asyncio.sleep(0.1)  # leader is inside its batch window
+            follower = asyncio.ensure_future(_call(port, "POST", "/run", body, timeout=60.0))
+
+            # wait until the batch has actually been dispatched to the worker,
+            # then kill it mid-task
+            deadline = asyncio.get_running_loop().time() + 20.0
+            while pool._idle and asyncio.get_running_loop().time() < deadline:
+                await asyncio.sleep(0.01)
+            assert not pool._idle, "execution never reached the worker"
+            os.kill(pids[0], signal.SIGKILL)
+
+            (s1, d1, _), (s2, d2, _) = await asyncio.gather(leader, follower)
+            assert (s1, s2) == (504, 504), (d1, d2)
+            assert "died" in d1["error"] and "died" in d2["error"]
+
+            snap = service.metrics_doc()
+            assert snap["requests"]["crashed"] == 2  # one 504 per affected request
+            assert snap["responses"]["by_status"]["504"] == 2
+            assert snap["batching"]["executions"] == 1  # ...but one execution
+            assert snap["batching"]["execution_failures"] == 1  # counted once
+            assert snap["requests"]["timeouts"] == 0  # a crash is not a timeout
+            assert service.executor.stats()["pool_replaced"] >= 1
+
+            # the replacement worker serves the next request
+            status, doc, _ = await _call(port, "POST", "/run", {"algo": "scan", "n": 64}, timeout=60.0)
+            assert status == 200 and doc["ok"]
+
+        _with_service(
+            _service_config(
+                inline=False,
+                workers=1,
+                batch_window=0.3,
+                timeout=60.0,
+                disk_cache=True,
+                cache_dir=str(tmp_path / "cache"),
+            ),
+            scenario,
+        )
+
 
 class TestServeSubprocess:
     """End to end through the shipped entry points, pool backend included."""
@@ -558,6 +720,44 @@ class TestServeSubprocess:
                 assert status == 200 and doc["ok"]
             finally:
                 writer.close()
+
+        proc, port = self._spawn(tmp_path)
+        try:
+            asyncio.run(scenario(proc, port))
+            out, _ = proc.communicate(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == 0, out
+        assert "drained cleanly" in out
+
+    def test_sigterm_drain_completes_batched_followers(self, tmp_path):
+        """SIGTERM with a leader AND a coalesced follower in flight: both get
+        the leader's result — a follower is never dropped mid-drain."""
+
+        async def scenario(proc, port):
+            body = {"algo": "select", "n": 1024}
+            r1, w1 = await asyncio.open_connection("127.0.0.1", port)
+            r2, w2 = await asyncio.open_connection("127.0.0.1", port)
+            try:
+                leader = asyncio.ensure_future(
+                    _http(r1, w1, "POST", "/run", body, timeout=60.0)
+                )
+                await asyncio.sleep(0.05)  # leader is inside the 0.25s window
+                follower = asyncio.ensure_future(
+                    _http(r2, w2, "POST", "/run", body, timeout=60.0)
+                )
+                await asyncio.sleep(0.05)  # both attached, execution pending
+                proc.send_signal(signal.SIGTERM)
+                (s1, d1, _), (s2, d2, _) = await asyncio.gather(leader, follower)
+                for status, doc in ((s1, d1), (s2, d2)):
+                    assert status == 200 and doc["ok"], (status, doc)
+                assert d1["metrics"] == d2["metrics"]
+                assert d1.get("batched") and d2.get("batched")
+            finally:
+                w1.close()
+                w2.close()
 
         proc, port = self._spawn(tmp_path)
         try:
