@@ -15,6 +15,7 @@
     python -m repro bench run --suite table1_sort --jobs 4
     python -m repro bench compare --baseline benchmarks/baselines/quick
     python -m repro serve --port 8642 --workers 2
+    python -m repro trace-collect --dir trace_out --out trace.json
 
 Each subcommand runs the primitive on the Spatial Computer simulator and
 prints the measured energy / depth / distance next to the paper's bound.
@@ -427,6 +428,12 @@ def _cmd_fleet_chaos(args) -> int:
     return fleet_chaos_main(args)
 
 
+def _cmd_trace_collect(args) -> int:
+    from .obs.collect import trace_collect_main
+
+    return trace_collect_main(args)
+
+
 def _cmd_trace(args) -> int:
     m, label = _run_algo(args.algo, args.n, args.seed, args.workload, trace=True)
     if args.out:
@@ -600,6 +607,9 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--shard-id", default="",
                     help="fleet identity (e.g. s0r1) echoed on /healthz, /readyz "
                     "and /metrics")
+    sp.add_argument("--trace-dir", default="",
+                    help="write request spans to spans-*.jsonl files here "
+                    "(empty = tracing off; merge with `repro trace-collect`)")
     sp.set_defaults(func=_cmd_serve)
 
     sp = sub.add_parser(
@@ -636,6 +646,9 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--no-disk-cache", action="store_true",
                     help="disable stale-result serving from the disk cache")
     sp.add_argument("--bench-dir", default="")
+    sp.add_argument("--trace-dir", default="",
+                    help="trace the gateway and its spawned shards into "
+                    "spans-*.jsonl files here (empty = tracing off)")
     sp.set_defaults(func=_cmd_fleet)
 
     sp = sub.add_parser(
@@ -646,6 +659,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     add_fleet_chaos_args(sp)
     sp.set_defaults(func=_cmd_fleet_chaos)
+
+    sp = sub.add_parser(
+        "trace-collect",
+        help="merge spans-*.jsonl from a traced run into one Chrome trace "
+        "with a per-stage latency breakdown",
+    )
+    from .obs.collect import add_trace_collect_args
+
+    add_trace_collect_args(sp)
+    sp.set_defaults(func=_cmd_trace_collect)
 
     add_bench_parser(sub)
     add_tune_parser(sub)

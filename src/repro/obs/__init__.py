@@ -1,0 +1,54 @@
+"""repro.obs — distributed tracing and structured events for the serving tier.
+
+The single-machine side of the repo already attributes every joule and every
+hop (``CostTree`` phase spans, the spatial profiler's witnesses).  This
+package extends that discipline across *processes*: one request minted by the
+load generator carries a W3C-traceparent-style context (the ``X-Repro-Trace``
+header) through the fleet gateway, a shard server, and a pool worker, and
+every hop records spans into a bounded per-process JSONL sink.  The worker's
+span carries the machine's root counters and flattened ``CostTree`` rows, so
+model energy/depth attach to the serving trace end to end.
+
+Three modules:
+
+* :mod:`repro.obs.context` — the trace context: header format, parsing,
+  deterministic (seedable) trace/span id derivation;
+* :mod:`repro.obs.tracer` — per-process recording: ``Tracer`` (spans +
+  typed events, seeded ids, injectable clock), the bounded ``SpanSink``
+  whose first record is a (unix, monotonic) clock pair for merge-time
+  alignment, and the zero-cost ``NULL_TRACER`` disabled path;
+* :mod:`repro.obs.collect` — ``repro trace-collect``: merge per-process
+  span files, align clocks, group traces, validate chains, export one
+  Perfetto-loadable Chrome trace, and print a per-stage latency breakdown.
+
+Tracing is strictly opt-in: without ``REPRO_TRACE_DIR`` (or an explicit
+tracer), every instrumentation point hits ``NULL_TRACER.enabled`` — a class
+attribute read — and does nothing else.  No metrics counter is ever touched
+by tracing code, so ``/metrics`` for a seeded load is byte-identical with
+tracing on or off.
+"""
+
+from .context import TRACE_HEADER, TraceContext, deterministic_span_id, deterministic_trace_id
+from .tracer import (
+    ENV_TRACE_DIR,
+    NULL_TRACER,
+    NullTracer,
+    SpanSink,
+    Tracer,
+    make_tracer,
+    tracer_from_env,
+)
+
+__all__ = [
+    "ENV_TRACE_DIR",
+    "NULL_TRACER",
+    "TRACE_HEADER",
+    "NullTracer",
+    "SpanSink",
+    "TraceContext",
+    "Tracer",
+    "deterministic_span_id",
+    "deterministic_trace_id",
+    "make_tracer",
+    "tracer_from_env",
+]

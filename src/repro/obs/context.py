@@ -1,0 +1,91 @@
+"""The request-scoped trace context and its wire format.
+
+One context travels as a single HTTP header, ``X-Repro-Trace``, in the
+W3C-traceparent shape::
+
+    00-<trace_id: 32 hex>-<span_id: 16 hex>-<flags: 2 hex>
+
+``trace_id`` names the whole distributed request; ``span_id`` names the
+sender's current span, which the receiver records as its parent.  Flags are
+``01`` (sampled) or ``00``; the all-zero ids are invalid, as in the W3C
+spec.  Parsing is strict but total: anything malformed yields ``None`` and
+the receiver simply starts a fresh trace-less request — a bad header must
+never fail a request.
+
+Determinism: the serving tier's tests and the chaos harness need traces that
+are pure functions of their seeds.  :func:`deterministic_trace_id` and
+:func:`deterministic_span_id` derive ids from arbitrary seed material via
+sha256, so the load generator can mint the id for request ``i`` of seed
+``s`` without any shared state (matching the repo-wide ``_stable_hash``
+discipline in :mod:`repro.service.fleet`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, replace
+
+__all__ = [
+    "TRACE_HEADER",
+    "TRACE_HEADER_LOWER",
+    "TraceContext",
+    "deterministic_span_id",
+    "deterministic_trace_id",
+]
+
+TRACE_HEADER = "X-Repro-Trace"
+#: the header name as it appears in parsed (lower-cased) header dicts
+TRACE_HEADER_LOWER = "x-repro-trace"
+
+_VERSION = "00"
+_HEXDIGITS = frozenset("0123456789abcdefABCDEF")
+
+
+def _is_hex(value: str) -> bool:
+    return bool(value) and all(c in _HEXDIGITS for c in value)
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One hop of a distributed trace: (trace id, sender span id, sampled)."""
+
+    trace_id: str
+    span_id: str
+    sampled: bool = True
+
+    def header_value(self) -> str:
+        flags = "01" if self.sampled else "00"
+        return f"{_VERSION}-{self.trace_id}-{self.span_id}-{flags}"
+
+    @classmethod
+    def parse(cls, value: str | None) -> TraceContext | None:
+        """Parse a header value; ``None`` on anything malformed."""
+        if not value or not isinstance(value, str):
+            return None
+        parts = value.strip().split("-")
+        if len(parts) != 4:
+            return None
+        version, trace_id, span_id, flags = parts
+        if version != _VERSION or len(trace_id) != 32 or len(span_id) != 16 or len(flags) != 2:
+            return None
+        if not (_is_hex(trace_id) and _is_hex(span_id) and _is_hex(flags)):
+            return None
+        if trace_id == "0" * 32 or span_id == "0" * 16:
+            return None
+        return cls(trace_id=trace_id.lower(), span_id=span_id.lower(), sampled=flags != "00")
+
+    def child(self, span_id: str) -> TraceContext:
+        """The context a child span propagates further downstream."""
+        return replace(self, span_id=span_id)
+
+
+def deterministic_trace_id(*parts: object) -> str:
+    """A 32-hex trace id that is a pure function of ``parts``."""
+    material = "|".join(str(p) for p in parts)
+    return hashlib.sha256(f"repro-trace:{material}".encode()).hexdigest()[:32]
+
+
+def deterministic_span_id(*parts: object) -> str:
+    """A 16-hex span id that is a pure function of ``parts``."""
+    material = "|".join(str(p) for p in parts)
+    return hashlib.sha256(f"repro-span:{material}".encode()).hexdigest()[:16]

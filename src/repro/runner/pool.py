@@ -120,11 +120,14 @@ class WorkerPool:
         profile: bool = False,
         *,
         timeout: float = 60.0,
+        trace: dict | None = None,
     ) -> dict:
         """Execute one point on an idle worker; block until it answers.
 
-        Thread-safe: at most ``size`` tasks execute concurrently, excess
-        callers wait on the slot semaphore.
+        ``trace`` optionally carries distributed-tracing context (the parent
+        span's ids) into the worker's task envelope; workers without tracing
+        enabled ignore it.  Thread-safe: at most ``size`` tasks execute
+        concurrently, excess callers wait on the slot semaphore.
         """
         if self._closed:
             raise PoolError("worker pool is closed")
@@ -135,7 +138,9 @@ class WorkerPool:
         replace = False
         try:
             try:
-                worker.conn.send((suite_name, dict(params), int(seed), bool(profile)))
+                worker.conn.send(
+                    (suite_name, dict(params), int(seed), bool(profile), trace)
+                )
                 deadline = time.monotonic() + timeout
                 while True:
                     remaining = deadline - time.monotonic()

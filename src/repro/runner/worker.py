@@ -24,6 +24,19 @@ import traceback
 
 __all__ = ["run_suite_point", "worker_entry", "pool_worker_main"]
 
+#: lazily created per-process tracer for pool workers (None until first task
+#: with trace context; NullTracer when REPRO_TRACE_DIR is unset)
+_TRACER = None
+
+
+def _worker_tracer():
+    global _TRACER
+    if _TRACER is None:
+        from ..obs.tracer import tracer_from_env
+
+        _TRACER = tracer_from_env("worker")
+    return _TRACER
+
 
 def run_suite_point(
     bench_dir: str,
@@ -94,9 +107,14 @@ def worker_entry(
 def pool_worker_main(conn, bench_dir: str) -> None:
     """Persistent pool child: execute tasks from ``conn`` until shutdown.
 
-    The protocol is one ``(suite_name, params, seed, profile)`` tuple per
-    task, answered with ``("ok", payload)`` or ``("error", traceback)``.
-    ``None`` — or a closed pipe — ends the loop.
+    The protocol is one ``(suite_name, params, seed, profile[, trace])``
+    tuple per task, answered with ``("ok", payload)`` or ``("error",
+    traceback)``.  ``None`` — or a closed pipe — ends the loop.  The
+    optional fifth element carries distributed-tracing context (parent span
+    ids); when present and ``REPRO_TRACE_DIR`` is set, the task runs inside
+    a ``worker.execute`` span whose attributes link the request trace to the
+    machine-level cost breakdown (energy, messages, and the ``phases`` rows
+    of the CostTree when the task was profiled).
 
     The first message the child ever sends is a ``("ready", pid)`` warm-up
     handshake: the parent pool uses it for readiness reporting (a freshly
@@ -116,12 +134,40 @@ def pool_worker_main(conn, bench_dir: str) -> None:
             break
         if task is None:
             break
-        suite_name, params, seed, profile = task
+        suite_name, params, seed, profile, *rest = task
+        trace = rest[0] if rest else None
+        span = None
+        if trace:
+            tracer = _worker_tracer()
+            if tracer.enabled:
+                from ..obs.context import TraceContext
+
+                span = tracer.start_span(
+                    "worker.execute",
+                    parent=TraceContext(trace["trace"], trace["parent"]),
+                    attrs={"suite": suite_name, "seed": int(seed)},
+                )
         try:
             out = run_suite_point(bench_dir, suite_name, params, seed, profile)
             msg = ("ok", out)
+            if span is not None:
+                metrics = out.get("metrics") or {}
+                span.set(
+                    energy=metrics.get("energy"),
+                    messages=metrics.get("messages"),
+                    rounds=metrics.get("rounds"),
+                    max_depth=metrics.get("max_depth"),
+                )
+                phases = out.get("phases")
+                if phases:
+                    # the CostTree link: phase rows render as nested
+                    # sub-slices of this span in the merged Chrome trace
+                    span.set(phases=phases[:64])
+                span.end()
         except BaseException:
             msg = ("error", traceback.format_exc(limit=30))
+            if span is not None:
+                span.end("error")
         try:
             conn.send(msg)
         except (OSError, ValueError):  # pragma: no cover - parent went away

@@ -18,6 +18,8 @@ minimal HTTP/1.1 interface (stdlib asyncio only, no new dependencies):
   ``repro bench run`` via :mod:`repro.runner.cachekey`);
 * :mod:`repro.service.metrics` — request counters, latency histograms,
   cache/batch efficiency, queue depth (served as JSON at ``/metrics``);
+* :mod:`repro.service.promexport` — Prometheus text exposition of the same
+  snapshots (``GET /metrics?format=prometheus`` on server and gateway);
 * :mod:`repro.service.server` — the HTTP server: admission control
   (429 + Retry-After), liveness/readiness split (``/healthz`` vs
   ``/readyz``), per-request timeouts (504), graceful SIGTERM drain;
@@ -37,7 +39,12 @@ minimal HTTP/1.1 interface (stdlib asyncio only, no new dependencies):
 * :mod:`repro.service.fleetchaos` — ``repro fleet-chaos``: kills, hangs and
   restarts replicas mid-load and gates on exact clean-run equivalence.
 
-See ``docs/SERVICE.md`` for endpoint and semantics documentation.
+Distributed tracing lives in :mod:`repro.obs`: every tier accepts an
+``X-Repro-Trace`` context, records spans to per-process JSONL sinks when a
+trace directory is configured, and ``repro trace-collect`` merges them.
+
+See ``docs/SERVICE.md`` for endpoint and semantics documentation and
+``docs/OBSERVABILITY.md`` for the tracing subsystem.
 """
 
 from .batcher import Batcher
@@ -47,11 +54,13 @@ from .executor import ExecutionCrash, ExecutionError, ExecutionTimeout, ServiceE
 from .fleet import FleetConfig, FleetGateway, HashRing, fleet_main
 from .health import BackendState, HealthMonitor
 from .metrics import FleetMetrics, LatencyHistogram, ServiceMetrics
+from .promexport import PROM_CONTENT_TYPE, render_prometheus
 from .protocol import ALGO_SUITES, RequestError, ServiceRequest
 from .server import ServiceConfig, SpatialService, serve_main
 
 __all__ = [
     "ALGO_SUITES",
+    "PROM_CONTENT_TYPE",
     "BackendState",
     "Batcher",
     "BreakerConfig",
@@ -73,5 +82,6 @@ __all__ = [
     "ServiceRequest",
     "SpatialService",
     "fleet_main",
+    "render_prometheus",
     "serve_main",
 ]

@@ -69,23 +69,27 @@ class CircuitBreaker:
         self.successes = 0
         self.rejected = 0
         self.transitions: list[dict] = []
+        #: optional ``(name, transition_record)`` observer — the gateway uses
+        #: it to emit typed trace events alongside the in-memory log
+        self.on_transition = None
         self._cooldown = self.config.cooldown_s
         self._open_until = 0.0
         self._probe_inflight = False
 
     # -- state machine ---------------------------------------------------
     def _transition(self, to: str, reason: str) -> None:
-        self.transitions.append(
-            {
-                "t": round(self._clock(), 3),
-                "from": self.state,
-                "to": to,
-                "reason": reason,
-            }
-        )
+        record = {
+            "t": round(self._clock(), 3),
+            "from": self.state,
+            "to": to,
+            "reason": reason,
+        }
+        self.transitions.append(record)
         if len(self.transitions) > self._max_transitions:
             del self.transitions[: -self._max_transitions]
         self.state = to
+        if self.on_transition is not None:
+            self.on_transition(self.name, record)
 
     def _trip_open(self, reason: str) -> None:
         jitter = 1.0 + self.config.jitter * (2.0 * self._rng.random() - 1.0)

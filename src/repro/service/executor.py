@@ -71,19 +71,22 @@ class ServiceExecutor:
             self._pool = WorkerPool(size=self.workers, bench_dir=self.bench_dir)
         self._inline_slots = asyncio.Semaphore(self.workers)
 
-    async def execute(self, request: ServiceRequest) -> tuple[dict, float]:
+    async def execute(self, request: ServiceRequest, trace=None) -> tuple[dict, float]:
         """Run one request; return ``(payload, execution_seconds)``.
 
-        Raises :class:`ExecutionError` / :class:`ExecutionTimeout`; both map
-        onto HTTP statuses in the server."""
+        ``trace`` is the executing span's :class:`~repro.obs.context
+        .TraceContext` (or None); the pool backend ships it to the worker so
+        the worker-side span links into the request's trace.  Raises
+        :class:`ExecutionError` / :class:`ExecutionTimeout`; both map onto
+        HTTP statuses in the server."""
         started = time.monotonic()
         if self._pool is not None:
-            payload = await self._run_pooled(request)
+            payload = await self._run_pooled(request, trace)
         else:
             payload = await self._run_inline(request)
         return payload, time.monotonic() - started
 
-    async def _run_pooled(self, request: ServiceRequest) -> dict:
+    async def _run_pooled(self, request: ServiceRequest, trace=None) -> dict:
         assert self._pool is not None
         try:
             return await asyncio.to_thread(
@@ -93,6 +96,7 @@ class ServiceExecutor:
                 request.seed,
                 request.profile,
                 timeout=self.timeout,
+                trace={"trace": trace.trace_id, "parent": trace.span_id} if trace else None,
             )
         except PoolTimeout as exc:
             raise ExecutionTimeout(f"execution exceeded {self.timeout:.1f}s") from exc

@@ -47,13 +47,21 @@ import threading
 import time
 from dataclasses import dataclass
 
+from ..obs.context import TRACE_HEADER, TRACE_HEADER_LOWER, TraceContext
+from ..obs.tracer import ENV_TRACE_DIR, tracer_from_env
 from ..runner.cache import DEFAULT_CACHE_DIR, ResultCache
 from ..runner.cachekey import suite_code_version
 from ..runner.registry import load_suites
 from .breaker import BreakerConfig, CircuitBreaker
 from .cache import ServiceCache
 from .health import BackendState, HealthMonitor
-from .httpio import BadRequest, http_call, read_http_request, write_json_response
+from .httpio import (
+    BadRequest,
+    http_call,
+    read_http_request,
+    write_json_response,
+    write_text_response,
+)
 from .metrics import FleetMetrics
 from .protocol import (
     ALGO_SUITES,
@@ -153,6 +161,8 @@ class FleetConfig:
     disk_cache: bool = True
     bench_dir: str = ""
     drain_timeout: float = 30.0
+    #: span-sink directory; non-empty enables distributed tracing
+    trace_dir: str = ""
 
 
 class _AttemptFailed(Exception):
@@ -168,10 +178,20 @@ class _AttemptFailed(Exception):
 class FleetGateway:
     """The front-tier HTTP server: route, probe, break, hedge, degrade."""
 
-    def __init__(self, config: FleetConfig, backends: list[list[tuple[str, int]]]) -> None:
+    def __init__(
+        self,
+        config: FleetConfig,
+        backends: list[list[tuple[str, int]]],
+        tracer=None,
+    ) -> None:
         if not backends or any(not group for group in backends):
             raise ValueError("every shard needs at least one replica")
         self.config = config
+        self._trace_env_set = False
+        if config.trace_dir and os.environ.get(ENV_TRACE_DIR, "") != config.trace_dir:
+            os.environ[ENV_TRACE_DIR] = config.trace_dir
+            self._trace_env_set = True
+        self.obs = tracer if tracer is not None else tracer_from_env("gateway")
         self.shards: list[list[BackendState]] = []
         flat: list[BackendState] = []
         self.breakers: dict[str, CircuitBreaker] = {}
@@ -192,6 +212,11 @@ class FleetGateway:
                     st.name, bcfg, seed=config.seed * 1000003 + len(flat)
                 )
             self.shards.append(states)
+        if self.obs.enabled:
+            # breaker transitions and health flaps become typed trace events
+            # next to their in-memory logs (the banner-print replacement)
+            for br in self.breakers.values():
+                br.on_transition = self._breaker_event
         self.ring = HashRing(len(self.shards), config.vnodes)
         self.monitor = HealthMonitor(
             flat,
@@ -200,6 +225,7 @@ class FleetGateway:
             fall=config.fall,
             rise=config.rise,
             seed=config.seed,
+            on_flip=self._health_event if self.obs.enabled else None,
         )
         self.metrics = FleetMetrics()
         disk = ResultCache(config.cache_dir) if config.disk_cache else None
@@ -245,6 +271,24 @@ class FleetGateway:
         for writer in list(self._writers):
             with contextlib.suppress(Exception):
                 writer.close()
+        self.obs.close()
+        if self._trace_env_set:
+            os.environ.pop(ENV_TRACE_DIR, None)
+            self._trace_env_set = False
+
+    # -- tracing hooks ----------------------------------------------------
+    def _breaker_event(self, name: str, record: dict) -> None:
+        self.obs.event(
+            "breaker_transition",
+            attrs={"backend": name, "from": record["from"], "to": record["to"],
+                   "reason": record["reason"]},
+        )
+
+    def _health_event(self, backend: BackendState, ready: bool, reason: str) -> None:
+        self.obs.event(
+            "health_flap",
+            attrs={"backend": backend.name, "ready": ready, "reason": reason},
+        )
 
     # -- routing ---------------------------------------------------------
     def _candidates(self, shard: int, key: str) -> list[BackendState]:
@@ -260,10 +304,18 @@ class FleetGateway:
         return sorted(rotated, key=lambda st: rank[st.ready])
 
     async def _attempt(
-        self, st: BackendState, path: str, payload: dict, timeout: float
+        self, st: BackendState, path: str, payload: dict, timeout: float, span=None
     ) -> tuple[int, dict, BackendState]:
-        """One forwarded request; settles the replica's breaker either way."""
+        """One forwarded request; settles the replica's breaker either way.
+
+        ``span`` is this attempt's already-open ``gateway.attempt`` span (or
+        None); its context propagates to the replica via the trace header,
+        and it ends here with the attempt's outcome — except on
+        cancellation, where :meth:`_settle` ends it as ``cancelled``."""
         br = self.breakers[st.name]
+        req_headers = None
+        if span is not None:
+            req_headers = [(TRACE_HEADER, span.ctx.header_value())]
         try:
             reader, writer = await asyncio.wait_for(
                 asyncio.open_connection(st.host, st.port), timeout
@@ -271,7 +323,7 @@ class FleetGateway:
             try:
                 status, headers, doc, _closed = await http_call(
                     reader, writer, "POST", path, payload,
-                    timeout=timeout, keep_alive=False,
+                    timeout=timeout, keep_alive=False, headers=req_headers,
                 )
             finally:
                 writer.close()
@@ -282,26 +334,43 @@ class FleetGateway:
             reason = type(exc).__name__
             br.record_failure(reason)
             self.metrics.attempt_failed(st.name, reason)
+            if span is not None:
+                span.set(reason=reason)
+                span.end("error")
             raise _AttemptFailed(st, reason) from exc
         if status == 429:
             # the replica answered — just saturated; back off without
             # penalizing the breaker
             br.record_success()
             self.metrics.attempt_failed(st.name, "http 429")
+            if span is not None:
+                span.set(reason="http 429", status_code=429)
+                span.end("error")
             raise _AttemptFailed(st, "http 429", headers.get("retry-after", ""))
         if status >= 500:
             br.record_failure(f"http {status}")
             self.metrics.attempt_failed(st.name, f"http {status}")
+            if span is not None:
+                span.set(reason=f"http {status}", status_code=status)
+                span.end("error")
             raise _AttemptFailed(st, f"http {status}", headers.get("retry-after", ""))
         br.record_success()
+        if span is not None:
+            span.set(status_code=status)
+            span.end("ok")
         return status, doc, st
 
     async def _settle(
         self,
-        tasks: dict[asyncio.Task, BackendState],
+        tasks: dict[asyncio.Task, tuple[BackendState, object]],
         primary: asyncio.Task | None = None,
     ) -> tuple[int, dict, BackendState] | None:
-        """Await racing attempts; first success wins, losers are cancelled."""
+        """Await racing attempts; first success wins, losers are cancelled.
+
+        ``tasks`` maps each attempt task to ``(backend, span)`` — the span
+        (None when tracing is off) was opened before the task was scheduled,
+        so even a hedge cancelled before its coroutine first ran still
+        records a ``cancelled`` attempt span."""
         pending = set(tasks)
         winner = None
         while pending and winner is None:
@@ -321,11 +390,28 @@ class FleetGateway:
             self.metrics.hedges_cancelled += 1
             # the cancelled attempt never settles its breaker: return the
             # half-open probe slot it may be holding
-            self.breakers[tasks[t].name].release()
+            self.breakers[tasks[t][0].name].release()
         for t in pending:
             with contextlib.suppress(asyncio.CancelledError, _AttemptFailed):
                 await t
+            span = tasks[t][1]
+            if span is not None:
+                span.end("cancelled")  # no-op if _attempt already ended it
         return winner
+
+    def _attempt_span(self, st: BackendState, parent, *, hedge: bool):
+        """One pre-scheduled ``gateway.attempt`` span (None when disabled).
+
+        Opened *before* the attempt task is created so the span count
+        matches the metrics counters exactly, even for hedges cancelled
+        before their coroutine first runs."""
+        if not self.obs.enabled:
+            return None
+        return self.obs.start_span(
+            "gateway.attempt",
+            parent=parent,
+            attrs={"backend": st.name, "shard": st.shard, "hedge": hedge},
+        )
 
     async def _try_backends(
         self,
@@ -335,6 +421,7 @@ class FleetGateway:
         deadline: float,
         *,
         hedge: bool = False,
+        parent=None,
     ) -> tuple[int, dict, BackendState] | None:
         """Failover walk over ``order`` (two passes) within ``deadline``."""
         cfg = self.config
@@ -347,10 +434,15 @@ class FleetGateway:
             if remaining <= 0:
                 break
             if not self.breakers[st.name].allow():
+                if self.obs.enabled:
+                    self.obs.event(
+                        "breaker_skip", parent=parent, attrs={"backend": st.name}
+                    )
                 continue
             timeout = min(cfg.attempt_timeout, remaining)
-            task = asyncio.create_task(self._attempt(st, path, payload, timeout))
-            tasks: dict[asyncio.Task, BackendState] = {task: st}
+            span = self._attempt_span(st, parent, hedge=False)
+            task = asyncio.create_task(self._attempt(st, path, payload, timeout, span))
+            tasks: dict[asyncio.Task, tuple[BackendState, object]] = {task: (st, span)}
             if hedge and first and cfg.hedge_rate > 0 and cfg.hedge_after < timeout:
                 done, _ = await asyncio.wait({task}, timeout=cfg.hedge_after)
                 if not done:
@@ -371,19 +463,24 @@ class FleetGateway:
                         h_timeout = min(
                             cfg.attempt_timeout, deadline - time.monotonic()
                         )
+                        h_span = self._attempt_span(h_st, parent, hedge=True)
                         h_task = asyncio.create_task(
-                            self._attempt(h_st, path, payload, h_timeout)
+                            self._attempt(h_st, path, payload, h_timeout, h_span)
                         )
-                        tasks[h_task] = h_st
+                        tasks[h_task] = (h_st, h_span)
             first = False
             outcome = await self._settle(tasks, primary=task)
             if outcome is not None:
                 return outcome
             m.failovers += 1
+            if self.obs.enabled:
+                self.obs.event("failover", parent=parent, attrs={"from": st.name})
         return None
 
     # -- degradation -----------------------------------------------------
-    def _degrade(self, request: ServiceRequest, shard: int) -> tuple[int, dict, list]:
+    def _degrade(
+        self, request: ServiceRequest, shard: int, parent=None
+    ) -> tuple[int, dict, list]:
         """No replica answered: stale cache hit, else 503 + Retry-After."""
         m = self.metrics
         if not request.is_auto and request.algo in self.code_versions:
@@ -391,6 +488,12 @@ class FleetGateway:
             payload, tier = self.stale_cache.get(key)
             if payload is not None:
                 m.degraded_stale += 1
+                if self.obs.enabled:
+                    self.obs.event(
+                        "stale_degrade",
+                        parent=parent,
+                        attrs={"shard": shard, "tier": tier},
+                    )
                 doc = {
                     "ok": True,
                     **request.describe(),
@@ -418,7 +521,9 @@ class FleetGateway:
         )
 
     # -- request handlers ------------------------------------------------
-    async def _serve_run(self, body: bytes) -> tuple[int, dict, list]:
+    async def _serve_run(
+        self, body: bytes, headers: dict | None = None
+    ) -> tuple[int, dict, list]:
         m = self.metrics
         m.request_received()
         try:
@@ -431,8 +536,19 @@ class FleetGateway:
         except RequestError as exc:
             m.response_only(400)
             return 400, {"ok": False, "error": str(exc), "field": exc.field}, []
+        span = None
+        if self.obs.enabled:
+            incoming = TraceContext.parse((headers or {}).get(TRACE_HEADER_LOWER, ""))
+            span = self.obs.start_span(
+                "gateway.request",
+                parent=incoming,
+                attrs={"algo": request.algo, "n": request.n, "seed": request.seed},
+            )
         if self.draining:
             m.response_only(503)
+            if span is not None:
+                span.set(outcome="draining", status_code=503)
+                span.end("error")
             return (
                 503,
                 {"ok": False, "error": "gateway is draining"},
@@ -441,6 +557,9 @@ class FleetGateway:
         if m.inflight >= self.config.max_inflight:
             m.rejected += 1
             m.response_only(429)
+            if span is not None:
+                span.set(outcome="rejected", status_code=429)
+                span.end("error")
             return (
                 429,
                 {"ok": False, "error": "gateway at capacity"},
@@ -450,28 +569,56 @@ class FleetGateway:
         shard = self.ring.shard_for(key)
         m.routed_by_shard[shard] += 1
         m.request_admitted()
+        if span is not None:
+            span.set(shard=shard)
         started = time.monotonic()
         status = 502
         try:
             deadline = time.monotonic() + self.config.request_timeout
             outcome = await self._try_backends(
-                "/run", doc, self._candidates(shard, key), deadline, hedge=True
+                "/run", doc, self._candidates(shard, key), deadline, hedge=True,
+                parent=span.ctx if span is not None else None,
             )
             if outcome is not None:
                 status, out, st = outcome
                 m.forwarded_by_backend[st.name] += 1
                 if isinstance(out, dict):
                     out["fleet"] = {"shard": shard, "replica": st.name}
+                    if span is not None:
+                        span.set(outcome="forwarded", backend=st.name)
+                        # annotate the response with this hop's trace identity
+                        # and add the gateway stage to the per-stage breakdown
+                        trace = out.setdefault(
+                            "trace",
+                            {"trace_id": span.trace_id, "span_id": span.span_id},
+                        )
+                        stages = trace.setdefault("stages_ms", {})
+                        stages["gateway"] = round(
+                            (time.monotonic() - started) * 1000.0, 3
+                        )
+                elif span is not None:
+                    span.set(outcome="forwarded", backend=st.name)
                 return status, out, []
-            status, out, extra = self._degrade(request, shard)
+            status, out, extra = self._degrade(
+                request, shard, parent=span.ctx if span is not None else None
+            )
+            if span is not None:
+                span.set(outcome="degraded" if status == 200 else "shed")
             return status, out, extra
         except Exception as exc:  # defensive: the gateway must keep serving
             status = 502
+            if span is not None:
+                span.set(outcome="error", error=repr(exc)[:200])
             return 502, {"ok": False, "error": f"gateway error: {exc!r}"}, []
         finally:
             m.request_finished(status, time.monotonic() - started)
+            if span is not None:
+                span.set(status_code=status)
+                span.end("ok" if status == 200 else "error")
 
-    async def _serve_plan(self, body: bytes) -> tuple[int, dict, list]:
+    async def _serve_plan(
+        self, body: bytes, headers: dict | None = None
+    ) -> tuple[int, dict, list]:
         """Forward a plan request, routed by its tuning identity (no hedge —
         a cold plan can trigger an expensive tuning run on the shard)."""
         m = self.metrics
@@ -496,12 +643,21 @@ class FleetGateway:
         shard = self.ring.shard_for(key)
         m.routed_by_shard[shard] += 1
         m.request_admitted()
+        span = None
+        if self.obs.enabled:
+            incoming = TraceContext.parse((headers or {}).get(TRACE_HEADER_LOWER, ""))
+            # named gateway.plan, not gateway.request: plan forwards have no
+            # server.request chain for the collector to demand
+            span = self.obs.start_span(
+                "gateway.plan", parent=incoming, attrs={"shard": shard}
+            )
         started = time.monotonic()
         status = 502
         try:
             deadline = time.monotonic() + self.config.request_timeout
             outcome = await self._try_backends(
-                "/plan", doc, self._candidates(shard, key), deadline
+                "/plan", doc, self._candidates(shard, key), deadline,
+                parent=span.ctx if span is not None else None,
             )
             if outcome is not None:
                 status, out, st = outcome
@@ -521,6 +677,9 @@ class FleetGateway:
             return 502, {"ok": False, "error": f"gateway error: {exc!r}"}, []
         finally:
             m.request_finished(status, time.monotonic() - started)
+            if span is not None:
+                span.set(status_code=status)
+                span.end("ok" if status == 200 else "error")
 
     # -- observability ---------------------------------------------------
     def metrics_doc(self) -> dict:
@@ -550,17 +709,24 @@ class FleetGateway:
             },
         )
 
-    async def _route(self, method: str, path: str, body: bytes) -> tuple[int, dict, list]:
+    async def _route(
+        self,
+        method: str,
+        path: str,
+        query: str = "",
+        headers: dict | None = None,
+        body: bytes = b"",
+    ) -> tuple[int, dict | str, list]:
         if path == "/run":
             if method != "POST":
                 self.metrics.response_only(405)
                 return 405, {"ok": False, "error": "use POST /run"}, [("Allow", "POST")]
-            return await self._serve_run(body)
+            return await self._serve_run(body, headers)
         if path == "/plan":
             if method != "POST":
                 self.metrics.response_only(405)
                 return 405, {"ok": False, "error": "use POST /plan"}, [("Allow", "POST")]
-            return await self._serve_plan(body)
+            return await self._serve_plan(body, headers)
         if method != "GET":
             self.metrics.response_only(405)
             return 405, {"ok": False, "error": f"{method} not allowed here"}, [("Allow", "GET")]
@@ -580,6 +746,10 @@ class FleetGateway:
                 return 200, doc, []
             return 503, doc, [("Retry-After", "1")]
         if path == "/metrics":
+            if "format=prometheus" in (query or ""):
+                from .promexport import render_prometheus
+
+                return 200, render_prometheus(self.metrics_doc()), []
             return 200, self.metrics_doc(), []
         if path == "/algos":
             algos = {
@@ -620,12 +790,22 @@ class FleetGateway:
                 if parsed is None:
                     break
                 method, target, headers, body = parsed
-                path = target.split("?", 1)[0]
+                path, _, query = target.partition("?")
                 keep_alive = (
                     not self.draining and headers.get("connection", "").lower() != "close"
                 )
-                status, doc, extra = await self._route(method.upper(), path, body)
-                await write_json_response(writer, status, doc, extra, keep_alive)
+                status, doc, extra = await self._route(
+                    method.upper(), path, query, headers, body
+                )
+                if isinstance(doc, str):
+                    from .promexport import PROM_CONTENT_TYPE
+
+                    await write_text_response(
+                        writer, status, doc, extra, keep_alive,
+                        content_type=PROM_CONTENT_TYPE,
+                    )
+                else:
+                    await write_json_response(writer, status, doc, extra, keep_alive)
                 if not keep_alive:
                     break
         except (
@@ -813,6 +993,11 @@ async def _fleet_amain(
 def fleet_main(args) -> int:
     """Entry point for the ``repro fleet`` CLI verb."""
     procs: list[ShardProcess] = []
+    trace_dir = getattr(args, "trace_dir", "") or ""
+    if trace_dir:
+        # set before spawning shards so replicas (and their pool workers)
+        # inherit the flag and write their own span sinks
+        os.environ[ENV_TRACE_DIR] = trace_dir
     try:
         if args.backends:
             groups = group_backends(parse_backend_list(args.backends), args.shards)
@@ -849,6 +1034,7 @@ def fleet_main(args) -> int:
             cache_dir=args.cache_dir,
             disk_cache=not args.no_disk_cache,
             bench_dir=args.bench_dir,
+            trace_dir=trace_dir,
         )
         return asyncio.run(_fleet_amain(config, groups))
     finally:

@@ -30,11 +30,13 @@ import argparse
 import asyncio
 import contextlib
 import json
+import os
 import random
 import time
 from dataclasses import dataclass
 from pathlib import Path
 
+from ..obs.tracer import ENV_TRACE_DIR, make_tracer
 from .fleet import FleetConfig, FleetGateway, ShardProcess, serve_argv
 from .loadgen import build_requests, run_load
 
@@ -78,8 +80,15 @@ def build_schedule(shards: int, replicas: int, seed: int) -> list[ChaosEvent]:
 
 
 def _spawn_fleet(
-    shards: int, replicas: int, *, workers: int, cache_dir: str, bench_dir: str = ""
+    shards: int,
+    replicas: int,
+    *,
+    workers: int,
+    cache_dir: str,
+    bench_dir: str = "",
+    trace_dir: str = "",
 ) -> dict[str, ShardProcess]:
+    env = dict(os.environ, **{ENV_TRACE_DIR: trace_dir}) if trace_dir else None
     procs: dict[str, ShardProcess] = {}
     try:
         for s in range(shards):
@@ -90,6 +99,7 @@ def _spawn_fleet(
                     serve_argv(
                         name, workers=workers, cache_dir=cache_dir, bench_dir=bench_dir
                     ),
+                    env=env,
                 )
                 procs[name] = proc
                 proc.start()
@@ -166,8 +176,10 @@ async def _drive(
     procs: dict[str, ShardProcess],
     retired: list[ShardProcess],
     respawn,
+    gw_tracer=None,
+    lg_tracer=None,
 ) -> tuple[dict, dict, list[dict]]:
-    gateway = FleetGateway(config, groups)
+    gateway = FleetGateway(config, groups, tracer=gw_tracer)
     await gateway.start()
     deadline = time.monotonic() + 60.0
     while not all(st.ready for group in gateway.shards for st in group):
@@ -189,6 +201,7 @@ async def _drive(
         timeout=timeout,
         max_retries=12,
         backoff_seed=seed,
+        tracer=lg_tracer,
     )
     if controller is not None:
         controller.cancel()
@@ -205,6 +218,7 @@ def _run_scenario(
     args,
     cache_dir: str,
     schedule: list[ChaosEvent] | None,
+    trace_dir: str = "",
 ) -> tuple[dict, dict, list[dict], dict[str, list[str]]]:
     """Spawn a fleet, drive the load (with optional chaos), drain, collect logs."""
     print(
@@ -218,8 +232,10 @@ def _run_scenario(
         workers=args.workers,
         cache_dir=cache_dir,
         bench_dir=args.bench_dir,
+        trace_dir=trace_dir,
     )
     retired: list[ShardProcess] = []
+    respawn_env = dict(os.environ, **{ENV_TRACE_DIR: trace_dir}) if trace_dir else None
 
     def respawn(name: str, port: int) -> ShardProcess:
         return ShardProcess(
@@ -231,6 +247,7 @@ def _run_scenario(
                 cache_dir=cache_dir,
                 bench_dir=args.bench_dir,
             ),
+            env=respawn_env,
         )
 
     groups = [
@@ -255,6 +272,12 @@ def _run_scenario(
         cache_dir=cache_dir,
     )
     requests = build_requests(args.requests, args.seed)
+    # explicit tracers for the in-process halves: the env var is reserved for
+    # the spawned shard children so the harness process stays untraced by it
+    gw_tracer = lg_tracer = None
+    if trace_dir:
+        gw_tracer = make_tracer("gateway", trace_dir, seed=args.seed, max_records=500000)
+        lg_tracer = make_tracer("loadgen", trace_dir, seed=args.seed, max_records=500000)
     try:
         report, metrics, fired = asyncio.run(
             _drive(
@@ -268,9 +291,15 @@ def _run_scenario(
                 procs=procs,
                 retired=retired,
                 respawn=respawn,
+                gw_tracer=gw_tracer,
+                lg_tracer=lg_tracer,
             )
         )
     finally:
+        if gw_tracer is not None:
+            gw_tracer.close()
+        if lg_tracer is not None:
+            lg_tracer.close()
         # un-freeze anything still SIGSTOP'd so SIGTERM can drain it
         for proc in procs.values():
             proc.resume()
@@ -330,20 +359,103 @@ def _gate(args, clean: dict, chaos: dict, metrics: dict, logs: dict) -> list[str
     return failures
 
 
+def _trace_gate(trace_dir: str, metrics: dict, out_dir: Path, label: str) -> list[str]:
+    """Exact span/metric correspondence gates for a traced chaos run.
+
+    Every failover and hedge the gateway counted in ``/metrics`` must appear
+    as spans/events in the collected trace — same counts, not approximations.
+    """
+    from ..obs.collect import (
+        aligned_events,
+        aligned_spans,
+        chrome_trace_doc,
+        group_traces,
+        load_trace_dir,
+    )
+
+    failures: list[str] = []
+    try:
+        logs = load_trace_dir(Path(trace_dir))
+    except FileNotFoundError:
+        return [f"trace gate ({label}): no span sinks found in {trace_dir}"]
+    truncated = [log.service for log in logs if log.truncated]
+    if truncated:
+        failures.append(
+            f"trace gate ({label}): truncated span sinks for {sorted(truncated)}"
+        )
+    spans = aligned_spans(logs)
+    events = aligned_events(logs)
+    attempts = [s for s in spans if s["name"] == "gateway.attempt"]
+
+    error_attempts = sum(1 for a in attempts if a["status"] == "error")
+    counted_failures = sum(
+        sum(reasons.values())
+        for reasons in metrics["routing"]["attempt_failures"].values()
+    )
+    if error_attempts != counted_failures:
+        failures.append(
+            f"trace gate ({label}): {error_attempts} error attempt spans vs "
+            f"{counted_failures} attempt_failures in /metrics"
+        )
+
+    hedge_spans = sum(1 for a in attempts if a.get("attrs", {}).get("hedge"))
+    hedges_started = metrics["hedging"]["started"]
+    if hedge_spans != hedges_started:
+        failures.append(
+            f"trace gate ({label}): {hedge_spans} hedge attempt spans vs "
+            f"{hedges_started} hedges_started in /metrics"
+        )
+
+    failover_events = [e for e in events if e["type"] == "failover"]
+    failovers = metrics["routing"]["failovers"]
+    if len(failover_events) != failovers:
+        failures.append(
+            f"trace gate ({label}): {len(failover_events)} failover events vs "
+            f"{failovers} failovers in /metrics"
+        )
+
+    # every failed-over request's trace must actually show the failed attempt
+    traces = group_traces(spans)
+    for ev in failover_events:
+        tid = ev.get("trace", "")
+        bad = [
+            s
+            for s in traces.get(tid, [])
+            if s["name"] == "gateway.attempt" and s["status"] != "ok"
+        ]
+        if not bad:
+            failures.append(
+                f"trace gate ({label}): failover in trace {tid[:8]} has "
+                "no non-ok attempt span"
+            )
+            break
+
+    (out_dir / f"trace_{label}.json").write_text(
+        json.dumps(chrome_trace_doc(logs, label=f"fleet-chaos {label}"))
+    )
+    return failures
+
+
 def fleet_chaos_main(args) -> int:
     """Entry point for the ``repro fleet-chaos`` CLI verb."""
     out_dir = Path(args.out)
     out_dir.mkdir(parents=True, exist_ok=True)
     schedule = build_schedule(args.shards, args.replicas, args.seed)
+    tracing = bool(getattr(args, "trace", False))
+    clean_trace = str(out_dir / "trace_clean") if tracing else ""
+    chaos_trace = str(out_dir / "trace_chaos") if tracing else ""
 
     clean_report, clean_metrics, _, _clean_logs = _run_scenario(
-        "clean", args, str(out_dir / "cache_clean"), None
+        "clean", args, str(out_dir / "cache_clean"), None, trace_dir=clean_trace
     )
     chaos_report, chaos_metrics, fired, chaos_logs = _run_scenario(
-        "chaos", args, str(out_dir / "cache_chaos"), schedule
+        "chaos", args, str(out_dir / "cache_chaos"), schedule, trace_dir=chaos_trace
     )
 
     failures = _gate(args, clean_report, chaos_report, chaos_metrics, chaos_logs)
+    if tracing:
+        failures += _trace_gate(clean_trace, clean_metrics, out_dir, "clean")
+        failures += _trace_gate(chaos_trace, chaos_metrics, out_dir, "chaos")
 
     doc = {
         "shards": args.shards,
@@ -413,6 +525,9 @@ def add_fleet_chaos_args(parser) -> None:
     parser.add_argument("--bench-dir", default="")
     parser.add_argument("--out", default="chaos_fleet_out",
                         help="artifact directory (reports, metrics, caches)")
+    parser.add_argument("--trace", action="store_true",
+                        help="trace both runs and gate span counts against "
+                             "the gateway's /metrics failover/hedge counters")
 
 
 if __name__ == "__main__":

@@ -56,8 +56,10 @@ class BackendState:
     backend_metrics: dict = field(default_factory=dict)
     transitions: list = field(default_factory=list)
 
-    def _flip(self, ready: bool, reason: str) -> None:
-        if self.ready != ready:
+    def _flip(self, ready: bool, reason: str) -> bool:
+        """Record a readiness change; True when the state actually flipped."""
+        changed = self.ready != ready
+        if changed:
             self.transitions.append(
                 {
                     "t": round(time.monotonic(), 3),
@@ -67,6 +69,7 @@ class BackendState:
             )
             del self.transitions[:-64]
         self.ready = ready
+        return changed
 
     def snapshot(self) -> dict:
         return {
@@ -98,6 +101,7 @@ class HealthMonitor:
         rise: int = 1,
         seed: int = 0,
         metrics_every: int = 8,
+        on_flip=None,
     ) -> None:
         self.backends = list(backends)
         self.interval = float(interval)
@@ -105,6 +109,8 @@ class HealthMonitor:
         self.fall = max(1, int(fall))
         self.rise = max(1, int(rise))
         self.metrics_every = max(1, int(metrics_every))
+        #: optional ``(backend, ready, reason)`` observer for debounced flips
+        self.on_flip = on_flip
         self._rng = random.Random(seed)
         self._task: asyncio.Task | None = None
         self.rounds = 0
@@ -157,14 +163,16 @@ class HealthMonitor:
             backend.consecutive_successes += 1
             backend.consecutive_failures = 0
             if backend.consecutive_successes >= self.rise:
-                backend._flip(True, reason)
+                if backend._flip(True, reason) and self.on_flip is not None:
+                    self.on_flip(backend, True, reason)
         else:
             backend.consecutive_failures += 1
             backend.consecutive_successes = 0
             if backend.consecutive_failures >= self.fall:
                 if not alive:
                     backend.alive = False
-                backend._flip(False, reason)
+                if backend._flip(False, reason) and self.on_flip is not None:
+                    self.on_flip(backend, False, reason)
 
     async def scrape_metrics(self, backend: BackendState) -> None:
         """Refresh the compact per-backend /metrics summary."""

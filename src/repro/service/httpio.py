@@ -21,6 +21,7 @@ __all__ = [
     "http_call",
     "read_http_request",
     "write_json_response",
+    "write_text_response",
 ]
 
 REASONS = {
@@ -95,6 +96,28 @@ async def write_json_response(
     await writer.drain()
 
 
+async def write_text_response(
+    writer: asyncio.StreamWriter,
+    status: int,
+    text: str,
+    extra_headers: list,
+    keep_alive: bool,
+    content_type: str = "text/plain; charset=utf-8",
+) -> None:
+    """Serialize ``text`` as the body of one HTTP/1.1 response (e.g. the
+    Prometheus exposition of ``/metrics?format=prometheus``)."""
+    body = text.encode("utf-8")
+    lines = [
+        f"HTTP/1.1 {status} {REASONS.get(status, 'Unknown')}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    lines.extend(f"{name}: {value}" for name, value in extra_headers)
+    writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body)
+    await writer.drain()
+
+
 async def http_call(
     reader: asyncio.StreamReader,
     writer: asyncio.StreamWriter,
@@ -104,19 +127,24 @@ async def http_call(
     timeout: float = 30.0,
     *,
     keep_alive: bool = True,
+    headers: list | None = None,
 ) -> tuple[int, dict, dict, bool]:
     """One client request on an open connection.
 
+    ``headers`` adds extra request headers (name, value) — the trace-context
+    header travels this way so request bodies stay strictly validated.
     Returns ``(status, headers, doc, server_closed)`` where ``headers`` maps
     lower-cased names to values and ``server_closed`` is True when the
     response asked to close the connection.
     """
     body = json.dumps(payload).encode("utf-8") if payload is not None else b""
+    extra = "".join(f"{name}: {value}\r\n" for name, value in headers) if headers else ""
     head = (
         f"{method} {path} HTTP/1.1\r\n"
         f"Host: repro\r\n"
         f"Content-Type: application/json\r\n"
         f"Content-Length: {len(body)}\r\n"
+        f"{extra}"
         f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n\r\n"
     )
     writer.write(head.encode("latin-1") + body)

@@ -35,6 +35,9 @@ import time
 from collections import Counter, deque
 from dataclasses import dataclass, field
 
+from ..obs.collect import quantile
+from ..obs.context import TRACE_HEADER, deterministic_span_id, deterministic_trace_id
+from ..obs.tracer import make_tracer, tracer_from_env
 from .httpio import http_call
 
 __all__ = ["DEFAULT_MIX", "LoadReport", "build_requests", "fetch_metrics", "run_load", "wait_ready"]
@@ -125,6 +128,10 @@ class LoadReport:
     latencies_s: list = field(default_factory=list)
     wall_s: float = 0.0
     model_metrics: dict = field(default_factory=dict)
+    #: per-stage latency samples (ms) from response ``trace`` annotations:
+    #: server stages (cache_probe/batch_wait/execute/total), the gateway
+    #: stage, and the derived client-side network remainder
+    stage_ms: dict = field(default_factory=dict)
 
     @property
     def dropped(self) -> int:
@@ -160,6 +167,35 @@ class LoadReport:
         for name in _MAX_METRICS:
             if name in metrics:
                 self.model_metrics[name] = max(self.model_metrics.get(name, 0), metrics[name])
+        trace = doc.get("trace")
+        if isinstance(trace, dict):
+            stages = trace.get("stages_ms") or {}
+            for name, value in stages.items():
+                if isinstance(value, (int, float)) and not isinstance(value, bool):
+                    self.stage_ms.setdefault(name, []).append(float(value))
+            # the client-observed remainder: wire + connect + queueing in
+            # front of whichever tier annotated the response
+            upstream = stages.get("gateway", stages.get("total"))
+            if isinstance(upstream, (int, float)) and not isinstance(upstream, bool):
+                net = max(0.0, latency_s * 1000.0 - float(upstream))
+                self.stage_ms.setdefault("network (client)", []).append(net)
+
+    def stage_rows(self) -> list[dict]:
+        """Per-stage latency breakdown rows (sorted by stage name)."""
+        rows = []
+        for name in sorted(self.stage_ms):
+            values = self.stage_ms[name]
+            rows.append(
+                {
+                    "stage": name,
+                    "count": len(values),
+                    "mean_ms": round(sum(values) / len(values), 3),
+                    "p50_ms": round(quantile(values, 0.50), 3),
+                    "p95_ms": round(quantile(values, 0.95), 3),
+                    "max_ms": round(max(values), 3),
+                }
+            )
+        return rows
 
     def as_dict(self) -> dict:
         return {
@@ -176,8 +212,10 @@ class LoadReport:
             "throughput_rps": round(self.throughput_rps(), 2),
             "latency_p50_ms": round(self.latency_quantile(0.50) * 1000.0, 3),
             "latency_p95_ms": round(self.latency_quantile(0.95) * 1000.0, 3),
+            "latency_p99_ms": round(self.latency_quantile(0.99) * 1000.0, 3),
             "latency_max_ms": round(max(self.latencies_s) * 1000.0, 3) if self.latencies_s else 0.0,
             "model_metrics": dict(self.model_metrics),
+            "stages_ms": self.stage_rows(),
         }
 
 
@@ -241,6 +279,7 @@ async def run_load(
     max_retries: int = 8,
     backoff_seed: int = 0,
     targets: list[tuple[str, int]] | None = None,
+    tracer=None,
 ) -> LoadReport:
     """Drive ``requests`` through ``concurrency`` persistent connections.
 
@@ -249,9 +288,16 @@ async def run_load(
     only the final status is recorded.  ``targets`` optionally spreads the
     workers round-robin over several (host, port) endpoints — e.g. every
     replica of a fleet — instead of the single ``(host, port)``.
+
+    ``tracer`` (or the ``REPRO_TRACE_DIR`` environment) enables distributed
+    tracing: each request gets a root ``loadgen.request`` span with
+    deterministic ids (a pure function of ``backoff_seed`` and the request
+    index), and its context propagates downstream via the trace header.
     """
     report = LoadReport(requests=len(requests))
-    pending = deque(requests)
+    obs = tracer if tracer is not None else tracer_from_env("loadgen")
+    own_tracer = tracer is None and obs.enabled
+    pending = deque(enumerate(requests))
     workers = max(1, min(int(concurrency), len(requests)))
     ready = 0
     start_gate = asyncio.Event()
@@ -268,9 +314,19 @@ async def run_load(
         try:
             while True:
                 try:
-                    payload = pending.popleft()
+                    idx, payload = pending.popleft()
                 except IndexError:
                     return
+                span = None
+                trace_headers = None
+                if obs.enabled:
+                    span = obs.start_span(
+                        "loadgen.request",
+                        trace_id=deterministic_trace_id("load", backoff_seed, idx),
+                        span_id=deterministic_span_id("load", backoff_seed, idx),
+                        attrs={"algo": payload["algo"], "n": payload["n"], "index": idx},
+                    )
+                    trace_headers = [(TRACE_HEADER, span.ctx.header_value())]
                 t0 = time.monotonic()
                 retries = 0
                 while True:
@@ -278,7 +334,8 @@ async def run_load(
                     for attempt in (1, 2):
                         try:
                             status, headers, doc, closed = await http_call(
-                                reader, writer, "POST", "/run", payload, timeout=timeout
+                                reader, writer, "POST", "/run", payload,
+                                timeout=timeout, headers=trace_headers,
                             )
                             break
                         except (
@@ -290,11 +347,16 @@ async def run_load(
                         ) as exc:
                             if attempt == 2:
                                 report.errors.append(f"{payload['algo']}/{payload['n']}: {exc!r}")
+                                if span is not None:
+                                    span.set(error=repr(exc)[:200])
+                                    span.end("error")
                                 return
                             # stale connection: reconnect once and resend
                             writer.close()
                             reader, writer = await asyncio.open_connection(t_host, t_port)
                     if status is None:
+                        if span is not None:
+                            span.end("error")
                         return
                     if status in (429, 503) and retries < max_retries:
                         retries += 1
@@ -311,6 +373,9 @@ async def run_load(
                         continue
                     break
                 report.record(status, doc, time.monotonic() - t0)
+                if span is not None:
+                    span.set(status_code=status, retries=retries)
+                    span.end("ok" if status == 200 else "error")
                 if closed:
                     reader, writer = await asyncio.open_connection(t_host, t_port)
         finally:
@@ -328,6 +393,8 @@ async def run_load(
     for out in outcomes:
         if isinstance(out, BaseException):
             report.errors.append(f"worker crashed: {out!r}")
+    if own_tracer:
+        obs.close()
     return report
 
 
@@ -359,6 +426,15 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--require-batched", type=int, default=0, help="fail unless >= N responses were batched"
     )
+    parser.add_argument(
+        "--slo-p99-ms", type=float, default=0.0,
+        help="fail when the client-observed p99 latency exceeds this bound (0 disables)",
+    )
+    parser.add_argument(
+        "--trace-dir", default="",
+        help="span-sink directory: emit a root span per request and propagate "
+        "its context downstream via the trace header",
+    )
     args = parser.parse_args(argv)
 
     if args.wait > 0 and not asyncio.run(wait_ready(args.host, args.port, args.wait)):
@@ -373,6 +449,9 @@ def main(argv=None) -> int:
         from .fleet import parse_backend_list
 
         targets = parse_backend_list(args.targets)
+    tracer = None
+    if args.trace_dir:
+        tracer = make_tracer("loadgen", args.trace_dir, seed=args.seed)
     report = asyncio.run(
         run_load(
             args.host,
@@ -383,15 +462,27 @@ def main(argv=None) -> int:
             max_retries=args.max_retries,
             backoff_seed=args.seed,
             targets=targets,
+            tracer=tracer,
         )
     )
+    if tracer is not None:
+        tracer.close()
     doc = report.as_dict()
     print(
         f"loadgen: {report.ok}/{report.requests} ok, {report.dropped} dropped, "
         f"{report.cache_hits} cache hits, {report.batched} batched, "
         f"{report.backoff_retries} backoff retries, "
-        f"{doc['throughput_rps']} req/s, p95 {doc['latency_p95_ms']}ms"
+        f"{doc['throughput_rps']} req/s, p95 {doc['latency_p95_ms']}ms, "
+        f"p99 {doc['latency_p99_ms']}ms"
     )
+    if doc["stages_ms"]:
+        width = max(len(r["stage"]) for r in doc["stages_ms"])
+        print(f"{'stage'.ljust(width)}  {'count':>6}  {'p50_ms':>9}  {'p95_ms':>9}  {'max_ms':>9}")
+        for row in doc["stages_ms"]:
+            print(
+                f"{row['stage'].ljust(width)}  {row['count']:>6}  "
+                f"{row['p50_ms']:>9.3f}  {row['p95_ms']:>9.3f}  {row['max_ms']:>9.3f}"
+            )
     if args.out:
         with open(args.out, "w") as fh:
             json.dump(doc, fh, indent=2, sort_keys=True)
@@ -412,6 +503,10 @@ def main(argv=None) -> int:
         failures.append(f"cache hits {report.cache_hits} < required {args.require_hits}")
     if report.batched < args.require_batched:
         failures.append(f"batched responses {report.batched} < required {args.require_batched}")
+    if args.slo_p99_ms > 0 and doc["latency_p99_ms"] > args.slo_p99_ms:
+        failures.append(
+            f"latency p99 {doc['latency_p99_ms']}ms exceeds SLO {args.slo_p99_ms}ms"
+        )
     if failures:
         for failure in failures:
             print(f"loadgen: FAIL: {failure}", file=sys.stderr)

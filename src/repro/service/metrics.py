@@ -16,14 +16,18 @@ from collections import Counter
 __all__ = ["LATENCY_BUCKETS_MS", "FleetMetrics", "LatencyHistogram", "ServiceMetrics"]
 
 #: upper bucket bounds in milliseconds; requests above the last bound land
-#: in a +Inf overflow bucket
-LATENCY_BUCKETS_MS = (1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000)
+#: in a +Inf overflow bucket.  The sub-millisecond bounds exist for cache
+#: hits and gateway attempts, which would otherwise all collapse into the
+#: first bucket.
+LATENCY_BUCKETS_MS = (
+    0.1, 0.25, 0.5, 1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000,
+)
 
 
 class LatencyHistogram:
     """Fixed-bucket latency histogram (cumulative-friendly, JSON-served)."""
 
-    def __init__(self, bounds_ms: tuple[int, ...] = LATENCY_BUCKETS_MS) -> None:
+    def __init__(self, bounds_ms: tuple[float, ...] = LATENCY_BUCKETS_MS) -> None:
         self.bounds_ms = tuple(bounds_ms)
         self.counts = [0] * (len(self.bounds_ms) + 1)
         self.count = 0
@@ -42,28 +46,39 @@ class LatencyHistogram:
         self.counts[-1] += 1
 
     def quantile(self, q: float) -> float:
-        """Approximate quantile in ms (upper bound of the matching bucket)."""
+        """Quantile in ms, linearly interpolated within the matching bucket.
+
+        Observations are assumed uniform inside their bucket; the overflow
+        bucket interpolates between the last bound and the observed max."""
         if self.count == 0:
             return 0.0
         target = q * self.count
-        seen = 0
+        seen = 0.0
+        lower = 0.0
         for i, bound in enumerate(self.bounds_ms):
-            seen += self.counts[i]
-            if seen >= target:
-                return float(bound)
-        return self.max_ms
+            c = self.counts[i]
+            if c > 0 and seen + c >= target:
+                frac = (target - seen) / c
+                return lower + (float(bound) - lower) * frac
+            seen += c
+            lower = float(bound)
+        c = self.counts[-1]
+        if c <= 0 or self.max_ms <= lower:
+            return self.max_ms
+        frac = min(1.0, max(0.0, (target - seen) / c))
+        return lower + (self.max_ms - lower) * frac
 
     def as_dict(self) -> dict:
-        buckets = {f"le_{b}ms": c for b, c in zip(self.bounds_ms, self.counts)}
+        buckets = {f"le_{b:g}ms": c for b, c in zip(self.bounds_ms, self.counts)}
         buckets["le_inf"] = self.counts[-1]
         return {
             "count": self.count,
             "sum_ms": round(self.sum_ms, 3),
             "mean_ms": round(self.sum_ms / self.count, 3) if self.count else 0.0,
             "max_ms": round(self.max_ms, 3),
-            "p50_ms": self.quantile(0.50),
-            "p95_ms": self.quantile(0.95),
-            "p99_ms": self.quantile(0.99),
+            "p50_ms": round(self.quantile(0.50), 3),
+            "p95_ms": round(self.quantile(0.95), 3),
+            "p99_ms": round(self.quantile(0.99), 3),
             "buckets": buckets,
         }
 

@@ -1,0 +1,95 @@
+"""Prometheus text exposition for the ``/metrics`` snapshots.
+
+``GET /metrics?format=prometheus`` on the server and the gateway renders
+the exact same snapshot dict that the JSON default serves — no separate
+counter registry, so the two views can never drift.  The mapping is
+structural:
+
+* nested dict paths become underscore-joined metric names under the
+  ``repro_`` prefix (``requests.total`` -> ``repro_requests_total``);
+* known per-key tables (``by_status``, ``by_algo``, ``by_shard``,
+  ``forwarded_by_backend``) become one metric with a label;
+* histogram dicts (the :class:`~repro.service.metrics.LatencyHistogram`
+  shape) become a proper Prometheus histogram: cumulative ``_bucket{le=}``
+  series plus ``_sum`` and ``_count``;
+* strings, lists, and deep diagnostic tables (breaker transitions, health
+  history, shard rosters) are skipped — they stay JSON-only.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["PROM_CONTENT_TYPE", "render_prometheus"]
+
+PROM_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: sub-dicts rendered as one labelled metric instead of nested names
+_LABELLED = {
+    "by_status": "status",
+    "by_algo": "algo",
+    "by_shard": "shard",
+    "forwarded_by_backend": "backend",
+}
+
+#: snapshot keys whose values are diagnostic tables, not scalars
+_SKIPPED = {"shards", "breakers", "health", "errors"}
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _name(part: str) -> str:
+    return _NAME_RE.sub("_", str(part))
+
+
+def _is_histogram(value: object) -> bool:
+    return isinstance(value, dict) and "buckets" in value and "count" in value and "sum_ms" in value
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def _emit_histogram(lines: list[str], name: str, doc: dict) -> None:
+    lines.append(f"# TYPE {name} histogram")
+    cumulative = 0
+    for label, count in doc["buckets"].items():
+        cumulative += int(count)
+        # bucket keys are "le_{bound}ms" / "le_inf" (see LatencyHistogram)
+        le = "+Inf" if label == "le_inf" else label[3:-2]
+        lines.append(f'{name}_bucket{{le="{le}"}} {cumulative}')
+    lines.append(f"{name}_sum {doc['sum_ms']}")
+    lines.append(f"{name}_count {doc['count']}")
+
+
+def render_prometheus(snapshot: dict, prefix: str = "repro") -> str:
+    """Render one ``/metrics`` snapshot dict as Prometheus text format."""
+    lines: list[str] = []
+
+    def emit_scalar(name: str, value: object) -> None:
+        if isinstance(value, bool):
+            value = int(value)
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name} {value}")
+
+    def walk(path: str, doc: dict) -> None:
+        for key, value in doc.items():
+            if key in _SKIPPED:
+                continue
+            name = f"{path}_{_name(key)}"
+            if _is_histogram(value):
+                _emit_histogram(lines, f"{name}_ms", value)
+            elif key in _LABELLED and isinstance(value, dict):
+                label = _LABELLED[key]
+                lines.append(f"# TYPE {name} gauge")
+                for lkey, lvalue in sorted(value.items()):
+                    if isinstance(lvalue, bool) or not isinstance(lvalue, (int, float)):
+                        continue
+                    lines.append(f'{name}{{{label}="{_escape_label(str(lkey))}"}} {lvalue}')
+            elif isinstance(value, dict):
+                walk(name, value)
+            elif isinstance(value, (int, float)) or isinstance(value, bool):
+                emit_scalar(name, value)
+            # strings and lists stay JSON-only
+    walk(_name(prefix), snapshot)
+    return "\n".join(lines) + "\n"

@@ -31,10 +31,13 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import json
+import os
 import signal
 import time
 from dataclasses import dataclass
 
+from ..obs.context import TRACE_HEADER_LOWER, TraceContext
+from ..obs.tracer import ENV_TRACE_DIR, tracer_from_env
 from ..runner.cache import DEFAULT_CACHE_DIR, ResultCache
 from ..runner.cachekey import suite_code_version
 from ..runner.registry import load_suites
@@ -43,7 +46,7 @@ from ..tuner.tuner import TuneError
 from .batcher import Batcher
 from .cache import ServiceCache
 from .executor import ExecutionCrash, ExecutionError, ExecutionTimeout, ServiceExecutor
-from .httpio import BadRequest, read_http_request, write_json_response
+from .httpio import BadRequest, read_http_request, write_json_response, write_text_response
 from .metrics import ServiceMetrics
 from .protocol import (
     ALGO_SUITES,
@@ -85,6 +88,9 @@ class ServiceConfig:
     #: /readyz and /metrics so gateways and chaos harnesses can tell
     #: replicas apart
     shard_id: str = ""
+    #: span-sink directory; non-empty enables distributed tracing for this
+    #: process and (via the inherited environment) its pool workers
+    trace_dir: str = ""
 
 
 class SpatialService:
@@ -92,6 +98,13 @@ class SpatialService:
 
     def __init__(self, config: ServiceConfig) -> None:
         self.config = config
+        # the env flag must be set before the executor forks its pool so the
+        # workers inherit it and can trace their side of each task
+        self._trace_env_set = False
+        if config.trace_dir and os.environ.get(ENV_TRACE_DIR, "") != config.trace_dir:
+            os.environ[ENV_TRACE_DIR] = config.trace_dir
+            self._trace_env_set = True
+        self.obs = tracer_from_env(f"shard-{config.shard_id}" if config.shard_id else "server")
         suites = load_suites(config.bench_dir or None)
         missing = [a for a, s in sorted(ALGO_SUITES.items()) if s not in suites]
         if TUNER_SUITE_NAME not in suites:
@@ -144,11 +157,17 @@ class SpatialService:
         self.draining = True
         if self._server is not None:
             self._server.close()
+        self.obs.event("drain_started", attrs={"inflight": self.metrics.inflight})
         budget = self.config.drain_timeout if timeout is None else timeout
         deadline = time.monotonic() + budget
         while (self.metrics.inflight > 0 or self._bg) and time.monotonic() < deadline:
             await asyncio.sleep(0.02)
-        return self.metrics.inflight == 0 and not self._bg
+        clean = self.metrics.inflight == 0 and not self._bg
+        self.obs.event(
+            "drain_finished",
+            attrs={"clean": clean, "inflight": self.metrics.inflight},
+        )
+        return clean
 
     async def stop(self) -> None:
         self.draining = True
@@ -160,6 +179,10 @@ class SpatialService:
             with contextlib.suppress(Exception):
                 writer.close()
         self.executor.close()
+        self.obs.close()
+        if self._trace_env_set:
+            os.environ.pop(ENV_TRACE_DIR, None)
+            self._trace_env_set = False
 
     # -- request processing ---------------------------------------------
     def queue_depth(self) -> int:
@@ -188,36 +211,77 @@ class SpatialService:
         }
         return resolved, provenance
 
-    async def _process(self, request: ServiceRequest) -> dict:
-        """Cache lookup -> batcher -> executor; returns payload + provenance."""
+    async def _process(self, request: ServiceRequest, parent=None) -> dict:
+        """Cache lookup -> batcher -> executor; returns payload + provenance.
+
+        ``parent`` is the request's open ``server.request`` span when tracing
+        is enabled (else None); the cache probe, batch wait, and execution
+        each get a child span, and their durations come back as ``stages``
+        for the response's trace annotation."""
         plan_doc = None
+        stages: dict[str, float] = {}
         if request.is_auto:
             request, plan_doc = await self._resolve_auto(request)
         key = request.cache_key(self.code_versions[request.algo])
+        probe = None
+        if parent is not None:
+            probe = self.obs.start_span("server.cache_probe", parent=parent.ctx)
         payload, tier = self.cache.get(key)
+        if probe is not None:
+            probe.set(tier=tier or "miss")
+            probe.end()
+            stages["cache_probe"] = round(probe.duration_ms, 3)
         if tier is not None:
             self.metrics.cache_hit(tier)
             return {
-                "payload": payload, "cached": tier, "batched": False,
-                "plan": plan_doc, "request": request,
+                "payload": payload, "cached": tier, "batched": False, "leader": None,
+                "plan": plan_doc, "request": request, "stages": stages,
             }
         self.metrics.cache_misses += 1
 
         async def _execute() -> dict:
             self._executing += 1
+            espan = None
+            if parent is not None:
+                espan = self.obs.start_span(
+                    "server.execute",
+                    parent=parent.ctx,
+                    attrs={"backend": "inline" if self.config.inline else "pool"},
+                )
             try:
-                payload, exec_s = await self.executor.execute(request)
+                payload, exec_s = await self.executor.execute(
+                    request, trace=espan.ctx if espan is not None else None
+                )
             except BaseException:
                 self.metrics.execution_failures += 1
+                if espan is not None:
+                    espan.end("error")
                 raise
             finally:
                 self._executing -= 1
                 self.metrics.executions += 1
+            if espan is not None:
+                espan.set(exec_s=round(exec_s, 6))
+                espan.end()
+                stages["execute"] = round(espan.duration_ms, 3)
             self.metrics.execution_latency.observe(exec_s)
             self.cache.put(key, request, payload, exec_s)
             return payload
 
+        bspan = None
+        if parent is not None:
+            bspan = self.obs.start_span("server.batch", parent=parent.ctx)
         outcome = await self.batcher.submit(key, _execute)
+        if bspan is not None:
+            bspan.set(
+                leader=outcome.leader, batched=outcome.batched,
+                batch_size=getattr(outcome, "batch_size", None),
+            )
+            bspan.end()
+            # a leader's batch span covers the execution too; its queue-side
+            # wait is what remains after the execute stage
+            wait = bspan.duration_ms - stages.get("execute", 0.0)
+            stages["batch_wait"] = round(max(0.0, wait), 3)
         if outcome.leader:
             if outcome.batched:
                 self.metrics.batched_executions += 1
@@ -225,7 +289,8 @@ class SpatialService:
             self.metrics.coalesced_requests += 1
         return {
             "payload": outcome.payload, "cached": False, "batched": outcome.batched,
-            "plan": plan_doc, "request": request,
+            "leader": outcome.leader, "plan": plan_doc, "request": request,
+            "stages": stages,
         }
 
     def _track(self, task: asyncio.Task) -> None:
@@ -238,7 +303,9 @@ class SpatialService:
 
         task.add_done_callback(_done)
 
-    async def _serve_run(self, body: bytes) -> tuple[int, dict, list]:
+    async def _serve_run(
+        self, body: bytes, headers: dict | None = None
+    ) -> tuple[int, dict, list]:
         self.metrics.request_received()
         try:
             doc = json.loads(body.decode("utf-8") or "null")
@@ -250,8 +317,22 @@ class SpatialService:
         except RequestError as exc:
             self.metrics.response_only(400)
             return 400, {"ok": False, "error": str(exc), "field": exc.field}, []
+        span = None
+        if self.obs.enabled:
+            incoming = TraceContext.parse((headers or {}).get(TRACE_HEADER_LOWER, ""))
+            span = self.obs.start_span(
+                "server.request",
+                parent=incoming,
+                attrs={
+                    "algo": request.algo, "n": request.n, "seed": request.seed,
+                    "shard": self.config.shard_id or None,
+                },
+            )
         if self.draining:
             self.metrics.response_only(503)
+            if span is not None:
+                span.set(status_code=503, rejected="draining")
+                span.end("error")
             return (
                 503,
                 {"ok": False, "error": "server is draining"},
@@ -260,6 +341,9 @@ class SpatialService:
         if self.metrics.inflight >= self.config.max_inflight:
             self.metrics.rejected += 1
             self.metrics.response_only(429)
+            if span is not None:
+                span.set(status_code=429, rejected="max_inflight")
+                span.end("error")
             return (
                 429,
                 {"ok": False, "error": "too many in-flight requests"},
@@ -268,13 +352,16 @@ class SpatialService:
         if self.queue_depth() >= self.config.max_queue:
             self.metrics.rejected += 1
             self.metrics.response_only(429)
+            if span is not None:
+                span.set(status_code=429, rejected="queue_full")
+                span.end("error")
             return 429, {"ok": False, "error": "queue full"}, [("Retry-After", "1")]
 
         started = time.monotonic()
         self.metrics.request_admitted(request.algo)
         status = 200
         result: dict = {}
-        task = asyncio.create_task(self._process(request))
+        task = asyncio.create_task(self._process(request, parent=span))
         self._track(task)
         deadline = self.config.timeout + self.config.batch_window + 1.0
         try:
@@ -289,6 +376,19 @@ class SpatialService:
             }
             if out.get("plan") is not None:
                 result["plan"] = out["plan"]
+            if span is not None:
+                span.set(
+                    cached=out["cached"] or False,
+                    batched=out["batched"],
+                    leader=out.get("leader"),
+                )
+                stages = dict(out.get("stages") or {})
+                stages["total"] = round((time.monotonic() - started) * 1000.0, 3)
+                result["trace"] = {
+                    "trace_id": span.trace_id,
+                    "span_id": span.span_id,
+                    "stages_ms": stages,
+                }
         except asyncio.TimeoutError:
             status = 504
             self.metrics.timeouts += 1
@@ -297,6 +397,11 @@ class SpatialService:
             status = 504
             self.metrics.crashed += 1
             result = {"ok": False, "error": str(exc)}
+            self.obs.event(
+                "worker_crash",
+                parent=span.ctx if span is not None else None,
+                attrs={"algo": request.algo, "error": str(exc)[:200]},
+            )
         except ExecutionTimeout as exc:
             status = 504
             self.metrics.timeouts += 1
@@ -312,6 +417,9 @@ class SpatialService:
             result = {"ok": False, "error": f"internal error: {exc!r}"}
         finally:
             self.metrics.request_finished(status, time.monotonic() - started)
+            if span is not None:
+                span.set(status_code=status)
+                span.end("ok" if status == 200 else "error")
         return status, result, []
 
     async def _serve_plan(self, body: bytes) -> tuple[int, dict, list]:
@@ -385,12 +493,19 @@ class SpatialService:
             },
         )
 
-    async def _route(self, method: str, path: str, body: bytes) -> tuple[int, dict, list]:
+    async def _route(
+        self,
+        method: str,
+        path: str,
+        query: str = "",
+        headers: dict | None = None,
+        body: bytes = b"",
+    ) -> tuple[int, dict | str, list]:
         if path == "/run":
             if method != "POST":
                 self.metrics.response_only(405)
                 return 405, {"ok": False, "error": "use POST /run"}, [("Allow", "POST")]
-            return await self._serve_run(body)
+            return await self._serve_run(body, headers)
         if path == "/plan":
             if method != "POST":
                 self.metrics.response_only(405)
@@ -418,6 +533,10 @@ class SpatialService:
                 return 503, doc, [("Retry-After", "1")]
             return 200, doc, []
         if path == "/metrics":
+            if "format=prometheus" in (query or ""):
+                from .promexport import render_prometheus
+
+                return 200, render_prometheus(self.metrics_doc()), []
             return 200, self.metrics_doc(), []
         if path == "/algos":
             algos = {
@@ -459,12 +578,22 @@ class SpatialService:
                 if parsed is None:
                     break
                 method, target, headers, body = parsed
-                path = target.split("?", 1)[0]
+                path, _, query = target.partition("?")
                 keep_alive = (
                     not self.draining and headers.get("connection", "").lower() != "close"
                 )
-                status, doc, extra = await self._route(method.upper(), path, body)
-                await write_json_response(writer, status, doc, extra, keep_alive)
+                status, doc, extra = await self._route(
+                    method.upper(), path, query, headers, body
+                )
+                if isinstance(doc, str):
+                    from .promexport import PROM_CONTENT_TYPE
+
+                    await write_text_response(
+                        writer, status, doc, extra, keep_alive,
+                        content_type=PROM_CONTENT_TYPE,
+                    )
+                else:
+                    await write_json_response(writer, status, doc, extra, keep_alive)
                 if not keep_alive:
                     break
         except (
@@ -532,5 +661,6 @@ def serve_main(args) -> int:
         drain_timeout=args.drain_timeout,
         plan_db=getattr(args, "plan_db", "benchmarks/plans/plan_db.json"),
         shard_id=getattr(args, "shard_id", "") or "",
+        trace_dir=getattr(args, "trace_dir", "") or "",
     )
     return asyncio.run(_amain(config))

@@ -256,8 +256,12 @@ class TestServiceMetrics:
             h.observe(ms / 1000.0)
         d = h.as_dict()
         assert d["count"] == 10
-        assert d["p50_ms"] == 1
-        assert d["p99_ms"] == 1000  # bucket upper bound holding the straggler
+        # nine observations fill the (0.5, 1] bucket: p50 interpolates to
+        # 0.5 + 0.5 * (5/9), not the 1ms upper bound
+        assert d["p50_ms"] == 0.778
+        # the straggler interpolates inside its (500, 1000] bucket
+        assert d["p99_ms"] == 950.0
+        assert d["max_ms"] == 900
 
 
 class TestLoadgen:
