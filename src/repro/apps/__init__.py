@@ -1,7 +1,14 @@
 """Applications composed from the public primitives: order statistics
 (Section VI motivation) and graph kernels (introduction's motivation)."""
 
-from .graph import bfs_distances, connected_components, degree_table
+from .graph import (
+    GraphConvergenceError,
+    PageRankResult,
+    bfs_distances,
+    connected_components,
+    degree_table,
+    pagerank,
+)
 from .statistics import (
     interquartile_range,
     median,
@@ -12,9 +19,12 @@ from .statistics import (
 )
 
 __all__ = [
+    "GraphConvergenceError",
+    "PageRankResult",
     "bfs_distances",
     "connected_components",
     "degree_table",
+    "pagerank",
     "interquartile_range",
     "median",
     "median_absolute_deviation",

@@ -1,96 +1,29 @@
-"""Graph algorithms on the spatial machine — the introduction's motivation.
+"""Back-compat shim: the graph kernels moved to :mod:`repro.graphs`.
 
-The paper motivates its primitives with graph workloads (SpMV "is central to
-graph algorithms", GNNs).  These helpers build classic graph kernels from
-the public API:
-
-* :func:`connected_components` — min-label propagation: each round is one
-  SpMV over the (MIN, select-right) semiring (``y_i = min(x_i, min_{j~i}
-  x_j)``), so a graph with diameter D converges in <= D+1 rounds, each
-  Θ(m^{3/2}) energy and polylog depth;
-* :func:`bfs_distances` — breadth-first distances via (MIN, +1) semiring
-  rounds from a source vertex;
-* :func:`degree_table` — vertex degrees with one ADD-semiring SpMV over the
-  all-ones vector.
+The original ~80-line module grew into a full workload subsystem
+(generators, PageRank, per-iteration cost attribution, host oracles) —
+see ``docs/GRAPHS.md``.  Existing ``repro.apps`` imports keep working and
+now get the fixed convergence semantics: round caps derive from the fixed
+point (with :class:`~repro.graphs.algorithms.GraphConvergenceError` when an
+explicit cap is exhausted) and adjacency symmetry is validated up front.
 """
 
 from __future__ import annotations
 
-import numpy as np
+from ..graphs.algorithms import (
+    GraphConvergenceError,
+    PageRankResult,
+    bfs_distances,
+    connected_components,
+    degree_table,
+    pagerank,
+)
 
-from ..core.ops import ADD, MIN
-from ..machine.machine import SpatialMachine
-from ..spmv.coo import COOMatrix
-from ..spmv.spmv import spmv_spatial
-
-__all__ = ["connected_components", "bfs_distances", "degree_table"]
-
-
-def connected_components(
-    machine: SpatialMachine,
-    adjacency: COOMatrix,
-    max_rounds: int | None = None,
-) -> np.ndarray:
-    """Component labels (the minimum vertex id in each component).
-
-    ``adjacency`` must be symmetric (an undirected graph).  Runs min-label
-    propagation until a fixed point; each round is one semiring SpMV plus a
-    local element-wise min with the current labels.
-    """
-    n = adjacency.n
-    labels = np.arange(n, dtype=np.float64)
-    rounds = max_rounds if max_rounds is not None else n
-    for _ in range(rounds):
-        y = spmv_spatial(
-            machine,
-            adjacency,
-            labels,
-            combine=MIN,
-            multiply=lambda a, x: x,
-        )
-        new_labels = np.minimum(labels, y.payload)
-        if np.array_equal(new_labels, labels):
-            break
-        labels = new_labels
-    return labels.astype(np.int64)
-
-
-def bfs_distances(
-    machine: SpatialMachine,
-    adjacency: COOMatrix,
-    source: int,
-    max_rounds: int | None = None,
-) -> np.ndarray:
-    """Hop distances from ``source`` (inf for unreachable vertices).
-
-    Each round relaxes ``d_i = min(d_i, 1 + min_{j~i} d_j)`` with one
-    (MIN, +1)-semiring SpMV.
-    """
-    n = adjacency.n
-    if not 0 <= source < n:
-        raise ValueError(f"source {source} out of range")
-    dist = np.full(n, np.inf)
-    dist[source] = 0.0
-    rounds = max_rounds if max_rounds is not None else n
-    for _ in range(rounds):
-        y = spmv_spatial(
-            machine,
-            adjacency,
-            dist,
-            combine=MIN,
-            multiply=lambda a, x: x + 1.0,
-        )
-        new_dist = np.minimum(dist, y.payload)
-        if np.array_equal(
-            np.nan_to_num(new_dist, posinf=-1), np.nan_to_num(dist, posinf=-1)
-        ):
-            break
-        dist = new_dist
-    return dist
-
-
-def degree_table(machine: SpatialMachine, adjacency: COOMatrix) -> np.ndarray:
-    """Vertex degrees: one ADD-semiring SpMV with the all-ones vector."""
-    ones = np.ones(adjacency.n)
-    y = spmv_spatial(machine, adjacency, ones, combine=ADD)
-    return np.rint(y.payload).astype(np.int64)
+__all__ = [
+    "GraphConvergenceError",
+    "PageRankResult",
+    "bfs_distances",
+    "connected_components",
+    "degree_table",
+    "pagerank",
+]

@@ -101,9 +101,7 @@ def trimmed_mean(
 
     vals = ta.payload.reshape(n, -1)[:, 0]
     keep = (vals >= lo) & (vals <= hi)
-    acc = ta.with_payload(
-        np.stack([np.where(keep, vals, 0.0), keep.astype(np.float64)], axis=1)
-    )
+    acc = ta.with_payload(np.stack([np.where(keep, vals, 0.0), keep.astype(np.float64)], axis=1))
     totals = all_reduce(machine, acc, region, ADD)
     total, count = totals.payload[0]
     if count == 0:

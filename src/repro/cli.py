@@ -206,6 +206,102 @@ def _run_algo(algo: str, n: int, seed: int, workload: str, trace: bool,
     raise SystemExit(f"unknown algorithm {algo!r}")
 
 
+def _cmd_graph(args) -> int:
+    from .graphs import (
+        bfs_distances,
+        bfs_reference,
+        cc_reference,
+        connected_components,
+        degree_table,
+        generate_graph,
+        iteration_costs,
+        pagerank,
+        pagerank_reference,
+    )
+
+    rng = np.random.default_rng(args.seed)
+    try:
+        A = generate_graph(args.generator, args.n, rng)
+    except ValueError as e:
+        raise SystemExit(str(e))
+    want_profiler = bool(args.heatmap or args.trace or args.ascii)
+    m = SpatialMachine(profile=want_profiler)
+    phase = args.algo
+    if args.algo == "cc":
+        labels = connected_components(m, A, max_rounds=args.max_rounds)
+        assert np.array_equal(labels, cc_reference(A))
+        extra = f"components={len(np.unique(labels))}"
+        label = f"connected components ({args.generator}, n={args.n}, m={A.nnz})"
+    elif args.algo == "bfs":
+        dist = bfs_distances(m, A, args.source, max_rounds=args.max_rounds)
+        assert np.array_equal(dist, bfs_reference(A, args.source))
+        reached = int(np.isfinite(dist).sum())
+        extra = f"source={args.source} reached={reached}/{args.n}"
+        label = f"BFS ({args.generator}, n={args.n}, m={A.nnz})"
+    elif args.algo == "pagerank":
+        res = pagerank(m, A, damping=args.damping, tol=args.tol,
+                       max_rounds=args.max_rounds or 50)
+        ref = pagerank_reference(A, damping=args.damping, tol=args.tol,
+                                 max_rounds=args.max_rounds or 50)
+        assert np.allclose(res.ranks, ref.ranks, rtol=1e-9, atol=1e-12)
+        extra = (f"rounds={res.rounds} converged={res.converged} "
+                 f"residual={res.residual:.3g}")
+        label = f"PageRank ({args.generator}, n={args.n}, m={A.nnz})"
+    else:  # degrees
+        deg = degree_table(m, A)
+        ref_deg = np.zeros(A.n)
+        np.add.at(ref_deg, np.asarray(A.rows), np.asarray(A.vals))
+        assert np.array_equal(deg, np.rint(ref_deg).astype(np.int64))
+        extra = f"max_degree={int(deg.max())}"
+        label = f"degree table ({args.generator}, n={args.n}, m={A.nnz})"
+        phase = "degrees"
+    _print_costs(label, "Θ(m^1.5) E, O(log³ n) D per round", m,
+                 m.stats.max_depth, m.stats.max_distance)
+    print(f"  {extra}")
+    total = m.cost_tree.total()
+    assert total.energy == m.stats.energy and total.messages == m.stats.messages
+
+    rounds = iteration_costs(m.cost_tree, phase)
+    if args.per_round and rounds:
+        print()
+        print(
+            render_table(
+                ["round", "energy", "messages", "depth", "distance"],
+                [[r["round"], r["energy"], r["messages"], r["max_depth"],
+                  r["max_distance"]] for r in rounds],
+                title=f"{label} — per-iteration attribution",
+            )
+        )
+    elif rounds:
+        energies = [r["energy"] for r in rounds]
+        print(f"  rounds={len(rounds)} round energy min={min(energies)} "
+              f"max={max(energies)} total={sum(energies)}")
+
+    if want_profiler:
+        from .machine.chrometrace import write_chrome_trace
+        from .machine.heatmap import render_ascii, write_heatmap
+
+        cells = m.profiler.cell_energy()
+        if args.ascii:
+            print()
+            print(render_ascii(cells, title=f"{label} — energy per cell"))
+        if args.heatmap:
+            try:
+                fmt = write_heatmap(cells, args.heatmap,
+                                    title=f"{label} — energy per cell")
+            except OSError as e:
+                raise SystemExit(f"cannot write heatmap to {args.heatmap}: {e}")
+            print(f"wrote {fmt} heatmap to {args.heatmap}")
+        if args.trace:
+            try:
+                count = write_chrome_trace(m.profiler, args.trace, label=label)
+            except OSError as e:
+                raise SystemExit(f"cannot write trace to {args.trace}: {e}")
+            print(f"wrote {count} trace event(s) to {args.trace} "
+                  "(load in ui.perfetto.dev or chrome://tracing)")
+    return 0
+
+
 def _cmd_chaos(args) -> int:
     import json
 
@@ -540,6 +636,37 @@ def build_parser() -> argparse.ArgumentParser:
     algo_common(sp)
     sp.add_argument("--out", default="", help="output path (default: stdout)")
     sp.set_defaults(func=_cmd_trace)
+
+    sp = sub.add_parser(
+        "graph",
+        help="graph-analytics workloads: iterated-SpMV CC/BFS/PageRank with "
+        "per-iteration cost attribution",
+    )
+    sp.add_argument("algo", choices=("cc", "bfs", "pagerank", "degrees"),
+                    help="which graph algorithm to run")
+    sp.add_argument("-n", "--n", type=int, default=64, help="vertex count "
+                    "(grid generator needs a perfect square)")
+    sp.add_argument("--generator", default="rmat",
+                    choices=("rmat", "grid", "powerlaw"),
+                    help="seeded workload graph family (default: rmat)")
+    sp.add_argument("--seed", type=int, default=0)
+    sp.add_argument("--source", type=int, default=0, help="BFS source vertex")
+    sp.add_argument("--damping", type=float, default=0.85,
+                    help="PageRank damping factor")
+    sp.add_argument("--tol", type=float, default=1e-8,
+                    help="PageRank convergence tolerance (0 = fixed rounds)")
+    sp.add_argument("--max-rounds", type=int, default=None,
+                    help="iteration cap (default: derived from convergence; "
+                    "PageRank: 50)")
+    sp.add_argument("--per-round", action="store_true",
+                    help="print the full per-iteration cost table")
+    sp.add_argument("--ascii", action="store_true",
+                    help="print an ASCII energy heatmap to stdout")
+    sp.add_argument("--heatmap", default="",
+                    help="write an energy heatmap file (.svg for SVG, else ASCII)")
+    sp.add_argument("--trace", default="",
+                    help="write Chrome trace-event JSON (Perfetto-loadable)")
+    sp.set_defaults(func=_cmd_graph)
 
     sp = sub.add_parser(
         "chaos",

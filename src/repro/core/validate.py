@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["check_finite_values"]
+__all__ = ["check_finite_values", "check_symmetric_adjacency"]
 
 
 def check_finite_values(machine, values: np.ndarray, what: str) -> None:
@@ -37,4 +37,32 @@ def check_finite_values(machine, values: np.ndarray, what: str) -> None:
             f"{what} contains NaN (first at flat index {idx}); strict mode "
             f"rejects NaN payloads because they poison comparators and "
             f"prefix sums — filter or impute them before placement"
+        )
+
+
+def check_symmetric_adjacency(matrix, what: str = "adjacency") -> None:
+    """Reject structurally asymmetric adjacency matrices — always, not just in
+    strict mode.
+
+    The undirected graph algorithms (min-label propagation, BFS relaxation)
+    assume every edge is stored in both directions; on directed input they
+    silently converge to wrong labels/distances, so asymmetry is a hard
+    input error rather than a strict-mode nicety.  ``matrix`` is anything
+    with ``rows``/``cols``/``n`` attributes (a
+    :class:`~repro.spmv.coo.COOMatrix`); only the sparsity *structure* is
+    checked, values may be asymmetric weights.
+    """
+    rows = np.asarray(matrix.rows, dtype=np.int64)
+    cols = np.asarray(matrix.cols, dtype=np.int64)
+    n = np.int64(matrix.n)
+    forward = np.sort(rows * n + cols)
+    backward = np.sort(cols * n + rows)
+    if not np.array_equal(forward, backward):
+        missing = np.setdiff1d(forward, backward, assume_unique=False)
+        first = int(missing[0]) if len(missing) else int(forward[0])
+        i, j = divmod(first, int(n))
+        raise ValueError(
+            f"{what} is not symmetric: edge ({i}, {j}) has no reverse entry; "
+            f"undirected graph algorithms need every edge stored in both "
+            f"directions — symmetrize the matrix (e.g. A + A.T) first"
         )

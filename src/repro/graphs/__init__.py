@@ -1,0 +1,48 @@
+"""Graph-analytics workload subsystem (see ``docs/GRAPHS.md``).
+
+Three layers:
+
+* :mod:`repro.graphs.generators` — seeded workload graphs (R-MAT, 2D grid,
+  power-law configuration model) as validated symmetric COO adjacencies;
+* :mod:`repro.graphs.algorithms` — connected components, BFS, and PageRank
+  as iterated SpMV/scan compositions on the machine, one
+  ``machine.phase("round_###")`` span per iteration;
+* :mod:`repro.graphs.reference` — independent host oracles the property
+  tests and conformance sweeps compare against.
+"""
+
+from .algorithms import (
+    GraphConvergenceError,
+    PageRankResult,
+    bfs_distances,
+    connected_components,
+    degree_table,
+    iteration_costs,
+    pagerank,
+)
+from .generators import (
+    GENERATORS,
+    generate_graph,
+    grid2d_coo,
+    powerlaw_coo,
+    rmat_coo,
+)
+from .reference import bfs_reference, cc_reference, pagerank_reference
+
+__all__ = [
+    "GraphConvergenceError",
+    "PageRankResult",
+    "bfs_distances",
+    "connected_components",
+    "degree_table",
+    "iteration_costs",
+    "pagerank",
+    "GENERATORS",
+    "generate_graph",
+    "grid2d_coo",
+    "powerlaw_coo",
+    "rmat_coo",
+    "bfs_reference",
+    "cc_reference",
+    "pagerank_reference",
+]

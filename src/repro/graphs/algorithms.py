@@ -1,0 +1,269 @@
+"""Graph analytics as iterated SpMV/scan compositions on the spatial machine.
+
+The paper motivates its primitives with graph workloads (SpMV "is central
+to graph algorithms"); this module composes them into the classic trio,
+each one a loop of semiring :func:`~repro.spmv.spmv.spmv_spatial` rounds:
+
+* :func:`connected_components` — min-label propagation over the
+  (MIN, select-right) semiring: ``x_i <- min(x_i, min_{j~i} x_j)``;
+* :func:`bfs_distances` — BFS relaxation over the (MIN, +1) semiring:
+  ``d_i <- min(d_i, 1 + min_{j~i} d_j)``;
+* :func:`pagerank` — power iteration ``r <- (1-d)/n + d W r`` with the
+  column-stochastic walk matrix, dangling-mass teleport, and a *scalar scan
+  normalization*: the per-round total is computed on the machine with
+  :func:`~repro.core.scan.scan_any` rather than trusted host-side.
+
+Every iteration runs inside its own ``machine.phase("round_###")`` span
+nested under the algorithm's phase, so the :class:`~repro.machine.CostTree`
+attributes energy/depth round by round and the per-iteration rows sum
+exactly to the flat :class:`~repro.machine.MachineStats` counters (the
+tree's root-inclusive invariant).  Each round costs Θ(m^{3/2}) energy and
+polylog depth (Theorem VIII.2), which the ``graph`` benchmark suite fits
+empirically.
+
+Fixed-point loops stop on convergence; the round cap (default ``n + 1``,
+always enough for label propagation and BFS on a *symmetric* adjacency) is
+a hard error when exhausted — adjacency symmetry is validated up front via
+:func:`repro.core.validate.check_symmetric_adjacency`, so hitting the cap
+means the input violated the model, not that the answer is "almost done".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.ops import ADD, MIN
+from ..core.scan import scan_any
+from ..core.validate import check_symmetric_adjacency
+from ..machine.machine import SpatialMachine
+from ..machine.metrics import CostTree
+from ..spmv.coo import COOMatrix
+from ..spmv.spmv import spmv_spatial
+
+__all__ = [
+    "GraphConvergenceError",
+    "PageRankResult",
+    "connected_components",
+    "bfs_distances",
+    "pagerank",
+    "degree_table",
+    "iteration_costs",
+]
+
+#: per-round phase name template (zero-padded so tree order is round order)
+ROUND_PHASE = "round_{:03d}"
+
+
+class GraphConvergenceError(RuntimeError):
+    """An iterated graph algorithm exhausted its round cap before reaching a
+    fixed point."""
+
+    def __init__(self, algo: str, rounds: int, hint: str) -> None:
+        super().__init__(f"{algo} did not converge within {rounds} round(s); {hint}")
+        self.algo = algo
+        self.rounds = rounds
+
+
+def _round_cap(max_rounds: int | None, n: int, algo: str) -> int:
+    cap = (n + 1) if max_rounds is None else int(max_rounds)
+    if cap < 1:
+        raise ValueError(f"{algo} needs max_rounds >= 1, got {max_rounds}")
+    return cap
+
+
+def connected_components(
+    machine: SpatialMachine,
+    adjacency: COOMatrix,
+    max_rounds: int | None = None,
+) -> np.ndarray:
+    """Component labels (the minimum vertex id in each component).
+
+    Min-label propagation until a fixed point: each round is one
+    (MIN, select-right) semiring SpMV plus a local element-wise min with the
+    current labels, so a graph with maximum component diameter D converges
+    in at most D + 1 rounds.  The default cap ``n + 1`` always suffices on
+    validated symmetric input; exhausting an explicit smaller ``max_rounds``
+    raises :class:`GraphConvergenceError` instead of returning wrong labels.
+    """
+    check_symmetric_adjacency(adjacency, "connected_components adjacency")
+    n = adjacency.n
+    labels = np.arange(n, dtype=np.float64)
+    if adjacency.nnz == 0:
+        return labels.astype(np.int64)
+    cap = _round_cap(max_rounds, n, "connected_components")
+    with machine.phase("cc"):
+        for r in range(cap):
+            with machine.phase(ROUND_PHASE.format(r)):
+                y = spmv_spatial(
+                    machine,
+                    adjacency,
+                    labels,
+                    combine=MIN,
+                    multiply=lambda a, x: x,
+                )
+            new_labels = np.minimum(labels, y.payload)
+            if np.array_equal(new_labels, labels):
+                return labels.astype(np.int64)
+            labels = new_labels
+    raise GraphConvergenceError(
+        "connected_components",
+        cap,
+        "labels were still shrinking — raise max_rounds (the default n + 1 "
+        "cap always converges on symmetric adjacency)",
+    )
+
+
+def bfs_distances(
+    machine: SpatialMachine,
+    adjacency: COOMatrix,
+    source: int,
+    max_rounds: int | None = None,
+) -> np.ndarray:
+    """Hop distances from ``source`` (``inf`` for unreachable vertices).
+
+    Each round relaxes ``d_i <- min(d_i, 1 + min_{j~i} d_j)`` with one
+    (MIN, +1)-semiring SpMV; the fixed point is reached after
+    eccentricity(source) + 1 rounds.  Round-cap semantics match
+    :func:`connected_components`.
+    """
+    check_symmetric_adjacency(adjacency, "bfs_distances adjacency")
+    n = adjacency.n
+    if not 0 <= source < n:
+        raise ValueError(f"source {source} out of range for n={n}")
+    dist = np.full(n, np.inf)
+    dist[source] = 0.0
+    if adjacency.nnz == 0:
+        return dist
+    cap = _round_cap(max_rounds, n, "bfs_distances")
+    with machine.phase("bfs"):
+        for r in range(cap):
+            with machine.phase(ROUND_PHASE.format(r)):
+                y = spmv_spatial(
+                    machine,
+                    adjacency,
+                    dist,
+                    combine=MIN,
+                    multiply=lambda a, x: x + 1.0,
+                )
+            new_dist = np.minimum(dist, y.payload)
+            if np.array_equal(new_dist, dist):
+                return dist
+            dist = new_dist
+    raise GraphConvergenceError(
+        "bfs_distances",
+        cap,
+        "distances were still relaxing — raise max_rounds (the default "
+        "n + 1 cap always converges on symmetric adjacency)",
+    )
+
+
+@dataclass(frozen=True)
+class PageRankResult:
+    """Outcome of a :func:`pagerank` run."""
+
+    ranks: np.ndarray
+    rounds: int
+    converged: bool
+    residual: float
+
+
+def pagerank(
+    machine: SpatialMachine,
+    adjacency: COOMatrix,
+    damping: float = 0.85,
+    tol: float = 1e-8,
+    max_rounds: int = 50,
+) -> PageRankResult:
+    """PageRank by power iteration: ADD-semiring SpMV rounds with scalar
+    scan normalization and dangling-mass teleport.
+
+    The walk matrix ``W`` divides each adjacency entry by its column's
+    (weighted) degree — degrees are themselves measured on the machine with
+    one ADD-semiring SpMV over the all-ones vector (the ``degrees`` phase).
+    Every round then computes ``y = W r`` (one SpMV), measures the surviving
+    outflow with a machine-side scan (mass lost to dangling vertices
+    teleports uniformly), applies teleport ``(1 - damping)/n``, and
+    re-normalizes by a second scalar scan total.
+
+    Stops when ``max|r' - r| <= tol`` or after ``max_rounds`` rounds; unlike
+    the fixed-point algorithms, a tolerance miss is reported via
+    ``converged=False`` rather than raised — power iteration improves
+    monotonically, so the final iterate is still the best estimate (pass
+    ``tol=0.0`` to run exactly ``max_rounds`` rounds).
+    """
+    check_symmetric_adjacency(adjacency, "pagerank adjacency")
+    if not 0.0 <= damping < 1.0:
+        raise ValueError(f"damping must be in [0, 1), got {damping}")
+    if max_rounds < 1:
+        raise ValueError(f"pagerank needs max_rounds >= 1, got {max_rounds}")
+    n = adjacency.n
+    ranks = np.full(n, 1.0 / n)
+    if adjacency.nnz == 0:
+        return PageRankResult(ranks=ranks, rounds=0, converged=True, residual=0.0)
+
+    with machine.phase("pagerank"):
+        with machine.phase("degrees"):
+            degrees = spmv_spatial(machine, adjacency, np.ones(n), combine=ADD).payload.copy()
+        walk = COOMatrix(
+            adjacency.rows,
+            adjacency.cols,
+            adjacency.vals / degrees[adjacency.cols],
+            n,
+        )
+        rounds = 0
+        converged = False
+        residual = np.inf
+        for r in range(max_rounds):
+            with machine.phase(ROUND_PHASE.format(r)):
+                y = spmv_spatial(machine, walk, ranks, combine=ADD)
+                with machine.phase("normalize"):
+                    outflow = float(scan_any(machine, y.payload)[-1])
+                    dangling = max(0.0, 1.0 - outflow)
+                    mid = (1.0 - damping) / n + damping * y.payload + damping * dangling / n
+                    total = float(scan_any(machine, mid)[-1])
+            new_ranks = mid / total
+            residual = float(np.max(np.abs(new_ranks - ranks)))
+            ranks = new_ranks
+            rounds = r + 1
+            if residual <= tol:
+                converged = True
+                break
+    return PageRankResult(ranks=ranks, rounds=rounds, converged=converged, residual=residual)
+
+
+def degree_table(machine: SpatialMachine, adjacency: COOMatrix) -> np.ndarray:
+    """Vertex degrees: one ADD-semiring SpMV with the all-ones vector."""
+    ones = np.ones(adjacency.n)
+    with machine.phase("degrees"):
+        y = spmv_spatial(machine, adjacency, ones, combine=ADD)
+    return np.rint(y.payload).astype(np.int64)
+
+
+def iteration_costs(tree: CostTree, algo: str) -> list[dict]:
+    """Per-round cost rows of one algorithm run, in round order.
+
+    Reads the ``round_###`` spans nested under phase ``algo`` ("cc", "bfs"
+    or "pagerank") out of the machine's :class:`CostTree`; each row carries
+    the round index plus that span's *inclusive* energy/messages and the
+    depth/distance high-water marks observed during the round.
+    """
+    node = tree.node(algo)
+    if node is None:
+        return []
+    rows = []
+    for name in sorted(node.children):
+        if not name.startswith("round_"):
+            continue
+        inc = node.children[name].inclusive_cost()
+        rows.append(
+            {
+                "round": int(name.split("_", 1)[1]),
+                "energy": inc["energy"],
+                "messages": inc["messages"],
+                "max_depth": inc["max_depth"],
+                "max_distance": inc["max_distance"],
+            }
+        )
+    return rows

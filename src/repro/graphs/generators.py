@@ -1,0 +1,170 @@
+"""Seeded graph generators for the graph-analytics workload suite.
+
+Every generator returns a validated **symmetric, loop-free, unit-weight**
+:class:`~repro.spmv.coo.COOMatrix` adjacency — the input contract of the
+iterated-SpMV algorithms in :mod:`repro.graphs.algorithms` (min-label
+propagation and BFS silently produce wrong answers on directed input, so
+symmetry is checked at construction *and* again at algorithm entry via
+:func:`repro.core.validate.check_symmetric_adjacency`).
+
+Three workload families cover the paper's "SpMV is central to graph
+algorithms" motivation from different ends of the irregularity spectrum:
+
+* :func:`rmat_coo` — Kronecker/R-MAT recursive quadrant sampling
+  (Graph500-style skewed degrees, small diameter);
+* :func:`grid2d_coo` — the 2D mesh (regular degrees, Θ(√n) diameter, the
+  worst case for round counts);
+* :func:`powerlaw_coo` — a configuration-model graph with a power-law
+  degree sequence (hub-dominated traffic, the profiler stress case).
+
+All randomness flows through the explicit ``rng`` (the repo-wide
+determinism contract), so a ``(kind, n, seed)`` triple fully identifies a
+graph across the runner cache, the service, and CI baselines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.validate import check_symmetric_adjacency
+from ..spmv.coo import COOMatrix
+
+__all__ = [
+    "GENERATORS",
+    "rmat_coo",
+    "grid2d_coo",
+    "powerlaw_coo",
+    "generate_graph",
+]
+
+
+def _symmetric_adjacency(rows: np.ndarray, cols: np.ndarray, n: int) -> COOMatrix:
+    """Symmetrize, drop self-loops, deduplicate, and set unit weights.
+
+    An empty edge set degenerates to the single edge ``(0, 1)`` so the SpMV
+    entry region is never empty (mirrors :func:`graph_adjacency_coo`).
+    """
+    keep = rows != cols
+    rows, cols = rows[keep], cols[keep]
+    if len(rows) == 0:
+        rows = np.array([0], dtype=np.int64)
+        cols = np.array([min(1, n - 1)], dtype=np.int64)
+    both_r = np.concatenate([rows, cols])
+    both_c = np.concatenate([cols, rows])
+    key = np.unique(both_r * np.int64(n) + both_c)
+    mat = COOMatrix(key // n, key % n, np.ones(len(key)), n)
+    check_symmetric_adjacency(mat, "generated adjacency")
+    return mat
+
+
+def rmat_coo(
+    n: int,
+    rng: np.random.Generator,
+    edge_factor: int = 4,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+) -> COOMatrix:
+    """R-MAT recursive-quadrant sampler (Chakrabarti et al. / Graph500).
+
+    Draws ``edge_factor * n`` directed edges by descending ``ceil(log2 n)``
+    levels of the adjacency matrix, choosing a quadrant per level with
+    probabilities ``(a, b, c, 1-a-b-c)``; endpoints outside ``[0, n)`` (when
+    ``n`` is not a power of two) are folded back with a modulo.  The result
+    is symmetrized and deduplicated, so the realized edge count is an upper
+    bound — skewed quadrant weights produce the heavy-tailed degrees and
+    small diameter typical of social/web graphs.
+    """
+    if n < 2:
+        raise ValueError(f"rmat needs n >= 2, got {n}")
+    if not 0.0 < a + b + c < 1.0:
+        raise ValueError(f"rmat quadrant probabilities must sum below 1, got {a + b + c}")
+    scale = max(1, int(np.ceil(np.log2(n))))
+    nedges = max(1, edge_factor * n)
+    rows = np.zeros(nedges, dtype=np.int64)
+    cols = np.zeros(nedges, dtype=np.int64)
+    for _ in range(scale):
+        u = rng.random(nedges)
+        row_bit = (u >= a + b).astype(np.int64)
+        col_bit = ((u >= a) & (u < a + b) | (u >= a + b + c)).astype(np.int64)
+        rows = (rows << 1) | row_bit
+        cols = (cols << 1) | col_bit
+    return _symmetric_adjacency(rows % n, cols % n, n)
+
+
+def grid2d_coo(n: int) -> COOMatrix:
+    """The ``side x side`` 2D mesh graph (``n = side**2`` vertices).
+
+    Deterministic — no rng parameter on purpose: the mesh is the
+    fixed-topology baseline whose Θ(√n) diameter maximizes the round count
+    of label propagation and BFS.
+    """
+    side = int(np.sqrt(n))
+    if side * side != n or n < 4:
+        raise ValueError(f"grid2d needs a perfect-square n >= 4, got {n}")
+    idx = np.arange(n, dtype=np.int64).reshape(side, side)
+    right = np.stack([idx[:, :-1].ravel(), idx[:, 1:].ravel()])
+    down = np.stack([idx[:-1, :].ravel(), idx[1:, :].ravel()])
+    rows = np.concatenate([right[0], down[0]])
+    cols = np.concatenate([right[1], down[1]])
+    return _symmetric_adjacency(rows, cols, n)
+
+
+def powerlaw_coo(
+    n: int,
+    rng: np.random.Generator,
+    gamma: float = 2.5,
+    min_degree: int = 1,
+) -> COOMatrix:
+    """Configuration-model graph with a power-law degree sequence.
+
+    Degrees are drawn by inverse-CDF sampling ``deg ~ min_degree *
+    u^{-1/(gamma-1)}`` (capped at ``n - 1``), half-edge stubs are shuffled
+    and paired, then self-loops and multi-edges are discarded — the standard
+    erased configuration model.  ``gamma`` around 2-3 gives the hub-heavy
+    shape that stresses segmented broadcasts with long same-column runs.
+    """
+    if n < 2:
+        raise ValueError(f"powerlaw needs n >= 2, got {n}")
+    if gamma <= 1.0:
+        raise ValueError(f"powerlaw exponent must exceed 1, got {gamma}")
+    u = rng.random(n)
+    raw = np.floor(min_degree * u ** (-1.0 / (gamma - 1.0))).astype(np.int64)
+    degrees = np.minimum(raw, n - 1)
+    if degrees.sum() % 2:
+        degrees[int(np.argmax(degrees))] += 1 if degrees.max() < n - 1 else -1
+    stubs = np.repeat(np.arange(n, dtype=np.int64), degrees)
+    rng.shuffle(stubs)
+    half = len(stubs) // 2
+    return _symmetric_adjacency(stubs[:half], stubs[half : 2 * half], n)
+
+
+def _rmat(n: int, rng: np.random.Generator) -> COOMatrix:
+    return rmat_coo(n, rng)
+
+
+def _grid(n: int, rng: np.random.Generator) -> COOMatrix:
+    return grid2d_coo(n)
+
+
+def _powerlaw(n: int, rng: np.random.Generator) -> COOMatrix:
+    return powerlaw_coo(n, rng)
+
+
+#: generator kind -> ``fn(n, rng) -> COOMatrix`` (the bench/CLI dispatch table)
+GENERATORS = {
+    "rmat": _rmat,
+    "grid": _grid,
+    "powerlaw": _powerlaw,
+}
+
+
+def generate_graph(kind: str, n: int, rng: np.random.Generator) -> COOMatrix:
+    """Materialize one named workload graph on ``n`` vertices."""
+    try:
+        fn = GENERATORS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown graph generator {kind!r}; have {', '.join(GENERATORS)}"
+        ) from None
+    return fn(n, rng)

@@ -1,0 +1,114 @@
+"""Pure-numpy/host oracles for the machine graph algorithms.
+
+These deliberately do **not** share code paths with
+:mod:`repro.graphs.algorithms`: connected components and BFS use classic
+flood-fill/frontier traversal over adjacency lists (a different algorithm,
+so agreement is evidence rather than tautology), while the PageRank oracle
+replays the exact update rule with dense numpy reductions in place of
+machine SpMV/scan rounds.
+
+Comparison contract (used by the property tests and CI sweeps):
+
+* ``cc_reference`` / ``bfs_reference`` agree **bit-exactly** with the
+  machine versions — min-propagation is carried out in exact arithmetic on
+  both sides;
+* ``pagerank_reference`` agrees up to floating-point reassociation (the
+  machine reduces in tree order, numpy sequentially), so compare with
+  ``np.allclose``-style tolerances.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from ..spmv.coo import COOMatrix
+from .algorithms import PageRankResult
+
+__all__ = ["cc_reference", "bfs_reference", "pagerank_reference"]
+
+
+def _adjacency_lists(adjacency: COOMatrix) -> list[np.ndarray]:
+    """Per-vertex neighbor arrays from the (symmetric) COO structure."""
+    order = np.argsort(adjacency.rows, kind="stable")
+    rows = np.asarray(adjacency.rows)[order]
+    cols = np.asarray(adjacency.cols)[order]
+    starts = np.searchsorted(rows, np.arange(adjacency.n + 1))
+    return [cols[starts[v] : starts[v + 1]] for v in range(adjacency.n)]
+
+
+def cc_reference(adjacency: COOMatrix) -> np.ndarray:
+    """Component labels (minimum vertex id per component) by flood fill."""
+    n = adjacency.n
+    labels = np.arange(n, dtype=np.int64)
+    adj = _adjacency_lists(adjacency)
+    seen = np.zeros(n, dtype=bool)
+    for start in range(n):
+        if seen[start]:
+            continue
+        seen[start] = True
+        stack = [start]
+        component = [start]
+        while stack:
+            v = stack.pop()
+            for w in adj[v]:
+                if not seen[w]:
+                    seen[w] = True
+                    stack.append(int(w))
+                    component.append(int(w))
+        # vertices are visited in ascending start order, so `start` is the
+        # minimum id of its component
+        labels[component] = start
+    return labels
+
+
+def bfs_reference(adjacency: COOMatrix, source: int) -> np.ndarray:
+    """Hop distances from ``source`` by frontier BFS (``inf`` unreachable)."""
+    n = adjacency.n
+    if not 0 <= source < n:
+        raise ValueError(f"source {source} out of range for n={n}")
+    adj = _adjacency_lists(adjacency)
+    dist = np.full(n, np.inf)
+    dist[source] = 0.0
+    queue = deque([source])
+    while queue:
+        v = queue.popleft()
+        for w in adj[v]:
+            if np.isinf(dist[w]):
+                dist[w] = dist[v] + 1.0
+                queue.append(int(w))
+    return dist
+
+
+def pagerank_reference(
+    adjacency: COOMatrix,
+    damping: float = 0.85,
+    tol: float = 1e-8,
+    max_rounds: int = 50,
+) -> PageRankResult:
+    """Replay of the machine PageRank update rule with numpy reductions."""
+    n = adjacency.n
+    ranks = np.full(n, 1.0 / n)
+    if adjacency.nnz == 0:
+        return PageRankResult(ranks=ranks, rounds=0, converged=True, residual=0.0)
+    degrees = np.zeros(n)
+    np.add.at(degrees, adjacency.rows, adjacency.vals)
+    walk_vals = adjacency.vals / degrees[adjacency.cols]
+    rounds = 0
+    converged = False
+    residual = np.inf
+    for r in range(max_rounds):
+        y = np.zeros(n)
+        np.add.at(y, adjacency.rows, walk_vals * ranks[adjacency.cols])
+        outflow = float(y.sum())
+        dangling = max(0.0, 1.0 - outflow)
+        mid = (1.0 - damping) / n + damping * y + damping * dangling / n
+        new_ranks = mid / float(mid.sum())
+        residual = float(np.max(np.abs(new_ranks - ranks)))
+        ranks = new_ranks
+        rounds = r + 1
+        if residual <= tol:
+            converged = True
+            break
+    return PageRankResult(ranks=ranks, rounds=rounds, converged=converged, residual=residual)

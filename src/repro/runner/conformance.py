@@ -49,9 +49,26 @@ __all__ = [
 ]
 
 
-#: the conformance grid covers exactly the chaos algorithms: scan, blocked
-#: scan, rank selection, the seven sorters, and SpMV.
-CONFORMANCE_ALGOS = CHAOS_ALGOS
+def _run_graph(m: SpatialMachine, side: int, rng: np.random.Generator) -> np.ndarray:
+    """Iterated-SpMV workload: connected components on a seeded R-MAT graph.
+
+    Uses a quarter of the working set (``n = side²/4`` vertices) — each CC
+    round is a full semiring SpMV over ~4n entries, and the differential
+    runs the whole loop on the per-call reference oracle, so the point cost
+    stays comparable to the single-shot ``spmv`` entry.
+    """
+    from ..graphs import connected_components, rmat_coo
+
+    n = max(4, (side * side) // 4)
+    adjacency = rmat_coo(n, rng)
+    return connected_components(m, adjacency).astype(np.float64)
+
+
+#: the conformance grid covers the chaos algorithms — scan, blocked scan,
+#: rank selection, the seven sorters, and SpMV — plus ``graph``, an
+#: iterated-SpMV workload (connected components) that exercises per-round
+#: phase spans and repeated kernel launches on one machine.
+CONFORMANCE_ALGOS = {**CHAOS_ALGOS, "graph": _run_graph}
 
 #: ``clean`` plus the seeded fault profiles of the chaos harness.
 CONFORMANCE_PROFILES: tuple[str, ...] = ("clean", "drops", "corruption", "dead", "mixed")

@@ -46,6 +46,7 @@ ALGO_SUITES = {
     "sort": "table1_sort",
     "select": "table1_selection",
     "spmv": "table1_spmv",
+    "graph": "graph",
 }
 
 #: inclusive (min, max) admitted problem size per algorithm.  The caps match
@@ -55,6 +56,7 @@ SIZE_LIMITS = {
     "sort": (64, 4096),
     "select": (64, 16384),
     "spmv": (4, 1024),
+    "graph": (8, 256),
 }
 
 #: algorithms whose ``n`` must be a power of four (square power-of-two grid)

@@ -188,3 +188,53 @@ class TestChaosCommand:
                      "--side", "4", "--plans", "3"]) == 0
         # three seeded plans, all bit-identical
         assert capsys.readouterr().out.count(" ok ") >= 3
+
+
+class TestGraphCommand:
+    def test_cc_per_round(self, capsys):
+        assert main(["graph", "cc", "--generator", "grid", "-n", "16",
+                     "--per-round"]) == 0
+        out = capsys.readouterr().out
+        assert "connected components" in out and "per-iteration attribution" in out
+        assert "components=1" in out
+
+    def test_bfs(self, capsys):
+        assert main(["graph", "bfs", "--generator", "powerlaw", "-n", "16",
+                     "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "BFS" in out and "reached=" in out and "rounds=" in out
+
+    def test_pagerank(self, capsys):
+        assert main(["graph", "pagerank", "-n", "16", "--max-rounds", "2",
+                     "--tol", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "PageRank" in out and "rounds=2" in out and "converged=False" in out
+
+    def test_degrees(self, capsys):
+        assert main(["graph", "degrees", "-n", "16"]) == 0
+        assert "max_degree=" in capsys.readouterr().out
+
+    def test_profile_artifacts(self, tmp_path, capsys):
+        heatmap = tmp_path / "graph.svg"
+        trace = tmp_path / "graph_trace.json"
+        assert main(["graph", "cc", "-n", "16", "--heatmap", str(heatmap),
+                     "--trace", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "wrote svg heatmap" in out and "trace event(s)" in out
+        assert heatmap.stat().st_size > 0
+        import json
+
+        events = json.loads(trace.read_text())
+        assert events["traceEvents"]
+
+    def test_grid_requires_square(self):
+        with pytest.raises(SystemExit, match="perfect-square"):
+            main(["graph", "cc", "--generator", "grid", "-n", "15"])
+
+    def test_unknown_generator_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["graph", "cc", "--generator", "bogus"])
+
+    def test_unknown_algo_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["graph", "kcore"])
